@@ -1,0 +1,258 @@
+// Package saspar's root benchmark file wires one testing.B benchmark to
+// every table and figure of the paper's evaluation (see DESIGN.md §4
+// for the experiment index). Each benchmark runs its figure harness at
+// the quick scale and reports the figure's headline quantity as custom
+// benchmark metrics, so `go test -bench=. -benchmem` regenerates the
+// whole evaluation. `go run ./cmd/figures -full` runs the paper-scale
+// versions.
+package saspar
+
+import (
+	"fmt"
+	"testing"
+
+	"saspar/internal/bench"
+	"saspar/internal/optimizer"
+)
+
+func benchScale() bench.Scale { return bench.Quick() }
+
+// BenchmarkFig06Throughput — Fig. 6: overall throughput of the six SUTs
+// across 1..14 TPC-H queries.
+func BenchmarkFig06Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.Fig6(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Queries == 14 || c.Queries == 1 {
+				b.ReportMetric(c.ThroughputMTps, fmt.Sprintf("Mtps_%s_%dq", c.SUT, c.Queries))
+			}
+		}
+	}
+}
+
+// BenchmarkFig07Latency — Fig. 7: average event-time latency on the
+// same grid.
+func BenchmarkFig07Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.Fig6(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Queries == 14 {
+				b.ReportMetric(c.LatencyMs, fmt.Sprintf("ms_%s_%dq", c.SUT, c.Queries))
+			}
+		}
+	}
+}
+
+// BenchmarkFig08aOptTime — Fig. 8a: optimization time, MIP vs
+// MIP+Heuristics, across the size ladder.
+func BenchmarkFig08aOptTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig8(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.MIPMillis, "ms_MIP_"+sizeLabel(last.Size))
+		b.ReportMetric(last.HeurMillis, "ms_Heur_"+sizeLabel(last.Size))
+	}
+}
+
+// sizeLabel renders an OptSize without whitespace (benchmark metric
+// units must be single tokens).
+func sizeLabel(s bench.OptSize) string {
+	return fmt.Sprintf("%dq-%dp-%dg", s.Queries, s.Partitions, s.Groups)
+}
+
+// BenchmarkFig08bAccuracy — Fig. 8b: heuristic accuracy vs the MIP
+// objective.
+func BenchmarkFig08bAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig8(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Accuracy, "acc_"+sizeLabel(r.Size))
+		}
+	}
+}
+
+// BenchmarkFig09Reshuffle — Fig. 9: tuples sent back to the source
+// operators under drift.
+func BenchmarkFig09Reshuffle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig9(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total float64
+		for _, r := range rows {
+			total += r.ReshuffledK
+		}
+		b.ReportMetric(total, "Ktuples_total")
+	}
+}
+
+// BenchmarkFig10AJoinWorkload — Fig. 10: throughput on the AJoin
+// workload up to hundreds of join queries.
+func BenchmarkFig10AJoinWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig10(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Queries == 100 {
+				b.ReportMetric(r.ThroughputMTps, fmt.Sprintf("Mtps_%s_%dq", r.SUT, r.Queries))
+			}
+		}
+	}
+}
+
+// BenchmarkFig11TriggerInterval — Fig. 11: SASPAR+Flink throughput vs
+// optimizer trigger interval.
+func BenchmarkFig11TriggerInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig11(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Queries == 20 {
+				b.ReportMetric(r.ThroughputMTps, fmt.Sprintf("Mtps_%dmin", r.IntervalUnits))
+			}
+		}
+	}
+}
+
+// BenchmarkFig12aHeuristics — Fig. 12a: heuristic impact breakdown.
+func BenchmarkFig12aHeuristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig12a(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		for h, pct := range last.ImpactPct {
+			b.ReportMetric(pct, fmt.Sprintf("pct_%s_%dq", h, last.Queries))
+		}
+	}
+}
+
+// BenchmarkFig12bJITOverhead — Fig. 12b: JIT compilation overhead on
+// event-time latency.
+func BenchmarkFig12bJITOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig12b(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Queries == 100 {
+				b.ReportMetric(r.OverheadPct, "pct_"+r.SUT)
+			}
+		}
+	}
+}
+
+// BenchmarkFig13GCM — Fig. 13: throughput on the GCM workload.
+func BenchmarkFig13GCM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig13(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Queries == 2 {
+				b.ReportMetric(r.ThroughputMTps, "Mtps_"+r.SUT)
+			}
+		}
+	}
+}
+
+// BenchmarkMLAccuracy — §V-C microbenchmark: SharedWith prediction
+// error vs accumulated splits ("below 10% after 250 splits").
+func BenchmarkMLAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.MLAccuracy(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.ErrorPct, fmt.Sprintf("errpct_%dsplits", r.Splits))
+		}
+	}
+}
+
+// BenchmarkAblationBounds — DESIGN.md ablation: MIP solve time with the
+// default combinatorial bounds versus with an LP-relaxation root bound
+// available (small instance where the dense simplex applies).
+func BenchmarkAblationBounds(b *testing.B) {
+	rows, err := bench.AblationBounds()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		b.Run(r.Name, func(b *testing.B) {
+			b.ReportMetric(r.Millis, "ms")
+			b.ReportMetric(r.Value, "bound")
+		})
+	}
+}
+
+// BenchmarkAblationDedup — DESIGN.md ablation: shared partitioner
+// single-copy dedup on vs off (bytes moved for identical queries).
+func BenchmarkAblationDedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationDedup(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SharedMB, "MB_shared")
+		b.ReportMetric(r.UnsharedMB, "MB_unshared")
+	}
+}
+
+// BenchmarkAblationModelRepair — DESIGN.md ablation: the optimizer with
+// and without the unshareable-traffic repair term.
+func BenchmarkAblationModelRepair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationModelRepair()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.RepairedObjective, "obj_repaired")
+		b.ReportMetric(r.LiteralObjective, "obj_literal_eq4")
+	}
+}
+
+// BenchmarkAblationMLStats — DESIGN.md ablation: optimizer fed exact
+// overlap statistics vs random-forest predictions.
+func BenchmarkAblationMLStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationMLStats(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ExactObjective, "obj_exact_stats")
+		b.ReportMetric(r.MLObjective, "obj_ml_stats")
+	}
+}
+
+// BenchmarkOptimizerSolve exercises the raw solver on a mid-size
+// instance (µ-benchmark for the B&B hot path).
+func BenchmarkOptimizerSolve(b *testing.B) {
+	req := bench.SynthRequest(bench.OptSize{Queries: 6, Partitions: 8, Groups: 32}, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimizer.Optimize(req, optimizer.Options{MaxNodes: 20000, Timeout: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

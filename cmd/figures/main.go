@@ -1,0 +1,108 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	figures [-full] [-fig N]
+//
+// Without flags it runs the quick scale (seconds of wall time per
+// figure); -full approaches the paper's dimensions. -fig selects one
+// figure ("6", "7", "8", "9", "10", "11", "12a", "12b", "13", "ml").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"saspar/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at paper scale (slow)")
+	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml)")
+	flag.Parse()
+
+	sc := bench.Quick()
+	if *full {
+		sc = bench.Paper()
+	}
+
+	if err := run(sc, *fig); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sc bench.Scale, fig string) error {
+	w := os.Stdout
+	switch fig {
+	case "":
+		return bench.RunAll(sc, w)
+	case "6":
+		cells, err := bench.Fig6(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig6(w, cells)
+	case "7":
+		cells, err := bench.Fig6(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig7(w, cells)
+	case "8":
+		rows, err := bench.Fig8(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig8a(w, rows)
+		fmt.Fprintln(w)
+		bench.PrintFig8b(w, rows)
+	case "9":
+		rows, err := bench.Fig9(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig9(w, rows)
+	case "10":
+		rows, err := bench.Fig10(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig10(w, rows)
+	case "11":
+		rows, err := bench.Fig11(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig11(w, rows)
+	case "12a":
+		rows, err := bench.Fig12a(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig12a(w, rows)
+	case "12b":
+		rows, err := bench.Fig12b(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig12b(w, rows)
+	case "13":
+		rows, err := bench.Fig13(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig13(w, rows)
+	case "ml":
+		rows, err := bench.MLAccuracy(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintML(w, rows)
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}

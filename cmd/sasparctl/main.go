@@ -1,0 +1,128 @@
+// Command sasparctl runs one workload against one system under test on
+// the simulated cluster and prints the benchmark metrics — the
+// single-cell version of cmd/figures for interactive exploration.
+//
+// Usage:
+//
+//	sasparctl -workload tpch|ajoin|gcm -sut SASPAR+Flink|Flink|AJoin|...
+//	          [-queries N] [-nodes N] [-partitions N] [-groups N]
+//	          [-rate R] [-warmup D] [-measure D] [-drift D] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"saspar/internal/ajoinwl"
+	"saspar/internal/core"
+	"saspar/internal/driver"
+	"saspar/internal/engine"
+	"saspar/internal/gcm"
+	"saspar/internal/optimizer"
+	"saspar/internal/spe"
+	"saspar/internal/tpch"
+	"saspar/internal/vtime"
+	"saspar/internal/workload"
+)
+
+func main() {
+	var (
+		wlName     = flag.String("workload", "tpch", "workload: tpch, ajoin, gcm")
+		sutName    = flag.String("sut", "SASPAR+Flink", "system under test, e.g. Flink, SASPAR+AJoin")
+		queries    = flag.Int("queries", 8, "query count (tpch: <=14, gcm: <=2)")
+		nodes      = flag.Int("nodes", 8, "cluster nodes")
+		partitions = flag.Int("partitions", 32, "partition slots")
+		groups     = flag.Int("groups", 128, "key groups")
+		rate       = flag.Float64("rate", 40e6, "offered rate, tuples/s (per primary stream)")
+		warmup     = flag.Duration("warmup", 20*vtime.Second, "virtual warm-up")
+		measure    = flag.Duration("measure", 20*vtime.Second, "virtual measurement window")
+		drift      = flag.Duration("drift", 0, "hot-key drift period (0 = stationary)")
+		reps       = flag.Int("reps", 1, "repetitions to average")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	sut, err := parseSUT(*sutName)
+	if err != nil {
+		fail(err)
+	}
+	win := engine.WindowSpec{Range: 4 * vtime.Second, Slide: 4 * vtime.Second}
+	var w *workload.Workload
+	switch *wlName {
+	case "tpch":
+		cfg := tpch.DefaultConfig()
+		cfg.Queries = tpch.QuerySubset(*queries)
+		cfg.Window = win
+		cfg.LineitemRate = *rate
+		cfg.DriftPeriod = *drift
+		w, err = tpch.New(cfg)
+	case "ajoin":
+		cfg := ajoinwl.DefaultConfig()
+		cfg.NumQueries = *queries
+		cfg.Window = win
+		cfg.RatePerStream = *rate / 4
+		cfg.DriftPeriod = *drift
+		w, err = ajoinwl.New(cfg)
+	case "gcm":
+		cfg := gcm.DefaultConfig()
+		cfg.NumQueries = *queries
+		cfg.Window = win
+		cfg.Rate = *rate
+		w, err = gcm.New(cfg)
+	default:
+		err = fmt.Errorf("unknown workload %q", *wlName)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	engCfg := engine.DefaultConfig()
+	engCfg.Nodes = *nodes
+	engCfg.NumPartitions = *partitions
+	engCfg.NumGroups = *groups
+	engCfg.SourceTasks = *nodes
+	engCfg.TupleWeight = 1000
+	engCfg.Seed = *seed
+
+	coreCfg := core.DefaultConfig()
+	coreCfg.TriggerInterval = 8 * vtime.Second
+	coreCfg.Opt = optimizer.Options{Timeout: 500e6}
+
+	res, err := driver.Run(driver.Config{
+		SUT:         sut,
+		Workload:    w,
+		Engine:      engCfg,
+		Core:        coreCfg,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		Repetitions: *reps,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("workload        %s (%d queries)\n", w.Name, len(w.Queries))
+	fmt.Printf("SUT             %s\n", res.SUT)
+	fmt.Printf("throughput      %s tuples/s (std %s)\n", vtime.FormatRate(res.Throughput), vtime.FormatRate(res.ThroughputStd))
+	fmt.Printf("latency         %v avg, %v std\n", res.AvgLatency.Round(vtime.Millisecond), res.LatencyStd.Round(vtime.Millisecond))
+	fmt.Printf("wire traffic    %.1f MB over the measurement window (utilization %.0f%%)\n", res.BytesNet/1e6, res.NetUtil*100)
+	fmt.Printf("reshuffled      %.0f tuples sent back to sources\n", res.Reshuffled)
+	fmt.Printf("JIT             %.0f compilations, %v\n", res.JITCompiles, res.JITTime)
+	fmt.Printf("optimizer       %d triggers, %d plans applied\n", res.Triggers, res.Applied)
+}
+
+func parseSUT(s string) (spe.SUT, error) {
+	for _, sut := range spe.AllSUTs() {
+		if strings.EqualFold(sut.Name(), s) {
+			return sut, nil
+		}
+	}
+	return spe.SUT{}, fmt.Errorf("unknown SUT %q (try Flink, AJoin, Prompt, SASPAR+Flink, ...)", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sasparctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command wlgen inspects and materializes the benchmark workloads: it
+// prints the query inventory of a workload and can emit a sample of
+// generated tuples as CSV, for eyeballing distributions or feeding
+// external tools.
+//
+// Usage:
+//
+//	wlgen -workload tpch|ajoin|gcm [-queries N] [-sample N] [-stream I]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"saspar/internal/ajoinwl"
+	"saspar/internal/engine"
+	"saspar/internal/gcm"
+	"saspar/internal/tpch"
+	"saspar/internal/vtime"
+	"saspar/internal/workload"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "tpch", "workload: tpch, ajoin, gcm")
+		queries = flag.Int("queries", 14, "query count")
+		sample  = flag.Int("sample", 0, "emit N sample tuples as CSV")
+		stream  = flag.Int("stream", 0, "stream index for -sample")
+	)
+	flag.Parse()
+
+	var (
+		w   *workload.Workload
+		err error
+	)
+	switch *wlName {
+	case "tpch":
+		cfg := tpch.DefaultConfig()
+		cfg.Queries = tpch.QuerySubset(*queries)
+		w, err = tpch.New(cfg)
+	case "ajoin":
+		cfg := ajoinwl.DefaultConfig()
+		cfg.NumQueries = *queries
+		w, err = ajoinwl.New(cfg)
+	case "gcm":
+		cfg := gcm.DefaultConfig()
+		if *queries >= 1 && *queries <= 2 {
+			cfg.NumQueries = *queries
+		}
+		w, err = gcm.New(cfg)
+	default:
+		err = fmt.Errorf("unknown workload %q", *wlName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+
+	if *sample > 0 {
+		if *stream < 0 || *stream >= len(w.Streams) {
+			fmt.Fprintf(os.Stderr, "wlgen: stream %d out of range\n", *stream)
+			os.Exit(1)
+		}
+		def := w.Streams[*stream]
+		gen := def.NewGenerator(0)
+		var t engine.Tuple
+		cols := make([]string, def.NumCols)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("c%d", i)
+		}
+		fmt.Printf("ts,%s\n", strings.Join(cols, ","))
+		for i := 0; i < *sample; i++ {
+			ts := vtime.Time(i) * vtime.Time(vtime.Millisecond)
+			gen.Next(&t, ts)
+			vals := make([]string, def.NumCols)
+			for c := 0; c < def.NumCols; c++ {
+				vals[c] = fmt.Sprintf("%d", t.Cols[c])
+			}
+			fmt.Printf("%d,%s\n", int64(ts), strings.Join(vals, ","))
+		}
+		return
+	}
+
+	fmt.Printf("workload %s: %d streams, %d queries\n\n", w.Name, len(w.Streams), len(w.Queries))
+	for i, s := range w.Streams {
+		fmt.Printf("stream %d: %-12s %2d columns, %3.0f B/tuple, offered %s tuples/s\n",
+			i, s.Name, s.NumCols, s.BytesPerTuple, vtime.FormatRate(w.Rates[i]))
+	}
+	fmt.Println()
+	for _, q := range w.Queries {
+		kind := "agg "
+		if q.Kind == engine.OpJoin {
+			kind = "join"
+		}
+		var ins []string
+		for _, in := range q.Inputs {
+			ins = append(ins, fmt.Sprintf("s%d key%v", in.Stream, in.Key))
+		}
+		fmt.Printf("%-10s %s  window %v/%v  %s\n",
+			q.ID, kind, q.Window.Range, q.Window.Slide, strings.Join(ins, " ⋈ "))
+	}
+}

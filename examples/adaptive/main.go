@@ -1,0 +1,72 @@
+// This example shows SASPAR's adaptive query execution (Section III)
+// in action: a join workload whose hot keys drift over time runs under
+// SASPAR+Flink, and the program reports every optimizer decision — the
+// periodic trigger, the plans it applies or consciously skips, the key
+// groups that move live (without stopping the queries), the tuples the
+// JIT-compiled iterators send back to the sources for re-partitioning
+// (Fig. 9's metric), and the operator compilations (Fig. 12b's).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"saspar/internal/ajoinwl"
+	"saspar/internal/core"
+	"saspar/internal/engine"
+	"saspar/internal/optimizer"
+	"saspar/internal/spe"
+	"saspar/internal/vtime"
+)
+
+func main() {
+	wcfg := ajoinwl.DefaultConfig()
+	wcfg.NumQueries = 12
+	wcfg.Window = engine.WindowSpec{Range: 4 * vtime.Second, Slide: 4 * vtime.Second}
+	wcfg.RatePerStream = 10e6
+	wcfg.DriftPeriod = 12 * vtime.Second // hot keys move every 12 virtual seconds
+	w, err := ajoinwl.New(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	engCfg := engine.DefaultConfig()
+	engCfg.Nodes = 4
+	engCfg.NumPartitions = 8
+	engCfg.NumGroups = 32
+	engCfg.SourceTasks = 4
+	engCfg.TupleWeight = 500
+	engCfg.Profile = spe.Profile(spe.Flink)
+
+	coreCfg := core.DefaultConfig()
+	coreCfg.TriggerInterval = 4 * vtime.Second
+	coreCfg.MinImprovement = 0.002
+	coreCfg.PlanHorizon = 4
+	coreCfg.Opt = optimizer.Options{Timeout: 150e6}
+
+	sys, err := core.New(engCfg, w.Streams, w.Queries, coreCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.ApplyRates(sys.Engine(), 1)
+
+	fmt.Printf("%d drifting join queries under SASPAR+Flink; optimizer every %v, drift every %v.\n\n",
+		len(w.Queries), coreCfg.TriggerInterval, wcfg.DriftPeriod)
+	fmt.Println("time     triggers  applied  skipped  reshuffled   JIT compiles  throughput")
+
+	m := sys.Engine().Metrics()
+	for step := 1; step <= 12; step++ {
+		m.StartMeasurement(sys.Engine().Clock())
+		sys.Run(4 * vtime.Second)
+		m.StopMeasurement(sys.Engine().Clock())
+		fmt.Printf("%-8v %8d %8d %8d %10.0fK %13d  %s/s\n",
+			sys.Engine().Clock(),
+			sys.Triggers(), sys.Controller().Applied(), sys.SkippedPlans(),
+			m.Reshuffled()/1000, m.JITCompiles(),
+			vtime.FormatRate(m.OverallThroughput()))
+	}
+	fmt.Println("\nEvery applied plan moved key groups live: notification markers aligned the")
+	fmt.Println("operators (sync point), new operator bodies were JIT-compiled, and the moved")
+	fmt.Println("groups' window state traveled back through the sources to its new owners —")
+	fmt.Println("with query results guaranteed identical (see the engine correctness tests).")
+}

@@ -1,0 +1,131 @@
+// Quickstart runs the paper's running example (Listing 1): a PURCHASES
+// stream consumed by two continuous queries —
+//
+//	Q1: SELECT SUM(price) FROM PURCHASES [Range r, Slide s] GROUP BY gemPackID
+//	Q2: SELECT ... FROM PURCHASES ⋈ ADS ON userID, gemPackID
+//
+// Q1 partitions PURCHASES by gemPackID, Q2 by userID+gemPackID (the
+// Fig. 1 scenario). The example executes the pair twice, once on the
+// vanilla engine (every query ships its own copy of every tuple) and
+// once under SASPAR (shared adaptive partitioning), and prints the
+// throughput, latency and network traffic of both — the green-tuple
+// effect of Fig. 1c, live.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"saspar/internal/core"
+	"saspar/internal/engine"
+	"saspar/internal/optimizer"
+	"saspar/internal/vtime"
+)
+
+// PURCHASES(userID, gemPackID, price, ts) / ADS(userID, gemPackID, ts)
+const (
+	colUserID  = 0
+	colGemPack = 1
+	colPrice   = 2
+)
+
+func purchases() engine.StreamDef {
+	return engine.StreamDef{
+		Name: "purchases", NumCols: 3, BytesPerTuple: 96,
+		NewGenerator: func(task int) engine.Generator {
+			rng := rand.New(rand.NewSource(int64(task) + 100))
+			return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
+				t.Cols[colUserID] = rng.Int63n(50000)
+				t.Cols[colGemPack] = rng.Int63n(200)
+				t.Cols[colPrice] = 99 + rng.Int63n(9900)
+			})
+		},
+	}
+}
+
+func ads() engine.StreamDef {
+	return engine.StreamDef{
+		Name: "ads", NumCols: 2, BytesPerTuple: 72,
+		NewGenerator: func(task int) engine.Generator {
+			rng := rand.New(rand.NewSource(int64(task) + 200))
+			return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
+				t.Cols[colUserID] = rng.Int63n(50000)
+				t.Cols[colGemPack] = rng.Int63n(200)
+			})
+		},
+	}
+}
+
+func main() {
+	streams := []engine.StreamDef{purchases(), ads()}
+	window := engine.WindowSpec{Range: 2 * vtime.Second, Slide: 2 * vtime.Second}
+	queries := []engine.QuerySpec{
+		{
+			// Q1: windowed aggregation over PURCHASES by gemPackID.
+			ID: "q1", Kind: engine.OpAggregate,
+			Inputs: []engine.Input{{Stream: 0, Key: engine.KeySpec{colGemPack}}},
+			Window: window, AggCol: colPrice,
+		},
+		{
+			// Q2: windowed join PURCHASES ⋈ ADS on userID+gemPackID.
+			ID: "q2", Kind: engine.OpJoin,
+			Inputs: []engine.Input{
+				{Stream: 0, Key: engine.KeySpec{colUserID, colGemPack}},
+				{Stream: 1, Key: engine.KeySpec{colUserID, colGemPack}},
+			},
+			Window: window,
+		},
+	}
+
+	run := func(saspar bool) {
+		engCfg := engine.DefaultConfig()
+		engCfg.Nodes = 4
+		engCfg.NumPartitions = 8
+		engCfg.NumGroups = 32
+		engCfg.SourceTasks = 4
+		engCfg.TupleWeight = 200
+
+		coreCfg := core.DefaultConfig()
+		coreCfg.Enabled = saspar
+		coreCfg.TriggerInterval = 4 * vtime.Second
+		coreCfg.Opt = optimizer.Options{Timeout: 200e6} // 200ms MIP budget
+
+		sys, err := core.New(engCfg, streams, queries, coreCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Offer more than the cluster can carry; backpressure finds the
+		// sustainable rate.
+		sys.Engine().SetStreamRate(0, 30e6)
+		sys.Engine().SetStreamRate(1, 10e6)
+
+		sys.Run(8 * vtime.Second) // warm up, let the optimizer act
+		m := sys.Engine().Metrics()
+		m.StartMeasurement(sys.Engine().Clock())
+		sys.Run(10 * vtime.Second)
+		m.StopMeasurement(sys.Engine().Clock())
+
+		name := "vanilla"
+		if saspar {
+			name = "SASPAR "
+		}
+		net := sys.Engine().Network().Stats()
+		fmt.Printf("%s  throughput %8s tuples/s   latency %8v   wire %6.1f MB   optimizer: %d triggers, %d plans applied\n",
+			name,
+			vtime.FormatRate(m.OverallThroughput()),
+			m.AvgLatency().Round(vtime.Millisecond),
+			net.BytesNet/1e6,
+			sys.Triggers(), sys.Controller().Applied())
+	}
+
+	fmt.Println("Listing 1 of the SASPAR paper: Q1 (agg by gemPackID) + Q2 (join by userID+gemPackID)")
+	fmt.Println("over one PURCHASES stream, 18 virtual seconds on a simulated 4-node cluster:")
+	fmt.Println()
+	run(false)
+	run(true)
+	fmt.Println()
+	fmt.Println("SASPAR ships shared tuples once per distinct target partition (the green")
+	fmt.Println("tuples of Fig. 1c) and re-optimizes the partitioning live — same results,")
+	fmt.Println("less wire traffic, more sustained throughput.")
+}

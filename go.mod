@@ -1,0 +1,3 @@
+module saspar
+
+go 1.22

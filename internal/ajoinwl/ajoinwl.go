@@ -1,0 +1,137 @@
+// Package ajoinwl implements the paper's second workload, adopted from
+// AJoin (Karimov et al., VLDB 2019): a large population of ad-hoc
+// windowed stream joins — up to 2000 concurrent queries in Fig. 10 —
+// over a small set of logical streams. Queries join stream pairs on
+// user or item keys; many queries share a pair and key, which is the
+// sharing opportunity both AJoin (computation) and SASPAR
+// (partitioning) exploit.
+package ajoinwl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"saspar/internal/engine"
+	"saspar/internal/vtime"
+	"saspar/internal/workload"
+)
+
+// Column slots of every event stream.
+const (
+	ColUser  = 0
+	ColItem  = 1
+	ColValue = 2
+)
+
+// Config shapes the workload.
+type Config struct {
+	// NumStreams is the logical stream count (default 4).
+	NumStreams int
+	// NumQueries is the number of concurrent join queries.
+	NumQueries int
+	// Window applies to every query.
+	Window engine.WindowSpec
+	// Users / Items are the key domain sizes.
+	Users, Items int64
+	// HotFraction of tuples concentrate on HotKeys entities — the
+	// macroscopic skew that makes key-group load imbalanced (individual
+	// hot keys carry whole percents of the stream, so hashing cannot
+	// average them away). DriftPeriod rotates the hot set.
+	HotFraction float64
+	HotKeys     int64
+	DriftPeriod vtime.Duration
+	// RatePerStream is the offered rate per stream (tuples/s).
+	RatePerStream float64
+	// Seed drives the deterministic query mix.
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumStreams:    4,
+		NumQueries:    20,
+		Window:        engine.WindowSpec{Range: 5 * vtime.Second, Slide: 5 * vtime.Second},
+		Users:         100000,
+		Items:         10000,
+		HotFraction:   0.7,
+		HotKeys:       8,
+		RatePerStream: 1e6,
+		Seed:          1,
+	}
+}
+
+// New builds the workload: NumQueries joins spread deterministically
+// over stream pairs and join keys.
+func New(cfg Config) (*workload.Workload, error) {
+	if cfg.NumStreams < 2 {
+		return nil, fmt.Errorf("ajoinwl: need at least 2 streams, got %d", cfg.NumStreams)
+	}
+	if cfg.NumQueries <= 0 {
+		return nil, fmt.Errorf("ajoinwl: need at least 1 query")
+	}
+	if cfg.RatePerStream <= 0 {
+		return nil, fmt.Errorf("ajoinwl: non-positive rate")
+	}
+	w := &workload.Workload{Name: "ajoin"}
+	for s := 0; s < cfg.NumStreams; s++ {
+		s := s
+		w.Streams = append(w.Streams, engine.StreamDef{
+			Name: fmt.Sprintf("events-%d", s), NumCols: 3, BytesPerTuple: 88,
+			NewGenerator: func(task int) engine.Generator { return newGen(cfg, s, task) },
+		})
+		w.Rates = append(w.Rates, cfg.RatePerStream)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for q := 0; q < cfg.NumQueries; q++ {
+		// Deterministic pair walk: adjacent streams, both orientations.
+		a := q % cfg.NumStreams
+		b := (a + 1 + (q/cfg.NumStreams)%(cfg.NumStreams-1)) % cfg.NumStreams
+		key := engine.KeySpec{ColUser}
+		if rng.Intn(3) == 0 {
+			key = engine.KeySpec{ColItem}
+		}
+		w.Queries = append(w.Queries, engine.QuerySpec{
+			ID:   fmt.Sprintf("ajoin-q%d", q),
+			Kind: engine.OpJoin,
+			Inputs: []engine.Input{
+				{Stream: engine.StreamID(a), Key: key},
+				{Stream: engine.StreamID(b), Key: key},
+			},
+			Window:     cfg.Window,
+			JoinFanout: 0.3,
+		})
+	}
+	return w, w.Validate()
+}
+
+func newGen(cfg Config, stream, task int) engine.Generator {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(stream)*6151 + int64(task)*13))
+	return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
+		t.Cols[ColUser] = pick(rng, cfg.Users, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+		t.Cols[ColItem] = pick(rng, cfg.Items, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+		t.Cols[ColValue] = rng.Int63n(1000)
+	})
+}
+
+// pick draws a key in [0, n): with probability hotFrac it comes from a
+// small hot set whose position rotates every drift period. The rotated
+// hot keys hash into different key groups, so the group-level load
+// distribution genuinely moves — the condition under which adaptive
+// re-partitioning earns its keep (Figs. 9, 11, 12b).
+func pick(rng *rand.Rand, n int64, hotFrac float64, hotKeys int64, ts vtime.Time, drift vtime.Duration) int64 {
+	if hotKeys <= 0 || hotKeys > n {
+		hotKeys = 1 + n/16
+	}
+	var k int64
+	if rng.Float64() < hotFrac {
+		k = rng.Int63n(hotKeys)
+	} else {
+		k = rng.Int63n(n)
+	}
+	if drift > 0 {
+		epoch := int64(ts) / int64(drift)
+		k = (k + epoch*(n/5+1)) % n
+	}
+	return k
+}

@@ -1,0 +1,111 @@
+package ajoinwl
+
+import (
+	"testing"
+
+	"saspar/internal/engine"
+)
+
+func TestNewDefault(t *testing.T) {
+	w, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 20 || len(w.Streams) != 4 {
+		t.Fatalf("got %d queries / %d streams", len(w.Queries), len(w.Streams))
+	}
+	for _, q := range w.Queries {
+		if q.Kind != engine.OpJoin || len(q.Inputs) != 2 {
+			t.Fatalf("query %s is not a binary join", q.ID)
+		}
+		if q.Inputs[0].Stream == q.Inputs[1].Stream {
+			t.Fatalf("query %s self-joins stream %d", q.ID, q.Inputs[0].Stream)
+		}
+		if !q.Inputs[0].Key.Equal(q.Inputs[1].Key) {
+			t.Fatalf("query %s joins on mismatched key columns", q.ID)
+		}
+	}
+}
+
+func TestScalesToThousandsOfQueries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumQueries = 2000
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 2000 {
+		t.Fatalf("got %d queries", len(w.Queries))
+	}
+	// The per-stream signature count must stay within the engine's
+	// route-class budget: distinct (stream, key) pairs only.
+	type sig struct {
+		s engine.StreamID
+		k string
+	}
+	sigs := map[sig]bool{}
+	for _, q := range w.Queries {
+		for _, in := range q.Inputs {
+			ks := ""
+			for _, c := range in.Key {
+				ks += string(rune('a' + c))
+			}
+			sigs[sig{in.Stream, ks}] = true
+		}
+	}
+	if len(sigs) > 4*2 {
+		t.Fatalf("%d distinct (stream,key) signatures, want <= 8", len(sigs))
+	}
+}
+
+func TestQueryMixDeterministicBySeed(t *testing.T) {
+	a, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Queries {
+		if !a.Queries[i].Inputs[0].Key.Equal(b.Queries[i].Inputs[0].Key) {
+			t.Fatalf("query %d key differs across identical configs", i)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.NumStreams = 1
+	if _, err := New(bad); err == nil {
+		t.Fatal("1 stream accepted")
+	}
+	bad = DefaultConfig()
+	bad.NumQueries = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("0 queries accepted")
+	}
+	bad = DefaultConfig()
+	bad.RatePerStream = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("0 rate accepted")
+	}
+}
+
+func TestGeneratorsInDomain(t *testing.T) {
+	w, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Streams[0].NewGenerator(0)
+	var tu engine.Tuple
+	for i := 0; i < 1000; i++ {
+		g.Next(&tu, 0)
+		if tu.Cols[ColUser] < 0 || tu.Cols[ColUser] >= DefaultConfig().Users {
+			t.Fatalf("user %d out of domain", tu.Cols[ColUser])
+		}
+		if tu.Cols[ColItem] < 0 || tu.Cols[ColItem] >= DefaultConfig().Items {
+			t.Fatalf("item %d out of domain", tu.Cols[ColItem])
+		}
+	}
+}

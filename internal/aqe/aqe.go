@@ -1,0 +1,121 @@
+// Package aqe drives the adaptive-query-execution protocol of Section
+// III over a running engine. The engine implements the mechanisms —
+// in-band notification markers, sync-point alignment, operator
+// re-generation ("JIT"), iterator-guarded state movement — and this
+// controller sequences them: start a reconfiguration, watch it
+// complete asynchronously while data keeps flowing, then broadcast the
+// finalize round that reverts iterators to pass-through.
+package aqe
+
+import (
+	"fmt"
+
+	"saspar/internal/engine"
+	"saspar/internal/keyspace"
+)
+
+// Phase is the controller state.
+type Phase int
+
+const (
+	// Idle: no reconfiguration in flight.
+	Idle Phase = iota
+	// Reconfiguring: markers and moved state are in flight (steps 1-4).
+	Reconfiguring
+	// Finalizing: the second marker round is draining (step 5).
+	Finalizing
+)
+
+func (p Phase) String() string {
+	switch p {
+	case Idle:
+		return "idle"
+	case Reconfiguring:
+		return "reconfiguring"
+	case Finalizing:
+		return "finalizing"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Controller sequences reconfigurations on one engine. Poll it from the
+// simulation loop; it never blocks and never stops the query plan.
+type Controller struct {
+	eng   *engine.Engine
+	phase Phase
+
+	epochBefore   int64 // engine epoch when Begin was called
+	reconfigEpoch int64 // epoch of the in-flight reconfiguration
+	finalizeEpoch int64
+
+	applied int // completed reconfigurations
+}
+
+// New builds a controller for the engine.
+func New(eng *engine.Engine) *Controller {
+	return &Controller{eng: eng}
+}
+
+// Phase reports the controller state.
+func (c *Controller) Phase() Phase { return c.phase }
+
+// Busy reports whether a reconfiguration is in flight.
+func (c *Controller) Busy() bool { return c.phase != Idle }
+
+// Applied reports how many reconfigurations completed end-to-end.
+func (c *Controller) Applied() int { return c.applied }
+
+// Begin starts the protocol for a new assignment set. Assignments equal
+// to the current ones are dropped; if nothing changes the controller
+// stays idle and returns false.
+func (c *Controller) Begin(newAssign map[int]*keyspace.Assignment) (bool, error) {
+	if c.phase != Idle {
+		return false, fmt.Errorf("aqe: controller busy (%v)", c.phase)
+	}
+	changed := map[int]*keyspace.Assignment{}
+	for qi, a := range newAssign {
+		if len(c.eng.Assignment(qi).Diff(a)) > 0 {
+			changed[qi] = a
+		}
+	}
+	if len(changed) == 0 {
+		return false, nil
+	}
+	c.epochBefore = c.eng.Epoch()
+	if err := c.eng.InjectReconfig(changed); err != nil {
+		return false, err
+	}
+	c.phase = Reconfiguring
+	c.reconfigEpoch = 0 // resolved on first Poll (micro-batch defers the epoch bump)
+	return true, nil
+}
+
+// Poll advances the controller; call it once per simulation tick.
+func (c *Controller) Poll() {
+	switch c.phase {
+	case Idle:
+		return
+	case Reconfiguring:
+		if c.reconfigEpoch == 0 {
+			if e := c.eng.Epoch(); e > c.epochBefore {
+				c.reconfigEpoch = e
+			} else {
+				return // micro-batch: waiting for the boundary
+			}
+		}
+		if !c.eng.ReconfigComplete(c.reconfigEpoch) {
+			return
+		}
+		// Steps 1-4 done: broadcast the finalize round.
+		c.eng.InjectFinalize()
+		c.finalizeEpoch = c.eng.Epoch()
+		c.phase = Finalizing
+	case Finalizing:
+		if !c.eng.ReconfigComplete(c.finalizeEpoch) {
+			return
+		}
+		c.phase = Idle
+		c.applied++
+	}
+}

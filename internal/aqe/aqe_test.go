@@ -1,0 +1,149 @@
+package aqe
+
+import (
+	"testing"
+
+	"saspar/internal/engine"
+	"saspar/internal/keyspace"
+	"saspar/internal/vtime"
+)
+
+func testEngine(t *testing.T, microBatch bool) *engine.Engine {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.NumPartitions = 4
+	cfg.NumGroups = 8
+	cfg.SourceTasks = 2
+	if microBatch {
+		cfg.Profile = engine.Profile{Name: "prompt", MicroBatch: true, BatchInterval: vtime.Second}
+	}
+	streams := []engine.StreamDef{{
+		Name: "s", NumCols: 2, BytesPerTuple: 64,
+		NewGenerator: func(task int) engine.Generator {
+			i := int64(task * 100)
+			return engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
+				i++
+				tu.Cols[0] = i % 32
+				tu.Cols[1] = 1
+			})
+		},
+	}}
+	queries := []engine.QuerySpec{{
+		ID: "q", Kind: engine.OpAggregate,
+		Inputs: []engine.Input{{Stream: 0, Key: engine.KeySpec{0}}},
+		Window: engine.WindowSpec{Range: vtime.Second, Slide: vtime.Second},
+		AggCol: 1,
+	}}
+	e, err := engine.New(cfg, streams, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 2000)
+	return e
+}
+
+func rotated(e *engine.Engine) *keyspace.Assignment {
+	na := e.Assignment(0).Clone()
+	for g := 0; g < na.NumGroups(); g++ {
+		na.Set(keyspace.GroupID(g), (na.Partition(keyspace.GroupID(g))+1)%4)
+	}
+	return na
+}
+
+func drive(t *testing.T, e *engine.Engine, c *Controller, maxTicks int) {
+	t.Helper()
+	for i := 0; i < maxTicks && c.Busy(); i++ {
+		e.Run(e.Config().Tick)
+		c.Poll()
+	}
+}
+
+func TestFullProtocolLifecycle(t *testing.T) {
+	e := testEngine(t, false)
+	c := New(e)
+	e.Run(2 * vtime.Second)
+
+	started, err := c.Begin(map[int]*keyspace.Assignment{0: rotated(e)})
+	if err != nil || !started {
+		t.Fatalf("Begin: started=%v err=%v", started, err)
+	}
+	if c.Phase() != Reconfiguring {
+		t.Fatalf("phase = %v, want reconfiguring", c.Phase())
+	}
+	drive(t, e, c, 200)
+	if c.Busy() {
+		t.Fatalf("protocol stuck in %v", c.Phase())
+	}
+	if c.Applied() != 1 {
+		t.Fatalf("applied = %d, want 1", c.Applied())
+	}
+	if e.Metrics() == nil {
+		t.Fatal("no metrics")
+	}
+}
+
+func TestBeginNoChangeStaysIdle(t *testing.T) {
+	e := testEngine(t, false)
+	c := New(e)
+	started, err := c.Begin(map[int]*keyspace.Assignment{0: e.Assignment(0).Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started || c.Busy() {
+		t.Fatal("identical assignment started a reconfiguration")
+	}
+}
+
+func TestBeginWhileBusyErrors(t *testing.T) {
+	e := testEngine(t, false)
+	c := New(e)
+	e.Run(vtime.Second)
+	if _, err := c.Begin(map[int]*keyspace.Assignment{0: rotated(e)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(map[int]*keyspace.Assignment{0: rotated(e)}); err == nil {
+		t.Fatal("second Begin while busy did not error")
+	}
+}
+
+func TestMicroBatchDeferredEpochResolution(t *testing.T) {
+	e := testEngine(t, true)
+	c := New(e)
+	e.Run(2500 * vtime.Millisecond) // mid-batch
+	started, err := c.Begin(map[int]*keyspace.Assignment{0: rotated(e)})
+	if err != nil || !started {
+		t.Fatalf("Begin: %v %v", started, err)
+	}
+	// The epoch bump waits for the batch boundary; polling before it
+	// must not crash or complete prematurely.
+	c.Poll()
+	if !c.Busy() {
+		t.Fatal("completed before the batch boundary")
+	}
+	drive(t, e, c, 300)
+	if c.Busy() {
+		t.Fatalf("micro-batch protocol stuck in %v", c.Phase())
+	}
+	if c.Applied() != 1 {
+		t.Fatalf("applied = %d, want 1", c.Applied())
+	}
+}
+
+func TestSequentialReconfigurations(t *testing.T) {
+	e := testEngine(t, false)
+	c := New(e)
+	e.Run(vtime.Second)
+	for round := 0; round < 3; round++ {
+		if _, err := c.Begin(map[int]*keyspace.Assignment{0: rotated(e)}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		drive(t, e, c, 200)
+		if c.Busy() {
+			t.Fatalf("round %d stuck", round)
+		}
+	}
+	if c.Applied() != 3 {
+		t.Fatalf("applied = %d, want 3", c.Applied())
+	}
+}

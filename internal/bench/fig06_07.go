@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"saspar/internal/spe"
+	"saspar/internal/tpch"
+	"saspar/internal/vtime"
+)
+
+// TPCHCell is one (SUT, query count) measurement over the TPC-H
+// workload — the data behind Figures 6 (throughput) and 7 (latency).
+type TPCHCell struct {
+	SUT     string
+	Queries int
+
+	ThroughputMTps float64 // overall throughput, millions of tuples/s
+	ThroughputStd  float64
+	LatencyMs      float64 // average event-time latency
+	LatencyStdMs   float64 // within-run stddev (the paper's error bars)
+	Reshuffled     float64
+}
+
+// Fig6QueryCounts is the paper's x-axis: 1, 2, 4, 8, 14 queries.
+func Fig6QueryCounts() []int { return []int{1, 2, 4, 8, 14} }
+
+// TPCHGrid measures every SUT at every query count. drift > 0 rotates
+// the hot keys (used by Fig. 9's variant of this grid).
+func TPCHGrid(sc Scale, counts []int, drift vtime.Duration) ([]TPCHCell, error) {
+	if counts == nil {
+		counts = Fig6QueryCounts()
+	}
+	var cells []TPCHCell
+	for _, n := range counts {
+		cfg := tpch.DefaultConfig()
+		cfg.Queries = tpch.QuerySubset(n)
+		cfg.Window = sc.window()
+		cfg.LineitemRate = sc.Rate
+		cfg.DriftPeriod = drift
+		w, err := tpch.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, sut := range spe.AllSUTs() {
+			res, err := runSUT(sc, sut, w, nil)
+			if err != nil {
+				return nil, fmt.Errorf("bench: tpch %s %dq: %w", sut.Name(), n, err)
+			}
+			cells = append(cells, TPCHCell{
+				SUT:            sut.Name(),
+				Queries:        n,
+				ThroughputMTps: res.Throughput / 1e6,
+				ThroughputStd:  res.ThroughputStd / 1e6,
+				LatencyMs:      ms(res.AvgLatency),
+				LatencyStdMs:   ms(res.LatencyStd),
+				Reshuffled:     res.Reshuffled,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// Fig6 reproduces Figure 6: overall throughput of the six SUTs with 1,
+// 2, 4, 8 and 14 TPC-H queries.
+func Fig6(sc Scale) ([]TPCHCell, error) { return TPCHGrid(sc, nil, 0) }
+
+// PrintFig6 renders the throughput grid.
+func PrintFig6(w io.Writer, cells []TPCHCell) {
+	var rows []string
+	for _, c := range cells {
+		rows = append(rows, fmt.Sprintf("%s\t%d\t%.2f\t%.2f", c.SUT, c.Queries, c.ThroughputMTps, c.ThroughputStd))
+	}
+	table(w, "SUT\tqueries\tthroughput (M tuples/s)\tstd", rows)
+}
+
+// PrintFig7 renders the latency grid (same cells as Fig. 6).
+func PrintFig7(w io.Writer, cells []TPCHCell) {
+	var rows []string
+	for _, c := range cells {
+		rows = append(rows, fmt.Sprintf("%s\t%d\t%.0f\t%.0f", c.SUT, c.Queries, c.LatencyMs, c.LatencyStdMs))
+	}
+	table(w, "SUT\tqueries\tavg event-time latency (ms)\tstd (ms)", rows)
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"saspar/internal/core"
+	"saspar/internal/engine"
+	"saspar/internal/spe"
+	"saspar/internal/tpch"
+)
+
+// Fig9Row is one (SASPAR-ed SUT, partition count, query count) cell:
+// the number of tuples the JIT-compiled iterators sent back to the
+// source operators for re-partitioning.
+type Fig9Row struct {
+	SUT         string
+	Partitions  int
+	Queries     int
+	ReshuffledK float64 // thousands of tuples, the paper's unit
+}
+
+// Fig9PartitionCounts returns the paper's {32, 64} or a scaled-down
+// pair for quick runs.
+func Fig9PartitionCounts(sc Scale) []int {
+	if sc.Full {
+		return []int{32, 64}
+	}
+	return []int{sc.Partitions, sc.Partitions * 2}
+}
+
+// Fig9 reproduces Figure 9: reshuffled tuples for the three SASPAR-ed
+// SUTs at two partition counts across the Fig. 6 query ladder. Drift
+// is enabled so re-optimizations actually move key groups.
+func Fig9(sc Scale) ([]Fig9Row, error) {
+	counts := Fig6QueryCounts()
+	if !sc.Full {
+		counts = []int{1, 2, 4, 8}
+	}
+	var rows []Fig9Row
+	for _, parts := range Fig9PartitionCounts(sc) {
+		for _, n := range counts {
+			cfg := tpch.DefaultConfig()
+			cfg.Queries = tpch.QuerySubset(n)
+			cfg.Window = sc.window()
+			cfg.LineitemRate = sc.Rate
+			cfg.DriftPeriod = 6 * sc.TimeUnit
+			cfg.HotFraction = 0.6 // strong drifting hot set: load must genuinely move
+			cfg.HotKeys = 8
+			w, err := tpch.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, kind := range spe.Kinds() {
+				sut := spe.SUT{Kind: kind, Saspar: true}
+				parts := parts
+				res, err := runSUT(sc, sut, w, func(e *engine.Config, c *core.Config) {
+					e.NumPartitions = parts
+					if e.NumGroups < parts {
+						e.NumGroups = parts * 4
+					}
+					// Drifting stats: plans live about one interval, so
+					// the movement gate must not suppress adaptation.
+					c.PlanHorizon = 4
+					c.MinImprovement = 0.001
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench: fig9 %s %dp %dq: %w", sut.Name(), parts, n, err)
+				}
+				rows = append(rows, Fig9Row{
+					SUT:         sut.Name(),
+					Partitions:  parts,
+					Queries:     n,
+					ReshuffledK: res.Reshuffled / 1000,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig9 renders the reshuffle table.
+func PrintFig9(w io.Writer, rows []Fig9Row) {
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%s\t%d\t%d\t%.1f", r.SUT, r.Partitions, r.Queries, r.ReshuffledK))
+	}
+	table(w, "SUT\tpartitions\tqueries\treshuffled (x1K tuples)", out)
+}

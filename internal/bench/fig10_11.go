@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"saspar/internal/ajoinwl"
+	"saspar/internal/spe"
+	"saspar/internal/vtime"
+	"saspar/internal/workload"
+)
+
+// Fig10Row is one (SUT, query count) cell of the AJoin workload.
+type Fig10Row struct {
+	SUT            string
+	Queries        int
+	ThroughputMTps float64
+	LatencyMs      float64
+}
+
+// Fig10QueryCounts is the paper's x-axis (1, 5, 20, 100, 500, 2000),
+// trimmed for quick runs.
+func Fig10QueryCounts(sc Scale) []int {
+	if sc.Full {
+		return []int{1, 5, 20, 100, 500, 2000}
+	}
+	return []int{1, 5, 20, 100}
+}
+
+func ajoinWorkload(sc Scale, queries int, drift vtime.Duration) (*workload.Workload, error) {
+	cfg := ajoinwl.DefaultConfig()
+	cfg.NumQueries = queries
+	cfg.Window = sc.window()
+	cfg.RatePerStream = sc.Rate / 4
+	cfg.DriftPeriod = drift
+	return ajoinwl.New(cfg)
+}
+
+// Fig10 reproduces Figure 10: overall throughput of the six SUTs under
+// the AJoin workload as the join-query population grows.
+func Fig10(sc Scale) ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, n := range Fig10QueryCounts(sc) {
+		w, err := ajoinWorkload(sc, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, sut := range spe.AllSUTs() {
+			res, err := runSUT(sc, sut, w, nil)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig10 %s %dq: %w", sut.Name(), n, err)
+			}
+			rows = append(rows, Fig10Row{
+				SUT:            sut.Name(),
+				Queries:        n,
+				ThroughputMTps: res.Throughput / 1e6,
+				LatencyMs:      ms(res.AvgLatency),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig10 renders the AJoin-workload throughput grid.
+func PrintFig10(w io.Writer, rows []Fig10Row) {
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%s\t%d\t%.2f", r.SUT, r.Queries, r.ThroughputMTps))
+	}
+	table(w, "SUT\tqueries\tthroughput (M tuples/s)", out)
+}
+
+// Fig11Row is one (trigger interval, query count) cell for
+// SASPAR+Flink.
+type Fig11Row struct {
+	IntervalUnits  int // in paper minutes (multiples of Scale.TimeUnit)
+	Queries        int
+	ThroughputMTps float64
+}
+
+// Fig11Intervals is the paper's x-axis in "minutes" (TimeUnits).
+func Fig11Intervals() []int { return []int{1, 2, 4, 8, 16, 32} }
+
+// Fig11 reproduces Figure 11: SASPAR+Flink throughput across optimizer
+// trigger intervals, on a drifting AJoin workload. Short intervals act
+// on too few statistics, long intervals act on stale ones; the paper's
+// best point is 4 minutes.
+func Fig11(sc Scale) ([]Fig11Row, error) {
+	counts := []int{1, 5, 20, 100, 500}
+	if !sc.Full {
+		counts = []int{1, 5, 20}
+	}
+	var rows []Fig11Row
+	for _, units := range Fig11Intervals() {
+		interval := vtime.Duration(units) * sc.TimeUnit
+		for _, n := range counts {
+			w, err := ajoinWorkload(sc, n, 6*sc.TimeUnit)
+			if err != nil {
+				return nil, err
+			}
+			sut := spe.SUT{Kind: spe.Flink, Saspar: true}
+			engCfg := sc.engineConfig()
+			coreCfg := sc.coreConfig()
+			coreCfg.TriggerInterval = interval
+			coreCfg.PlanHorizon = 4
+			// Sparse sampling: a short interval sees few samples and
+			// acts on noise — the effect Fig. 11 measures.
+			coreCfg.SampleEvery = 32
+			warm := 2 * interval
+			if warm < sc.Warmup {
+				warm = sc.Warmup
+			}
+			meas := 4 * interval
+			if meas < sc.Measure {
+				meas = sc.Measure
+			}
+			res, err := runDriverRaw(sut, w, engCfg, coreCfg, warm, meas, sc.Reps)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig11 %dmin %dq: %w", units, n, err)
+			}
+			rows = append(rows, Fig11Row{
+				IntervalUnits:  units,
+				Queries:        n,
+				ThroughputMTps: res.Throughput / 1e6,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig11 renders the trigger-interval sweep.
+func PrintFig11(w io.Writer, rows []Fig11Row) {
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%d min\t%d\t%.2f", r.IntervalUnits, r.Queries, r.ThroughputMTps))
+	}
+	table(w, "interval\tqueries\tthroughput (M tuples/s)", out)
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"saspar/internal/gcm"
+	"saspar/internal/spe"
+)
+
+// Fig13Row is one (SUT, query count) cell of the Google Cluster
+// Monitoring workload.
+type Fig13Row struct {
+	SUT            string
+	Queries        int
+	ThroughputMTps float64
+}
+
+// Fig13 reproduces Figure 13: overall throughput of the six SUTs on
+// the GCM workload with one and two aggregation queries. With only two
+// queries the sharing potential is small, so SASPAR's edge shrinks —
+// the paper's point.
+func Fig13(sc Scale) ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, n := range []int{1, 2} {
+		cfg := gcm.DefaultConfig()
+		cfg.NumQueries = n
+		cfg.Window = sc.window()
+		cfg.Rate = sc.Rate
+		w, err := gcm.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, sut := range spe.AllSUTs() {
+			res, err := runSUT(sc, sut, w, nil)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig13 %s %dq: %w", sut.Name(), n, err)
+			}
+			rows = append(rows, Fig13Row{SUT: sut.Name(), Queries: n, ThroughputMTps: res.Throughput / 1e6})
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig13 renders the GCM table.
+func PrintFig13(w io.Writer, rows []Fig13Row) {
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%s\t%d\t%.2f", r.SUT, r.Queries, r.ThroughputMTps))
+	}
+	table(w, "SUT\tqueries\tthroughput (M tuples/s)", out)
+}

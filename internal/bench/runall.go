@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunAll executes every figure harness and writes the tables to w in
+// paper order. cmd/figures uses it to regenerate EXPERIMENTS.md's
+// measured columns.
+func RunAll(sc Scale, w io.Writer) error {
+	section := func(title string) { fmt.Fprintf(w, "\n== %s ==\n", title) }
+
+	section("Figure 6: overall throughput, TPC-H workload")
+	cells, err := Fig6(sc)
+	if err != nil {
+		return err
+	}
+	PrintFig6(w, cells)
+
+	section("Figure 7: average event-time latency, TPC-H workload")
+	PrintFig7(w, cells)
+
+	section("Figure 8a/8b: optimizer runtime and accuracy")
+	f8, err := Fig8(sc)
+	if err != nil {
+		return err
+	}
+	PrintFig8a(w, f8)
+	fmt.Fprintln(w)
+	PrintFig8b(w, f8)
+
+	section("Figure 9: tuples reshuffled to source operators")
+	f9, err := Fig9(sc)
+	if err != nil {
+		return err
+	}
+	PrintFig9(w, f9)
+
+	section("Figure 10: overall throughput, AJoin workload")
+	f10, err := Fig10(sc)
+	if err != nil {
+		return err
+	}
+	PrintFig10(w, f10)
+
+	section("Figure 11: SASPAR+Flink throughput vs optimizer trigger interval")
+	f11, err := Fig11(sc)
+	if err != nil {
+		return err
+	}
+	PrintFig11(w, f11)
+
+	section("Figure 12a: heuristic impact breakdown")
+	f12a, err := Fig12a(sc)
+	if err != nil {
+		return err
+	}
+	PrintFig12a(w, f12a)
+
+	section("Figure 12b: JIT compilation overhead")
+	f12b, err := Fig12b(sc)
+	if err != nil {
+		return err
+	}
+	PrintFig12b(w, f12b)
+
+	section("Figure 13: overall throughput, GCM workload")
+	f13, err := Fig13(sc)
+	if err != nil {
+		return err
+	}
+	PrintFig13(w, f13)
+
+	section("ML microbenchmark: SharedWith prediction error vs splits")
+	mlRows, err := MLAccuracy(sc)
+	if err != nil {
+		return err
+	}
+	PrintML(w, mlRows)
+	return nil
+}

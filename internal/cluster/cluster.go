@@ -1,0 +1,190 @@
+// Package cluster models the physical substrate of the experiments: a
+// shared-nothing cluster of nodes, each with CPU cores and a NIC, as in
+// the paper's 8-node / 16-core / 10 GbE testbed. Hardware is simulated
+// (see DESIGN.md): nodes expose capacity meters that the virtual-time
+// engine charges per tick.
+package cluster
+
+import (
+	"fmt"
+
+	"saspar/internal/vtime"
+)
+
+// NodeID identifies a node in the cluster.
+type NodeID int32
+
+// Config describes one node's capacities. The defaults mirror the
+// paper's testbed shape: 16 cores at a fixed per-tuple processing cost,
+// and a 10 Gbps NIC.
+type Config struct {
+	Cores int // worker cores per node
+
+	// CPUPerCore is the compute capacity of one core in abstract
+	// "cpu-seconds per second" (always 1.0 unless derated for tests).
+	CPUPerCore float64
+
+	// NICBytesPerSec is the NIC bandwidth in each direction.
+	NICBytesPerSec float64
+}
+
+// DefaultConfig returns the paper-shaped node: 16 cores, 10 Gbps NIC.
+func DefaultConfig() Config {
+	return Config{
+		Cores:          16,
+		CPUPerCore:     1.0,
+		NICBytesPerSec: 10e9 / 8, // 10 Gbps -> bytes/sec
+	}
+}
+
+// Cluster is a set of identically configured nodes.
+type Cluster struct {
+	cfg   Config
+	nodes int
+	cpu   []*Meter // per node CPU meter, in cpu-seconds
+}
+
+// New builds a cluster of n nodes with the given per-node config.
+func New(n int, cfg Config) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive node count %d", n))
+	}
+	if cfg.Cores <= 0 || cfg.CPUPerCore <= 0 || cfg.NICBytesPerSec <= 0 {
+		panic("cluster: config fields must be positive")
+	}
+	c := &Cluster{cfg: cfg, nodes: n, cpu: make([]*Meter, n)}
+	for i := range c.cpu {
+		c.cpu[i] = NewMeter(float64(cfg.Cores) * cfg.CPUPerCore)
+	}
+	return c
+}
+
+// NumNodes reports the cluster size.
+func (c *Cluster) NumNodes() int { return c.nodes }
+
+// Config returns the per-node configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// CPU returns node n's CPU meter.
+func (c *Cluster) CPU(n NodeID) *Meter { return c.cpu[n] }
+
+// BeginTick refreshes every node's CPU budget for a tick of length dt.
+func (c *Cluster) BeginTick(dt vtime.Duration) {
+	for _, m := range c.cpu {
+		m.BeginTick(dt)
+	}
+}
+
+// Meter is a per-tick token bucket for a rate-limited resource (CPU
+// seconds, NIC bytes). Capacity is refilled at BeginTick; consumers draw
+// down the remaining budget within the tick. Demand beyond the budget is
+// reported so callers can model queueing delay and backpressure.
+type Meter struct {
+	ratePerSec float64 // capacity per second of virtual time
+	remaining  float64 // budget left in the current tick
+	tickCap    float64 // full budget of the current tick
+	used       float64 // cumulative usage (for utilization metrics)
+	elapsed    float64 // cumulative tick seconds (for utilization metrics)
+}
+
+// NewMeter returns a meter producing ratePerSec units per virtual second.
+func NewMeter(ratePerSec float64) *Meter {
+	if ratePerSec <= 0 {
+		panic("cluster: meter rate must be positive")
+	}
+	return &Meter{ratePerSec: ratePerSec}
+}
+
+// Rate reports the meter's capacity per virtual second.
+func (m *Meter) Rate() float64 { return m.ratePerSec }
+
+// BeginTick refills the budget for a tick of length dt.
+func (m *Meter) BeginTick(dt vtime.Duration) {
+	m.tickCap = m.ratePerSec * dt.Seconds()
+	m.remaining = m.tickCap
+	m.elapsed += dt.Seconds()
+}
+
+// Take draws up to amount units from the tick budget and returns how
+// much was actually granted.
+func (m *Meter) Take(amount float64) float64 {
+	if amount <= 0 {
+		return 0
+	}
+	g := amount
+	if g > m.remaining {
+		g = m.remaining
+	}
+	m.remaining -= g
+	m.used += g
+	return g
+}
+
+// Remaining reports the unconsumed budget in the current tick.
+func (m *Meter) Remaining() float64 { return m.remaining }
+
+// Utilization reports lifetime used capacity as a fraction of offered
+// capacity (0 when no ticks have elapsed).
+func (m *Meter) Utilization() float64 {
+	if m.elapsed == 0 {
+		return 0
+	}
+	return m.used / (m.ratePerSec * m.elapsed)
+}
+
+// Placement maps logical entities (partitions, source tasks) onto nodes.
+// Round-robin placement matches how Flink spreads subtasks across
+// TaskManagers by default.
+type Placement struct {
+	partitionNode []NodeID
+	sourceNode    []NodeID
+	numNodes      int
+}
+
+// PlaceRoundRobin spreads numPartitions partition slots and numSources
+// physical source tasks across the cluster's nodes round-robin,
+// interleaving sources and partitions so both kinds of work share nodes
+// (as in the paper's Fig. 2d, where a node hosts a source and a local
+// executor).
+func (c *Cluster) PlaceRoundRobin(numPartitions, numSources int) Placement {
+	p := Placement{
+		partitionNode: make([]NodeID, numPartitions),
+		sourceNode:    make([]NodeID, numSources),
+		numNodes:      c.nodes,
+	}
+	for i := 0; i < numPartitions; i++ {
+		p.partitionNode[i] = NodeID(i % c.nodes)
+	}
+	for i := 0; i < numSources; i++ {
+		p.sourceNode[i] = NodeID(i % c.nodes)
+	}
+	return p
+}
+
+// PartitionNode returns the node hosting partition slot i.
+func (p Placement) PartitionNode(i int) NodeID { return p.partitionNode[i] }
+
+// SourceNode returns the node hosting physical source task i.
+func (p Placement) SourceNode(i int) NodeID { return p.sourceNode[i] }
+
+// NumPartitions reports how many partition slots are placed.
+func (p Placement) NumPartitions() int { return len(p.partitionNode) }
+
+// NumSources reports how many source tasks are placed.
+func (p Placement) NumSources() int { return len(p.sourceNode) }
+
+// LocalFraction returns, for source task s, the fraction of partitions
+// co-located with it — the share of traffic that travels over shared
+// memory rather than the network (the Lat_p selection of Table I).
+func (p Placement) LocalFraction(s int) float64 {
+	if len(p.partitionNode) == 0 {
+		return 0
+	}
+	n := 0
+	for _, pn := range p.partitionNode {
+		if pn == p.sourceNode[s] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.partitionNode))
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+
+	"saspar/internal/vtime"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		cfg  Config
+	}{
+		{"zero nodes", 0, DefaultConfig()},
+		{"no cores", 2, Config{Cores: 0, CPUPerCore: 1, NICBytesPerSec: 1}},
+		{"no cpu", 2, Config{Cores: 1, CPUPerCore: 0, NICBytesPerSec: 1}},
+		{"no nic", 2, Config{Cores: 1, CPUPerCore: 1, NICBytesPerSec: 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			New(tc.n, tc.cfg)
+		})
+	}
+}
+
+func TestMeterBudgetPerTick(t *testing.T) {
+	m := NewMeter(100) // 100 units/sec
+	m.BeginTick(100 * vtime.Millisecond)
+	if got := m.Remaining(); got != 10 {
+		t.Fatalf("tick budget = %v, want 10", got)
+	}
+	if g := m.Take(4); g != 4 {
+		t.Fatalf("Take(4) granted %v", g)
+	}
+	if g := m.Take(20); g != 6 {
+		t.Fatalf("Take beyond budget granted %v, want 6", g)
+	}
+	if g := m.Take(1); g != 0 {
+		t.Fatalf("Take from empty granted %v", g)
+	}
+	// Budget does not carry over.
+	m.BeginTick(100 * vtime.Millisecond)
+	if got := m.Remaining(); got != 10 {
+		t.Fatalf("budget after refill = %v, want 10", got)
+	}
+}
+
+func TestMeterUtilization(t *testing.T) {
+	m := NewMeter(100)
+	m.BeginTick(vtime.Second)
+	m.Take(50)
+	if u := m.Utilization(); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	m.BeginTick(vtime.Second)
+	if u := m.Utilization(); u != 0.25 {
+		t.Fatalf("utilization after idle tick = %v, want 0.25", u)
+	}
+}
+
+func TestMeterTakeIgnoresNonPositive(t *testing.T) {
+	m := NewMeter(10)
+	m.BeginTick(vtime.Second)
+	if g := m.Take(0); g != 0 {
+		t.Fatalf("Take(0) = %v", g)
+	}
+	if g := m.Take(-5); g != 0 {
+		t.Fatalf("Take(-5) = %v", g)
+	}
+	if m.Remaining() != 10 {
+		t.Fatal("non-positive take consumed budget")
+	}
+}
+
+func TestClusterBeginTickRefillsAllNodes(t *testing.T) {
+	c := New(3, Config{Cores: 2, CPUPerCore: 1, NICBytesPerSec: 1e9})
+	c.BeginTick(500 * vtime.Millisecond)
+	for i := 0; i < c.NumNodes(); i++ {
+		if got := c.CPU(NodeID(i)).Remaining(); got != 1 { // 2 cores * 0.5s
+			t.Fatalf("node %d budget = %v, want 1", i, got)
+		}
+	}
+}
+
+func TestPlaceRoundRobin(t *testing.T) {
+	c := New(4, DefaultConfig())
+	p := c.PlaceRoundRobin(10, 4)
+	if p.NumPartitions() != 10 || p.NumSources() != 4 {
+		t.Fatalf("placement sizes wrong: %d partitions, %d sources", p.NumPartitions(), p.NumSources())
+	}
+	counts := map[NodeID]int{}
+	for i := 0; i < 10; i++ {
+		counts[p.PartitionNode(i)]++
+	}
+	for node, c := range counts {
+		if c < 2 || c > 3 {
+			t.Fatalf("node %d hosts %d partitions, want 2-3", node, c)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if p.SourceNode(i) != NodeID(i) {
+			t.Fatalf("source %d on node %d, want %d", i, p.SourceNode(i), i)
+		}
+	}
+}
+
+func TestLocalFraction(t *testing.T) {
+	c := New(4, DefaultConfig())
+	p := c.PlaceRoundRobin(8, 4) // 2 partitions per node
+	for s := 0; s < 4; s++ {
+		if got := p.LocalFraction(s); got != 0.25 {
+			t.Fatalf("LocalFraction(%d) = %v, want 0.25", s, got)
+		}
+	}
+	// No partitions at all -> zero local traffic.
+	empty := c.PlaceRoundRobin(0, 1)
+	if got := empty.LocalFraction(0); got != 0 {
+		t.Fatalf("LocalFraction with no partitions = %v, want 0", got)
+	}
+}

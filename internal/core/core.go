@@ -1,0 +1,437 @@
+// Package core is SASPAR itself: the versatile layer that sits on top
+// of a stream processing engine (Section I-C). It wires together the
+// statistics collector, the ML-backed SharedWith estimator, the
+// MIP+heuristics optimizer, and the adaptive-query-execution controller
+// into one periodic control loop over a running engine:
+//
+//	collect stats → (optionally) train random forest → build the
+//	optimization request → solve (Algorithm 1) → if the new plan beats
+//	the current one, swap it in live via the AQE protocol.
+//
+// A System with Enabled=false is the vanilla SUT: same engine, same
+// queries, per-query partitioning, no optimizer — the paper's baseline
+// in every comparison.
+package core
+
+import (
+	"fmt"
+
+	"saspar/internal/aqe"
+	"saspar/internal/engine"
+	"saspar/internal/keyspace"
+	"saspar/internal/ml"
+	"saspar/internal/optimizer"
+	"saspar/internal/stats"
+	"saspar/internal/vtime"
+)
+
+// Config controls the SASPAR layer.
+type Config struct {
+	// Enabled turns the layer on; false runs the vanilla SPE.
+	Enabled bool
+
+	// TriggerInterval is how often the optimizer fires (Fig. 11; the
+	// paper found 4 virtual minutes best and uses it throughout).
+	TriggerInterval vtime.Duration
+
+	// SampleEvery samples one of every N concrete tuples for
+	// statistics.
+	SampleEvery int
+
+	// MinSamples gates optimization: with fewer sampled tuples the
+	// statistics are too noisy to act on.
+	MinSamples int
+
+	// DriftTrigger, when > 0, fires the optimizer early — before the
+	// periodic interval — once any stream's key-group distribution has
+	// drifted by this L1 distance from the previous epoch (the paper's
+	// "triggers the optimizer when the objective is beyond the allowed
+	// threshold", driven by the statistic that moves the objective).
+	// Early triggers still respect a quarter-interval cooldown.
+	DriftTrigger float64
+
+	// MinImprovement is the relative objective gain required before a
+	// new plan replaces the running one (hysteresis against churn).
+	MinImprovement float64
+
+	// PlanHorizon is how many statistics epochs a new plan is expected
+	// to stay in force. A plan is applied only when its per-epoch gain
+	// times the horizon exceeds the one-time cost of moving the window
+	// state of every re-assigned key group (the reshuffle of Fig. 9) —
+	// this keeps reconfigurations incremental instead of wholesale.
+	PlanHorizon float64
+
+	// UseML replaces exact SharedWith statistics with random-forest
+	// predictions once MLMinSamples tuples have been seen (Section IV).
+	UseML        bool
+	MLMinSamples int
+	MLForestSize int
+
+	// Opt are the Algorithm 1 solver controls.
+	Opt optimizer.Options
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		Enabled:         true,
+		TriggerInterval: 4 * vtime.Minute,
+		SampleEvery:     4,
+		MinSamples:      64,
+		MinImprovement:  0.01,
+		PlanHorizon:     4,
+		MLMinSamples:    4096,
+		MLForestSize:    30,
+	}
+}
+
+// System is one running system under test: an engine plus (optionally)
+// the SASPAR layer.
+type System struct {
+	eng *engine.Engine
+	col *stats.Collector
+	ctl *aqe.Controller
+	cfg Config
+
+	lastTrigger   vtime.Time
+	lastEpoch     vtime.Time
+	triggers      int
+	driftTriggers int
+	skipped       int // optimizations whose plan was not worth applying
+	// skip diagnostics
+	skippedByGain, skippedByMove int
+	lastCurObj, lastNewObj       float64
+	lastMoveCost                 float64
+	lastMoved                    int
+	results                      []*optimizer.Result
+	forests                      []*ml.Forest // per stream, when UseML
+	streamBytes                  []float64    // per stream tuple size (for cost coefficients)
+}
+
+// New builds a system. The engine's Shared flag is forced to match
+// cfg.Enabled: the SASPAR layer owns the shared partitioner.
+func New(engCfg engine.Config, streams []engine.StreamDef, queries []engine.QuerySpec, cfg Config) (*System, error) {
+	engCfg.Shared = cfg.Enabled
+	eng, err := engine.New(engCfg, streams, queries)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{eng: eng, ctl: aqe.New(eng), cfg: cfg}
+	for _, sd := range streams {
+		s.streamBytes = append(s.streamBytes, sd.BytesPerTuple)
+	}
+	if cfg.Enabled {
+		if cfg.SampleEvery <= 0 {
+			return nil, fmt.Errorf("core: SampleEvery must be positive when enabled")
+		}
+		if cfg.TriggerInterval <= 0 {
+			return nil, fmt.Errorf("core: TriggerInterval must be positive when enabled")
+		}
+		scale := float64(cfg.SampleEvery) * engCfg.TupleWeight
+		s.col = stats.NewCollector(len(streams), engCfg.NumGroups, scale)
+		eng.SetSampler(s.col, cfg.SampleEvery)
+	}
+	return s, nil
+}
+
+// Engine exposes the underlying engine (rates, metrics, results).
+func (s *System) Engine() *engine.Engine { return s.eng }
+
+// Collector exposes the statistics collector (nil when disabled).
+func (s *System) Collector() *stats.Collector { return s.col }
+
+// Controller exposes the AQE controller.
+func (s *System) Controller() *aqe.Controller { return s.ctl }
+
+// Triggers reports how many times the optimizer fired.
+func (s *System) Triggers() int { return s.triggers }
+
+// SkippedPlans reports optimizations whose result was not worth a
+// reconfiguration.
+func (s *System) SkippedPlans() int { return s.skipped }
+
+// SkipDiagnostics reports why plans were skipped and the last
+// objective comparison (gain-gated, movement-gated, current objective,
+// proposed objective, movement cost).
+func (s *System) SkipDiagnostics() (byGain, byMove int, curObj, newObj, moveCost float64) {
+	return s.skippedByGain, s.skippedByMove, s.lastCurObj, s.lastNewObj, s.lastMoveCost
+}
+
+// Optimizations returns the optimizer results so far.
+func (s *System) Optimizations() []*optimizer.Result { return s.results }
+
+// AddQuery registers an ad-hoc query at run time. Statistics are reset
+// (route-class identities shift with the plan), so the next trigger
+// optimizes with fresh samples covering the newcomer.
+func (s *System) AddQuery(spec engine.QuerySpec) (int, error) {
+	qi, err := s.eng.AddQuery(spec)
+	if err != nil {
+		return 0, err
+	}
+	if s.col != nil {
+		s.col.Reset(s.eng.Clock())
+	}
+	return qi, nil
+}
+
+// RemoveQuery retires an ad-hoc query at run time.
+func (s *System) RemoveQuery(qi int) error {
+	if err := s.eng.RemoveQuery(qi); err != nil {
+		return err
+	}
+	if s.col != nil {
+		s.col.Reset(s.eng.Clock())
+	}
+	return nil
+}
+
+// Run advances the system by d of virtual time, firing the optimizer
+// on its trigger interval and pumping the AQE controller.
+func (s *System) Run(d vtime.Duration) {
+	tick := s.eng.Config().Tick
+	end := s.eng.Clock().Add(d)
+	for s.eng.Clock() < end {
+		s.eng.Run(tick)
+		s.ctl.Poll()
+		if !s.cfg.Enabled || s.ctl.Busy() {
+			continue
+		}
+		since := s.eng.Clock().Sub(s.lastTrigger)
+		if since >= s.cfg.TriggerInterval {
+			s.TriggerNow()
+			continue
+		}
+		if s.cfg.DriftTrigger > 0 && since >= s.cfg.TriggerInterval/4 {
+			if s.maxDrift() > s.cfg.DriftTrigger {
+				s.driftTriggers++
+				s.TriggerNow()
+			} else if s.eng.Clock().Sub(s.lastEpoch) >= s.cfg.TriggerInterval/4 {
+				// Roll the statistics epoch so drift stays measurable
+				// against a recent baseline even before any trigger.
+				s.col.Reset(s.eng.Clock())
+				s.lastEpoch = s.eng.Clock()
+			}
+		}
+	}
+}
+
+// maxDrift reports the largest per-stream distribution drift since the
+// previous statistics epoch.
+func (s *System) maxDrift() float64 {
+	var worst float64
+	for st := 0; st < s.eng.NumStreams(); st++ {
+		if d := s.col.Drift(st); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// DriftTriggers reports how many optimizations fired early on the
+// drift signal rather than the periodic interval.
+func (s *System) DriftTriggers() int { return s.driftTriggers }
+
+// TriggerNow runs one optimization round immediately (the periodic
+// trigger calls this; benchmarks may too).
+func (s *System) TriggerNow() {
+	s.lastTrigger = s.eng.Clock()
+	if !s.cfg.Enabled || s.ctl.Busy() {
+		return
+	}
+	if s.col.Samples() < s.cfg.MinSamples {
+		return
+	}
+	s.triggers++
+
+	req, classes := s.buildRequest()
+	if req == nil || len(req.Queries) == 0 {
+		return
+	}
+	// Score the running plan for the hysteresis comparison.
+	cur := make([]*keyspace.Assignment, len(classes))
+	for i, cc := range classes {
+		cur[i] = s.eng.Assignment(cc.members[0])
+	}
+	curObj, err := optimizer.Score(req, cur)
+	if err != nil {
+		return
+	}
+	o := s.cfg.Opt
+	o.Anchor = cur // incremental plans: move only groups that pay
+	if h := s.cfg.PlanHorizon; h > 0 {
+		// Moving a key group re-ships its in-window state through the
+		// network twice; amortized over the plan's expected lifetime
+		// (h statistics epochs), that is the per-tuple move cost the
+		// solver weighs against the sharing/balance gain.
+		interval := s.cfg.TriggerInterval.Seconds()
+		o.MoveCost = make([]float64, len(classes))
+		for i, cc := range classes {
+			rangeSec := s.eng.QuerySpecOf(cc.members[0]).Window.Range.Seconds()
+			o.MoveCost[i] = (rangeSec / interval) * 2 * req.LatNet / h
+		}
+	}
+	res, err := optimizer.Optimize(req, o)
+	if err != nil {
+		return
+	}
+	s.results = append(s.results, res)
+	s.lastCurObj, s.lastNewObj = curObj, res.Objective
+	if res.Objective >= curObj*(1-s.cfg.MinImprovement) {
+		s.skipped++
+		s.skippedByGain++
+		s.col.Reset(s.eng.Clock())
+		return
+	}
+	// No separate movement gate: res.Objective already includes the
+	// amortized movement cost (the solver optimizes gain minus moves),
+	// so the MinImprovement comparison above is the whole decision.
+	newAssign := map[int]*keyspace.Assignment{}
+	for i, cc := range classes {
+		for _, qi := range cc.members {
+			// Members of a canonical class share one assignment object,
+			// so the engine's route classes stay collapsed.
+			newAssign[qi] = res.Assign[i]
+		}
+	}
+	if _, err := s.ctl.Begin(newAssign); err == nil {
+		s.col.Reset(s.eng.Clock())
+	}
+}
+
+// canonicalClass groups queries whose partitioning decisions are
+// interchangeable: identical input streams, key columns, and filters.
+type canonicalClass struct {
+	members []int // engine query indexes
+}
+
+// buildRequest assembles the optimizer request from current statistics.
+func (s *System) buildRequest() (*optimizer.Request, []canonicalClass) {
+	eng := s.eng
+	ecfg := eng.Config()
+
+	// Canonicalize queries by partitioning signature.
+	bySig := map[string]int{}
+	var classes []canonicalClass
+	for qi := 0; qi < eng.NumQueries(); qi++ {
+		if !eng.QueryActive(qi) {
+			continue
+		}
+		spec := eng.QuerySpecOf(qi)
+		sig := ""
+		for _, in := range spec.Inputs {
+			sig += fmt.Sprintf("|s%d k%v f%d", in.Stream, in.Key, in.FilterID)
+		}
+		ci, ok := bySig[sig]
+		if !ok {
+			ci = len(classes)
+			bySig[sig] = ci
+			classes = append(classes, canonicalClass{})
+		}
+		classes[ci].members = append(classes[ci].members, qi)
+	}
+
+	// Latency coefficients are per-tuple occupancies, not propagation
+	// delays: what a tuple costs the system (serialization CPU plus its
+	// share of NIC bandwidth), so traffic and makespan terms trade off
+	// on comparable scales. Propagation latency is a constant offset
+	// that no assignment can change.
+	cost := ecfg.Cost
+	var avgBytes float64
+	for st := 0; st < eng.NumStreams(); st++ {
+		avgBytes += s.streamBytes[st]
+	}
+	avgBytes /= float64(eng.NumStreams())
+	wire := avgBytes / eng.Network().Bandwidth()
+	latNet := cost.SerCPU + cost.DeserCPU + wire
+	latMem := cost.RouteCPU + 0.01*wire
+	localFrac := eng.LocalFractions()
+	meanLat := 0.0
+	for _, lf := range localFrac {
+		meanLat += latNet*(1-lf) + latMem*lf
+	}
+	meanLat /= float64(len(localFrac))
+
+	// LatProc reflects the actual post-partition pipeline: operator
+	// insert cost (JoinCPU scaled by the profile, or AggCPU) plus
+	// result emission, doubled for window maintenance — a tuple is
+	// touched again when its windows close and compact. This is the
+	// "end-to-end" weighting Eq. 9 asks for; underweighting it makes
+	// the optimizer blind to load imbalance.
+	var opCPU float64
+	for qi := 0; qi < eng.NumQueries(); qi++ {
+		spec := eng.QuerySpecOf(qi)
+		if spec.Kind == engine.OpJoin {
+			f := ecfg.Profile.JoinCPUFactor
+			if f <= 0 {
+				f = 1
+			}
+			fan := spec.JoinFanout
+			if fan <= 0 {
+				fan = 0.25
+			}
+			opCPU += 2 * (cost.JoinCPU*f + cost.EmitCPU*fan)
+		} else {
+			opCPU += 2 * (cost.AggCPU + 0.1*cost.EmitCPU)
+		}
+	}
+	opCPU /= float64(eng.NumQueries())
+
+	req := &optimizer.Request{
+		NumPartitions: ecfg.NumPartitions,
+		NumGroups:     ecfg.NumGroups,
+		NumStreams:    eng.NumStreams(),
+		LocalFrac:     localFrac,
+		LatNet:        latNet,
+		LatMem:        latMem,
+		LatProc:       opCPU / meanLat,
+	}
+
+	// Train per-stream forests when the ML path is active.
+	var forests []*ml.Forest
+	useML := s.cfg.UseML && s.col.Samples() >= s.cfg.MLMinSamples
+	if useML {
+		forests = make([]*ml.Forest, eng.NumStreams())
+		for st := 0; st < eng.NumStreams(); st++ {
+			d := s.col.TrainingData(st)
+			if len(d.X) < 8 {
+				continue
+			}
+			f, err := ml.TrainForest(d, ml.ForestConfig{Trees: s.cfg.MLForestSize}, ecfg.Seed+int64(st))
+			if err == nil {
+				forests[st] = f
+			}
+		}
+		s.forests = forests
+	}
+
+	for _, cc := range classes {
+		rep := cc.members[0]
+		spec := eng.QuerySpecOf(rep)
+		q := optimizer.QueryStats{ID: spec.ID, Weight: float64(len(cc.members))}
+		for side := range spec.Inputs {
+			stream, classID := eng.ClassOf(rep, side)
+			card := s.col.CardVector(int(stream), classID)
+			var sw []float64
+			if useML && forests[int(stream)] != nil {
+				sw = s.col.PredictedSW(forests[int(stream)], int(stream), classID, s.col.Classes(int(stream)))
+			} else {
+				sw = s.col.SWVector(int(stream), classID)
+			}
+			q.Inputs = append(q.Inputs, optimizer.InputStats{Stream: int(stream), Card: card, SW: sw})
+		}
+		req.Queries = append(req.Queries, q)
+	}
+	return req, classes
+}
+
+// ExportRequest exposes the optimizer request built from the current
+// statistics together with each canonical class's representative query
+// index — a diagnostics hook for benchmarks and tests.
+func ExportRequest(s *System) (*optimizer.Request, []int) {
+	req, classes := s.buildRequest()
+	reps := make([]int, len(classes))
+	for i, cc := range classes {
+		reps[i] = cc.members[0]
+	}
+	return req, reps
+}

@@ -1,0 +1,149 @@
+// Package driver is the benchmark driver of Section V-A: it runs a
+// workload against one system under test at maximum sustainable
+// throughput and reports the paper's metrics. The paper's driver
+// generates at peak rate and relies on backpressure to find the
+// sustainable operating point; this driver does the same — offered
+// rates are set high, the engine's credit-based throttle converges, and
+// the measured steady-state processed rate *is* the sustainable
+// throughput. Experiments run three times (different seeds) and report
+// the average, as in the paper.
+package driver
+
+import (
+	"fmt"
+	"math"
+
+	"saspar/internal/core"
+	"saspar/internal/engine"
+	"saspar/internal/spe"
+	"saspar/internal/vtime"
+	"saspar/internal/workload"
+)
+
+// Config describes one benchmark run.
+type Config struct {
+	SUT      spe.SUT
+	Workload *workload.Workload
+
+	// Engine is the base engine configuration; the profile is replaced
+	// by the SUT's and Shared by the SASPAR flag.
+	Engine engine.Config
+	// Core is the SASPAR layer configuration; Enabled is forced to the
+	// SUT's SASPAR flag.
+	Core core.Config
+
+	// Warmup and Measure are the virtual-time phases.
+	Warmup  vtime.Duration
+	Measure vtime.Duration
+
+	// RateScale multiplies workload rates (1 = offered as defined;
+	// drivers usually offer beyond capacity and let backpressure find
+	// the sustainable point).
+	RateScale float64
+
+	// Repetitions averages this many runs with distinct seeds
+	// (default 3, the paper's setting).
+	Repetitions int
+}
+
+func (c *Config) withDefaults() {
+	if c.RateScale <= 0 {
+		c.RateScale = 1
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 3
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 5 * vtime.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 10 * vtime.Second
+	}
+}
+
+// Result aggregates a run's metrics over its repetitions.
+type Result struct {
+	SUT string
+
+	// Throughput is the paper's headline metric: sum of all queries'
+	// processed rates, in modelled tuples per virtual second.
+	Throughput    float64
+	ThroughputStd float64 // across repetitions
+
+	// AvgLatency is the mean event-time latency; LatencyStd the mean
+	// within-run standard deviation (the paper's error bars).
+	AvgLatency vtime.Duration
+	LatencyStd vtime.Duration
+
+	Reshuffled  float64 // tuples sent back to sources (Fig. 9)
+	JITCompiles float64
+	JITTime     vtime.Duration
+	BytesNet    float64
+	NetUtil     float64
+
+	Triggers int
+	Applied  int
+}
+
+// Run executes the benchmark.
+func Run(cfg Config) (*Result, error) {
+	cfg.withDefaults()
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("driver: no workload")
+	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{SUT: cfg.SUT.Name()}
+	var thr []float64
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		engCfg := cfg.Engine
+		engCfg.Profile = spe.Profile(cfg.SUT.Kind)
+		engCfg.Seed = cfg.Engine.Seed + int64(rep)*1000003 + 1
+		coreCfg := cfg.Core
+		coreCfg.Enabled = cfg.SUT.Saspar
+
+		sys, err := core.New(engCfg, cfg.Workload.Streams, cfg.Workload.Queries, coreCfg)
+		if err != nil {
+			return nil, fmt.Errorf("driver: %s rep %d: %w", cfg.SUT.Name(), rep, err)
+		}
+		cfg.Workload.ApplyRates(sys.Engine(), cfg.RateScale)
+
+		sys.Run(cfg.Warmup)
+		m := sys.Engine().Metrics()
+		m.StartMeasurement(sys.Engine().Clock())
+		netBefore := sys.Engine().Network().Stats().BytesNet
+		sys.Run(cfg.Measure)
+		m.StopMeasurement(sys.Engine().Clock())
+
+		t := m.OverallThroughput()
+		thr = append(thr, t)
+		res.Throughput += t
+		res.AvgLatency += m.AvgLatency()
+		res.LatencyStd += m.LatencyStddev()
+		res.Reshuffled += m.Reshuffled()
+		res.JITCompiles += float64(m.JITCompiles())
+		res.JITTime += m.JITTime()
+		res.BytesNet += sys.Engine().Network().Stats().BytesNet - netBefore
+		res.NetUtil += sys.Engine().Network().Stats().Utilization
+		res.Triggers += sys.Triggers()
+		res.Applied += sys.Controller().Applied()
+	}
+	n := float64(cfg.Repetitions)
+	res.Throughput /= n
+	res.AvgLatency /= vtime.Duration(n)
+	res.LatencyStd /= vtime.Duration(n)
+	res.Reshuffled /= n
+	res.JITCompiles /= n
+	res.JITTime /= vtime.Duration(n)
+	res.BytesNet /= n
+	res.NetUtil /= n
+
+	var varsum float64
+	for _, t := range thr {
+		varsum += (t - res.Throughput) * (t - res.Throughput)
+	}
+	res.ThroughputStd = math.Sqrt(varsum / n)
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package driver
+
+import (
+	"testing"
+
+	"saspar/internal/core"
+	"saspar/internal/engine"
+	"saspar/internal/optimizer"
+	"saspar/internal/spe"
+	"saspar/internal/tpch"
+	"saspar/internal/vtime"
+	"saspar/internal/workload"
+)
+
+func quickEngine() engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.NumPartitions = 8
+	cfg.NumGroups = 32
+	cfg.SourceTasks = 4
+	cfg.TupleWeight = 500
+	cfg.Tick = 100 * vtime.Millisecond
+	return cfg
+}
+
+func quickCore() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.TriggerInterval = 3 * vtime.Second
+	cfg.Opt = optimizer.Options{Timeout: 100 * 1e6, MaxNodes: 10000}
+	return cfg
+}
+
+func quickWorkload(t *testing.T, queries int) *workload.Workload {
+	t.Helper()
+	cfg := tpch.DefaultConfig()
+	cfg.Queries = tpch.QuerySubset(queries)
+	cfg.Window = engine.WindowSpec{Range: 2 * vtime.Second, Slide: 2 * vtime.Second}
+	cfg.LineitemRate = 30e6
+	w, err := tpch.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunVanillaAndSaspar(t *testing.T) {
+	w := quickWorkload(t, 4)
+	base := Config{
+		Workload: w,
+		Engine:   quickEngine(),
+		Core:     quickCore(),
+		Warmup:   3 * vtime.Second,
+		Measure:  5 * vtime.Second,
+	}
+
+	base.SUT = spe.SUT{Kind: spe.Flink}
+	vanilla, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.SUT = spe.SUT{Kind: spe.Flink, Saspar: true}
+	base.Repetitions = 1
+	saspar, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if vanilla.Throughput <= 0 || saspar.Throughput <= 0 {
+		t.Fatalf("non-positive throughput: %v / %v", vanilla.Throughput, saspar.Throughput)
+	}
+	if vanilla.SUT != "Flink" || saspar.SUT != "SASPAR+Flink" {
+		t.Fatalf("SUT names: %q / %q", vanilla.SUT, saspar.SUT)
+	}
+	// With 4 network-bound queries over shared sources, the SASPAR-ed
+	// run must sustain more total throughput.
+	if saspar.Throughput < vanilla.Throughput {
+		t.Fatalf("SASPAR %v below vanilla %v on a shareable workload", saspar.Throughput, vanilla.Throughput)
+	}
+	if vanilla.Triggers != 0 {
+		t.Fatal("vanilla run triggered the optimizer")
+	}
+	if saspar.Triggers == 0 {
+		t.Fatal("SASPAR run never triggered the optimizer")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("missing workload accepted")
+	}
+}
+
+func TestRepetitionsAveraged(t *testing.T) {
+	w := quickWorkload(t, 2)
+	cfg := Config{
+		SUT:         spe.SUT{Kind: spe.Flink},
+		Workload:    w,
+		Engine:      quickEngine(),
+		Core:        quickCore(),
+		Warmup:      2 * vtime.Second,
+		Measure:     3 * vtime.Second,
+		Repetitions: 3,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+	// Different seeds should produce a nonzero (but small) spread.
+	if res.ThroughputStd > res.Throughput/2 {
+		t.Fatalf("throughput spread %v too large vs mean %v", res.ThroughputStd, res.Throughput)
+	}
+}

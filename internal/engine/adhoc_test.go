@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"testing"
+
+	"saspar/internal/keyspace"
+	"saspar/internal/vtime"
+)
+
+// Ad-hoc query arrival and removal at run time (the AJoin workload's
+// defining behaviour).
+
+func TestAddQueryMidRun(t *testing.T) {
+	cfg := lightConfig()
+	e, err := New(cfg, []StreamDef{testStream("s", 16)}, []QuerySpec{aggQuery("q0", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 200)
+	e.Run(4 * vtime.Second)
+
+	qi, err := e.AddQuery(aggQuery("q1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qi != 1 {
+		t.Fatalf("new query index %d, want 1", qi)
+	}
+	e.Run(6 * vtime.Second)
+
+	rs := e.Results(qi)
+	if len(rs) == 0 {
+		t.Fatal("ad-hoc query emitted no results")
+	}
+	// The newcomer only covers windows after its arrival; no result may
+	// predate it (it would be incomplete).
+	for _, r := range rs {
+		if r.Win < vtime.Time(4*vtime.Second) {
+			t.Fatalf("ad-hoc query emitted pre-arrival window %v", r.Win)
+		}
+	}
+	// The original query is unaffected: identical to an undisturbed run.
+	undisturbed := runExact(t, lightConfig(), 10*vtime.Second, nil)
+	got := append([]AggResult(nil), e.Results(0)...)
+	SortAggResults(got)
+	if len(got) != len(undisturbed) {
+		t.Fatalf("adding a query changed query 0's results: %d vs %d rows", len(got), len(undisturbed))
+	}
+}
+
+func TestAddQueryValidation(t *testing.T) {
+	cfg := lightConfig()
+	e, err := New(cfg, []StreamDef{testStream("s", 16)}, []QuerySpec{aggQuery("q0", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := aggQuery("bad", 0)
+	bad.Inputs[0].Stream = 9
+	if _, err := e.AddQuery(bad); err == nil {
+		t.Fatal("dangling stream reference accepted")
+	}
+	if e.NumQueries() != 1 {
+		t.Fatal("failed add left a tombstone")
+	}
+}
+
+func TestAddQueryRejectedDuringReconfig(t *testing.T) {
+	cfg := lightConfig()
+	e, err := New(cfg, []StreamDef{testStream("s", 16)}, []QuerySpec{aggQuery("q0", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 200)
+	e.Run(2 * vtime.Second)
+	if err := e.InjectReconfig(map[int]*keyspace.Assignment{0: moveSomeGroups(e)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddQuery(aggQuery("q1", 1)); err == nil {
+		t.Fatal("AddQuery accepted mid-reconfiguration")
+	}
+	if err := e.RemoveQuery(0); err == nil {
+		t.Fatal("RemoveQuery accepted mid-reconfiguration")
+	}
+}
+
+func TestRemoveQueryStopsItsTraffic(t *testing.T) {
+	cfg := lightConfig()
+	cfg.ExactWindows = false
+	qs := []QuerySpec{aggQuery("a", 0), aggQuery("b", 1)}
+	e, err := New(cfg, []StreamDef{testStream("s", 64)}, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 10000)
+	e.Run(3 * vtime.Second)
+	if err := e.RemoveQuery(1); err != nil {
+		t.Fatal(err)
+	}
+	if e.QueryActive(1) || !e.QueryActive(0) {
+		t.Fatal("active flags wrong after removal")
+	}
+	e.Run(vtime.Second) // drain entries shipped under the old plan
+	e.Metrics().StartMeasurement(e.Clock())
+	e.Run(4 * vtime.Second)
+	e.Metrics().StopMeasurement(e.Clock())
+	if got := e.Metrics().QueryThroughput(1); got != 0 {
+		t.Fatalf("removed query still processed %v tuples/s", got)
+	}
+	if got := e.Metrics().QueryThroughput(0); got < 9000 {
+		t.Fatalf("surviving query throughput %v collapsed", got)
+	}
+	// Removing again fails cleanly.
+	if err := e.RemoveQuery(1); err == nil {
+		t.Fatal("double removal accepted")
+	}
+}
+
+func TestRemoveQueryReducesWireBytes(t *testing.T) {
+	// Two identical queries unshared ship two copies; removing one must
+	// halve steady-state wire bytes.
+	cfg := lightConfig()
+	cfg.ExactWindows = false
+	qs := []QuerySpec{aggQuery("a", 0), aggQuery("b", 0)}
+	e, err := New(cfg, []StreamDef{testStream("s", 64)}, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 10000)
+	e.Run(3 * vtime.Second)
+	before := e.Network().Stats().BytesNet
+	e.Run(3 * vtime.Second)
+	two := e.Network().Stats().BytesNet - before
+	if err := e.RemoveQuery(1); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(vtime.Second) // drain
+	before = e.Network().Stats().BytesNet
+	e.Run(3 * vtime.Second)
+	one := e.Network().Stats().BytesNet - before
+	if ratio := two / one; ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("byte ratio after removal = %.2f, want ~2", ratio)
+	}
+}
+
+func TestAdhocReconfigAfterAddStillCorrect(t *testing.T) {
+	// Add a query, then live-re-partition it: the full lifecycle.
+	cfg := lightConfig()
+	e, err := New(cfg, []StreamDef{testStream("s", 16)}, []QuerySpec{aggQuery("q0", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 200)
+	e.Run(3 * vtime.Second)
+	qi, err := e.AddQuery(aggQuery("q1", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(3 * vtime.Second)
+	na := e.Assignment(qi).Clone()
+	for g := 0; g < na.NumGroups(); g += 2 {
+		na.Set(keyspace.GroupID(g), (na.Partition(keyspace.GroupID(g))+1)%keyspace.PartitionID(cfg.NumPartitions))
+	}
+	if err := e.InjectReconfig(map[int]*keyspace.Assignment{qi: na}); err != nil {
+		t.Fatal(err)
+	}
+	epoch := e.Epoch()
+	for i := 0; i < 200 && !e.ReconfigComplete(epoch); i++ {
+		e.Run(cfg.Tick)
+	}
+	if !e.ReconfigComplete(epoch) {
+		t.Fatal("reconfiguration of an ad-hoc query never completed")
+	}
+	e.Run(4 * vtime.Second)
+	// Both queries read the same stream by the same key: their results
+	// for windows both covered must agree.
+	a, b := e.Results(0), e.Results(qi)
+	if len(b) == 0 {
+		t.Fatal("ad-hoc query emitted nothing")
+	}
+	sums := map[vtime.Time]map[uint64]float64{}
+	for _, r := range a {
+		if sums[r.Win] == nil {
+			sums[r.Win] = map[uint64]float64{}
+		}
+		sums[r.Win][r.Key] = r.Sum
+	}
+	for _, r := range b {
+		if want, ok := sums[r.Win][r.Key]; ok && want != r.Sum {
+			t.Fatalf("window %v key %d: ad-hoc sum %v != original %v", r.Win, r.Key, r.Sum, want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"testing"
+
+	"saspar/internal/keyspace"
+	"saspar/internal/vtime"
+)
+
+// slowCPUConfig builds a cluster whose slots cannot keep up with the
+// offered load, so ingress buffers are the binding resource.
+func slowCPUConfig() Config {
+	cfg := lightConfig()
+	cfg.ExactWindows = false
+	cfg.NodeConfig.Cores = 1
+	cfg.NodeConfig.CPUPerCore = 0.02 // 20ms of CPU per second
+	return cfg
+}
+
+func TestIngressBufferBoundsBacklog(t *testing.T) {
+	cfg := slowCPUConfig()
+	e, err := New(cfg, []StreamDef{testStream("s", 64)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 1e6)
+	e.Run(20 * vtime.Second)
+	for n := 0; n < cfg.Nodes; n++ {
+		if got := e.inboxBytes[cluster0(n)]; got > inboxCapBytes*1.05 {
+			t.Fatalf("node %d ingress buffer %v exceeds cap %v", n, got, float64(inboxCapBytes))
+		}
+		if got := e.inboxBytes[cluster0(n)]; got < 0 {
+			t.Fatalf("node %d ingress accounting went negative: %v", n, got)
+		}
+	}
+}
+
+func TestMarkerAlignmentCompletesUnderOverload(t *testing.T) {
+	// The liveness property receiver-side backpressure buys: even with
+	// slots drowning in work, a reconfiguration must complete — markers
+	// sit behind a bounded, not unbounded, backlog.
+	cfg := slowCPUConfig()
+	e, err := New(cfg, []StreamDef{testStream("s", 64)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 1e6)
+	e.Run(10 * vtime.Second)
+	na := e.Assignment(0).Clone()
+	for g := 0; g < na.NumGroups(); g++ {
+		na.Set(keyspace.GroupID(g), (na.Partition(keyspace.GroupID(g))+1)%keyspace.PartitionID(cfg.NumPartitions))
+	}
+	if err := e.InjectReconfig(map[int]*keyspace.Assignment{0: na}); err != nil {
+		t.Fatal(err)
+	}
+	epoch := e.Epoch()
+	for i := 0; i < 3000 && !e.ReconfigComplete(epoch); i++ {
+		e.Run(cfg.Tick)
+	}
+	if !e.ReconfigComplete(epoch) {
+		t.Fatal("reconfiguration starved behind CPU overload — alignment liveness broken")
+	}
+}
+
+func cluster0(n int) int { return n }
+
+func TestInboxAccountingDrainsToZeroWhenIdle(t *testing.T) {
+	cfg := lightConfig()
+	cfg.ExactWindows = false
+	e, err := New(cfg, []StreamDef{testStream("s", 16)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 1000)
+	e.Run(5 * vtime.Second)
+	e.SetStreamRate(0, 0.000001) // effectively stop
+	e.Run(5 * vtime.Second)
+	for n := 0; n < cfg.Nodes; n++ {
+		if got := e.inboxBytes[n]; got > 1 || got < -1 {
+			t.Fatalf("node %d inbox not drained: %v bytes", n, got)
+		}
+	}
+}

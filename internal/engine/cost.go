@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"fmt"
+
+	"saspar/internal/vtime"
+)
+
+// CostModel holds the per-tuple resource costs charged against the
+// simulated cluster. The constants encode the same ordering the paper's
+// cost model assumes (Table I): network transfer with de-/serialization
+// (LatNet) is far more expensive than a shared-memory handoff (LatMem),
+// and partitioning dominates post-partition processing once several
+// queries copy the same stream.
+//
+// All CPU costs are in cpu-seconds per tuple; a node contributes
+// Cores × CPUPerCore cpu-seconds per second of virtual time.
+type CostModel struct {
+	GenCPU              float64 // source: produce one tuple
+	RouteCPU            float64 // partitioner: key hash + table lookup, per route class
+	SerCPU              float64 // serialize one physical copy for the wire
+	DeserCPU            float64 // deserialize one physical copy off the wire
+	AggCPU              float64 // windowed aggregation: fold one tuple into one query's state
+	JoinCPU             float64 // windowed join: probe+insert one tuple for one query
+	EmitCPU             float64 // emit one window result
+	BatchCPU            float64 // micro-batch engines: per-tuple stage scheduling overhead
+	SharedOverheadBytes float64 // extra wire bytes per additional query on a shared tuple (query-set encoding)
+
+	// CompileCost is the virtual-time cost of one JIT operator
+	// compilation (the Janino substitute; see DESIGN.md).
+	CompileCost vtime.Duration
+}
+
+// DefaultCostModel returns constants calibrated so that, on the default
+// 8-node cluster, a single TPC-H-shaped query is network-bound at a few
+// million tuples/s — matching the paper's claim that one Flink query
+// can saturate the NIC — while CPU headroom remains for post-partition
+// work of several queries.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		GenCPU:              0.05e-6,
+		RouteCPU:            0.05e-6,
+		SerCPU:              0.30e-6,
+		DeserCPU:            0.30e-6,
+		AggCPU:              0.25e-6,
+		JoinCPU:             0.50e-6,
+		EmitCPU:             0.25e-6,
+		BatchCPU:            0.10e-6,
+		SharedOverheadBytes: 4,
+		CompileCost:         10 * vtime.Millisecond,
+	}
+}
+
+func (c CostModel) validate() error {
+	if c.SerCPU < 0 || c.DeserCPU < 0 || c.AggCPU < 0 || c.JoinCPU < 0 {
+		return fmt.Errorf("engine: negative cost constants")
+	}
+	return nil
+}
+
+// Profile selects which of the three SPE architectures the engine
+// emulates. See internal/spe for the ready-made profiles.
+type Profile struct {
+	Name string
+
+	// MicroBatch switches the runtime to staged execution: routers
+	// buffer tuples and shuffle them in bursts at batch boundaries, and
+	// reconfiguration happens synchronously at those boundaries only
+	// (the Prompt/Spark model).
+	MicroBatch bool
+	// BatchInterval is the micro-batch length (ignored otherwise).
+	BatchInterval vtime.Duration
+
+	// SharedJoinCompute deduplicates post-partition join processing
+	// across queries over the same stream pair (the AJoin model): the
+	// join CPU for a route class is charged once instead of once per
+	// query. Partitioning itself is still per query unless SASPAR
+	// shares it.
+	SharedJoinCompute bool
+
+	// JoinDataShareFrac is the fraction of duplicate partition traffic
+	// AJoin's incremental join-group batching eliminates among
+	// *identical* join queries (same streams, key, filter): a route
+	// class of m join queries ships 1 + (1−frac)·(m−1) copies instead
+	// of m. SASPAR still wins on top by sharing across different
+	// classes and the remaining fraction. 0 disables (Flink/Prompt).
+	JoinDataShareFrac float64
+
+	// JoinCPUFactor scales JoinCPU (AJoin's specialised join pipeline
+	// is cheaper per tuple than a general-purpose operator chain).
+	JoinCPUFactor float64
+}
+
+func (p Profile) validate() error {
+	if p.MicroBatch && p.BatchInterval <= 0 {
+		return fmt.Errorf("engine: micro-batch profile %q needs a positive BatchInterval", p.Name)
+	}
+	return nil
+}
+
+// joinCPUFactor returns the effective join cost multiplier.
+func (p Profile) joinCPUFactor() float64 {
+	if p.JoinCPUFactor <= 0 {
+		return 1
+	}
+	return p.JoinCPUFactor
+}

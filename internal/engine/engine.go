@@ -1,0 +1,493 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"saspar/internal/cluster"
+	"saspar/internal/keyspace"
+	"saspar/internal/netsim"
+	"saspar/internal/vtime"
+)
+
+// Engine executes a set of continuous queries over a simulated cluster
+// in virtual time. One Engine instance is one "system under test" run:
+// a vanilla SPE when cfg.Shared is false, its SASPAR-ed counterpart
+// when true. The SASPAR control layer (internal/core) drives the
+// engine's statistics hooks and reconfiguration entry points.
+//
+// The engine is single-threaded by design: determinism is what makes
+// the AQE correctness tests and the figure reproductions exact.
+type Engine struct {
+	cfg     Config
+	streams []StreamDef
+	queries []*queryInst
+
+	space     keyspace.Space
+	cluster   *cluster.Cluster
+	net       *netsim.Network
+	placement cluster.Placement
+
+	plans []*streamPlan // per stream
+	tasks []*routerTask // all router tasks, stream-major
+	slots []*slot
+
+	clock   vtime.Time
+	epoch   int64
+	metrics *Metrics
+	rng     *rand.Rand
+
+	sampler       Sampler
+	sampleCounter sampleGate
+
+	qcount  []*qCounting
+	results [][]AggResult
+
+	// inboxBytes tracks per-node ingress buffer occupancy (delivered
+	// but unprocessed entries); full buffers refuse further sends —
+	// receiver-side backpressure, which also keeps marker alignment
+	// latency bounded under overload.
+	inboxBytes []float64
+
+	outstandingState int
+	alignedSlots     map[int64]int
+	inFlightEpoch    int64                        // reconfig epoch not yet complete (0 = none)
+	pendingReconfig  map[int]*keyspace.Assignment // micro-batch deferral
+}
+
+// New builds an engine. Queries that should share an assignment (e.g.
+// identical signatures grouped by the optimizer) may pass the same
+// *Assignment; otherwise each query starts from the consistent-hashing
+// ring's initial assignment.
+func New(cfg Config, streams []StreamDef, queries []QuerySpec) (*Engine, error) {
+	if err := cfg.validate(streams, queries); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:          cfg,
+		streams:      streams,
+		space:        keyspace.NewSpace(cfg.NumGroups),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		alignedSlots: map[int64]int{},
+	}
+	e.cluster = cluster.New(cfg.Nodes, cfg.NodeConfig)
+	e.net = netsim.New(e.cluster, cfg.Net)
+	e.placement = e.cluster.PlaceRoundRobin(cfg.NumPartitions, cfg.SourceTasks*len(streams))
+
+	ring := keyspace.NewRing(cfg.NumPartitions, 16)
+	initial := ring.InitialAssignment(e.space)
+	for i, q := range queries {
+		e.queries = append(e.queries, &queryInst{idx: i, spec: q, assign: initial.Clone()})
+	}
+	if err := e.rebuildPlans(); err != nil {
+		return nil, err
+	}
+
+	// Router tasks, stream-major, co-located with their source slots.
+	ti := 0
+	for si := range streams {
+		for t := 0; t < cfg.SourceTasks; t++ {
+			e.tasks = append(e.tasks, &routerTask{
+				idx:      ti,
+				stream:   StreamID(si),
+				task:     t,
+				node:     e.placement.SourceNode(ti),
+				gen:      streams[si].NewGenerator(t),
+				rng:      rand.New(rand.NewSource(cfg.Seed + int64(ti)*7919 + 1)),
+				throttle: 1,
+			})
+			ti++
+		}
+	}
+	for p := 0; p < cfg.NumPartitions; p++ {
+		e.slots = append(e.slots, newSlot(p, e.placement.PartitionNode(p), len(e.tasks)))
+	}
+
+	e.inboxBytes = make([]float64, cfg.Nodes)
+	e.metrics = newMetrics(len(queries))
+	e.qcount = make([]*qCounting, len(queries))
+	for i, q := range queries {
+		e.qcount[i] = newQCounting(len(q.Inputs), cfg.NumGroups)
+	}
+	e.results = make([][]AggResult, len(queries))
+	return e, nil
+}
+
+func (e *Engine) rebuildPlans() error {
+	plans := make([]*streamPlan, len(e.streams))
+	for si := range e.streams {
+		p, err := buildStreamPlan(StreamID(si), e.queries)
+		if err != nil {
+			return err
+		}
+		plans[si] = p
+	}
+	e.plans = plans
+
+	// Flow contention tracks the number of physical copy streams the
+	// partitioners maintain: one per member query without sharing, one
+	// per route class with it.
+	if e.net != nil && e.cfg.FlowContentionCoeff > 0 {
+		flows := 0.0
+		for _, p := range plans {
+			for _, rc := range p.classes {
+				if e.cfg.Shared {
+					flows++
+				} else {
+					flows += float64(len(rc.members))
+				}
+			}
+		}
+		e.net.SetFlowContention(flows, e.cfg.FlowContentionCoeff)
+	}
+	return nil
+}
+
+// SetStreamRate sets a logical stream's offered rate in modelled tuples
+// per virtual second, split evenly over its source tasks.
+func (e *Engine) SetStreamRate(s StreamID, tuplesPerSec float64) {
+	per := tuplesPerSec / float64(e.cfg.SourceTasks)
+	for _, rt := range e.tasks {
+		if rt.stream == s {
+			rt.rate = per
+		}
+	}
+}
+
+// SetSampler installs the statistics sampler: every `every`-th concrete
+// tuple per router task yields a SampleVec.
+func (e *Engine) SetSampler(s Sampler, every int) {
+	e.sampler = s
+	e.sampleCounter = sampleGate{every: every}
+}
+
+// Clock returns the current virtual time.
+func (e *Engine) Clock() vtime.Time { return e.clock }
+
+// Metrics returns the run metrics accumulator.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Network returns the simulated interconnect (for byte accounting).
+func (e *Engine) Network() *netsim.Network { return e.net }
+
+// Space returns the key-group space.
+func (e *Engine) Space() keyspace.Space { return e.space }
+
+// Config returns the run configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Assignment returns query qi's current assignment (read-only view).
+func (e *Engine) Assignment(qi int) *keyspace.Assignment { return e.queries[qi].assign }
+
+// Results returns the emitted exact-mode window results of query qi.
+func (e *Engine) Results(qi int) []AggResult { return e.results[qi] }
+
+// SourceAcceptedRate reports the cumulative accepted modelled tuple
+// rate across all sources (offered minus backpressure losses).
+func (e *Engine) SourceAcceptedRate() float64 {
+	if e.clock == 0 {
+		return 0
+	}
+	var acc float64
+	for _, rt := range e.tasks {
+		acc += rt.accepted
+	}
+	return acc / e.clock.Seconds()
+}
+
+// ClassOf reports the stream and route-class id serving query qi's
+// input side — the key the statistics collector indexes by.
+func (e *Engine) ClassOf(qi, side int) (StreamID, int) {
+	q := e.queries[qi]
+	s := q.spec.Inputs[side].Stream
+	for _, rc := range e.plans[s].classes {
+		for _, m := range rc.members {
+			if m.q.idx == qi && m.side == side {
+				return s, rc.id
+			}
+		}
+	}
+	panic(fmt.Sprintf("engine: query %d side %d not found in stream %d plan", qi, side, s))
+}
+
+// LocalFractions reports, per partition slot, the fraction of router
+// tasks co-located with it — the Lat_p blending input of Table I.
+func (e *Engine) LocalFractions() []float64 {
+	out := make([]float64, e.cfg.NumPartitions)
+	if len(e.tasks) == 0 {
+		return out
+	}
+	for p := range out {
+		n := 0
+		for _, rt := range e.tasks {
+			if rt.node == e.placement.PartitionNode(p) {
+				n++
+			}
+		}
+		out[p] = float64(n) / float64(len(e.tasks))
+	}
+	return out
+}
+
+// NumStreams reports the stream count.
+func (e *Engine) NumStreams() int { return len(e.streams) }
+
+// NumQueries reports the query count.
+func (e *Engine) NumQueries() int { return len(e.queries) }
+
+// QuerySpecOf returns query qi's specification.
+func (e *Engine) QuerySpecOf(qi int) QuerySpec { return e.queries[qi].spec }
+
+// ClassMembers reports, for every route class of a stream, the member
+// query indexes — the structural metadata the statistics collector and
+// optimizer consume.
+func (e *Engine) ClassMembers(s StreamID) [][]int {
+	plan := e.plans[s]
+	out := make([][]int, len(plan.classes))
+	for i, rc := range plan.classes {
+		for _, m := range rc.members {
+			out[i] = append(out[i], m.q.idx)
+		}
+	}
+	return out
+}
+
+// Run advances the simulation by d of virtual time.
+func (e *Engine) Run(d vtime.Duration) {
+	end := e.clock.Add(d)
+	for e.clock < end {
+		e.step()
+	}
+}
+
+// step advances one tick.
+func (e *Engine) step() {
+	dt := e.cfg.Tick
+	prev := e.clock
+	e.clock = e.clock.Add(dt)
+	e.cluster.BeginTick(dt)
+	e.net.BeginTick(dt)
+
+	boundary := true
+	if e.cfg.Profile.MicroBatch {
+		bi := vtime.Time(e.cfg.Profile.BatchInterval)
+		boundary = prev/bi != e.clock/bi
+	}
+	// Micro-batch: deferred reconfiguration applies synchronously at
+	// the materialization point (the paper's Prompt/Spark 3.x model).
+	if boundary && e.pendingReconfig != nil {
+		pr := e.pendingReconfig
+		e.pendingReconfig = nil
+		e.applyReconfig(pr)
+	}
+
+	// Slots drain before sources produce: downstream work gets first
+	// claim on node CPU, which is how backpressure (rather than
+	// producer starvation) regulates an overloaded pipeline. Rotate the
+	// order so CPU contention on a node is shared fairly across slots.
+	off := int(e.clock/vtime.Time(dt)) % len(e.slots)
+	for i := range e.slots {
+		e.slots[(i+off)%len(e.slots)].process(e)
+	}
+
+	for _, rt := range e.tasks {
+		rt.routeTick(e, dt)
+		if boundary {
+			rt.flushHeld(e)
+		}
+		if e.cfg.Profile.MicroBatch {
+			rt.shipDraining(e)
+		}
+		rt.heartbeat(e)
+	}
+}
+
+// enqueue places an entry on the (task, slot) edge and charges the
+// target node's ingress buffer.
+func (e *Engine) enqueue(rt *routerTask, en *entry) {
+	e.inboxBytes[e.slots[en.slot].node] += en.bytes
+	e.slots[en.slot].edges[rt.idx].push(en)
+}
+
+// inboxCapBytes bounds a node's ingress buffer (delivered, unprocessed
+// entries) — ~a dozen ticks of NIC line rate.
+const inboxCapBytes = 256 << 20
+
+// sendRoom reports how many more bytes node dst's ingress buffer can
+// take.
+func (e *Engine) sendRoom(dst cluster.NodeID) float64 {
+	r := inboxCapBytes - e.inboxBytes[dst]
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// InjectReconfig starts the AQE protocol for a new set of assignments
+// (query index → new assignment). Queries absent from the map keep
+// their current assignment. On a micro-batch profile the change waits
+// for the next batch boundary; on a tuple-at-a-time profile it starts
+// immediately and proceeds asynchronously with processing.
+func (e *Engine) InjectReconfig(newAssign map[int]*keyspace.Assignment) error {
+	if e.inFlightEpoch != 0 && !e.ReconfigComplete(e.inFlightEpoch) {
+		return fmt.Errorf("engine: reconfiguration epoch %d still in flight", e.inFlightEpoch)
+	}
+	for qi, a := range newAssign {
+		if qi < 0 || qi >= len(e.queries) {
+			return fmt.Errorf("engine: reconfig references unknown query %d", qi)
+		}
+		if a.NumGroups() != e.cfg.NumGroups {
+			return fmt.Errorf("engine: reconfig assignment for query %d covers %d groups, want %d", qi, a.NumGroups(), e.cfg.NumGroups)
+		}
+		if !a.Complete() {
+			return fmt.Errorf("engine: reconfig assignment for query %d is incomplete", qi)
+		}
+		for g := 0; g < a.NumGroups(); g++ {
+			if p := a.Partition(keyspace.GroupID(g)); int(p) >= e.cfg.NumPartitions {
+				return fmt.Errorf("engine: reconfig assignment for query %d maps group %d to partition %d, have %d slots", qi, g, p, e.cfg.NumPartitions)
+			}
+		}
+	}
+	if e.cfg.Profile.MicroBatch {
+		if e.pendingReconfig == nil {
+			e.pendingReconfig = map[int]*keyspace.Assignment{}
+		}
+		for qi, a := range newAssign {
+			e.pendingReconfig[qi] = a
+		}
+		return nil
+	}
+	e.applyReconfig(newAssign)
+	return nil
+}
+
+// applyReconfig swaps router tables and injects the reconfiguration
+// markers (step 1 of the protocol).
+func (e *Engine) applyReconfig(newAssign map[int]*keyspace.Assignment) {
+	delta := &PlanDelta{
+		OldAssign: map[int]*keyspace.Assignment{},
+		Moved:     map[int][]keyspace.GroupID{},
+	}
+	changed := false
+	for qi, a := range newAssign {
+		q := e.queries[qi]
+		moved := q.assign.Diff(a)
+		if len(moved) == 0 {
+			continue
+		}
+		delta.OldAssign[qi] = q.assign
+		delta.Moved[qi] = moved
+		q.assign = a
+		changed = true
+	}
+	if !changed {
+		return
+	}
+	e.epoch++
+	e.inFlightEpoch = e.epoch
+	if err := e.rebuildPlans(); err != nil {
+		// Assignments were validated; only the class bound can trip.
+		panic(err)
+	}
+	e.broadcastMarker(&Marker{Epoch: e.epoch, Kind: MarkerReconfig, Delta: delta})
+}
+
+// InjectFinalize broadcasts the second marker round (step 5).
+func (e *Engine) InjectFinalize() {
+	e.epoch++
+	e.broadcastMarker(&Marker{Epoch: e.epoch, Kind: MarkerFinalize})
+}
+
+func (e *Engine) broadcastMarker(m *Marker) {
+	for _, rt := range e.tasks {
+		for s := 0; s < e.cfg.NumPartitions; s++ {
+			e.enqueue(rt, &entry{
+				kind:      entryMarker,
+				slot:      s,
+				arriveAt:  e.clock.Add(e.net.Config().LatNet),
+				watermark: e.clock.Add(-e.cfg.WatermarkLag),
+				epoch:     m.Epoch,
+				marker:    m,
+			})
+		}
+	}
+}
+
+// AddQuery registers a new continuous query at run time — the ad-hoc
+// arrival the AJoin workload is built around. The query starts on the
+// consistent-hashing ring's initial assignment and is folded into the
+// next optimization round by the SASPAR layer. Returns the new query's
+// index. Rejected while a reconfiguration is in flight.
+func (e *Engine) AddQuery(spec QuerySpec) (int, error) {
+	if e.inFlightEpoch != 0 && !e.ReconfigComplete(e.inFlightEpoch) {
+		return 0, fmt.Errorf("engine: cannot add a query during reconfiguration epoch %d", e.inFlightEpoch)
+	}
+	if err := spec.validate(e.streams); err != nil {
+		return 0, err
+	}
+	ring := keyspace.NewRing(e.cfg.NumPartitions, 16)
+	qi := len(e.queries)
+	e.queries = append(e.queries, &queryInst{
+		idx:    qi,
+		spec:   spec,
+		assign: ring.InitialAssignment(e.space),
+	})
+	if err := e.rebuildPlans(); err != nil {
+		e.queries = e.queries[:qi]
+		if rerr := e.rebuildPlans(); rerr != nil {
+			panic(rerr) // restoring the previous plan cannot fail
+		}
+		return 0, err
+	}
+	e.metrics.addQuery()
+	e.qcount = append(e.qcount, newQCounting(len(spec.Inputs), e.cfg.NumGroups))
+	e.results = append(e.results, nil)
+	return qi, nil
+}
+
+// RemoveQuery retires a running query ad hoc: its route classes stop
+// shipping data immediately and its window state is dropped. Indexes
+// of other queries are unaffected. Rejected while a reconfiguration is
+// in flight.
+func (e *Engine) RemoveQuery(qi int) error {
+	if qi < 0 || qi >= len(e.queries) || e.queries[qi].inactive {
+		return fmt.Errorf("engine: no active query %d", qi)
+	}
+	if e.inFlightEpoch != 0 && !e.ReconfigComplete(e.inFlightEpoch) {
+		return fmt.Errorf("engine: cannot remove a query during reconfiguration epoch %d", e.inFlightEpoch)
+	}
+	e.queries[qi].inactive = true
+	if err := e.rebuildPlans(); err != nil {
+		panic(err) // removing members cannot grow the class count
+	}
+	// Drop state everywhere.
+	e.qcount[qi] = newQCounting(len(e.queries[qi].spec.Inputs), e.cfg.NumGroups)
+	for _, s := range e.slots {
+		delete(s.exact, qi)
+		for k := range s.pendingState {
+			if k.query == qi {
+				delete(s.pendingState, k)
+			}
+		}
+		for k := range s.held {
+			if k.query == qi {
+				delete(s.held, k)
+			}
+		}
+	}
+	return nil
+}
+
+// QueryActive reports whether query qi is still running.
+func (e *Engine) QueryActive(qi int) bool {
+	return qi >= 0 && qi < len(e.queries) && !e.queries[qi].inactive
+}
+
+// ReconfigComplete reports whether every slot aligned on the given
+// epoch and all moved state has been merged at its new owner.
+func (e *Engine) ReconfigComplete(epoch int64) bool {
+	return e.alignedSlots[epoch] == len(e.slots) && e.outstandingState == 0
+}
+
+// Epoch returns the current reconfiguration epoch.
+func (e *Engine) Epoch() int64 { return e.epoch }

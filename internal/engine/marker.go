@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"saspar/internal/keyspace"
+)
+
+// MarkerKind distinguishes the two notification rounds of the AQE
+// protocol (Section III of the paper).
+type MarkerKind uint8
+
+const (
+	// MarkerReconfig starts a plan change: it carries the plan delta
+	// whose actions (JIT compilation, state movement) downstream
+	// operators apply on alignment.
+	MarkerReconfig MarkerKind = iota
+	// MarkerFinalize is the second round (step 5): iterators revert to
+	// their default forward-everything logic.
+	MarkerFinalize
+)
+
+// Marker is a labelled stream tuple that travels the dataflow in-band
+// with data, implementing the notifications of step 1.
+type Marker struct {
+	Epoch int64
+	Kind  MarkerKind
+	Delta *PlanDelta
+}
+
+// PlanDelta describes one re-optimization: for every query whose
+// assignment changed, the old table and the moved key groups. The
+// "JIT code" of the paper is the new operator configuration derived
+// from this delta.
+type PlanDelta struct {
+	// OldAssign holds, per affected query index, the assignment in
+	// force before the change.
+	OldAssign map[int]*keyspace.Assignment
+	// Moved holds, per affected query index, the key groups whose
+	// partition changed.
+	Moved map[int][]keyspace.GroupID
+}
+
+// MovedGroupCount reports the total number of (query, group) moves in
+// the delta.
+func (d *PlanDelta) MovedGroupCount() int {
+	n := 0
+	for _, gs := range d.Moved {
+		n += len(gs)
+	}
+	return n
+}

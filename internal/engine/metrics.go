@@ -1,0 +1,258 @@
+package engine
+
+import (
+	"math"
+	"sort"
+
+	"saspar/internal/vtime"
+)
+
+// Metrics accumulates the run-level measurements the paper reports:
+// per-query processed tuple counts (throughput), a weighted event-time
+// latency distribution (Fig. 7's averages and error bars), reshuffled
+// tuple counts (Fig. 9), and JIT accounting (Fig. 12b).
+//
+// Event-time latency here is the interval between a tuple's event time
+// and the moment the post-partition operator absorbs it — network
+// serialization, queueing and processing delays, but not the inherent
+// residence of a tuple inside its window (see DESIGN.md).
+type Metrics struct {
+	processed   []float64 // per query, weighted tuples absorbed post-partition
+	emitted     []float64 // per query, weighted window results emitted
+	lat         latDist
+	reshuffled  float64 // weighted tuples sent back to sources (Fig. 9)
+	jitCompiles int
+	jitTime     vtime.Duration
+
+	// True sharing accounting (shared partitioner only): copies the
+	// queries demanded vs physical copies shipped.
+	shDemand, shPhysical float64
+
+	measuring   bool
+	measureFrom vtime.Time
+	measureTo   vtime.Time
+}
+
+// newMetrics sizes the per-query slices.
+func newMetrics(numQueries int) *Metrics {
+	return &Metrics{
+		processed: make([]float64, numQueries),
+		emitted:   make([]float64, numQueries),
+	}
+}
+
+// addQuery extends the per-query slices for an ad-hoc arrival.
+func (m *Metrics) addQuery() {
+	m.processed = append(m.processed, 0)
+	m.emitted = append(m.emitted, 0)
+}
+
+// StartMeasurement begins the measurement window at virtual time t,
+// discarding anything accumulated during warm-up.
+func (m *Metrics) StartMeasurement(t vtime.Time) {
+	for i := range m.processed {
+		m.processed[i] = 0
+		m.emitted[i] = 0
+	}
+	m.lat = latDist{}
+	m.reshuffled = 0
+	m.jitCompiles = 0
+	m.jitTime = 0
+	m.shDemand = 0
+	m.shPhysical = 0
+	m.measuring = true
+	m.measureFrom = t
+}
+
+// StopMeasurement ends the measurement window at virtual time t.
+func (m *Metrics) StopMeasurement(t vtime.Time) {
+	m.measuring = false
+	m.measureTo = t
+}
+
+func (m *Metrics) recordProcessed(query int, weight float64) {
+	if m.measuring {
+		m.processed[query] += weight
+	}
+}
+
+func (m *Metrics) recordEmitted(query int, weight float64) {
+	if m.measuring {
+		m.emitted[query] += weight
+	}
+}
+
+func (m *Metrics) recordLatency(d vtime.Duration, weight float64) {
+	if m.measuring {
+		m.lat.add(d.Seconds(), weight)
+	}
+}
+
+func (m *Metrics) recordReshuffle(weight float64) {
+	if m.measuring {
+		m.reshuffled += weight
+	}
+}
+
+func (m *Metrics) recordJIT(n int, d vtime.Duration) {
+	if m.measuring {
+		m.jitCompiles += n
+		m.jitTime += d
+	}
+}
+
+func (m *Metrics) recordSharing(demand, physical float64) {
+	if m.measuring {
+		m.shDemand += demand
+		m.shPhysical += physical
+	}
+}
+
+// SharingRatio reports the measured tuple-level sharing of the shared
+// partitioner: demanded copies per physical copy (1 = no sharing,
+// k = every tuple served k queries per transfer). This is the runtime
+// ground truth the alignment-only model of Eq. 4 underestimates —
+// cross-group partition coincidences count here but not there.
+func (m *Metrics) SharingRatio() float64 {
+	if m.shPhysical == 0 {
+		return 1
+	}
+	return m.shDemand / m.shPhysical
+}
+
+// MeasuredSeconds reports the length of the measurement window in
+// virtual seconds.
+func (m *Metrics) MeasuredSeconds() float64 {
+	return m.measureTo.Sub(m.measureFrom).Seconds()
+}
+
+// OverallThroughput is the paper's headline metric: the sum of the data
+// throughputs of all running queries, in modelled tuples per virtual
+// second.
+func (m *Metrics) OverallThroughput() float64 {
+	s := m.MeasuredSeconds()
+	if s <= 0 {
+		return 0
+	}
+	var total float64
+	for _, p := range m.processed {
+		total += p
+	}
+	return total / s
+}
+
+// QueryThroughput reports one query's processed rate.
+func (m *Metrics) QueryThroughput(q int) float64 {
+	s := m.MeasuredSeconds()
+	if s <= 0 {
+		return 0
+	}
+	return m.processed[q] / s
+}
+
+// ProcessedTotal reports the weighted tuple count absorbed across all
+// queries during measurement.
+func (m *Metrics) ProcessedTotal() float64 {
+	var total float64
+	for _, p := range m.processed {
+		total += p
+	}
+	return total
+}
+
+// EmittedTotal reports the weighted window results emitted.
+func (m *Metrics) EmittedTotal() float64 {
+	var total float64
+	for _, e := range m.emitted {
+		total += e
+	}
+	return total
+}
+
+// AvgLatency reports the weighted mean event-time latency.
+func (m *Metrics) AvgLatency() vtime.Duration {
+	return vtime.Duration(m.lat.mean() * float64(vtime.Second))
+}
+
+// LatencyStddev reports the weighted standard deviation of event-time
+// latency (the paper's error bars).
+func (m *Metrics) LatencyStddev() vtime.Duration {
+	return vtime.Duration(m.lat.stddev() * float64(vtime.Second))
+}
+
+// LatencyQuantile reports an approximate weighted latency quantile
+// (q in [0,1]) from the sampled reservoir.
+func (m *Metrics) LatencyQuantile(q float64) vtime.Duration {
+	return vtime.Duration(m.lat.quantile(q) * float64(vtime.Second))
+}
+
+// Reshuffled reports the weighted count of tuples sent back to source
+// operators by iterator guards (Fig. 9's metric).
+func (m *Metrics) Reshuffled() float64 { return m.reshuffled }
+
+// JITCompiles reports how many operator compilations ran.
+func (m *Metrics) JITCompiles() int { return m.jitCompiles }
+
+// JITTime reports total virtual time spent in operator compilation.
+func (m *Metrics) JITTime() vtime.Duration { return m.jitTime }
+
+// latDist is a weighted streaming moment accumulator plus a coarse
+// reservoir for quantiles. Weights are modelled-tuple multiplicities.
+type latDist struct {
+	w, mean1, m2 float64
+	samples      []float64 // uniform-ish reservoir for quantiles
+	nSeen        int
+}
+
+const latReservoir = 4096
+
+func (d *latDist) add(x, w float64) {
+	if w <= 0 {
+		return
+	}
+	// Weighted Welford update.
+	d.w += w
+	delta := x - d.mean1
+	d.mean1 += delta * w / d.w
+	d.m2 += w * delta * (x - d.mean1)
+
+	d.nSeen++
+	if len(d.samples) < latReservoir {
+		d.samples = append(d.samples, x)
+	} else {
+		// Deterministic reservoir: replace a rotating slot; adequate
+		// for coarse quantiles over a stationary measurement window.
+		d.samples[d.nSeen%latReservoir] = x
+	}
+}
+
+func (d *latDist) mean() float64 {
+	if d.w == 0 {
+		return 0
+	}
+	return d.mean1
+}
+
+func (d *latDist) stddev() float64 {
+	if d.w == 0 {
+		return 0
+	}
+	return math.Sqrt(d.m2 / d.w)
+}
+
+func (d *latDist) quantile(q float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(d.samples))
+	copy(s, d.samples)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,593 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"saspar/internal/cluster"
+	"saspar/internal/keyspace"
+	"saspar/internal/vtime"
+)
+
+// maxClassesPerStream bounds the route classes of one stream so a
+// shared tuple's class membership fits a single bitmask word. The
+// SASPAR optimizer canonicalizes assignments per query signature, so
+// real workloads stay far below this.
+const maxClassesPerStream = 64
+
+// queryInst is the engine's handle on one running query. Both inputs
+// of a join share the single assignment, per Eq. 3 of the paper.
+// Removed ad-hoc queries stay as inactive tombstones so query indexes
+// remain stable.
+type queryInst struct {
+	idx      int
+	spec     QuerySpec
+	assign   *keyspace.Assignment
+	inactive bool
+}
+
+// member is one (query, input side) consuming a route class.
+type member struct {
+	q    *queryInst
+	side int
+}
+
+// routeClass is a set of (query, side) pairs whose partitioning
+// decisions coincide: same stream, same key columns, same filter, and
+// the same group→partition assignment. The router computes one route
+// per class per tuple; accounting scales by class multiplicity.
+type routeClass struct {
+	id      int // index within the stream's class list
+	stream  StreamID
+	key     KeySpec
+	filter  func(*Tuple) bool
+	filtID  int
+	sel     float64
+	assign  *keyspace.Assignment
+	members []member
+}
+
+// classSignature is the grouping key for route-class construction.
+// Assignments are compared by content fingerprint, so distinct
+// Assignment objects with identical tables still merge (this is what
+// collapses hundreds of identical non-shared queries into one class).
+type classSignature struct {
+	keyFP    uint64
+	filtID   int
+	sel      float64
+	assignFP uint64
+}
+
+func (ks KeySpec) fingerprint() uint64 {
+	h := uint64(len(ks)) * 0x9E3779B97F4A7C15
+	for _, c := range ks {
+		h = keyspace.Mix64(h ^ uint64(c+1))
+	}
+	return h
+}
+
+func assignmentFingerprint(a *keyspace.Assignment) uint64 {
+	h := uint64(a.NumGroups())
+	for g := 0; g < a.NumGroups(); g++ {
+		h = keyspace.Mix64(h ^ uint64(a.Partition(keyspace.GroupID(g))+2))
+	}
+	return h
+}
+
+// streamPlan is the per-stream routing plan shared by all router tasks
+// of that stream. It is rebuilt whenever assignments change.
+type streamPlan struct {
+	stream  StreamID
+	classes []*routeClass
+}
+
+func buildStreamPlan(stream StreamID, queries []*queryInst) (*streamPlan, error) {
+	plan := &streamPlan{stream: stream}
+	bySig := map[classSignature]*routeClass{}
+	for _, q := range queries {
+		if q.inactive {
+			continue
+		}
+		for side, in := range q.spec.Inputs {
+			if in.Stream != stream {
+				continue
+			}
+			sig := classSignature{
+				keyFP:    in.Key.fingerprint(),
+				filtID:   in.FilterID,
+				sel:      in.effectiveSelectivity(),
+				assignFP: assignmentFingerprint(q.assign),
+			}
+			rc, ok := bySig[sig]
+			if !ok {
+				rc = &routeClass{
+					id:     len(plan.classes),
+					stream: stream,
+					key:    in.Key,
+					filter: in.Filter,
+					filtID: in.FilterID,
+					sel:    sig.sel,
+					assign: q.assign,
+				}
+				bySig[sig] = rc
+				plan.classes = append(plan.classes, rc)
+			}
+			rc.members = append(rc.members, member{q: q, side: side})
+		}
+	}
+	if len(plan.classes) > maxClassesPerStream {
+		return nil, fmt.Errorf("engine: stream %d has %d route classes, max %d — canonicalize assignments per query signature",
+			stream, len(plan.classes), maxClassesPerStream)
+	}
+	return plan, nil
+}
+
+// pendingSend is an entry routed but not yet shipped: tuple-at-a-time
+// profiles ship every tick, micro-batch profiles hold sends until the
+// batch boundary and release them as a burst.
+type pendingSend struct {
+	en       *entry
+	copies   float64
+	bytesPer float64 // wire bytes per concrete tuple (incl. weight)
+}
+
+// routerTask is one physical instance of a stream's partition operator,
+// co-located with its source task (the paper's "Purchases Source 1/2"
+// of Fig. 1 each feed their own partitioner).
+type routerTask struct {
+	idx    int // global router-task index (edge addressing)
+	stream StreamID
+	task   int
+	node   cluster.NodeID
+	gen    Generator
+	rng    *rand.Rand
+
+	rate     float64 // offered modelled tuples/sec for this task
+	throttle float64 // backpressure pull-rate factor in (0,1]
+	carry    float64 // fractional concrete tuple accumulator
+	offered  float64 // cumulative modelled tuples offered
+	accepted float64 // cumulative modelled tuples actually shipped
+
+	// Per-tick byte accounting feeding the throttle.
+	tickOffered  float64
+	tickAccepted float64
+
+	held       []pendingSend // micro-batch: sends awaiting the boundary
+	heldBytes  float64
+	draining   []pendingSend // micro-batch: the materialized batch being paced out
+	drainBytes float64
+}
+
+// routeTick generates and routes this task's tuples for one tick of
+// length dt ending at e.clock.
+func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
+	plan := e.plans[rt.stream]
+	def := e.streams[rt.stream]
+
+	// Credit-based flow control: the pull rate tracks the fraction of
+	// offered bytes the network actually accepted last tick, smoothed,
+	// with a small additive probe so the rate recovers when capacity
+	// frees up.
+	ratio := 1.0
+	if rt.tickOffered > 0 {
+		ratio = rt.tickAccepted / rt.tickOffered
+	}
+	rt.tickOffered, rt.tickAccepted = 0, 0
+	rt.throttle = 0.7*rt.throttle + 0.3*ratio + 0.02
+	if rt.throttle > 1 {
+		rt.throttle = 1
+	}
+	if rt.throttle < 0.02 {
+		rt.throttle = 0.02
+	}
+
+	// Micro-batch: while the materialized backlog (current batch plus
+	// the previous batch still shuffling) exceeds what the NIC can move
+	// in two batch intervals, stop pulling — the stage cannot keep up
+	// (Prompt's synchronous materialization backpressure).
+	if e.cfg.Profile.MicroBatch {
+		allowance := 2 * e.net.Bandwidth() * e.cfg.Profile.BatchInterval.Seconds()
+		if rt.drainBytes+rt.heldBytes > allowance {
+			rt.offered += rt.rate * dt.Seconds()
+			return
+		}
+	}
+
+	eff := rt.rate * rt.throttle
+	want := eff*dt.Seconds()/e.cfg.TupleWeight + rt.carry
+	n := int(want)
+	rt.carry = want - float64(n)
+	rt.offered += eff * dt.Seconds()
+	if n == 0 {
+		return
+	}
+
+	// Source CPU: generation cost. If the node is CPU-starved the grant
+	// shrinks and we generate fewer concrete tuples.
+	cpu := e.cluster.CPU(rt.node)
+	genNeed := e.cfg.Cost.GenCPU * e.cfg.TupleWeight * float64(n)
+	if e.cfg.Profile.MicroBatch {
+		genNeed += e.cfg.Cost.BatchCPU * e.cfg.TupleWeight * float64(n)
+	}
+	if g := cpu.Take(genNeed); g < genNeed {
+		n = int(float64(n) * g / genNeed)
+		if n == 0 {
+			return
+		}
+	}
+
+	// Per-tick buckets. Non-shared: one per (class, slot). Shared: one
+	// per slot, with per-tuple class bitmasks.
+	type nsBucket struct {
+		tuples []Tuple
+		groups []keyspace.GroupID
+	}
+	var nsBuckets map[int]*nsBucket // key: class*numSlots+slot
+	var shBuckets map[int]*entry    // key: slot
+	if e.cfg.Shared {
+		shBuckets = make(map[int]*entry, 8)
+	} else {
+		nsBuckets = make(map[int]*nsBucket, 8)
+	}
+
+	begin := e.clock.Add(-dt)
+	step := vtime.Duration(int64(dt) / int64(n))
+	var t Tuple
+	var slotScratch [maxClassesPerStream]int
+	var bitScratch [maxClassesPerStream]uint64
+	var sampleClass [maxClassesPerStream]int
+	var sampleGroup [maxClassesPerStream]keyspace.GroupID
+
+	routeCPUNeed := 0.0
+	for i := 0; i < n; i++ {
+		ts := begin.Add(vtime.Duration(i) * step)
+		rt.gen.Next(&t, ts)
+		t.TS = ts
+
+		sampling := e.sampler != nil && e.sampleCounter.next()
+		ns := 0 // sampled (class, group) pairs
+
+		if e.cfg.Shared {
+			// Collect the distinct target slots across classes; one
+			// physical copy per distinct slot (the green tuples of
+			// Fig. 1c).
+			nd := 0
+			for _, rc := range plan.classes {
+				if !rt.classPass(rc, &t) {
+					continue
+				}
+				g := e.space.GroupOf(rc.key.KeyOf(&t))
+				if sampling {
+					sampleClass[ns], sampleGroup[ns] = rc.id, g
+					ns++
+				}
+				p := int(rc.assign.Partition(g))
+				found := -1
+				for j := 0; j < nd; j++ {
+					if slotScratch[j] == p {
+						found = j
+						break
+					}
+				}
+				if found < 0 {
+					slotScratch[nd] = p
+					bitScratch[nd] = 1 << uint(rc.id)
+					nd++
+				} else {
+					bitScratch[found] |= 1 << uint(rc.id)
+				}
+				routeCPUNeed += e.cfg.Cost.RouteCPU * e.cfg.TupleWeight
+			}
+			// Ground-truth sharing accounting: how many copies the
+			// queries demanded vs how many physically ship (Fig. 1d vs
+			// 1e — the 16-vs-10 tuples of the paper's example).
+			demanded := 0
+			for j := 0; j < nd; j++ {
+				bits := bitScratch[j]
+				for _, rc := range plan.classes {
+					if bits&(1<<uint(rc.id)) != 0 {
+						demanded += len(rc.members)
+					}
+				}
+			}
+			e.metrics.recordSharing(float64(demanded)*e.cfg.TupleWeight, float64(nd)*e.cfg.TupleWeight)
+			for j := 0; j < nd; j++ {
+				b := shBuckets[slotScratch[j]]
+				if b == nil {
+					b = &entry{kind: entryData, stream: rt.stream, shared: true, slot: slotScratch[j], epoch: e.epoch, plan: plan}
+					shBuckets[slotScratch[j]] = b
+				}
+				b.tuples = append(b.tuples, t)
+				b.classBits = append(b.classBits, bitScratch[j])
+			}
+		} else {
+			for _, rc := range plan.classes {
+				if !rt.classPass(rc, &t) {
+					continue
+				}
+				g := e.space.GroupOf(rc.key.KeyOf(&t))
+				if sampling {
+					sampleClass[ns], sampleGroup[ns] = rc.id, g
+					ns++
+				}
+				p := int(rc.assign.Partition(g))
+				k := rc.id*e.cfg.NumPartitions + p
+				b := nsBuckets[k]
+				if b == nil {
+					b = &nsBucket{}
+					nsBuckets[k] = b
+				}
+				b.tuples = append(b.tuples, t)
+				b.groups = append(b.groups, g)
+				routeCPUNeed += e.cfg.Cost.RouteCPU * e.cfg.TupleWeight
+			}
+		}
+		if sampling && ns > 0 {
+			e.sampler.Sample(SampleVec{
+				Stream:  rt.stream,
+				Time:    ts,
+				Classes: sampleClass[:ns],
+				Groups:  sampleGroup[:ns],
+			})
+		}
+	}
+	cpu.Take(routeCPUNeed)
+
+	// Materialize pending sends; tuple-at-a-time ships immediately,
+	// micro-batch holds them for the boundary.
+	push := func(ps pendingSend) {
+		if e.cfg.Profile.MicroBatch {
+			rt.held = append(rt.held, ps)
+			rt.heldBytes += ps.bytesPer * float64(len(ps.en.tuples))
+			return
+		}
+		rt.ship(e, ps)
+	}
+
+	// Deterministic ship order: map iteration order must not leak into
+	// network acceptance decisions.
+	if e.cfg.Shared {
+		keys := make([]int, 0, len(shBuckets))
+		for k := range shBuckets {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			en := shBuckets[k]
+			// One physical copy; the query-set encoding adds a few
+			// bytes per extra served query.
+			extra := 0.0
+			for _, bits := range en.classBits {
+				nq := 0
+				for _, rc := range plan.classes {
+					if bits&(1<<uint(rc.id)) != 0 {
+						nq += len(rc.members)
+					}
+				}
+				if nq > 1 {
+					extra += float64(nq-1) * e.cfg.Cost.SharedOverheadBytes
+				}
+			}
+			bytesPer := def.BytesPerTuple * e.cfg.TupleWeight
+			if len(en.tuples) > 0 {
+				bytesPer += extra * e.cfg.TupleWeight / float64(len(en.tuples))
+			}
+			push(pendingSend{en: en, copies: 1, bytesPer: bytesPer})
+		}
+	} else {
+		keys := make([]int, 0, len(nsBuckets))
+		for k := range nsBuckets {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			b := nsBuckets[k]
+			rc := plan.classes[k/e.cfg.NumPartitions]
+			en := &entry{
+				kind:   entryData,
+				stream: rt.stream,
+				slot:   k % e.cfg.NumPartitions,
+				class:  rc,
+				tuples: b.tuples,
+				groups: b.groups,
+				epoch:  e.epoch,
+			}
+			// Every member query ships its own copy (Fig. 1a/1b) —
+			// except under AJoin's join-group batching, which
+			// eliminates part of the duplicate traffic of identical
+			// join queries.
+			m := float64(len(rc.members))
+			if frac := e.cfg.Profile.JoinDataShareFrac; frac > 0 && m > 1 && rc.allJoins() {
+				m = 1 + (1-frac)*(m-1)
+			}
+			push(pendingSend{en: en, copies: m, bytesPer: def.BytesPerTuple * e.cfg.TupleWeight * m})
+		}
+	}
+}
+
+// ship performs serialization CPU and network accounting for one entry
+// and enqueues it on its slot edge. Serialization is sized to what the
+// network can currently accept (no CPU is burned on bytes the queues
+// would refuse); any remaining shortfall scales the entry's weight
+// down, and the acceptance ratio feeds the source throttle.
+func (rt *routerTask) ship(e *Engine, ps pendingSend) {
+	en := ps.en
+	cpu := e.cluster.CPU(rt.node)
+	sendBytes := ps.bytesPer * float64(len(en.tuples))
+	dstNode := e.placement.PartitionNode(en.slot)
+
+	f := 1.0
+	if dstNode != rt.node {
+		// Only remote traffic feeds the throttle: shared-memory
+		// handoffs cannot be refused.
+		rt.tickOffered += sendBytes
+		// Size the send to the network's headroom and the receiver's
+		// ingress buffer first…
+		avail := e.net.Available(rt.node, dstNode)
+		if room := e.sendRoom(dstNode); room < avail {
+			avail = room
+		}
+		if sendBytes > avail {
+			f = avail / sendBytes
+		}
+		// …then to the serialization CPU actually available.
+		serNeed := e.cfg.Cost.SerCPU * e.cfg.TupleWeight * float64(len(en.tuples)) * ps.copies * f
+		if serNeed > 0 {
+			if g := cpu.Take(serNeed); g < serNeed {
+				f *= g / serNeed
+			}
+		}
+	}
+	acc, delay := e.net.Send(rt.node, dstNode, sendBytes*f)
+	if offered := sendBytes * f; offered > 0 {
+		f *= acc / offered
+	}
+	en.scale = f
+	en.copies = ps.copies
+	en.bytes = sendBytes * f
+	en.arriveAt = e.clock.Add(delay)
+	en.watermark = e.clock.Add(-e.cfg.WatermarkLag)
+	rt.accepted += f * e.cfg.TupleWeight * float64(len(en.tuples)) * ps.copies
+	if dstNode != rt.node {
+		rt.tickAccepted += sendBytes * f
+	}
+	e.enqueue(rt, en)
+}
+
+// flushHeld moves the batch buffered at a micro-batch boundary into
+// the drain queue; shipDraining paces it onto the network.
+func (rt *routerTask) flushHeld(e *Engine) {
+	rt.draining = append(rt.draining, rt.held...)
+	rt.drainBytes += rt.heldBytes
+	rt.held = rt.held[:0]
+	rt.heldBytes = 0
+}
+
+// shipDraining ships as much of the materialized batch as the network
+// will take this tick. Entries larger than the current headroom are
+// split so oversized buckets cannot wedge the drain; the remainder
+// waits (stage output is persisted, never dropped).
+func (rt *routerTask) shipDraining(e *Engine) {
+	i := 0
+	for ; i < len(rt.draining); i++ {
+		ps := rt.draining[i]
+		bytes := ps.bytesPer * float64(len(ps.en.tuples))
+		dst := e.placement.PartitionNode(ps.en.slot)
+		if dst != rt.node {
+			avail := e.net.Available(rt.node, dst)
+			if room := e.sendRoom(dst); room < avail {
+				avail = room
+			}
+			if avail < bytes {
+				// Ship the head that fits; keep the tail for next tick.
+				k := int(avail / ps.bytesPer)
+				if k > 0 {
+					head := splitSend(&rt.draining[i], k)
+					rt.ship(e, head)
+					rt.drainBytes -= head.bytesPer * float64(len(head.en.tuples))
+				}
+				break
+			}
+		}
+		rt.ship(e, ps)
+		rt.drainBytes -= bytes
+	}
+	if i > 0 {
+		rt.draining = append(rt.draining[:0], rt.draining[i:]...)
+	}
+	if len(rt.draining) == 0 && rt.drainBytes != 0 {
+		rt.drainBytes = 0 // clamp float residue
+	}
+}
+
+// splitSend carves the first k tuples of a pending send into a new
+// send, leaving the remainder in place. The entry's per-tuple metadata
+// (groups, class bits) splits alongside.
+func splitSend(ps *pendingSend, k int) pendingSend {
+	src := ps.en
+	head := *src
+	head.tuples = src.tuples[:k:k]
+	src.tuples = src.tuples[k:]
+	if src.groups != nil {
+		head.groups = src.groups[:k:k]
+		src.groups = src.groups[k:]
+	}
+	if src.classBits != nil {
+		head.classBits = src.classBits[:k:k]
+		src.classBits = src.classBits[k:]
+	}
+	return pendingSend{en: &head, copies: ps.copies, bytesPer: ps.bytesPer}
+}
+
+// heartbeat advances watermarks on every edge of this task, so idle
+// edges do not stall downstream window closing.
+func (rt *routerTask) heartbeat(e *Engine) {
+	wm := e.clock.Add(-e.cfg.WatermarkLag)
+	for s := 0; s < e.cfg.NumPartitions; s++ {
+		e.enqueue(rt, &entry{
+			kind:      entryHeartbeat,
+			slot:      s,
+			arriveAt:  e.clock.Add(e.net.Config().LatMem),
+			watermark: wm,
+			epoch:     e.epoch,
+		})
+	}
+}
+
+// allJoins reports whether every member of the class is a join query.
+func (rc *routeClass) allJoins() bool {
+	for _, m := range rc.members {
+		if m.q.spec.Kind != OpJoin {
+			return false
+		}
+	}
+	return true
+}
+
+// classPass applies the class's pre-partition filter to a tuple.
+func (rt *routerTask) classPass(rc *routeClass, t *Tuple) bool {
+	if rc.filter != nil {
+		return rc.filter(t)
+	}
+	if rc.sel >= 1 {
+		return true
+	}
+	return rt.rng.Float64() < rc.sel
+}
+
+// SampleVec is one sampled tuple's key-group vector: for every route
+// class that accepted the tuple, the key group it falls into. The stats
+// collector derives per-(query, group) cardinalities and cross-query
+// overlap (the SharedWith triangles of Fig. 2a) from these vectors.
+type SampleVec struct {
+	Stream  StreamID
+	Time    vtime.Time
+	Classes []int // route-class ids, parallel to Groups; valid only during the call
+	Groups  []keyspace.GroupID
+}
+
+// Sampler consumes routed-tuple samples. Implementations must copy the
+// slices if they retain them.
+type Sampler interface {
+	Sample(v SampleVec)
+}
+
+// sampleGate spaces samples deterministically: one sample every N
+// concrete tuples.
+type sampleGate struct {
+	every int
+	n     int
+}
+
+func (s *sampleGate) next() bool {
+	if s.every <= 0 {
+		return false
+	}
+	s.n++
+	if s.n >= s.every {
+		s.n = 0
+		return true
+	}
+	return false
+}

@@ -1,0 +1,422 @@
+package engine
+
+import (
+	"saspar/internal/cluster"
+	"saspar/internal/keyspace"
+	"saspar/internal/vtime"
+)
+
+// entryKind tags what an edge delivers to a slot.
+type entryKind uint8
+
+const (
+	entryData      entryKind = iota // routed tuples
+	entryHeartbeat                  // watermark only
+	entryMarker                     // AQE notification (Section III, step 1)
+	entryState                      // re-partitioned window state of a moved key group
+)
+
+// entry is one delivery on a (routerTask → slot) edge. Edges are FIFO:
+// arrival times are monotonic per edge, which is what lets the marker
+// protocol separate pre- and post-reconfiguration tuples.
+type entry struct {
+	kind      entryKind
+	stream    StreamID
+	slot      int
+	arriveAt  vtime.Time
+	watermark vtime.Time
+	epoch     int64 // routing epoch the entry was produced under
+
+	// bytes is the wire size this entry still occupies in its target
+	// node's ingress buffer (receiver-side backpressure accounting).
+	bytes float64
+
+	// Data payload.
+	plan      *streamPlan        // routing-time plan snapshot (shared mode)
+	class     *routeClass        // non-shared: the single class
+	shared    bool               // shared: classBits identify classes per tuple
+	classBits []uint64           // per tuple (shared mode)
+	tuples    []Tuple            // concrete tuples
+	groups    []keyspace.GroupID // per tuple key group (non-shared mode)
+	copies    float64            // physical copies represented (non-shared: members)
+	scale     float64            // network/CPU acceptance factor applied to weights
+
+	// Marker payload.
+	marker *Marker
+
+	// State-transfer payload (one moved key group of one query).
+	stQuery  int
+	stGroup  keyspace.GroupID
+	stWeight float64
+	stAgg    []aggPartial // exact-mode aggregation partials
+	stJoin   [2][]Tuple   // exact-mode join buffers per side
+}
+
+// edgeQueue is a FIFO of entries with O(1) amortized pop.
+type edgeQueue struct {
+	buf  []*entry
+	head int
+	last vtime.Time // enforce per-edge FIFO on arrival stamps
+}
+
+func (q *edgeQueue) push(en *entry) {
+	if en.arriveAt < q.last {
+		en.arriveAt = q.last
+	}
+	q.last = en.arriveAt
+	q.buf = append(q.buf, en)
+}
+
+func (q *edgeQueue) peek() *entry {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+func (q *edgeQueue) pop() *entry {
+	en := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head > 256 && q.head*2 >= len(q.buf) {
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+	return en
+}
+
+func (q *edgeQueue) empty() bool { return q.head >= len(q.buf) }
+
+type pendKey struct {
+	query int
+	group keyspace.GroupID
+}
+
+// slot is one cluster-wide partition slot: the downstream side of the
+// partition operator, hosting the iterator guard and every query's
+// window operator instance for the key groups assigned here.
+type slot struct {
+	id   int
+	node cluster.NodeID
+
+	edges     []edgeQueue  // one per router task
+	edgeWM    []vtime.Time // high-water watermark per edge
+	blocked   []bool       // edge halted at a marker, awaiting alignment
+	seenEpoch int64        // highest epoch this slot aligned on
+	alignLeft int          // markers still missing for the in-flight epoch
+	alignM    *Marker      // the marker being aligned on
+
+	wm        vtime.Time // min edge watermark: safe-to-emit threshold
+	busyUntil vtime.Time // JIT compilation blocks processing until here
+
+	// pendingState marks (query, group) pairs moved TO this slot whose
+	// window state is still in flight; their windows must not emit
+	// until the state arrives (correctness guard of step 4).
+	pendingState map[pendKey]bool
+
+	// exact holds per-query concrete window state (exact mode only).
+	exact map[int]*qExactSlot
+	// held parks tuples of moved-in groups until their state merges.
+	held map[pendKey][]heldTuple
+}
+
+func newSlot(id int, node cluster.NodeID, numEdges int) *slot {
+	s := &slot{
+		id:           id,
+		node:         node,
+		edges:        make([]edgeQueue, numEdges),
+		edgeWM:       make([]vtime.Time, numEdges),
+		blocked:      make([]bool, numEdges),
+		wm:           vtime.NoWatermark,
+		pendingState: make(map[pendKey]bool),
+	}
+	for i := range s.edgeWM {
+		s.edgeWM[i] = vtime.NoWatermark
+	}
+	return s
+}
+
+// process drains processable entries within this tick's CPU budget.
+// Returns false when the slot can make no further progress this tick.
+func (s *slot) process(e *Engine) {
+	if e.clock < s.busyUntil {
+		return // JIT compilation in progress
+	}
+	cpu := e.cluster.CPU(s.node)
+	for {
+		progressed := false
+		for ei := range s.edges {
+			q := &s.edges[ei]
+			for {
+				en := q.peek()
+				if en == nil || en.arriveAt > e.clock {
+					break
+				}
+				if s.blocked[ei] {
+					break
+				}
+				if en.watermark > s.edgeWM[ei] {
+					s.edgeWM[ei] = en.watermark
+				}
+				if en.kind == entryMarker {
+					// Align: halt this edge until every edge delivered
+					// the marker (step 2, sync point).
+					if s.alignM == nil || s.alignM.Epoch < en.marker.Epoch {
+						s.alignM = en.marker
+						s.alignLeft = len(s.edges)
+					}
+					s.blocked[ei] = true
+					s.alignLeft--
+					q.pop()
+					progressed = true
+					if s.alignLeft == 0 {
+						s.completeAlignment(e)
+					}
+					continue
+				}
+				// Non-marker entries: need CPU before consuming.
+				need := s.entryCPU(e, en)
+				if need > 0 && cpu.Remaining() <= 0 {
+					return // node out of budget this tick
+				}
+				if need > cpu.Remaining() && !e.cfg.ExactWindows && en.kind == entryData {
+					// Split the entry: consume the affordable fraction,
+					// shrink the rest for next tick (counting mode only).
+					frac := cpu.Remaining() / need
+					if frac < 0.01 {
+						return
+					}
+					part := *en
+					part.scale = en.scale * frac
+					cpu.Take(need * frac)
+					s.consume(e, &part)
+					en.scale *= 1 - frac
+					e.inboxBytes[s.node] -= en.bytes * frac
+					en.bytes *= 1 - frac
+					progressed = true
+					return // budget exhausted
+				}
+				cpu.Take(need)
+				q.pop()
+				e.inboxBytes[s.node] -= en.bytes
+				s.consume(e, en)
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	s.advanceWatermark(e)
+}
+
+// entryCPU computes the processing cost of an entry on this slot.
+func (s *slot) entryCPU(e *Engine, en *entry) float64 {
+	switch en.kind {
+	case entryHeartbeat:
+		return 0
+	case entryState:
+		return e.cfg.Cost.DeserCPU * en.stWeight
+	}
+	c := &e.cfg.Cost
+	w := e.cfg.TupleWeight * en.scale
+	n := float64(len(en.tuples))
+	var need float64
+	if en.shared {
+		need += c.DeserCPU * w * n // one physical copy
+		plan := en.plan
+		for i := range en.tuples {
+			bits := en.classBits[i]
+			for _, rc := range plan.classes {
+				if bits&(1<<uint(rc.id)) == 0 {
+					continue
+				}
+				// No per-tuple decomposition charge: the JIT-compiled
+				// operator bodies consume the shared stream directly,
+				// which is exactly the bookkeeping the paper's JIT step
+				// exists to avoid ("query indexing for each tuple",
+				// Section III).
+				need += s.opCPU(e, rc, w)
+			}
+		}
+	} else {
+		need += c.DeserCPU * w * n * en.copies
+		need += s.opCPU(e, en.class, w) * n
+	}
+	return need
+}
+
+// opCPU is the post-partition operator cost of one tuple of weight w
+// for every member of a route class.
+func (s *slot) opCPU(e *Engine, rc *routeClass, w float64) float64 {
+	c := &e.cfg.Cost
+	m := float64(len(rc.members))
+	q0 := rc.members[0].q.spec
+	if q0.Kind == OpJoin {
+		eff := m
+		if e.cfg.Profile.SharedJoinCompute && m > 1 {
+			// AJoin: the join work for similar queries runs once, with a
+			// small per-extra-query bookkeeping cost.
+			eff = 1 + 0.1*(m-1)
+		}
+		per := c.JoinCPU * e.cfg.Profile.joinCPUFactor()
+		fan := q0.JoinFanout
+		if fan <= 0 {
+			fan = 0.25
+		}
+		return w * eff * (per + c.EmitCPU*fan)
+	}
+	return w * m * c.AggCPU
+}
+
+// consume applies an entry to this slot's operator state. The caller
+// has already recorded the entry's watermark against its edge.
+func (s *slot) consume(e *Engine, en *entry) {
+	switch en.kind {
+	case entryHeartbeat:
+		return
+	case entryState:
+		e.mergeState(s, en)
+		return
+	}
+	w := e.cfg.TupleWeight * en.scale
+	if en.shared {
+		plan := en.plan
+		for i := range en.tuples {
+			t := &en.tuples[i]
+			bits := en.classBits[i]
+			for _, rc := range plan.classes {
+				if bits&(1<<uint(rc.id)) == 0 {
+					continue
+				}
+				g := e.space.GroupOf(rc.key.KeyOf(t))
+				s.insertClass(e, rc, t, g, w, en)
+			}
+		}
+	} else {
+		for i := range en.tuples {
+			s.insertClass(e, en.class, &en.tuples[i], en.groups[i], w, en)
+		}
+	}
+}
+
+// insertClass feeds one tuple of one route class into every member
+// query's window operator, guarded by the iterator: a tuple whose
+// routing-time assignment does not place its key group on this slot is
+// sent back to the source operator for re-partitioning (step 4's guard
+// role). The check uses the class's routing-time table, so in-flight
+// pre-marker tuples are processed where their state (and its eventual
+// extraction) lives.
+func (s *slot) insertClass(e *Engine, rc *routeClass, t *Tuple, g keyspace.GroupID, w float64, en *entry) {
+	lat := vtime.Max(en.arriveAt, e.clock.Add(-e.cfg.Tick)).Sub(t.TS)
+	if int(rc.assign.Partition(g)) != s.id {
+		if !e.cfg.ExactWindows {
+			m := rc.members[0]
+			e.sendBack(s, m.q.idx, g, w*float64(len(rc.members)), t, m.side)
+			return
+		}
+		for _, m := range rc.members {
+			e.sendBack(s, m.q.idx, g, w, t, m.side)
+		}
+		return
+	}
+	if !e.cfg.ExactWindows {
+		// Counting mode: a class's members are interchangeable for
+		// state accounting (same stream, key, filter, assignment), so
+		// the class representative carries the aggregate weight. This
+		// keeps per-tuple work O(classes) instead of O(queries) for
+		// workloads with thousands of identical queries.
+		m := rc.members[0]
+		wTot := w * float64(len(rc.members))
+		e.insert(s, m.q, m.side, t, g, wTot)
+		e.metrics.recordProcessed(m.q.idx, wTot)
+		e.metrics.recordLatency(lat, wTot)
+		return
+	}
+	for _, m := range rc.members {
+		e.insert(s, m.q, m.side, t, g, w)
+		e.metrics.recordProcessed(m.q.idx, w)
+		e.metrics.recordLatency(lat, w)
+	}
+}
+
+// advanceWatermark recomputes the slot watermark (min over edges) and
+// closes exact-mode windows that became safe.
+func (s *slot) advanceWatermark(e *Engine) {
+	min := vtime.Time(1<<62 - 1)
+	for _, wm := range s.edgeWM {
+		if wm < min {
+			min = wm
+		}
+	}
+	if min > s.wm {
+		s.wm = min
+		if e.cfg.ExactWindows {
+			e.closeExactWindows(s)
+		}
+	}
+}
+
+// completeAlignment runs steps 3–5 of the AQE protocol once markers
+// from every upstream edge arrived (step 2 complete):
+// JIT-compile the affected operators, extract the window state of key
+// groups that moved away, hand it to the iterator which ships it back
+// to a source operator, and unblock the edges.
+func (s *slot) completeAlignment(e *Engine) {
+	m := s.alignM
+	s.alignM = nil
+	for i := range s.blocked {
+		s.blocked[i] = false
+	}
+	if m.Epoch <= s.seenEpoch {
+		return
+	}
+	s.seenEpoch = m.Epoch
+	e.alignedSlots[m.Epoch]++
+
+	if m.Kind == MarkerFinalize {
+		// Step 5: iterators revert to pass-through; nothing to move.
+		return
+	}
+	d := m.Delta
+	if d == nil {
+		return
+	}
+
+	// Step 3: JIT-compile the new operator bodies on this slot — one
+	// compilation per query whose group set here changed.
+	compiles := 0
+	for qi, moved := range d.Moved {
+		q := e.queries[qi]
+		affected := false
+		for _, g := range moved {
+			if int(d.OldAssign[qi].Partition(g)) == s.id || int(q.assign.Partition(g)) == s.id {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			continue
+		}
+		compiles++
+		// Step 4 (iterator): groups that moved away take their window
+		// state back to the source operator for re-partitioning.
+		for _, g := range moved {
+			if int(d.OldAssign[qi].Partition(g)) == s.id {
+				e.extractAndReturn(s, qi, g)
+			}
+			if e.cfg.ExactWindows && int(q.assign.Partition(g)) == s.id {
+				// Emission hold only matters for concrete windows;
+				// counting mode has nothing to emit.
+				s.pendingState[pendKey{qi, g}] = true
+			}
+		}
+	}
+	if compiles > 0 {
+		d := vtime.Duration(compiles) * e.cfg.Cost.CompileCost
+		cost := e.cfg.Cost.CompileCost.Seconds() * float64(compiles)
+		e.cluster.CPU(s.node).Take(cost)
+		s.busyUntil = vtime.Max(e.clock, s.busyUntil).Add(d)
+		e.metrics.recordJIT(compiles, d)
+	}
+}

@@ -1,0 +1,347 @@
+package engine
+
+import (
+	"math"
+	"sort"
+
+	"saspar/internal/keyspace"
+	"saspar/internal/vtime"
+)
+
+// This file holds the two window-state backends.
+//
+// Counting mode (the default for benchmarks) tracks, per (query, side,
+// key group), an exponentially-decayed arrival rate whose product with
+// the window range estimates the in-window state size — exactly the
+// quantity the AQE protocol must ship when a key group moves (Fig. 9).
+//
+// Exact mode maintains concrete window state — real sums, real join
+// buffers — and emits verifiable results; it exists so correctness
+// tests can prove that live re-partitioning never changes query output.
+
+// qCounting is a query's counting-mode state.
+type qCounting struct {
+	rate [][]float64    // per side, per group: EWMA modelled tuples/sec
+	last [][]vtime.Time // per side, per group: last update
+}
+
+func newQCounting(sides, groups int) *qCounting {
+	c := &qCounting{rate: make([][]float64, sides), last: make([][]vtime.Time, sides)}
+	for s := range c.rate {
+		c.rate[s] = make([]float64, groups)
+		c.last[s] = make([]vtime.Time, groups)
+	}
+	return c
+}
+
+// decayTo brings the EWMA for (side, group) forward to now.
+func (c *qCounting) decayTo(side int, g keyspace.GroupID, now vtime.Time, tau float64) {
+	dt := now.Sub(c.last[side][g]).Seconds()
+	if dt > 0 {
+		c.rate[side][g] *= math.Exp(-dt / tau)
+		c.last[side][g] = now
+	}
+}
+
+// aggMapKey addresses one window instance of one grouping key.
+type aggMapKey struct {
+	win vtime.Time
+	key uint64
+}
+
+// aggAcc is a partial aggregate: SUM(col) with the modelled weight.
+type aggAcc struct {
+	sum    float64
+	weight float64
+}
+
+// aggPartial is the wire form of a partial aggregate moved between
+// slots during re-partitioning.
+type aggPartial struct {
+	Win    vtime.Time
+	Key    uint64
+	Sum    float64
+	Weight float64
+}
+
+// AggResult is one emitted window result of an exact-mode aggregation.
+type AggResult struct {
+	Query  int
+	Win    vtime.Time
+	Key    uint64
+	Sum    float64
+	Weight float64
+}
+
+// SortAggResults orders results deterministically for comparison.
+func SortAggResults(rs []AggResult) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		if a.Win != b.Win {
+			return a.Win < b.Win
+		}
+		return a.Key < b.Key
+	})
+}
+
+// qExactSlot is one query's concrete window state on one slot.
+type qExactSlot struct {
+	agg  map[aggMapKey]*aggAcc
+	join [2]map[aggMapKey][]Tuple
+}
+
+func newQExactSlot(kind OpKind) *qExactSlot {
+	st := &qExactSlot{}
+	if kind == OpAggregate {
+		st.agg = make(map[aggMapKey]*aggAcc)
+	} else {
+		st.join[0] = make(map[aggMapKey][]Tuple)
+		st.join[1] = make(map[aggMapKey][]Tuple)
+	}
+	return st
+}
+
+// exactState lazily fetches a slot's state for a query.
+func (e *Engine) exactState(s *slot, qi int) *qExactSlot {
+	if s.exact == nil {
+		s.exact = make(map[int]*qExactSlot)
+	}
+	st := s.exact[qi]
+	if st == nil {
+		st = newQExactSlot(e.queries[qi].spec.Kind)
+		s.exact[qi] = st
+	}
+	return st
+}
+
+// insert feeds one tuple into a query's window state on slot s.
+func (e *Engine) insert(s *slot, q *queryInst, side int, t *Tuple, g keyspace.GroupID, w float64) {
+	if !e.cfg.ExactWindows {
+		c := e.qcount[q.idx]
+		tau := q.spec.Window.Range.Seconds()
+		c.decayTo(side, g, e.clock, tau)
+		c.rate[side][g] += w / tau
+		return
+	}
+
+	// A moved-in key group whose state is still in flight must not be
+	// probed or folded yet: a join tuple would miss matches against the
+	// buffered state, an aggregate would emit before merging. Hold the
+	// tuple; mergeState replays it.
+	if s.pendingState[pendKey{q.idx, g}] {
+		if s.held == nil {
+			s.held = map[pendKey][]heldTuple{}
+		}
+		k := pendKey{q.idx, g}
+		s.held[k] = append(s.held[k], heldTuple{side: side, w: w, t: *t})
+		return
+	}
+
+	st := e.exactState(s, q.idx)
+	key := q.spec.Inputs[side].Key.KeyOf(t)
+	wins := q.spec.Window.WindowsOf(t.TS)
+	if q.spec.Kind == OpAggregate {
+		v := float64(t.Cols[q.spec.AggCol])
+		for _, win := range wins {
+			k := aggMapKey{win, key}
+			acc := st.agg[k]
+			if acc == nil {
+				acc = &aggAcc{}
+				st.agg[k] = acc
+			}
+			acc.sum += v * w
+			acc.weight += w
+		}
+		return
+	}
+	// Join: probe the opposite side, then buffer.
+	opp := st.join[1-side]
+	for _, win := range wins {
+		k := aggMapKey{win, key}
+		if ms := opp[k]; len(ms) > 0 {
+			e.metrics.recordEmitted(q.idx, w*float64(len(ms)))
+		}
+		st.join[side][k] = append(st.join[side][k], *t)
+	}
+}
+
+// closeExactWindows emits every window whose end passed the slot
+// watermark, unless its key group is awaiting moved-in state.
+func (e *Engine) closeExactWindows(s *slot) {
+	for qi, st := range s.exact {
+		q := e.queries[qi]
+		r := vtime.Time(q.spec.Window.Range)
+		if st.agg != nil {
+			for k, acc := range st.agg {
+				if k.win+r > s.wm {
+					continue
+				}
+				g := e.space.GroupOf(k.key)
+				if s.pendingState[pendKey{qi, g}] {
+					continue
+				}
+				e.results[qi] = append(e.results[qi], AggResult{
+					Query: qi, Win: k.win, Key: k.key, Sum: acc.sum, Weight: acc.weight,
+				})
+				e.metrics.recordEmitted(qi, acc.weight)
+				delete(st.agg, k)
+			}
+		}
+		for side := range st.join {
+			for k := range st.join[side] {
+				if k.win+r > s.wm {
+					continue
+				}
+				g := e.space.GroupOf(k.key)
+				if s.pendingState[pendKey{qi, g}] {
+					continue
+				}
+				delete(st.join[side], k)
+			}
+		}
+	}
+}
+
+// extractAndReturn implements the iterator's state movement (step 4):
+// the window state of query qi's key group g leaves slot s, travels
+// back to a source operator, and is re-partitioned to the new owner.
+// Both legs consume network resources; the first leg is the "tuples
+// sent back to the source operator" of Fig. 9.
+func (e *Engine) extractAndReturn(s *slot, qi int, g keyspace.GroupID) {
+	q := e.queries[qi]
+	en := &entry{
+		kind:    entryState,
+		stQuery: qi,
+		stGroup: g,
+		epoch:   e.epoch,
+	}
+
+	if e.cfg.ExactWindows {
+		if st := s.exact[qi]; st != nil {
+			if st.agg != nil {
+				for k, acc := range st.agg {
+					if e.space.GroupOf(k.key) != g {
+						continue
+					}
+					en.stAgg = append(en.stAgg, aggPartial{Win: k.win, Key: k.key, Sum: acc.sum, Weight: acc.weight})
+					en.stWeight += acc.weight
+					delete(st.agg, k)
+				}
+			}
+			for side := range st.join {
+				for k, buf := range st.join[side] {
+					if e.space.GroupOf(k.key) != g {
+						continue
+					}
+					en.stJoin[side] = append(en.stJoin[side], buf...)
+					en.stWeight += float64(len(buf))
+					delete(st.join[side], k)
+				}
+			}
+		}
+	} else {
+		c := e.qcount[qi]
+		tau := q.spec.Window.Range.Seconds()
+		for side := range c.rate {
+			c.decayTo(side, g, e.clock, tau)
+			en.stWeight += c.rate[side][g] * tau // in-window state estimate
+			c.rate[side][g] = 0
+		}
+	}
+
+	if !e.cfg.ExactWindows && en.stWeight == 0 {
+		// Nothing to move (e.g. a non-representative member of a route
+		// class in counting mode, whose state is carried by the
+		// representative). Exact mode always ships, even empty, so the
+		// new owner's emission hold clears.
+		return
+	}
+	e.metrics.recordReshuffle(en.stWeight)
+
+	// Route the state back through a source operator. Bytes flow over
+	// two legs: slot → source node, then source → new owner.
+	src := e.tasks[e.rng.Intn(len(e.tasks))]
+	bytes := en.stWeight * e.streams[q.spec.Inputs[0].Stream].BytesPerTuple
+	_, d1 := e.net.Send(s.node, src.node, bytes)
+	owner := int(q.assign.Partition(g))
+	_, d2 := e.net.Send(src.node, e.placement.PartitionNode(owner), bytes)
+	en.slot = owner
+	en.arriveAt = e.clock.Add(d1 + d2)
+	en.watermark = vtime.NoWatermark
+	e.outstandingState++
+	e.enqueue(src, en)
+}
+
+// mergeState absorbs a moved key group's state at its new owner and
+// clears the emission hold.
+func (e *Engine) mergeState(s *slot, en *entry) {
+	qi := en.stQuery
+	if e.cfg.ExactWindows {
+		st := e.exactState(s, qi)
+		for _, p := range en.stAgg {
+			k := aggMapKey{p.Win, p.Key}
+			acc := st.agg[k]
+			if acc == nil {
+				acc = &aggAcc{}
+				st.agg[k] = acc
+			}
+			acc.sum += p.Sum
+			acc.weight += p.Weight
+		}
+		for side := range en.stJoin {
+			for i := range en.stJoin[side] {
+				t := &en.stJoin[side][i]
+				key := e.queries[qi].spec.Inputs[side].Key.KeyOf(t)
+				for _, win := range e.queries[qi].spec.Window.WindowsOf(t.TS) {
+					st.join[side][aggMapKey{win, key}] = append(st.join[side][aggMapKey{win, key}], *t)
+				}
+			}
+		}
+	} else {
+		c := e.qcount[qi]
+		tau := e.queries[qi].spec.Window.Range.Seconds()
+		c.decayTo(0, en.stGroup, e.clock, tau)
+		c.rate[0][en.stGroup] += en.stWeight / tau
+	}
+	k := pendKey{qi, en.stGroup}
+	delete(s.pendingState, k)
+	e.outstandingState--
+	// Replay tuples that arrived for this group while its state was in
+	// flight, now in arrival order against the complete state.
+	if held := s.held[k]; len(held) > 0 {
+		delete(s.held, k)
+		for i := range held {
+			h := &held[i]
+			e.insert(s, e.queries[qi], h.side, &h.t, en.stGroup, h.w)
+		}
+	}
+}
+
+// heldTuple is a tuple parked while its key group's moved state is in
+// flight.
+type heldTuple struct {
+	side int
+	w    float64
+	t    Tuple
+}
+
+// sendBack is the iterator guard's reroute of a stray tuple: a tuple
+// that reached a slot which no longer owns its key group under the
+// current epoch travels back to a source and on to the true owner.
+func (e *Engine) sendBack(s *slot, qi int, g keyspace.GroupID, w float64, t *Tuple, side int) {
+	e.metrics.recordReshuffle(w)
+	q := e.queries[qi]
+	bytes := w * e.streams[q.spec.Inputs[side].Stream].BytesPerTuple
+	src := e.tasks[e.rng.Intn(len(e.tasks))]
+	e.net.Send(s.node, src.node, bytes)
+	owner := int(q.assign.Partition(g))
+	e.net.Send(src.node, e.placement.PartitionNode(owner), bytes)
+	// Deliver to the true owner; delays for strays are folded into the
+	// next tick's processing.
+	target := e.slots[owner]
+	e.insert(target, q, side, t, g, w)
+	e.metrics.recordProcessed(qi, w)
+}

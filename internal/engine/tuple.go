@@ -1,0 +1,104 @@
+// Package engine implements the virtual-time stream dataflow runtime
+// that stands in for the paper's JVM stream processing engines (Flink,
+// AJoin, Prompt — see DESIGN.md for the substitution argument).
+//
+// The engine moves real tuples through real operator graphs — sources,
+// routers (the partition operator), iterator guards, windowed
+// aggregations and joins, sinks — over a simulated cluster
+// (internal/cluster) and network (internal/netsim), advancing on a
+// virtual clock. Per-tuple CPU, serialization, and network byte costs
+// are charged against node meters, so throughput ceilings, queueing
+// latency and backpressure emerge from resource contention exactly as
+// they do on the paper's testbed.
+//
+// Tuples carry a weight: a concrete tuple may represent W identical
+// tuples of the modelled stream, so count-level accounting can run at
+// millions of tuples per second while the concrete tuple rate stays
+// tractable. Correctness tests run with weight 1.
+package engine
+
+import (
+	"saspar/internal/keyspace"
+	"saspar/internal/vtime"
+)
+
+// MaxCols is the widest tuple schema supported. TPC-H LINEITEM in its
+// streaming form needs 10 columns; 12 leaves headroom.
+const MaxCols = 12
+
+// Tuple is one stream record. Columns are fixed-width int64s: monetary
+// values are scaled to cents, enumerations (return flags, ship modes)
+// are small integer codes, keys are entity IDs. This mirrors how
+// row-oriented SPEs lay out hot-path records.
+type Tuple struct {
+	TS   vtime.Time // event time
+	Cols [MaxCols]int64
+}
+
+// KeySpec selects the partitioning key of a query input: the column
+// indices that form the GROUP BY / equi-join key (e.g. Q2 of Listing 1
+// partitions PURCHASES by userID+gemPackID → KeySpec{0, 1}).
+type KeySpec []int
+
+// KeyOf folds the spec's columns into a single 64-bit key.
+func (ks KeySpec) KeyOf(t *Tuple) uint64 {
+	switch len(ks) {
+	case 1:
+		return uint64(t.Cols[ks[0]])
+	case 2:
+		return keyspace.CombineKeys(uint64(t.Cols[ks[0]]), uint64(t.Cols[ks[1]]))
+	default:
+		cols := make([]uint64, len(ks))
+		for i, c := range ks {
+			cols[i] = uint64(t.Cols[c])
+		}
+		return keyspace.CombineKeys(cols...)
+	}
+}
+
+// Equal reports whether two key specs select the same columns in the
+// same order — the condition under which two queries' routing decisions
+// coincide and the router can serve them from one route class.
+func (ks KeySpec) Equal(other KeySpec) bool {
+	if len(ks) != len(other) {
+		return false
+	}
+	for i := range ks {
+		if ks[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StreamID identifies a logical stream (PURCHASES, LINEITEM, ...)
+// within one engine run.
+type StreamID int32
+
+// StreamDef describes a logical stream: its schema width, the wire size
+// of one tuple, and the generator driving each physical source task.
+type StreamDef struct {
+	Name string
+	// NumCols is the schema width (must be <= MaxCols).
+	NumCols int
+	// BytesPerTuple is the serialized size of one tuple on the wire.
+	BytesPerTuple float64
+	// NewGenerator builds the per-source-task tuple generator; task is
+	// the physical source index, so parallel tasks can generate
+	// disjoint or identically distributed substreams.
+	NewGenerator func(task int) Generator
+}
+
+// Generator produces the tuples of one physical source task.
+// Implementations live in the workload packages (internal/tpch,
+// internal/ajoinwl, internal/gcm).
+type Generator interface {
+	// Next fills t's columns for a tuple with event time ts.
+	Next(t *Tuple, ts vtime.Time)
+}
+
+// GeneratorFunc adapts a function to the Generator interface.
+type GeneratorFunc func(t *Tuple, ts vtime.Time)
+
+// Next implements Generator.
+func (f GeneratorFunc) Next(t *Tuple, ts vtime.Time) { f(t, ts) }

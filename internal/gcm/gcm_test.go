@@ -1,0 +1,71 @@
+package gcm
+
+import (
+	"testing"
+
+	"saspar/internal/engine"
+)
+
+func TestNewTwoQueries(t *testing.T) {
+	w, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 2 || len(w.Streams) != 1 {
+		t.Fatalf("got %d queries / %d streams, want 2 / 1", len(w.Queries), len(w.Streams))
+	}
+	for _, q := range w.Queries {
+		if q.Kind != engine.OpAggregate {
+			t.Fatalf("GCM query %s is not a single aggregation", q.ID)
+		}
+	}
+	// The two queries partition the same stream by different keys —
+	// machine vs job — which is the (small) sharing opportunity.
+	if w.Queries[0].Inputs[0].Key.Equal(w.Queries[1].Inputs[0].Key) {
+		t.Fatal("the two GCM queries should partition by different keys")
+	}
+}
+
+func TestSingleQueryVariant(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumQueries = 1
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 1 {
+		t.Fatalf("got %d queries", len(w.Queries))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.NumQueries = 3
+	if _, err := New(bad); err == nil {
+		t.Fatal("3 queries accepted; the benchmark defines 2")
+	}
+	bad = DefaultConfig()
+	bad.Rate = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("0 rate accepted")
+	}
+}
+
+func TestGeneratorsInDomain(t *testing.T) {
+	cfg := DefaultConfig()
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Streams[0].NewGenerator(0)
+	var tu engine.Tuple
+	for i := 0; i < 1000; i++ {
+		g.Next(&tu, 0)
+		if tu.Cols[ColMachineID] < 0 || tu.Cols[ColMachineID] >= cfg.Machines {
+			t.Fatalf("machine %d out of domain", tu.Cols[ColMachineID])
+		}
+		if tu.Cols[ColEventType] < 0 || tu.Cols[ColEventType] > 5 {
+			t.Fatalf("event type %d out of range", tu.Cols[ColEventType])
+		}
+	}
+}

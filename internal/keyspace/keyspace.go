@@ -1,0 +1,214 @@
+// Package keyspace implements the key-group abstraction of Section II
+// of the SASPAR paper: the key space of a stream is broken into a fixed
+// number of key groups, tuples are assigned to key groups by hashing,
+// and key groups — not individual keys — are mapped to partitions.
+//
+// Two mapping mechanisms are provided:
+//
+//   - Ring: a consistent-hashing ring with virtual nodes (Fig. 2), used
+//     to derive the initial, non-optimized group→partition assignment,
+//     exactly as Flink and PostgreSQL derive theirs.
+//   - Assignment: an explicit, versioned group→partition table, which is
+//     what the SASPAR optimizer rewrites at run time.
+package keyspace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupID identifies a key group within a Space.
+type GroupID int32
+
+// PartitionID identifies a parallel partition instance.
+type PartitionID int32
+
+// NoPartition marks an unassigned group.
+const NoPartition PartitionID = -1
+
+// Space is a fixed-size key-group space. Every tuple key is folded into
+// one of NumGroups groups; a Space is immutable after creation.
+type Space struct {
+	numGroups int
+}
+
+// NewSpace returns a Space with n key groups. n must be positive.
+func NewSpace(n int) Space {
+	if n <= 0 {
+		panic(fmt.Sprintf("keyspace: non-positive group count %d", n))
+	}
+	return Space{numGroups: n}
+}
+
+// NumGroups reports the number of key groups in the space.
+func (s Space) NumGroups() int { return s.numGroups }
+
+// GroupOf maps a key to its key group. The key is first mixed with a
+// finalizer so that low-entropy keys (sequential IDs, small enums)
+// spread across groups, then folded modulo the group count — the same
+// construction Flink uses for its key-group index.
+func (s Space) GroupOf(key uint64) GroupID {
+	return GroupID(Mix64(key) % uint64(s.numGroups))
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit mixing
+// function. It is the hash used for all key→group folding.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// CombineKeys folds a multi-column key (e.g. userID+gemPackID in Q2 of
+// Listing 1) into a single 64-bit key, order-sensitively.
+func CombineKeys(cols ...uint64) uint64 {
+	h := uint64(0x517cc1b727220a95)
+	for _, c := range cols {
+		h = Mix64(h ^ c)
+	}
+	return h
+}
+
+// Ring is a consistent-hashing ring with virtual nodes. Key groups are
+// placed on the ring by hashing their ID; each group is served by the
+// nearest virtual node in counter-clockwise direction (Fig. 2a).
+type Ring struct {
+	points []ringPoint // sorted by pos
+}
+
+type ringPoint struct {
+	pos       uint64
+	partition PartitionID
+}
+
+// NewRing builds a ring for the given partitions with vnodesPer virtual
+// nodes each. The layout is deterministic: virtual node j of partition p
+// is placed at Mix64(p*2654435761 + j*40503 + 1).
+func NewRing(numPartitions, vnodesPer int) *Ring {
+	if numPartitions <= 0 || vnodesPer <= 0 {
+		panic("keyspace: ring needs positive partition and vnode counts")
+	}
+	r := &Ring{points: make([]ringPoint, 0, numPartitions*vnodesPer)}
+	for p := 0; p < numPartitions; p++ {
+		for j := 0; j < vnodesPer; j++ {
+			pos := Mix64(uint64(p)*2654435761 + uint64(j)*40503 + 1)
+			r.points = append(r.points, ringPoint{pos: pos, partition: PartitionID(p)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].pos < r.points[j].pos })
+	return r
+}
+
+// PartitionOf returns the partition serving key group g: the first
+// virtual node at or after g's ring position, wrapping around.
+func (r *Ring) PartitionOf(g GroupID) PartitionID {
+	pos := Mix64(uint64(g) * 0x9E3779B97F4A7C15)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].partition
+}
+
+// InitialAssignment derives the default (pre-optimization) assignment
+// table for a space: every group mapped through the ring.
+func (r *Ring) InitialAssignment(s Space) *Assignment {
+	a := NewAssignment(s.NumGroups())
+	for g := 0; g < s.NumGroups(); g++ {
+		a.Set(GroupID(g), r.PartitionOf(GroupID(g)))
+	}
+	return a
+}
+
+// Assignment is an explicit key-group → partition mapping, the object
+// the SASPAR optimizer produces and the AQE protocol installs. It is
+// versioned so in-flight reconfigurations can be told apart.
+type Assignment struct {
+	version int64
+	table   []PartitionID
+}
+
+// NewAssignment returns an assignment for numGroups groups with every
+// group unassigned (NoPartition).
+func NewAssignment(numGroups int) *Assignment {
+	t := make([]PartitionID, numGroups)
+	for i := range t {
+		t[i] = NoPartition
+	}
+	return &Assignment{table: t}
+}
+
+// NumGroups reports the group count the table covers.
+func (a *Assignment) NumGroups() int { return len(a.table) }
+
+// Version reports the assignment version, bumped on every mutation.
+func (a *Assignment) Version() int64 { return a.version }
+
+// Partition returns the partition assigned to group g.
+func (a *Assignment) Partition(g GroupID) PartitionID { return a.table[g] }
+
+// Set assigns group g to partition p and bumps the version.
+func (a *Assignment) Set(g GroupID, p PartitionID) {
+	a.table[g] = p
+	a.version++
+}
+
+// Clone returns a deep copy sharing no state with a.
+func (a *Assignment) Clone() *Assignment {
+	t := make([]PartitionID, len(a.table))
+	copy(t, a.table)
+	return &Assignment{version: a.version, table: t}
+}
+
+// Diff returns the groups whose partition differs between a and b.
+// Both assignments must cover the same number of groups.
+func (a *Assignment) Diff(b *Assignment) []GroupID {
+	if len(a.table) != len(b.table) {
+		panic(fmt.Sprintf("keyspace: diff over mismatched group counts %d vs %d", len(a.table), len(b.table)))
+	}
+	var moved []GroupID
+	for g := range a.table {
+		if a.table[g] != b.table[g] {
+			moved = append(moved, GroupID(g))
+		}
+	}
+	return moved
+}
+
+// Complete reports whether every group has a partition.
+func (a *Assignment) Complete() bool {
+	for _, p := range a.table {
+		if p == NoPartition {
+			return false
+		}
+	}
+	return true
+}
+
+// Partitions returns the sorted set of distinct partitions used.
+func (a *Assignment) Partitions() []PartitionID {
+	seen := map[PartitionID]bool{}
+	for _, p := range a.table {
+		if p != NoPartition {
+			seen[p] = true
+		}
+	}
+	out := make([]PartitionID, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GroupsOf returns the groups assigned to partition p, in group order.
+func (a *Assignment) GroupsOf(p PartitionID) []GroupID {
+	var out []GroupID
+	for g, q := range a.table {
+		if q == p {
+			out = append(out, GroupID(g))
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package keyspace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceGroupOfInRange(t *testing.T) {
+	s := NewSpace(64)
+	f := func(key uint64) bool {
+		g := s.GroupOf(key)
+		return g >= 0 && int(g) < s.NumGroups()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceGroupOfDeterministic(t *testing.T) {
+	s := NewSpace(17)
+	f := func(key uint64) bool { return s.GroupOf(key) == s.GroupOf(key) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceGroupOfSpreadsSequentialKeys(t *testing.T) {
+	// Sequential integer keys (order IDs, user IDs) must not pile into a
+	// few groups; that is the whole point of the Mix64 finalizer.
+	s := NewSpace(32)
+	counts := make([]int, 32)
+	const n = 32 * 1000
+	for k := 0; k < n; k++ {
+		counts[s.GroupOf(uint64(k))]++
+	}
+	for g, c := range counts {
+		if c == 0 {
+			t.Fatalf("group %d received no sequential keys", g)
+		}
+		// Expect ~1000 per group; allow generous 3x imbalance.
+		if c > 3000 {
+			t.Fatalf("group %d received %d of %d keys: too skewed", g, c, n)
+		}
+	}
+}
+
+func TestNewSpacePanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d) did not panic", n)
+				}
+			}()
+			NewSpace(n)
+		}()
+	}
+}
+
+func TestCombineKeysOrderSensitive(t *testing.T) {
+	if CombineKeys(1, 2) == CombineKeys(2, 1) {
+		t.Fatal("CombineKeys must be order-sensitive")
+	}
+	if CombineKeys(7) == CombineKeys(7, 0) {
+		t.Fatal("CombineKeys must distinguish arities")
+	}
+}
+
+func TestRingCoversAllPartitions(t *testing.T) {
+	for _, np := range []int{1, 2, 3, 8, 64} {
+		r := NewRing(np, 16)
+		s := NewSpace(np * 64)
+		seen := map[PartitionID]bool{}
+		for g := 0; g < s.NumGroups(); g++ {
+			p := r.PartitionOf(GroupID(g))
+			if p < 0 || int(p) >= np {
+				t.Fatalf("partition %d out of range [0,%d)", p, np)
+			}
+			seen[p] = true
+		}
+		if len(seen) != np {
+			t.Fatalf("ring with %d partitions only served %d of them", np, len(seen))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With enough virtual nodes the per-partition group counts should be
+	// within a small factor of perfectly balanced.
+	const np, groups = 8, 1024
+	r := NewRing(np, 64)
+	counts := make([]int, np)
+	for g := 0; g < groups; g++ {
+		counts[r.PartitionOf(GroupID(g))]++
+	}
+	mean := float64(groups) / np
+	for p, c := range counts {
+		if math.Abs(float64(c)-mean) > mean {
+			t.Fatalf("partition %d serves %d groups, mean %.0f: imbalance too high", p, c, mean)
+		}
+	}
+}
+
+func TestInitialAssignmentCompleteAndMatchesRing(t *testing.T) {
+	s := NewSpace(128)
+	r := NewRing(4, 8)
+	a := r.InitialAssignment(s)
+	if !a.Complete() {
+		t.Fatal("initial assignment left groups unassigned")
+	}
+	for g := 0; g < s.NumGroups(); g++ {
+		if a.Partition(GroupID(g)) != r.PartitionOf(GroupID(g)) {
+			t.Fatalf("group %d assignment disagrees with ring", g)
+		}
+	}
+}
+
+func TestAssignmentVersionBumpsOnSet(t *testing.T) {
+	a := NewAssignment(4)
+	v := a.Version()
+	a.Set(0, 1)
+	if a.Version() <= v {
+		t.Fatal("Set did not bump version")
+	}
+}
+
+func TestAssignmentCloneIsolated(t *testing.T) {
+	a := NewAssignment(4)
+	a.Set(0, 1)
+	b := a.Clone()
+	b.Set(0, 2)
+	if a.Partition(0) != 1 {
+		t.Fatal("mutating clone leaked into original")
+	}
+	if b.Partition(0) != 2 {
+		t.Fatal("clone did not take mutation")
+	}
+}
+
+func TestAssignmentDiff(t *testing.T) {
+	a := NewAssignment(5)
+	b := NewAssignment(5)
+	for g := 0; g < 5; g++ {
+		a.Set(GroupID(g), 0)
+		b.Set(GroupID(g), 0)
+	}
+	b.Set(1, 2)
+	b.Set(4, 1)
+	moved := a.Diff(b)
+	if len(moved) != 2 || moved[0] != 1 || moved[1] != 4 {
+		t.Fatalf("Diff = %v, want [1 4]", moved)
+	}
+}
+
+func TestAssignmentDiffPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Diff over mismatched sizes did not panic")
+		}
+	}()
+	NewAssignment(3).Diff(NewAssignment(4))
+}
+
+func TestAssignmentPartitionsAndGroupsOf(t *testing.T) {
+	a := NewAssignment(6)
+	a.Set(0, 2)
+	a.Set(1, 0)
+	a.Set(2, 2)
+	a.Set(3, 0)
+	a.Set(4, 2)
+	a.Set(5, 1)
+	ps := a.Partitions()
+	if len(ps) != 3 || ps[0] != 0 || ps[1] != 1 || ps[2] != 2 {
+		t.Fatalf("Partitions = %v, want [0 1 2]", ps)
+	}
+	gs := a.GroupsOf(2)
+	if len(gs) != 3 || gs[0] != 0 || gs[1] != 2 || gs[2] != 4 {
+		t.Fatalf("GroupsOf(2) = %v, want [0 2 4]", gs)
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// splitmix64's finalizer is a bijection; spot-check no collisions on
+	// a structured sample.
+	seen := make(map[uint64]uint64, 1<<12)
+	for i := uint64(0); i < 1<<12; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: %d and %d -> %d", prev, i, h)
+		}
+		seen[h] = i
+	}
+}

@@ -1,0 +1,402 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx {≤,=,≥} bᵢ   for every constraint i
+//	            x ≥ 0
+//
+// It exists as the LP-relaxation bound provider for the MIP
+// branch-and-bound solver (internal/mip) on small instances, and as an
+// independently tested substrate. The implementation favours clarity
+// and numerical robustness (Bland's rule fallback against cycling)
+// over raw speed; SASPAR's large instances use combinatorial bounds
+// instead.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a constraint.
+type Sense int
+
+const (
+	// LE is aᵀx ≤ b.
+	LE Sense = iota
+	// GE is aᵀx ≥ b.
+	GE
+	// EQ is aᵀx = b.
+	EQ
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Problem is a linear program under construction.
+type Problem struct {
+	numVars int
+	c       []float64
+	rows    [][]float64
+	senses  []Sense
+	rhs     []float64
+}
+
+// NewProblem creates a program over n non-negative variables with a
+// zero objective.
+func NewProblem(n int) *Problem {
+	if n <= 0 {
+		panic("lp: need at least one variable")
+	}
+	return &Problem{numVars: n, c: make([]float64, n)}
+}
+
+// NumVars reports the variable count.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints reports the constraint count.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// SetObjectiveCoeff sets the objective coefficient of variable j.
+func (p *Problem) SetObjectiveCoeff(j int, v float64) {
+	p.c[j] = v
+}
+
+// AddConstraint appends aᵀx sense b. The coefficient slice is copied
+// and may be shorter than the variable count (missing entries are 0).
+func (p *Problem) AddConstraint(a []float64, sense Sense, b float64) {
+	row := make([]float64, p.numVars)
+	copy(row, a)
+	p.rows = append(p.rows, row)
+	p.senses = append(p.senses, sense)
+	p.rhs = append(p.rhs, b)
+}
+
+// AddSparseConstraint appends a constraint given as variable→coefficient.
+func (p *Problem) AddSparseConstraint(a map[int]float64, sense Sense, b float64) {
+	row := make([]float64, p.numVars)
+	for j, v := range a {
+		if j < 0 || j >= p.numVars {
+			panic(fmt.Sprintf("lp: coefficient for unknown variable %d", j))
+		}
+		row[j] = v
+	}
+	p.rows = append(p.rows, row)
+	p.senses = append(p.senses, sense)
+	p.rhs = append(p.rhs, b)
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// ErrNoConstraints is returned when Solve is called on a problem with
+// an empty constraint set and a negative objective direction would be
+// unbounded; callers should add constraints first.
+var ErrNoConstraints = errors.New("lp: problem has no constraints")
+
+// Solve runs two-phase primal simplex.
+func (p *Problem) Solve() (Solution, error) {
+	if len(p.rows) == 0 {
+		return Solution{}, ErrNoConstraints
+	}
+	t := newTableau(p)
+	if !t.phase1() {
+		return Solution{Status: Infeasible}, nil
+	}
+	switch t.phase2() {
+	case Unbounded:
+		return Solution{Status: Unbounded}, nil
+	}
+	x := t.extract()
+	obj := 0.0
+	for j, cj := range p.c {
+		obj += cj * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// tableau is the dense simplex working state. Layout: columns are
+// [structural | slack/surplus | artificial | rhs]; rows are constraints
+// plus the (phase-dependent) objective row kept separately.
+type tableau struct {
+	m, n       int // constraints, structural vars
+	nSlack     int
+	nArt       int
+	cols       int // total columns excluding rhs
+	a          [][]float64
+	rhs        []float64
+	basis      []int // basic variable per row
+	obj        []float64
+	objRHS     float64
+	origC      []float64
+	artStart   int
+	iterBudget int
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.rows)
+	t := &tableau{m: m, n: p.numVars}
+	// Count slack and artificial columns.
+	for i, s := range p.senses {
+		b := p.rhs[i]
+		switch s {
+		case LE:
+			t.nSlack++
+			if b < 0 {
+				t.nArt++ // after row negation it becomes GE-like
+			}
+		case GE:
+			t.nSlack++
+			t.nArt++
+		case EQ:
+			t.nArt++
+		}
+	}
+	// Conservative sizing: allocate slack + artificial for every row.
+	t.cols = t.n + t.nSlack + t.nArt
+	t.artStart = t.n + t.nSlack
+	t.a = make([][]float64, m)
+	t.rhs = make([]float64, m)
+	t.basis = make([]int, m)
+	t.origC = append([]float64(nil), p.c...)
+	t.iterBudget = 200 * (m + t.cols + 10)
+
+	slackIdx := t.n
+	artIdx := t.artStart
+	for i := 0; i < m; i++ {
+		row := make([]float64, t.cols)
+		copy(row, p.rows[i])
+		b := p.rhs[i]
+		sense := p.senses[i]
+		// Normalize to b >= 0.
+		if b < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			b = -b
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			row[slackIdx] = 1
+			t.basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			slackIdx++
+			row[artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		case EQ:
+			row[artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		}
+		t.a[i] = row
+		t.rhs[i] = b
+	}
+	t.nArt = artIdx - t.artStart
+	return t
+}
+
+// phase1 minimizes the sum of artificial variables; returns false when
+// the problem is infeasible.
+func (t *tableau) phase1() bool {
+	if t.nArt == 0 {
+		return true
+	}
+	// Objective: sum of artificials, expressed over the current basis.
+	t.obj = make([]float64, t.cols)
+	t.objRHS = 0
+	for j := t.artStart; j < t.artStart+t.nArt; j++ {
+		t.obj[j] = 1
+	}
+	// Price out basic artificials.
+	for i, b := range t.basis {
+		if b >= t.artStart {
+			for j := range t.obj {
+				t.obj[j] -= t.a[i][j]
+			}
+			t.objRHS -= t.rhs[i]
+		}
+	}
+	if t.iterate() == Unbounded {
+		return false // cannot happen for phase 1, defensive
+	}
+	if -t.objRHS > 1e-7 {
+		return false // artificials remain positive
+	}
+	// Drive any degenerate artificial out of the basis.
+	for i, b := range t.basis {
+		if b < t.artStart {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; harmless to leave with zero rhs.
+			_ = i
+		}
+	}
+	return true
+}
+
+// phase2 minimizes the original objective from the feasible basis.
+func (t *tableau) phase2() Status {
+	t.obj = make([]float64, t.cols)
+	copy(t.obj, t.origC)
+	t.objRHS = 0
+	// Artificial columns must not re-enter.
+	for j := t.artStart; j < t.artStart+t.nArt; j++ {
+		t.obj[j] = math.Inf(1)
+	}
+	// Price out the basis.
+	for i, b := range t.basis {
+		if cb := t.obj[b]; cb != 0 && !math.IsInf(cb, 1) {
+			for j := range t.obj {
+				if !math.IsInf(t.obj[j], 1) {
+					t.obj[j] -= cb * t.a[i][j]
+				}
+			}
+			t.objRHS -= cb * t.rhs[i]
+		}
+	}
+	return t.iterate()
+}
+
+// iterate runs simplex pivots until optimal or unbounded. Dantzig rule
+// with a Bland fallback once the iteration budget halves (anti-cycling).
+func (t *tableau) iterate() Status {
+	iters := 0
+	for {
+		iters++
+		if iters > t.iterBudget {
+			return Optimal // stalled; current basis is feasible
+		}
+		bland := iters > t.iterBudget/2
+		// Entering column: most negative reduced cost.
+		enter := -1
+		best := -eps
+		for j := 0; j < t.cols; j++ {
+			rj := t.obj[j]
+			if math.IsInf(rj, 1) {
+				continue
+			}
+			if bland {
+				if rj < -eps {
+					enter = j
+					break
+				}
+			} else if rj < best {
+				best = rj
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij > eps {
+				r := t.rhs[i] / aij
+				if r < bestRatio-eps || (r < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot makes column j basic in row i.
+func (t *tableau) pivot(i, j int) {
+	piv := t.a[i][j]
+	inv := 1 / piv
+	for k := range t.a[i] {
+		t.a[i][k] *= inv
+	}
+	t.rhs[i] *= inv
+	for r := 0; r < t.m; r++ {
+		if r == i {
+			continue
+		}
+		f := t.a[r][j]
+		if f == 0 {
+			continue
+		}
+		for k := range t.a[r] {
+			t.a[r][k] -= f * t.a[i][k]
+		}
+		t.rhs[r] -= f * t.rhs[i]
+	}
+	if t.obj != nil {
+		f := t.obj[j]
+		if f != 0 && !math.IsInf(f, 1) {
+			for k := range t.obj {
+				if !math.IsInf(t.obj[k], 1) {
+					t.obj[k] -= f * t.a[i][k]
+				}
+			}
+			t.objRHS -= f * t.rhs[i]
+		}
+	}
+	t.basis[i] = j
+}
+
+// extract reads the structural variable values off the basis.
+func (t *tableau) extract() []float64 {
+	x := make([]float64, t.n)
+	for i, b := range t.basis {
+		if b < t.n {
+			x[b] = t.rhs[i]
+		}
+	}
+	return x
+}

@@ -1,0 +1,201 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleLE(t *testing.T) {
+	// min -x1 - 2x2  s.t. x1+x2 <= 4, x1 <= 2  => x=(0,4), obj=-8
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(0, -1)
+	p.SetObjectiveCoeff(1, -2)
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 0}, LE, 2)
+	s, err := p.Solve()
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("solve: %v %v", s.Status, err)
+	}
+	if !approx(s.Objective, -8) {
+		t.Fatalf("objective = %v, want -8", s.Objective)
+	}
+	if !approx(s.X[1], 4) {
+		t.Fatalf("x2 = %v, want 4", s.X[1])
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min x1 + x2  s.t. x1 + 2x2 = 4, x1 - x2 = 1 => x=(2,1), obj=3
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(0, 1)
+	p.SetObjectiveCoeff(1, 1)
+	p.AddConstraint([]float64{1, 2}, EQ, 4)
+	p.AddConstraint([]float64{1, -1}, EQ, 1)
+	s, err := p.Solve()
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("solve: %v %v", s.Status, err)
+	}
+	if !approx(s.X[0], 2) || !approx(s.X[1], 1) {
+		t.Fatalf("x = %v, want (2,1)", s.X)
+	}
+	if !approx(s.Objective, 3) {
+		t.Fatalf("objective = %v, want 3", s.Objective)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// min 2x1 + 3x2  s.t. x1 + x2 >= 10, x1 >= 3 => x=(10,0)? check:
+	// obj coefficients favor x1 (2<3): x1=10, x2=0, obj=20.
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(0, 2)
+	p.SetObjectiveCoeff(1, 3)
+	p.AddConstraint([]float64{1, 1}, GE, 10)
+	p.AddConstraint([]float64{1, 0}, GE, 3)
+	s, err := p.Solve()
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("solve: %v %v", s.Status, err)
+	}
+	if !approx(s.Objective, 20) {
+		t.Fatalf("objective = %v, want 20", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjectiveCoeff(0, 1)
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(0, -1)
+	p.AddConstraint([]float64{0, 1}, LE, 1) // x1 unconstrained above
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x1 - x2 <= -2  is  x2 - x1 >= 2. min x2 s.t. that and x1 >= 0:
+	// x=(0,2), obj=2.
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(1, 1)
+	p.AddConstraint([]float64{1, -1}, LE, -2)
+	s, err := p.Solve()
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("solve: %v %v", s.Status, err)
+	}
+	if !approx(s.Objective, 2) {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestMaxLinearization(t *testing.T) {
+	// The SASPAR max() construction (Eq. 5): min M s.t. M >= x_i with
+	// fixed x values. Here x1=3, x2=7 fixed by equality; M >= both.
+	p := NewProblem(3) // x1, x2, M
+	p.SetObjectiveCoeff(2, 1)
+	p.AddConstraint([]float64{1, 0, 0}, EQ, 3)
+	p.AddConstraint([]float64{0, 1, 0}, EQ, 7)
+	p.AddConstraint([]float64{-1, 0, 1}, GE, 0) // M - x1 >= 0
+	p.AddConstraint([]float64{0, -1, 1}, GE, 0) // M - x2 >= 0
+	s, err := p.Solve()
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("solve: %v %v", s.Status, err)
+	}
+	if !approx(s.X[2], 7) {
+		t.Fatalf("M = %v, want 7", s.X[2])
+	}
+}
+
+func TestAssignmentRelaxation(t *testing.T) {
+	// A tiny relaxed assignment: two groups to two partitions, cost
+	// favors splitting. Variables a[g][p] in [0,1] via <=1 rows, sum_p
+	// a[g][p] = 1. Costs: g0: (1, 3), g1: (3, 1) => a00=1, a11=1, obj=2.
+	p := NewProblem(4) // a00 a01 a10 a11
+	costs := []float64{1, 3, 3, 1}
+	for j, c := range costs {
+		p.SetObjectiveCoeff(j, c)
+		p.AddSparseConstraint(map[int]float64{j: 1}, LE, 1)
+	}
+	p.AddConstraint([]float64{1, 1, 0, 0}, EQ, 1)
+	p.AddConstraint([]float64{0, 0, 1, 1}, EQ, 1)
+	s, err := p.Solve()
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("solve: %v %v", s.Status, err)
+	}
+	if !approx(s.Objective, 2) {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+	if !approx(s.X[0], 1) || !approx(s.X[3], 1) {
+		t.Fatalf("x = %v, want integral (1,0,0,1)", s.X)
+	}
+}
+
+func TestDegenerateProblemTerminates(t *testing.T) {
+	// Classic degenerate LP that can cycle without anti-cycling rules.
+	p := NewProblem(4)
+	c := []float64{-0.75, 150, -0.02, 6}
+	for j, v := range c {
+		p.SetObjectiveCoeff(j, v)
+	}
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	if !approx(s.Objective, -0.05) {
+		t.Fatalf("objective = %v, want -0.05 (Beale's example)", s.Objective)
+	}
+}
+
+func TestNoConstraintsError(t *testing.T) {
+	p := NewProblem(1)
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("expected error on empty constraint set")
+	}
+}
+
+func TestSparseConstraintPanicsOnBadVar(t *testing.T) {
+	p := NewProblem(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range variable")
+		}
+	}()
+	p.AddSparseConstraint(map[int]float64{5: 1}, LE, 1)
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Duplicated equality rows must not break phase 1.
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(0, 1)
+	p.AddConstraint([]float64{1, 1}, EQ, 2)
+	p.AddConstraint([]float64{1, 1}, EQ, 2)
+	s, err := p.Solve()
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("solve: %v %v", s.Status, err)
+	}
+	if !approx(s.Objective, 0) { // x1=0, x2=2
+		t.Fatalf("objective = %v, want 0", s.Objective)
+	}
+}

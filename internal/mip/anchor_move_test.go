@@ -1,0 +1,42 @@
+package mip
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAnchorMovesHotGroupWhenItPays(t *testing.T) {
+	// One class, 4 groups, 2 partitions. The anchor puts both heavy
+	// groups (100 each) on partition 0; LatProc is high enough that
+	// separating them pays and the move cost is low — the solver must
+	// deviate from the anchor.
+	in := &Instance{
+		NumPartitions: 2, NumGroups: 4, NumStreams: 1,
+		LatP: []float64{1, 1}, LatProc: 1,
+		Classes: []Class{{Weight: 1, Streams: []ClassStream{{
+			Stream: 0,
+			Card:   []float64{100, 100, 10, 10},
+			SW:     []float64{0, 0, 0, 0},
+		}}}},
+	}
+	prefer := [][]int{{0, 0, 1, 1}}
+	res, err := Solve(in, Options{Prefer: prefer, MoveCost: []float64{0.1}, TimeBudget: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for g, p := range res.Assign[0] {
+		if p != prefer[0][g] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("solver kept a clearly unbalanced anchor")
+	}
+	// The result must beat the anchor including the movement bill.
+	anchorObj := Evaluate(in, [][]int{{0, 0, 1, 1}})
+	opt := Options{Prefer: prefer, MoveCost: []float64{0.1}}
+	if got := Evaluate(in, res.Assign) + MovementPenalty(in, opt, res.Assign); got >= anchorObj {
+		t.Fatalf("moved plan %v not better than anchor %v", got, anchorObj)
+	}
+}

@@ -1,0 +1,128 @@
+package mip
+
+import (
+	"fmt"
+
+	"saspar/internal/lp"
+)
+
+// LPBound computes the linear-programming relaxation of the instance —
+// the binary assignment variables relaxed to [0,1] with the max terms
+// linearized per Eq. 5 — and returns its optimal objective, a valid
+// lower bound on the integer optimum.
+//
+// The relaxation is built densely, so it is intended for small
+// instances (root-bound quality studies and the bound-source ablation
+// bench); Solve's combinatorial bounds carry the large cases.
+func LPBound(in *Instance) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	C, G, P, S := len(in.Classes), in.NumGroups, in.NumPartitions, in.NumStreams
+	// Variable layout:
+	//   a[c][g][p]            C*G*P   assignment relaxations
+	//   M[s][g][p]            S*G*P   shared-traffic max linearization
+	//   K[s]                  S       makespan per stream
+	nA := C * G * P
+	nM := S * G * P
+	numVars := nA + nM + S
+	if numVars > 20000 {
+		return 0, fmt.Errorf("mip: LP relaxation with %d variables exceeds the dense-solver budget", numVars)
+	}
+	aVar := func(c, g, p int) int { return (c*G+g)*P + p }
+	mVar := func(s, g, p int) int { return nA + (s*G+g)*P + p }
+	kVar := func(s int) int { return nA + nM + s }
+
+	prob := lp.NewProblem(numVars)
+	meanLat := meanOf(in.LatP)
+
+	// Objective: traffic (M shared part + unshared parts on a) plus
+	// makespan terms.
+	coef := make([]float64, numVars)
+	for s := 0; s < S; s++ {
+		for g := 0; g < G; g++ {
+			for p := 0; p < P; p++ {
+				coef[mVar(s, g, p)] += in.LatP[p]
+			}
+		}
+		coef[kVar(s)] += in.LatProc * meanLat
+	}
+	for ci, c := range in.Classes {
+		for _, cs := range c.Streams {
+			for g := 0; g < G; g++ {
+				unsh := cs.Card[g] * (1 - cs.SW[g])
+				for p := 0; p < P; p++ {
+					coef[aVar(ci, g, p)] += in.LatP[p] * unsh
+				}
+			}
+		}
+	}
+	for j, v := range coef {
+		prob.SetObjectiveCoeff(j, v)
+	}
+
+	// Assignment: sum_p a[c][g][p] = 1 (Eq. 2); a <= 1 is implied.
+	row := make(map[int]float64, P)
+	for c := 0; c < C; c++ {
+		for g := 0; g < G; g++ {
+			for k := range row {
+				delete(row, k)
+			}
+			for p := 0; p < P; p++ {
+				row[aVar(c, g, p)] = 1
+			}
+			prob.AddSparseConstraint(row, lp.EQ, 1)
+		}
+	}
+
+	// Max linearization: M[s][g][p] >= Card*SW * a[c][g][p] (Eq. 4/5).
+	for ci, c := range in.Classes {
+		for _, cs := range c.Streams {
+			for g := 0; g < G; g++ {
+				sh := cs.Card[g] * cs.SW[g]
+				if sh == 0 {
+					continue
+				}
+				for p := 0; p < P; p++ {
+					prob.AddSparseConstraint(map[int]float64{
+						mVar(cs.Stream, g, p): 1,
+						aVar(ci, g, p):        -sh,
+					}, lp.GE, 0)
+				}
+			}
+		}
+	}
+
+	// Makespan: K[s] >= sum_{c,g} Weight*Card * a[c][g][p] for each p.
+	for s := 0; s < S; s++ {
+		for p := 0; p < P; p++ {
+			r := map[int]float64{kVar(s): 1}
+			any := false
+			for ci, c := range in.Classes {
+				for _, cs := range c.Streams {
+					if cs.Stream != s {
+						continue
+					}
+					for g := 0; g < G; g++ {
+						if w := c.Weight * cs.Card[g]; w > 0 {
+							r[aVar(ci, g, p)] -= w
+							any = true
+						}
+					}
+				}
+			}
+			if any {
+				prob.AddSparseConstraint(r, lp.GE, 0)
+			}
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("mip: LP relaxation %v", sol.Status)
+	}
+	return sol.Objective, nil
+}

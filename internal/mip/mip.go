@@ -1,0 +1,760 @@
+// Package mip solves the SASPAR shared-partitioning optimization
+// problem of Section II of the paper: assign every (query class, key
+// group) pair to a partition so that end-to-end cost — partitioning
+// traffic plus post-partition makespan — is minimized.
+//
+// The paper formulates this as a mixed-integer program and hands it to
+// IBM CPLEX. CPLEX is unavailable here, so this package provides the
+// equivalent capability as a specialised exact branch-and-bound solver
+// exposing the same control surface the paper's heuristics rely on:
+// a relative/absolute optimality-gap tolerance, a time budget, and
+// incumbent/bound tracking (Section IV, heuristics 2 and 3). Run to
+// completion it is exact; its runtime grows exponentially with problem
+// size, which is precisely the behaviour Fig. 8a measures.
+//
+// The cost model follows Eq. 4–10 with the unshareable-traffic repair
+// documented in DESIGN.md:
+//
+//	traffic(s,g,p) = max_c{ Card·SW } + Σ_c{ Card·(1−SW) }   over classes assigned g→p
+//	cost = Σ_{s,p} LatP[p]·Σ_g traffic(s,g,p)
+//	     + Σ_s  max_p( Σ_{g,c} Weight·Card ) · LatProc · mean(LatP)
+package mip
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// maxClassStreams bounds how many streams one class may read; binary
+// joins need 2, multi-way join trees decompose before reaching the
+// solver.
+const maxClassStreams = 4
+
+// Instance is one solver invocation: a set of streams that must be
+// optimized together (streams coupled through binary-input operators,
+// Eq. 3), the query classes over them, and the latency constants.
+type Instance struct {
+	NumPartitions int
+	NumGroups     int
+	NumStreams    int
+
+	// Classes are the decision units: one per query (or per group of
+	// identical queries). A class's key groups map to partitions
+	// identically across all streams it reads (Eq. 3).
+	Classes []Class
+
+	// LatP is the per-partition latency coefficient (Table I): LatNet
+	// blended with LatMem by the co-location fraction of partition p.
+	LatP []float64
+	// LatProc is the post-partitioning processing latency constant.
+	LatProc float64
+}
+
+// Class is one query class: its per-stream, per-group statistics and
+// the number of identical queries it represents.
+type Class struct {
+	Label   string
+	Weight  float64 // identical-query multiplicity (>= 1)
+	Streams []ClassStream
+}
+
+// ClassStream is one stream read by a class.
+type ClassStream struct {
+	Stream int       // < Instance.NumStreams
+	Card   []float64 // per key group: cardinality within the stat window
+	SW     []float64 // per key group: sharing coefficient in [0,1]
+}
+
+// Validate checks structural consistency.
+func (in *Instance) Validate() error {
+	if in.NumPartitions <= 0 || in.NumGroups <= 0 || in.NumStreams <= 0 {
+		return fmt.Errorf("mip: non-positive dimensions %d/%d/%d", in.NumPartitions, in.NumGroups, in.NumStreams)
+	}
+	if len(in.LatP) != in.NumPartitions {
+		return fmt.Errorf("mip: LatP has %d entries, want %d", len(in.LatP), in.NumPartitions)
+	}
+	if len(in.Classes) == 0 {
+		return fmt.Errorf("mip: no classes")
+	}
+	for ci, c := range in.Classes {
+		if c.Weight < 1 {
+			return fmt.Errorf("mip: class %d weight %v < 1", ci, c.Weight)
+		}
+		if len(c.Streams) == 0 {
+			return fmt.Errorf("mip: class %d reads no streams", ci)
+		}
+		if len(c.Streams) > maxClassStreams {
+			return fmt.Errorf("mip: class %d reads %d streams, max %d", ci, len(c.Streams), maxClassStreams)
+		}
+		for _, cs := range c.Streams {
+			if cs.Stream < 0 || cs.Stream >= in.NumStreams {
+				return fmt.Errorf("mip: class %d references stream %d of %d", ci, cs.Stream, in.NumStreams)
+			}
+			if len(cs.Card) != in.NumGroups || len(cs.SW) != in.NumGroups {
+				return fmt.Errorf("mip: class %d stream %d stats cover %d/%d groups, want %d",
+					ci, cs.Stream, len(cs.Card), len(cs.SW), in.NumGroups)
+			}
+			for g := 0; g < in.NumGroups; g++ {
+				if cs.Card[g] < 0 || cs.SW[g] < 0 || cs.SW[g] > 1 {
+					return fmt.Errorf("mip: class %d stream %d group %d has Card=%v SW=%v", ci, cs.Stream, g, cs.Card[g], cs.SW[g])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Status reports how a solve ended.
+type Status int
+
+const (
+	// Optimal: the search space was exhausted; the incumbent is optimal.
+	Optimal Status = iota
+	// GapReached: the incumbent is within the requested optimality gap.
+	GapReached
+	// Budget: the time or node budget expired first; the incumbent is
+	// the best found so far (the CPLEX "best result up to that point"
+	// behaviour the paper's heuristic 3 relies on).
+	Budget
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case GapReached:
+		return "gap-reached"
+	case Budget:
+		return "budget"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Options are the solver controls of Section IV.
+type Options struct {
+	// RelGap stops the search once (incumbent−bound)/incumbent ≤ RelGap.
+	RelGap float64
+	// AbsGap stops once incumbent−bound ≤ AbsGap.
+	AbsGap float64
+	// TimeBudget bounds wall-clock solve time (0 = unbounded).
+	TimeBudget time.Duration
+	// MaxNodes bounds explored branch-and-bound nodes (0 = unbounded).
+	MaxNodes int64
+
+	// Prefer anchors the search to an incumbent assignment
+	// (Prefer[class][group] = partition, -1 for none): preferred
+	// partitions are explored first and win cost ties, so solutions
+	// move as few key groups as possible — the incremental updates of
+	// the paper's Fig. 3 rather than a wholesale re-shuffle.
+	Prefer [][]int
+	// MoveCost, when set alongside Prefer, charges assigning (class c,
+	// group g) away from its preferred partition MoveCost[c]·Weight·Card
+	// — the amortized cost of re-shipping the group's window state. The
+	// reported Objective then includes movement, so callers can compare
+	// it directly against the incumbent plan's score.
+	MoveCost []float64
+}
+
+// Result is a solve outcome. Assign[c][g] is the partition of class c's
+// key group g.
+type Result struct {
+	Status    Status
+	Assign    [][]int
+	Objective float64
+	Bound     float64 // proven lower bound
+	Nodes     int64
+	Elapsed   time.Duration
+}
+
+// Gap reports the relative optimality gap of the result.
+func (r *Result) Gap() float64 {
+	if r.Objective <= 0 {
+		return 0
+	}
+	g := (r.Objective - r.Bound) / r.Objective
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// Solve runs branch and bound on the instance.
+func Solve(in *Instance, opt Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Prefer != nil {
+		if len(opt.Prefer) != len(in.Classes) {
+			return nil, fmt.Errorf("mip: Prefer covers %d classes, want %d", len(opt.Prefer), len(in.Classes))
+		}
+		for ci, row := range opt.Prefer {
+			if len(row) != in.NumGroups {
+				return nil, fmt.Errorf("mip: Prefer class %d covers %d groups, want %d", ci, len(row), in.NumGroups)
+			}
+		}
+	}
+	if opt.MoveCost != nil && len(opt.MoveCost) != len(in.Classes) {
+		return nil, fmt.Errorf("mip: MoveCost covers %d classes, want %d", len(opt.MoveCost), len(in.Classes))
+	}
+	s := newSolver(in, opt)
+	return s.run(), nil
+}
+
+// Evaluate computes the exact objective of a full assignment, used by
+// heuristics to score composed solutions and by tests as an oracle.
+func Evaluate(in *Instance, assign [][]int) float64 {
+	meanLat := meanOf(in.LatP)
+	var cost float64
+	load := make([][]float64, in.NumStreams)
+	for s := range load {
+		load[s] = make([]float64, in.NumPartitions)
+	}
+	shMax := make([]float64, in.NumStreams*in.NumPartitions)
+	for g := 0; g < in.NumGroups; g++ {
+		for i := range shMax {
+			shMax[i] = 0
+		}
+		unsh := make([]float64, in.NumStreams*in.NumPartitions)
+		for ci, c := range in.Classes {
+			p := assign[ci][g]
+			for _, cs := range c.Streams {
+				k := cs.Stream*in.NumPartitions + p
+				sh := cs.Card[g] * cs.SW[g]
+				if sh > shMax[k] {
+					shMax[k] = sh
+				}
+				unsh[k] += cs.Card[g] * (1 - cs.SW[g])
+				load[cs.Stream][p] += c.Weight * cs.Card[g]
+			}
+		}
+		for s := 0; s < in.NumStreams; s++ {
+			for p := 0; p < in.NumPartitions; p++ {
+				k := s*in.NumPartitions + p
+				cost += in.LatP[p] * (shMax[k] + unsh[k])
+			}
+		}
+	}
+	for s := 0; s < in.NumStreams; s++ {
+		m := 0.0
+		for _, l := range load[s] {
+			if l > m {
+				m = l
+			}
+		}
+		cost += m * in.LatProc * meanLat
+	}
+	return cost
+}
+
+// MovementPenalty scores the amortized window-state movement of an
+// assignment relative to the anchor in opt (0 when unanchored).
+func MovementPenalty(in *Instance, opt Options, assign [][]int) float64 {
+	if opt.Prefer == nil || opt.MoveCost == nil {
+		return 0
+	}
+	var total float64
+	for ci, c := range in.Classes {
+		for g := 0; g < in.NumGroups; g++ {
+			pref := opt.Prefer[ci][g]
+			if pref < 0 || assign[ci][g] == pref {
+				continue
+			}
+			for _, cs := range c.Streams {
+				total += opt.MoveCost[ci] * c.Weight * cs.Card[g]
+			}
+		}
+	}
+	return total
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// solver holds the branch-and-bound working state. Decisions are
+// ordered group-major (all classes of group 0, then group 1, ...), so
+// the max-sharing term of a group is finalized before the next group
+// starts, allowing exact incremental cost accounting.
+type solver struct {
+	in  *Instance
+	opt Options
+
+	minLat  float64
+	meanLat float64
+
+	// Per (class) flattened stream stats for the hot loop.
+	classStreams [][]ClassStream
+
+	// groupOrder sorts groups by descending total cardinality so heavy,
+	// high-impact decisions are taken near the root of the tree.
+	groupOrder []int
+
+	// suffixTrafficLB[gi] is an admissible lower bound on the traffic
+	// cost of groups groupOrder[gi:].
+	suffixTrafficLB []float64
+	// totalCards[s]: total weighted cards of stream s; total/P bounds
+	// the final makespan from below.
+	totalCards []float64
+
+	// Search state.
+	assign    [][]int     // current partial assignment
+	load      [][]float64 // per stream, per partition
+	maxLoad   []float64   // per stream running max
+	shMax     []float64   // current group: per (stream, partition)
+	unshAcc   []float64   // current group: per (stream, partition)
+	trafficSo float64     // finalized + current-group partial traffic cost
+
+	best       float64
+	bestAssign [][]int
+	bound      float64 // best proven global lower bound (root)
+
+	nodes    int64
+	deadline time.Time
+	timedOut bool
+}
+
+func newSolver(in *Instance, opt Options) *solver {
+	s := &solver{in: in, opt: opt}
+	s.minLat = math.Inf(1)
+	for _, l := range in.LatP {
+		if l < s.minLat {
+			s.minLat = l
+		}
+	}
+	s.meanLat = meanOf(in.LatP)
+	s.classStreams = make([][]ClassStream, len(in.Classes))
+	for ci := range in.Classes {
+		s.classStreams[ci] = in.Classes[ci].Streams
+	}
+
+	// Group ordering: heavy groups first.
+	tot := make([]float64, in.NumGroups)
+	for _, c := range in.Classes {
+		for _, cs := range c.Streams {
+			for g, card := range cs.Card {
+				tot[g] += card
+			}
+		}
+	}
+	s.groupOrder = make([]int, in.NumGroups)
+	for i := range s.groupOrder {
+		s.groupOrder[i] = i
+	}
+	sort.SliceStable(s.groupOrder, func(a, b int) bool { return tot[s.groupOrder[a]] > tot[s.groupOrder[b]] })
+
+	// Suffix traffic lower bound: for each group, every class pays its
+	// unshareable part and at least the largest shareable part must be
+	// paid once, all at the cheapest latency.
+	perGroupLB := make([]float64, in.NumGroups)
+	for g := 0; g < in.NumGroups; g++ {
+		for st := 0; st < in.NumStreams; st++ {
+			var unsh, shMax float64
+			for _, c := range in.Classes {
+				for _, cs := range c.Streams {
+					if cs.Stream != st {
+						continue
+					}
+					unsh += cs.Card[g] * (1 - cs.SW[g])
+					if sh := cs.Card[g] * cs.SW[g]; sh > shMax {
+						shMax = sh
+					}
+				}
+			}
+			perGroupLB[g] += (unsh + shMax) * s.minLat
+		}
+	}
+	n := in.NumGroups
+	s.suffixTrafficLB = make([]float64, n+1)
+	for gi := n - 1; gi >= 0; gi-- {
+		s.suffixTrafficLB[gi] = s.suffixTrafficLB[gi+1] + perGroupLB[s.groupOrder[gi]]
+	}
+	s.totalCards = make([]float64, in.NumStreams)
+	for _, c := range in.Classes {
+		for _, cs := range c.Streams {
+			for g := 0; g < in.NumGroups; g++ {
+				s.totalCards[cs.Stream] += c.Weight * cs.Card[g]
+			}
+		}
+	}
+
+	s.assign = make([][]int, len(in.Classes))
+	s.bestAssign = make([][]int, len(in.Classes))
+	for ci := range s.assign {
+		s.assign[ci] = make([]int, in.NumGroups)
+		s.bestAssign[ci] = make([]int, in.NumGroups)
+		for g := range s.assign[ci] {
+			s.assign[ci][g] = -1
+		}
+	}
+	s.load = make([][]float64, in.NumStreams)
+	for st := range s.load {
+		s.load[st] = make([]float64, in.NumPartitions)
+	}
+	s.maxLoad = make([]float64, in.NumStreams)
+	s.shMax = make([]float64, in.NumStreams*in.NumPartitions)
+	s.unshAcc = make([]float64, in.NumStreams*in.NumPartitions)
+	return s
+}
+
+func (s *solver) run() *Result {
+	start := time.Now()
+	if s.opt.TimeBudget > 0 {
+		s.deadline = start.Add(s.opt.TimeBudget)
+	}
+
+	// Greedy incumbent so a budget exit always has a feasible answer.
+	// Movement penalties are part of the solver's objective whenever an
+	// anchor is set, uniformly for every candidate solution.
+	greedy := s.greedy()
+	s.best = Evaluate(s.in, greedy) + MovementPenalty(s.in, s.opt, greedy)
+	for ci := range greedy {
+		copy(s.bestAssign[ci], greedy[ci])
+	}
+	// The anchor itself is always a feasible candidate: an anchored
+	// solve can never return a plan scoring worse than staying put.
+	if a := s.anchorAssign(); a != nil {
+		if obj := Evaluate(s.in, a); obj < s.best {
+			s.best = obj
+			for ci := range a {
+				copy(s.bestAssign[ci], a[ci])
+			}
+		}
+	}
+	s.bound = s.suffixTrafficLB[0] // root lower bound (traffic only)
+
+	if !s.gapReached() {
+		s.dfs(0, 0)
+	}
+
+	res := &Result{
+		Assign:    s.bestAssign,
+		Objective: s.best,
+		Nodes:     s.nodes,
+		Elapsed:   time.Since(start),
+	}
+	switch {
+	case s.timedOut:
+		res.Status = Budget
+		res.Bound = s.bound
+	case s.gapReached():
+		res.Status = GapReached
+		res.Bound = s.bound
+	default:
+		// Search exhausted: the incumbent is optimal and the bound tight.
+		res.Status = Optimal
+		res.Bound = s.best
+	}
+	return res
+}
+
+func (s *solver) gapReached() bool {
+	if s.best <= s.bound {
+		return true
+	}
+	if s.opt.RelGap > 0 && (s.best-s.bound)/s.best <= s.opt.RelGap {
+		return true
+	}
+	if s.opt.AbsGap > 0 && s.best-s.bound <= s.opt.AbsGap {
+		return true
+	}
+	return false
+}
+
+func (s *solver) budgetExpired() bool {
+	if s.timedOut {
+		return true
+	}
+	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
+		s.timedOut = true
+		return true
+	}
+	if !s.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.deadline) {
+		s.timedOut = true
+		return true
+	}
+	return false
+}
+
+// dfs assigns decision (gi-th group in order, class ci). When ci wraps,
+// the group's traffic is already folded into trafficSo.
+func (s *solver) dfs(gi, ci int) {
+	if gi == s.in.NumGroups {
+		obj := s.trafficSo + s.makespanCost()
+		if obj < s.best {
+			s.best = obj
+			for c := range s.assign {
+				copy(s.bestAssign[c], s.assign[c])
+			}
+		}
+		return
+	}
+	if ci == 0 {
+		// Entering a new group: reset its sharing accumulators.
+		for i := range s.shMax {
+			s.shMax[i] = 0
+			s.unshAcc[i] = 0
+		}
+	}
+	g := s.groupOrder[gi]
+	c := &s.in.Classes[ci]
+	nextGi, nextCi := gi, ci+1
+	if nextCi == len(s.in.Classes) {
+		nextGi, nextCi = gi+1, 0
+	}
+
+	// Candidate partitions ordered by marginal traffic cost; cheapest
+	// first maximizes early pruning. The anchored partition sorts ahead
+	// of equal-cost alternatives (and marginally ahead of near-ties),
+	// so the first — and on ties, the returned — solution stays close
+	// to the incumbent assignment.
+	pref := -1
+	if s.opt.Prefer != nil {
+		pref = s.opt.Prefer[ci][g]
+	}
+	type cand struct {
+		p     int
+		delta float64
+		key   float64
+	}
+	moveCost := 0.0
+	if pref >= 0 && s.opt.MoveCost != nil {
+		for _, cs := range c.Streams {
+			moveCost += s.opt.MoveCost[ci] * c.Weight * cs.Card[g]
+		}
+	}
+	cands := make([]cand, s.in.NumPartitions)
+	for p := 0; p < s.in.NumPartitions; p++ {
+		var d, mk float64
+		for _, cs := range c.Streams {
+			k := cs.Stream*s.in.NumPartitions + p
+			sh := cs.Card[g] * cs.SW[g]
+			if sh > s.shMax[k] {
+				d += s.in.LatP[p] * (sh - s.shMax[k])
+			}
+			d += s.in.LatP[p] * cs.Card[g] * (1 - cs.SW[g])
+			// Marginal makespan increase if this placement raises the
+			// stream's max load — ordering signal only; the true
+			// makespan cost is settled at the leaves.
+			if nl := s.load[cs.Stream][p] + c.Weight*cs.Card[g]; nl > s.maxLoad[cs.Stream] {
+				mk += (nl - s.maxLoad[cs.Stream]) * s.in.LatProc * s.meanLat
+			}
+		}
+		if p != pref {
+			d += moveCost
+		}
+		key := d + mk
+		if p == pref {
+			key *= 0.999
+		}
+		cands[p] = cand{p: p, delta: d, key: key}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].key != cands[b].key {
+			return cands[a].key < cands[b].key
+		}
+		if (cands[a].p == pref) != (cands[b].p == pref) {
+			return cands[a].p == pref
+		}
+		return cands[a].p < cands[b].p
+	})
+
+	for _, cd := range cands {
+		s.nodes++
+		if s.budgetExpired() || s.gapReached() {
+			return
+		}
+		p := cd.p
+		// Apply.
+		s.assign[ci][g] = p
+		s.trafficSo += cd.delta
+		type undo struct {
+			k     int
+			shOld float64
+		}
+		var undos [maxClassStreams]undo
+		var maxOld [maxClassStreams]float64
+		nu := 0
+		for _, cs := range c.Streams {
+			k := cs.Stream*s.in.NumPartitions + p
+			sh := cs.Card[g] * cs.SW[g]
+			undos[nu] = undo{k: k, shOld: s.shMax[k]}
+			maxOld[nu] = s.maxLoad[cs.Stream]
+			nu++
+			if sh > s.shMax[k] {
+				s.shMax[k] = sh
+			}
+			s.unshAcc[k] += cs.Card[g] * (1 - cs.SW[g])
+			s.load[cs.Stream][p] += c.Weight * cs.Card[g]
+			if s.load[cs.Stream][p] > s.maxLoad[cs.Stream] {
+				s.maxLoad[cs.Stream] = s.load[cs.Stream][p]
+			}
+		}
+
+		// Bound: finalized traffic + optimistic remainder + makespan LB.
+		lb := s.trafficSo + s.remainderLB(nextGi, nextCi, g) + s.makespanLB()
+		if lb < s.best {
+			s.dfs(nextGi, nextCi)
+		}
+
+		// Revert.
+		for i := nu - 1; i >= 0; i-- {
+			s.shMax[undos[i].k] = undos[i].shOld
+		}
+		for i := len(c.Streams) - 1; i >= 0; i-- {
+			cs := c.Streams[i]
+			s.load[cs.Stream][p] -= c.Weight * cs.Card[g]
+			s.unshAcc[cs.Stream*s.in.NumPartitions+p] -= cs.Card[g] * (1 - cs.SW[g])
+			s.maxLoad[cs.Stream] = maxOld[i]
+		}
+		s.trafficSo -= cd.delta
+		s.assign[ci][g] = -1
+		if s.timedOut {
+			return
+		}
+	}
+}
+
+// remainderLB bounds the traffic of all undecided (class, group) pairs:
+// unassigned classes of the current group pay at least their
+// unshareable part at the cheapest latency; later groups use the
+// precomputed suffix bound.
+func (s *solver) remainderLB(gi, ci int, g int) float64 {
+	var lb float64
+	if ci != 0 {
+		for c := ci; c < len(s.in.Classes); c++ {
+			for _, cs := range s.in.Classes[c].Streams {
+				lb += cs.Card[g] * (1 - cs.SW[g]) * s.minLat
+			}
+		}
+		lb += s.suffixTrafficLB[gi+1]
+	} else {
+		lb += s.suffixTrafficLB[gi]
+	}
+	return lb
+}
+
+// makespanLB bounds the post-partition cost: per stream, the larger of
+// the current max load and the perfectly balanced total (every card is
+// eventually assigned, so total/P is always a valid floor).
+func (s *solver) makespanLB() float64 {
+	var lb float64
+	for st := 0; st < s.in.NumStreams; st++ {
+		m := s.maxLoad[st]
+		if balanced := s.totalCards[st] / float64(s.in.NumPartitions); balanced > m {
+			m = balanced
+		}
+		lb += m * s.in.LatProc * s.meanLat
+	}
+	return lb
+}
+
+func (s *solver) makespanCost() float64 {
+	var c float64
+	for st := 0; st < s.in.NumStreams; st++ {
+		c += s.maxLoad[st] * s.in.LatProc * s.meanLat
+	}
+	return c
+}
+
+// anchorAssign returns the Prefer table as a complete assignment, or
+// nil when no complete anchor is set.
+func (s *solver) anchorAssign() [][]int {
+	if s.opt.Prefer == nil {
+		return nil
+	}
+	out := make([][]int, len(s.opt.Prefer))
+	for ci, row := range s.opt.Prefer {
+		out[ci] = make([]int, len(row))
+		for g, p := range row {
+			if p < 0 || p >= s.in.NumPartitions {
+				return nil
+			}
+			out[ci][g] = p
+		}
+	}
+	return out
+}
+
+// greedy builds the initial incumbent: group-major, each decision takes
+// the partition minimizing marginal traffic plus the true marginal
+// makespan increase (how much the placement raises the stream's max
+// load), plus the movement penalty when anchored.
+func (s *solver) greedy() [][]int {
+	in := s.in
+	assign := make([][]int, len(in.Classes))
+	for ci := range assign {
+		assign[ci] = make([]int, in.NumGroups)
+	}
+	load := make([][]float64, in.NumStreams)
+	maxLoad := make([]float64, in.NumStreams)
+	for st := range load {
+		load[st] = make([]float64, in.NumPartitions)
+	}
+	shMax := make([]float64, in.NumStreams*in.NumPartitions)
+	lambda := s.in.LatProc * s.meanLat
+
+	for gi := 0; gi < in.NumGroups; gi++ {
+		g := s.groupOrder[gi]
+		for i := range shMax {
+			shMax[i] = 0
+		}
+		for ci := range in.Classes {
+			c := &in.Classes[ci]
+			pref := -1
+			if s.opt.Prefer != nil {
+				pref = s.opt.Prefer[ci][g]
+			}
+			moveCost := 0.0
+			if pref >= 0 && s.opt.MoveCost != nil {
+				for _, cs := range c.Streams {
+					moveCost += s.opt.MoveCost[ci] * c.Weight * cs.Card[g]
+				}
+			}
+			bestP, bestCost := 0, math.Inf(1)
+			for p := 0; p < in.NumPartitions; p++ {
+				var d float64
+				for _, cs := range c.Streams {
+					k := cs.Stream*in.NumPartitions + p
+					sh := cs.Card[g] * cs.SW[g]
+					if sh > shMax[k] {
+						d += in.LatP[p] * (sh - shMax[k])
+					}
+					d += in.LatP[p] * cs.Card[g] * (1 - cs.SW[g])
+					if nl := load[cs.Stream][p] + c.Weight*cs.Card[g]; nl > maxLoad[cs.Stream] {
+						d += (nl - maxLoad[cs.Stream]) * lambda
+					}
+				}
+				if p != pref {
+					d += moveCost
+				} else {
+					d *= 0.999
+				}
+				if d < bestCost {
+					bestCost, bestP = d, p
+				}
+			}
+			assign[ci][g] = bestP
+			for _, cs := range c.Streams {
+				k := cs.Stream*in.NumPartitions + bestP
+				if sh := cs.Card[g] * cs.SW[g]; sh > shMax[k] {
+					shMax[k] = sh
+				}
+				load[cs.Stream][bestP] += c.Weight * cs.Card[g]
+				if load[cs.Stream][bestP] > maxLoad[cs.Stream] {
+					maxLoad[cs.Stream] = load[cs.Stream][bestP]
+				}
+			}
+		}
+	}
+	return assign
+}

@@ -1,0 +1,150 @@
+package mip
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: Evaluate is permutation-consistent — relabeling partitions
+// uniformly leaves the objective unchanged when LatP is uniform.
+func TestEvaluatePartitionRelabelInvariance(t *testing.T) {
+	in := randInstance(3, 3, 6, 4)
+	for p := range in.LatP {
+		in.LatP[p] = 1 // uniform
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		assign := make([][]int, len(in.Classes))
+		for c := range assign {
+			assign[c] = make([]int, in.NumGroups)
+			for g := range assign[c] {
+				assign[c][g] = rng.Intn(in.NumPartitions)
+			}
+		}
+		perm := rng.Perm(in.NumPartitions)
+		relabeled := make([][]int, len(assign))
+		for c := range assign {
+			relabeled[c] = make([]int, in.NumGroups)
+			for g := range assign[c] {
+				relabeled[c][g] = perm[assign[c][g]]
+			}
+		}
+		a, b := Evaluate(in, assign), Evaluate(in, relabeled)
+		return a > 0 && b > 0 && (a-b) < 1e-6 && (b-a) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: co-assigning never increases, splitting never decreases the
+// sharing term — the solver's objective must reward co-location of
+// fully-sharing classes for any cardinalities.
+func TestCoAssignmentNeverWorseForFullSharing(t *testing.T) {
+	f := func(c1, c2 uint8) bool {
+		card1 := float64(c1%100) + 1
+		card2 := float64(c2%100) + 1
+		in := &Instance{
+			NumPartitions: 2, NumGroups: 1, NumStreams: 1,
+			LatP: []float64{1, 1}, LatProc: 0,
+			Classes: []Class{
+				{Weight: 1, Streams: []ClassStream{{Stream: 0, Card: []float64{card1}, SW: []float64{1}}}},
+				{Weight: 1, Streams: []ClassStream{{Stream: 0, Card: []float64{card2}, SW: []float64{1}}}},
+			},
+		}
+		co := Evaluate(in, [][]int{{0}, {0}})
+		split := Evaluate(in, [][]int{{0}, {1}})
+		return co <= split
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the solver's reported bound never exceeds its objective.
+func TestBoundNeverAboveObjective(t *testing.T) {
+	for seed := int64(20); seed < 26; seed++ {
+		in := randInstance(seed, 3, 6, 3)
+		res, err := Solve(in, Options{TimeBudget: 300 * time.Millisecond, RelGap: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bound > res.Objective+1e-9 {
+			t.Fatalf("seed %d: bound %v above objective %v", seed, res.Bound, res.Objective)
+		}
+		if g := res.Gap(); g < 0 || g > 1 {
+			t.Fatalf("seed %d: gap %v outside [0,1]", seed, g)
+		}
+	}
+}
+
+// Property: anchored solve with movement costs never returns a plan
+// scoring worse than the anchor itself.
+func TestAnchoredSolveNeverWorseThanAnchor(t *testing.T) {
+	for seed := int64(30); seed < 36; seed++ {
+		in := randInstance(seed, 3, 8, 4)
+		rng := rand.New(rand.NewSource(seed))
+		prefer := make([][]int, len(in.Classes))
+		for c := range prefer {
+			prefer[c] = make([]int, in.NumGroups)
+			for g := range prefer[c] {
+				prefer[c][g] = rng.Intn(in.NumPartitions)
+			}
+		}
+		opt := Options{
+			Prefer:     prefer,
+			MoveCost:   []float64{0.05, 0.05, 0.05},
+			TimeBudget: 200 * time.Millisecond,
+			RelGap:     0.05,
+		}
+		res, err := Solve(in, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchorRows := make([][]int, len(prefer))
+		for c := range prefer {
+			anchorRows[c] = append([]int(nil), prefer[c]...)
+		}
+		anchorScore := Evaluate(in, anchorRows) // movement penalty 0 for anchor
+		got := Evaluate(in, res.Assign) + MovementPenalty(in, opt, res.Assign)
+		if got > anchorScore+1e-9 {
+			t.Fatalf("seed %d: anchored result %v worse than anchor %v", seed, got, anchorScore)
+		}
+	}
+}
+
+func TestMovementPenalty(t *testing.T) {
+	in := randInstance(40, 2, 3, 2)
+	prefer := [][]int{{0, 0, 0}, {1, 1, 1}}
+	opt := Options{Prefer: prefer, MoveCost: []float64{2, 3}}
+	if got := MovementPenalty(in, opt, [][]int{{0, 0, 0}, {1, 1, 1}}); got != 0 {
+		t.Fatalf("no-move penalty = %v", got)
+	}
+	moved := [][]int{{1, 0, 0}, {1, 1, 1}}       // class 0 moves group 0
+	want := 2 * in.Classes[0].Streams[0].Card[0] // MoveCost * Weight(1) * Card
+	if got := MovementPenalty(in, opt, moved); got != want {
+		t.Fatalf("penalty = %v, want %v", got, want)
+	}
+	// No anchor -> zero.
+	if got := MovementPenalty(in, Options{}, moved); got != 0 {
+		t.Fatalf("unanchored penalty = %v", got)
+	}
+}
+
+func TestPreferValidation(t *testing.T) {
+	in := randInstance(41, 2, 3, 2)
+	if _, err := Solve(in, Options{Prefer: [][]int{{0, 0, 0}}}); err == nil {
+		t.Fatal("short Prefer accepted")
+	}
+	if _, err := Solve(in, Options{Prefer: [][]int{{0}, {0}}}); err == nil {
+		t.Fatal("ragged Prefer accepted")
+	}
+	if _, err := Solve(in, Options{
+		Prefer:   [][]int{{0, 0, 0}, {0, 0, 0}},
+		MoveCost: []float64{1},
+	}); err == nil {
+		t.Fatal("short MoveCost accepted")
+	}
+}

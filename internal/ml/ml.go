@@ -1,0 +1,359 @@
+// Package ml implements CART regression trees and a bagged random
+// forest regressor, built from scratch on the standard library.
+//
+// SASPAR uses a random forest (Section IV, "ML") to predict the
+// SharedWith sharing statistics between key groups of different
+// queries instead of maintaining exact overlap counts, whose space and
+// computation grow non-linearly with the query count. The paper picked
+// random forests for their robustness without hyper-parameter tuning;
+// the same property holds here — the defaults work for every workload
+// in the benchmark suite.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dataset is a feature matrix with regression targets.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Validate checks shape consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) == 0 {
+		return fmt.Errorf("ml: empty dataset")
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d feature rows but %d targets", len(d.X), len(d.Y))
+	}
+	w := len(d.X[0])
+	if w == 0 {
+		return fmt.Errorf("ml: zero-width feature rows")
+	}
+	for i, row := range d.X {
+		if len(row) != w {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), w)
+		}
+	}
+	return nil
+}
+
+// NumFeatures reports the feature width.
+func (d *Dataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// TreeConfig controls CART induction.
+type TreeConfig struct {
+	// MaxDepth bounds tree depth (0 = default 12).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (0 = default 2).
+	MinLeaf int
+	// FeatureSubset is how many features each split considers
+	// (0 = all; forests default to ceil(d/3), the regression
+	// convention).
+	FeatureSubset int
+	// CandidateSplits caps threshold candidates per feature
+	// (0 = default 32 quantile cuts).
+	CandidateSplits int
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.CandidateSplits <= 0 {
+		c.CandidateSplits = 32
+	}
+	return c
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature     int
+	threshold   float64
+	left, right int32 // child indices
+	value       float64
+}
+
+// Tree is a trained CART regression tree.
+type Tree struct {
+	nodes  []node
+	splits int // number of internal nodes (the paper's "splits" metric)
+}
+
+// Splits reports the number of split nodes in the tree.
+func (t *Tree) Splits() int { return t.splits }
+
+// Predict evaluates the tree on a feature vector.
+func (t *Tree) Predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// TrainTree grows a CART regression tree by greedy variance reduction.
+// rng drives feature subsampling; pass nil for deterministic
+// full-feature splits.
+func TrainTree(d *Dataset, cfg TreeConfig, rng *rand.Rand) (*Tree, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	t := &Tree{}
+	idx := make([]int, len(d.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.grow(d, cfg, rng, idx, 0)
+	return t, nil
+}
+
+// grow builds the subtree over the sample index set and returns its
+// node index.
+func (t *Tree) grow(d *Dataset, cfg TreeConfig, rng *rand.Rand, idx []int, depth int) int32 {
+	me := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{feature: -1, value: meanY(d, idx)})
+
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf {
+		return me
+	}
+	f, thr, ok := t.bestSplit(d, cfg, rng, idx)
+	if !ok {
+		return me
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][f] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+		return me
+	}
+	t.nodes[me].feature = f
+	t.nodes[me].threshold = thr
+	t.splits++
+	l := t.grow(d, cfg, rng, left, depth+1)
+	r := t.grow(d, cfg, rng, right, depth+1)
+	t.nodes[me].left = l
+	t.nodes[me].right = r
+	return me
+}
+
+// bestSplit finds the (feature, threshold) maximizing variance
+// reduction over quantile-candidate thresholds.
+func (t *Tree) bestSplit(d *Dataset, cfg TreeConfig, rng *rand.Rand, idx []int) (int, float64, bool) {
+	nf := d.NumFeatures()
+	features := make([]int, nf)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.FeatureSubset > 0 && cfg.FeatureSubset < nf && rng != nil {
+		rng.Shuffle(nf, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:cfg.FeatureSubset]
+		sort.Ints(features)
+	}
+
+	baseSSE := sseY(d, idx)
+	bestGain := 1e-12
+	bestF, bestThr := -1, 0.0
+	vals := make([]float64, 0, len(idx))
+	for _, f := range features {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, d.X[i][f])
+		}
+		sort.Float64s(vals)
+		if vals[0] == vals[len(vals)-1] {
+			continue
+		}
+		// Quantile candidate thresholds between distinct values.
+		step := len(vals) / cfg.CandidateSplits
+		if step < 1 {
+			step = 1
+		}
+		prev := math.Inf(-1)
+		for c := step; c < len(vals); c += step {
+			thr := vals[c-1]
+			if thr == prev || thr == vals[len(vals)-1] {
+				continue
+			}
+			prev = thr
+			var nl, nr float64
+			var sl, sr float64
+			var ql, qr float64
+			for _, i := range idx {
+				y := d.Y[i]
+				if d.X[i][f] <= thr {
+					nl++
+					sl += y
+					ql += y * y
+				} else {
+					nr++
+					sr += y
+					qr += y * y
+				}
+			}
+			if nl == 0 || nr == 0 {
+				continue
+			}
+			sse := (ql - sl*sl/nl) + (qr - sr*sr/nr)
+			if gain := baseSSE - sse; gain > bestGain {
+				bestGain, bestF, bestThr = gain, f, thr
+			}
+		}
+	}
+	return bestF, bestThr, bestF >= 0
+}
+
+func meanY(d *Dataset, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += d.Y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sseY(d *Dataset, idx []int) float64 {
+	var n, s, q float64
+	for _, i := range idx {
+		y := d.Y[i]
+		n++
+		s += y
+		q += y * y
+	}
+	if n == 0 {
+		return 0
+	}
+	return q - s*s/n
+}
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	Trees int // number of trees (0 = default 50)
+	Tree  TreeConfig
+	// SampleFraction is the bootstrap sample size as a fraction of the
+	// dataset (0 = default 1.0, with replacement).
+	SampleFraction float64
+}
+
+func (c ForestConfig) withDefaults(numFeatures int) ForestConfig {
+	if c.Trees <= 0 {
+		c.Trees = 50
+	}
+	if c.SampleFraction <= 0 {
+		c.SampleFraction = 1
+	}
+	if c.Tree.FeatureSubset <= 0 {
+		c.Tree.FeatureSubset = (numFeatures + 2) / 3
+	}
+	return c
+}
+
+// Forest is a trained random forest regressor.
+type Forest struct {
+	trees []*Tree
+}
+
+// TrainForest trains a bagged forest; seed makes training reproducible.
+func TrainForest(d *Dataset, cfg ForestConfig, seed int64) (*Forest, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(d.NumFeatures())
+	rng := rand.New(rand.NewSource(seed))
+	f := &Forest{}
+	n := len(d.X)
+	sampleN := int(cfg.SampleFraction * float64(n))
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	for ti := 0; ti < cfg.Trees; ti++ {
+		boot := &Dataset{X: make([][]float64, sampleN), Y: make([]float64, sampleN)}
+		for i := 0; i < sampleN; i++ {
+			j := rng.Intn(n)
+			boot.X[i] = d.X[j]
+			boot.Y[i] = d.Y[j]
+		}
+		t, err := TrainTree(boot, cfg.Tree, rng)
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}
+
+// Predict averages the member trees.
+func (f *Forest) Predict(x []float64) float64 {
+	var s float64
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// NumTrees reports the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Splits reports total split nodes across the ensemble — the x-axis of
+// the paper's ML microbenchmark ("after 250 splits the error rate goes
+// below 10%").
+func (f *Forest) Splits() int {
+	n := 0
+	for _, t := range f.trees {
+		n += t.Splits()
+	}
+	return n
+}
+
+// MAE computes mean absolute error of a predictor over a dataset.
+func MAE(predict func([]float64) float64, d *Dataset) float64 {
+	if len(d.X) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range d.X {
+		s += math.Abs(predict(d.X[i]) - d.Y[i])
+	}
+	return s / float64(len(d.X))
+}
+
+// RMSE computes root-mean-square error of a predictor over a dataset.
+func RMSE(predict func([]float64) float64, d *Dataset) float64 {
+	if len(d.X) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range d.X {
+		e := predict(d.X[i]) - d.Y[i]
+		s += e * e
+	}
+	return math.Sqrt(s / float64(len(d.X)))
+}

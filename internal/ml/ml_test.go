@@ -1,0 +1,207 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// stepData: y depends on a threshold in feature 0 — the easiest shape
+// for a tree to nail exactly.
+func stepData(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 10
+		y := 1.0
+		if x > 5 {
+			y = 9.0
+		}
+		d.X = append(d.X, []float64{x, rng.Float64()})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+// smoothData: y = sin(x0) + 0.5*x1 with mild noise.
+func smoothData(n int, seed int64, noise float64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		x0 := rng.Float64() * 6
+		x1 := rng.Float64() * 2
+		d.X = append(d.X, []float64{x0, x1, rng.Float64()})
+		d.Y = append(d.Y, math.Sin(x0)+0.5*x1+noise*rng.NormFloat64())
+	}
+	return d
+}
+
+func TestDatasetValidate(t *testing.T) {
+	bad := []*Dataset{
+		{},
+		{X: [][]float64{{1}}, Y: []float64{1, 2}},
+		{X: [][]float64{{}}, Y: []float64{1}},
+		{X: [][]float64{{1, 2}, {1}}, Y: []float64{1, 2}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad dataset %d accepted", i)
+		}
+	}
+	if err := (&Dataset{X: [][]float64{{1}}, Y: []float64{1}}).Validate(); err != nil {
+		t.Errorf("good dataset rejected: %v", err)
+	}
+}
+
+func TestTreeLearnsStepFunction(t *testing.T) {
+	d := stepData(400, 1)
+	tree, err := TrainTree(d, TreeConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MAE(tree.Predict, d); got > 0.05 {
+		t.Fatalf("training MAE %v too high for a step function", got)
+	}
+	if tree.Splits() == 0 {
+		t.Fatal("tree learned nothing (no splits)")
+	}
+	// Generalization on fresh data from the same distribution.
+	test := stepData(200, 2)
+	if got := MAE(tree.Predict, test); got > 0.2 {
+		t.Fatalf("test MAE %v too high", got)
+	}
+}
+
+func TestTreeConstantTargetIsSingleLeaf(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 50; i++ {
+		d.X = append(d.X, []float64{float64(i)})
+		d.Y = append(d.Y, 7)
+	}
+	tree, err := TrainTree(d, TreeConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Splits() != 0 {
+		t.Fatalf("constant target grew %d splits", tree.Splits())
+	}
+	if got := tree.Predict([]float64{123}); got != 7 {
+		t.Fatalf("predict = %v, want 7", got)
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	d := smoothData(500, 3, 0)
+	shallow, err := TrainTree(d, TreeConfig{MaxDepth: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := TrainTree(d, TreeConfig{MaxDepth: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shallow.Splits() > 3 {
+		t.Fatalf("depth-2 tree has %d splits, max is 3", shallow.Splits())
+	}
+	if MAE(deep.Predict, d) >= MAE(shallow.Predict, d) {
+		t.Fatal("deeper tree did not fit training data better")
+	}
+}
+
+func TestTreeMinLeaf(t *testing.T) {
+	d := smoothData(100, 4, 0)
+	tree, err := TrainTree(d, TreeConfig{MinLeaf: 40}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With min leaf 40 over 100 samples, at most a couple of splits fit.
+	if tree.Splits() > 2 {
+		t.Fatalf("MinLeaf=40 allowed %d splits", tree.Splits())
+	}
+}
+
+func TestForestLearnsSmoothFunction(t *testing.T) {
+	train := smoothData(800, 5, 0.05)
+	test := smoothData(300, 6, 0.05)
+	f, err := TrainForest(train, ForestConfig{Trees: 40}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RMSE(f.Predict, test); got > 0.25 {
+		t.Fatalf("forest test RMSE %v too high", got)
+	}
+}
+
+func TestForestDeterministicBySeed(t *testing.T) {
+	d := smoothData(200, 7, 0.1)
+	a, err := TrainForest(d, ForestConfig{Trees: 10}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainForest(d, ForestConfig{Trees: 10}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1.5, 0.5, 0.1}
+	if a.Predict(x) != b.Predict(x) {
+		t.Fatal("same seed produced different forests")
+	}
+	c, err := TrainForest(d, ForestConfig{Trees: 10}, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Predict(x) == c.Predict(x) {
+		t.Fatal("different seeds produced identical forests (suspicious)")
+	}
+}
+
+func TestForestErrorFallsWithSplits(t *testing.T) {
+	// The paper's ML microbenchmark shape: error rate drops below 10%
+	// once the ensemble accumulates enough splits (~250 in the paper).
+	train := stepData(600, 8)
+	test := stepData(300, 9)
+	small, err := TrainForest(train, ForestConfig{Trees: 1, Tree: TreeConfig{MaxDepth: 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := TrainForest(train, ForestConfig{Trees: 30}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Splits() <= small.Splits() {
+		t.Fatal("bigger forest has no more splits")
+	}
+	eSmall := MAE(small.Predict, test)
+	eBig := MAE(big.Predict, test)
+	if eBig > eSmall {
+		t.Fatalf("error did not fall with more splits: %v -> %v", eSmall, eBig)
+	}
+	// Relative error of the big forest must be below 10% of the target
+	// range (8.0).
+	if eBig/8 > 0.10 {
+		t.Fatalf("relative error %v above the paper's 10%% threshold", eBig/8)
+	}
+}
+
+func TestMetricsOnKnownPredictor(t *testing.T) {
+	d := &Dataset{X: [][]float64{{0}, {0}, {0}}, Y: []float64{1, 2, 3}}
+	pred := func([]float64) float64 { return 2 }
+	if got := MAE(pred, d); got != 2.0/3 {
+		t.Fatalf("MAE = %v, want 2/3", got)
+	}
+	want := math.Sqrt(2.0 / 3)
+	if got := RMSE(pred, d); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+}
+
+func TestForestDefaultsApplied(t *testing.T) {
+	d := stepData(50, 10)
+	f, err := TrainForest(d, ForestConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumTrees() != 50 {
+		t.Fatalf("default forest size = %d, want 50", f.NumTrees())
+	}
+}

@@ -1,0 +1,58 @@
+package netsim
+
+import (
+	"testing"
+
+	"saspar/internal/vtime"
+)
+
+func TestFlowContentionDeratesBandwidth(t *testing.T) {
+	n := testNet(2, 1000, DefaultConfig())
+	n.SetFlowContention(10, 0.1) // 1000 / (1+1) = 500
+	n.BeginTick(vtime.Second)
+	acc, _ := n.Send(0, 1, 500)
+	if acc != 500 {
+		t.Fatalf("within derated budget accepted %v", acc)
+	}
+	// The next 500 must queue, not transit.
+	n.Send(0, 1, 500)
+	if q := n.QueuedBytes(0); q != 500 {
+		t.Fatalf("queued = %v, want 500 under derated bandwidth", q)
+	}
+}
+
+func TestFlowContentionZeroFlowsKeepsBase(t *testing.T) {
+	n := testNet(2, 1000, DefaultConfig())
+	n.SetFlowContention(0, 0.5)
+	if n.Bandwidth() != 1000 {
+		t.Fatalf("bandwidth = %v, want base 1000", n.Bandwidth())
+	}
+}
+
+func TestFlowContentionPanicsOnNegative(t *testing.T) {
+	n := testNet(2, 1000, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.SetFlowContention(-1, 0.1)
+}
+
+func TestAvailableReflectsBudgetAndQueues(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxQueueBytes = 100
+	n := testNet(2, 1000, cfg)
+	n.BeginTick(vtime.Second)
+	if got := n.Available(0, 1); got != 1100 { // budget 1000 + queue 100
+		t.Fatalf("Available = %v, want 1100", got)
+	}
+	n.Send(0, 1, 1050)
+	if got := n.Available(0, 1); got != 50 {
+		t.Fatalf("Available after send = %v, want 50", got)
+	}
+	// Local path is unbounded.
+	if got := n.Available(1, 1); got < 1e18 {
+		t.Fatalf("local Available = %v, want effectively infinite", got)
+	}
+}

@@ -1,0 +1,246 @@
+// Package netsim simulates the cluster interconnect: per-node NIC
+// capacity, egress/ingress queues, and the LatNet/LatMem latency split
+// of Table I in the paper.
+//
+// The network is the resource SASPAR exists to relieve: partitioning
+// tuples for k queries without sharing sends every byte k times, and
+// the paper's baselines saturate the NIC as query count grows. The
+// simulator reproduces exactly that mechanism — capacity is rationed
+// per virtual tick, excess demand accumulates in bounded queues whose
+// length shows up as latency, and a full queue exerts backpressure on
+// the sender.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"saspar/internal/cluster"
+	"saspar/internal/vtime"
+)
+
+// Config sets the latency constants and queue bounds of the simulated
+// interconnect.
+type Config struct {
+	// LatNet is the base per-transfer latency of a network hop,
+	// including de-/serialization (Table I).
+	LatNet vtime.Duration
+	// LatMem is the base latency of handing a tuple to a co-located
+	// downstream operator via shared memory. LatNet > LatMem always.
+	LatMem vtime.Duration
+	// MaxQueueBytes bounds each node's egress and ingress queues; a
+	// full queue refuses data, which the engine turns into source
+	// backpressure (the paper's sustainable-throughput mechanism).
+	MaxQueueBytes float64
+}
+
+// DefaultConfig returns latency constants with the paper's ordering
+// (network two orders of magnitude above shared memory) and a queue
+// bound of 64 MiB per direction, comparable to Flink's default network
+// buffer pool.
+func DefaultConfig() Config {
+	return Config{
+		LatNet:        200 * vtime.Microsecond,
+		LatMem:        2 * vtime.Microsecond,
+		MaxQueueBytes: 64 << 20,
+	}
+}
+
+func (c Config) validate() error {
+	if c.LatNet <= c.LatMem {
+		return fmt.Errorf("netsim: LatNet (%v) must exceed LatMem (%v)", c.LatNet, c.LatMem)
+	}
+	if c.MaxQueueBytes <= 0 {
+		return fmt.Errorf("netsim: MaxQueueBytes must be positive")
+	}
+	return nil
+}
+
+// Network simulates the interconnect of a cluster. All methods are
+// driven by the engine's single-threaded tick loop; Network performs no
+// internal locking.
+type Network struct {
+	cfg    Config
+	baseBW float64 // configured NIC bytes/sec per direction
+	bw     float64 // effective bandwidth after flow contention
+	nodes  int
+
+	egQ, inQ   []float64      // queued bytes per node, egress / ingress
+	egCap      []float64      // remaining egress budget this tick
+	inCap      []float64      // remaining ingress budget this tick
+	bytesNet   float64        // cumulative bytes over the wire
+	bytesLocal float64        // cumulative bytes via shared memory
+	refused    float64        // cumulative bytes refused (backpressure)
+	elapsed    vtime.Duration // cumulative simulated time
+}
+
+// New builds a network for the given cluster.
+func New(c *cluster.Cluster, cfg Config) *Network {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	n := c.NumNodes()
+	return &Network{
+		cfg:    cfg,
+		baseBW: c.Config().NICBytesPerSec,
+		bw:     c.Config().NICBytesPerSec,
+		nodes:  n,
+		egQ:    make([]float64, n),
+		inQ:    make([]float64, n),
+		egCap:  make([]float64, n),
+		inCap:  make([]float64, n),
+	}
+}
+
+// SetFlowContention derates effective bandwidth for the number of
+// concurrent partitioning flows: every per-query copy stream carries
+// framing, flow-control credit and switch-contention overhead, so
+// effective capacity is base/(1 + coeff·flows). This is the mechanism
+// behind the paper's observation that baseline throughput *declines*
+// past its peak as more queries partition the same streams — and one
+// of the resources shared partitioning reclaims (a shared tuple is one
+// flow, not k).
+func (n *Network) SetFlowContention(flows, coeff float64) {
+	if flows < 0 || coeff < 0 {
+		panic("netsim: negative flow contention")
+	}
+	n.bw = n.baseBW / (1 + coeff*flows)
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Bandwidth reports the per-direction NIC bandwidth in bytes/sec.
+func (n *Network) Bandwidth() float64 { return n.bw }
+
+// BeginTick refills per-node NIC budgets for a tick of length dt and
+// drains queued bytes accumulated in earlier ticks. Draining happens
+// first so queue byte counts reflect only genuinely undelivered data.
+func (n *Network) BeginTick(dt vtime.Duration) {
+	capacity := n.bw * dt.Seconds()
+	n.elapsed += dt
+	for i := 0; i < n.nodes; i++ {
+		n.egCap[i] = capacity
+		n.inCap[i] = capacity
+		// Drain standing queues with this tick's budget before new sends.
+		d := n.egQ[i]
+		if d > n.egCap[i] {
+			d = n.egCap[i]
+		}
+		n.egQ[i] -= d
+		n.egCap[i] -= d
+		d = n.inQ[i]
+		if d > n.inCap[i] {
+			d = n.inCap[i]
+		}
+		n.inQ[i] -= d
+		n.inCap[i] -= d
+	}
+}
+
+// Available reports how many bytes a from→to send could currently
+// accept (tick budget plus queue headroom on both sides). Senders use
+// it to size their serialization work to what the network will take,
+// instead of serializing data the queues would refuse.
+func (n *Network) Available(from, to cluster.NodeID) float64 {
+	if from == to {
+		return math.MaxFloat64
+	}
+	eg := n.egCap[from] + (n.cfg.MaxQueueBytes - n.egQ[from])
+	in := n.inCap[to] + (n.cfg.MaxQueueBytes - n.inQ[to])
+	a := min(eg, in)
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Send offers bytes on the from→to path and returns the bytes accepted
+// together with the one-way delay experienced by data accepted in this
+// call. A local path (from == to) moves via shared memory: it is never
+// refused and costs only LatMem. A remote path consumes NIC budget;
+// bytes beyond the tick budget queue up (adding queueing delay), and
+// bytes beyond MaxQueueBytes are refused — the caller must retain them
+// and throttle, which is how backpressure propagates to sources.
+func (n *Network) Send(from, to cluster.NodeID, bytes float64) (accepted float64, delay vtime.Duration) {
+	if bytes <= 0 {
+		return 0, 0
+	}
+	if from == to {
+		n.bytesLocal += bytes
+		return bytes, n.cfg.LatMem
+	}
+	// Queueing delay observed by this send: standing bytes ahead of it
+	// on both the egress and ingress side, served at NIC bandwidth.
+	queued := n.egQ[from] + n.inQ[to]
+	delay = n.cfg.LatNet + vtime.Duration(queued/n.bw*float64(vtime.Second))
+
+	accepted = bytes
+	room := n.cfg.MaxQueueBytes - n.egQ[from]
+	if r2 := n.cfg.MaxQueueBytes - n.inQ[to]; r2 < room {
+		room = r2
+	}
+	if room < 0 {
+		room = 0
+	}
+	// Budget available right now passes through without queueing.
+	instant := accepted
+	if g := min(n.egCap[from], n.inCap[to]); instant > g {
+		instant = g
+	}
+	n.egCap[from] -= instant
+	n.inCap[to] -= instant
+	rest := accepted - instant
+	if rest > room {
+		n.refused += rest - room
+		rest = room
+		accepted = instant + rest
+	}
+	n.egQ[from] += rest
+	n.inQ[to] += rest
+	n.bytesNet += accepted
+	return accepted, delay
+}
+
+// QueuedBytes reports the standing egress queue of a node, the signal
+// sources watch for backpressure.
+func (n *Network) QueuedBytes(node cluster.NodeID) float64 { return n.egQ[node] }
+
+// IngressQueuedBytes reports the standing ingress queue of a node.
+func (n *Network) IngressQueuedBytes(node cluster.NodeID) float64 { return n.inQ[node] }
+
+// Saturated reports whether a node's egress queue is above half its
+// bound — the engine throttles sources on this signal before refusals
+// start, mirroring credit-based flow control.
+func (n *Network) Saturated(node cluster.NodeID) bool {
+	return n.egQ[node] > n.cfg.MaxQueueBytes/2
+}
+
+// Stats is a snapshot of cumulative network accounting.
+type Stats struct {
+	BytesNet     float64 // bytes that crossed the wire
+	BytesLocal   float64 // bytes moved via shared memory
+	BytesRefused float64 // bytes refused due to full queues
+	Utilization  float64 // wire bytes / total offered wire capacity
+}
+
+// Stats returns cumulative accounting since construction.
+func (n *Network) Stats() Stats {
+	var util float64
+	if n.elapsed > 0 {
+		util = n.bytesNet / (n.bw * n.elapsed.Seconds() * float64(n.nodes))
+	}
+	return Stats{
+		BytesNet:     n.bytesNet,
+		BytesLocal:   n.bytesLocal,
+		BytesRefused: n.refused,
+		Utilization:  util,
+	}
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

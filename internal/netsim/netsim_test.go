@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"testing"
+
+	"saspar/internal/cluster"
+	"saspar/internal/vtime"
+)
+
+func testNet(nodes int, bw float64, cfg Config) *Network {
+	c := cluster.New(nodes, cluster.Config{Cores: 1, CPUPerCore: 1, NICBytesPerSec: bw})
+	return New(c, cfg)
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := cluster.New(2, cluster.DefaultConfig())
+	bad := []Config{
+		{LatNet: vtime.Microsecond, LatMem: vtime.Millisecond, MaxQueueBytes: 1}, // inverted latencies
+		{LatNet: vtime.Millisecond, LatMem: vtime.Microsecond, MaxQueueBytes: 0}, // no queue
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			New(c, cfg)
+		}()
+	}
+}
+
+func TestLocalSendNeverRefused(t *testing.T) {
+	n := testNet(2, 1000, DefaultConfig())
+	n.BeginTick(vtime.Second)
+	acc, delay := n.Send(0, 0, 1e12)
+	if acc != 1e12 {
+		t.Fatalf("local send accepted %v, want all", acc)
+	}
+	if delay != n.Config().LatMem {
+		t.Fatalf("local delay = %v, want LatMem %v", delay, n.Config().LatMem)
+	}
+	if s := n.Stats(); s.BytesLocal != 1e12 || s.BytesNet != 0 {
+		t.Fatalf("stats %+v: local bytes mis-accounted", s)
+	}
+}
+
+func TestRemoteSendWithinBudgetNoQueueing(t *testing.T) {
+	n := testNet(2, 1000, DefaultConfig())
+	n.BeginTick(vtime.Second) // budget 1000 bytes each direction
+	acc, delay := n.Send(0, 1, 600)
+	if acc != 600 {
+		t.Fatalf("accepted %v, want 600", acc)
+	}
+	if delay != n.Config().LatNet {
+		t.Fatalf("delay = %v, want bare LatNet %v", delay, n.Config().LatNet)
+	}
+	if n.QueuedBytes(0) != 0 {
+		t.Fatalf("egress queue = %v, want 0", n.QueuedBytes(0))
+	}
+}
+
+func TestRemoteSendBeyondBudgetQueues(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxQueueBytes = 1e9
+	n := testNet(2, 1000, cfg)
+	n.BeginTick(vtime.Second)
+	acc, _ := n.Send(0, 1, 1500)
+	if acc != 1500 {
+		t.Fatalf("accepted %v, want all 1500 (500 queued)", acc)
+	}
+	if q := n.QueuedBytes(0); q != 500 {
+		t.Fatalf("egress queue = %v, want 500", q)
+	}
+	// A second send now sees queueing delay: 500 queued on egress plus
+	// 500 on the peer's ingress at 1000 B/s => 1 extra second.
+	_, delay := n.Send(0, 1, 1)
+	want := cfg.LatNet + vtime.Second
+	if delay != want {
+		t.Fatalf("queued delay = %v, want %v", delay, want)
+	}
+}
+
+func TestQueueDrainsAcrossTicks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxQueueBytes = 1e9
+	n := testNet(2, 1000, cfg)
+	n.BeginTick(vtime.Second)
+	n.Send(0, 1, 3000) // 1000 instant, 2000 queued
+	if q := n.QueuedBytes(0); q != 2000 {
+		t.Fatalf("queue = %v, want 2000", q)
+	}
+	n.BeginTick(vtime.Second)
+	if q := n.QueuedBytes(0); q != 1000 {
+		t.Fatalf("queue after one drain tick = %v, want 1000", q)
+	}
+	n.BeginTick(vtime.Second)
+	if q := n.QueuedBytes(0); q != 0 {
+		t.Fatalf("queue after two drain ticks = %v, want 0", q)
+	}
+	// Draining consumes the tick budget: after clearing 1000 queued in
+	// tick 2, tick 3 is free again.
+	n.BeginTick(vtime.Second)
+	acc, _ := n.Send(0, 1, 1000)
+	if acc != 1000 {
+		t.Fatalf("post-drain send accepted %v, want 1000", acc)
+	}
+}
+
+func TestRefusalAtQueueBound(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxQueueBytes = 100
+	n := testNet(2, 1000, cfg)
+	n.BeginTick(vtime.Second)
+	acc, _ := n.Send(0, 1, 5000) // 1000 instant + 100 queue, rest refused
+	if acc != 1100 {
+		t.Fatalf("accepted %v, want 1100", acc)
+	}
+	if s := n.Stats(); s.BytesRefused != 3900 {
+		t.Fatalf("refused = %v, want 3900", s.BytesRefused)
+	}
+	if !n.Saturated(0) {
+		t.Fatal("node 0 should report saturated egress")
+	}
+}
+
+func TestIngressContention(t *testing.T) {
+	// Two senders into one receiver share the receiver's ingress budget.
+	cfg := DefaultConfig()
+	cfg.MaxQueueBytes = 1e9
+	n := testNet(3, 1000, cfg)
+	n.BeginTick(vtime.Second)
+	n.Send(0, 2, 800)
+	acc, _ := n.Send(1, 2, 800)
+	if acc != 800 {
+		t.Fatalf("second sender accepted %v, want 800 (600 queued)", acc)
+	}
+	if q := n.IngressQueuedBytes(2); q != 600 {
+		t.Fatalf("receiver ingress queue = %v, want 600", q)
+	}
+	if q := n.QueuedBytes(1); q != 600 {
+		t.Fatalf("sender egress queue = %v, want 600", q)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	n := testNet(2, 1000, DefaultConfig())
+	n.BeginTick(vtime.Second)
+	n.Send(0, 1, 1000)
+	s := n.Stats()
+	// 1000 bytes moved, capacity offered = 1000 B/s * 1 s * 2 nodes.
+	if s.Utilization != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", s.Utilization)
+	}
+}
+
+func TestZeroAndNegativeSends(t *testing.T) {
+	n := testNet(2, 1000, DefaultConfig())
+	n.BeginTick(vtime.Second)
+	if acc, _ := n.Send(0, 1, 0); acc != 0 {
+		t.Fatal("zero send accepted bytes")
+	}
+	if acc, _ := n.Send(0, 1, -10); acc != 0 {
+		t.Fatal("negative send accepted bytes")
+	}
+}

@@ -1,0 +1,163 @@
+package optimizer
+
+import (
+	"testing"
+	"time"
+
+	"saspar/internal/keyspace"
+	"saspar/internal/mip"
+)
+
+// ringAnchor builds the initial consistent-hashing assignments for a
+// request, one per query (shared content).
+func ringAnchor(req *Request) []*keyspace.Assignment {
+	ring := keyspace.NewRing(req.NumPartitions, 16)
+	init := ring.InitialAssignment(keyspace.NewSpace(req.NumGroups))
+	out := make([]*keyspace.Assignment, len(req.Queries))
+	for i := range out {
+		out[i] = init.Clone()
+	}
+	return out
+}
+
+func TestScoreMatchesOptimizeObjectiveForSamePlan(t *testing.T) {
+	req := testRequest(50, 3, 8, 4)
+	res, err := Optimize(req, Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored, err := Score(req, res.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := scored - res.Objective; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Score %v != Optimize objective %v (no anchor: identical models)", scored, res.Objective)
+	}
+}
+
+func TestScoreValidation(t *testing.T) {
+	req := testRequest(51, 2, 4, 2)
+	if _, err := Score(req, nil); err == nil {
+		t.Fatal("nil assignments accepted")
+	}
+	bad := ringAnchor(req)
+	bad[1] = keyspace.NewAssignment(3) // wrong size
+	if _, err := Score(req, bad); err == nil {
+		t.Fatal("mis-sized assignment accepted")
+	}
+}
+
+func TestAnchoredOptimizeNeverWorseAndMovesLess(t *testing.T) {
+	req := testRequest(52, 4, 16, 8)
+	anchor := ringAnchor(req)
+	anchorObj, err := Score(req, anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moveCost := make([]float64, len(req.Queries))
+	for i := range moveCost {
+		moveCost[i] = 0.1
+	}
+	anchored, err := Optimize(req, Options{
+		Timeout: 300 * time.Millisecond, MaxNodes: 20000,
+		Anchor: anchor, MoveCost: moveCost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anchored.Objective > anchorObj+1e-9 {
+		t.Fatalf("anchored plan %v worse than staying at %v", anchored.Objective, anchorObj)
+	}
+	free, err := Optimize(req, Options{Timeout: 300 * time.Millisecond, MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedAnchored, movedFree := 0, 0
+	for i := range anchor {
+		movedAnchored += len(anchor[i].Diff(anchored.Assign[i]))
+		movedFree += len(anchor[i].Diff(free.Assign[i]))
+	}
+	if movedAnchored > movedFree {
+		t.Fatalf("anchored plan moved more groups (%d) than the free plan (%d)", movedAnchored, movedFree)
+	}
+}
+
+func TestCoordinatedDescentFindsGroupLevelMoves(t *testing.T) {
+	// Two fully-sharing classes anchored so that two heavy groups
+	// collide on partition 0. Moving either class alone breaks sharing
+	// (unprofitable); moving a whole group for both classes pays.
+	groups, parts := 4, 2
+	in := &mip.Instance{
+		NumPartitions: parts, NumGroups: groups, NumStreams: 1,
+		LatP: []float64{1, 1}, LatProc: 2,
+	}
+	for c := 0; c < 2; c++ {
+		in.Classes = append(in.Classes, mip.Class{Weight: 1, Streams: []mip.ClassStream{{
+			Stream: 0,
+			Card:   []float64{100, 100, 5, 5},
+			SW:     []float64{1, 1, 1, 1},
+		}}})
+	}
+	prefer := [][]int{{0, 0, 1, 1}, {0, 0, 1, 1}}
+	anchorOpts := mip.Options{Prefer: prefer, MoveCost: []float64{0.05, 0.05}}
+	start := [][]int{{0, 0, 1, 1}, {0, 0, 1, 1}}
+	startObj := mip.Evaluate(in, start)
+
+	assign, obj := coordinatedDescent(in, anchorOpts, start, time.Second)
+	if obj >= startObj {
+		t.Fatalf("descent found nothing: %v -> %v", startObj, obj)
+	}
+	// Classes stay co-assigned (sharing preserved) on every group.
+	for g := 0; g < groups; g++ {
+		if assign[0][g] != assign[1][g] {
+			t.Fatalf("descent broke co-assignment on group %d", g)
+		}
+	}
+	// The two heavy groups are now separated.
+	if assign[0][0] == assign[0][1] {
+		t.Fatal("descent left both heavy groups on one partition")
+	}
+}
+
+func TestExportInstanceSingleComponent(t *testing.T) {
+	req := testRequest(53, 2, 4, 2)
+	inst := ExportInstance(req)
+	if len(inst.Classes) != 2 || inst.NumGroups != 4 {
+		t.Fatalf("exported instance shape wrong: %d classes, %d groups", len(inst.Classes), inst.NumGroups)
+	}
+	// Multi-component requests are rejected.
+	multi := &Request{
+		NumPartitions: 2, NumGroups: 4, NumStreams: 2,
+		LocalFrac: []float64{0, 0}, LatNet: 1, LatMem: 0.01, LatProc: 0.1,
+	}
+	for s := 0; s < 2; s++ {
+		in := InputStats{Stream: s, Card: make([]float64, 4), SW: make([]float64, 4)}
+		for g := range in.Card {
+			in.Card[g] = 1
+		}
+		multi.Queries = append(multi.Queries, QueryStats{ID: "q", Weight: 1, Inputs: []InputStats{in}})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("multi-component export did not panic")
+		}
+	}()
+	ExportInstance(multi)
+}
+
+func TestWeightedClassesReduceDecisions(t *testing.T) {
+	// 10 identical queries expressed as one class of weight 10 must
+	// produce the same co-assigned plan as the expanded form, faster.
+	base := testRequest(54, 1, 8, 4)
+	base.Queries[0].Weight = 10
+	res, err := Optimize(base, Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("weighted single-class instance should solve exactly")
+	}
+	if !res.Assign[0].Complete() {
+		t.Fatal("incomplete assignment")
+	}
+}

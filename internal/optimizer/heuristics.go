@@ -1,0 +1,623 @@
+package optimizer
+
+import (
+	"sort"
+	"time"
+
+	"saspar/internal/keyspace"
+	"saspar/internal/mip"
+)
+
+// componentResult is the outcome for one stream component.
+type componentResult struct {
+	comp       *component
+	assign     [][]int // per component query, per ORIGINAL group → partition
+	objective  float64
+	solves     int
+	heuristics []string
+	exact      bool
+	via        string // cascade step that produced the accepted plan
+}
+
+// solveComponent runs Algorithm 1 on one component.
+//
+// A MIP invocation "succeeds" when it proves optimality or reaches the
+// requested gap; a Budget exit (time or node limit) is the paper's "no
+// feasible solution found" and advances the cascade. Whatever happens,
+// the best incumbent seen — scored by the exact objective on the
+// original, unreduced instance — is returned, so the optimizer always
+// produces a usable plan (the CPLEX "best result up to that point").
+func solveComponent(req *Request, c *component, opt Options) *componentResult {
+	orig := buildInstance(req, c)
+	anchorOpts := buildAnchor(req, c, opt)
+	cr := solveComponentInner(req, c, opt, orig, anchorOpts)
+
+	// Final polish: coordinated group-level moves (all classes of a
+	// group together), which per-class search misses under anchoring.
+	if cr.assign != nil && !opt.MIPOnly {
+		budget := opt.Timeout / 4
+		if assign, obj := coordinatedDescent(orig, anchorOpts, cr.assign, budget); obj < cr.objective {
+			cr.assign = assign
+			cr.objective = obj
+		}
+	}
+	return cr
+}
+
+// buildAnchor maps the request-level anchor onto a component's classes.
+func buildAnchor(req *Request, c *component, opt Options) mip.Options {
+	var prefer [][]int
+	var moveCost []float64
+	if opt.Anchor != nil {
+		prefer = make([][]int, len(c.queries))
+		for i, qi := range c.queries {
+			a := opt.Anchor[qi]
+			if a == nil || a.NumGroups() != req.NumGroups {
+				prefer = nil
+				break
+			}
+			row := make([]int, req.NumGroups)
+			for g := 0; g < req.NumGroups; g++ {
+				row[g] = int(a.Partition(keyspace.GroupID(g)))
+			}
+			prefer[i] = row
+		}
+		if prefer != nil && opt.MoveCost != nil {
+			moveCost = make([]float64, len(c.queries))
+			for i, qi := range c.queries {
+				moveCost[i] = opt.MoveCost[qi]
+			}
+		}
+	}
+	return mip.Options{Prefer: prefer, MoveCost: moveCost}
+}
+
+func solveComponentInner(req *Request, c *component, opt Options, orig *mip.Instance, anchorOpts mip.Options) *componentResult {
+	cr := &componentResult{comp: c, exact: true}
+	prefer, moveCost := anchorOpts.Prefer, anchorOpts.MoveCost
+
+	best := func(assign [][]int) {
+		if assign == nil {
+			return
+		}
+		obj := mip.Evaluate(orig, assign) + mip.MovementPenalty(orig, anchorOpts, assign)
+		if cr.assign == nil || obj < cr.objective {
+			cr.assign = assign
+			cr.objective = obj
+		}
+	}
+	// Staying put is always a candidate: heuristic plans must beat the
+	// incumbent assignment including their movement bill.
+	if prefer != nil {
+		anchorRows := make([][]int, len(prefer))
+		for i, row := range prefer {
+			anchorRows[i] = append([]int(nil), row...)
+		}
+		best(anchorRows)
+	}
+
+	exec := func(in *mip.Instance, gap float64, budget time.Duration) (*mip.Result, bool) {
+		cr.solves++
+		o := mip.Options{RelGap: gap, TimeBudget: budget, MaxNodes: opt.MaxNodes}
+		if in == orig {
+			o.Prefer = prefer
+			o.MoveCost = moveCost
+		}
+		res, err := mip.Solve(in, o)
+		if err != nil {
+			return nil, false
+		}
+		return res, res.Status != mip.Budget
+	}
+
+	if opt.MIPOnly {
+		res, ok := exec(orig, 0, opt.Timeout)
+		if res != nil {
+			best(res.Assign)
+			cr.exact = ok
+		}
+		return cr
+	}
+
+	gap := opt.OptGap
+	budget := opt.Timeout
+	cur := orig
+	lastReduction := HeurOptGap            // credit for full-model successes
+	groupMap := identityMap(req.NumGroups) // original group → current reduced group
+	expand := func(assign [][]int) [][]int {
+		out := make([][]int, len(assign))
+		for ci := range assign {
+			row := make([]int, req.NumGroups)
+			for g := 0; g < req.NumGroups; g++ {
+				row[g] = assign[ci][groupMap[g]]
+			}
+			out[ci] = row
+		}
+		return out
+	}
+
+	for iter := 0; iter < opt.IterMax; iter++ {
+		// Heuristics 2+3: gap tolerance and time budget on the full model.
+		cr.heuristics = append(cr.heuristics, HeurOptGap, HeurTimeout)
+		if res, ok := exec(cur, gap, budget); res != nil {
+			best(expand(res.Assign))
+			if ok {
+				// A success on a reduced model owes its feasibility to
+				// the reduction, not to the gap alone.
+				cr.via = lastReduction
+				return cr
+			}
+		}
+		cr.exact = false
+		if !opt.disabled(HeurOptGap) {
+			// Widen the acceptable gap, but boundedly: past ~25% the
+			// "solution" would be worse than not optimizing at all, so
+			// the cascade moves to structural reductions instead.
+			gap *= 2
+			if gap > 0.25 {
+				gap = 0.25
+			}
+		}
+
+		// Heuristic 4: merge key groups down to the partition count.
+		if !opt.disabled(HeurMergeKeys) && cur.NumGroups > req.NumPartitions {
+			target := cur.NumGroups / 2
+			if target < req.NumPartitions {
+				target = req.NumPartitions
+			}
+			cur, groupMap = mergeGroups(cur, groupMap, target)
+			lastReduction = HeurMergeKeys
+			cr.heuristics = append(cr.heuristics, HeurMergeKeys)
+			if res, ok := exec(cur, gap, budget); res != nil {
+				best(expand(res.Assign))
+				if ok {
+					cr.via = HeurMergeKeys
+					return cr
+				}
+			}
+		}
+
+		// Heuristic 7: merge partitions (two-phase logical partitions).
+		if !opt.disabled(HeurMergePar) && cur.NumPartitions > opt.NumNodes {
+			cr.heuristics = append(cr.heuristics, HeurMergePar)
+			if assign, ok := mergePartitionsSolve(cur, gap, budget, opt, &cr.solves); assign != nil {
+				best(expand(assign))
+				if ok {
+					cr.via = HeurMergePar
+					return cr
+				}
+			}
+		}
+
+		// Heuristic 5: tree optimization for many queries.
+		if !opt.disabled(HeurTreeOpt) && len(cur.Classes) > opt.TreeThreshold {
+			cr.heuristics = append(cr.heuristics, HeurTreeOpt)
+			if assign, ok := treeSolve(cur, gap, budget, opt, &cr.solves); assign != nil {
+				best(expand(assign))
+				if ok {
+					cr.via = HeurTreeOpt
+					return cr
+				}
+			}
+		}
+
+		// Heuristic 6: hybrid execution — shared within similarity
+		// groups, non-shared between them.
+		if !opt.disabled(HeurHybridExec) && len(cur.Classes) > opt.HybridThreshold {
+			cr.heuristics = append(cr.heuristics, HeurHybridExec)
+			if assign, ok := hybridSolve(cur, gap, budget, opt, &cr.solves); assign != nil {
+				best(expand(assign))
+				if ok {
+					cr.via = HeurHybridExec
+					return cr
+				}
+			}
+		}
+	}
+	return cr
+}
+
+// coordinatedDescent hill-climbs group-level moves: for every key
+// group (heaviest first), it tries re-assigning the group for ALL
+// classes together to each partition and keeps the best improvement,
+// repeating until a pass yields nothing or the time budget expires.
+//
+// This is the move shape of the paper's Fig. 3 ("g2 and g6 are updated
+// by the optimizer" — for every query at once). Per-class solvers miss
+// it when classes share aligned traffic: moving one class's group
+// alone breaks alignment and looks unprofitable, while moving the
+// group for everyone at once pays.
+func coordinatedDescent(in *mip.Instance, anchorOpts mip.Options, assign [][]int, budget time.Duration) ([][]int, float64) {
+	cur := make([][]int, len(assign))
+	for i := range assign {
+		cur[i] = append([]int(nil), assign[i]...)
+	}
+	score := func(a [][]int) float64 {
+		return mip.Evaluate(in, a) + mip.MovementPenalty(in, anchorOpts, a)
+	}
+	best := score(cur)
+
+	// Heaviest groups first.
+	weight := make([]float64, in.NumGroups)
+	for _, c := range in.Classes {
+		for _, cs := range c.Streams {
+			for g, card := range cs.Card {
+				weight[g] += card
+			}
+		}
+	}
+	order := make([]int, in.NumGroups)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weight[order[a]] > weight[order[b]] })
+
+	deadline := time.Now().Add(budget)
+	for pass := 0; pass < 4; pass++ {
+		improved := false
+		for _, g := range order {
+			if time.Now().After(deadline) {
+				return cur, best
+			}
+			orig := make([]int, len(cur))
+			for ci := range cur {
+				orig[ci] = cur[ci][g]
+			}
+			bestP, bestObj := -1, best
+			for p := 0; p < in.NumPartitions; p++ {
+				for ci := range cur {
+					cur[ci][g] = p
+				}
+				if obj := score(cur); obj < bestObj {
+					bestObj, bestP = obj, p
+				}
+			}
+			if bestP >= 0 {
+				for ci := range cur {
+					cur[ci][g] = bestP
+				}
+				best = bestObj
+				improved = true
+			} else {
+				for ci := range cur {
+					cur[ci][g] = orig[ci]
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, best
+}
+
+func identityMap(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// mergeGroups folds the instance's key groups down to target groups,
+// composing the original→reduced mapping. Cardinalities add; SW merges
+// cardinality-weighted (the paper's "merges statistics of both key
+// groups").
+func mergeGroups(in *mip.Instance, prev []int, target int) (*mip.Instance, []int) {
+	if target >= in.NumGroups {
+		return in, prev
+	}
+	// Contiguous fold: reduced group = g * target / numGroups.
+	fold := make([]int, in.NumGroups)
+	for g := 0; g < in.NumGroups; g++ {
+		fold[g] = g * target / in.NumGroups
+	}
+	out := &mip.Instance{
+		NumPartitions: in.NumPartitions,
+		NumGroups:     target,
+		NumStreams:    in.NumStreams,
+		LatP:          in.LatP,
+		LatProc:       in.LatProc,
+	}
+	for _, c := range in.Classes {
+		nc := mip.Class{Label: c.Label, Weight: c.Weight}
+		for _, cs := range c.Streams {
+			card := make([]float64, target)
+			sw := make([]float64, target)
+			for g := 0; g < in.NumGroups; g++ {
+				card[fold[g]] += cs.Card[g]
+				sw[fold[g]] += cs.Card[g] * cs.SW[g]
+			}
+			for g := range sw {
+				if card[g] > 0 {
+					sw[g] /= card[g]
+				}
+			}
+			nc.Streams = append(nc.Streams, mip.ClassStream{Stream: cs.Stream, Card: card, SW: sw})
+		}
+		out.Classes = append(out.Classes, nc)
+	}
+	next := make([]int, len(prev))
+	for og, rg := range prev {
+		next[og] = fold[rg]
+	}
+	return out, next
+}
+
+// mergePartitionsSolve implements heuristic 7: physical partitions are
+// paired into logical partitions, the reduced model is solved, and a
+// second phase re-solves each logical partition internally over its
+// member partitions.
+func mergePartitionsSolve(in *mip.Instance, gap float64, budget time.Duration, opt Options, solves *int) ([][]int, bool) {
+	P := in.NumPartitions
+	LP := (P + 1) / 2
+	if LP < opt.NumNodes {
+		LP = opt.NumNodes
+	}
+	if LP >= P {
+		return nil, false
+	}
+	members := make([][]int, LP)
+	for p := 0; p < P; p++ {
+		l := p * LP / P
+		members[l] = append(members[l], p)
+	}
+	// Phase 1: logical model.
+	ph1 := &mip.Instance{
+		NumPartitions: LP,
+		NumGroups:     in.NumGroups,
+		NumStreams:    in.NumStreams,
+		LatProc:       in.LatProc,
+		Classes:       in.Classes,
+		LatP:          make([]float64, LP),
+	}
+	for l, ms := range members {
+		for _, p := range ms {
+			ph1.LatP[l] += in.LatP[p]
+		}
+		ph1.LatP[l] /= float64(len(ms))
+	}
+	*solves++
+	res1, err := mip.Solve(ph1, mip.Options{RelGap: gap, TimeBudget: budget, MaxNodes: opt.MaxNodes})
+	if err != nil {
+		return nil, false
+	}
+	ok := res1.Status != mip.Budget
+
+	// Phase 2: within each logical partition, distribute its groups
+	// over the member partitions.
+	final := make([][]int, len(in.Classes))
+	for ci := range final {
+		final[ci] = make([]int, in.NumGroups)
+	}
+	for l, ms := range members {
+		if len(ms) == 1 {
+			for ci := range in.Classes {
+				for g := 0; g < in.NumGroups; g++ {
+					if res1.Assign[ci][g] == l {
+						final[ci][g] = ms[0]
+					}
+				}
+			}
+			continue
+		}
+		// Collect the groups any class routed to this logical partition.
+		groupSet := map[int]bool{}
+		for ci := range in.Classes {
+			for g := 0; g < in.NumGroups; g++ {
+				if res1.Assign[ci][g] == l {
+					groupSet[g] = true
+				}
+			}
+		}
+		if len(groupSet) == 0 {
+			continue
+		}
+		groups := make([]int, 0, len(groupSet))
+		for g := range groupSet {
+			groups = append(groups, g)
+		}
+		sort.Ints(groups)
+		sub := &mip.Instance{
+			NumPartitions: len(ms),
+			NumGroups:     len(groups),
+			NumStreams:    in.NumStreams,
+			LatProc:       in.LatProc,
+			LatP:          make([]float64, len(ms)),
+		}
+		for i, p := range ms {
+			sub.LatP[i] = in.LatP[p]
+		}
+		for _, c := range in.Classes {
+			nc := mip.Class{Label: c.Label, Weight: c.Weight}
+			for _, cs := range c.Streams {
+				card := make([]float64, len(groups))
+				sw := make([]float64, len(groups))
+				for i, g := range groups {
+					card[i] = cs.Card[g]
+					sw[i] = cs.SW[g]
+				}
+				nc.Streams = append(nc.Streams, mip.ClassStream{Stream: cs.Stream, Card: card, SW: sw})
+			}
+			sub.Classes = append(sub.Classes, nc)
+		}
+		*solves++
+		res2, err := mip.Solve(sub, mip.Options{RelGap: gap, TimeBudget: budget, MaxNodes: opt.MaxNodes})
+		if err != nil {
+			return nil, false
+		}
+		ok = ok && res2.Status != mip.Budget
+		for ci := range in.Classes {
+			for i, g := range groups {
+				if res1.Assign[ci][g] == l {
+					final[ci][g] = ms[res2.Assign[ci][i]]
+				}
+			}
+		}
+	}
+	return final, ok
+}
+
+// treeSolve implements heuristic 5: classes are paired, each pair's
+// statistics merged as if it were a single query, recursively until the
+// class count fits the threshold, then solved once. Every constituent
+// of a merged class inherits its assignment.
+func treeSolve(in *mip.Instance, gap float64, budget time.Duration, opt Options, solves *int) ([][]int, bool) {
+	// membership[i] = original class indexes of merged class i.
+	membership := make([][]int, len(in.Classes))
+	for i := range membership {
+		membership[i] = []int{i}
+	}
+	classes := append([]mip.Class(nil), in.Classes...)
+
+	for len(classes) > opt.TreeThreshold {
+		// Pair adjacent classes after sorting by total cardinality, so
+		// similar-volume queries merge (the paper pairs Q1,Q2 / Q3,Q4).
+		order := make([]int, len(classes))
+		for i := range order {
+			order[i] = i
+		}
+		tot := func(c *mip.Class) float64 {
+			var s float64
+			for _, cs := range c.Streams {
+				for _, x := range cs.Card {
+					s += x
+				}
+			}
+			return s
+		}
+		sort.SliceStable(order, func(a, b int) bool { return tot(&classes[order[a]]) > tot(&classes[order[b]]) })
+
+		var merged []mip.Class
+		var mergedMembers [][]int
+		for i := 0; i < len(order); i += 2 {
+			if i+1 == len(order) {
+				merged = append(merged, classes[order[i]])
+				mergedMembers = append(mergedMembers, membership[order[i]])
+				continue
+			}
+			a, b := classes[order[i]], classes[order[i+1]]
+			merged = append(merged, mergeClassPair(a, b))
+			mergedMembers = append(mergedMembers, append(append([]int(nil), membership[order[i]]...), membership[order[i+1]]...))
+		}
+		classes = merged
+		membership = mergedMembers
+	}
+
+	reduced := &mip.Instance{
+		NumPartitions: in.NumPartitions,
+		NumGroups:     in.NumGroups,
+		NumStreams:    in.NumStreams,
+		LatP:          in.LatP,
+		LatProc:       in.LatProc,
+		Classes:       classes,
+	}
+	*solves++
+	res, err := mip.Solve(reduced, mip.Options{RelGap: gap, TimeBudget: budget, MaxNodes: opt.MaxNodes})
+	if err != nil {
+		return nil, false
+	}
+	final := make([][]int, len(in.Classes))
+	for mi, members := range membership {
+		for _, ci := range members {
+			final[ci] = append([]int(nil), res.Assign[mi]...)
+		}
+	}
+	return final, res.Status != mip.Budget
+}
+
+// mergeClassPair treats two partitioning strategies as one query: the
+// pair will be co-assigned, so shared traffic is the max of the two and
+// post-partition weight adds.
+func mergeClassPair(a, b mip.Class) mip.Class {
+	out := mip.Class{Label: a.Label + "+" + b.Label, Weight: a.Weight + b.Weight}
+	byStream := map[int]*mip.ClassStream{}
+	add := func(c mip.Class) {
+		for _, cs := range c.Streams {
+			dst := byStream[cs.Stream]
+			if dst == nil {
+				dst = &mip.ClassStream{
+					Stream: cs.Stream,
+					Card:   make([]float64, len(cs.Card)),
+					SW:     make([]float64, len(cs.SW)),
+				}
+				byStream[cs.Stream] = dst
+			}
+			for g := range cs.Card {
+				// Shared view: volume is the max, sharing coefficient a
+				// cardinality-weighted mean.
+				tot := dst.Card[g] + cs.Card[g]
+				if tot > 0 {
+					dst.SW[g] = (dst.SW[g]*dst.Card[g] + cs.SW[g]*cs.Card[g]) / tot
+				}
+				if cs.Card[g] > dst.Card[g] {
+					dst.Card[g] = cs.Card[g]
+				}
+			}
+		}
+	}
+	add(a)
+	add(b)
+	streams := make([]int, 0, len(byStream))
+	for s := range byStream {
+		streams = append(streams, s)
+	}
+	sort.Ints(streams)
+	for _, s := range streams {
+		out.Streams = append(out.Streams, *byStream[s])
+	}
+	return out
+}
+
+// hybridSolve implements heuristic 6: classes are clustered by volume
+// similarity into groups solved independently — shared execution inside
+// a group, non-shared across groups.
+func hybridSolve(in *mip.Instance, gap float64, budget time.Duration, opt Options, solves *int) ([][]int, bool) {
+	groupSize := opt.TreeThreshold
+	if groupSize <= 0 {
+		groupSize = 8
+	}
+	order := make([]int, len(in.Classes))
+	for i := range order {
+		order[i] = i
+	}
+	tot := func(ci int) float64 {
+		var s float64
+		for _, cs := range in.Classes[ci].Streams {
+			for _, x := range cs.Card {
+				s += x
+			}
+		}
+		return s
+	}
+	sort.SliceStable(order, func(a, b int) bool { return tot(order[a]) > tot(order[b]) })
+
+	final := make([][]int, len(in.Classes))
+	allOK := true
+	for lo := 0; lo < len(order); lo += groupSize {
+		hi := lo + groupSize
+		if hi > len(order) {
+			hi = len(order)
+		}
+		sub := &mip.Instance{
+			NumPartitions: in.NumPartitions,
+			NumGroups:     in.NumGroups,
+			NumStreams:    in.NumStreams,
+			LatP:          in.LatP,
+			LatProc:       in.LatProc,
+		}
+		for _, ci := range order[lo:hi] {
+			sub.Classes = append(sub.Classes, in.Classes[ci])
+		}
+		*solves++
+		res, err := mip.Solve(sub, mip.Options{RelGap: gap, TimeBudget: budget, MaxNodes: opt.MaxNodes})
+		if err != nil {
+			return nil, false
+		}
+		allOK = allOK && res.Status != mip.Budget
+		for i, ci := range order[lo:hi] {
+			final[ci] = append([]int(nil), res.Assign[i]...)
+		}
+	}
+	return final, allOK
+}

@@ -1,0 +1,95 @@
+// Package spe defines the three system-under-test profiles of the
+// paper's evaluation (Section V-A): vanilla Apache Flink (general
+// tuple-at-a-time), AJoin (tuple-at-a-time with shared join
+// computation and ad-hoc queries), and Prompt (micro-batch with
+// synchronous adaptive partitioning, re-implemented by the paper's
+// authors on Spark). Each is an engine.Profile plus calibrated cost
+// deltas; the SASPAR layer (internal/core) runs on top of any of them.
+package spe
+
+import (
+	"fmt"
+
+	"saspar/internal/engine"
+	"saspar/internal/vtime"
+)
+
+// Kind enumerates the underlying SPEs.
+type Kind int
+
+const (
+	// Flink is the general-purpose tuple-at-a-time baseline.
+	Flink Kind = iota
+	// AJoin shares join state and computation across similar join
+	// queries; partitioning is still per query until SASPAR shares it.
+	AJoin
+	// Prompt is the micro-batch engine: staged shuffles, higher
+	// latency, synchronous reconfiguration at materialization points.
+	Prompt
+)
+
+// Kinds lists all profiles in presentation order (the paper's figures
+// order SUTs AJoin, Prompt, Flink).
+func Kinds() []Kind { return []Kind{AJoin, Prompt, Flink} }
+
+func (k Kind) String() string {
+	switch k {
+	case Flink:
+		return "Flink"
+	case AJoin:
+		return "AJoin"
+	case Prompt:
+		return "Prompt"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Profile returns the engine profile for a SUT kind.
+func Profile(k Kind) engine.Profile {
+	switch k {
+	case Flink:
+		return engine.Profile{Name: "flink"}
+	case AJoin:
+		// AJoin's specialised join pipeline is cheaper per tuple and
+		// deduplicates join work across similar queries.
+		return engine.Profile{
+			Name:              "ajoin",
+			SharedJoinCompute: true,
+			JoinCPUFactor:     0.6,
+			JoinDataShareFrac: 0.7,
+		}
+	case Prompt:
+		return engine.Profile{
+			Name:          "prompt",
+			MicroBatch:    true,
+			BatchInterval: vtime.Second,
+		}
+	default:
+		panic(fmt.Sprintf("spe: unknown kind %d", int(k)))
+	}
+}
+
+// SUT names a system under test: an SPE profile with or without the
+// SASPAR layer.
+type SUT struct {
+	Kind   Kind
+	Saspar bool
+}
+
+// Name renders the SUT as the paper labels it (e.g. "SASPAR+AJoin").
+func (s SUT) Name() string {
+	if s.Saspar {
+		return "SASPAR+" + s.Kind.String()
+	}
+	return s.Kind.String()
+}
+
+// AllSUTs returns the paper's six systems under test in figure order.
+func AllSUTs() []SUT {
+	var out []SUT
+	for _, k := range Kinds() {
+		out = append(out, SUT{Kind: k, Saspar: true}, SUT{Kind: k})
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package spe
+
+import "testing"
+
+func TestProfiles(t *testing.T) {
+	if p := Profile(Flink); p.MicroBatch || p.SharedJoinCompute {
+		t.Fatalf("Flink profile wrong: %+v", p)
+	}
+	if p := Profile(AJoin); !p.SharedJoinCompute || p.JoinCPUFactor >= 1 {
+		t.Fatalf("AJoin profile wrong: %+v", p)
+	}
+	if p := Profile(Prompt); !p.MicroBatch || p.BatchInterval <= 0 {
+		t.Fatalf("Prompt profile wrong: %+v", p)
+	}
+}
+
+func TestSUTNames(t *testing.T) {
+	if n := (SUT{Kind: AJoin, Saspar: true}).Name(); n != "SASPAR+AJoin" {
+		t.Fatalf("name = %q", n)
+	}
+	if n := (SUT{Kind: Flink}).Name(); n != "Flink" {
+		t.Fatalf("name = %q", n)
+	}
+}
+
+func TestAllSUTs(t *testing.T) {
+	all := AllSUTs()
+	if len(all) != 6 {
+		t.Fatalf("got %d SUTs, want 6", len(all))
+	}
+	// Paper order: SASPAR+AJoin, AJoin, SASPAR+Prompt, Prompt,
+	// SASPAR+Flink, Flink.
+	want := []string{"SASPAR+AJoin", "AJoin", "SASPAR+Prompt", "Prompt", "SASPAR+Flink", "Flink"}
+	for i, s := range all {
+		if s.Name() != want[i] {
+			t.Fatalf("SUT %d = %s, want %s", i, s.Name(), want[i])
+		}
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Profile(Kind(99))
+}

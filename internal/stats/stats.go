@@ -1,0 +1,328 @@
+// Package stats implements SASPAR's statistics collection (Section II
+// and the ML part of Section IV): per-(query, key-group) cardinalities,
+// the SharedWith sharing coefficients (the triangles of Fig. 2a), the
+// full cross-group overlap matrix used to train the random forest, and
+// a drift signal the trigger policy can watch.
+//
+// The collector consumes the engine's routed-tuple samples: each sample
+// carries, for one concrete tuple, the key group it falls into under
+// every route class of its stream. Counts are scaled back to modelled
+// tuples by a constant factor (sampling interval × tuple weight).
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"saspar/internal/engine"
+	"saspar/internal/keyspace"
+	"saspar/internal/ml"
+	"saspar/internal/vtime"
+)
+
+// Collector accumulates statistics for one engine run. It is driven by
+// the engine's single-threaded tick loop and performs no locking.
+type Collector struct {
+	numStreams int
+	numGroups  int
+	scale      float64 // modelled tuples represented per sample
+
+	streams []*streamStats
+	samples int
+	from    vtime.Time // epoch start
+	now     vtime.Time
+
+	// prev holds the previous epoch's normalized per-class group
+	// distributions for drift detection.
+	prev []map[int][]float64
+}
+
+type streamStats struct {
+	// card[class][group]: scaled sample counts.
+	card map[int][]float64
+	// aligned[pair(c1,c2)][group]: co-occurrence of the SAME group id
+	// under both classes — the statistic Eq. 4's SharedWith needs.
+	aligned map[uint64][]float64
+	// cross[pack(c1,g1,c2,g2)]: full overlap counts for ML training.
+	cross map[uint64]float64
+}
+
+func newStreamStats() *streamStats {
+	return &streamStats{
+		card:    map[int][]float64{},
+		aligned: map[uint64][]float64{},
+		cross:   map[uint64]float64{},
+	}
+}
+
+// NewCollector builds a collector. scale is the number of modelled
+// tuples each sample represents (sampling interval × tuple weight).
+func NewCollector(numStreams, numGroups int, scale float64) *Collector {
+	if numStreams <= 0 || numGroups <= 0 || scale <= 0 {
+		panic(fmt.Sprintf("stats: invalid collector dimensions %d/%d/%v", numStreams, numGroups, scale))
+	}
+	c := &Collector{
+		numStreams: numStreams,
+		numGroups:  numGroups,
+		scale:      scale,
+		streams:    make([]*streamStats, numStreams),
+		prev:       make([]map[int][]float64, numStreams),
+	}
+	for i := range c.streams {
+		c.streams[i] = newStreamStats()
+		c.prev[i] = map[int][]float64{}
+	}
+	return c
+}
+
+func pairKey(c1, c2 int) uint64 { return uint64(c1)<<32 | uint64(uint32(c2)) }
+
+func crossKey(c1 int, g1 keyspace.GroupID, c2 int, g2 keyspace.GroupID) uint64 {
+	return uint64(c1)<<48 | uint64(g1)<<32 | uint64(c2)<<16 | uint64(g2)
+}
+
+// Sample implements engine.Sampler.
+func (c *Collector) Sample(v engine.SampleVec) {
+	ss := c.streams[v.Stream]
+	c.samples++
+	c.now = v.Time
+	k := len(v.Classes)
+	for i := 0; i < k; i++ {
+		ci, gi := v.Classes[i], v.Groups[i]
+		cv := ss.card[ci]
+		if cv == nil {
+			cv = make([]float64, c.numGroups)
+			ss.card[ci] = cv
+		}
+		cv[gi] += c.scale
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			cj, gj := v.Classes[j], v.Groups[j]
+			if gi == gj {
+				av := ss.aligned[pairKey(ci, cj)]
+				if av == nil {
+					av = make([]float64, c.numGroups)
+					ss.aligned[pairKey(ci, cj)] = av
+				}
+				av[gi] += c.scale
+			}
+			ss.cross[crossKey(ci, gi, cj, gj)] += c.scale
+		}
+	}
+}
+
+// Samples reports how many tuples were sampled this epoch.
+func (c *Collector) Samples() int { return c.samples }
+
+// Card reports the scaled cardinality of (stream, class, group).
+func (c *Collector) Card(stream, class int, g keyspace.GroupID) float64 {
+	if cv := c.streams[stream].card[class]; cv != nil {
+		return cv[g]
+	}
+	return 0
+}
+
+// CardVector returns a copy of the per-group cardinalities of a class.
+func (c *Collector) CardVector(stream, class int) []float64 {
+	out := make([]float64, c.numGroups)
+	if cv := c.streams[stream].card[class]; cv != nil {
+		copy(out, cv)
+	}
+	return out
+}
+
+// SW reports the SharedWith coefficient of (stream, class, group): the
+// largest fraction of the group's tuples that also fall into the same
+// group id under some other class — the alignment statistic the MIP
+// model's max-sharing term consumes (DESIGN.md §1).
+func (c *Collector) SW(stream, class int, g keyspace.GroupID) float64 {
+	ss := c.streams[stream]
+	cv := ss.card[class]
+	if cv == nil || cv[g] == 0 {
+		return 0
+	}
+	var best float64
+	for other := range ss.card {
+		if other == class {
+			continue
+		}
+		if av := ss.aligned[pairKey(class, other)]; av != nil && av[g] > best {
+			best = av[g]
+		}
+	}
+	sw := best / cv[g]
+	if sw > 1 {
+		sw = 1
+	}
+	return sw
+}
+
+// SWVector returns the per-group SharedWith coefficients of a class.
+func (c *Collector) SWVector(stream, class int) []float64 {
+	out := make([]float64, c.numGroups)
+	for g := range out {
+		out[g] = c.SW(stream, class, keyspace.GroupID(g))
+	}
+	return out
+}
+
+// Overlap reports the fraction of (class1, g1)'s tuples that fall into
+// (class2, g2) — the full triangle statistic of Fig. 2a.
+func (c *Collector) Overlap(stream, class1 int, g1 keyspace.GroupID, class2 int, g2 keyspace.GroupID) float64 {
+	ss := c.streams[stream]
+	cv := ss.card[class1]
+	if cv == nil || cv[g1] == 0 {
+		return 0
+	}
+	return ss.cross[crossKey(class1, g1, class2, g2)] / cv[g1]
+}
+
+// Classes returns the class ids observed on a stream this epoch.
+func (c *Collector) Classes(stream int) []int {
+	var out []int
+	for ci := range c.streams[stream].card {
+		out = append(out, ci)
+	}
+	return out
+}
+
+// TrainingData converts this epoch's overlap observations into the
+// paper's random-forest dataset. The six model parameters of Section IV
+// map to feature columns (source class, source group, destination
+// class, destination group, timestamp) plus the label (shared-tuple
+// percentage); a derived same-group indicator is appended so trees can
+// express the alignment relation directly even under feature
+// subsampling.
+func (c *Collector) TrainingData(stream int) *ml.Dataset {
+	ss := c.streams[stream]
+	d := &ml.Dataset{}
+	ts := c.now.Seconds()
+	for key, cnt := range ss.cross {
+		c1 := int(key >> 48)
+		g1 := keyspace.GroupID(key >> 32 & 0xFFFF)
+		c2 := int(key >> 16 & 0xFFFF)
+		g2 := keyspace.GroupID(key & 0xFFFF)
+		cv := ss.card[c1]
+		if cv == nil || cv[g1] == 0 {
+			continue
+		}
+		d.X = append(d.X, featureRow(c1, g1, c2, g2, ts))
+		d.Y = append(d.Y, cnt/cv[g1])
+	}
+	// Explicit zero rows for same-group pairs that never co-occurred:
+	// without them the forest would extrapolate sharing into group
+	// alignments that do not exist.
+	for c1, cv := range ss.card {
+		for c2 := range ss.card {
+			if c1 == c2 {
+				continue
+			}
+			for g := 0; g < c.numGroups; g++ {
+				if cv[g] == 0 {
+					continue
+				}
+				if _, seen := ss.cross[crossKey(c1, keyspace.GroupID(g), c2, keyspace.GroupID(g))]; seen {
+					continue
+				}
+				d.X = append(d.X, featureRow(c1, keyspace.GroupID(g), c2, keyspace.GroupID(g), ts))
+				d.Y = append(d.Y, 0)
+			}
+		}
+	}
+	return d
+}
+
+// PredictedSW computes a class's per-group SharedWith coefficients from
+// a trained forest instead of the exact aligned counts (the paper's ML
+// path for large query counts). otherClasses are the candidate sharing
+// partners.
+func (c *Collector) PredictedSW(f *ml.Forest, stream, class int, otherClasses []int) []float64 {
+	out := make([]float64, c.numGroups)
+	ts := c.now.Seconds()
+	for g := range out {
+		var best float64
+		for _, other := range otherClasses {
+			if other == class {
+				continue
+			}
+			if p := f.Predict(featureRow(class, keyspace.GroupID(g), other, keyspace.GroupID(g), ts)); p > best {
+				best = p
+			}
+		}
+		if best > 1 {
+			best = 1
+		}
+		if best < 0 {
+			best = 0
+		}
+		out[g] = best
+	}
+	return out
+}
+
+// Drift reports, per stream, the maximum L1 distance between any
+// class's current normalized group distribution and its previous-epoch
+// distribution (0 = stationary, 2 = disjoint). The trigger policy uses
+// it to decide whether re-optimization is worthwhile.
+func (c *Collector) Drift(stream int) float64 {
+	ss := c.streams[stream]
+	var worst float64
+	for ci, cv := range ss.card {
+		prev := c.prev[stream][ci]
+		if prev == nil {
+			continue
+		}
+		cur := normalize(cv)
+		var l1 float64
+		for g := range cur {
+			l1 += math.Abs(cur[g] - prev[g])
+		}
+		if l1 > worst {
+			worst = l1
+		}
+	}
+	return worst
+}
+
+// Reset closes the current statistics epoch: distributions are archived
+// for drift detection and counters cleared.
+func (c *Collector) Reset(now vtime.Time) {
+	for si, ss := range c.streams {
+		archived := map[int][]float64{}
+		for ci, cv := range ss.card {
+			archived[ci] = normalize(cv)
+		}
+		c.prev[si] = archived
+		c.streams[si] = newStreamStats()
+	}
+	c.samples = 0
+	c.from = now
+	c.now = now
+}
+
+// featureRow builds the forest feature vector for one (source class,
+// source group) → (destination class, destination group) pair.
+func featureRow(c1 int, g1 keyspace.GroupID, c2 int, g2 keyspace.GroupID, ts float64) []float64 {
+	same := 0.0
+	if g1 == g2 {
+		same = 1
+	}
+	return []float64{float64(c1), float64(g1), float64(c2), float64(g2), ts, same}
+}
+
+func normalize(v []float64) []float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	out := make([]float64, len(v))
+	if sum == 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / sum
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"saspar/internal/engine"
+	"saspar/internal/keyspace"
+	"saspar/internal/ml"
+	"saspar/internal/vtime"
+)
+
+func vec(stream int, t vtime.Time, pairs ...int) engine.SampleVec {
+	v := engine.SampleVec{Stream: engine.StreamID(stream), Time: t}
+	for i := 0; i < len(pairs); i += 2 {
+		v.Classes = append(v.Classes, pairs[i])
+		v.Groups = append(v.Groups, keyspace.GroupID(pairs[i+1]))
+	}
+	return v
+}
+
+func TestCardinalityScaling(t *testing.T) {
+	c := NewCollector(1, 8, 100) // each sample = 100 modelled tuples
+	c.Sample(vec(0, 0, 0, 3))
+	c.Sample(vec(0, 0, 0, 3))
+	c.Sample(vec(0, 0, 0, 5))
+	if got := c.Card(0, 0, 3); got != 200 {
+		t.Fatalf("Card(g3) = %v, want 200", got)
+	}
+	if got := c.Card(0, 0, 5); got != 100 {
+		t.Fatalf("Card(g5) = %v, want 100", got)
+	}
+	if got := c.Card(0, 0, 7); got != 0 {
+		t.Fatalf("Card(g7) = %v, want 0", got)
+	}
+	if c.Samples() != 3 {
+		t.Fatalf("Samples = %d, want 3", c.Samples())
+	}
+}
+
+func TestSharedWithAlignment(t *testing.T) {
+	// Class 0 group 1: half its tuples align with class 1's group 1,
+	// half land in class 1's group 2 — the Fig. 2a example: SW = 0.5.
+	c := NewCollector(1, 8, 1)
+	c.Sample(vec(0, 0, 0, 1, 1, 1))
+	c.Sample(vec(0, 0, 0, 1, 1, 2))
+	if got := c.SW(0, 0, 1); got != 0.5 {
+		t.Fatalf("SW = %v, want 0.5", got)
+	}
+	// Symmetric view: class 1's group 1 fully aligns with class 0.
+	if got := c.SW(0, 1, 1); got != 1.0 {
+		t.Fatalf("SW(c1,g1) = %v, want 1.0", got)
+	}
+	// A group with no observations has no sharing.
+	if got := c.SW(0, 0, 7); got != 0 {
+		t.Fatalf("SW(empty) = %v, want 0", got)
+	}
+}
+
+func TestSWTakesMaxOverPartners(t *testing.T) {
+	// Class 0 aligns 1/3 with class 1 and 2/3 with class 2 on group 0.
+	c := NewCollector(1, 4, 1)
+	c.Sample(vec(0, 0, 0, 0, 1, 0, 2, 0))
+	c.Sample(vec(0, 0, 0, 0, 1, 3, 2, 0))
+	c.Sample(vec(0, 0, 0, 0, 1, 3, 2, 3))
+	want := 2.0 / 3
+	if got := c.SW(0, 0, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SW = %v, want %v (max over partners)", got, want)
+	}
+}
+
+func TestOverlapMatrix(t *testing.T) {
+	c := NewCollector(1, 8, 1)
+	c.Sample(vec(0, 0, 0, 1, 1, 1))
+	c.Sample(vec(0, 0, 0, 1, 1, 2))
+	if got := c.Overlap(0, 0, 1, 1, 1); got != 0.5 {
+		t.Fatalf("Overlap(c0g1->c1g1) = %v, want 0.5", got)
+	}
+	if got := c.Overlap(0, 0, 1, 1, 2); got != 0.5 {
+		t.Fatalf("Overlap(c0g1->c1g2) = %v, want 0.5", got)
+	}
+	if got := c.Overlap(0, 0, 1, 1, 5); got != 0 {
+		t.Fatalf("Overlap(c0g1->c1g5) = %v, want 0", got)
+	}
+}
+
+func TestSWVectorAndCardVector(t *testing.T) {
+	c := NewCollector(1, 4, 10)
+	c.Sample(vec(0, 0, 0, 2, 1, 2))
+	cv := c.CardVector(0, 0)
+	if cv[2] != 10 || cv[0] != 0 {
+		t.Fatalf("CardVector = %v", cv)
+	}
+	sv := c.SWVector(0, 0)
+	if sv[2] != 1 || sv[0] != 0 {
+		t.Fatalf("SWVector = %v", sv)
+	}
+	// Vectors are copies, not views.
+	cv[2] = -1
+	if c.Card(0, 0, 2) != 10 {
+		t.Fatal("CardVector returned a live view")
+	}
+}
+
+func TestTrainingDataAndPrediction(t *testing.T) {
+	// Build a stable overlap pattern, train the forest, and check the
+	// predicted SW tracks the exact SW.
+	c := NewCollector(1, 8, 1)
+	for i := 0; i < 400; i++ {
+		g := i % 8
+		// Low groups fully align between the classes, high groups never
+		// do — a threshold-shaped sharing pattern a CART can represent.
+		g2 := g
+		if g >= 4 {
+			g2 = (g + 1) % 8
+		}
+		c.Sample(vec(0, vtime.Time(i)*vtime.Time(vtime.Second), 0, g, 1, g2))
+	}
+	d := c.TrainingData(0)
+	if len(d.X) == 0 {
+		t.Fatal("no training rows")
+	}
+	f, err := ml.TrainForest(d, ml.ForestConfig{
+		Trees: 50,
+		Tree:  ml.TreeConfig{FeatureSubset: 6, MinLeaf: 1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := c.PredictedSW(f, 0, 0, []int{1})
+	for g := 0; g < 8; g++ {
+		exact := c.SW(0, 0, keyspace.GroupID(g))
+		if math.Abs(pred[g]-exact) > 0.3 {
+			t.Fatalf("group %d: predicted SW %v far from exact %v", g, pred[g], exact)
+		}
+	}
+}
+
+func TestDriftDetection(t *testing.T) {
+	c := NewCollector(1, 4, 1)
+	// Epoch 1: uniform over groups 0 and 1.
+	for i := 0; i < 100; i++ {
+		c.Sample(vec(0, 0, 0, i%2))
+	}
+	c.Reset(vtime.Time(vtime.Second))
+	if got := c.Drift(0); got != 0 {
+		t.Fatalf("drift right after reset = %v, want 0 (no data yet)", got)
+	}
+	// Epoch 2: identical distribution — drift ~0.
+	for i := 0; i < 100; i++ {
+		c.Sample(vec(0, 0, 0, i%2))
+	}
+	if got := c.Drift(0); got > 1e-9 {
+		t.Fatalf("stationary drift = %v, want 0", got)
+	}
+	c.Reset(vtime.Time(2 * vtime.Second))
+	// Epoch 3: everything moved to groups 2 and 3 — disjoint, L1 = 2.
+	for i := 0; i < 100; i++ {
+		c.Sample(vec(0, 0, 0, 2+i%2))
+	}
+	if got := c.Drift(0); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("disjoint drift = %v, want 2", got)
+	}
+}
+
+func TestResetClearsCounts(t *testing.T) {
+	c := NewCollector(2, 4, 1)
+	c.Sample(vec(1, 0, 0, 2))
+	c.Reset(0)
+	if c.Samples() != 0 || c.Card(1, 0, 2) != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func TestClassesEnumeration(t *testing.T) {
+	c := NewCollector(1, 4, 1)
+	c.Sample(vec(0, 0, 3, 1, 7, 2))
+	got := map[int]bool{}
+	for _, ci := range c.Classes(0) {
+		got[ci] = true
+	}
+	if !got[3] || !got[7] || len(got) != 2 {
+		t.Fatalf("Classes = %v, want {3,7}", got)
+	}
+}
+
+func TestNewCollectorValidation(t *testing.T) {
+	for _, args := range [][3]interface{}{} {
+		_ = args
+	}
+	bad := []struct {
+		s, g  int
+		scale float64
+	}{
+		{0, 4, 1}, {1, 0, 1}, {1, 4, 0},
+	}
+	for i, b := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			NewCollector(b.s, b.g, b.scale)
+		}()
+	}
+}

@@ -1,0 +1,223 @@
+package tpch
+
+import (
+	"testing"
+
+	"saspar/internal/engine"
+	"saspar/internal/vtime"
+)
+
+func TestNewDefaultWorkload(t *testing.T) {
+	w, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Streams) != 3 {
+		t.Fatalf("got %d streams, want 3 (lineitem, orders, customer)", len(w.Streams))
+	}
+	if len(w.Queries) != 14 {
+		t.Fatalf("got %d queries, want the paper's 14", len(w.Queries))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuerySubsets(t *testing.T) {
+	if got := QuerySubset(1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("single-query subset = %v, want [3] (the paper runs Q3 alone)", got)
+	}
+	for _, n := range []int{2, 4, 8, 14} {
+		if got := QuerySubset(n); len(got) != n {
+			t.Fatalf("subset(%d) has %d queries", n, len(got))
+		}
+	}
+	if got := QuerySubset(99); len(got) != 14 {
+		t.Fatalf("oversized subset = %d queries, want 14", len(got))
+	}
+	if got := QuerySubset(0); got != nil {
+		t.Fatalf("subset(0) = %v, want nil", got)
+	}
+}
+
+func TestQueryPartitioningKeysDiffer(t *testing.T) {
+	// The paper's premise: the same LINEITEM stream is partitioned by
+	// different columns across queries (l_returnflag+l_linestatus in
+	// Q1, l_orderkey in Q3, l_partkey in Q8, ...).
+	win := engine.WindowSpec{Range: vtime.Second, Slide: vtime.Second}
+	keys := map[string]bool{}
+	for _, qn := range QueryNumbers() {
+		q, err := Query(qn, win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range q.Inputs {
+			if in.Stream == Lineitem {
+				keys[keyString(in.Key)] = true
+			}
+		}
+	}
+	if len(keys) < 5 {
+		t.Fatalf("only %d distinct LINEITEM partitioning keys, want >= 5", len(keys))
+	}
+}
+
+func keyString(k engine.KeySpec) string {
+	s := ""
+	for _, c := range k {
+		s += string(rune('a' + c))
+	}
+	return s
+}
+
+func TestSharedPartKeyQueriesShareFilterIdentityRules(t *testing.T) {
+	win := engine.WindowSpec{Range: vtime.Second, Slide: vtime.Second}
+	q8, _ := Query(8, win)
+	q14, _ := Query(14, win)
+	q17, _ := Query(17, win)
+	// Q8, Q14 and Q17 all partition LINEITEM by partkey…
+	for _, q := range []engine.QuerySpec{q8, q14, q17} {
+		if !q.Inputs[0].Key.Equal(engine.KeySpec{LPartKey}) {
+			t.Fatalf("query %s does not partition by partkey", q.ID)
+		}
+	}
+	// …but their filters differ, so they must not collapse into one
+	// route class blindly.
+	if q14.Inputs[0].FilterID == q17.Inputs[0].FilterID {
+		t.Fatal("Q14 and Q17 share a filter id despite different predicates")
+	}
+	if q8.Inputs[0].FilterID != 0 {
+		t.Fatal("unfiltered Q8 should carry the shared no-filter id")
+	}
+}
+
+func TestUnknownQueryRejected(t *testing.T) {
+	if _, err := Query(2, engine.WindowSpec{Range: vtime.Second, Slide: vtime.Second}); err == nil {
+		t.Fatal("Q2 is not in the paper's set and must be rejected")
+	}
+}
+
+func TestGeneratorsProduceValidColumns(t *testing.T) {
+	w, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tu engine.Tuple
+	g := w.Streams[Lineitem].NewGenerator(0)
+	for i := 0; i < 1000; i++ {
+		g.Next(&tu, vtime.Time(i)*vtime.Time(vtime.Millisecond))
+		if tu.Cols[LQuantity] < 1 || tu.Cols[LQuantity] > 50 {
+			t.Fatalf("quantity %d out of [1,50]", tu.Cols[LQuantity])
+		}
+		if tu.Cols[LReturnFlag] < 0 || tu.Cols[LReturnFlag] > 2 {
+			t.Fatalf("returnflag %d out of range", tu.Cols[LReturnFlag])
+		}
+		if tu.Cols[LOrderKey] < 0 {
+			t.Fatalf("negative orderkey")
+		}
+	}
+}
+
+func TestSkewConcentratesKeys(t *testing.T) {
+	mk := func(skew float64) float64 {
+		cfg := DefaultConfig()
+		cfg.Skew = skew
+		cfg.HotFraction = 0 // isolate the Zipf tail from the hot set
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := w.Streams[Lineitem].NewGenerator(0)
+		var tu engine.Tuple
+		counts := map[int64]int{}
+		for i := 0; i < 5000; i++ {
+			g.Next(&tu, 0)
+			counts[tu.Cols[LPartKey]]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / 5000
+	}
+	uniform := mk(0)
+	skewed := mk(2)
+	if skewed < uniform*3 {
+		t.Fatalf("skew=2 hot-key share %.3f not much above uniform %.3f", skewed, uniform)
+	}
+}
+
+func TestHotSetConcentratesMass(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HotFraction = 0.6
+	cfg.HotKeys = 8
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Streams[Lineitem].NewGenerator(0)
+	var tu engine.Tuple
+	hot := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		g.Next(&tu, 0)
+		if tu.Cols[LPartKey] < 8 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / n; frac < 0.5 || frac > 0.7 {
+		t.Fatalf("hot-set mass %.2f, want ~0.6", frac)
+	}
+}
+
+func TestDriftRotatesHotKeys(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Skew = 2
+	cfg.DriftPeriod = vtime.Second
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Streams[Lineitem].NewGenerator(0)
+	hot := func(ts vtime.Time) int64 {
+		var tu engine.Tuple
+		counts := map[int64]int{}
+		for i := 0; i < 3000; i++ {
+			g.Next(&tu, ts)
+			counts[tu.Cols[LPartKey]]++
+		}
+		var best int64
+		max := 0
+		for k, c := range counts {
+			if c > max {
+				max, best = c, k
+			}
+		}
+		return best
+	}
+	h0 := hot(0)
+	h1 := hot(vtime.Time(10 * vtime.Second))
+	if h0 == h1 {
+		t.Fatalf("hot key %d did not move across drift epochs", h0)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Scale = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.LineitemRate = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.Queries = []int{2}
+	if _, err := New(bad); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	var x Time
+	y := x.Add(3 * Second)
+	if y.Sub(x) != 3*Second {
+		t.Fatalf("Sub = %v, want 3s", y.Sub(x))
+	}
+	if y.Seconds() != 3 {
+		t.Fatalf("Seconds = %v", y.Seconds())
+	}
+}
+
+func TestMaxMinProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Time(a), Time(b)
+		mx, mn := Max(x, y), Min(x, y)
+		return mx >= x && mx >= y && mn <= x && mn <= y && (mx == x || mx == y) && (mn == x || mn == y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{2.5e6, "2.50M"},
+		{12e3, "12.0K"},
+		{500, "500"},
+	}
+	for _, c := range cases {
+		if got := FormatRate(c.in); got != c.want {
+			t.Errorf("FormatRate(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNoWatermarkIsEarly(t *testing.T) {
+	if NoWatermark >= 0 {
+		t.Fatal("NoWatermark must precede every real timestamp")
+	}
+}

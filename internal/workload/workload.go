@@ -1,0 +1,65 @@
+// Package workload defines the common shape of a benchmark workload: a
+// set of stream definitions, the continuous queries over them, and the
+// offered rates. The three concrete workloads of the paper's evaluation
+// live in internal/tpch, internal/ajoinwl and internal/gcm.
+package workload
+
+import (
+	"fmt"
+
+	"saspar/internal/engine"
+)
+
+// Workload bundles everything a system under test needs to run.
+type Workload struct {
+	Name    string
+	Streams []engine.StreamDef
+	Queries []engine.QuerySpec
+	// Rates holds the offered rate per stream in modelled tuples per
+	// virtual second.
+	Rates []float64
+}
+
+// Validate checks internal consistency.
+func (w *Workload) Validate() error {
+	if len(w.Streams) == 0 {
+		return fmt.Errorf("workload %s: no streams", w.Name)
+	}
+	if len(w.Queries) == 0 {
+		return fmt.Errorf("workload %s: no queries", w.Name)
+	}
+	if len(w.Rates) != len(w.Streams) {
+		return fmt.Errorf("workload %s: %d rates for %d streams", w.Name, len(w.Rates), len(w.Streams))
+	}
+	for i, r := range w.Rates {
+		if r <= 0 {
+			return fmt.Errorf("workload %s: non-positive rate for stream %d", w.Name, i)
+		}
+	}
+	for _, q := range w.Queries {
+		for _, in := range q.Inputs {
+			if int(in.Stream) < 0 || int(in.Stream) >= len(w.Streams) {
+				return fmt.Errorf("workload %s: query %s references stream %d", w.Name, q.ID, in.Stream)
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyRates sets the offered rates on an engine built from this
+// workload. scale multiplies every rate (drivers use it to search for
+// the sustainable operating point or to shrink bench runs).
+func (w *Workload) ApplyRates(e *engine.Engine, scale float64) {
+	for i, r := range w.Rates {
+		e.SetStreamRate(engine.StreamID(i), r*scale)
+	}
+}
+
+// TotalRate reports the sum of offered stream rates.
+func (w *Workload) TotalRate() float64 {
+	var s float64
+	for _, r := range w.Rates {
+		s += r
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+
+	"saspar/internal/engine"
+	"saspar/internal/vtime"
+)
+
+func tiny() *Workload {
+	return &Workload{
+		Name: "tiny",
+		Streams: []engine.StreamDef{{
+			Name: "s", NumCols: 2, BytesPerTuple: 64,
+			NewGenerator: func(int) engine.Generator {
+				return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) { t.Cols[0] = 1 })
+			},
+		}},
+		Queries: []engine.QuerySpec{{
+			ID: "q", Kind: engine.OpAggregate,
+			Inputs: []engine.Input{{Stream: 0, Key: engine.KeySpec{0}}},
+			Window: engine.WindowSpec{Range: vtime.Second, Slide: vtime.Second},
+			AggCol: 1,
+		}},
+		Rates: []float64{1000},
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	if err := tiny().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBad(t *testing.T) {
+	w := tiny()
+	w.Streams = nil
+	if err := w.Validate(); err == nil {
+		t.Fatal("no streams accepted")
+	}
+	w = tiny()
+	w.Queries = nil
+	if err := w.Validate(); err == nil {
+		t.Fatal("no queries accepted")
+	}
+	w = tiny()
+	w.Rates = nil
+	if err := w.Validate(); err == nil {
+		t.Fatal("missing rates accepted")
+	}
+	w = tiny()
+	w.Rates[0] = 0
+	if err := w.Validate(); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	w = tiny()
+	w.Queries[0].Inputs[0].Stream = 9
+	if err := w.Validate(); err == nil {
+		t.Fatal("dangling stream ref accepted")
+	}
+}
+
+func TestApplyRatesAndTotal(t *testing.T) {
+	w := tiny()
+	if w.TotalRate() != 1000 {
+		t.Fatalf("TotalRate = %v", w.TotalRate())
+	}
+	cfg := engine.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.NumPartitions = 2
+	cfg.NumGroups = 4
+	cfg.SourceTasks = 2
+	e, err := engine.New(cfg, w.Streams, w.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ApplyRates(e, 2)
+	e.Metrics().StartMeasurement(0)
+	e.Run(2 * vtime.Second)
+	e.Metrics().StopMeasurement(e.Clock())
+	got := e.Metrics().OverallThroughput()
+	if got < 1800 || got > 2200 {
+		t.Fatalf("scaled rate throughput %v, want ~2000", got)
+	}
+}
