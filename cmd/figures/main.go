@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	figures [-full] [-fig N]
+//	figures [-full] [-fig N] [-workers N] [-bench-json FILE]
 //
 // Without flags it runs the quick scale (seconds of wall time per
 // figure); -full approaches the paper's dimensions. -fig selects one
 // figure ("6", "7", "8", "9", "10", "11", "12a", "12b", "13", "ml").
+// -workers bounds the run-matrix pool the harnesses fan cells over
+// (0 = SASPAR_PARALLEL env, then GOMAXPROCS; 1 = sequential); output
+// is identical at any worker count. -bench-json measures a performance
+// snapshot — engine tick cost and sequential-vs-parallel RunAll wall
+// clock — and writes it to FILE instead of running figures.
 package main
 
 import (
@@ -21,17 +26,44 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run at paper scale (slow)")
 	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml)")
+	workers := flag.Int("workers", 0, "run-matrix pool size (0 = SASPAR_PARALLEL env, then GOMAXPROCS)")
+	benchJSON := flag.String("bench-json", "", "write a performance snapshot to this file and exit")
 	flag.Parse()
 
 	sc := bench.Quick()
 	if *full {
 		sc = bench.Paper()
 	}
+	sc.Workers = *workers
+
+	if *benchJSON != "" {
+		if err := emitBenchJSON(sc, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(sc, *fig); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
+}
+
+func emitBenchJSON(sc bench.Scale, path string) error {
+	rep, err := bench.CollectBenchReport(sc)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(sc bench.Scale, fig string) error {

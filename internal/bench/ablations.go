@@ -10,12 +10,16 @@ import (
 	"saspar/internal/mip"
 	"saspar/internal/ml"
 	"saspar/internal/optimizer"
+	"saspar/internal/parallel"
 	"saspar/internal/stats"
 	"saspar/internal/vtime"
 )
 
 // This file holds the design-choice ablations called out in DESIGN.md
 // §5 — benches that quantify why the system is built the way it is.
+// Only AblationDedup submits cells to the run-matrix pool; the solver
+// ablations (Bounds, ModelRepair, MLStats) measure or depend on real
+// wall clock and must run alone on the machine.
 
 // SynthRequest exposes the synthetic optimizer-request builder for the
 // root benchmarks.
@@ -110,15 +114,15 @@ func AblationDedup(sc Scale) (*DedupResult, error) {
 		}
 		return bytes / m.ProcessedTotal(), nil
 	}
-	sh, err := run(true)
+	// The two operating points are independent virtual-time runs — fan
+	// them out like any other cell pair.
+	pts, err := parallel.Map(sc.pool(), 2, func(i int) (float64, error) {
+		return run(i == 0)
+	})
 	if err != nil {
 		return nil, err
 	}
-	ns, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-	return &DedupResult{SharedMB: sh, UnsharedMB: ns}, nil
+	return &DedupResult{SharedMB: pts[0], UnsharedMB: pts[1]}, nil
 }
 
 // RepairResult compares plans produced under the repaired traffic model

@@ -21,6 +21,7 @@ import (
 	"saspar/internal/driver"
 	"saspar/internal/engine"
 	"saspar/internal/optimizer"
+	"saspar/internal/parallel"
 	"saspar/internal/spe"
 	"saspar/internal/vtime"
 	"saspar/internal/workload"
@@ -51,6 +52,21 @@ type Scale struct {
 	// Rate is the offered per-stream rate in modelled tuples/s — set
 	// beyond capacity so backpressure finds the sustainable point.
 	Rate float64
+
+	// Workers bounds the run-matrix pool the harnesses fan their cells
+	// over. 0 defers to the SASPAR_PARALLEL environment variable, then
+	// runtime.GOMAXPROCS; 1 forces the historical sequential loops.
+	// Cell results are reassembled in grid order either way, so harness
+	// output is identical at any worker count.
+	Workers int
+
+	// DeterministicOpt runs every in-cell optimization under
+	// optimizer.Options.DeterministicBudget: node caps instead of wall
+	// clock, so cell results are bit-reproducible regardless of machine
+	// speed or concurrent cells. The parallel-equivalence test runs
+	// with this on; the default (off) mirrors the paper's real time
+	// budget.
+	DeterministicOpt bool
 
 	Full bool
 }
@@ -92,6 +108,19 @@ func Paper() Scale {
 	}
 }
 
+// pool returns the run-matrix pool sized by the Workers knob. Every
+// harness whose cells measure virtual-time metrics submits through it;
+// each cell builds its own engine, cluster and network, so cells share
+// nothing but read-only inputs. Harnesses that measure real wall clock
+// (Fig. 8, Fig. 12a, the solver ablations) use serialPool instead.
+func (sc Scale) pool() *parallel.Pool { return parallel.New(sc.Workers) }
+
+// serialPool runs cells one at a time through the same submission API.
+// Wall-clock-budget measurements (optimizer/MIP timings) must not share
+// the machine with concurrent cells: contention would inflate measured
+// times and shift budget-dependent outcomes.
+func serialPool() *parallel.Pool { return parallel.New(1) }
+
 // engineConfig derives the engine configuration from the scale.
 func (sc Scale) engineConfig() engine.Config {
 	cfg := engine.DefaultConfig()
@@ -108,6 +137,12 @@ func (sc Scale) coreConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.TriggerInterval = 4 * sc.TimeUnit // the paper's best interval (Fig. 11)
 	cfg.Opt = optimizer.Options{Timeout: sc.OptTimeout, MaxNodes: 200000}
+	if sc.DeterministicOpt {
+		cfg.Opt.DeterministicBudget = true
+		// A tighter node cap keeps deterministic runs near the wall
+		// clock the real budget would allow at quick scale.
+		cfg.Opt.MaxNodes = 50000
+	}
 	return cfg
 }
 

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"saspar/internal/engine"
+	"saspar/internal/parallel"
+	"saspar/internal/vtime"
+)
+
+// This file is the machine-readable performance snapshot behind
+// `cmd/figures -bench-json` (the BENCH_*.json files at the repo root):
+// the engine's steady-state tick cost — time, bytes and allocations per
+// step — plus the wall-clock of a full RunAll at one worker and at the
+// configured worker count. Committed snapshots let a later change be
+// compared against the numbers this revision measured.
+
+// BenchUnit is one benchmark's per-operation cost.
+type BenchUnit struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchReport is the emitted document.
+type BenchReport struct {
+	Schema     string `json:"schema"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"` // resolved pool size for the parallel RunAll
+
+	// EngineStep holds the steady-state cost of one simulation tick,
+	// keyed "nonshared" / "shared".
+	EngineStep map[string]BenchUnit `json:"engine_step"`
+
+	RunAllSequentialSec float64 `json:"runall_sequential_seconds"`
+	RunAllParallelSec   float64 `json:"runall_parallel_seconds"`
+	RunAllSpeedup       float64 `json:"runall_speedup"`
+
+	Note string `json:"note,omitempty"`
+}
+
+// stepBenchEngine builds a primed steady-state engine through the
+// exported API — the same shape as the internal BenchmarkEngineStep
+// fixture: two streams with deterministic generators, a mix of keyed
+// aggregations and a join.
+func stepBenchEngine(shared bool) (*engine.Engine, vtime.Duration, error) {
+	cfg := engine.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.NumPartitions = 8
+	cfg.NumGroups = 32
+	cfg.SourceTasks = 4
+	cfg.TupleWeight = 500
+	cfg.Shared = shared
+	gen := func(salt int64) func(task int) engine.Generator {
+		return func(task int) engine.Generator {
+			i := int64(task)*7919 + salt
+			return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
+				i++
+				t.Cols[0] = (i * 2654435761) % 4096
+				t.Cols[1] = (i * 40503) % 512
+				t.Cols[2] = i % 97
+			})
+		}
+	}
+	streams := []engine.StreamDef{
+		{Name: "a", NumCols: 3, BytesPerTuple: 120, NewGenerator: gen(1)},
+		{Name: "b", NumCols: 3, BytesPerTuple: 96, NewGenerator: gen(2)},
+	}
+	win := engine.WindowSpec{Range: 2 * vtime.Second, Slide: 2 * vtime.Second}
+	queries := []engine.QuerySpec{
+		{ID: "agg0", Kind: engine.OpAggregate, Inputs: []engine.Input{{Stream: 0, Key: engine.KeySpec{0}}}, Window: win, AggCol: 2},
+		{ID: "agg1", Kind: engine.OpAggregate, Inputs: []engine.Input{{Stream: 0, Key: engine.KeySpec{1}}}, Window: win, AggCol: 2},
+		{ID: "join", Kind: engine.OpJoin, Inputs: []engine.Input{
+			{Stream: 0, Key: engine.KeySpec{0}}, {Stream: 1, Key: engine.KeySpec{0}},
+		}, Window: win, JoinFanout: 0.25},
+	}
+	e, err := engine.New(cfg, streams, queries)
+	if err != nil {
+		return nil, 0, err
+	}
+	e.SetStreamRate(0, 20e6)
+	e.SetStreamRate(1, 5e6)
+	e.Run(2 * vtime.Second) // prime: queues occupied, slots draining
+	return e, cfg.Tick, nil
+}
+
+// CollectBenchReport measures the report. The RunAll pair uses sc with
+// Workers forced to 1 and then to sc's resolved pool size, writing
+// tables to io.Discard; on a single-core machine the two times are
+// expected to be close.
+func CollectBenchReport(sc Scale) (*BenchReport, error) {
+	rep := &BenchReport{
+		Schema:     "saspar-bench-v1",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    parallel.New(sc.Workers).NumWorkers(),
+		EngineStep: map[string]BenchUnit{},
+	}
+
+	for _, mode := range []struct {
+		name   string
+		shared bool
+	}{{"nonshared", false}, {"shared", true}} {
+		e, tick, err := stepBenchEngine(mode.shared)
+		if err != nil {
+			return nil, err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.Run(tick)
+			}
+		})
+		rep.EngineStep[mode.name] = BenchUnit{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+
+	seq := sc
+	seq.Workers = 1
+	start := time.Now()
+	if err := RunAll(seq, io.Discard); err != nil {
+		return nil, err
+	}
+	rep.RunAllSequentialSec = time.Since(start).Seconds()
+
+	par := sc
+	par.Workers = rep.Workers
+	start = time.Now()
+	if err := RunAll(par, io.Discard); err != nil {
+		return nil, err
+	}
+	rep.RunAllParallelSec = time.Since(start).Seconds()
+	if rep.RunAllParallelSec > 0 {
+		rep.RunAllSpeedup = rep.RunAllSequentialSec / rep.RunAllParallelSec
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report, indented, with a trailing newline.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"saspar/internal/parallel"
 	"saspar/internal/spe"
 	"saspar/internal/tpch"
 	"saspar/internal/vtime"
@@ -31,34 +32,44 @@ func TPCHGrid(sc Scale, counts []int, drift vtime.Duration) ([]TPCHCell, error) 
 	if counts == nil {
 		counts = Fig6QueryCounts()
 	}
-	var cells []TPCHCell
+	type cellSpec struct {
+		n   int
+		sut spe.SUT
+	}
+	var specs []cellSpec
 	for _, n := range counts {
+		for _, sut := range spe.AllSUTs() {
+			specs = append(specs, cellSpec{n, sut})
+		}
+	}
+	// Each cell builds its own workload inside the job: tpch.New is
+	// deterministic (fixed seed), so this is equivalent to sharing one
+	// per query count and leaves concurrent cells with no shared state.
+	return parallel.Map(sc.pool(), len(specs), func(i int) (TPCHCell, error) {
+		s := specs[i]
 		cfg := tpch.DefaultConfig()
-		cfg.Queries = tpch.QuerySubset(n)
+		cfg.Queries = tpch.QuerySubset(s.n)
 		cfg.Window = sc.window()
 		cfg.LineitemRate = sc.Rate
 		cfg.DriftPeriod = drift
 		w, err := tpch.New(cfg)
 		if err != nil {
-			return nil, err
+			return TPCHCell{}, err
 		}
-		for _, sut := range spe.AllSUTs() {
-			res, err := runSUT(sc, sut, w, nil)
-			if err != nil {
-				return nil, fmt.Errorf("bench: tpch %s %dq: %w", sut.Name(), n, err)
-			}
-			cells = append(cells, TPCHCell{
-				SUT:            sut.Name(),
-				Queries:        n,
-				ThroughputMTps: res.Throughput / 1e6,
-				ThroughputStd:  res.ThroughputStd / 1e6,
-				LatencyMs:      ms(res.AvgLatency),
-				LatencyStdMs:   ms(res.LatencyStd),
-				Reshuffled:     res.Reshuffled,
-			})
+		res, err := runSUT(sc, s.sut, w, nil)
+		if err != nil {
+			return TPCHCell{}, fmt.Errorf("bench: tpch %s %dq: %w", s.sut.Name(), s.n, err)
 		}
-	}
-	return cells, nil
+		return TPCHCell{
+			SUT:            s.sut.Name(),
+			Queries:        s.n,
+			ThroughputMTps: res.Throughput / 1e6,
+			ThroughputStd:  res.ThroughputStd / 1e6,
+			LatencyMs:      ms(res.AvgLatency),
+			LatencyStdMs:   ms(res.LatencyStd),
+			Reshuffled:     res.Reshuffled,
+		}, nil
+	})
 }
 
 // Fig6 reproduces Figure 6: overall throughput of the six SUTs with 1,

@@ -6,6 +6,7 @@ import (
 
 	"saspar/internal/core"
 	"saspar/internal/engine"
+	"saspar/internal/parallel"
 	"saspar/internal/spe"
 	"saspar/internal/tpch"
 )
@@ -37,46 +38,52 @@ func Fig9(sc Scale) ([]Fig9Row, error) {
 	if !sc.Full {
 		counts = []int{1, 2, 4, 8}
 	}
-	var rows []Fig9Row
+	type cellSpec struct {
+		parts, n int
+		kind     spe.Kind
+	}
+	var specs []cellSpec
 	for _, parts := range Fig9PartitionCounts(sc) {
 		for _, n := range counts {
-			cfg := tpch.DefaultConfig()
-			cfg.Queries = tpch.QuerySubset(n)
-			cfg.Window = sc.window()
-			cfg.LineitemRate = sc.Rate
-			cfg.DriftPeriod = 6 * sc.TimeUnit
-			cfg.HotFraction = 0.6 // strong drifting hot set: load must genuinely move
-			cfg.HotKeys = 8
-			w, err := tpch.New(cfg)
-			if err != nil {
-				return nil, err
-			}
 			for _, kind := range spe.Kinds() {
-				sut := spe.SUT{Kind: kind, Saspar: true}
-				parts := parts
-				res, err := runSUT(sc, sut, w, func(e *engine.Config, c *core.Config) {
-					e.NumPartitions = parts
-					if e.NumGroups < parts {
-						e.NumGroups = parts * 4
-					}
-					// Drifting stats: plans live about one interval, so
-					// the movement gate must not suppress adaptation.
-					c.PlanHorizon = 4
-					c.MinImprovement = 0.001
-				})
-				if err != nil {
-					return nil, fmt.Errorf("bench: fig9 %s %dp %dq: %w", sut.Name(), parts, n, err)
-				}
-				rows = append(rows, Fig9Row{
-					SUT:         sut.Name(),
-					Partitions:  parts,
-					Queries:     n,
-					ReshuffledK: res.Reshuffled / 1000,
-				})
+				specs = append(specs, cellSpec{parts, n, kind})
 			}
 		}
 	}
-	return rows, nil
+	return parallel.Map(sc.pool(), len(specs), func(i int) (Fig9Row, error) {
+		s := specs[i]
+		cfg := tpch.DefaultConfig()
+		cfg.Queries = tpch.QuerySubset(s.n)
+		cfg.Window = sc.window()
+		cfg.LineitemRate = sc.Rate
+		cfg.DriftPeriod = 6 * sc.TimeUnit
+		cfg.HotFraction = 0.6 // strong drifting hot set: load must genuinely move
+		cfg.HotKeys = 8
+		w, err := tpch.New(cfg)
+		if err != nil {
+			return Fig9Row{}, err
+		}
+		sut := spe.SUT{Kind: s.kind, Saspar: true}
+		res, err := runSUT(sc, sut, w, func(e *engine.Config, c *core.Config) {
+			e.NumPartitions = s.parts
+			if e.NumGroups < s.parts {
+				e.NumGroups = s.parts * 4
+			}
+			// Drifting stats: plans live about one interval, so the
+			// movement gate must not suppress adaptation.
+			c.PlanHorizon = 4
+			c.MinImprovement = 0.001
+		})
+		if err != nil {
+			return Fig9Row{}, fmt.Errorf("bench: fig9 %s %dp %dq: %w", sut.Name(), s.parts, s.n, err)
+		}
+		return Fig9Row{
+			SUT:         sut.Name(),
+			Partitions:  s.parts,
+			Queries:     s.n,
+			ReshuffledK: res.Reshuffled / 1000,
+		}, nil
+	})
 }
 
 // PrintFig9 renders the reshuffle table.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"saspar/internal/ajoinwl"
+	"saspar/internal/parallel"
 	"saspar/internal/spe"
 	"saspar/internal/vtime"
 	"saspar/internal/workload"
@@ -39,26 +40,33 @@ func ajoinWorkload(sc Scale, queries int, drift vtime.Duration) (*workload.Workl
 // Fig10 reproduces Figure 10: overall throughput of the six SUTs under
 // the AJoin workload as the join-query population grows.
 func Fig10(sc Scale) ([]Fig10Row, error) {
-	var rows []Fig10Row
+	type cellSpec struct {
+		n   int
+		sut spe.SUT
+	}
+	var specs []cellSpec
 	for _, n := range Fig10QueryCounts(sc) {
-		w, err := ajoinWorkload(sc, n, 0)
-		if err != nil {
-			return nil, err
-		}
 		for _, sut := range spe.AllSUTs() {
-			res, err := runSUT(sc, sut, w, nil)
-			if err != nil {
-				return nil, fmt.Errorf("bench: fig10 %s %dq: %w", sut.Name(), n, err)
-			}
-			rows = append(rows, Fig10Row{
-				SUT:            sut.Name(),
-				Queries:        n,
-				ThroughputMTps: res.Throughput / 1e6,
-				LatencyMs:      ms(res.AvgLatency),
-			})
+			specs = append(specs, cellSpec{n, sut})
 		}
 	}
-	return rows, nil
+	return parallel.Map(sc.pool(), len(specs), func(i int) (Fig10Row, error) {
+		s := specs[i]
+		w, err := ajoinWorkload(sc, s.n, 0)
+		if err != nil {
+			return Fig10Row{}, err
+		}
+		res, err := runSUT(sc, s.sut, w, nil)
+		if err != nil {
+			return Fig10Row{}, fmt.Errorf("bench: fig10 %s %dq: %w", s.sut.Name(), s.n, err)
+		}
+		return Fig10Row{
+			SUT:            s.sut.Name(),
+			Queries:        s.n,
+			ThroughputMTps: res.Throughput / 1e6,
+			LatencyMs:      ms(res.AvgLatency),
+		}, nil
+	})
 }
 
 // PrintFig10 renders the AJoin-workload throughput grid.
@@ -90,42 +98,48 @@ func Fig11(sc Scale) ([]Fig11Row, error) {
 	if !sc.Full {
 		counts = []int{1, 5, 20}
 	}
-	var rows []Fig11Row
+	type cellSpec struct {
+		units, n int
+	}
+	var specs []cellSpec
 	for _, units := range Fig11Intervals() {
-		interval := vtime.Duration(units) * sc.TimeUnit
 		for _, n := range counts {
-			w, err := ajoinWorkload(sc, n, 6*sc.TimeUnit)
-			if err != nil {
-				return nil, err
-			}
-			sut := spe.SUT{Kind: spe.Flink, Saspar: true}
-			engCfg := sc.engineConfig()
-			coreCfg := sc.coreConfig()
-			coreCfg.TriggerInterval = interval
-			coreCfg.PlanHorizon = 4
-			// Sparse sampling: a short interval sees few samples and
-			// acts on noise — the effect Fig. 11 measures.
-			coreCfg.SampleEvery = 32
-			warm := 2 * interval
-			if warm < sc.Warmup {
-				warm = sc.Warmup
-			}
-			meas := 4 * interval
-			if meas < sc.Measure {
-				meas = sc.Measure
-			}
-			res, err := runDriverRaw(sut, w, engCfg, coreCfg, warm, meas, sc.Reps)
-			if err != nil {
-				return nil, fmt.Errorf("bench: fig11 %dmin %dq: %w", units, n, err)
-			}
-			rows = append(rows, Fig11Row{
-				IntervalUnits:  units,
-				Queries:        n,
-				ThroughputMTps: res.Throughput / 1e6,
-			})
+			specs = append(specs, cellSpec{units, n})
 		}
 	}
-	return rows, nil
+	return parallel.Map(sc.pool(), len(specs), func(i int) (Fig11Row, error) {
+		s := specs[i]
+		interval := vtime.Duration(s.units) * sc.TimeUnit
+		w, err := ajoinWorkload(sc, s.n, 6*sc.TimeUnit)
+		if err != nil {
+			return Fig11Row{}, err
+		}
+		sut := spe.SUT{Kind: spe.Flink, Saspar: true}
+		engCfg := sc.engineConfig()
+		coreCfg := sc.coreConfig()
+		coreCfg.TriggerInterval = interval
+		coreCfg.PlanHorizon = 4
+		// Sparse sampling: a short interval sees few samples and acts
+		// on noise — the effect Fig. 11 measures.
+		coreCfg.SampleEvery = 32
+		warm := 2 * interval
+		if warm < sc.Warmup {
+			warm = sc.Warmup
+		}
+		meas := 4 * interval
+		if meas < sc.Measure {
+			meas = sc.Measure
+		}
+		res, err := runDriverRaw(sut, w, engCfg, coreCfg, warm, meas, sc.Reps)
+		if err != nil {
+			return Fig11Row{}, fmt.Errorf("bench: fig11 %dmin %dq: %w", s.units, s.n, err)
+		}
+		return Fig11Row{
+			IntervalUnits:  s.units,
+			Queries:        s.n,
+			ThroughputMTps: res.Throughput / 1e6,
+		}, nil
+	})
 }
 
 // PrintFig11 renders the trigger-interval sweep.

@@ -7,6 +7,7 @@ import (
 	"saspar/internal/core"
 	"saspar/internal/engine"
 	"saspar/internal/optimizer"
+	"saspar/internal/parallel"
 	"saspar/internal/spe"
 )
 
@@ -45,8 +46,12 @@ func Fig12a(sc Scale) ([]Fig12aRow, error) {
 	if !sc.Full {
 		counts = []int{5, 20, 100}
 	}
-	var rows []Fig12aRow
-	for _, n := range counts {
+	// Submitted through the serial pool: each Optimize call runs under a
+	// wall-clock budget (sc.OptTimeout), and the cascade's success point
+	// depends on how much real CPU that budget buys. Concurrent cells
+	// would contend for cores and shift the attribution being measured.
+	rows, err := parallel.Map(serialPool(), len(counts), func(ci int) (Fig12aRow, error) {
+		n := counts[ci]
 		scaleUp := 1
 		for s := n; s >= 20; s /= 5 {
 			scaleUp *= 2
@@ -63,7 +68,7 @@ func Fig12a(sc Scale) ([]Fig12aRow, error) {
 				Timeout: sc.OptTimeout, OptGap: 0.05,
 			})
 			if err != nil {
-				return nil, err
+				return Fig12aRow{}, err
 			}
 			tally[successHeuristic(res)]++
 		}
@@ -71,7 +76,10 @@ func Fig12a(sc Scale) ([]Fig12aRow, error) {
 		for h, c := range tally {
 			row.ImpactPct[h] = 100 * c / seeds
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -120,47 +128,56 @@ func Fig12b(sc Scale) ([]Fig12bRow, error) {
 	if !sc.Full {
 		counts = []int{5, 20, 100}
 	}
-	var rows []Fig12bRow
+	type cellSpec struct {
+		n    int
+		kind spe.Kind
+	}
+	var specs []cellSpec
 	for _, n := range counts {
-		w, err := ajoinWorkload(sc, n, 6*sc.TimeUnit)
-		if err != nil {
-			return nil, err
-		}
 		for _, kind := range spe.Kinds() {
-			sut := spe.SUT{Kind: kind, Saspar: true}
-			run := func(compile bool) (latMs float64, compiles float64, err error) {
-				res, err := runSUT(sc, sut, w, func(e *engine.Config, c *core.Config) {
-					if !compile {
-						e.Cost.CompileCost = 0
-					}
-					c.PlanHorizon = 4
-					c.MinImprovement = 0.001
-					c.TriggerInterval = 2 * sc.TimeUnit
-				})
-				if err != nil {
-					return 0, 0, err
-				}
-				return ms(res.AvgLatency), res.JITCompiles, nil
-			}
-			withJIT, compiles, err := run(true)
-			if err != nil {
-				return nil, fmt.Errorf("bench: fig12b %s %dq: %w", sut.Name(), n, err)
-			}
-			withoutJIT, _, err := run(false)
-			if err != nil {
-				return nil, err
-			}
-			pct := 0.0
-			if withJIT > 0 {
-				pct = 100 * (withJIT - withoutJIT) / withJIT
-			}
-			if pct < 0 {
-				pct = 0
-			}
-			rows = append(rows, Fig12bRow{SUT: sut.Name(), Queries: n, OverheadPct: pct, Compiles: compiles})
+			specs = append(specs, cellSpec{n, kind})
 		}
 	}
-	return rows, nil
+	// The with/without-JIT pair stays inside one cell: the pair is the
+	// measurement, its two runs are not independent work.
+	return parallel.Map(sc.pool(), len(specs), func(i int) (Fig12bRow, error) {
+		s := specs[i]
+		w, err := ajoinWorkload(sc, s.n, 6*sc.TimeUnit)
+		if err != nil {
+			return Fig12bRow{}, err
+		}
+		sut := spe.SUT{Kind: s.kind, Saspar: true}
+		run := func(compile bool) (latMs float64, compiles float64, err error) {
+			res, err := runSUT(sc, sut, w, func(e *engine.Config, c *core.Config) {
+				if !compile {
+					e.Cost.CompileCost = 0
+				}
+				c.PlanHorizon = 4
+				c.MinImprovement = 0.001
+				c.TriggerInterval = 2 * sc.TimeUnit
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			return ms(res.AvgLatency), res.JITCompiles, nil
+		}
+		withJIT, compiles, err := run(true)
+		if err != nil {
+			return Fig12bRow{}, fmt.Errorf("bench: fig12b %s %dq: %w", sut.Name(), s.n, err)
+		}
+		withoutJIT, _, err := run(false)
+		if err != nil {
+			return Fig12bRow{}, err
+		}
+		pct := 0.0
+		if withJIT > 0 {
+			pct = 100 * (withJIT - withoutJIT) / withJIT
+		}
+		if pct < 0 {
+			pct = 0
+		}
+		return Fig12bRow{SUT: sut.Name(), Queries: s.n, OverheadPct: pct, Compiles: compiles}, nil
+	})
 }
 
 // PrintFig12b renders the JIT-overhead table.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"saspar/internal/gcm"
+	"saspar/internal/parallel"
 	"saspar/internal/spe"
 )
 
@@ -21,25 +22,32 @@ type Fig13Row struct {
 // queries the sharing potential is small, so SASPAR's edge shrinks —
 // the paper's point.
 func Fig13(sc Scale) ([]Fig13Row, error) {
-	var rows []Fig13Row
+	type cellSpec struct {
+		n   int
+		sut spe.SUT
+	}
+	var specs []cellSpec
 	for _, n := range []int{1, 2} {
+		for _, sut := range spe.AllSUTs() {
+			specs = append(specs, cellSpec{n, sut})
+		}
+	}
+	return parallel.Map(sc.pool(), len(specs), func(i int) (Fig13Row, error) {
+		s := specs[i]
 		cfg := gcm.DefaultConfig()
-		cfg.NumQueries = n
+		cfg.NumQueries = s.n
 		cfg.Window = sc.window()
 		cfg.Rate = sc.Rate
 		w, err := gcm.New(cfg)
 		if err != nil {
-			return nil, err
+			return Fig13Row{}, err
 		}
-		for _, sut := range spe.AllSUTs() {
-			res, err := runSUT(sc, sut, w, nil)
-			if err != nil {
-				return nil, fmt.Errorf("bench: fig13 %s %dq: %w", sut.Name(), n, err)
-			}
-			rows = append(rows, Fig13Row{SUT: sut.Name(), Queries: n, ThroughputMTps: res.Throughput / 1e6})
+		res, err := runSUT(sc, s.sut, w, nil)
+		if err != nil {
+			return Fig13Row{}, fmt.Errorf("bench: fig13 %s %dq: %w", s.sut.Name(), s.n, err)
 		}
-	}
-	return rows, nil
+		return Fig13Row{SUT: s.sut.Name(), Queries: s.n, ThroughputMTps: res.Throughput / 1e6}, nil
+	})
 }
 
 // PrintFig13 renders the GCM table.

@@ -8,6 +8,7 @@ import (
 	"saspar/internal/engine"
 	"saspar/internal/keyspace"
 	"saspar/internal/ml"
+	"saspar/internal/parallel"
 	"saspar/internal/stats"
 	"saspar/internal/vtime"
 )
@@ -67,33 +68,34 @@ func MLAccuracy(sc Scale) ([]MLRow, error) {
 	data := col.TrainingData(0)
 	exact := hold.SWVector(0, 0)
 
-	var rows []MLRow
 	// Capacity ladder: shallow single trees first (few splits, heavy
-	// underfit on the graded structure), then growing ensembles.
+	// underfit on the graded structure), then growing ensembles. The
+	// trainings are independent (each seeds its own RNG; TrainForest
+	// only reads the shared dataset), so they fan out as cells.
 	ladder := []struct{ trees, depth int }{
 		{1, 1}, {1, 2}, {1, 3}, {1, 5}, {2, 6}, {5, 8}, {10, 12}, {25, 12}, {50, 12},
 	}
-	for _, cap := range ladder {
+	return parallel.Map(sc.pool(), len(ladder), func(i int) (MLRow, error) {
+		cap := ladder[i]
 		// Six features only — no need to subsample features per split.
 		f, err := ml.TrainForest(data, ml.ForestConfig{
 			Trees: cap.trees,
 			Tree:  ml.TreeConfig{FeatureSubset: 6, MinLeaf: 1, MaxDepth: cap.depth},
 		}, 7)
 		if err != nil {
-			return nil, err
+			return MLRow{}, err
 		}
 		pred := col.PredictedSW(f, 0, 0, []int{1, 2})
 		var errSum float64
 		for g := range exact {
 			errSum += math.Abs(pred[g] - exact[g])
 		}
-		rows = append(rows, MLRow{
+		return MLRow{
 			Trees:    cap.trees,
 			Splits:   f.Splits(),
 			ErrorPct: 100 * errSum / float64(len(exact)),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // PrintML renders the microbenchmark.

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"saspar/internal/vtime"
+)
+
+// TestParallelEquivalence is the parallel runner's correctness
+// contract: RunAll output at one worker (the historical sequential
+// loops) and at several workers must be byte-identical. Every cell is
+// an isolated virtual-time simulation, so the only permissible
+// difference between worker counts is wall clock.
+//
+// Two sections are masked before comparison because they are not
+// deterministic between ANY two runs, sequential or not: Fig. 8
+// prints measured solver wall clock (and its budget-capped accuracy
+// column depends on it), and Fig. 12a attributes optimizations to
+// cascade steps under a real CPU budget. Everything else — every
+// throughput, latency, reshuffle, sharing and ML number — is compared
+// exactly.
+func TestParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute harness comparison")
+	}
+	sc := Quick()
+	sc.Warmup = 3 * vtime.Second
+	sc.Measure = 3 * vtime.Second
+	sc.OptTimeout = 150 * time.Millisecond
+	sc.MIPCap = 150 * time.Millisecond
+	// Node-capped optimization: in-cell plans must not depend on how
+	// much real CPU a wall-clock budget happens to buy, or cells would
+	// differ between ANY two runs, parallel or not.
+	sc.DeterministicOpt = true
+
+	run := func(workers int) string {
+		s := sc
+		s.Workers = workers
+		var b strings.Builder
+		if err := RunAll(s, &b); err != nil {
+			t.Fatalf("RunAll(workers=%d): %v", workers, err)
+		}
+		return b.String()
+	}
+
+	seq := maskWallClockSections(t, run(1))
+	par := maskWallClockSections(t, run(4))
+	if seq == par {
+		return
+	}
+	seqLines := strings.Split(seq, "\n")
+	parLines := strings.Split(par, "\n")
+	for i := 0; i < len(seqLines) || i < len(parLines); i++ {
+		var a, b string
+		if i < len(seqLines) {
+			a = seqLines[i]
+		}
+		if i < len(parLines) {
+			b = parLines[i]
+		}
+		if a != b {
+			t.Errorf("line %d differs:\n  workers=1: %q\n  workers=4: %q", i+1, a, b)
+		}
+	}
+	t.Fatal("parallel RunAll output diverged from sequential")
+}
+
+// maskedSections are the RunAll section titles whose bodies depend on
+// real wall clock and may differ between any two runs.
+var maskedSections = []string{
+	"Figure 8a/8b",
+	"Figure 12a",
+}
+
+// maskWallClockSections removes the bodies of masked sections; the
+// section headers stay, so the section structure itself is compared.
+func maskWallClockSections(t *testing.T, out string) string {
+	t.Helper()
+	var b strings.Builder
+	masking := false
+	matched := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "== ") {
+			masking = false
+			for _, s := range maskedSections {
+				if strings.Contains(line, s) {
+					masking = true
+					matched++
+				}
+			}
+			b.WriteString(line)
+			b.WriteByte('\n')
+			continue
+		}
+		if !masking {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	if matched != len(maskedSections) {
+		t.Fatalf("masked %d sections, want %d — RunAll section titles changed?", matched, len(maskedSections))
+	}
+	return b.String()
+}

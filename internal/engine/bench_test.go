@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"saspar/internal/vtime"
+)
+
+// The benchmarks in this file isolate the engine's inner loop — the
+// tick step and the router hot path — so the allocation-elimination
+// work (free-listed entries, reusable route buckets, precomputed route
+// tables) is measurable without the figure harnesses on top.
+// BENCH_pr1.json records their allocs/op trajectory.
+
+// benchStreams returns a two-stream definition with cheap deterministic
+// generators (key skew comes from the multiplicative hash, not an RNG,
+// so benchmark iterations are identical work).
+func benchStreams() []StreamDef {
+	gen := func(salt int64) func(task int) Generator {
+		return func(task int) Generator {
+			i := int64(task)*7919 + salt
+			return GeneratorFunc(func(t *Tuple, ts vtime.Time) {
+				i++
+				t.Cols[0] = (i * 2654435761) % 4096
+				t.Cols[1] = (i * 40503) % 512
+				t.Cols[2] = i % 97
+			})
+		}
+	}
+	return []StreamDef{
+		{Name: "a", NumCols: 3, BytesPerTuple: 120, NewGenerator: gen(1)},
+		{Name: "b", NumCols: 3, BytesPerTuple: 96, NewGenerator: gen(2)},
+	}
+}
+
+// benchQueries mixes aggregations over two key columns with one join —
+// several route classes per stream, as the TPC-H harness produces.
+func benchQueries(n int) []QuerySpec {
+	win := WindowSpec{Range: 2 * vtime.Second, Slide: 2 * vtime.Second}
+	var qs []QuerySpec
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			qs = append(qs, QuerySpec{
+				ID: fmt.Sprintf("agg0-%d", i), Kind: OpAggregate,
+				Inputs: []Input{{Stream: 0, Key: KeySpec{0}}},
+				Window: win, AggCol: 2,
+			})
+		case 1:
+			qs = append(qs, QuerySpec{
+				ID: fmt.Sprintf("agg1-%d", i), Kind: OpAggregate,
+				Inputs: []Input{{Stream: 0, Key: KeySpec{1}}},
+				Window: win, AggCol: 2,
+			})
+		default:
+			qs = append(qs, QuerySpec{
+				ID: fmt.Sprintf("join-%d", i), Kind: OpJoin,
+				Inputs: []Input{
+					{Stream: 0, Key: KeySpec{0}},
+					{Stream: 1, Key: KeySpec{0}},
+				},
+				Window: win, JoinFanout: 0.25,
+			})
+		}
+	}
+	return qs
+}
+
+func benchEngine(b *testing.B, shared bool, queries int) *Engine {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.NumPartitions = 8
+	cfg.NumGroups = 32
+	cfg.SourceTasks = 4
+	cfg.TupleWeight = 500
+	cfg.Shared = shared
+	e, err := New(cfg, benchStreams(), benchQueries(queries))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetStreamRate(0, 20e6)
+	e.SetStreamRate(1, 5e6)
+	// Prime the pipeline so steady-state ticks (queues occupied, slots
+	// draining) are what gets measured.
+	e.Run(2 * vtime.Second)
+	return e
+}
+
+// BenchmarkEngineStep measures one whole simulation tick — sources,
+// routers, slot drains — in steady state.
+func BenchmarkEngineStep(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		shared bool
+	}{{"nonshared", false}, {"shared", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := benchEngine(b, mode.shared, 6)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.step()
+			}
+		})
+	}
+}
+
+// BenchmarkRouteTick isolates the router hot path: one tick of tuple
+// generation, classification and bucket assembly for a single task.
+func BenchmarkRouteTick(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		shared bool
+	}{{"nonshared", false}, {"shared", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := benchEngine(b, mode.shared, 6)
+			rt := e.tasks[0]
+			dt := e.cfg.Tick
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Advance the clock so the generated timestamps move like
+				// a real run; slots are not drained, so cap the queues by
+				// recycling their entries every few iterations.
+				e.clock = e.clock.Add(dt)
+				e.cluster.BeginTick(dt)
+				e.net.BeginTick(dt)
+				rt.routeTick(e, dt)
+				if i%8 == 7 {
+					drainForBench(e)
+				}
+			}
+		})
+	}
+}
+
+// drainForBench empties all slot edges without operator work so router
+// benchmarks don't accumulate unbounded queues.
+func drainForBench(e *Engine) {
+	for _, s := range e.slots {
+		for ei := range s.edges {
+			q := &s.edges[ei]
+			for !q.empty() {
+				en := q.pop()
+				e.inboxBytes[s.node] -= en.bytes
+				e.recycleEntry(en)
+			}
+		}
+	}
+}

@@ -53,6 +53,40 @@ type Engine struct {
 	alignedSlots     map[int64]int
 	inFlightEpoch    int64                        // reconfig epoch not yet complete (0 = none)
 	pendingReconfig  map[int]*keyspace.Assignment // micro-batch deferral
+
+	// entryFree recycles consumed entry objects (and their payload
+	// slice capacity) back to the producers. The engine is
+	// single-threaded by contract, so a plain slice beats sync.Pool:
+	// no per-P sharding, no GC-driven eviction, deterministic reuse.
+	entryFree []*entry
+}
+
+// newEntry returns a zeroed entry, reusing a recycled one (including
+// its payload slice capacity) when available.
+func (e *Engine) newEntry() *entry {
+	if n := len(e.entryFree); n > 0 {
+		en := e.entryFree[n-1]
+		e.entryFree = e.entryFree[:n-1]
+		return en
+	}
+	return &entry{}
+}
+
+// recycleEntry returns a fully consumed entry to the free list. The
+// caller must guarantee nothing aliases the entry anymore; payload
+// slices are truncated (not freed) so their capacity is reused by the
+// next tick's buckets. Entries produced by splitSend share backing
+// arrays with their remainder, but the split caps lengths so reuse
+// through the truncated slices can never touch the other half.
+func (e *Engine) recycleEntry(en *entry) {
+	*en = entry{
+		tuples:    en.tuples[:0],
+		classBits: en.classBits[:0],
+		groups:    en.groups[:0],
+		stAgg:     en.stAgg[:0],
+		stJoin:    [2][]Tuple{en.stJoin[0][:0], en.stJoin[1][:0]},
+	}
+	e.entryFree = append(e.entryFree, en)
 }
 
 // New builds an engine. Queries that should share an assignment (e.g.
@@ -283,11 +317,23 @@ func (e *Engine) step() {
 
 	// Slots drain before sources produce: downstream work gets first
 	// claim on node CPU, which is how backpressure (rather than
-	// producer starvation) regulates an overloaded pipeline. Rotate the
-	// order so CPU contention on a node is shared fairly across slots.
-	off := int(e.clock/vtime.Time(dt)) % len(e.slots)
-	for i := range e.slots {
-		e.slots[(i+off)%len(e.slots)].process(e)
+	// producer starvation) regulates an overloaded pipeline.
+	//
+	// Fairness rationale for the rotation: slots sharing a node compete
+	// for one CPU meter, and process() drains greedily until the meter
+	// runs dry — whichever slot goes first wins the whole tick budget
+	// under overload. Rotating the start offset by one slot per tick
+	// round-robins that first claim, so over any window of len(slots)
+	// ticks every slot leads exactly once and sustained starvation of a
+	// fixed slot is impossible. The offset is derived from the clock
+	// (not an incrementing counter) so a run's schedule depends only on
+	// virtual time, keeping replays and the parallel bench runner
+	// bit-identical.
+	if len(e.slots) > 0 {
+		off := int(e.clock/vtime.Time(dt)) % len(e.slots)
+		for i := range e.slots {
+			e.slots[(i+off)%len(e.slots)].process(e)
+		}
 	}
 
 	for _, rt := range e.tasks {
@@ -401,14 +447,14 @@ func (e *Engine) InjectFinalize() {
 func (e *Engine) broadcastMarker(m *Marker) {
 	for _, rt := range e.tasks {
 		for s := 0; s < e.cfg.NumPartitions; s++ {
-			e.enqueue(rt, &entry{
-				kind:      entryMarker,
-				slot:      s,
-				arriveAt:  e.clock.Add(e.net.Config().LatNet),
-				watermark: e.clock.Add(-e.cfg.WatermarkLag),
-				epoch:     m.Epoch,
-				marker:    m,
-			})
+			en := e.newEntry()
+			en.kind = entryMarker
+			en.slot = s
+			en.arriveAt = e.clock.Add(e.net.Config().LatNet)
+			en.watermark = e.clock.Add(-e.cfg.WatermarkLag)
+			en.epoch = m.Epoch
+			en.marker = m
+			e.enqueue(rt, en)
 		}
 	}
 }

@@ -198,9 +198,11 @@ func (m *Metrics) JITTime() vtime.Duration { return m.jitTime }
 
 // latDist is a weighted streaming moment accumulator plus a coarse
 // reservoir for quantiles. Weights are modelled-tuple multiplicities.
+// The reservoir is a fixed-size ring allocated once at first use, so
+// the tick loop never grows a slice while recording latencies.
 type latDist struct {
 	w, mean1, m2 float64
-	samples      []float64 // uniform-ish reservoir for quantiles
+	samples      []float64 // fixed-size ring reservoir for quantiles
 	nSeen        int
 }
 
@@ -216,12 +218,15 @@ func (d *latDist) add(x, w float64) {
 	d.mean1 += delta * w / d.w
 	d.m2 += w * delta * (x - d.mean1)
 
+	if d.samples == nil {
+		d.samples = make([]float64, 0, latReservoir)
+	}
 	d.nSeen++
 	if len(d.samples) < latReservoir {
 		d.samples = append(d.samples, x)
 	} else {
-		// Deterministic reservoir: replace a rotating slot; adequate
-		// for coarse quantiles over a stationary measurement window.
+		// Deterministic ring: replace a rotating slot; adequate for
+		// coarse quantiles over a stationary measurement window.
 		d.samples[d.nSeen%latReservoir] = x
 	}
 }

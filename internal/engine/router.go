@@ -46,6 +46,13 @@ type routeClass struct {
 	sel     float64
 	assign  *keyspace.Assignment
 	members []member
+
+	// route is the class's group→partition table, precomputed at plan
+	// build so the per-tuple hot path indexes a flat slice instead of
+	// chasing the Assignment pointer per lookup. It aliases the live
+	// assignment table (see keyspace.Assignment.Table), so it can never
+	// drift from assign; plans are rebuilt whenever assignments swap.
+	route []keyspace.PartitionID
 }
 
 // classSignature is the grouping key for route-class construction.
@@ -109,6 +116,7 @@ func buildStreamPlan(stream StreamID, queries []*queryInst) (*streamPlan, error)
 					filtID: in.FilterID,
 					sel:    sig.sel,
 					assign: q.assign,
+					route:  q.assign.Table(),
 				}
 				bySig[sig] = rc
 				plan.classes = append(plan.classes, rc)
@@ -157,6 +165,14 @@ type routerTask struct {
 	heldBytes  float64
 	draining   []pendingSend // micro-batch: the materialized batch being paced out
 	drainBytes float64
+
+	// Per-tick routing scratch, reused across ticks (the engine is
+	// single-threaded, so no synchronization): buckets maps a dense
+	// route key — slot in shared mode, class·NumPartitions+slot in
+	// non-shared mode — to the entry being filled, and usedKeys lists
+	// the keys touched this tick so only they are scanned and reset.
+	buckets  []*entry
+	usedKeys []int
 }
 
 // routeTick generates and routes this task's tuples for one tick of
@@ -218,18 +234,20 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 	}
 
 	// Per-tick buckets. Non-shared: one per (class, slot). Shared: one
-	// per slot, with per-tuple class bitmasks.
-	type nsBucket struct {
-		tuples []Tuple
-		groups []keyspace.GroupID
+	// per slot, with per-tuple class bitmasks. Dense slice indexing
+	// replaces the per-tuple map lookups that used to dominate the
+	// router profile; the entries come from the engine free list with
+	// their tuple-slice capacity intact, so a steady-state tick
+	// allocates nothing here.
+	nb := e.cfg.NumPartitions
+	if !e.cfg.Shared {
+		nb = len(plan.classes) * e.cfg.NumPartitions
 	}
-	var nsBuckets map[int]*nsBucket // key: class*numSlots+slot
-	var shBuckets map[int]*entry    // key: slot
-	if e.cfg.Shared {
-		shBuckets = make(map[int]*entry, 8)
-	} else {
-		nsBuckets = make(map[int]*nsBucket, 8)
+	if cap(rt.buckets) < nb {
+		rt.buckets = make([]*entry, nb)
 	}
+	rt.buckets = rt.buckets[:nb]
+	rt.usedKeys = rt.usedKeys[:0]
 
 	begin := e.clock.Add(-dt)
 	step := vtime.Duration(int64(dt) / int64(n))
@@ -262,7 +280,7 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 					sampleClass[ns], sampleGroup[ns] = rc.id, g
 					ns++
 				}
-				p := int(rc.assign.Partition(g))
+				p := int(rc.route[g])
 				found := -1
 				for j := 0; j < nd; j++ {
 					if slotScratch[j] == p {
@@ -293,10 +311,13 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 			}
 			e.metrics.recordSharing(float64(demanded)*e.cfg.TupleWeight, float64(nd)*e.cfg.TupleWeight)
 			for j := 0; j < nd; j++ {
-				b := shBuckets[slotScratch[j]]
+				b := rt.buckets[slotScratch[j]]
 				if b == nil {
-					b = &entry{kind: entryData, stream: rt.stream, shared: true, slot: slotScratch[j], epoch: e.epoch, plan: plan}
-					shBuckets[slotScratch[j]] = b
+					b = e.newEntry()
+					b.kind, b.stream, b.shared = entryData, rt.stream, true
+					b.slot, b.epoch, b.plan = slotScratch[j], e.epoch, plan
+					rt.buckets[slotScratch[j]] = b
+					rt.usedKeys = append(rt.usedKeys, slotScratch[j])
 				}
 				b.tuples = append(b.tuples, t)
 				b.classBits = append(b.classBits, bitScratch[j])
@@ -311,12 +332,15 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 					sampleClass[ns], sampleGroup[ns] = rc.id, g
 					ns++
 				}
-				p := int(rc.assign.Partition(g))
+				p := int(rc.route[g])
 				k := rc.id*e.cfg.NumPartitions + p
-				b := nsBuckets[k]
+				b := rt.buckets[k]
 				if b == nil {
-					b = &nsBucket{}
-					nsBuckets[k] = b
+					b = e.newEntry()
+					b.kind, b.stream, b.slot = entryData, rt.stream, p
+					b.class, b.epoch = rc, e.epoch
+					rt.buckets[k] = b
+					rt.usedKeys = append(rt.usedKeys, k)
 				}
 				b.tuples = append(b.tuples, t)
 				b.groups = append(b.groups, g)
@@ -335,26 +359,16 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 	cpu.Take(routeCPUNeed)
 
 	// Materialize pending sends; tuple-at-a-time ships immediately,
-	// micro-batch holds them for the boundary.
-	push := func(ps pendingSend) {
-		if e.cfg.Profile.MicroBatch {
-			rt.held = append(rt.held, ps)
-			rt.heldBytes += ps.bytesPer * float64(len(ps.en.tuples))
-			return
-		}
-		rt.ship(e, ps)
-	}
-
-	// Deterministic ship order: map iteration order must not leak into
-	// network acceptance decisions.
+	// micro-batch holds them for the boundary. Deterministic ship
+	// order: bucket fill order must not leak into network acceptance
+	// decisions, so the used keys are sorted (slot order in shared
+	// mode, class-major in non-shared mode — the same order the map
+	// version produced).
+	sort.Ints(rt.usedKeys)
 	if e.cfg.Shared {
-		keys := make([]int, 0, len(shBuckets))
-		for k := range shBuckets {
-			keys = append(keys, k)
-		}
-		sort.Ints(keys)
-		for _, k := range keys {
-			en := shBuckets[k]
+		for _, k := range rt.usedKeys {
+			en := rt.buckets[k]
+			rt.buckets[k] = nil
 			// One physical copy; the query-set encoding adds a few
 			// bytes per extra served query.
 			extra := 0.0
@@ -373,26 +387,13 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 			if len(en.tuples) > 0 {
 				bytesPer += extra * e.cfg.TupleWeight / float64(len(en.tuples))
 			}
-			push(pendingSend{en: en, copies: 1, bytesPer: bytesPer})
+			rt.emit(e, pendingSend{en: en, copies: 1, bytesPer: bytesPer})
 		}
 	} else {
-		keys := make([]int, 0, len(nsBuckets))
-		for k := range nsBuckets {
-			keys = append(keys, k)
-		}
-		sort.Ints(keys)
-		for _, k := range keys {
-			b := nsBuckets[k]
-			rc := plan.classes[k/e.cfg.NumPartitions]
-			en := &entry{
-				kind:   entryData,
-				stream: rt.stream,
-				slot:   k % e.cfg.NumPartitions,
-				class:  rc,
-				tuples: b.tuples,
-				groups: b.groups,
-				epoch:  e.epoch,
-			}
+		for _, k := range rt.usedKeys {
+			en := rt.buckets[k]
+			rt.buckets[k] = nil
+			rc := en.class
 			// Every member query ships its own copy (Fig. 1a/1b) —
 			// except under AJoin's join-group batching, which
 			// eliminates part of the duplicate traffic of identical
@@ -401,9 +402,20 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 			if frac := e.cfg.Profile.JoinDataShareFrac; frac > 0 && m > 1 && rc.allJoins() {
 				m = 1 + (1-frac)*(m-1)
 			}
-			push(pendingSend{en: en, copies: m, bytesPer: def.BytesPerTuple * e.cfg.TupleWeight * m})
+			rt.emit(e, pendingSend{en: en, copies: m, bytesPer: def.BytesPerTuple * e.cfg.TupleWeight * m})
 		}
 	}
+}
+
+// emit routes one materialized send: tuple-at-a-time profiles ship it
+// immediately, micro-batch profiles hold it for the batch boundary.
+func (rt *routerTask) emit(e *Engine, ps pendingSend) {
+	if e.cfg.Profile.MicroBatch {
+		rt.held = append(rt.held, ps)
+		rt.heldBytes += ps.bytesPer * float64(len(ps.en.tuples))
+		return
+	}
+	rt.ship(e, ps)
 }
 
 // ship performs serialization CPU and network accounting for one entry
@@ -525,13 +537,13 @@ func splitSend(ps *pendingSend, k int) pendingSend {
 func (rt *routerTask) heartbeat(e *Engine) {
 	wm := e.clock.Add(-e.cfg.WatermarkLag)
 	for s := 0; s < e.cfg.NumPartitions; s++ {
-		e.enqueue(rt, &entry{
-			kind:      entryHeartbeat,
-			slot:      s,
-			arriveAt:  e.clock.Add(e.net.Config().LatMem),
-			watermark: wm,
-			epoch:     e.epoch,
-		})
+		en := e.newEntry()
+		en.kind = entryHeartbeat
+		en.slot = s
+		en.arriveAt = e.clock.Add(e.net.Config().LatMem)
+		en.watermark = wm
+		en.epoch = e.epoch
+		e.enqueue(rt, en)
 	}
 }
 

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+
 	"saspar/internal/cluster"
 	"saspar/internal/keyspace"
 	"saspar/internal/vtime"
@@ -167,7 +169,9 @@ func (s *slot) process(e *Engine) {
 					}
 					s.blocked[ei] = true
 					s.alignLeft--
-					q.pop()
+					// The Marker object is retained via alignM; the
+					// carrier entry is done and returns to the pool.
+					e.recycleEntry(q.pop())
 					progressed = true
 					if s.alignLeft == 0 {
 						s.completeAlignment(e)
@@ -200,6 +204,10 @@ func (s *slot) process(e *Engine) {
 				q.pop()
 				e.inboxBytes[s.node] -= en.bytes
 				s.consume(e, en)
+				// consume copies everything it keeps (window state,
+				// held tuples, state partials), so the entry and its
+				// payload capacity go back to the free list.
+				e.recycleEntry(en)
 				progressed = true
 			}
 		}
@@ -384,9 +392,19 @@ func (s *slot) completeAlignment(e *Engine) {
 	}
 
 	// Step 3: JIT-compile the new operator bodies on this slot — one
-	// compilation per query whose group set here changed.
+	// compilation per query whose group set here changed. Queries are
+	// visited in index order: each state extraction below draws from the
+	// engine RNG and the tick's shared network budget, so map-order
+	// iteration would make delays — and every latency derived from them
+	// — differ run to run.
+	movedQueries := make([]int, 0, len(d.Moved))
+	for qi := range d.Moved {
+		movedQueries = append(movedQueries, qi)
+	}
+	sort.Ints(movedQueries)
 	compiles := 0
-	for qi, moved := range d.Moved {
+	for _, qi := range movedQueries {
+		moved := d.Moved[qi]
 		q := e.queries[qi]
 		affected := false
 		for _, g := range moved {

@@ -212,12 +212,11 @@ func (e *Engine) closeExactWindows(s *slot) {
 // sent back to the source operator" of Fig. 9.
 func (e *Engine) extractAndReturn(s *slot, qi int, g keyspace.GroupID) {
 	q := e.queries[qi]
-	en := &entry{
-		kind:    entryState,
-		stQuery: qi,
-		stGroup: g,
-		epoch:   e.epoch,
-	}
+	en := e.newEntry()
+	en.kind = entryState
+	en.stQuery = qi
+	en.stGroup = g
+	en.epoch = e.epoch
 
 	if e.cfg.ExactWindows {
 		if st := s.exact[qi]; st != nil {
@@ -257,6 +256,7 @@ func (e *Engine) extractAndReturn(s *slot, qi int, g keyspace.GroupID) {
 		// class in counting mode, whose state is carried by the
 		// representative). Exact mode always ships, even empty, so the
 		// new owner's emission hold clears.
+		e.recycleEntry(en)
 		return
 	}
 	e.metrics.recordReshuffle(en.stWeight)

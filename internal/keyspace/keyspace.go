@@ -148,6 +148,11 @@ func (a *Assignment) Version() int64 { return a.version }
 // Partition returns the partition assigned to group g.
 func (a *Assignment) Partition(g GroupID) PartitionID { return a.table[g] }
 
+// Table exposes the live group→partition table for read-only indexed
+// access on per-tuple hot paths (the engine's route classes). Callers
+// must not mutate it; mutations go through Set so versioning holds.
+func (a *Assignment) Table() []PartitionID { return a.table }
+
 // Set assigns group g to partition p and bumps the version.
 func (a *Assignment) Set(g GroupID, p PartitionID) {
 	a.table[g] = p

@@ -252,11 +252,16 @@ func coordinatedDescent(in *mip.Instance, anchorOpts mip.Options, assign [][]int
 	}
 	sort.SliceStable(order, func(a, b int) bool { return weight[order[a]] > weight[order[b]] })
 
-	deadline := time.Now().Add(budget)
+	// budget <= 0 means no wall-clock deadline (deterministic mode):
+	// the pass cap alone bounds the descent.
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
 	for pass := 0; pass < 4; pass++ {
 		improved := false
 		for _, g := range order {
-			if time.Now().After(deadline) {
+			if !deadline.IsZero() && time.Now().After(deadline) {
 				return cur, best
 			}
 			orig := make([]int, len(cur))

@@ -129,6 +129,14 @@ type Options struct {
 	Disable map[string]bool
 	// MaxNodes caps solver nodes per invocation (0 = time budget only).
 	MaxNodes int64
+	// DeterministicBudget replaces every wall-clock cutoff in the
+	// cascade (MIP time budgets, descent deadlines) with work-based
+	// caps: MaxNodes bounds each solve, pass counts bound the descent.
+	// Termination then depends only on the instance, so results are
+	// bit-reproducible across runs, machines and CPU contention — the
+	// mode the parallel-equivalence test runs the harnesses under.
+	// Timeout is ignored; MaxNodes defaults to 200000 when unset.
+	DeterministicBudget bool
 	// Anchor supplies the running assignments (one per request query):
 	// the solver prefers them on ties, so returned plans are
 	// incremental key-group updates (Fig. 3) rather than wholesale
@@ -161,6 +169,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.NumNodes <= 0 {
 		o.NumNodes = 8
+	}
+	if o.DeterministicBudget {
+		// Timeout 0 disables every wall-clock deadline downstream; the
+		// node cap becomes the sole solve limit.
+		o.Timeout = 0
+		if o.MaxNodes <= 0 {
+			o.MaxNodes = 200000
+		}
 	}
 	return o
 }

@@ -1,0 +1,128 @@
+// Package parallel is the run-matrix layer under the figure harnesses.
+//
+// Every experiment in the paper's evaluation is a grid of independent
+// cells — one (SUT, workload, configuration, seed) tuple per cell —
+// and each cell builds its own engine, cluster and network models, so
+// nothing is shared between cells but read-only inputs. This package
+// fans such grids out over a bounded worker pool and reassembles the
+// results in cell-index order, which keeps harness output byte-for-byte
+// identical to the historical sequential loops (asserted by
+// TestParallelEquivalence in internal/bench).
+//
+// Worker count resolution, in priority order:
+//  1. an explicit count passed to New (a Scale.Workers knob, a
+//     -workers flag),
+//  2. the SASPAR_PARALLEL environment variable,
+//  3. runtime.GOMAXPROCS(0).
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar overrides the default worker count when set to a positive
+// integer. SASPAR_PARALLEL=1 forces sequential in-line execution.
+const EnvVar = "SASPAR_PARALLEL"
+
+// Workers resolves the default worker count: EnvVar when set to a
+// positive integer, else runtime.GOMAXPROCS(0).
+func Workers() int {
+	if v := os.Getenv(EnvVar); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool runs index-addressed job grids over a fixed number of workers.
+// The zero value is not usable; construct with New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count; n <= 0 means
+// Workers() (env override, then GOMAXPROCS).
+func New(n int) *Pool {
+	if n <= 0 {
+		n = Workers()
+	}
+	return &Pool{workers: n}
+}
+
+// NumWorkers reports the pool's worker count.
+func (p *Pool) NumWorkers() int { return p.workers }
+
+// Do runs job(0) … job(n-1), each exactly once. With one worker (or a
+// single job) everything runs in-line on the calling goroutine in
+// index order — the historical sequential loop. Otherwise jobs are
+// claimed from an atomic counter by p.workers goroutines, so low
+// indices start first but completion order is arbitrary.
+//
+// All jobs run regardless of failures; Do then reports the error of
+// the lowest failing index, so the error surfaced does not depend on
+// scheduling.
+func (p *Pool) Do(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p.workers == 1 || n == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs f over indices 0 … n-1 through the pool and returns the
+// results in index order. On error the partial results are discarded
+// and the lowest-index error is returned.
+func Map[T any](p *Pool, n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.Do(n, func(i int) error {
+		v, err := f(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersEnvOverride(t *testing.T) {
+	t.Setenv(EnvVar, "3")
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() with %s=3: got %d", EnvVar, got)
+	}
+	t.Setenv(EnvVar, "not-a-number")
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() with garbage env: got %d, want GOMAXPROCS", got)
+	}
+	t.Setenv(EnvVar, "-2")
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() with negative env: got %d, want GOMAXPROCS", got)
+	}
+	os.Unsetenv(EnvVar)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() unset: got %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	if got := New(5).NumWorkers(); got != 5 {
+		t.Fatalf("New(5): %d workers", got)
+	}
+	if got := New(0).NumWorkers(); got != Workers() {
+		t.Fatalf("New(0): got %d, want Workers()=%d", got, Workers())
+	}
+	if got := New(-1).NumWorkers(); got != Workers() {
+		t.Fatalf("New(-1): got %d, want Workers()=%d", got, Workers())
+	}
+}
+
+// TestDoRunsEachJobOnce checks every index runs exactly once across a
+// range of worker counts and job counts (including workers > jobs).
+func TestDoRunsEachJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			ran := make([]atomic.Int32, max(n, 1))
+			err := New(workers).Do(n, func(i int) error {
+				ran[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i := 0; i < n; i++ {
+				if c := ran[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: job %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestMapOrder checks results land in index order even when later
+// indices finish first.
+func TestMapOrder(t *testing.T) {
+	n := 20
+	out, err := Map(New(8), n, func(i int) (string, error) {
+		// Early indices sleep longer, so completion order is roughly
+		// reversed; assembly order must not be.
+		time.Sleep(time.Duration(n-i) * time.Millisecond)
+		return fmt.Sprintf("cell-%02d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if want := fmt.Sprintf("cell-%02d", i); v != want {
+			t.Fatalf("out[%d] = %q, want %q", i, v, want)
+		}
+	}
+}
+
+// TestLowestIndexError checks the surfaced error is deterministic —
+// the lowest failing index — independent of scheduling, and that a
+// failure does not stop other jobs from running.
+func TestLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := New(workers).Do(10, func(i int) error {
+			ran.Add(1)
+			switch i {
+			case 3:
+				return errLow
+			case 7:
+				time.Sleep(time.Millisecond) // let index 7 tend to finish after 3
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want lowest-index error", workers, err)
+		}
+		if got := ran.Load(); got != 10 {
+			t.Fatalf("workers=%d: %d jobs ran, want all 10", workers, got)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(New(4), 5, func(i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i * i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if out != nil {
+		t.Fatalf("partial results returned on error: %v", out)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -13,6 +13,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"saspar/internal/engine"
 	"saspar/internal/keyspace"
@@ -179,12 +180,14 @@ func (c *Collector) Overlap(stream, class1 int, g1 keyspace.GroupID, class2 int,
 	return ss.cross[crossKey(class1, g1, class2, g2)] / cv[g1]
 }
 
-// Classes returns the class ids observed on a stream this epoch.
+// Classes returns the class ids observed on a stream this epoch, in
+// ascending order so downstream consumers stay deterministic.
 func (c *Collector) Classes(stream int) []int {
 	var out []int
 	for ci := range c.streams[stream].card {
 		out = append(out, ci)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -199,7 +202,16 @@ func (c *Collector) TrainingData(stream int) *ml.Dataset {
 	ss := c.streams[stream]
 	d := &ml.Dataset{}
 	ts := c.now.Seconds()
-	for key, cnt := range ss.cross {
+	// Row order must be deterministic: forest training bootstraps by row
+	// index, so map-order rows would make every trained model — and
+	// every figure derived from one — differ run to run.
+	keys := make([]uint64, 0, len(ss.cross))
+	for key := range ss.cross {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		cnt := ss.cross[key]
 		c1 := int(key >> 48)
 		g1 := keyspace.GroupID(key >> 32 & 0xFFFF)
 		c2 := int(key >> 16 & 0xFFFF)
@@ -214,8 +226,14 @@ func (c *Collector) TrainingData(stream int) *ml.Dataset {
 	// Explicit zero rows for same-group pairs that never co-occurred:
 	// without them the forest would extrapolate sharing into group
 	// alignments that do not exist.
-	for c1, cv := range ss.card {
-		for c2 := range ss.card {
+	classes := make([]int, 0, len(ss.card))
+	for c1 := range ss.card {
+		classes = append(classes, c1)
+	}
+	sort.Ints(classes)
+	for _, c1 := range classes {
+		cv := ss.card[c1]
+		for _, c2 := range classes {
 			if c1 == c2 {
 				continue
 			}

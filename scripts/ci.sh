@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 verification: what every change must pass before merging.
+#
+#   build + vet        compile the whole module and run static checks
+#   go test ./...      unit, integration, property and shape tests
+#   go test -race ...  the two packages that spawn goroutines — the
+#                      run-matrix pool (internal/parallel) and the
+#                      optimizer's parallel component solver
+#                      (internal/optimizer) — under the race detector
+#
+# SASPAR_PARALLEL caps the harness worker pool; keep CI deterministic
+# but let the bench tests use the machine.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrent packages)"
+go test -race ./internal/parallel/ ./internal/optimizer/
+
+echo "CI OK"
