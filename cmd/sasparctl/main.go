@@ -1,12 +1,23 @@
-// Command sasparctl runs one workload against one system under test on
-// the simulated cluster and prints the benchmark metrics — the
-// single-cell version of cmd/figures for interactive exploration.
+// Command sasparctl drives the simulated cluster interactively. It has
+// two subcommands:
+//
+//	sasparctl run      — benchmark one workload against one SUT and
+//	                     print the paper's metrics (the single-cell
+//	                     version of cmd/figures)
+//	sasparctl inspect  — run a SASPAR system with live telemetry
+//	                     enabled and dump the control-plane event trace
+//	                     plus a Prometheus-format metrics snapshot
+//
+// Invoking sasparctl with bare flags (no subcommand) behaves as "run",
+// keeping older scripts working.
 //
 // Usage:
 //
-//	sasparctl -workload tpch|ajoin|gcm -sut SASPAR+Flink|Flink|AJoin|...
+//	sasparctl run -workload tpch|ajoin|gcm -sut SASPAR+Flink|Flink|...
 //	          [-queries N] [-nodes N] [-partitions N] [-groups N]
 //	          [-rate R] [-warmup D] [-measure D] [-drift D] [-seed S]
+//	sasparctl inspect [-workload W] [-queries N] [-duration D]
+//	          [-drift D] [-rate R] [-events N] [-seed S]
 package main
 
 import (
@@ -15,65 +26,65 @@ import (
 	"os"
 	"strings"
 
-	"saspar/internal/ajoinwl"
 	"saspar/internal/core"
 	"saspar/internal/driver"
 	"saspar/internal/engine"
-	"saspar/internal/gcm"
+	"saspar/internal/obs"
 	"saspar/internal/optimizer"
 	"saspar/internal/spe"
-	"saspar/internal/tpch"
 	"saspar/internal/vtime"
 	"saspar/internal/workload"
+
+	// Blank imports run the workload registrations.
+	_ "saspar/internal/ajoinwl"
+	_ "saspar/internal/gcm"
+	_ "saspar/internal/tpch"
 )
 
 func main() {
+	args := os.Args[1:]
+	cmd := "run"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	switch cmd {
+	case "run":
+		runCmd(args)
+	case "inspect":
+		inspectCmd(args)
+	default:
+		fail(fmt.Errorf("unknown subcommand %q (try run, inspect)", cmd))
+	}
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		wlName     = flag.String("workload", "tpch", "workload: tpch, ajoin, gcm")
-		sutName    = flag.String("sut", "SASPAR+Flink", "system under test, e.g. Flink, SASPAR+AJoin")
-		queries    = flag.Int("queries", 8, "query count (tpch: <=14, gcm: <=2)")
-		nodes      = flag.Int("nodes", 8, "cluster nodes")
-		partitions = flag.Int("partitions", 32, "partition slots")
-		groups     = flag.Int("groups", 128, "key groups")
-		rate       = flag.Float64("rate", 40e6, "offered rate, tuples/s (per primary stream)")
-		warmup     = flag.Duration("warmup", 20*vtime.Second, "virtual warm-up")
-		measure    = flag.Duration("measure", 20*vtime.Second, "virtual measurement window")
-		drift      = flag.Duration("drift", 0, "hot-key drift period (0 = stationary)")
-		reps       = flag.Int("reps", 1, "repetitions to average")
-		seed       = flag.Int64("seed", 1, "simulation seed")
+		wlName     = fs.String("workload", "tpch", "workload: "+strings.Join(workload.Names(), ", "))
+		sutName    = fs.String("sut", "SASPAR+Flink", "system under test, e.g. Flink, SASPAR+AJoin")
+		queries    = fs.Int("queries", 8, "query count (tpch: <=14, gcm: <=2)")
+		nodes      = fs.Int("nodes", 8, "cluster nodes")
+		partitions = fs.Int("partitions", 32, "partition slots")
+		groups     = fs.Int("groups", 128, "key groups")
+		rate       = fs.Float64("rate", 40e6, "offered rate, tuples/s (per primary stream)")
+		warmup     = fs.Duration("warmup", 20*vtime.Second, "virtual warm-up")
+		measure    = fs.Duration("measure", 20*vtime.Second, "virtual measurement window")
+		drift      = fs.Duration("drift", 0, "hot-key drift period (0 = stationary)")
+		reps       = fs.Int("reps", 1, "repetitions to average")
+		seed       = fs.Int64("seed", 1, "simulation seed")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	sut, err := parseSUT(*sutName)
 	if err != nil {
 		fail(err)
 	}
-	win := engine.WindowSpec{Range: 4 * vtime.Second, Slide: 4 * vtime.Second}
-	var w *workload.Workload
-	switch *wlName {
-	case "tpch":
-		cfg := tpch.DefaultConfig()
-		cfg.Queries = tpch.QuerySubset(*queries)
-		cfg.Window = win
-		cfg.LineitemRate = *rate
-		cfg.DriftPeriod = *drift
-		w, err = tpch.New(cfg)
-	case "ajoin":
-		cfg := ajoinwl.DefaultConfig()
-		cfg.NumQueries = *queries
-		cfg.Window = win
-		cfg.RatePerStream = *rate / 4
-		cfg.DriftPeriod = *drift
-		w, err = ajoinwl.New(cfg)
-	case "gcm":
-		cfg := gcm.DefaultConfig()
-		cfg.NumQueries = *queries
-		cfg.Window = win
-		cfg.Rate = *rate
-		w, err = gcm.New(cfg)
-	default:
-		err = fmt.Errorf("unknown workload %q", *wlName)
-	}
+	w, err := workload.Open(*wlName, workload.Options{
+		Queries: *queries,
+		Window:  engine.WindowSpec{Range: 4 * vtime.Second, Slide: 4 * vtime.Second},
+		Rate:    *rate,
+		Drift:   *drift,
+	})
 	if err != nil {
 		fail(err)
 	}
@@ -111,6 +122,83 @@ func main() {
 	fmt.Printf("reshuffled      %.0f tuples sent back to sources\n", res.Reshuffled)
 	fmt.Printf("JIT             %.0f compilations, %v\n", res.JITCompiles, res.JITTime)
 	fmt.Printf("optimizer       %d triggers, %d plans applied\n", res.Triggers, res.Applied)
+}
+
+// inspectCmd runs one SASPAR system with the telemetry registry
+// attached and dumps what the control plane did: the report snapshot,
+// the structured event trace, and the Prometheus-format metric dump.
+func inspectCmd(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	var (
+		wlName   = fs.String("workload", "ajoin", "workload: "+strings.Join(workload.Names(), ", "))
+		queries  = fs.Int("queries", 8, "query count")
+		nodes    = fs.Int("nodes", 4, "cluster nodes")
+		groups   = fs.Int("groups", 32, "key groups")
+		rate     = fs.Float64("rate", 4e6, "offered rate, tuples/s (per primary stream)")
+		duration = fs.Duration("duration", 20*vtime.Second, "virtual run time")
+		drift    = fs.Duration("drift", 8*vtime.Second, "hot-key drift period (0 = stationary)")
+		events   = fs.Int("events", 40, "trace events to print (0 = all)")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+	)
+	fs.Parse(args)
+
+	w, err := workload.Open(*wlName, workload.Options{
+		Queries: *queries,
+		Window:  engine.WindowSpec{Range: 4 * vtime.Second, Slide: 4 * vtime.Second},
+		Rate:    *rate,
+		Drift:   *drift,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	engCfg := engine.DefaultConfig()
+	engCfg.Nodes = *nodes
+	engCfg.NumPartitions = 2 * *nodes
+	engCfg.NumGroups = *groups
+	engCfg.SourceTasks = *nodes
+	engCfg.Seed = *seed
+
+	coreCfg := core.DefaultConfig()
+	coreCfg.TriggerInterval = 4 * vtime.Second
+	coreCfg.Opt = optimizer.Options{Timeout: 200e6}
+	coreCfg.Obs = obs.New()
+
+	sys, err := core.New(engCfg, w.Streams, w.Queries, coreCfg)
+	if err != nil {
+		fail(err)
+	}
+	w.ApplyRates(sys.Engine(), 1)
+
+	m := sys.Engine().Metrics()
+	m.StartMeasurement(0)
+	sys.Run(*duration)
+	m.StopMeasurement(sys.Engine().Clock())
+
+	snap := sys.Snapshot()
+	fmt.Printf("workload     %s (%d queries), %v virtual on %d nodes\n", w.Name, len(w.Queries), *duration, *nodes)
+	fmt.Printf("throughput   %s tuples/s   latency %v   sharing ratio %.2f\n",
+		vtime.FormatRate(snap.Throughput), snap.AvgLatency.Round(vtime.Millisecond), snap.SharingRatio)
+	fmt.Printf("optimizer    %d triggers (%d by drift), %d applied, %d skipped (%d gain, %d movement)\n",
+		snap.Triggers, snap.DriftTriggers, snap.Applied, snap.SkippedPlans, snap.SkippedByGain, snap.SkippedByMove)
+	fmt.Printf("solver       %d MIP solves, %d branch-and-bound nodes\n", snap.Solves, snap.NodesExplored)
+	fmt.Printf("engine       %.0f tuples reshuffled, %d JIT compilations, wire %.1f MB\n",
+		snap.Reshuffled, snap.JITCompiles, snap.Net.BytesNet/1e6)
+
+	trace := sys.Trace()
+	fmt.Printf("\n--- event trace (%d events) ---\n", len(trace))
+	if *events > 0 && len(trace) > *events {
+		fmt.Printf("... %d earlier events elided (-events 0 for all) ...\n", len(trace)-*events)
+		trace = trace[len(trace)-*events:]
+	}
+	for _, e := range trace {
+		fmt.Println(e)
+	}
+
+	fmt.Printf("\n--- metrics snapshot (Prometheus text format) ---\n")
+	if err := coreCfg.Obs.WritePrometheus(os.Stdout); err != nil {
+		fail(err)
+	}
 }
 
 func parseSUT(s string) (spe.SUT, error) {

@@ -14,45 +14,26 @@ import (
 	"os"
 	"strings"
 
-	"saspar/internal/ajoinwl"
 	"saspar/internal/engine"
-	"saspar/internal/gcm"
-	"saspar/internal/tpch"
 	"saspar/internal/vtime"
 	"saspar/internal/workload"
+
+	// Blank imports run the workload registrations.
+	_ "saspar/internal/ajoinwl"
+	_ "saspar/internal/gcm"
+	_ "saspar/internal/tpch"
 )
 
 func main() {
 	var (
-		wlName  = flag.String("workload", "tpch", "workload: tpch, ajoin, gcm")
+		wlName  = flag.String("workload", "tpch", "workload: "+strings.Join(workload.Names(), ", "))
 		queries = flag.Int("queries", 14, "query count")
 		sample  = flag.Int("sample", 0, "emit N sample tuples as CSV")
 		stream  = flag.Int("stream", 0, "stream index for -sample")
 	)
 	flag.Parse()
 
-	var (
-		w   *workload.Workload
-		err error
-	)
-	switch *wlName {
-	case "tpch":
-		cfg := tpch.DefaultConfig()
-		cfg.Queries = tpch.QuerySubset(*queries)
-		w, err = tpch.New(cfg)
-	case "ajoin":
-		cfg := ajoinwl.DefaultConfig()
-		cfg.NumQueries = *queries
-		w, err = ajoinwl.New(cfg)
-	case "gcm":
-		cfg := gcm.DefaultConfig()
-		if *queries >= 1 && *queries <= 2 {
-			cfg.NumQueries = *queries
-		}
-		w, err = gcm.New(cfg)
-	default:
-		err = fmt.Errorf("unknown workload %q", *wlName)
-	}
+	w, err := workload.Open(*wlName, workload.Options{Queries: *queries})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wlgen:", err)
 		os.Exit(1)

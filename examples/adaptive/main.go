@@ -11,21 +11,23 @@ import (
 	"fmt"
 	"log"
 
-	"saspar/internal/ajoinwl"
 	"saspar/internal/core"
 	"saspar/internal/engine"
 	"saspar/internal/optimizer"
 	"saspar/internal/spe"
 	"saspar/internal/vtime"
+	"saspar/internal/workload"
+
+	_ "saspar/internal/ajoinwl" // registers the "ajoin" workload
 )
 
 func main() {
-	wcfg := ajoinwl.DefaultConfig()
-	wcfg.NumQueries = 12
-	wcfg.Window = engine.WindowSpec{Range: 4 * vtime.Second, Slide: 4 * vtime.Second}
-	wcfg.RatePerStream = 10e6
-	wcfg.DriftPeriod = 12 * vtime.Second // hot keys move every 12 virtual seconds
-	w, err := ajoinwl.New(wcfg)
+	w, err := workload.Open("ajoin", workload.Options{
+		Queries: 12,
+		Window:  engine.WindowSpec{Range: 4 * vtime.Second, Slide: 4 * vtime.Second},
+		Rate:    40e6,              // 10e6 per stream across the four streams
+		Drift:   12 * vtime.Second, // hot keys move every 12 virtual seconds
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func main() {
 	w.ApplyRates(sys.Engine(), 1)
 
 	fmt.Printf("%d drifting join queries under SASPAR+Flink; optimizer every %v, drift every %v.\n\n",
-		len(w.Queries), coreCfg.TriggerInterval, wcfg.DriftPeriod)
+		len(w.Queries), coreCfg.TriggerInterval, 12*vtime.Second)
 	fmt.Println("time     triggers  applied  skipped  reshuffled   JIT compiles  throughput")
 
 	m := sys.Engine().Metrics()
@@ -59,11 +61,12 @@ func main() {
 		m.StartMeasurement(sys.Engine().Clock())
 		sys.Run(4 * vtime.Second)
 		m.StopMeasurement(sys.Engine().Clock())
+		snap := sys.Snapshot()
 		fmt.Printf("%-8v %8d %8d %8d %10.0fK %13d  %s/s\n",
-			sys.Engine().Clock(),
-			sys.Triggers(), sys.Controller().Applied(), sys.SkippedPlans(),
-			m.Reshuffled()/1000, m.JITCompiles(),
-			vtime.FormatRate(m.OverallThroughput()))
+			snap.Clock,
+			snap.Triggers, snap.Applied, snap.SkippedPlans,
+			snap.Reshuffled/1000, snap.JITCompiles,
+			vtime.FormatRate(snap.Throughput))
 	}
 	fmt.Println("\nEvery applied plan moved key groups live: notification markers aligned the")
 	fmt.Println("operators (sync point), new operator bodies were JIT-compiled, and the moved")

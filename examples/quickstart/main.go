@@ -110,13 +110,13 @@ func main() {
 		if saspar {
 			name = "SASPAR "
 		}
-		net := sys.Engine().Network().Stats()
+		snap := sys.Snapshot()
 		fmt.Printf("%s  throughput %8s tuples/s   latency %8v   wire %6.1f MB   optimizer: %d triggers, %d plans applied\n",
 			name,
-			vtime.FormatRate(m.OverallThroughput()),
-			m.AvgLatency().Round(vtime.Millisecond),
-			net.BytesNet/1e6,
-			sys.Triggers(), sys.Controller().Applied())
+			vtime.FormatRate(snap.Throughput),
+			snap.AvgLatency.Round(vtime.Millisecond),
+			snap.Net.BytesNet/1e6,
+			snap.Triggers, snap.Applied)
 	}
 
 	fmt.Println("Listing 1 of the SASPAR paper: Q1 (agg by gemPackID) + Q2 (join by userID+gemPackID)")

@@ -1,0 +1,36 @@
+package ajoinwl
+
+import (
+	"fmt"
+
+	"saspar/internal/workload"
+)
+
+func init() {
+	workload.Register("ajoin", func(cfg any) (*workload.Workload, error) {
+		c := DefaultConfig()
+		switch v := cfg.(type) {
+		case nil:
+		case Config:
+			c = v
+		case workload.Options:
+			if v.Queries > 0 {
+				c.NumQueries = v.Queries
+			}
+			if v.Window.Range > 0 {
+				c.Window = v.Window
+			}
+			if v.Rate > 0 {
+				// Options.Rate is the aggregate offered rate; split it
+				// evenly over the workload's streams.
+				c.RatePerStream = v.Rate / float64(c.NumStreams)
+			}
+			if v.Drift > 0 {
+				c.DriftPeriod = v.Drift
+			}
+		default:
+			return nil, fmt.Errorf("ajoinwl: unsupported config type %T", cfg)
+		}
+		return New(c)
+	})
+}

@@ -12,6 +12,8 @@ import (
 
 	"saspar/internal/engine"
 	"saspar/internal/keyspace"
+	"saspar/internal/obs"
+	"saspar/internal/vtime"
 )
 
 // Phase is the controller state.
@@ -50,11 +52,27 @@ type Controller struct {
 	finalizeEpoch int64
 
 	applied int // completed reconfigurations
+
+	// obs receives one event per protocol phase transition; nil (the
+	// default) disables telemetry. beganAt/alignedAt timestamp the
+	// in-flight reconfiguration for duration attributes.
+	obs       *obs.Registry
+	reconfigs *obs.Counter
+	beganAt   vtime.Time
+	alignedAt vtime.Time
 }
 
 // New builds a controller for the engine.
 func New(eng *engine.Engine) *Controller {
 	return &Controller{eng: eng}
+}
+
+// SetObs attaches a telemetry registry (nil detaches): the controller
+// emits one control-plane event per protocol phase transition.
+func (c *Controller) SetObs(r *obs.Registry) {
+	c.obs = r
+	c.reconfigs = r.Counter("saspar_aqe_reconfigurations_total",
+		"Reconfigurations completed end-to-end (finalize round drained).")
 }
 
 // Phase reports the controller state.
@@ -74,9 +92,11 @@ func (c *Controller) Begin(newAssign map[int]*keyspace.Assignment) (bool, error)
 		return false, fmt.Errorf("aqe: controller busy (%v)", c.phase)
 	}
 	changed := map[int]*keyspace.Assignment{}
+	movedGroups := 0
 	for qi, a := range newAssign {
-		if len(c.eng.Assignment(qi).Diff(a)) > 0 {
+		if d := c.eng.Assignment(qi).Diff(a); len(d) > 0 {
 			changed[qi] = a
+			movedGroups += len(d)
 		}
 	}
 	if len(changed) == 0 {
@@ -88,6 +108,12 @@ func (c *Controller) Begin(newAssign map[int]*keyspace.Assignment) (bool, error)
 	}
 	c.phase = Reconfiguring
 	c.reconfigEpoch = 0 // resolved on first Poll (micro-batch defers the epoch bump)
+	if c.obs != nil {
+		c.beganAt = c.eng.Clock()
+		c.obs.Emit(c.beganAt, obs.EvAlignStart,
+			obs.I("queries", int64(len(changed))),
+			obs.I("moved_groups", int64(movedGroups)))
+	}
 	return true, nil
 }
 
@@ -111,11 +137,27 @@ func (c *Controller) Poll() {
 		c.eng.InjectFinalize()
 		c.finalizeEpoch = c.eng.Epoch()
 		c.phase = Finalizing
+		if c.obs != nil {
+			c.alignedAt = c.eng.Clock()
+			c.obs.Emit(c.alignedAt, obs.EvAlignComplete,
+				obs.F("align_ms", msSince(c.beganAt, c.alignedAt)))
+		}
 	case Finalizing:
 		if !c.eng.ReconfigComplete(c.finalizeEpoch) {
 			return
 		}
 		c.phase = Idle
 		c.applied++
+		if c.obs != nil {
+			now := c.eng.Clock()
+			c.reconfigs.Inc()
+			c.obs.Emit(now, obs.EvReconfigDone,
+				obs.F("total_ms", msSince(c.beganAt, now)))
+		}
 	}
+}
+
+// msSince reports the virtual-time span from..to in milliseconds.
+func msSince(from, to vtime.Time) float64 {
+	return float64(to.Sub(from)) / float64(vtime.Millisecond)
 }

@@ -20,6 +20,8 @@ import (
 	"saspar/internal/engine"
 	"saspar/internal/keyspace"
 	"saspar/internal/ml"
+	"saspar/internal/netsim"
+	"saspar/internal/obs"
 	"saspar/internal/optimizer"
 	"saspar/internal/stats"
 	"saspar/internal/vtime"
@@ -69,6 +71,44 @@ type Config struct {
 
 	// Opt are the Algorithm 1 solver controls.
 	Opt optimizer.Options
+
+	// Obs, when non-nil, receives live telemetry from every layer: the
+	// control loop's trigger/decision events and counters, the AQE
+	// phase transitions, the engine's per-tick queue gauges, and the
+	// network link gauges. Nil (the default) disables telemetry
+	// entirely — the engine hot path then takes a single never-taken
+	// branch per hook and allocates nothing.
+	Obs *obs.Registry
+}
+
+// Validate checks the control-loop knobs and returns a descriptive
+// error for the first violation. New calls it before building the
+// engine; callers assembling configurations programmatically can call
+// it directly to fail early. A disabled layer skips the loop checks —
+// those knobs are never read.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.SampleEvery <= 0 {
+		return fmt.Errorf("core: SampleEvery must be positive when enabled, got %d", c.SampleEvery)
+	}
+	if c.TriggerInterval <= 0 {
+		return fmt.Errorf("core: TriggerInterval must be positive when enabled, got %v", c.TriggerInterval)
+	}
+	if c.MinSamples < 0 {
+		return fmt.Errorf("core: MinSamples must be non-negative, got %d", c.MinSamples)
+	}
+	if c.DriftTrigger < 0 {
+		return fmt.Errorf("core: DriftTrigger must be non-negative, got %v", c.DriftTrigger)
+	}
+	if c.MinImprovement < 0 {
+		return fmt.Errorf("core: MinImprovement must be non-negative, got %v", c.MinImprovement)
+	}
+	if c.PlanHorizon < 0 {
+		return fmt.Errorf("core: PlanHorizon must be non-negative (0 disables movement amortization), got %v", c.PlanHorizon)
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper's operating point.
@@ -106,11 +146,57 @@ type System struct {
 	results                      []*optimizer.Result
 	forests                      []*ml.Forest // per stream, when UseML
 	streamBytes                  []float64    // per stream tuple size (for cost coefficients)
+
+	obs *sysObs // nil unless cfg.Obs is set
+}
+
+// sysObs holds the control loop's telemetry handles, resolved once in
+// New. Decision and trigger counters are labelled series of one family
+// each, so the Prometheus snapshot groups them.
+type sysObs struct {
+	reg *obs.Registry
+
+	trigPeriodic, trigDrift, trigManual *obs.Counter
+	accepted, skipGain, skipMove        *obs.Counter
+	solves, nodes                       *obs.Counter
+	boundGap                            *obs.Gauge
+	objective                           *obs.Gauge
+}
+
+func newSysObs(r *obs.Registry) *sysObs {
+	trig := func(reason string) *obs.Counter {
+		return r.Counter(fmt.Sprintf("saspar_optimizer_triggers_total{reason=%q}", reason),
+			"Optimizer invocations by trigger reason.")
+	}
+	dec := func(decision string) *obs.Counter {
+		return r.Counter(fmt.Sprintf("saspar_plan_decisions_total{decision=%q}", decision),
+			"Solved-plan decisions by outcome.")
+	}
+	return &sysObs{
+		reg:          r,
+		trigPeriodic: trig("periodic"),
+		trigDrift:    trig("drift"),
+		trigManual:   trig("manual"),
+		accepted:     dec("accepted"),
+		skipGain:     dec("skipped_gain"),
+		skipMove:     dec("skipped_move"),
+		solves: r.Counter("saspar_optimizer_solves_total",
+			"MIP invocations across all optimization rounds."),
+		nodes: r.Counter("saspar_optimizer_nodes_total",
+			"Branch-and-bound nodes explored across all optimization rounds."),
+		boundGap: r.Gauge("saspar_optimizer_bound_gap",
+			"Worst relative optimality gap of the last optimization round."),
+		objective: r.Gauge("saspar_plan_objective",
+			"Exact-model objective of the last solved plan."),
+	}
 }
 
 // New builds a system. The engine's Shared flag is forced to match
 // cfg.Enabled: the SASPAR layer owns the shared partitioner.
 func New(engCfg engine.Config, streams []engine.StreamDef, queries []engine.QuerySpec, cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	engCfg.Shared = cfg.Enabled
 	eng, err := engine.New(engCfg, streams, queries)
 	if err != nil {
@@ -120,13 +206,12 @@ func New(engCfg engine.Config, streams []engine.StreamDef, queries []engine.Quer
 	for _, sd := range streams {
 		s.streamBytes = append(s.streamBytes, sd.BytesPerTuple)
 	}
+	if cfg.Obs != nil {
+		s.obs = newSysObs(cfg.Obs)
+		eng.SetObs(cfg.Obs)
+		s.ctl.SetObs(cfg.Obs)
+	}
 	if cfg.Enabled {
-		if cfg.SampleEvery <= 0 {
-			return nil, fmt.Errorf("core: SampleEvery must be positive when enabled")
-		}
-		if cfg.TriggerInterval <= 0 {
-			return nil, fmt.Errorf("core: TriggerInterval must be positive when enabled")
-		}
 		scale := float64(cfg.SampleEvery) * engCfg.TupleWeight
 		s.col = stats.NewCollector(len(streams), engCfg.NumGroups, scale)
 		eng.SetSampler(s.col, cfg.SampleEvery)
@@ -143,22 +228,104 @@ func (s *System) Collector() *stats.Collector { return s.col }
 // Controller exposes the AQE controller.
 func (s *System) Controller() *aqe.Controller { return s.ctl }
 
-// Triggers reports how many times the optimizer fired.
-func (s *System) Triggers() int { return s.triggers }
-
-// SkippedPlans reports optimizations whose result was not worth a
-// reconfiguration.
-func (s *System) SkippedPlans() int { return s.skipped }
-
-// SkipDiagnostics reports why plans were skipped and the last
-// objective comparison (gain-gated, movement-gated, current objective,
-// proposed objective, movement cost).
-func (s *System) SkipDiagnostics() (byGain, byMove int, curObj, newObj, moveCost float64) {
-	return s.skippedByGain, s.skippedByMove, s.lastCurObj, s.lastNewObj, s.lastMoveCost
-}
-
 // Optimizations returns the optimizer results so far.
 func (s *System) Optimizations() []*optimizer.Result { return s.results }
+
+// Report is a point-in-time snapshot of the whole system: the control
+// loop's decision counters, the AQE state, and the engine/network
+// run metrics. It is the one public surface harnesses, examples and
+// commands read — System's internal counters are not exported.
+type Report struct {
+	Clock   vtime.Time
+	Enabled bool
+
+	// Control loop.
+	Triggers      int // optimizer invocations that passed the sample gate
+	DriftTriggers int // subset fired early by the drift signal
+	SkippedPlans  int // solved plans not worth a reconfiguration
+	SkippedByGain int // ...of those, plans that missed the gain bar outright
+	SkippedByMove int // ...plans gated only by the amortized movement bill
+	Optimizations int // optimizer rounds recorded (== len(Optimizations()))
+	Solves        int // MIP invocations across all rounds
+	NodesExplored int64
+	LastCurObj    float64 // incumbent objective at the last decision
+	LastNewObj    float64 // solved objective (incl. movement) at the last decision
+	LastMoveCost  float64 // movement share of the last skipped plan's objective
+	LastMoved     int     // key groups moved by the last accepted plan
+
+	// AQE.
+	Applied  int // reconfigurations completed end-to-end
+	AQEPhase string
+
+	// Engine measurement window.
+	Throughput    float64 // modelled tuples/s, all queries
+	AvgLatency    vtime.Duration
+	LatencyStddev vtime.Duration
+	Reshuffled    float64
+	JITCompiles   int
+	JITTime       vtime.Duration
+	SharingRatio  float64
+
+	// Network, cumulative since construction.
+	Net netsim.Stats
+}
+
+// Snapshot assembles the current Report. Safe to call at any point of
+// a run; engine metrics reflect the current measurement window.
+func (s *System) Snapshot() Report {
+	m := s.eng.Metrics()
+	return Report{
+		Clock:         s.eng.Clock(),
+		Enabled:       s.cfg.Enabled,
+		Triggers:      s.triggers,
+		DriftTriggers: s.driftTriggers,
+		SkippedPlans:  s.skipped,
+		SkippedByGain: s.skippedByGain,
+		SkippedByMove: s.skippedByMove,
+		Optimizations: len(s.results),
+		Solves:        s.totalSolves(),
+		NodesExplored: s.totalNodes(),
+		LastCurObj:    s.lastCurObj,
+		LastNewObj:    s.lastNewObj,
+		LastMoveCost:  s.lastMoveCost,
+		LastMoved:     s.lastMoved,
+		Applied:       s.ctl.Applied(),
+		AQEPhase:      s.ctl.Phase().String(),
+		Throughput:    m.OverallThroughput(),
+		AvgLatency:    m.AvgLatency(),
+		LatencyStddev: m.LatencyStddev(),
+		Reshuffled:    m.Reshuffled(),
+		JITCompiles:   m.JITCompiles(),
+		JITTime:       m.JITTime(),
+		SharingRatio:  m.SharingRatio(),
+		Net:           s.eng.Network().Stats(),
+	}
+}
+
+func (s *System) totalSolves() int {
+	n := 0
+	for _, r := range s.results {
+		n += r.Solves
+	}
+	return n
+}
+
+func (s *System) totalNodes() int64 {
+	var n int64
+	for _, r := range s.results {
+		n += r.Nodes
+	}
+	return n
+}
+
+// Trace returns the control-plane event trace accumulated so far
+// (oldest first). Nil when no telemetry registry is configured.
+func (s *System) Trace() []obs.Event {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.reg.Events()
+}
 
 // AddQuery registers an ad-hoc query at run time. Statistics are reset
 // (route-class identities shift with the plan), so the next trigger
@@ -198,13 +365,18 @@ func (s *System) Run(d vtime.Duration) {
 		}
 		since := s.eng.Clock().Sub(s.lastTrigger)
 		if since >= s.cfg.TriggerInterval {
-			s.TriggerNow()
+			s.trigger(triggerPeriodic)
 			continue
 		}
 		if s.cfg.DriftTrigger > 0 && since >= s.cfg.TriggerInterval/4 {
-			if s.maxDrift() > s.cfg.DriftTrigger {
+			if d := s.maxDrift(); d > s.cfg.DriftTrigger {
 				s.driftTriggers++
-				s.TriggerNow()
+				if s.obs != nil {
+					s.obs.reg.Emit(s.eng.Clock(), obs.EvDriftDetected,
+						obs.F("drift", d),
+						obs.F("threshold", s.cfg.DriftTrigger))
+				}
+				s.trigger(triggerDrift)
 			} else if s.eng.Clock().Sub(s.lastEpoch) >= s.cfg.TriggerInterval/4 {
 				// Roll the statistics epoch so drift stays measurable
 				// against a recent baseline even before any trigger.
@@ -227,13 +399,25 @@ func (s *System) maxDrift() float64 {
 	return worst
 }
 
-// DriftTriggers reports how many optimizations fired early on the
-// drift signal rather than the periodic interval.
-func (s *System) DriftTriggers() int { return s.driftTriggers }
+// Trigger reasons, also the values of the optimizer_trigger event's
+// reason attribute and the triggers_total counter label.
+const (
+	triggerPeriodic = "periodic"
+	triggerDrift    = "drift"
+	triggerManual   = "manual"
+)
 
-// TriggerNow runs one optimization round immediately (the periodic
-// trigger calls this; benchmarks may too).
-func (s *System) TriggerNow() {
+// TriggerNow runs one optimization round immediately (benchmarks and
+// the inspect command use it; the periodic and drift paths go through
+// trigger directly).
+func (s *System) TriggerNow() { s.trigger(triggerManual) }
+
+// trigger runs one optimization round: score the incumbent, solve,
+// and either hand the plan to AQE or skip it — classifying the skip as
+// gain-gated (the plan isn't better enough even before movement) or
+// movement-gated (the sharing gain cleared the bar but the amortized
+// state-movement bill ate it).
+func (s *System) trigger(reason string) {
 	s.lastTrigger = s.eng.Clock()
 	if !s.cfg.Enabled || s.ctl.Busy() {
 		return
@@ -242,6 +426,19 @@ func (s *System) TriggerNow() {
 		return
 	}
 	s.triggers++
+	if s.obs != nil {
+		switch reason {
+		case triggerPeriodic:
+			s.obs.trigPeriodic.Inc()
+		case triggerDrift:
+			s.obs.trigDrift.Inc()
+		default:
+			s.obs.trigManual.Inc()
+		}
+		s.obs.reg.Emit(s.eng.Clock(), obs.EvOptimizerTrigger,
+			obs.S("reason", reason),
+			obs.I("samples", int64(s.col.Samples())))
+	}
 
 	req, classes := s.buildRequest()
 	if req == nil || len(req.Queries) == 0 {
@@ -275,16 +472,51 @@ func (s *System) TriggerNow() {
 		return
 	}
 	s.results = append(s.results, res)
+	if s.obs != nil {
+		s.obs.solves.Add(float64(res.Solves))
+		s.obs.nodes.Add(float64(res.Nodes))
+		s.obs.boundGap.Set(res.BoundGap)
+		s.obs.objective.Set(res.Objective)
+		for _, h := range res.Heuristics {
+			s.obs.reg.Counter(fmt.Sprintf("saspar_optimizer_heuristics_total{heuristic=%q}", h),
+				"Cascade heuristics applied, by name.").Inc()
+		}
+	}
+	// grossObj is the plan's objective WITHOUT the amortized movement
+	// penalty — res.Objective minus the movement bill. Comparing both
+	// against the hysteresis bar classifies a skip: gain-gated (the
+	// sharing/balance gain alone is too small) vs movement-gated (the
+	// gain clears the bar but moving the window state eats it).
+	grossObj, gerr := optimizer.Score(req, res.Assign)
+	if gerr != nil {
+		grossObj = res.Objective
+	}
 	s.lastCurObj, s.lastNewObj = curObj, res.Objective
-	if res.Objective >= curObj*(1-s.cfg.MinImprovement) {
+	s.lastMoveCost = res.Objective - grossObj
+	if skip, why := classifySkip(curObj, res.Objective, grossObj, s.cfg.MinImprovement); skip {
 		s.skipped++
-		s.skippedByGain++
+		if why == skipMovement {
+			s.skippedByMove++
+		} else {
+			s.skippedByGain++
+		}
+		if s.obs != nil {
+			if why == skipMovement {
+				s.obs.skipMove.Inc()
+			} else {
+				s.obs.skipGain.Inc()
+			}
+			s.obs.reg.Emit(s.eng.Clock(), obs.EvPlanSkipped,
+				obs.S("reason", why),
+				obs.F("cur_obj", curObj),
+				obs.F("new_obj", res.Objective),
+				obs.F("gross_obj", grossObj),
+				obs.I("solves", int64(res.Solves)),
+				obs.I("nodes", res.Nodes))
+		}
 		s.col.Reset(s.eng.Clock())
 		return
 	}
-	// No separate movement gate: res.Objective already includes the
-	// amortized movement cost (the solver optimizes gain minus moves),
-	// so the MinImprovement comparison above is the whole decision.
 	newAssign := map[int]*keyspace.Assignment{}
 	for i, cc := range classes {
 		for _, qi := range cc.members {
@@ -293,9 +525,54 @@ func (s *System) TriggerNow() {
 			newAssign[qi] = res.Assign[i]
 		}
 	}
+	moved := 0
+	for qi, a := range newAssign {
+		moved += len(s.eng.Assignment(qi).Diff(a))
+	}
 	if _, err := s.ctl.Begin(newAssign); err == nil {
+		s.lastMoved = moved
+		if s.obs != nil {
+			s.obs.accepted.Inc()
+			via := res.SucceededVia
+			if via == "" {
+				via = "incumbent" // cascade exhausted; best incumbent won
+			}
+			s.obs.reg.Emit(s.eng.Clock(), obs.EvPlanAccepted,
+				obs.F("cur_obj", curObj),
+				obs.F("new_obj", res.Objective),
+				obs.I("moved_groups", int64(moved)),
+				obs.I("solves", int64(res.Solves)),
+				obs.I("nodes", res.Nodes),
+				obs.F("bound_gap", res.BoundGap),
+				obs.S("via", via))
+		}
 		s.col.Reset(s.eng.Clock())
 	}
+}
+
+// Skip reasons; also the plan_skipped event's reason attribute.
+const (
+	skipGain     = "gain"
+	skipMovement = "movement"
+)
+
+// classifySkip applies the hysteresis gate of the control loop and, on
+// a skip, names the binding constraint. The accept/skip decision
+// depends ONLY on netObj — the solver's objective with the amortized
+// movement penalty included, exactly the historical comparison — so
+// classification can never change which plans run. grossObj (the same
+// plan scored without movement) merely attributes the skip: below the
+// bar on its own merits = gain-gated; below the bar only after the
+// movement bill = movement-gated.
+func classifySkip(curObj, netObj, grossObj, minImprovement float64) (skip bool, reason string) {
+	bar := curObj * (1 - minImprovement)
+	if netObj < bar {
+		return false, ""
+	}
+	if grossObj < bar {
+		return true, skipMovement
+	}
+	return true, skipGain
 }
 
 // canonicalClass groups queries whose partitioning decisions are

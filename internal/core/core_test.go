@@ -70,8 +70,8 @@ func TestVanillaSystemNeverTriggers(t *testing.T) {
 	}
 	s.Engine().SetStreamRate(0, 10000)
 	s.Run(6 * vtime.Second)
-	if s.Triggers() != 0 {
-		t.Fatalf("vanilla system triggered %d times", s.Triggers())
+	if snap := s.Snapshot(); snap.Triggers != 0 {
+		t.Fatalf("vanilla system triggered %d times", snap.Triggers)
 	}
 	if s.Engine().Network().Stats().BytesNet == 0 {
 		t.Fatal("vanilla system moved no data")
@@ -85,7 +85,8 @@ func TestSasparTriggersAndOptimizes(t *testing.T) {
 	}
 	s.Engine().SetStreamRate(0, 20000)
 	s.Run(10 * vtime.Second)
-	if s.Triggers() == 0 {
+	snap := s.Snapshot()
+	if snap.Triggers == 0 {
 		t.Fatal("SASPAR never triggered")
 	}
 	if len(s.Optimizations()) == 0 {
@@ -93,9 +94,9 @@ func TestSasparTriggersAndOptimizes(t *testing.T) {
 	}
 	// Every optimization either applied a plan or was consciously
 	// skipped; nothing may be lost.
-	if s.Controller().Applied()+s.SkippedPlans()+boolToInt(s.Controller().Busy()) < len(s.Optimizations()) {
+	if snap.Applied+snap.SkippedPlans+boolToInt(s.Controller().Busy()) < len(s.Optimizations()) {
 		t.Fatalf("plans lost: applied=%d skipped=%d busy=%v results=%d",
-			s.Controller().Applied(), s.SkippedPlans(), s.Controller().Busy(), len(s.Optimizations()))
+			snap.Applied, snap.SkippedPlans, s.Controller().Busy(), len(s.Optimizations()))
 	}
 }
 
@@ -146,8 +147,8 @@ func TestSkewTriggersLiveReconfiguration(t *testing.T) {
 	s.Engine().Metrics().StartMeasurement(0)
 	s.Run(15 * vtime.Second)
 	s.Engine().Metrics().StopMeasurement(s.Engine().Clock())
-	if s.Controller().Applied() == 0 && !s.Controller().Busy() {
-		t.Fatalf("no reconfiguration despite skew (triggers=%d skipped=%d)", s.Triggers(), s.SkippedPlans())
+	if snap := s.Snapshot(); snap.Applied == 0 && !s.Controller().Busy() {
+		t.Fatalf("no reconfiguration despite skew (triggers=%d skipped=%d)", snap.Triggers, snap.SkippedPlans)
 	}
 	if s.Controller().Applied() > 0 && s.Engine().Metrics().Reshuffled() == 0 {
 		t.Fatal("reconfiguration applied but no tuples reshuffled")
@@ -165,7 +166,7 @@ func TestMLPathProducesPlans(t *testing.T) {
 	}
 	s.Engine().SetStreamRate(0, 20000)
 	s.Run(8 * vtime.Second)
-	if s.Triggers() == 0 {
+	if s.Snapshot().Triggers == 0 {
 		t.Fatal("ML-path system never triggered")
 	}
 	if len(s.Optimizations()) == 0 {
@@ -203,7 +204,7 @@ func TestJoinQuerySystem(t *testing.T) {
 	s.Engine().SetStreamRate(0, 10000)
 	s.Engine().SetStreamRate(1, 10000)
 	s.Run(6 * vtime.Second)
-	if s.Triggers() == 0 {
+	if s.Snapshot().Triggers == 0 {
 		t.Fatal("join system never triggered")
 	}
 }
@@ -237,8 +238,8 @@ func TestDriftTriggerFiresEarly(t *testing.T) {
 	}
 	s.Engine().SetStreamRate(0, 20000)
 	s.Run(21 * vtime.Second)
-	if s.DriftTriggers() == 0 {
-		t.Fatalf("drift trigger never fired (triggers=%d)", s.Triggers())
+	if snap := s.Snapshot(); snap.DriftTriggers == 0 {
+		t.Fatalf("drift trigger never fired (triggers=%d)", snap.Triggers)
 	}
 }
 

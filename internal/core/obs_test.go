@@ -1,0 +1,218 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"saspar/internal/engine"
+	"saspar/internal/obs"
+	"saspar/internal/vtime"
+)
+
+func TestClassifySkip(t *testing.T) {
+	// Hysteresis bar: accept iff netObj < curObj*(1-minImprovement).
+	cases := []struct {
+		name                    string
+		cur, net, gross, minImp float64
+		skip                    bool
+		reason                  string
+	}{
+		{"clear-win", 100, 80, 78, 0.01, false, ""},
+		{"gain-too-small", 100, 99.5, 99.5, 0.01, true, skipGain},
+		{"no-gain-at-all", 100, 100, 100, 0.01, true, skipGain},
+		{"movement-eats-gain", 100, 99.5, 90, 0.01, true, skipMovement},
+		{"net-exactly-on-bar-skips", 100, 99, 98, 0.01, true, skipMovement},
+		{"just-below-bar-accepts", 100, 98.9, 98, 0.01, false, ""},
+		{"zero-hysteresis-accepts-any-gain", 100, 99.999, 99.999, 0, false, ""},
+		{"zero-hysteresis-skips-equal", 100, 100, 100, 0, true, skipGain},
+	}
+	for _, c := range cases {
+		skip, reason := classifySkip(c.cur, c.net, c.gross, c.minImp)
+		if skip != c.skip || reason != c.reason {
+			t.Errorf("%s: classifySkip(%v,%v,%v,%v) = (%v,%q), want (%v,%q)",
+				c.name, c.cur, c.net, c.gross, c.minImp, skip, reason, c.skip, c.reason)
+		}
+	}
+}
+
+// TestSkipPathsAccounted runs a system long enough to both apply and
+// skip plans, and checks that every skip is classified, that the
+// counters agree with the event trace, and that the report's invariants
+// hold (Section IV's hysteresis diagnostics).
+func TestSkipPathsAccounted(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MinImprovement = 0.05 // high bar: stationary skew settles, later plans skip
+	cfg.PlanHorizon = 2       // short horizon: movement bills are material
+	cfg.Obs = obs.New()
+	s, err := New(testEngineConfig(), []engine.StreamDef{skewedStream()}, sameKeyQueries(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Engine().SetStreamRate(0, 20000)
+	s.Run(20 * vtime.Second)
+
+	snap := s.Snapshot()
+	if snap.Triggers == 0 {
+		t.Fatal("system never triggered")
+	}
+	if snap.SkippedPlans == 0 {
+		t.Fatal("no plan was ever skipped; the skip classifier is untested")
+	}
+	if snap.SkippedByGain+snap.SkippedByMove != snap.SkippedPlans {
+		t.Fatalf("skip classes don't add up: gain=%d move=%d total=%d",
+			snap.SkippedByGain, snap.SkippedByMove, snap.SkippedPlans)
+	}
+
+	var trigEv, accEv, skipEv, gainEv, moveEv int
+	for _, e := range s.Trace() {
+		switch e.Kind {
+		case obs.EvOptimizerTrigger:
+			trigEv++
+		case obs.EvPlanAccepted:
+			accEv++
+		case obs.EvPlanSkipped:
+			skipEv++
+			for _, kv := range e.Attrs {
+				if kv.K == "reason" {
+					switch kv.V {
+					case skipGain:
+						gainEv++
+					case skipMovement:
+						moveEv++
+					default:
+						t.Fatalf("unknown skip reason %q", kv.V)
+					}
+				}
+			}
+		}
+	}
+	if trigEv != snap.Triggers {
+		t.Errorf("trace has %d trigger events, report says %d", trigEv, snap.Triggers)
+	}
+	if skipEv != snap.SkippedPlans || gainEv != snap.SkippedByGain || moveEv != snap.SkippedByMove {
+		t.Errorf("trace skips (%d: gain=%d move=%d) disagree with report (%d: gain=%d move=%d)",
+			skipEv, gainEv, moveEv, snap.SkippedPlans, snap.SkippedByGain, snap.SkippedByMove)
+	}
+	// Accepted events are emitted per Begin; the report counts completed
+	// reconfigurations, so accepted >= applied (the last may be in flight).
+	if accEv < snap.Applied {
+		t.Errorf("trace has %d accepted events but %d applied reconfigurations", accEv, snap.Applied)
+	}
+}
+
+// TestSkipClassificationNeverChangesDecisions pins the contract that
+// made the movement/gain attribution safe to add: the accept/skip
+// decision depends only on the solved (net) objective, exactly the
+// historical hysteresis comparison.
+func TestSkipClassificationNeverChangesDecisions(t *testing.T) {
+	for _, minImp := range []float64{0, 0.01, 0.2} {
+		for _, net := range []float64{79, 99, 99.99, 100, 130} {
+			for _, gross := range []float64{50, net} {
+				skip, _ := classifySkip(100, net, gross, minImp)
+				histSkip := !(net < 100*(1-minImp))
+				if skip != histSkip {
+					t.Fatalf("classifySkip(100,%v,%v,%v) skip=%v, historical rule says %v",
+						net, gross, minImp, skip, histSkip)
+				}
+			}
+		}
+	}
+}
+
+// TestDriftTriggerCooldown checks both halves of the drift trigger's
+// contract: it fires well before the periodic interval elapses, and it
+// never re-fires within a quarter interval of any previous trigger.
+func TestDriftTriggerCooldown(t *testing.T) {
+	drifting := engine.StreamDef{
+		Name: "d", NumCols: 3, BytesPerTuple: 100,
+		NewGenerator: func(task int) engine.Generator {
+			i := int64(task) * 31
+			return engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
+				i++
+				epoch := int64(ts) / int64(vtime.Second) // hot set rotates every second
+				if i%10 < 7 {
+					tu.Cols[0] = (i%4 + epoch*13) % 64
+				} else {
+					tu.Cols[0] = i % 64
+				}
+				tu.Cols[1] = tu.Cols[0]
+				tu.Cols[2] = 1
+			})
+		},
+	}
+	cfg := fastCfg()
+	cfg.TriggerInterval = 16 * vtime.Second
+	cfg.DriftTrigger = 0.4
+	cfg.Obs = obs.New()
+	s, err := New(testEngineConfig(), []engine.StreamDef{drifting}, sameKeyQueries(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Engine().SetStreamRate(0, 20000)
+	s.Run(17 * vtime.Second)
+
+	snap := s.Snapshot()
+	if snap.DriftTriggers == 0 {
+		t.Fatalf("drift trigger never fired (triggers=%d)", snap.Triggers)
+	}
+
+	var triggers []obs.Event
+	firstDrift := vtime.Time(-1)
+	for _, e := range s.Trace() {
+		switch e.Kind {
+		case obs.EvOptimizerTrigger:
+			triggers = append(triggers, e)
+		case obs.EvDriftDetected:
+			if firstDrift < 0 {
+				firstDrift = e.Time
+			}
+		}
+	}
+	if firstDrift < 0 {
+		t.Fatal("no drift_detected event in the trace")
+	}
+	if firstDrift >= vtime.Time(cfg.TriggerInterval) {
+		t.Fatalf("first drift detection at %v, not before the periodic interval %v",
+			firstDrift, cfg.TriggerInterval)
+	}
+	cooldown := cfg.TriggerInterval / 4
+	for i := 1; i < len(triggers); i++ {
+		if gap := triggers[i].Time.Sub(triggers[i-1].Time); gap < cooldown {
+			t.Fatalf("triggers #%d and #%d only %v apart, cooldown is %v",
+				triggers[i-1].Seq, triggers[i].Seq, gap, cooldown)
+		}
+	}
+}
+
+func TestCoreConfigValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"sample-every", func(c *Config) { c.SampleEvery = 0 }, "SampleEvery"},
+		{"trigger-interval", func(c *Config) { c.TriggerInterval = 0 }, "TriggerInterval"},
+		{"min-samples", func(c *Config) { c.MinSamples = -1 }, "MinSamples"},
+		{"drift-trigger", func(c *Config) { c.DriftTrigger = -0.5 }, "DriftTrigger"},
+		{"min-improvement", func(c *Config) { c.MinImprovement = -0.1 }, "MinImprovement"},
+		{"plan-horizon", func(c *Config) { c.PlanHorizon = -1 }, "PlanHorizon"},
+	}
+	for _, c := range cases {
+		cfg := fastCfg()
+		c.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid config accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name the offending field %q", c.name, err, c.want)
+		}
+		// The same invalid config must be accepted when disabled: a
+		// vanilla baseline never consults the control-loop knobs.
+		cfg.Enabled = false
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: disabled system rejected: %v", c.name, err)
+		}
+	}
+}

@@ -127,8 +127,9 @@ func Run(cfg Config) (*Result, error) {
 		res.JITTime += m.JITTime()
 		res.BytesNet += sys.Engine().Network().Stats().BytesNet - netBefore
 		res.NetUtil += sys.Engine().Network().Stats().Utilization
-		res.Triggers += sys.Triggers()
-		res.Applied += sys.Controller().Applied()
+		snap := sys.Snapshot()
+		res.Triggers += snap.Triggers
+		res.Applied += snap.Applied
 	}
 	n := float64(cfg.Repetitions)
 	res.Throughput /= n

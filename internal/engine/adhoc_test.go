@@ -115,6 +115,39 @@ func TestRemoveQueryStopsItsTraffic(t *testing.T) {
 	}
 }
 
+func TestRemoveQueryDuringMeasurementDropsItsRows(t *testing.T) {
+	// Regression: RemoveQuery used to leave the departed query's
+	// accumulated rows in Metrics, so a query retired mid-window kept
+	// contributing its partial counts to averaged throughput. The rows
+	// must be discarded at removal and stay excluded afterwards.
+	cfg := lightConfig()
+	cfg.ExactWindows = false
+	qs := []QuerySpec{aggQuery("a", 0), aggQuery("b", 1)}
+	e, err := New(cfg, []StreamDef{testStream("s", 64)}, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 10000)
+	e.Run(2 * vtime.Second)
+	m := e.Metrics()
+	m.StartMeasurement(e.Clock())
+	e.Run(4 * vtime.Second) // both queries accumulate...
+	if err := e.RemoveQuery(1); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(4 * vtime.Second) // ...then only the survivor may
+	m.StopMeasurement(e.Clock())
+	if got := m.QueryThroughput(1); got != 0 {
+		t.Fatalf("mid-window removal left stale rows: query 1 reports %v tuples/s", got)
+	}
+	if overall, q0 := m.OverallThroughput(), m.QueryThroughput(0); overall != q0 {
+		t.Fatalf("overall throughput %v includes more than the surviving query's %v", overall, q0)
+	}
+	if got := m.QueryThroughput(0); got < 9000 {
+		t.Fatalf("surviving query throughput %v collapsed", got)
+	}
+}
+
 func TestRemoveQueryReducesWireBytes(t *testing.T) {
 	// Two identical queries unshared ship two copies; removing one must
 	// halve steady-state wire bytes.

@@ -37,6 +37,11 @@ type Engine struct {
 	metrics *Metrics
 	rng     *rand.Rand
 
+	// obs is nil unless a telemetry registry is attached (SetObs);
+	// every hook in the tick loop guards on it so the disabled path
+	// stays allocation-free.
+	obs *engObs
+
 	sampler       Sampler
 	sampleCounter sampleGate
 
@@ -346,6 +351,9 @@ func (e *Engine) step() {
 		}
 		rt.heartbeat(e)
 	}
+	if e.obs != nil {
+		e.observeTick()
+	}
 }
 
 // enqueue places an entry on the (task, slot) edge and charges the
@@ -506,6 +514,10 @@ func (e *Engine) RemoveQuery(qi int) error {
 	if err := e.rebuildPlans(); err != nil {
 		panic(err) // removing members cannot grow the class count
 	}
+	// Tombstone the query's metric rows: counts it accumulated inside
+	// the current measurement window would otherwise keep inflating the
+	// overall-throughput sum after the query is gone.
+	e.metrics.removeQuery(qi)
 	// Drop state everywhere.
 	e.qcount[qi] = newQCounting(len(e.queries[qi].spec.Inputs), e.cfg.NumGroups)
 	for _, s := range e.slots {

@@ -28,6 +28,11 @@ type Metrics struct {
 	// queries demanded vs physical copies shipped.
 	shDemand, shPhysical float64
 
+	// removed tombstones per-query rows of ad-hoc queries retired by
+	// RemoveQuery: their rows are zeroed and excluded from further
+	// accumulation so a departed query cannot skew averaged throughput.
+	removed []bool
+
 	measuring   bool
 	measureFrom vtime.Time
 	measureTo   vtime.Time
@@ -38,6 +43,7 @@ func newMetrics(numQueries int) *Metrics {
 	return &Metrics{
 		processed: make([]float64, numQueries),
 		emitted:   make([]float64, numQueries),
+		removed:   make([]bool, numQueries),
 	}
 }
 
@@ -45,6 +51,17 @@ func newMetrics(numQueries int) *Metrics {
 func (m *Metrics) addQuery() {
 	m.processed = append(m.processed, 0)
 	m.emitted = append(m.emitted, 0)
+	m.removed = append(m.removed, false)
+}
+
+// removeQuery tombstones a retired query's rows. Whatever the query
+// accumulated inside the current measurement window is discarded, and
+// the rows stay excluded for the rest of the run (query indexes are
+// stable, so rows are never compacted away).
+func (m *Metrics) removeQuery(q int) {
+	m.processed[q] = 0
+	m.emitted[q] = 0
+	m.removed[q] = true
 }
 
 // StartMeasurement begins the measurement window at virtual time t,
@@ -71,13 +88,13 @@ func (m *Metrics) StopMeasurement(t vtime.Time) {
 }
 
 func (m *Metrics) recordProcessed(query int, weight float64) {
-	if m.measuring {
+	if m.measuring && !m.removed[query] {
 		m.processed[query] += weight
 	}
 }
 
 func (m *Metrics) recordEmitted(query int, weight float64) {
-	if m.measuring {
+	if m.measuring && !m.removed[query] {
 		m.emitted[query] += weight
 	}
 }

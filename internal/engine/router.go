@@ -189,6 +189,9 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 	if rt.tickOffered > 0 {
 		ratio = rt.tickAccepted / rt.tickOffered
 	}
+	if e.obs != nil && ratio < 1 {
+		e.obs.stallTicks.Inc()
+	}
 	rt.tickOffered, rt.tickAccepted = 0, 0
 	rt.throttle = 0.7*rt.throttle + 0.3*ratio + 0.02
 	if rt.throttle > 1 {

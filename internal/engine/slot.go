@@ -436,5 +436,8 @@ func (s *slot) completeAlignment(e *Engine) {
 		e.cluster.CPU(s.node).Take(cost)
 		s.busyUntil = vtime.Max(e.clock, s.busyUntil).Add(d)
 		e.metrics.recordJIT(compiles, d)
+		if e.obs != nil {
+			e.obs.emitJIT(e.clock, compiles, d)
+		}
 	}
 }

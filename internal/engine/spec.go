@@ -202,9 +202,15 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate(streams []StreamDef, queries []QuerySpec) error {
+// Validate checks the run-independent configuration fields and returns
+// a descriptive error for the first violation. New calls it (together
+// with the stream/query checks) before building anything, so a bad
+// configuration fails loudly at construction instead of being silently
+// clamped mid-run. Callers assembling configurations programmatically
+// can call it directly to fail early.
+func (c Config) Validate() error {
 	if c.Nodes <= 0 {
-		return fmt.Errorf("engine: need at least one node")
+		return fmt.Errorf("engine: need at least one node, got %d", c.Nodes)
 	}
 	if c.NumPartitions <= 0 || c.NumGroups <= 0 {
 		return fmt.Errorf("engine: partitions (%d) and groups (%d) must be positive", c.NumPartitions, c.NumGroups)
@@ -213,18 +219,28 @@ func (c Config) validate(streams []StreamDef, queries []QuerySpec) error {
 		return fmt.Errorf("engine: need at least as many key groups (%d) as partitions (%d)", c.NumGroups, c.NumPartitions)
 	}
 	if c.SourceTasks <= 0 {
-		return fmt.Errorf("engine: need at least one source task per stream")
+		return fmt.Errorf("engine: need at least one source task per stream, got %d", c.SourceTasks)
 	}
 	if c.TupleWeight < 1 {
 		return fmt.Errorf("engine: tuple weight must be >= 1, got %v", c.TupleWeight)
 	}
 	if c.Tick <= 0 {
-		return fmt.Errorf("engine: tick must be positive")
+		return fmt.Errorf("engine: tick must be positive, got %v", c.Tick)
+	}
+	if c.WatermarkLag < 0 {
+		return fmt.Errorf("engine: watermark lag must be non-negative, got %v", c.WatermarkLag)
+	}
+	if c.FlowContentionCoeff < 0 {
+		return fmt.Errorf("engine: flow contention coefficient must be non-negative, got %v", c.FlowContentionCoeff)
 	}
 	if err := c.Cost.validate(); err != nil {
 		return err
 	}
-	if err := c.Profile.validate(); err != nil {
+	return c.Profile.validate()
+}
+
+func (c Config) validate(streams []StreamDef, queries []QuerySpec) error {
+	if err := c.Validate(); err != nil {
 		return err
 	}
 	if len(streams) == 0 {

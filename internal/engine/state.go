@@ -260,6 +260,9 @@ func (e *Engine) extractAndReturn(s *slot, qi int, g keyspace.GroupID) {
 		return
 	}
 	e.metrics.recordReshuffle(en.stWeight)
+	if e.obs != nil {
+		e.obs.reshuffled.Add(en.stWeight)
+	}
 
 	// Route the state back through a source operator. Bytes flow over
 	// two legs: slot → source node, then source → new owner.
@@ -333,6 +336,9 @@ type heldTuple struct {
 // current epoch travels back to a source and on to the true owner.
 func (e *Engine) sendBack(s *slot, qi int, g keyspace.GroupID, w float64, t *Tuple, side int) {
 	e.metrics.recordReshuffle(w)
+	if e.obs != nil {
+		e.obs.reshuffled.Add(w)
+	}
 	q := e.queries[qi]
 	bytes := w * e.streams[q.spec.Inputs[side].Stream].BytesPerTuple
 	src := e.tasks[e.rng.Intn(len(e.tasks))]

@@ -1,0 +1,35 @@
+package gcm
+
+import (
+	"fmt"
+
+	"saspar/internal/workload"
+)
+
+func init() {
+	workload.Register("gcm", func(cfg any) (*workload.Workload, error) {
+		c := DefaultConfig()
+		switch v := cfg.(type) {
+		case nil:
+		case Config:
+			c = v
+		case workload.Options:
+			if v.Queries > 0 {
+				// The benchmark defines exactly the two queries of
+				// Fig. 13; clamp rather than reject so shared tooling
+				// can sweep query counts across workloads.
+				c.NumQueries = min(v.Queries, 2)
+			}
+			if v.Window.Range > 0 {
+				c.Window = v.Window
+			}
+			if v.Rate > 0 {
+				c.Rate = v.Rate
+			}
+			// v.Drift: gcm has no drifting hot set; ignored.
+		default:
+			return nil, fmt.Errorf("gcm: unsupported config type %T", cfg)
+		}
+		return New(c)
+	})
+}

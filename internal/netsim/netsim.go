@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"saspar/internal/cluster"
+	"saspar/internal/obs"
 	"saspar/internal/vtime"
 )
 
@@ -72,6 +73,40 @@ type Network struct {
 	bytesLocal float64        // cumulative bytes via shared memory
 	refused    float64        // cumulative bytes refused (backpressure)
 	elapsed    vtime.Duration // cumulative simulated time
+
+	// obs is nil unless a telemetry registry is attached; BeginTick
+	// publishes the link gauges through it once per tick.
+	obs *netObs
+}
+
+// netObs holds the network's pre-resolved telemetry handles.
+type netObs struct {
+	wireBytes    *obs.Gauge
+	localBytes   *obs.Gauge
+	refusedBytes *obs.Gauge
+	utilization  *obs.Gauge
+	queuedBytes  *obs.Gauge
+}
+
+// SetObs attaches a telemetry registry (nil detaches). The engine
+// calls this from its own SetObs.
+func (n *Network) SetObs(r *obs.Registry) {
+	if r == nil {
+		n.obs = nil
+		return
+	}
+	n.obs = &netObs{
+		wireBytes: r.Gauge("saspar_net_wire_bytes",
+			"Cumulative bytes that crossed the simulated wire."),
+		localBytes: r.Gauge("saspar_net_local_bytes",
+			"Cumulative bytes moved via shared memory."),
+		refusedBytes: r.Gauge("saspar_net_refused_bytes",
+			"Cumulative bytes refused by full queues (backpressure)."),
+		utilization: r.Gauge("saspar_net_utilization",
+			"Wire bytes over total offered wire capacity since start."),
+		queuedBytes: r.Gauge("saspar_net_queued_bytes",
+			"Standing egress+ingress queue bytes, summed over nodes."),
+	}
 }
 
 // New builds a network for the given cluster.
@@ -135,6 +170,18 @@ func (n *Network) BeginTick(dt vtime.Duration) {
 		}
 		n.inQ[i] -= d
 		n.inCap[i] -= d
+	}
+	if n.obs != nil {
+		var q float64
+		for i := 0; i < n.nodes; i++ {
+			q += n.egQ[i] + n.inQ[i]
+		}
+		st := n.Stats()
+		n.obs.wireBytes.Set(st.BytesNet)
+		n.obs.localBytes.Set(st.BytesLocal)
+		n.obs.refusedBytes.Set(st.BytesRefused)
+		n.obs.utilization.Set(st.Utilization)
+		n.obs.queuedBytes.Set(q)
 	}
 }
 

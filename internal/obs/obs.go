@@ -1,0 +1,257 @@
+// Package obs is the live telemetry subsystem: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket histograms) plus a
+// ring-buffer trace of structured control-plane events.
+//
+// The paper's control loop — collect stats → solve → AQE swap
+// (Section I-C, Fig. 11) — is a closed loop whose tuning knobs
+// (TriggerInterval, DriftTrigger, MinImprovement) cannot be set in
+// production without seeing each decision as it happens. The registry
+// makes the loop observable at runtime: internal/core emits one event
+// per optimizer trigger and per plan decision, internal/aqe per
+// alignment phase, and the engine/netsim layers keep counters and
+// per-tick gauges of queue depths, backpressure and reshuffle volume.
+//
+// Everything is opt-in and zero-cost when absent: producers hold a
+// *Registry that is nil by default and guard every emission with a nil
+// check, and all methods in this package are additionally nil-receiver
+// safe, so an unobserved engine runs the exact same instruction
+// stream as before the subsystem existed (the PR-1 allocation
+// benchmarks are the regression gate).
+//
+// All registry operations are safe for concurrent use: harness workers
+// may share one registry across cells, and the optimizer's parallel
+// component solver may record from several goroutines.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64 metric.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter by v (negative deltas are ignored).
+func (c *Counter) Add(v float64) {
+	if c == nil || v <= 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		cur := math.Float64frombits(old)
+		if c.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: observation counts per upper
+// bound, plus total sum and count. Buckets are set at registration and
+// never reallocated, so Observe is lock-free.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Bucket search: bucket lists are short (≤ ~20), linear scan wins.
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		cur := math.Float64frombits(old)
+		if h.sum.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// metricKind discriminates the Prometheus TYPE line.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered series: a full name (which may carry a
+// {label="..."} suffix), its family help text, and the value holder.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	ctr  *Counter
+	gge  *Gauge
+	hist *Histogram
+}
+
+// family returns the series name with any label suffix stripped — the
+// unit Prometheus HELP/TYPE lines are emitted per.
+func (m *metric) family() string {
+	for i := 0; i < len(m.name); i++ {
+		if m.name[i] == '{' {
+			return m.name[:i]
+		}
+	}
+	return m.name
+}
+
+// Registry holds the registered metrics and the control-plane event
+// trace. The zero value is not usable; call New. A nil *Registry is a
+// valid no-op sink for every method.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+	trace   trace
+}
+
+// DefaultTraceCap is the event ring size New uses.
+const DefaultTraceCap = 4096
+
+// New builds a registry with the default trace capacity.
+func New() *Registry { return NewWithTraceCap(DefaultTraceCap) }
+
+// NewWithTraceCap builds a registry whose event ring holds up to n
+// events (older events are overwritten once the ring is full).
+func NewWithTraceCap(n int) *Registry {
+	if n <= 0 {
+		n = DefaultTraceCap
+	}
+	return &Registry{
+		byName: map[string]*metric{},
+		trace:  trace{buf: make([]Event, 0, n), cap: n},
+	}
+}
+
+// lookup returns the registered metric, or registers holder via mk.
+// Registration is idempotent: the same name always returns the same
+// holder; a name clash across kinds panics (a programming error).
+func (r *Registry) lookup(name, help string, kind metricKind, mk func() *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, m.kind))
+		}
+		return m
+	}
+	m := mk()
+	m.name, m.help, m.kind = name, help, kind
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter registers (or fetches) a counter series. The name may carry
+// a Prometheus label suffix, e.g. `plan_decisions_total{decision="accepted"}`.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, func() *metric { return &metric{ctr: &Counter{}} }).ctr
+}
+
+// Gauge registers (or fetches) a gauge series.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, func() *metric { return &metric{gge: &Gauge{}} }).gge
+}
+
+// Histogram registers (or fetches) a fixed-bucket histogram. Buckets
+// are upper bounds and need not be sorted; an implicit +Inf bucket is
+// appended. Re-registration ignores the buckets argument.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindHistogram, func() *metric {
+		b := append([]float64(nil), buckets...)
+		sort.Float64s(b)
+		return &metric{hist: &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b))}}
+	}).hist
+}

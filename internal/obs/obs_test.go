@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"saspar/internal/vtime"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("saspar_test_total", "test counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if r.Counter("saspar_test_total", "ignored") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("saspar_test_gauge", "test gauge")
+	g.Set(7)
+	g.Set(-2)
+	if got := g.Value(); got != -2 {
+		t.Fatalf("gauge = %v, want -2", got)
+	}
+
+	h := r.Histogram("saspar_test_hist", "test histogram", []float64{10, 1}) // unsorted on purpose
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+	if h.Count() != 3 {
+		t.Fatalf("hist count = %d, want 3", h.Count())
+	}
+	if h.Sum() != 105.5 {
+		t.Fatalf("hist sum = %v, want 105.5", h.Sum())
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := New()
+	r.Counter("saspar_clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name did not panic")
+		}
+	}()
+	r.Gauge("saspar_clash", "")
+}
+
+// TestNilRegistryIsNoOp: a nil *Registry (obs disabled) must be safe
+// through every method — this is the zero-cost-when-disabled contract.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	g := r.Gauge("y", "")
+	g.Set(1)
+	h := r.Histogram("z", "", []float64{1})
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil-registry handles returned nonzero values")
+	}
+	r.Emit(0, EvOptimizerTrigger, S("reason", "manual"))
+	if r.Events() != nil || r.EventCount() != 0 {
+		t.Fatal("nil registry retained events")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+}
+
+// TestConcurrentWrites exercises the registry from many goroutines —
+// run under -race in CI (scripts/ci.sh); the registry is the repo's
+// first genuinely concurrent-write telemetry surface.
+func TestConcurrentWrites(t *testing.T) {
+	r := New()
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("saspar_conc_total", "")
+			g := r.Gauge("saspar_conc_gauge", "")
+			h := r.Histogram("saspar_conc_hist", "", []float64{0.5})
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i % 2))
+				r.Emit(vtime.Time(i), EvDriftDetected, I("w", int64(w)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("saspar_conc_total", "").Value(); got != workers*iters {
+		t.Fatalf("counter = %v, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("saspar_conc_hist", "", nil).Count(); got != workers*iters {
+		t.Fatalf("hist count = %d, want %d", got, workers*iters)
+	}
+	if got := r.EventCount(); got != workers*iters {
+		t.Fatalf("event count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	r := NewWithTraceCap(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(vtime.Time(i), EvOptimizerTrigger, I("i", int64(i)))
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := int64(6 + i) // events 6..9 survive, oldest-first
+		if e.Seq != wantSeq {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, wantSeq)
+		}
+	}
+	if r.EventCount() != 10 {
+		t.Fatalf("EventCount = %d, want 10", r.EventCount())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	r := New()
+	r.Emit(vtime.Time(1500*vtime.Millisecond), EvPlanAccepted, F("cur_obj", 2.5), I("moved_groups", 7))
+	got := r.Events()[0].String()
+	for _, want := range []string{"1.500s", "plan_accepted", "cur_obj=2.5", "moved_groups=7"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("event string %q missing %q", got, want)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := New()
+	r.Counter(`saspar_decisions_total{decision="accepted"}`, "Plan decisions by outcome.").Add(3)
+	r.Counter(`saspar_decisions_total{decision="skipped_gain"}`, "").Inc()
+	r.Gauge("saspar_queue_bytes", "Queue depth.").Set(12.5)
+	h := r.Histogram("saspar_lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP saspar_decisions_total Plan decisions by outcome.\n",
+		"# TYPE saspar_decisions_total counter\n",
+		`saspar_decisions_total{decision="accepted"} 3` + "\n",
+		`saspar_decisions_total{decision="skipped_gain"} 1` + "\n",
+		"# TYPE saspar_queue_bytes gauge\n",
+		"saspar_queue_bytes 12.5\n",
+		"# TYPE saspar_lat_seconds histogram\n",
+		`saspar_lat_seconds_bucket{le="0.1"} 1` + "\n",
+		`saspar_lat_seconds_bucket{le="1"} 2` + "\n",
+		`saspar_lat_seconds_bucket{le="+Inf"} 3` + "\n",
+		"saspar_lat_seconds_sum 5.55\n",
+		"saspar_lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q\ngot:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE once per family, not per labelled series.
+	if strings.Count(out, "# TYPE saspar_decisions_total") != 1 {
+		t.Fatalf("family header repeated:\n%s", out)
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus writes a point-in-time snapshot of every registered
+// metric in the Prometheus text exposition format (version 0.0.4).
+// Series registered with a `{label="..."}` suffix are grouped into one
+// family: HELP and TYPE are emitted once per family, on first
+// encounter, using the help text of the first-registered series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	seen := map[string]bool{}
+	for _, m := range metrics {
+		fam := m.family()
+		if !seen[fam] {
+			seen[fam] = true
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, m.kind); err != nil {
+				return err
+			}
+		}
+		if err := writeSeries(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, m *metric) error {
+	switch m.kind {
+	case kindCounter:
+		return writeSample(w, m.name, m.ctr.Value())
+	case kindGauge:
+		return writeSample(w, m.name, m.gge.Value())
+	default:
+		return writeHistogram(w, m)
+	}
+}
+
+func writeSample(w io.Writer, name string, v float64) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+	return err
+}
+
+// writeHistogram emits cumulative _bucket series plus _sum and _count.
+// Histogram families don't support caller label suffixes (the le label
+// would have to merge with them); names are used as-is.
+func writeHistogram(w io.Writer, m *metric) error {
+	h := m.hist
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatValue(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.inf.Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", m.name, formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", m.name, h.count.Load())
+	return err
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -8,12 +8,30 @@ import (
 	"saspar/internal/mip"
 )
 
+// solveStats accumulates MIP invocation accounting across a cascade:
+// how many solves ran, how many branch-and-bound nodes they explored,
+// and the worst relative bound gap any of them finished with. The
+// cascade helpers all write into one instance per component, so the
+// stats survive the heuristic detours that produce the final plan.
+type solveStats struct {
+	solves int
+	nodes  int64
+	gap    float64
+}
+
+func (st *solveStats) record(res *mip.Result) {
+	st.nodes += res.Nodes
+	if g := res.Gap(); g > st.gap {
+		st.gap = g
+	}
+}
+
 // componentResult is the outcome for one stream component.
 type componentResult struct {
 	comp       *component
 	assign     [][]int // per component query, per ORIGINAL group → partition
 	objective  float64
-	solves     int
+	stats      solveStats
 	heuristics []string
 	exact      bool
 	via        string // cascade step that produced the accepted plan
@@ -97,7 +115,7 @@ func solveComponentInner(req *Request, c *component, opt Options, orig *mip.Inst
 	}
 
 	exec := func(in *mip.Instance, gap float64, budget time.Duration) (*mip.Result, bool) {
-		cr.solves++
+		cr.stats.solves++
 		o := mip.Options{RelGap: gap, TimeBudget: budget, MaxNodes: opt.MaxNodes}
 		if in == orig {
 			o.Prefer = prefer
@@ -107,6 +125,7 @@ func solveComponentInner(req *Request, c *component, opt Options, orig *mip.Inst
 		if err != nil {
 			return nil, false
 		}
+		cr.stats.record(res)
 		return res, res.Status != mip.Budget
 	}
 
@@ -180,7 +199,7 @@ func solveComponentInner(req *Request, c *component, opt Options, orig *mip.Inst
 		// Heuristic 7: merge partitions (two-phase logical partitions).
 		if !opt.disabled(HeurMergePar) && cur.NumPartitions > opt.NumNodes {
 			cr.heuristics = append(cr.heuristics, HeurMergePar)
-			if assign, ok := mergePartitionsSolve(cur, gap, budget, opt, &cr.solves); assign != nil {
+			if assign, ok := mergePartitionsSolve(cur, gap, budget, opt, &cr.stats); assign != nil {
 				best(expand(assign))
 				if ok {
 					cr.via = HeurMergePar
@@ -192,7 +211,7 @@ func solveComponentInner(req *Request, c *component, opt Options, orig *mip.Inst
 		// Heuristic 5: tree optimization for many queries.
 		if !opt.disabled(HeurTreeOpt) && len(cur.Classes) > opt.TreeThreshold {
 			cr.heuristics = append(cr.heuristics, HeurTreeOpt)
-			if assign, ok := treeSolve(cur, gap, budget, opt, &cr.solves); assign != nil {
+			if assign, ok := treeSolve(cur, gap, budget, opt, &cr.stats); assign != nil {
 				best(expand(assign))
 				if ok {
 					cr.via = HeurTreeOpt
@@ -205,7 +224,7 @@ func solveComponentInner(req *Request, c *component, opt Options, orig *mip.Inst
 		// groups, non-shared between them.
 		if !opt.disabled(HeurHybridExec) && len(cur.Classes) > opt.HybridThreshold {
 			cr.heuristics = append(cr.heuristics, HeurHybridExec)
-			if assign, ok := hybridSolve(cur, gap, budget, opt, &cr.solves); assign != nil {
+			if assign, ok := hybridSolve(cur, gap, budget, opt, &cr.stats); assign != nil {
 				best(expand(assign))
 				if ok {
 					cr.via = HeurHybridExec
@@ -353,7 +372,7 @@ func mergeGroups(in *mip.Instance, prev []int, target int) (*mip.Instance, []int
 // paired into logical partitions, the reduced model is solved, and a
 // second phase re-solves each logical partition internally over its
 // member partitions.
-func mergePartitionsSolve(in *mip.Instance, gap float64, budget time.Duration, opt Options, solves *int) ([][]int, bool) {
+func mergePartitionsSolve(in *mip.Instance, gap float64, budget time.Duration, opt Options, st *solveStats) ([][]int, bool) {
 	P := in.NumPartitions
 	LP := (P + 1) / 2
 	if LP < opt.NumNodes {
@@ -382,11 +401,12 @@ func mergePartitionsSolve(in *mip.Instance, gap float64, budget time.Duration, o
 		}
 		ph1.LatP[l] /= float64(len(ms))
 	}
-	*solves++
+	st.solves++
 	res1, err := mip.Solve(ph1, mip.Options{RelGap: gap, TimeBudget: budget, MaxNodes: opt.MaxNodes})
 	if err != nil {
 		return nil, false
 	}
+	st.record(res1)
 	ok := res1.Status != mip.Budget
 
 	// Phase 2: within each logical partition, distribute its groups
@@ -446,11 +466,12 @@ func mergePartitionsSolve(in *mip.Instance, gap float64, budget time.Duration, o
 			}
 			sub.Classes = append(sub.Classes, nc)
 		}
-		*solves++
+		st.solves++
 		res2, err := mip.Solve(sub, mip.Options{RelGap: gap, TimeBudget: budget, MaxNodes: opt.MaxNodes})
 		if err != nil {
 			return nil, false
 		}
+		st.record(res2)
 		ok = ok && res2.Status != mip.Budget
 		for ci := range in.Classes {
 			for i, g := range groups {
@@ -467,7 +488,7 @@ func mergePartitionsSolve(in *mip.Instance, gap float64, budget time.Duration, o
 // statistics merged as if it were a single query, recursively until the
 // class count fits the threshold, then solved once. Every constituent
 // of a merged class inherits its assignment.
-func treeSolve(in *mip.Instance, gap float64, budget time.Duration, opt Options, solves *int) ([][]int, bool) {
+func treeSolve(in *mip.Instance, gap float64, budget time.Duration, opt Options, st *solveStats) ([][]int, bool) {
 	// membership[i] = original class indexes of merged class i.
 	membership := make([][]int, len(in.Classes))
 	for i := range membership {
@@ -517,11 +538,12 @@ func treeSolve(in *mip.Instance, gap float64, budget time.Duration, opt Options,
 		LatProc:       in.LatProc,
 		Classes:       classes,
 	}
-	*solves++
+	st.solves++
 	res, err := mip.Solve(reduced, mip.Options{RelGap: gap, TimeBudget: budget, MaxNodes: opt.MaxNodes})
 	if err != nil {
 		return nil, false
 	}
+	st.record(res)
 	final := make([][]int, len(in.Classes))
 	for mi, members := range membership {
 		for _, ci := range members {
@@ -577,7 +599,7 @@ func mergeClassPair(a, b mip.Class) mip.Class {
 // hybridSolve implements heuristic 6: classes are clustered by volume
 // similarity into groups solved independently — shared execution inside
 // a group, non-shared across groups.
-func hybridSolve(in *mip.Instance, gap float64, budget time.Duration, opt Options, solves *int) ([][]int, bool) {
+func hybridSolve(in *mip.Instance, gap float64, budget time.Duration, opt Options, st *solveStats) ([][]int, bool) {
 	groupSize := opt.TreeThreshold
 	if groupSize <= 0 {
 		groupSize = 8
@@ -614,11 +636,12 @@ func hybridSolve(in *mip.Instance, gap float64, budget time.Duration, opt Option
 		for _, ci := range order[lo:hi] {
 			sub.Classes = append(sub.Classes, in.Classes[ci])
 		}
-		*solves++
+		st.solves++
 		res, err := mip.Solve(sub, mip.Options{RelGap: gap, TimeBudget: budget, MaxNodes: opt.MaxNodes})
 		if err != nil {
 			return nil, false
 		}
+		st.record(res)
 		allOK = allOK && res.Status != mip.Budget
 		for i, ci := range order[lo:hi] {
 			final[ci] = append([]int(nil), res.Assign[i]...)

@@ -197,6 +197,12 @@ type Result struct {
 	// actually applied, in order.
 	Solves     int
 	Heuristics []string
+	// Nodes is the total branch-and-bound nodes explored across all MIP
+	// invocations of the round; BoundGap the largest relative optimality
+	// gap any invocation finished with (0 = everything proven optimal).
+	// Both feed the telemetry the control loop emits per trigger.
+	Nodes    int64
+	BoundGap float64
 	// SucceededVia names the cascade step that produced an accepted
 	// plan (of the last component to report one): a heuristic name,
 	// HeurOptGap for a full-model success, or "" when every component
@@ -241,7 +247,11 @@ func Optimize(req *Request, opt Options) (*Result, error) {
 	seen := map[string]bool{}
 	for _, cr := range results {
 		res.Objective += cr.objective
-		res.Solves += cr.solves
+		res.Solves += cr.stats.solves
+		res.Nodes += cr.stats.nodes
+		if cr.stats.gap > res.BoundGap {
+			res.BoundGap = cr.stats.gap
+		}
 		res.Exact = res.Exact && cr.exact
 		if res.SucceededVia == "" || cr.via != "" {
 			res.SucceededVia = cr.via

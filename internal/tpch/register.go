@@ -1,0 +1,34 @@
+package tpch
+
+import (
+	"fmt"
+
+	"saspar/internal/workload"
+)
+
+func init() {
+	workload.Register("tpch", func(cfg any) (*workload.Workload, error) {
+		c := DefaultConfig()
+		switch v := cfg.(type) {
+		case nil:
+		case Config:
+			c = v
+		case workload.Options:
+			if v.Queries > 0 {
+				c.Queries = QuerySubset(v.Queries)
+			}
+			if v.Window.Range > 0 {
+				c.Window = v.Window
+			}
+			if v.Rate > 0 {
+				c.LineitemRate = v.Rate
+			}
+			if v.Drift > 0 {
+				c.DriftPeriod = v.Drift
+			}
+		default:
+			return nil, fmt.Errorf("tpch: unsupported config type %T", cfg)
+		}
+		return New(c)
+	})
+}

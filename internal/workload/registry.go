@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"saspar/internal/engine"
+	"saspar/internal/vtime"
+)
+
+// Options are the knobs every registered workload understands. Zero
+// values mean "keep the workload's default". They cover what the
+// command-line tools and examples vary; anything finer-grained still
+// goes through the workload package's own Config and New.
+type Options struct {
+	// Queries is the number of concurrent queries to instantiate. Each
+	// workload maps it to its own notion (tpch: the first N of the
+	// paper's fourteen; gcm: clamped to its 1–2 query benchmark).
+	Queries int
+	// Window applies to every query when non-zero.
+	Window engine.WindowSpec
+	// Rate is the offered rate of the primary stream in tuples per
+	// virtual second; secondary streams scale with it the way the
+	// workload defines (tpch: ORDERS at 1/4, CUSTOMER at 1/16; ajoin:
+	// each of its four streams at 1/4).
+	Rate float64
+	// Drift is the hot-key drift period; 0 keeps distributions
+	// stationary. Workloads without a drifting hot set (gcm) ignore it.
+	Drift vtime.Duration
+}
+
+// Builder constructs a workload. cfg is nil for pure defaults, an
+// Options for the common knobs above, or the builder's own package
+// Config for full control; any other type is an error.
+type Builder func(cfg any) (*Workload, error)
+
+var (
+	regMu    sync.Mutex
+	builders = map[string]Builder{}
+)
+
+// Register makes a workload available to Open under name. Workload
+// packages call it from init; registering the same name twice panics —
+// that is a wiring bug, not a runtime condition.
+func Register(name string, b Builder) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := builders[name]; dup {
+		panic(fmt.Sprintf("workload: %q registered twice", name))
+	}
+	builders[name] = b
+}
+
+// Open builds the named workload. cfg is nil for defaults, an Options
+// for the common knobs, or the workload package's own Config. Callers
+// must import the workload packages they want available (usually as
+// blank imports) so their init registrations run.
+func Open(name string, cfg any) (*Workload, error) {
+	regMu.Lock()
+	b, ok := builders[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (registered: %v)", name, Names())
+	}
+	return b(cfg)
+}
+
+// Names lists the registered workloads, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

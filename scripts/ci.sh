@@ -1,17 +1,28 @@
 #!/bin/sh
 # Tier-1 verification: what every change must pass before merging.
 #
+#   gofmt -l           the tree must be gofmt-clean
 #   build + vet        compile the whole module and run static checks
 #   go test ./...      unit, integration, property and shape tests
-#   go test -race ...  the two packages that spawn goroutines — the
-#                      run-matrix pool (internal/parallel) and the
+#   go test -race ...  the packages that spawn goroutines — the
+#                      run-matrix pool (internal/parallel), the
 #                      optimizer's parallel component solver
-#                      (internal/optimizer) — under the race detector
+#                      (internal/optimizer) and the telemetry registry
+#                      written to from harness workers (internal/obs) —
+#                      under the race detector
 #
 # SASPAR_PARALLEL caps the harness worker pool; keep CI deterministic
 # but let the bench tests use the machine.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build"
 go build ./...
@@ -23,6 +34,6 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/parallel/ ./internal/optimizer/
+go test -race ./internal/parallel/ ./internal/optimizer/ ./internal/obs/
 
 echo "CI OK"
