@@ -7,7 +7,9 @@
 //
 // Without flags it runs the quick scale (seconds of wall time per
 // figure); -full approaches the paper's dimensions. -fig selects one
-// figure ("6", "7", "8", "9", "10", "11", "12a", "12b", "13", "ml").
+// figure ("6", "7", "8", "9", "10", "11", "12a", "12b", "13", "ml",
+// "recovery" — the crash-recovery experiment, which is not part of the
+// paper's figure set and therefore not included in the default run).
 // -workers bounds the run-matrix pool the harnesses fan cells over
 // (0 = SASPAR_PARALLEL env, then GOMAXPROCS; 1 = sequential); output
 // is identical at any worker count. -bench-json measures a performance
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run at paper scale (slow)")
-	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml)")
+	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml,recovery)")
 	workers := flag.Int("workers", 0, "run-matrix pool size (0 = SASPAR_PARALLEL env, then GOMAXPROCS)")
 	benchJSON := flag.String("bench-json", "", "write a performance snapshot to this file and exit")
 	flag.Parse()
@@ -133,6 +135,12 @@ func run(sc bench.Scale, fig string) error {
 			return err
 		}
 		bench.PrintML(w, rows)
+	case "recovery":
+		rows, err := bench.Recovery(sc, 3)
+		if err != nil {
+			return err
+		}
+		bench.PrintRecovery(w, rows)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}

@@ -7,6 +7,9 @@
 //	sasparctl inspect  — run a SASPAR system with live telemetry
 //	                     enabled and dump the control-plane event trace
 //	                     plus a Prometheus-format metrics snapshot
+//	sasparctl faults   — run seeded crash-recovery scenarios and report
+//	                     time-to-recover and the sustained-throughput
+//	                     dip while degraded
 //
 // Invoking sasparctl with bare flags (no subcommand) behaves as "run",
 // keeping older scripts working.
@@ -18,6 +21,7 @@
 //	          [-rate R] [-warmup D] [-measure D] [-drift D] [-seed S]
 //	sasparctl inspect [-workload W] [-queries N] [-duration D]
 //	          [-drift D] [-rate R] [-events N] [-seed S]
+//	sasparctl faults [-seeds N] [-workers N] [-full] [-nodes N] [-rate R]
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"os"
 	"strings"
 
+	"saspar/internal/bench"
 	"saspar/internal/core"
 	"saspar/internal/driver"
 	"saspar/internal/engine"
@@ -52,9 +57,54 @@ func main() {
 		runCmd(args)
 	case "inspect":
 		inspectCmd(args)
+	case "faults":
+		faultsCmd(args)
 	default:
-		fail(fmt.Errorf("unknown subcommand %q (try run, inspect)", cmd))
+		fail(fmt.Errorf("unknown subcommand %q (try run, inspect, faults)", cmd))
 	}
+}
+
+// faultsCmd runs the crash-recovery experiment: seeded scripted node
+// losses against a running SASPAR system, fanned over the run-matrix
+// pool, reporting per-seed time-to-recover and the sustained-throughput
+// dip while degraded.
+func faultsCmd(args []string) {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	var (
+		seeds   = fs.Int("seeds", 3, "independent crash scenarios to run")
+		workers = fs.Int("workers", 0, "run-matrix pool size (0 = SASPAR_PARALLEL env, then GOMAXPROCS)")
+		full    = fs.Bool("full", false, "run at paper scale (slow)")
+		nodes   = fs.Int("nodes", 0, "override cluster nodes (0 = scale default)")
+		rate    = fs.Float64("rate", 0, "override offered rate, tuples/s (0 = scale default)")
+	)
+	fs.Parse(args)
+
+	sc := bench.Quick()
+	if *full {
+		sc = bench.Paper()
+	}
+	sc.Workers = *workers
+	if *nodes > 0 {
+		sc.Nodes = *nodes
+	}
+	if *rate > 0 {
+		sc.Rate = *rate
+	}
+
+	rows, err := bench.Recovery(sc, *seeds)
+	if err != nil {
+		fail(err)
+	}
+	bench.PrintRecovery(os.Stdout, rows)
+
+	var recover, dip float64
+	for _, r := range rows {
+		recover += r.RecoverMs
+		dip += r.DipPct
+	}
+	n := float64(len(rows))
+	fmt.Printf("\ntime-to-recover        %.0f ms mean over %d scenarios\n", recover/n, len(rows))
+	fmt.Printf("sustained-throughput   dipped to %.0f%% of pre-fault mean while degraded\n", dip/n)
 }
 
 func runCmd(args []string) {

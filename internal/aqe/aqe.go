@@ -102,10 +102,15 @@ func (c *Controller) Begin(newAssign map[int]*keyspace.Assignment) (bool, error)
 	if len(changed) == 0 {
 		return false, nil
 	}
-	c.epochBefore = c.eng.Epoch()
+	// Record the pre-injection epoch only once injection succeeds: a
+	// failed Begin must leave the controller exactly as it found it, or
+	// a stale epochBefore would corrupt the lazy epoch resolution of the
+	// next reconfiguration.
+	epochBefore := c.eng.Epoch()
 	if err := c.eng.InjectReconfig(changed); err != nil {
 		return false, err
 	}
+	c.epochBefore = epochBefore
 	c.phase = Reconfiguring
 	c.reconfigEpoch = 0 // resolved on first Poll (micro-batch defers the epoch bump)
 	if c.obs != nil {

@@ -130,6 +130,54 @@ func TestMicroBatchDeferredEpochResolution(t *testing.T) {
 	}
 }
 
+func TestBeginInjectionFailureLeavesControllerReusable(t *testing.T) {
+	// Regression: Begin recorded epochBefore before calling
+	// InjectReconfig, so a failed injection left a stale epoch behind.
+	// A failed Begin must leave the controller Idle, untouched and
+	// immediately reusable.
+	e := testEngine(t, false)
+	c := New(e)
+	e.Run(vtime.Second)
+
+	// Complete one reconfiguration so the engine epoch (2 after
+	// finalize) differs from the controller's recorded epochBefore (0) —
+	// otherwise the stale write would be invisible.
+	if _, err := c.Begin(map[int]*keyspace.Assignment{0: rotated(e)}); err != nil {
+		t.Fatal(err)
+	}
+	drive(t, e, c, 200)
+	if c.Busy() || c.Applied() != 1 {
+		t.Fatalf("setup reconfiguration did not complete: phase=%v applied=%d", c.Phase(), c.Applied())
+	}
+	epochBefore := c.epochBefore
+
+	// A complete, correctly-sized assignment pointing at a partition the
+	// engine does not have: Diff accepts it, InjectReconfig rejects it.
+	bad := e.Assignment(0).Clone()
+	for g := 0; g < bad.NumGroups(); g++ {
+		bad.Set(keyspace.GroupID(g), keyspace.PartitionID(e.Config().NumPartitions))
+	}
+	started, err := c.Begin(map[int]*keyspace.Assignment{0: bad})
+	if err == nil || started {
+		t.Fatalf("out-of-range assignment accepted: started=%v err=%v", started, err)
+	}
+	if c.Phase() != Idle || c.Busy() {
+		t.Fatalf("failed Begin left phase %v, want idle", c.Phase())
+	}
+	if c.epochBefore != epochBefore {
+		t.Fatalf("failed Begin leaked epochBefore %d (was %d)", c.epochBefore, epochBefore)
+	}
+
+	// The controller must still run a full protocol round afterwards.
+	if _, err := c.Begin(map[int]*keyspace.Assignment{0: rotated(e)}); err != nil {
+		t.Fatalf("Begin after failed injection: %v", err)
+	}
+	drive(t, e, c, 200)
+	if c.Busy() || c.Applied() != 2 {
+		t.Fatalf("controller not reusable after failed Begin: phase=%v applied=%d", c.Phase(), c.Applied())
+	}
+}
+
 func TestSequentialReconfigurations(t *testing.T) {
 	e := testEngine(t, false)
 	c := New(e)

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"saspar/internal/core"
+	"saspar/internal/faults"
+	"saspar/internal/gcm"
+	"saspar/internal/obs"
+	"saspar/internal/parallel"
+	"saspar/internal/vtime"
+)
+
+// RecoveryRow is one seeded crash-recovery run: a scripted node loss
+// against a running SASPAR system, reporting how long detection and
+// evacuation took and how far sustained throughput dipped meanwhile.
+type RecoveryRow struct {
+	Seed      int64
+	CrashNode int
+
+	DetectMs  float64 // fault strike → health-fingerprint detection
+	RecoverMs float64 // detection → evacuation complete (AQE idle, no group on the dead node)
+	Attempts  int     // evacuation attempts (1 unless a retry was needed)
+
+	PreMTps  float64 // sustained throughput before the crash (M tuples/s)
+	DipMTps  float64 // ...from the crash until recovery completed
+	PostMTps float64 // ...after recovery settled
+	DipPct   float64 // DipMTps / PreMTps, percent
+	PostPct  float64 // PostMTps / PreMTps, percent
+
+	LostMB float64 // bytes destroyed by the crash (routing + queues), MB
+}
+
+// Recovery runs the fault-recovery experiment: `seeds` independent
+// crash scenarios (seed s crashes one scripted node at a scripted
+// time), fanned over the run-matrix pool. Each cell runs the GCM
+// workload on a SASPAR system with the fault scheduler armed and
+// measures three throughput windows — pre-fault, degraded, and
+// post-recovery — plus the detection and recovery times from the
+// control-plane trace.
+func Recovery(sc Scale, seeds int) ([]RecoveryRow, error) {
+	if seeds <= 0 {
+		seeds = 3
+	}
+	// Recovery cells measure virtual-time metrics only, so the solver
+	// always runs under the deterministic node-capped budget: a
+	// wall-clock budget would let worker contention change the
+	// evacuation plan and break the outputs-identical-at-any-worker-
+	// count contract the other virtual-time harnesses keep.
+	sc.DeterministicOpt = true
+	return parallel.Map(sc.pool(), seeds, func(i int) (RecoveryRow, error) {
+		row, err := recoveryCell(sc, int64(i+1))
+		if err != nil {
+			return RecoveryRow{}, fmt.Errorf("bench: recovery seed %d: %w", i+1, err)
+		}
+		return row, nil
+	})
+}
+
+func recoveryCell(sc Scale, seed int64) (RecoveryRow, error) {
+	// The crash strikes inside a one-TimeUnit window right after the
+	// pre-fault measurement closes.
+	strike := sc.Warmup + sc.Measure
+	scenario, err := faults.Generate(faults.Config{
+		Nodes: sc.Nodes, Seed: seed,
+		Crashes: 1,
+		Start:   strike, Span: sc.TimeUnit,
+	})
+	if err != nil {
+		return RecoveryRow{}, err
+	}
+
+	gcfg := gcm.DefaultConfig()
+	gcfg.NumQueries = 2
+	gcfg.Window = sc.window()
+	gcfg.Rate = sc.Rate
+	w, err := gcm.New(gcfg)
+	if err != nil {
+		return RecoveryRow{}, err
+	}
+
+	engCfg := sc.engineConfig()
+	engCfg.Seed = seed
+	// Two source tasks on a >=3-node cluster: whichever node the
+	// scenario crashes (never node 0), at least one source survives and
+	// the cluster keeps at least one healthy slot-only node.
+	engCfg.SourceTasks = 2
+	engCfg.ExactWindows = false
+
+	coreCfg := sc.coreConfig()
+	coreCfg.FaultScenario = scenario
+	coreCfg.Obs = obs.New()
+
+	sys, err := core.New(engCfg, w.Streams, w.Queries, coreCfg)
+	if err != nil {
+		return RecoveryRow{}, err
+	}
+	w.ApplyRates(sys.Engine(), 1)
+	m := sys.Engine().Metrics()
+
+	measureWindow := func(d vtime.Duration) float64 {
+		m.StartMeasurement(sys.Engine().Clock())
+		sys.Run(d)
+		m.StopMeasurement(sys.Engine().Clock())
+		return m.OverallThroughput()
+	}
+
+	sys.Run(sc.Warmup)
+	pre := measureWindow(sc.Measure)
+
+	// Degraded window: from just before the strike until recovery
+	// completes (capped). This is the sustained-throughput dip the
+	// experiment reports.
+	m.StartMeasurement(sys.Engine().Clock())
+	deadline := sys.Engine().Clock().Add(sc.Warmup + 10*sc.Measure)
+	for sys.Engine().Clock() < deadline {
+		sys.Run(sc.TimeUnit)
+		if snap := sys.Snapshot(); snap.Recoveries > 0 && !snap.RecoveryPending {
+			break
+		}
+	}
+	m.StopMeasurement(sys.Engine().Clock())
+	dip := m.OverallThroughput()
+
+	snap := sys.Snapshot()
+	if snap.FaultsInjected == 0 || snap.FaultsDetected == 0 {
+		return RecoveryRow{}, fmt.Errorf("crash never struck/detected (injected=%d detected=%d)",
+			snap.FaultsInjected, snap.FaultsDetected)
+	}
+	if snap.Recoveries == 0 {
+		return RecoveryRow{}, fmt.Errorf("recovery incomplete after cap (phase=%s attempts exhausted?)", snap.AQEPhase)
+	}
+
+	sys.Run(2 * sc.TimeUnit) // drain pre-evacuation in-flight traffic
+	post := measureWindow(sc.Measure)
+
+	row := RecoveryRow{
+		Seed:     seed,
+		PreMTps:  pre / 1e6,
+		DipMTps:  dip / 1e6,
+		PostMTps: post / 1e6,
+		LostMB:   sys.Snapshot().LostBytes / 1e6,
+	}
+	if pre > 0 {
+		row.DipPct = 100 * dip / pre
+		row.PostPct = 100 * post / pre
+	}
+	fillRecoveryTimes(&row, sys.Trace())
+	return row, nil
+}
+
+// fillRecoveryTimes extracts the crash strike, detection, and recovery
+// milestones from the control-plane trace.
+func fillRecoveryTimes(row *RecoveryRow, trace []obs.Event) {
+	attr := func(ev obs.Event, key string) string {
+		for _, kv := range ev.Attrs {
+			if kv.K == key {
+				return kv.V
+			}
+		}
+		return ""
+	}
+	var struck, detected vtime.Time
+	for _, ev := range trace {
+		switch ev.Kind {
+		case obs.EvFaultInjected:
+			if struck == 0 && attr(ev, "kind") == "crash" && attr(ev, "phase") == "begin" {
+				struck = ev.Time
+				row.CrashNode, _ = strconv.Atoi(attr(ev, "node"))
+			}
+		case obs.EvFaultDetected:
+			if struck != 0 && detected == 0 {
+				detected = ev.Time
+				row.DetectMs = ms(detected.Sub(struck))
+			}
+		case obs.EvFaultRecovered:
+			row.RecoverMs, _ = strconv.ParseFloat(attr(ev, "recovery_ms"), 64)
+			row.Attempts, _ = strconv.Atoi(attr(ev, "attempts"))
+		}
+	}
+}
+
+// PrintRecovery renders the recovery table.
+func PrintRecovery(w io.Writer, rows []RecoveryRow) {
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%d\t%d\t%.0f\t%.0f\t%d\t%.2f\t%.2f (%.0f%%)\t%.2f (%.0f%%)\t%.1f",
+			r.Seed, r.CrashNode, r.DetectMs, r.RecoverMs, r.Attempts,
+			r.PreMTps, r.DipMTps, r.DipPct, r.PostMTps, r.PostPct, r.LostMB))
+	}
+	table(w, "seed\tcrash node\tdetect (ms)\trecover (ms)\tattempts\tpre (MT/s)\tdegraded (MT/s)\tpost (MT/s)\tlost (MB)", out)
+}

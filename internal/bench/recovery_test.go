@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+func TestRecoveryHarnessCompletesAndMeasures(t *testing.T) {
+	sc := Quick()
+	sc.Workers = 2
+	sc.DeterministicOpt = true
+	rows, err := Recovery(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.CrashNode == 0 {
+			t.Fatalf("seed %d crashed node 0 (must be spared)", r.Seed)
+		}
+		if r.RecoverMs <= 0 || r.Attempts == 0 {
+			t.Fatalf("seed %d reports no recovery: %+v", r.Seed, r)
+		}
+		if r.PreMTps <= 0 || r.DipMTps <= 0 || r.PostMTps <= 0 {
+			t.Fatalf("seed %d has empty measurement windows: %+v", r.Seed, r)
+		}
+		// The crash must actually hurt while degraded and heal after:
+		// the dip window sits strictly below pre-fault throughput, and
+		// the post window recovers above the dip.
+		if r.DipMTps >= r.PreMTps {
+			t.Fatalf("seed %d shows no throughput dip: %+v", r.Seed, r)
+		}
+		if r.PostMTps <= r.DipMTps {
+			t.Fatalf("seed %d never recovered above the dip: %+v", r.Seed, r)
+		}
+		if r.LostMB <= 0 {
+			t.Fatalf("seed %d lost no bytes to the crash: %+v", r.Seed, r)
+		}
+	}
+}

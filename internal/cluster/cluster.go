@@ -68,6 +68,14 @@ func (c *Cluster) Config() Config { return c.cfg }
 // CPU returns node n's CPU meter.
 func (c *Cluster) CPU(n NodeID) *Meter { return c.cpu[n] }
 
+// SetCPUFactor derates (or restores) node n's CPU capacity — the
+// straggler fault model: a factor of 0.25 leaves the node a quarter of
+// its nominal compute. Takes effect at the next BeginTick.
+func (c *Cluster) SetCPUFactor(n NodeID, f float64) { c.cpu[n].SetFactor(f) }
+
+// CPUFactor reports node n's current derating factor (1 = healthy).
+func (c *Cluster) CPUFactor(n NodeID) float64 { return c.cpu[n].Factor() }
+
 // BeginTick refreshes every node's CPU budget for a tick of length dt.
 func (c *Cluster) BeginTick(dt vtime.Duration) {
 	for _, m := range c.cpu {
@@ -81,6 +89,7 @@ func (c *Cluster) BeginTick(dt vtime.Duration) {
 // reported so callers can model queueing delay and backpressure.
 type Meter struct {
 	ratePerSec float64 // capacity per second of virtual time
+	factor     float64 // derating factor in [0,1]; 1 = full capacity
 	remaining  float64 // budget left in the current tick
 	tickCap    float64 // full budget of the current tick
 	used       float64 // cumulative usage (for utilization metrics)
@@ -92,15 +101,31 @@ func NewMeter(ratePerSec float64) *Meter {
 	if ratePerSec <= 0 {
 		panic("cluster: meter rate must be positive")
 	}
-	return &Meter{ratePerSec: ratePerSec}
+	return &Meter{ratePerSec: ratePerSec, factor: 1}
 }
 
-// Rate reports the meter's capacity per virtual second.
+// Rate reports the meter's nominal capacity per virtual second.
 func (m *Meter) Rate() float64 { return m.ratePerSec }
+
+// SetFactor derates the meter to f of its nominal rate (clamped to
+// [0,1]); 1 restores full capacity. Applies from the next BeginTick so
+// a tick's budget is never changed mid-tick.
+func (m *Meter) SetFactor(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	m.factor = f
+}
+
+// Factor reports the current derating factor.
+func (m *Meter) Factor() float64 { return m.factor }
 
 // BeginTick refills the budget for a tick of length dt.
 func (m *Meter) BeginTick(dt vtime.Duration) {
-	m.tickCap = m.ratePerSec * dt.Seconds()
+	m.tickCap = m.ratePerSec * m.factor * dt.Seconds()
 	m.remaining = m.tickCap
 	m.elapsed += dt.Seconds()
 }

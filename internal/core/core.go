@@ -18,6 +18,7 @@ import (
 
 	"saspar/internal/aqe"
 	"saspar/internal/engine"
+	"saspar/internal/faults"
 	"saspar/internal/keyspace"
 	"saspar/internal/ml"
 	"saspar/internal/netsim"
@@ -79,6 +80,30 @@ type Config struct {
 	// entirely — the engine hot path then takes a single never-taken
 	// branch per hook and allocates nothing.
 	Obs *obs.Registry
+
+	// FaultScenario, when non-nil, replays a scripted fault schedule
+	// against the engine as the system runs (see internal/faults). The
+	// control loop then watches the cluster health fingerprint and, on a
+	// change, enters degraded mode: the optimizer's placement domain
+	// excludes partitions on unhealthy nodes and an evacuation
+	// reconfiguration is driven through AQE until no key group remains
+	// on one. Nil (the default) leaves every fault path dormant.
+	FaultScenario *faults.Scenario
+
+	// RecoveryBackoff is the virtual-time wait before re-attempting an
+	// evacuation whose reconfiguration was itself interrupted (it
+	// doubles per attempt). 0 means the 500ms default.
+	RecoveryBackoff vtime.Duration
+
+	// RecoveryMaxAttempts bounds evacuation attempts per detected
+	// fault; past it the system stays degraded until the next health
+	// change. 0 means the default of 6.
+	RecoveryMaxAttempts int
+
+	// DerateThreshold classifies a node as unhealthy when its CPU or
+	// NIC derating factor falls below it (crashed nodes always are).
+	// 0 means the 0.5 default.
+	DerateThreshold float64
 }
 
 // Validate checks the control-loop knobs and returns a descriptive
@@ -147,6 +172,16 @@ type System struct {
 	forests                      []*ml.Forest // per stream, when UseML
 	streamBytes                  []float64    // per stream tuple size (for cost coefficients)
 
+	// Fault detection and recovery (all dormant without a FaultScenario).
+	injector         *faults.Injector
+	lastHealth       uint64 // engine health fingerprint at the last poll
+	recoveryPending  bool   // degraded: an evacuation is owed or in flight
+	recoveryStart    vtime.Time
+	recoveryAttempts int
+	nextRecoveryTry  vtime.Time
+	faultsDetected   int
+	recoveries       int
+
 	obs *sysObs // nil unless cfg.Obs is set
 }
 
@@ -161,6 +196,10 @@ type sysObs struct {
 	solves, nodes                       *obs.Counter
 	boundGap                            *obs.Gauge
 	objective                           *obs.Gauge
+
+	faultsDetected, recoveries *obs.Counter
+	recoveryTime               *obs.Histogram
+	lostBytes                  *obs.Gauge
 }
 
 func newSysObs(r *obs.Registry) *sysObs {
@@ -188,6 +227,15 @@ func newSysObs(r *obs.Registry) *sysObs {
 			"Worst relative optimality gap of the last optimization round."),
 		objective: r.Gauge("saspar_plan_objective",
 			"Exact-model objective of the last solved plan."),
+		faultsDetected: r.Counter("saspar_faults_detected_total",
+			"Health-fingerprint changes that left unhealthy nodes behind."),
+		recoveries: r.Counter("saspar_fault_recoveries_total",
+			"Faults fully recovered from (no key group left on an unhealthy node)."),
+		recoveryTime: r.Histogram("saspar_fault_recovery_seconds",
+			"Virtual time from fault detection to completed evacuation.",
+			[]float64{0.25, 0.5, 1, 2, 4, 8, 16, 32}),
+		lostBytes: r.Gauge("saspar_fault_lost_bytes",
+			"Cumulative bytes destroyed by node crashes (engine + network)."),
 	}
 }
 
@@ -197,12 +245,28 @@ func New(engCfg engine.Config, streams []engine.StreamDef, queries []engine.Quer
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.RecoveryBackoff <= 0 {
+		cfg.RecoveryBackoff = 500 * vtime.Millisecond
+	}
+	if cfg.RecoveryMaxAttempts <= 0 {
+		cfg.RecoveryMaxAttempts = 6
+	}
+	if cfg.DerateThreshold <= 0 {
+		cfg.DerateThreshold = 0.5
+	}
 	engCfg.Shared = cfg.Enabled
 	eng, err := engine.New(engCfg, streams, queries)
 	if err != nil {
 		return nil, err
 	}
 	s := &System{eng: eng, ctl: aqe.New(eng), cfg: cfg}
+	if cfg.FaultScenario != nil {
+		s.injector, err = faults.NewInjector(eng, cfg.FaultScenario, cfg.Obs)
+		if err != nil {
+			return nil, err
+		}
+		s.lastHealth = eng.HealthFingerprint()
+	}
 	for _, sd := range streams {
 		s.streamBytes = append(s.streamBytes, sd.BytesPerTuple)
 	}
@@ -268,37 +332,54 @@ type Report struct {
 
 	// Network, cumulative since construction.
 	Net netsim.Stats
+
+	// Faults (all zero without a FaultScenario).
+	FaultsInjected  int     // scenario events struck so far
+	FaultsDetected  int     // health-fingerprint changes with unhealthy nodes
+	Recoveries      int     // evacuations completed (cluster healthy or drained)
+	RecoveryPending bool    // degraded right now, evacuation owed or in flight
+	LostBytes       float64 // bytes destroyed by crashes (engine routing + network queues)
 }
 
 // Snapshot assembles the current Report. Safe to call at any point of
 // a run; engine metrics reflect the current measurement window.
 func (s *System) Snapshot() Report {
 	m := s.eng.Metrics()
+	injected := 0
+	if s.injector != nil {
+		injected = s.injector.Applied()
+	}
+	net := s.eng.Network().Stats()
 	return Report{
-		Clock:         s.eng.Clock(),
-		Enabled:       s.cfg.Enabled,
-		Triggers:      s.triggers,
-		DriftTriggers: s.driftTriggers,
-		SkippedPlans:  s.skipped,
-		SkippedByGain: s.skippedByGain,
-		SkippedByMove: s.skippedByMove,
-		Optimizations: len(s.results),
-		Solves:        s.totalSolves(),
-		NodesExplored: s.totalNodes(),
-		LastCurObj:    s.lastCurObj,
-		LastNewObj:    s.lastNewObj,
-		LastMoveCost:  s.lastMoveCost,
-		LastMoved:     s.lastMoved,
-		Applied:       s.ctl.Applied(),
-		AQEPhase:      s.ctl.Phase().String(),
-		Throughput:    m.OverallThroughput(),
-		AvgLatency:    m.AvgLatency(),
-		LatencyStddev: m.LatencyStddev(),
-		Reshuffled:    m.Reshuffled(),
-		JITCompiles:   m.JITCompiles(),
-		JITTime:       m.JITTime(),
-		SharingRatio:  m.SharingRatio(),
-		Net:           s.eng.Network().Stats(),
+		FaultsInjected:  injected,
+		FaultsDetected:  s.faultsDetected,
+		Recoveries:      s.recoveries,
+		RecoveryPending: s.recoveryPending,
+		LostBytes:       s.eng.LostBytes() + net.BytesLost,
+		Clock:           s.eng.Clock(),
+		Enabled:         s.cfg.Enabled,
+		Triggers:        s.triggers,
+		DriftTriggers:   s.driftTriggers,
+		SkippedPlans:    s.skipped,
+		SkippedByGain:   s.skippedByGain,
+		SkippedByMove:   s.skippedByMove,
+		Optimizations:   len(s.results),
+		Solves:          s.totalSolves(),
+		NodesExplored:   s.totalNodes(),
+		LastCurObj:      s.lastCurObj,
+		LastNewObj:      s.lastNewObj,
+		LastMoveCost:    s.lastMoveCost,
+		LastMoved:       s.lastMoved,
+		Applied:         s.ctl.Applied(),
+		AQEPhase:        s.ctl.Phase().String(),
+		Throughput:      m.OverallThroughput(),
+		AvgLatency:      m.AvgLatency(),
+		LatencyStddev:   m.LatencyStddev(),
+		Reshuffled:      m.Reshuffled(),
+		JITCompiles:     m.JITCompiles(),
+		JITTime:         m.JITTime(),
+		SharingRatio:    m.SharingRatio(),
+		Net:             net,
 	}
 }
 
@@ -353,14 +434,29 @@ func (s *System) RemoveQuery(qi int) error {
 }
 
 // Run advances the system by d of virtual time, firing the optimizer
-// on its trigger interval and pumping the AQE controller.
+// on its trigger interval, pumping the AQE controller, and — when a
+// fault scenario is configured — replaying faults and driving the
+// detection/recovery loop.
 func (s *System) Run(d vtime.Duration) {
 	tick := s.eng.Config().Tick
 	end := s.eng.Clock().Add(d)
 	for s.eng.Clock() < end {
 		s.eng.Run(tick)
+		if s.injector != nil {
+			s.injector.Advance(s.eng.Clock())
+		}
 		s.ctl.Poll()
+		if s.injector != nil && s.cfg.Enabled {
+			// Detection runs even while AQE is busy: a fault striking
+			// mid-reconfiguration must restart the recovery clock.
+			s.pollHealth()
+		}
 		if !s.cfg.Enabled || s.ctl.Busy() {
+			continue
+		}
+		if s.recoveryPending {
+			// Degraded mode: evacuation preempts the periodic loop.
+			s.stepRecovery()
 			continue
 		}
 		since := s.eng.Clock().Sub(s.lastTrigger)
@@ -455,6 +551,13 @@ func (s *System) trigger(reason string) {
 	}
 	o := s.cfg.Opt
 	o.Anchor = cur // incremental plans: move only groups that pay
+	if s.injector != nil {
+		// While degraded, even routine triggers must keep new placements
+		// off unhealthy nodes.
+		if allowed, ok := s.allowedPartitions(); ok {
+			o.AllowedPartitions = allowed
+		}
+	}
 	if h := s.cfg.PlanHorizon; h > 0 {
 		// Moving a key group re-ships its in-window state through the
 		// network twice; amortized over the plan's expected lifetime
@@ -606,6 +709,12 @@ func (s *System) buildRequest() (*optimizer.Request, []canonicalClass) {
 		}
 		classes[ci].members = append(classes[ci].members, qi)
 	}
+	// Nothing left to optimize (every query retired): return before the
+	// coefficient math so no degenerate mean can produce NaN that would
+	// leak into reports or exported requests.
+	if len(classes) == 0 {
+		return nil, nil
+	}
 
 	// Latency coefficients are per-tuple occupancies, not propagation
 	// delays: what a tuple costs the system (serialization CPU plus its
@@ -617,7 +726,9 @@ func (s *System) buildRequest() (*optimizer.Request, []canonicalClass) {
 	for st := 0; st < eng.NumStreams(); st++ {
 		avgBytes += s.streamBytes[st]
 	}
-	avgBytes /= float64(eng.NumStreams())
+	if n := eng.NumStreams(); n > 0 {
+		avgBytes /= float64(n)
+	}
 	wire := avgBytes / eng.Network().Bandwidth()
 	latNet := cost.SerCPU + cost.DeserCPU + wire
 	latMem := cost.RouteCPU + 0.01*wire
@@ -626,7 +737,11 @@ func (s *System) buildRequest() (*optimizer.Request, []canonicalClass) {
 	for _, lf := range localFrac {
 		meanLat += latNet*(1-lf) + latMem*lf
 	}
-	meanLat /= float64(len(localFrac))
+	// Guard the mean: an empty partition set (or zero coefficients) must
+	// degrade to zero, not divide into NaN.
+	if n := len(localFrac); n > 0 {
+		meanLat /= float64(n)
+	}
 
 	// LatProc reflects the actual post-partition pipeline: operator
 	// insert cost (JoinCPU scaled by the profile, or AggCPU) plus
@@ -651,7 +766,13 @@ func (s *System) buildRequest() (*optimizer.Request, []canonicalClass) {
 			opCPU += 2 * (cost.AggCPU + 0.1*cost.EmitCPU)
 		}
 	}
-	opCPU /= float64(eng.NumQueries())
+	if n := eng.NumQueries(); n > 0 {
+		opCPU /= float64(n)
+	}
+	latProc := 0.0
+	if meanLat > 0 {
+		latProc = opCPU / meanLat
+	}
 
 	req := &optimizer.Request{
 		NumPartitions: ecfg.NumPartitions,
@@ -660,7 +781,7 @@ func (s *System) buildRequest() (*optimizer.Request, []canonicalClass) {
 		LocalFrac:     localFrac,
 		LatNet:        latNet,
 		LatMem:        latMem,
-		LatProc:       opCPU / meanLat,
+		LatProc:       latProc,
 	}
 
 	// Train per-stream forests when the ML path is active.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"saspar/internal/engine"
@@ -97,6 +98,51 @@ func TestSasparTriggersAndOptimizes(t *testing.T) {
 	if snap.Applied+snap.SkippedPlans+boolToInt(s.Controller().Busy()) < len(s.Optimizations()) {
 		t.Fatalf("plans lost: applied=%d skipped=%d busy=%v results=%d",
 			snap.Applied, snap.SkippedPlans, s.Controller().Busy(), len(s.Optimizations()))
+	}
+}
+
+func TestZeroQueryReportPathStaysFinite(t *testing.T) {
+	// Regression: buildRequest divided its latency coefficients without
+	// guards, so a degenerate snapshot (every query retired, or a
+	// zero-sample window) could push NaN into the exported request and
+	// from there into core.Report. With nothing left to optimize the
+	// request must be nil, triggers must no-op, and every Report float
+	// must stay finite.
+	s, err := New(testEngineConfig(), []engine.StreamDef{skewedStream()}, sameKeyQueries(1), fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Engine().SetStreamRate(0, 5000)
+	s.Run(2 * vtime.Second)
+	if err := s.RemoveQuery(0); err != nil {
+		t.Fatal(err)
+	}
+	req, reps := ExportRequest(s)
+	if req != nil || len(reps) != 0 {
+		t.Fatalf("zero-query request = %+v (reps %v), want nil", req, reps)
+	}
+	s.TriggerNow() // must not panic or record a garbage round
+	snap := s.Snapshot()
+	for name, v := range map[string]float64{
+		"Throughput":   snap.Throughput,
+		"LastCurObj":   snap.LastCurObj,
+		"LastNewObj":   snap.LastNewObj,
+		"LastMoveCost": snap.LastMoveCost,
+		"SharingRatio": snap.SharingRatio,
+		"Reshuffled":   snap.Reshuffled,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Report.%s = %v after zero-query trigger", name, v)
+		}
+	}
+	// Zero-sample path: a fresh system that never ran or measured.
+	s2, err := New(testEngineConfig(), []engine.StreamDef{skewedStream()}, sameKeyQueries(1), fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2 := s2.Snapshot()
+	if math.IsNaN(snap2.Throughput) || math.IsNaN(float64(snap2.AvgLatency)) {
+		t.Fatalf("zero-sample snapshot carries NaN: %+v", snap2)
 	}
 }
 

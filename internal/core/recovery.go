@@ -1,0 +1,258 @@
+package core
+
+import (
+	"strconv"
+
+	"saspar/internal/cluster"
+	"saspar/internal/keyspace"
+	"saspar/internal/obs"
+	"saspar/internal/optimizer"
+	"saspar/internal/vtime"
+)
+
+// Fault detection and recovery. The paper treats fault tolerance as a
+// special case of live reconfiguration (Section VI): a failed node is a
+// node the optimizer must exclude, and recovery is an AQE round that
+// evacuates its key groups. The control loop here supplies the missing
+// pieces — detecting that the cluster changed underneath it, solving
+// with the placement domain restricted to healthy nodes, and retrying
+// with backoff when a recovery reconfiguration is itself interrupted.
+
+// pollHealth compares the engine's health fingerprint against the last
+// poll. On a change it either enters degraded mode (unhealthy nodes
+// present) or, when a transient fault reverted on its own, lets the
+// completion check below clear it.
+func (s *System) pollHealth() {
+	fp := s.eng.HealthFingerprint()
+	if fp == s.lastHealth {
+		return
+	}
+	s.lastHealth = fp
+	unhealthy := s.eng.UnhealthyNodes(s.cfg.DerateThreshold)
+	if len(unhealthy) == 0 {
+		// The cluster healed without our help (transient expired). Any
+		// pending recovery resolves through stepRecovery's completion
+		// check on the next idle tick.
+		return
+	}
+	s.faultsDetected++
+	if !s.recoveryPending {
+		s.recoveryPending = true
+		s.recoveryStart = s.eng.Clock()
+	}
+	// A new fault invalidates whatever evacuation was being planned:
+	// restart the attempt budget and retry immediately.
+	s.recoveryAttempts = 0
+	s.nextRecoveryTry = s.eng.Clock()
+	if s.obs != nil {
+		s.obs.faultsDetected.Inc()
+		attrs := []obs.KV{obs.S("fingerprint", strconv.FormatUint(fp, 16))}
+		for _, n := range unhealthy {
+			attrs = append(attrs, obs.I("unhealthy", int64(n)))
+		}
+		s.obs.reg.Emit(s.eng.Clock(), obs.EvFaultDetected, attrs...)
+	}
+}
+
+// stepRecovery runs once per idle tick while degraded: first the
+// completion check, then — if an evacuation is still owed and the
+// backoff expired — another attempt.
+func (s *System) stepRecovery() {
+	if s.recoveryComplete() {
+		s.finishRecovery()
+		return
+	}
+	now := s.eng.Clock()
+	if now < s.nextRecoveryTry {
+		return
+	}
+	if s.recoveryAttempts >= s.cfg.RecoveryMaxAttempts {
+		// Out of attempts: stay degraded (routine triggers still carry
+		// the placement mask) until the next health change resets us.
+		return
+	}
+	s.recoveryAttempts++
+	// Exponential virtual-time backoff: 1×, 2×, 4×, ... RecoveryBackoff.
+	shift := uint(s.recoveryAttempts - 1)
+	if shift > 6 {
+		shift = 6
+	}
+	s.nextRecoveryTry = now.Add(s.cfg.RecoveryBackoff << shift)
+	s.tryEvacuation()
+}
+
+// recoveryComplete reports whether nothing is left to evacuate: AQE is
+// idle and no active query assigns a key group to an unhealthy
+// partition.
+func (s *System) recoveryComplete() bool {
+	if s.ctl.Busy() {
+		return false
+	}
+	allowed, degraded := s.allowedPartitions()
+	if !degraded {
+		return true // cluster healed on its own
+	}
+	for qi := 0; qi < s.eng.NumQueries(); qi++ {
+		if !s.eng.QueryActive(qi) {
+			continue
+		}
+		a := s.eng.Assignment(qi)
+		for g := 0; g < a.NumGroups(); g++ {
+			if !allowed[a.Partition(keyspace.GroupID(g))] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finishRecovery closes out a detected fault: counters, trace event,
+// recovery-time histogram.
+func (s *System) finishRecovery() {
+	s.recoveryPending = false
+	s.recoveries++
+	elapsed := s.eng.Clock().Sub(s.recoveryStart)
+	lost := s.eng.LostBytes() + s.eng.Network().Stats().BytesLost
+	if s.obs != nil {
+		s.obs.recoveries.Inc()
+		s.obs.recoveryTime.Observe(elapsed.Seconds())
+		s.obs.lostBytes.Set(lost)
+		s.obs.reg.Emit(s.eng.Clock(), obs.EvFaultRecovered,
+			obs.F("recovery_ms", elapsed.Seconds()*1e3),
+			obs.I("attempts", int64(s.recoveryAttempts)),
+			obs.F("lost_bytes", lost))
+	}
+	s.recoveryAttempts = 0
+}
+
+// allowedPartitions builds the optimizer's placement mask from current
+// node health: false for every partition hosted on a down or derated
+// node. The second result is false when the cluster is healthy (no mask
+// needed) or when no partition would remain (nowhere to evacuate to —
+// masking would only make the solve fail).
+func (s *System) allowedPartitions() ([]bool, bool) {
+	unhealthy := s.eng.UnhealthyNodes(s.cfg.DerateThreshold)
+	if len(unhealthy) == 0 {
+		return nil, false
+	}
+	bad := map[cluster.NodeID]bool{}
+	for _, n := range unhealthy {
+		bad[n] = true
+	}
+	allowed := make([]bool, s.eng.Config().NumPartitions)
+	any := false
+	for p := range allowed {
+		allowed[p] = !bad[s.eng.PartitionNode(p)]
+		any = any || allowed[p]
+	}
+	if !any {
+		return nil, false
+	}
+	return allowed, true
+}
+
+// tryEvacuation plans and starts one evacuation round. Unlike the
+// routine trigger it bypasses the sample and hysteresis gates — with a
+// node down, moving is not optional — and falls back to a deterministic
+// round-robin evacuation when the optimizer cannot produce a plan (too
+// few samples, degenerate statistics, solver error).
+func (s *System) tryEvacuation() {
+	allowed, ok := s.allowedPartitions()
+	if !ok {
+		return
+	}
+	newAssign := s.planEvacuation(allowed)
+	if newAssign == nil {
+		newAssign = s.fallbackEvacuation(allowed)
+	}
+	if newAssign == nil {
+		return
+	}
+	if _, err := s.ctl.Begin(newAssign); err == nil {
+		s.col.Reset(s.eng.Clock())
+	}
+}
+
+// planEvacuation asks the optimizer for a full plan over the restricted
+// partition domain. Anchors keep untouched groups in place (anchors on
+// excluded partitions are dropped inside the optimizer, so evacuation
+// itself pays no movement penalty); MoveCost is deliberately left unset
+// — during recovery, movement is mandatory, not a bill to amortize.
+func (s *System) planEvacuation(allowed []bool) map[int]*keyspace.Assignment {
+	req, classes := s.buildRequest()
+	if req == nil || len(req.Queries) == 0 {
+		return nil
+	}
+	cur := make([]*keyspace.Assignment, len(classes))
+	for i, cc := range classes {
+		cur[i] = s.eng.Assignment(cc.members[0])
+	}
+	o := s.cfg.Opt
+	o.Anchor = cur
+	o.AllowedPartitions = allowed
+	res, err := optimizer.Optimize(req, o)
+	if err != nil {
+		return nil
+	}
+	s.results = append(s.results, res)
+	if s.obs != nil {
+		s.obs.solves.Add(float64(res.Solves))
+		s.obs.nodes.Add(float64(res.Nodes))
+	}
+	newAssign := map[int]*keyspace.Assignment{}
+	for i, cc := range classes {
+		for _, qi := range cc.members {
+			newAssign[qi] = res.Assign[i]
+		}
+	}
+	return newAssign
+}
+
+// fallbackEvacuation is the plan of last resort: clone each distinct
+// running assignment and move every group on a disallowed partition to
+// an allowed one, round-robin. Queries sharing an assignment object
+// keep sharing the clone, so route classes stay collapsed. Returns nil
+// when nothing needs to move.
+func (s *System) fallbackEvacuation(allowed []bool) map[int]*keyspace.Assignment {
+	var live []keyspace.PartitionID
+	for p, ok := range allowed {
+		if ok {
+			live = append(live, keyspace.PartitionID(p))
+		}
+	}
+	byOld := map[*keyspace.Assignment]*keyspace.Assignment{}
+	out := map[int]*keyspace.Assignment{}
+	changed := false
+	i := 0
+	for qi := 0; qi < s.eng.NumQueries(); qi++ {
+		if !s.eng.QueryActive(qi) {
+			continue
+		}
+		old := s.eng.Assignment(qi)
+		na, ok := byOld[old]
+		if !ok {
+			na = old.Clone()
+			for g := 0; g < na.NumGroups(); g++ {
+				gid := keyspace.GroupID(g)
+				if !allowed[na.Partition(gid)] {
+					na.Set(gid, live[i%len(live)])
+					i++
+					changed = true
+				}
+			}
+			byOld[old] = na
+		}
+		out[qi] = na
+	}
+	if !changed {
+		return nil
+	}
+	return out
+}
+
+// RecoveryState exposes the recovery loop's progress for harnesses:
+// whether an evacuation is pending, how many attempts it took so far,
+// and when the current fault was detected.
+func (s *System) RecoveryState() (pending bool, attempts int, detectedAt vtime.Time) {
+	return s.recoveryPending, s.recoveryAttempts, s.recoveryStart
+}

@@ -118,8 +118,10 @@ func TestRemoveQueryStopsItsTraffic(t *testing.T) {
 func TestRemoveQueryDuringMeasurementDropsItsRows(t *testing.T) {
 	// Regression: RemoveQuery used to leave the departed query's
 	// accumulated rows in Metrics, so a query retired mid-window kept
-	// contributing its partial counts to averaged throughput. The rows
-	// must be discarded at removal and stay excluded afterwards.
+	// contributing its partial counts to averaged throughput — and its
+	// samples stayed absorbed in the global weighted latency
+	// distribution. The rows and the latency share must be discarded at
+	// removal and stay excluded afterwards.
 	cfg := lightConfig()
 	cfg.ExactWindows = false
 	qs := []QuerySpec{aggQuery("a", 0), aggQuery("b", 1)}
@@ -132,8 +134,23 @@ func TestRemoveQueryDuringMeasurementDropsItsRows(t *testing.T) {
 	m := e.Metrics()
 	m.StartMeasurement(e.Clock())
 	e.Run(4 * vtime.Second) // both queries accumulate...
+	latWBoth := m.lat.w
+	if latWBoth <= 0 {
+		t.Fatal("no latency weight accumulated before removal")
+	}
 	if err := e.RemoveQuery(1); err != nil {
 		t.Fatal(err)
+	}
+	// The two queries key the same stream identically, so each carried
+	// about half the latency weight; removal must subtract query 1's
+	// share, not leave the distribution untouched.
+	if got := m.lat.w; got > 0.55*latWBoth || got < 0.45*latWBoth {
+		t.Fatalf("latency weight after removal = %v, want ~half of %v", got, latWBoth)
+	}
+	for _, q := range m.lat.sampleQ {
+		if q == 1 {
+			t.Fatal("removed query's samples left in the latency reservoir")
+		}
 	}
 	e.Run(4 * vtime.Second) // ...then only the survivor may
 	m.StopMeasurement(e.Clock())
@@ -145,6 +162,15 @@ func TestRemoveQueryDuringMeasurementDropsItsRows(t *testing.T) {
 	}
 	if got := m.QueryThroughput(0); got < 9000 {
 		t.Fatalf("surviving query throughput %v collapsed", got)
+	}
+	// The latency books must stay consistent after removal: the global
+	// moments equal the surviving query's share, and summary statistics
+	// remain finite and positive.
+	if diff := m.lat.w - m.qlat[0].w; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("global latency weight %v != survivor's share %v", m.lat.w, m.qlat[0].w)
+	}
+	if m.AvgLatency() <= 0 {
+		t.Fatalf("post-removal average latency %v not positive", m.AvgLatency())
 	}
 }
 

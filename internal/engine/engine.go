@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"saspar/internal/cluster"
@@ -58,6 +59,14 @@ type Engine struct {
 	alignedSlots     map[int64]int
 	inFlightEpoch    int64                        // reconfig epoch not yet complete (0 = none)
 	pendingReconfig  map[int]*keyspace.Assignment // micro-batch deferral
+
+	// nodeDown is nil until the first fault is injected (SetNodeDown), so
+	// fault-free runs pay a single never-taken nil check on the hot path.
+	// lostBytes counts data destroyed by node death: queued entries at
+	// crash time plus bytes routed at a dead node's slots before the
+	// optimizer reassigns their key groups.
+	nodeDown  []bool
+	lostBytes float64
 
 	// entryFree recycles consumed entry objects (and their payload
 	// slice capacity) back to the producers. The engine is
@@ -337,11 +346,18 @@ func (e *Engine) step() {
 	if len(e.slots) > 0 {
 		off := int(e.clock/vtime.Time(dt)) % len(e.slots)
 		for i := range e.slots {
-			e.slots[(i+off)%len(e.slots)].process(e)
+			s := e.slots[(i+off)%len(e.slots)]
+			if e.nodeDown != nil && e.nodeDown[s.node] {
+				continue // crashed node: its slots consume nothing
+			}
+			s.process(e)
 		}
 	}
 
 	for _, rt := range e.tasks {
+		if e.nodeDown != nil && e.nodeDown[rt.node] {
+			continue // crashed node: its sources produce nothing
+		}
 		rt.routeTick(e, dt)
 		if boundary {
 			rt.flushHeld(e)
@@ -357,8 +373,19 @@ func (e *Engine) step() {
 }
 
 // enqueue places an entry on the (task, slot) edge and charges the
-// target node's ingress buffer.
+// target node's ingress buffer. Entries bound for a crashed node's slot
+// are destroyed instead: their bytes count as lost, and a state entry
+// releases its outstanding-state hold so the reconfiguration that tried
+// to move it can still terminate.
 func (e *Engine) enqueue(rt *routerTask, en *entry) {
+	if e.nodeDown != nil && e.nodeDown[e.slots[en.slot].node] {
+		e.lostBytes += en.bytes
+		if en.kind == entryState {
+			e.outstandingState--
+		}
+		e.recycleEntry(en)
+		return
+	}
 	e.inboxBytes[e.slots[en.slot].node] += en.bytes
 	e.slots[en.slot].edges[rt.idx].push(en)
 }
@@ -452,6 +479,11 @@ func (e *Engine) InjectFinalize() {
 	e.broadcastMarker(&Marker{Epoch: e.epoch, Kind: MarkerFinalize})
 }
 
+// broadcastMarker injects one marker per (task, slot) edge. Markers are
+// coordinator-injected control messages, so edges of sources on crashed
+// nodes still carry them — otherwise live slots could never align after
+// a source node died. Markers aimed at dead slots are destroyed at
+// enqueue; ReconfigComplete only counts live slots.
 func (e *Engine) broadcastMarker(m *Marker) {
 	for _, rt := range e.tasks {
 		for s := 0; s < e.cfg.NumPartitions; s++ {
@@ -541,11 +573,124 @@ func (e *Engine) QueryActive(qi int) bool {
 	return qi >= 0 && qi < len(e.queries) && !e.queries[qi].inactive
 }
 
-// ReconfigComplete reports whether every slot aligned on the given
-// epoch and all moved state has been merged at its new owner.
+// ReconfigComplete reports whether every live slot aligned on the given
+// epoch and all moved state has been merged at its new owner. Slots on
+// crashed nodes can never align (their markers are destroyed at
+// enqueue), so completion is measured against the live slot count; a
+// slot that aligned before its node died still counts, hence >=.
 func (e *Engine) ReconfigComplete(epoch int64) bool {
-	return e.alignedSlots[epoch] == len(e.slots) && e.outstandingState == 0
+	return e.alignedSlots[epoch] >= e.liveSlotCount() && e.outstandingState == 0
 }
 
 // Epoch returns the current reconfiguration epoch.
 func (e *Engine) Epoch() int64 { return e.epoch }
+
+// nodeIsDown reports whether node n has crashed. Kept tiny so the hot
+// path inlines it to a nil check in fault-free runs.
+func (e *Engine) nodeIsDown(n cluster.NodeID) bool {
+	return e.nodeDown != nil && e.nodeDown[n]
+}
+
+// liveSlotCount counts partition slots on nodes that are still up.
+func (e *Engine) liveSlotCount() int {
+	if e.nodeDown == nil {
+		return len(e.slots)
+	}
+	n := 0
+	for _, s := range e.slots {
+		if !e.nodeDown[s.node] {
+			n++
+		}
+	}
+	return n
+}
+
+// SetNodeDown crashes node n (down=true) or restores it. A crash is
+// fail-stop: every entry delivered to the node but not yet processed is
+// destroyed (bytes lost, in-flight moved state released), its ingress
+// buffer empties, its slots stop consuming and its sources stop
+// producing, and the network refuses traffic touching it. Data routed
+// at its slots afterwards is destroyed at enqueue until a
+// reconfiguration moves their key groups to live nodes.
+func (e *Engine) SetNodeDown(n cluster.NodeID, down bool) {
+	if e.nodeDown == nil {
+		if !down {
+			return
+		}
+		e.nodeDown = make([]bool, e.cfg.Nodes)
+	}
+	if e.nodeDown[n] == down {
+		return
+	}
+	e.nodeDown[n] = down
+	e.net.SetNodeDown(n, down)
+	if !down {
+		return
+	}
+	for _, s := range e.slots {
+		if s.node != n {
+			continue
+		}
+		for ei := range s.edges {
+			q := &s.edges[ei]
+			for !q.empty() {
+				en := q.pop()
+				e.lostBytes += en.bytes
+				if en.kind == entryState {
+					e.outstandingState--
+				}
+				e.recycleEntry(en)
+			}
+		}
+	}
+	e.inboxBytes[n] = 0
+}
+
+// NodeDown reports whether node n is crashed.
+func (e *Engine) NodeDown(n cluster.NodeID) bool { return e.nodeIsDown(n) }
+
+// SetNodeCPUFactor derates node n's CPU to f of nominal (straggler
+// fault); 1 restores full speed.
+func (e *Engine) SetNodeCPUFactor(n cluster.NodeID, f float64) { e.cluster.SetCPUFactor(n, f) }
+
+// SetNodeNICFactor derates node n's NIC to f of nominal (brownout
+// fault); 1 restores full bandwidth.
+func (e *Engine) SetNodeNICFactor(n cluster.NodeID, f float64) { e.net.SetNodeFactor(n, f) }
+
+// PartitionNode reports which node hosts partition slot p.
+func (e *Engine) PartitionNode(p int) cluster.NodeID { return e.placement.PartitionNode(p) }
+
+// LostBytes reports the cumulative bytes destroyed by node crashes at
+// the engine layer (queued entries at crash time plus post-crash sends
+// routed at dead slots). Wire-level losses appear separately in
+// Network().Stats().BytesLost.
+func (e *Engine) LostBytes() float64 { return e.lostBytes }
+
+// HealthFingerprint folds every node's liveness, CPU derating, and NIC
+// derating into one value: the SASPAR control loop detects faults (and
+// recoveries) by watching it change between polls.
+func (e *Engine) HealthFingerprint() uint64 {
+	h := uint64(1469598103934665603)
+	for n := 0; n < e.cfg.Nodes; n++ {
+		id := cluster.NodeID(n)
+		bits := math.Float64bits(e.cluster.CPUFactor(id)) ^ keyspace.Mix64(math.Float64bits(e.net.NodeFactor(id)))
+		if e.nodeIsDown(id) {
+			bits ^= 0xdeadc0de
+		}
+		h = (h ^ bits ^ uint64(n)) * 1099511628211
+	}
+	return h
+}
+
+// UnhealthyNodes returns the nodes currently crashed or derated below
+// the given factor threshold — the set the optimizer must route around.
+func (e *Engine) UnhealthyNodes(threshold float64) []cluster.NodeID {
+	var out []cluster.NodeID
+	for n := 0; n < e.cfg.Nodes; n++ {
+		id := cluster.NodeID(n)
+		if e.nodeIsDown(id) || e.cluster.CPUFactor(id) < threshold || e.net.NodeFactor(id) < threshold {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"testing"
+
+	"saspar/internal/keyspace"
+	"saspar/internal/vtime"
+)
+
+// Node-death semantics: a crashed node's slots stop consuming, bytes
+// routed at them are lost, sources throttle down, and a
+// reconfiguration that evacuates the dead partitions both completes
+// and restores throughput.
+
+func faultConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.NumPartitions = 8
+	cfg.NumGroups = 32
+	cfg.SourceTasks = 2 // sources land on nodes 0 and 1; node 3 holds only slots
+	cfg.ExactWindows = false
+	cfg.Tick = 100 * vtime.Millisecond
+	return cfg
+}
+
+// evacuate returns an assignment with every group on a dead partition
+// moved to a live one, round-robin.
+func evacuate(e *Engine, dead func(p int) bool) *keyspace.Assignment {
+	na := e.Assignment(0).Clone()
+	live := []keyspace.PartitionID{}
+	for p := 0; p < e.Config().NumPartitions; p++ {
+		if !dead(p) {
+			live = append(live, keyspace.PartitionID(p))
+		}
+	}
+	i := 0
+	for g := 0; g < na.NumGroups(); g++ {
+		gid := keyspace.GroupID(g)
+		if dead(int(na.Partition(gid))) {
+			na.Set(gid, live[i%len(live)])
+			i++
+		}
+	}
+	return na
+}
+
+func TestNodeCrashLosesRoutedBytesUntilEvacuated(t *testing.T) {
+	e, err := New(faultConfig(), []StreamDef{testStream("s", 64)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 20000)
+	e.Run(3 * vtime.Second)
+	if e.LostBytes() != 0 {
+		t.Fatalf("lost bytes %v before any fault", e.LostBytes())
+	}
+	preRate := e.SourceAcceptedRate()
+
+	e.SetNodeDown(3, true)
+	if !e.NodeDown(3) || e.NodeDown(0) {
+		t.Fatal("NodeDown flags wrong")
+	}
+	e.Run(3 * vtime.Second)
+	lostDegraded := e.LostBytes()
+	if lostDegraded == 0 {
+		t.Fatal("no bytes lost while groups remain on dead partitions")
+	}
+
+	// Evacuate partitions hosted on node 3 (3 and 7 under round-robin)
+	// and drive the reconfiguration to completion: alignment must not
+	// wait for the dead slots.
+	dead := func(p int) bool { return e.PartitionNode(p) == 3 }
+	if err := e.InjectReconfig(map[int]*keyspace.Assignment{0: evacuate(e, dead)}); err != nil {
+		t.Fatal(err)
+	}
+	epoch := e.Epoch()
+	for i := 0; i < 100 && !e.ReconfigComplete(epoch); i++ {
+		e.Run(e.Config().Tick)
+	}
+	if !e.ReconfigComplete(epoch) {
+		t.Fatal("evacuation reconfiguration never completed with a dead node")
+	}
+
+	// Drain in-flight pre-evacuation traffic, then losses must stop and
+	// the source rate must recover to the pre-fault level.
+	e.Run(2 * vtime.Second)
+	lostSettled := e.LostBytes()
+	e.Metrics().StartMeasurement(e.Clock())
+	e.Run(3 * vtime.Second)
+	e.Metrics().StopMeasurement(e.Clock())
+	if grew := e.LostBytes() - lostSettled; grew != 0 {
+		t.Fatalf("still losing bytes after evacuation: +%v", grew)
+	}
+	if post := e.Metrics().OverallThroughput(); post < 0.9*preRate {
+		t.Fatalf("post-evacuation throughput %v below 90%% of pre-fault rate %v", post, preRate)
+	}
+}
+
+func TestNodeCrashDropsQueuedEntriesAndReleasesState(t *testing.T) {
+	e, err := New(faultConfig(), []StreamDef{testStream("s", 64)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 20000)
+	e.Run(2 * vtime.Second)
+
+	// Start a reconfiguration that moves state INTO node 3's partitions,
+	// then crash it mid-flight: outstanding state destined there must be
+	// released so the epoch still terminates.
+	na := e.Assignment(0).Clone()
+	for g := 0; g < na.NumGroups(); g++ {
+		na.Set(keyspace.GroupID(g), keyspace.PartitionID(3+4*(g%2))) // partitions 3 and 7
+	}
+	if err := e.InjectReconfig(map[int]*keyspace.Assignment{0: na}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(e.cfg.Tick) // let markers land and extraction begin
+	e.SetNodeDown(3, true)
+	if e.inboxBytes[3] != 0 {
+		t.Fatalf("dead node still charged %v inbox bytes", e.inboxBytes[3])
+	}
+	epoch := e.Epoch()
+	for i := 0; i < 100 && !e.ReconfigComplete(epoch); i++ {
+		e.Run(e.cfg.Tick)
+	}
+	if !e.ReconfigComplete(epoch) {
+		t.Fatalf("epoch %d wedged: outstandingState=%d aligned=%d live=%d",
+			epoch, e.outstandingState, e.alignedSlots[epoch], e.liveSlotCount())
+	}
+	if e.outstandingState != 0 {
+		t.Fatalf("outstanding state %d after crash mid-reconfiguration", e.outstandingState)
+	}
+	if e.LostBytes() == 0 {
+		t.Fatal("crash mid-reconfiguration lost nothing")
+	}
+}
+
+func TestCrashedSourceNodeStillAligns(t *testing.T) {
+	// Crash a node hosting a source task: the remaining slots must still
+	// align on a later reconfiguration (markers are coordinator-injected
+	// per edge, so a dead source's edges still carry them).
+	e, err := New(faultConfig(), []StreamDef{testStream("s", 64)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 20000)
+	e.Run(2 * vtime.Second)
+	e.SetNodeDown(1, true) // node 1 hosts source task 1 and partitions 1, 5
+	e.Run(vtime.Second)
+	dead := func(p int) bool { return e.PartitionNode(p) == 1 }
+	if err := e.InjectReconfig(map[int]*keyspace.Assignment{0: evacuate(e, dead)}); err != nil {
+		t.Fatal(err)
+	}
+	epoch := e.Epoch()
+	for i := 0; i < 100 && !e.ReconfigComplete(epoch); i++ {
+		e.Run(e.cfg.Tick)
+	}
+	if !e.ReconfigComplete(epoch) {
+		t.Fatal("alignment wedged after a source node crash")
+	}
+}
+
+func TestTransientDeratingsApplyAndRestore(t *testing.T) {
+	e, err := New(faultConfig(), []StreamDef{testStream("s", 64)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetNodeCPUFactor(2, 0.25)
+	e.SetNodeNICFactor(2, 0.5)
+	fpDegraded := e.HealthFingerprint()
+	if got := e.cluster.CPUFactor(2); got != 0.25 {
+		t.Fatalf("CPU factor %v, want 0.25", got)
+	}
+	if got := e.net.NodeFactor(2); got != 0.5 {
+		t.Fatalf("NIC factor %v, want 0.5", got)
+	}
+	if nodes := e.UnhealthyNodes(0.9); len(nodes) != 1 || nodes[0] != 2 {
+		t.Fatalf("unhealthy nodes %v, want [2]", nodes)
+	}
+	e.SetNodeCPUFactor(2, 1)
+	e.SetNodeNICFactor(2, 1)
+	if fp := e.HealthFingerprint(); fp == fpDegraded {
+		t.Fatal("fingerprint did not change on restore")
+	}
+	if nodes := e.UnhealthyNodes(0.9); len(nodes) != 0 {
+		t.Fatalf("unhealthy nodes %v after restore", nodes)
+	}
+}
+
+func TestHealthFingerprintDetectsEachFaultKind(t *testing.T) {
+	e, err := New(faultConfig(), []StreamDef{testStream("s", 64)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := e.HealthFingerprint()
+	if e.HealthFingerprint() != base {
+		t.Fatal("fingerprint not stable on a healthy cluster")
+	}
+	e.SetNodeCPUFactor(1, 0.5)
+	fpCPU := e.HealthFingerprint()
+	if fpCPU == base {
+		t.Fatal("CPU derating invisible to the fingerprint")
+	}
+	e.SetNodeCPUFactor(1, 1)
+	e.SetNodeNICFactor(1, 0.5)
+	if fp := e.HealthFingerprint(); fp == base || fp == fpCPU {
+		t.Fatal("NIC derating invisible or aliased")
+	}
+	e.SetNodeNICFactor(1, 1)
+	e.SetNodeDown(3, true)
+	if fp := e.HealthFingerprint(); fp == base {
+		t.Fatal("crash invisible to the fingerprint")
+	}
+}
+
+func TestFaultFreeRunsUnchangedByFaultPlumbing(t *testing.T) {
+	// The fault hooks are strictly opt-in: an exact-windows run with the
+	// plumbing present must produce results identical to the seed
+	// harness's undisturbed run.
+	a := runExact(t, lightConfig(), 6*vtime.Second, nil)
+	b := runExact(t, lightConfig(), 6*vtime.Second, nil)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("undisturbed runs diverge: %d vs %d rows", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

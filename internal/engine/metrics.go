@@ -28,9 +28,14 @@ type Metrics struct {
 	// queries demanded vs physical copies shipped.
 	shDemand, shPhysical float64
 
+	// qlat keeps each query's share of the global latency moments so a
+	// retired query's absorbed samples can be subtracted back out.
+	qlat []latMoments
+
 	// removed tombstones per-query rows of ad-hoc queries retired by
 	// RemoveQuery: their rows are zeroed and excluded from further
-	// accumulation so a departed query cannot skew averaged throughput.
+	// accumulation so a departed query cannot skew averaged throughput
+	// or the weighted latency distribution.
 	removed []bool
 
 	measuring   bool
@@ -43,6 +48,7 @@ func newMetrics(numQueries int) *Metrics {
 	return &Metrics{
 		processed: make([]float64, numQueries),
 		emitted:   make([]float64, numQueries),
+		qlat:      make([]latMoments, numQueries),
 		removed:   make([]bool, numQueries),
 	}
 }
@@ -51,16 +57,20 @@ func newMetrics(numQueries int) *Metrics {
 func (m *Metrics) addQuery() {
 	m.processed = append(m.processed, 0)
 	m.emitted = append(m.emitted, 0)
+	m.qlat = append(m.qlat, latMoments{})
 	m.removed = append(m.removed, false)
 }
 
 // removeQuery tombstones a retired query's rows. Whatever the query
-// accumulated inside the current measurement window is discarded, and
-// the rows stay excluded for the rest of the run (query indexes are
-// stable, so rows are never compacted away).
+// accumulated inside the current measurement window is discarded —
+// including its share of the weighted latency distribution, which is
+// subtracted back out — and the rows stay excluded for the rest of the
+// run (query indexes are stable, so rows are never compacted away).
 func (m *Metrics) removeQuery(q int) {
 	m.processed[q] = 0
 	m.emitted[q] = 0
+	m.lat.subtract(m.qlat[q], q)
+	m.qlat[q] = latMoments{}
 	m.removed[q] = true
 }
 
@@ -72,6 +82,9 @@ func (m *Metrics) StartMeasurement(t vtime.Time) {
 		m.emitted[i] = 0
 	}
 	m.lat = latDist{}
+	for i := range m.qlat {
+		m.qlat[i] = latMoments{}
+	}
 	m.reshuffled = 0
 	m.jitCompiles = 0
 	m.jitTime = 0
@@ -99,9 +112,11 @@ func (m *Metrics) recordEmitted(query int, weight float64) {
 	}
 }
 
-func (m *Metrics) recordLatency(d vtime.Duration, weight float64) {
-	if m.measuring {
-		m.lat.add(d.Seconds(), weight)
+func (m *Metrics) recordLatency(query int, d vtime.Duration, weight float64) {
+	if m.measuring && !m.removed[query] {
+		x := d.Seconds()
+		m.lat.add(x, weight, query)
+		m.qlat[query].add(x, weight)
 	}
 }
 
@@ -213,53 +228,96 @@ func (m *Metrics) JITCompiles() int { return m.jitCompiles }
 // JITTime reports total virtual time spent in operator compilation.
 func (m *Metrics) JITTime() vtime.Duration { return m.jitTime }
 
-// latDist is a weighted streaming moment accumulator plus a coarse
-// reservoir for quantiles. Weights are modelled-tuple multiplicities.
-// The reservoir is a fixed-size ring allocated once at first use, so
-// the tick loop never grows a slice while recording latencies.
+// latMoments holds the weighted moment sums (Σw, Σwx, Σwx²) of a
+// latency population. Plain sums rather than a Welford recurrence: sums
+// subtract exactly, which is what removing a retired query's share from
+// the global distribution requires.
+type latMoments struct {
+	w, s1, s2 float64
+}
+
+func (a *latMoments) add(x, w float64) {
+	a.w += w
+	a.s1 += x * w
+	a.s2 += x * x * w
+}
+
+// latDist is a weighted moment accumulator plus a coarse reservoir for
+// quantiles. Weights are modelled-tuple multiplicities. The reservoir
+// is a fixed-size ring allocated once at first use, so the tick loop
+// never grows a slice while recording latencies; sampleQ attributes
+// each reservoir slot to the query whose tuple produced it, so a
+// retired query's samples can be compacted away.
 type latDist struct {
-	w, mean1, m2 float64
-	samples      []float64 // fixed-size ring reservoir for quantiles
-	nSeen        int
+	latMoments
+	samples []float64 // fixed-size ring reservoir for quantiles
+	sampleQ []int32   // reservoir slot -> query index
+	nSeen   int
 }
 
 const latReservoir = 4096
 
-func (d *latDist) add(x, w float64) {
+func (d *latDist) add(x, w float64, query int) {
 	if w <= 0 {
 		return
 	}
-	// Weighted Welford update.
-	d.w += w
-	delta := x - d.mean1
-	d.mean1 += delta * w / d.w
-	d.m2 += w * delta * (x - d.mean1)
+	d.latMoments.add(x, w)
 
 	if d.samples == nil {
 		d.samples = make([]float64, 0, latReservoir)
+		d.sampleQ = make([]int32, 0, latReservoir)
 	}
 	d.nSeen++
 	if len(d.samples) < latReservoir {
 		d.samples = append(d.samples, x)
+		d.sampleQ = append(d.sampleQ, int32(query))
 	} else {
 		// Deterministic ring: replace a rotating slot; adequate for
 		// coarse quantiles over a stationary measurement window.
-		d.samples[d.nSeen%latReservoir] = x
+		i := d.nSeen % latReservoir
+		d.samples[i] = x
+		d.sampleQ[i] = int32(query)
 	}
+}
+
+// subtract removes one query's share — its moment sums and its
+// reservoir samples — from the distribution. Tiny negative residues
+// from float cancellation are clamped to an empty distribution.
+func (d *latDist) subtract(q latMoments, query int) {
+	d.w -= q.w
+	d.s1 -= q.s1
+	d.s2 -= q.s2
+	if d.w < 1e-12 {
+		d.latMoments = latMoments{}
+	}
+	keep, keepQ := d.samples[:0], d.sampleQ[:0]
+	for i, x := range d.samples {
+		if int(d.sampleQ[i]) != query {
+			keep = append(keep, x)
+			keepQ = append(keepQ, d.sampleQ[i])
+		}
+	}
+	d.samples, d.sampleQ = keep, keepQ
+	d.nSeen = len(keep)
 }
 
 func (d *latDist) mean() float64 {
 	if d.w == 0 {
 		return 0
 	}
-	return d.mean1
+	return d.s1 / d.w
 }
 
 func (d *latDist) stddev() float64 {
 	if d.w == 0 {
 		return 0
 	}
-	return math.Sqrt(d.m2 / d.w)
+	m := d.s1 / d.w
+	v := d.s2/d.w - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
 }
 
 func (d *latDist) quantile(q float64) float64 {

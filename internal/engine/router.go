@@ -432,6 +432,18 @@ func (rt *routerTask) ship(e *Engine, ps pendingSend) {
 	sendBytes := ps.bytesPer * float64(len(en.tuples))
 	dstNode := e.placement.PartitionNode(en.slot)
 
+	if e.nodeIsDown(dstNode) {
+		// The slot's node crashed: everything routed at it is lost until
+		// a reconfiguration moves its key groups. The bytes still count
+		// as offered-but-unaccepted, so the source throttle backs off
+		// while the system runs degraded — the sustained throughput dip
+		// the recovery experiment measures.
+		rt.tickOffered += sendBytes
+		e.lostBytes += sendBytes
+		e.recycleEntry(en)
+		return
+	}
+
 	f := 1.0
 	if dstNode != rt.node {
 		// Only remote traffic feeds the throttle: shared-memory
@@ -489,7 +501,9 @@ func (rt *routerTask) shipDraining(e *Engine) {
 		ps := rt.draining[i]
 		bytes := ps.bytesPer * float64(len(ps.en.tuples))
 		dst := e.placement.PartitionNode(ps.en.slot)
-		if dst != rt.node {
+		// A dead destination must not wedge the drain behind its zero
+		// headroom: ship() destroys the send and the drain moves on.
+		if dst != rt.node && !e.nodeIsDown(dst) {
 			avail := e.net.Available(rt.node, dst)
 			if room := e.sendRoom(dst); room < avail {
 				avail = room

@@ -338,13 +338,13 @@ func (s *slot) insertClass(e *Engine, rc *routeClass, t *Tuple, g keyspace.Group
 		wTot := w * float64(len(rc.members))
 		e.insert(s, m.q, m.side, t, g, wTot)
 		e.metrics.recordProcessed(m.q.idx, wTot)
-		e.metrics.recordLatency(lat, wTot)
+		e.metrics.recordLatency(m.q.idx, lat, wTot)
 		return
 	}
 	for _, m := range rc.members {
 		e.insert(s, m.q, m.side, t, g, w)
 		e.metrics.recordProcessed(m.q.idx, w)
-		e.metrics.recordLatency(lat, w)
+		e.metrics.recordLatency(m.q.idx, lat, w)
 	}
 }
 

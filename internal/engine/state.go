@@ -265,8 +265,19 @@ func (e *Engine) extractAndReturn(s *slot, qi int, g keyspace.GroupID) {
 	}
 
 	// Route the state back through a source operator. Bytes flow over
-	// two legs: slot → source node, then source → new owner.
+	// two legs: slot → source node, then source → new owner. The RNG is
+	// drawn unconditionally (determinism: the draw sequence must not
+	// depend on fault state); a dead courier is then replaced by the
+	// first live task so moved state is not pointlessly destroyed.
 	src := e.tasks[e.rng.Intn(len(e.tasks))]
+	if e.nodeIsDown(src.node) {
+		for _, rt := range e.tasks {
+			if !e.nodeIsDown(rt.node) {
+				src = rt
+				break
+			}
+		}
+	}
 	bytes := en.stWeight * e.streams[q.spec.Inputs[0].Stream].BytesPerTuple
 	_, d1 := e.net.Send(s.node, src.node, bytes)
 	owner := int(q.assign.Partition(g))
@@ -344,6 +355,12 @@ func (e *Engine) sendBack(s *slot, qi int, g keyspace.GroupID, w float64, t *Tup
 	src := e.tasks[e.rng.Intn(len(e.tasks))]
 	e.net.Send(s.node, src.node, bytes)
 	owner := int(q.assign.Partition(g))
+	if e.nodeIsDown(e.slots[owner].node) {
+		// The true owner's node crashed: the stray is unrecoverable
+		// until a reconfiguration reassigns the group.
+		e.lostBytes += bytes
+		return
+	}
 	e.net.Send(src.node, e.placement.PartitionNode(owner), bytes)
 	// Deliver to the true owner; delays for strays are folded into the
 	// next tick's processing.

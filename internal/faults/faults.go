@@ -1,0 +1,321 @@
+// Package faults is the deterministic fault-scenario scheduler of the
+// recovery experiments. A Scenario is a fixed script of fault events in
+// virtual time — node crashes, NIC brownouts, CPU stragglers — either
+// written by hand or generated from (seed, config). An Injector replays
+// the script against an engine as its clock advances: faults apply and
+// (for transient kinds) revert at exact virtual timestamps, so a fixed
+// seed yields an identical fault trace on every run.
+//
+// The paper treats fault tolerance as a special case of live
+// reconfiguration (Section VI cites Madsen et al.): a failed node is
+// simply a node the optimizer must exclude, and recovery is an AQE
+// round that evacuates its key groups. This package supplies the
+// failure half of that story; detection and recovery live in
+// internal/core.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"saspar/internal/cluster"
+	"saspar/internal/engine"
+	"saspar/internal/obs"
+	"saspar/internal/vtime"
+)
+
+// Kind classifies a fault event.
+type Kind uint8
+
+const (
+	// KindCrash is a fail-stop node loss: slots stop consuming, sources
+	// stop producing, queued and newly routed bytes are lost. Crashes
+	// are permanent — recovery means evacuation, not restart.
+	KindCrash Kind = iota
+	// KindBrownout derates a node's NIC to Factor of nominal bandwidth
+	// for Duration, then restores it.
+	KindBrownout
+	// KindStraggler derates a node's CPU to Factor of nominal compute
+	// for Duration, then restores it.
+	KindStraggler
+)
+
+// String names the kind for traces and flags.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindBrownout:
+		return "brownout"
+	case KindStraggler:
+		return "straggler"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scripted fault.
+type Event struct {
+	Kind Kind
+	Node cluster.NodeID
+	// At is the virtual time the fault strikes.
+	At vtime.Time
+	// Duration bounds transient faults (brownout, straggler); after
+	// At+Duration the node is restored. Ignored for crashes.
+	Duration vtime.Duration
+	// Factor is the derating applied by transient faults (fraction of
+	// nominal capacity left). Ignored for crashes.
+	Factor float64
+}
+
+// Scenario is an ordered fault script.
+type Scenario struct {
+	Events []Event
+}
+
+// Crash builds the simplest scenario: node n fails at time at.
+func Crash(n cluster.NodeID, at vtime.Time) *Scenario {
+	return &Scenario{Events: []Event{{Kind: KindCrash, Node: n, At: at}}}
+}
+
+// Validate checks the script against a cluster of the given size.
+func (s *Scenario) Validate(nodes int) error {
+	crashed := map[cluster.NodeID]bool{}
+	for i, ev := range s.Events {
+		if int(ev.Node) < 0 || int(ev.Node) >= nodes {
+			return fmt.Errorf("faults: event %d targets node %d of %d", i, ev.Node, nodes)
+		}
+		switch ev.Kind {
+		case KindCrash:
+			if crashed[ev.Node] {
+				return fmt.Errorf("faults: event %d crashes node %d twice", i, ev.Node)
+			}
+			crashed[ev.Node] = true
+		case KindBrownout, KindStraggler:
+			if ev.Factor < 0 || ev.Factor >= 1 {
+				return fmt.Errorf("faults: event %d factor %v outside [0,1)", i, ev.Factor)
+			}
+			if ev.Duration <= 0 {
+				return fmt.Errorf("faults: event %d has no duration", i)
+			}
+		default:
+			return fmt.Errorf("faults: event %d has unknown kind %d", i, ev.Kind)
+		}
+	}
+	if len(crashed) >= nodes {
+		return fmt.Errorf("faults: scenario crashes all %d nodes", nodes)
+	}
+	return nil
+}
+
+// Config parameterizes Generate.
+type Config struct {
+	Nodes int   // cluster size the scenario targets
+	Seed  int64 // scenario RNG seed; same seed, same script
+
+	Crashes    int // fail-stop node losses (distinct nodes, never node 0)
+	Brownouts  int // transient NIC deratings
+	Stragglers int // transient CPU deratings
+
+	// Faults strike uniformly in [Start, Start+Span).
+	Start vtime.Duration
+	Span  vtime.Duration
+
+	// Transient faults last uniformly in [MinDuration, MaxDuration] and
+	// derate to a factor uniform in [MinFactor, MaxFactor].
+	MinDuration, MaxDuration vtime.Duration
+	MinFactor, MaxFactor     float64
+}
+
+// Generate builds a random-but-reproducible scenario: the script is a
+// pure function of Config (including Seed). Crashes pick distinct
+// nodes and spare node 0, so at least one node always hosts sources
+// and a live slot to evacuate to.
+func Generate(cfg Config) (*Scenario, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("faults: need at least 2 nodes, have %d", cfg.Nodes)
+	}
+	if cfg.Crashes >= cfg.Nodes {
+		return nil, fmt.Errorf("faults: %d crashes would sink a %d-node cluster", cfg.Crashes, cfg.Nodes)
+	}
+	if cfg.Span <= 0 {
+		return nil, fmt.Errorf("faults: non-positive span")
+	}
+	n := cfg.Crashes + cfg.Brownouts + cfg.Stragglers
+	if n == 0 {
+		return &Scenario{}, nil
+	}
+	if cfg.MinDuration <= 0 {
+		cfg.MinDuration = vtime.Second
+	}
+	if cfg.MaxDuration < cfg.MinDuration {
+		cfg.MaxDuration = cfg.MinDuration
+	}
+	if cfg.MaxFactor <= 0 {
+		cfg.MinFactor, cfg.MaxFactor = 0.25, 0.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	at := func() vtime.Time {
+		return vtime.Time(cfg.Start) + vtime.Time(rng.Int63n(int64(cfg.Span)))
+	}
+	dur := func() vtime.Duration {
+		if cfg.MaxDuration == cfg.MinDuration {
+			return cfg.MinDuration
+		}
+		return cfg.MinDuration + vtime.Duration(rng.Int63n(int64(cfg.MaxDuration-cfg.MinDuration)))
+	}
+	factor := func() float64 {
+		return cfg.MinFactor + rng.Float64()*(cfg.MaxFactor-cfg.MinFactor)
+	}
+	sc := &Scenario{}
+	// Crashed nodes: a shuffled draw from nodes 1..Nodes-1.
+	perm := rng.Perm(cfg.Nodes - 1)
+	for i := 0; i < cfg.Crashes; i++ {
+		sc.Events = append(sc.Events, Event{
+			Kind: KindCrash, Node: cluster.NodeID(perm[i] + 1), At: at(),
+		})
+	}
+	for i := 0; i < cfg.Brownouts; i++ {
+		sc.Events = append(sc.Events, Event{
+			Kind: KindBrownout, Node: cluster.NodeID(rng.Intn(cfg.Nodes)),
+			At: at(), Duration: dur(), Factor: factor(),
+		})
+	}
+	for i := 0; i < cfg.Stragglers; i++ {
+		sc.Events = append(sc.Events, Event{
+			Kind: KindStraggler, Node: cluster.NodeID(rng.Intn(cfg.Nodes)),
+			At: at(), Duration: dur(), Factor: factor(),
+		})
+	}
+	sortEvents(sc.Events)
+	if err := sc.Validate(cfg.Nodes); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// sortEvents orders a script deterministically: by strike time, then
+// kind, then node — ties must not depend on generation order.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Node < b.Node
+	})
+}
+
+// revert is a pending restoration of a transient fault.
+type revert struct {
+	at   vtime.Time
+	kind Kind
+	node cluster.NodeID
+}
+
+// Injector replays a scenario against an engine. Call Advance with the
+// engine clock after every run slice; due events apply and expired
+// transient faults revert, in deterministic order.
+type Injector struct {
+	eng     *engine.Engine
+	reg     *obs.Registry // nil = no trace
+	events  []Event       // sorted by At
+	next    int
+	reverts []revert // sorted by at
+	applied int
+}
+
+// NewInjector validates the scenario against the engine's cluster size
+// and prepares the replay. The registry is optional.
+func NewInjector(eng *engine.Engine, sc *Scenario, reg *obs.Registry) (*Injector, error) {
+	if err := sc.Validate(eng.Config().Nodes); err != nil {
+		return nil, err
+	}
+	evs := append([]Event(nil), sc.Events...)
+	sortEvents(evs)
+	return &Injector{eng: eng, reg: reg, events: evs}, nil
+}
+
+// Advance applies every event due at or before now and reverts every
+// transient fault that expired. Idempotent between clock advances.
+func (in *Injector) Advance(now vtime.Time) {
+	// Interleave strikes and reverts in timestamp order so a brownout
+	// ending at t and another starting at t resolve identically on
+	// every run (reverts first: both queues are sorted, and a revert
+	// scheduled at t was struck strictly before t).
+	for {
+		haveRevert := len(in.reverts) > 0 && in.reverts[0].at <= now
+		haveEvent := in.next < len(in.events) && in.events[in.next].At <= now
+		if haveRevert && (!haveEvent || in.reverts[0].at <= in.events[in.next].At) {
+			rv := in.reverts[0]
+			in.reverts = in.reverts[1:]
+			in.revert(rv)
+			continue
+		}
+		if !haveEvent {
+			return
+		}
+		ev := in.events[in.next]
+		in.next++
+		in.apply(ev)
+	}
+}
+
+func (in *Injector) apply(ev Event) {
+	in.applied++
+	switch ev.Kind {
+	case KindCrash:
+		in.eng.SetNodeDown(ev.Node, true)
+	case KindBrownout:
+		in.eng.SetNodeNICFactor(ev.Node, ev.Factor)
+		in.scheduleRevert(ev)
+	case KindStraggler:
+		in.eng.SetNodeCPUFactor(ev.Node, ev.Factor)
+		in.scheduleRevert(ev)
+	}
+	if in.reg != nil {
+		in.reg.Emit(in.eng.Clock(), obs.EvFaultInjected,
+			obs.S("kind", ev.Kind.String()),
+			obs.I("node", int64(ev.Node)),
+			obs.S("phase", "begin"),
+			obs.F("factor", ev.Factor),
+		)
+	}
+}
+
+func (in *Injector) scheduleRevert(ev Event) {
+	rv := revert{at: ev.At.Add(ev.Duration), kind: ev.Kind, node: ev.Node}
+	i := sort.Search(len(in.reverts), func(i int) bool { return in.reverts[i].at > rv.at })
+	in.reverts = append(in.reverts, revert{})
+	copy(in.reverts[i+1:], in.reverts[i:])
+	in.reverts[i] = rv
+}
+
+func (in *Injector) revert(rv revert) {
+	switch rv.kind {
+	case KindBrownout:
+		in.eng.SetNodeNICFactor(rv.node, 1)
+	case KindStraggler:
+		in.eng.SetNodeCPUFactor(rv.node, 1)
+	}
+	if in.reg != nil {
+		in.reg.Emit(in.eng.Clock(), obs.EvFaultInjected,
+			obs.S("kind", rv.kind.String()),
+			obs.I("node", int64(rv.node)),
+			obs.S("phase", "end"),
+			obs.F("factor", 1),
+		)
+	}
+}
+
+// Applied reports how many fault events have struck so far.
+func (in *Injector) Applied() int { return in.applied }
+
+// Done reports whether the script is fully replayed (all strikes
+// applied and all transient faults reverted).
+func (in *Injector) Done() bool {
+	return in.next >= len(in.events) && len(in.reverts) == 0
+}

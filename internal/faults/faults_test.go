@@ -1,0 +1,192 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"saspar/internal/cluster"
+	"saspar/internal/engine"
+	"saspar/internal/obs"
+	"saspar/internal/vtime"
+)
+
+func testEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.NumPartitions = 8
+	cfg.NumGroups = 16
+	cfg.SourceTasks = 2
+	cfg.Tick = 100 * vtime.Millisecond
+	cfg.ExactWindows = false
+	stream := engine.StreamDef{
+		Name: "s", NumCols: 2, BytesPerTuple: 100,
+		NewGenerator: func(task int) engine.Generator {
+			i := int64(task) * 131
+			return engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
+				i++
+				tu.Cols[0] = i % 64
+				tu.Cols[1] = 1
+			})
+		},
+	}
+	q := engine.QuerySpec{
+		ID: "q", Kind: engine.OpAggregate,
+		Inputs: []engine.Input{{Stream: 0, Key: engine.KeySpec{0}}},
+		Window: engine.WindowSpec{Range: vtime.Second, Slide: vtime.Second},
+		AggCol: 1,
+	}
+	e, err := engine.New(cfg, []engine.StreamDef{stream}, []engine.QuerySpec{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	cfg := Config{
+		Nodes: 8, Seed: 42,
+		Crashes: 2, Brownouts: 3, Stragglers: 3,
+		Start: 5 * vtime.Second, Span: 20 * vtime.Second,
+		MinDuration: vtime.Second, MaxDuration: 4 * vtime.Second,
+		MinFactor: 0.2, MaxFactor: 0.6,
+	}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different scripts:\n%v\n%v", a.Events, b.Events)
+	}
+	cfg.Seed = 43
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scripts")
+	}
+	// Crashes target distinct nodes and spare node 0.
+	crashed := map[cluster.NodeID]bool{}
+	for _, ev := range a.Events {
+		if ev.Kind != KindCrash {
+			continue
+		}
+		if ev.Node == 0 {
+			t.Fatal("generated scenario crashes node 0")
+		}
+		if crashed[ev.Node] {
+			t.Fatalf("node %d crashed twice", ev.Node)
+		}
+		crashed[ev.Node] = true
+	}
+	if len(crashed) != cfg.Crashes {
+		t.Fatalf("generated %d crashes, want %d", len(crashed), cfg.Crashes)
+	}
+}
+
+func TestGenerateRejectsSinkingScenarios(t *testing.T) {
+	if _, err := Generate(Config{Nodes: 4, Crashes: 4, Span: vtime.Second}); err == nil {
+		t.Fatal("crash count == node count accepted")
+	}
+	if _, err := Generate(Config{Nodes: 1, Span: vtime.Second}); err == nil {
+		t.Fatal("single-node cluster accepted")
+	}
+	if _, err := Generate(Config{Nodes: 4, Crashes: 1}); err == nil {
+		t.Fatal("zero span accepted")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	bad := []*Scenario{
+		{Events: []Event{{Kind: KindCrash, Node: 9}}},
+		{Events: []Event{{Kind: KindCrash, Node: 1}, {Kind: KindCrash, Node: 1}}},
+		{Events: []Event{{Kind: KindBrownout, Node: 1, Factor: 1.5, Duration: vtime.Second}}},
+		{Events: []Event{{Kind: KindStraggler, Node: 1, Factor: 0.5}}},
+		{Events: []Event{{Kind: KindCrash, Node: 0}, {Kind: KindCrash, Node: 1}}},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(2); err == nil {
+			t.Errorf("bad scenario %d accepted", i)
+		}
+	}
+	ok := Crash(1, 3*vtime.Time(vtime.Second))
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("good scenario rejected: %v", err)
+	}
+}
+
+func TestInjectorAppliesAndReverts(t *testing.T) {
+	e := testEngine(t)
+	reg := obs.New()
+	sc := &Scenario{Events: []Event{
+		{Kind: KindStraggler, Node: 1, At: vtime.Time(vtime.Second), Duration: 2 * vtime.Second, Factor: 0.25},
+		{Kind: KindBrownout, Node: 2, At: vtime.Time(2 * vtime.Second), Duration: vtime.Second, Factor: 0.5},
+		{Kind: KindCrash, Node: 3, At: vtime.Time(4 * vtime.Second)},
+	}}
+	in, err := NewInjector(e, sc, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := func(d vtime.Duration) {
+		e.Run(d)
+		in.Advance(e.Clock())
+	}
+	step(1500 * vtime.Millisecond) // straggler active
+	if got := e.Network().NodeFactor(2); got != 1 {
+		t.Fatalf("brownout applied early: NIC factor %v", got)
+	}
+	step(vtime.Second) // t=2.5s: both transients active
+	if in.Applied() != 2 {
+		t.Fatalf("applied %d events by 2.5s, want 2", in.Applied())
+	}
+	if got := e.Network().NodeFactor(2); got != 0.5 {
+		t.Fatalf("brownout NIC factor %v, want 0.5", got)
+	}
+	step(vtime.Second) // t=3.5s: both transients expired
+	if got := e.Network().NodeFactor(2); got != 1 {
+		t.Fatalf("brownout never reverted: NIC factor %v", got)
+	}
+	if e.NodeDown(3) {
+		t.Fatal("crash applied early")
+	}
+	step(vtime.Second) // t=4.5s: crash struck
+	if !e.NodeDown(3) {
+		t.Fatal("crash never applied")
+	}
+	if !in.Done() {
+		t.Fatal("injector not done after the last event")
+	}
+
+	// Trace carries begin and end phases for the transients, begin only
+	// for the crash.
+	begins, ends := 0, 0
+	for _, ev := range reg.Events() {
+		if ev.Kind != obs.EvFaultInjected {
+			continue
+		}
+		for _, kv := range ev.Attrs {
+			if kv.K == "phase" && kv.V == "begin" {
+				begins++
+			}
+			if kv.K == "phase" && kv.V == "end" {
+				ends++
+			}
+		}
+	}
+	if begins != 3 || ends != 2 {
+		t.Fatalf("trace phases begin=%d end=%d, want 3/2", begins, ends)
+	}
+}
+
+func TestInjectorRejectsOversizedScenario(t *testing.T) {
+	e := testEngine(t)
+	if _, err := NewInjector(e, Crash(9, 0), nil); err == nil {
+		t.Fatal("out-of-range crash node accepted")
+	}
+}

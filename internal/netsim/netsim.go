@@ -69,9 +69,12 @@ type Network struct {
 	egQ, inQ   []float64      // queued bytes per node, egress / ingress
 	egCap      []float64      // remaining egress budget this tick
 	inCap      []float64      // remaining ingress budget this tick
+	factor     []float64      // per-node NIC derating (brownouts), 1 = healthy
+	down       []bool         // per-node liveness; a down node's NIC is gone
 	bytesNet   float64        // cumulative bytes over the wire
 	bytesLocal float64        // cumulative bytes via shared memory
 	refused    float64        // cumulative bytes refused (backpressure)
+	bytesLost  float64        // cumulative bytes lost to dead nodes
 	elapsed    vtime.Duration // cumulative simulated time
 
 	// obs is nil unless a telemetry registry is attached; BeginTick
@@ -115,7 +118,7 @@ func New(c *cluster.Cluster, cfg Config) *Network {
 		panic(err)
 	}
 	n := c.NumNodes()
-	return &Network{
+	net := &Network{
 		cfg:    cfg,
 		baseBW: c.Config().NICBytesPerSec,
 		bw:     c.Config().NICBytesPerSec,
@@ -124,8 +127,46 @@ func New(c *cluster.Cluster, cfg Config) *Network {
 		inQ:    make([]float64, n),
 		egCap:  make([]float64, n),
 		inCap:  make([]float64, n),
+		factor: make([]float64, n),
+		down:   make([]bool, n),
 	}
+	for i := range net.factor {
+		net.factor[i] = 1
+	}
+	return net
 }
+
+// SetNodeFactor derates node's NIC to f of its nominal bandwidth
+// (clamped to [0,1]) — the brownout fault model. 1 restores full
+// capacity. Applies from the next BeginTick.
+func (n *Network) SetNodeFactor(node cluster.NodeID, f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	n.factor[node] = f
+}
+
+// NodeFactor reports a node's current NIC derating factor.
+func (n *Network) NodeFactor(node cluster.NodeID) float64 { return n.factor[node] }
+
+// SetNodeDown marks a node dead or revives it. Death zeroes the node's
+// standing queues — bytes parked there were in flight to or from a
+// machine that no longer exists, so they count as lost, not refused —
+// and all subsequent sends touching the node are lost too.
+func (n *Network) SetNodeDown(node cluster.NodeID, down bool) {
+	if down && !n.down[node] {
+		n.bytesLost += n.egQ[node] + n.inQ[node]
+		n.egQ[node] = 0
+		n.inQ[node] = 0
+	}
+	n.down[node] = down
+}
+
+// NodeDown reports whether a node is marked dead.
+func (n *Network) NodeDown(node cluster.NodeID) bool { return n.down[node] }
 
 // SetFlowContention derates effective bandwidth for the number of
 // concurrent partitioning flows: every per-query copy stream carries
@@ -155,8 +196,12 @@ func (n *Network) BeginTick(dt vtime.Duration) {
 	capacity := n.bw * dt.Seconds()
 	n.elapsed += dt
 	for i := 0; i < n.nodes; i++ {
-		n.egCap[i] = capacity
-		n.inCap[i] = capacity
+		c := capacity * n.factor[i]
+		if n.down[i] {
+			c = 0
+		}
+		n.egCap[i] = c
+		n.inCap[i] = c
 		// Drain standing queues with this tick's budget before new sends.
 		d := n.egQ[i]
 		if d > n.egCap[i] {
@@ -190,6 +235,9 @@ func (n *Network) BeginTick(dt vtime.Duration) {
 // it to size their serialization work to what the network will take,
 // instead of serializing data the queues would refuse.
 func (n *Network) Available(from, to cluster.NodeID) float64 {
+	if n.down[from] || n.down[to] {
+		return 0
+	}
 	if from == to {
 		return math.MaxFloat64
 	}
@@ -211,6 +259,13 @@ func (n *Network) Available(from, to cluster.NodeID) float64 {
 // and throttle, which is how backpressure propagates to sources.
 func (n *Network) Send(from, to cluster.NodeID, bytes float64) (accepted float64, delay vtime.Duration) {
 	if bytes <= 0 {
+		return 0, 0
+	}
+	// A dead endpoint loses the data outright — there is no machine left
+	// to queue it or push back. Checked before the local-path shortcut:
+	// a dead node's shared memory is just as gone as its NIC.
+	if n.down[from] || n.down[to] {
+		n.bytesLost += bytes
 		return 0, 0
 	}
 	if from == to {
@@ -268,6 +323,7 @@ type Stats struct {
 	BytesNet     float64 // bytes that crossed the wire
 	BytesLocal   float64 // bytes moved via shared memory
 	BytesRefused float64 // bytes refused due to full queues
+	BytesLost    float64 // bytes lost to dead nodes (fault injection)
 	Utilization  float64 // wire bytes / total offered wire capacity
 }
 
@@ -281,6 +337,7 @@ func (n *Network) Stats() Stats {
 		BytesNet:     n.bytesNet,
 		BytesLocal:   n.bytesLocal,
 		BytesRefused: n.refused,
+		BytesLost:    n.bytesLost,
 		Utilization:  util,
 	}
 }

@@ -40,6 +40,18 @@ const (
 	// EvJITCompile: slots compiled fused operator chains after an
 	// alignment. Attrs: compiles, elapsed_ms.
 	EvJITCompile EventKind = "jit_compile"
+	// EvFaultInjected: the fault scheduler applied a scripted fault (or
+	// reverted a transient one). Attrs: kind (crash|brownout|straggler),
+	// node, phase (begin|end), factor.
+	EvFaultInjected EventKind = "fault_injected"
+	// EvFaultDetected: the control loop observed the cluster health
+	// fingerprint change and entered degraded mode. Attrs: unhealthy,
+	// fingerprint.
+	EvFaultDetected EventKind = "fault_detected"
+	// EvFaultRecovered: evacuation finished — no key group remains on an
+	// unhealthy partition and AQE is idle. Attrs: recovery_ms, attempts,
+	// lost_bytes.
+	EvFaultRecovered EventKind = "fault_recovered"
 )
 
 // KV is one ordered event attribute. Values are stringified at emit

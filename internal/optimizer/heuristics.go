@@ -105,8 +105,11 @@ func solveComponentInner(req *Request, c *component, opt Options, orig *mip.Inst
 		}
 	}
 	// Staying put is always a candidate: heuristic plans must beat the
-	// incumbent assignment including their movement bill.
-	if prefer != nil {
+	// incumbent assignment including their movement bill. An anchor with
+	// unassigned groups (NoPartition after a restricted-domain remap) is
+	// not a feasible plan and must not be seeded — Evaluate would index
+	// a nonexistent partition.
+	if prefer != nil && anchorFeasible(prefer, orig.NumPartitions) {
 		anchorRows := make([][]int, len(prefer))
 		for i, row := range prefer {
 			anchorRows[i] = append([]int(nil), row...)
@@ -313,6 +316,19 @@ func coordinatedDescent(in *mip.Instance, anchorOpts mip.Options, assign [][]int
 		}
 	}
 	return cur, best
+}
+
+// anchorFeasible reports whether every anchor row places every group on
+// a real partition of the instance.
+func anchorFeasible(prefer [][]int, numPartitions int) bool {
+	for _, row := range prefer {
+		for _, p := range row {
+			if p < 0 || p >= numPartitions {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func identityMap(n int) []int {

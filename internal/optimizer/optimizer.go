@@ -149,6 +149,14 @@ type Options struct {
 	// request query (requires Anchor). The Result.Objective then
 	// includes movement, directly comparable to Score of the incumbent.
 	MoveCost []float64
+	// AllowedPartitions, when non-nil, restricts the placement domain:
+	// partitions with a false entry (crashed or derated nodes) receive
+	// no key groups. The solver runs on the reduced partition set and
+	// the result is mapped back to full partition ids; anchors on
+	// excluded partitions become unanchored, so evacuating them carries
+	// no movement penalty (their state is forfeit anyway). Must cover
+	// NumPartitions entries with at least one true.
+	AllowedPartitions []bool
 }
 
 func (o Options) withDefaults() Options {
@@ -218,6 +226,9 @@ func Optimize(req *Request, opt Options) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	if opt.AllowedPartitions != nil {
+		return optimizeRestricted(req, opt)
+	}
 	opt = opt.withDefaults()
 	start := time.Now()
 
@@ -271,6 +282,74 @@ func Optimize(req *Request, opt Options) (*Result, error) {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// optimizeRestricted solves the request over the allowed partition
+// subset and maps the plan back to full partition ids. A plan that uses
+// only allowed partitions costs the same in both spaces — excluded
+// partitions carry no groups, and anchors on them are dropped, so a
+// forced evacuation pays no movement penalty (the state there is
+// forfeit anyway) — so the result needs no rescoring.
+func optimizeRestricted(req *Request, opt Options) (*Result, error) {
+	allowed := opt.AllowedPartitions
+	if len(allowed) != req.NumPartitions {
+		return nil, fmt.Errorf("optimizer: AllowedPartitions covers %d partitions, want %d", len(allowed), req.NumPartitions)
+	}
+	keep := make([]int, 0, req.NumPartitions) // reduced index → full id
+	fwd := make([]int, req.NumPartitions)     // full id → reduced index
+	for p, ok := range allowed {
+		if ok {
+			fwd[p] = len(keep)
+			keep = append(keep, p)
+		} else {
+			fwd[p] = -1
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("optimizer: AllowedPartitions excludes every partition")
+	}
+	sub := opt
+	sub.AllowedPartitions = nil
+	if len(keep) == req.NumPartitions {
+		return Optimize(req, sub)
+	}
+
+	rreq := *req
+	rreq.NumPartitions = len(keep)
+	rreq.LocalFrac = make([]float64, len(keep))
+	for i, p := range keep {
+		rreq.LocalFrac[i] = req.LocalFrac[p]
+	}
+	if opt.Anchor != nil {
+		sub.Anchor = make([]*keyspace.Assignment, len(opt.Anchor))
+		for i, a := range opt.Anchor {
+			if a == nil {
+				continue
+			}
+			ra := keyspace.NewAssignment(a.NumGroups())
+			for g := 0; g < a.NumGroups(); g++ {
+				gid := keyspace.GroupID(g)
+				if p := a.Partition(gid); p >= 0 && int(p) < len(fwd) && fwd[p] >= 0 {
+					ra.Set(gid, keyspace.PartitionID(fwd[p]))
+				}
+			}
+			sub.Anchor[i] = ra
+		}
+	}
+	res, err := Optimize(&rreq, sub)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range res.Assign {
+		if a == nil {
+			continue
+		}
+		for g := 0; g < a.NumGroups(); g++ {
+			gid := keyspace.GroupID(g)
+			a.Set(gid, keyspace.PartitionID(keep[a.Partition(gid)]))
+		}
+	}
 	return res, nil
 }
 

@@ -319,3 +319,80 @@ func TestOptimizerImprovesOnRoundRobinBaseline(t *testing.T) {
 		t.Fatalf("optimizer result %v worse than ring baseline %v", res.Objective, base)
 	}
 }
+
+func TestAllowedPartitionsExcludesDeadNodes(t *testing.T) {
+	// Degraded-mode solve: partitions on crashed nodes are masked out of
+	// the placement domain, the returned plan uses only live partitions
+	// (in full partition ids), and anchors pointing at masked partitions
+	// do not wedge the solve or charge a movement penalty.
+	req := testRequest(3, 2, 16, 8)
+	anchor := make([]*keyspace.Assignment, len(req.Queries))
+	for qi := range anchor {
+		a := keyspace.NewAssignment(req.NumGroups)
+		for g := 0; g < req.NumGroups; g++ {
+			a.Set(keyspace.GroupID(g), keyspace.PartitionID(g%req.NumPartitions))
+		}
+		anchor[qi] = a
+	}
+	allowed := make([]bool, req.NumPartitions)
+	for p := range allowed {
+		allowed[p] = p != 3 && p != 7 // node 3 of a 4-node round-robin placement
+	}
+	res, err := Optimize(req, Options{
+		Timeout:           5 * time.Second,
+		Anchor:            anchor,
+		MoveCost:          []float64{0.5, 0.5},
+		AllowedPartitions: allowed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, a := range res.Assign {
+		if a == nil || !a.Complete() {
+			t.Fatalf("query %d assignment incomplete", qi)
+		}
+		for g := 0; g < req.NumGroups; g++ {
+			p := a.Partition(keyspace.GroupID(g))
+			if int(p) >= req.NumPartitions {
+				t.Fatalf("query %d group %d mapped to out-of-range partition %d", qi, g, p)
+			}
+			if !allowed[p] {
+				t.Fatalf("query %d group %d placed on excluded partition %d", qi, g, p)
+			}
+		}
+	}
+	if res.Objective <= 0 {
+		t.Fatal("non-positive objective")
+	}
+
+	// Shape errors must surface, not panic.
+	if _, err := Optimize(req, Options{AllowedPartitions: make([]bool, 3)}); err == nil {
+		t.Fatal("mis-sized AllowedPartitions accepted")
+	}
+	if _, err := Optimize(req, Options{AllowedPartitions: make([]bool, req.NumPartitions)}); err == nil {
+		t.Fatal("all-false AllowedPartitions accepted")
+	}
+
+	// An all-true mask must behave exactly like no mask.
+	all := make([]bool, req.NumPartitions)
+	for p := range all {
+		all[p] = true
+	}
+	opts := Options{DeterministicBudget: true, MaxNodes: 20000}
+	base, err := Optimize(testRequest(3, 2, 16, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.AllowedPartitions = all
+	masked, err := Optimize(testRequest(3, 2, 16, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range base.Assign {
+		for g := 0; g < req.NumGroups; g++ {
+			if base.Assign[qi].Partition(keyspace.GroupID(g)) != masked.Assign[qi].Partition(keyspace.GroupID(g)) {
+				t.Fatalf("all-true mask changed the plan at query %d group %d", qi, g)
+			}
+		}
+	}
+}

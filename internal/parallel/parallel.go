@@ -14,9 +14,15 @@
 //     -workers flag),
 //  2. the SASPAR_PARALLEL environment variable,
 //  3. runtime.GOMAXPROCS(0).
+//
+// A SASPAR_PARALLEL value that is not a positive integer is surfaced as
+// an error by ResolveWorkers (Workers warns on stderr) and then falls
+// back to GOMAXPROCS — an operator's explicit setting is never ignored
+// silently.
 package parallel
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
@@ -28,15 +34,35 @@ import (
 // integer. SASPAR_PARALLEL=1 forces sequential in-line execution.
 const EnvVar = "SASPAR_PARALLEL"
 
-// Workers resolves the default worker count: EnvVar when set to a
-// positive integer, else runtime.GOMAXPROCS(0).
-func Workers() int {
-	if v := os.Getenv(EnvVar); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			return n
-		}
+// ResolveWorkers resolves the default worker count: EnvVar when set to
+// a positive integer, else runtime.GOMAXPROCS(0). An EnvVar value that
+// is not a positive integer (0, a negative, garbage) is an operator
+// error: ResolveWorkers still returns the GOMAXPROCS fallback so
+// callers can proceed, but reports it instead of silently ignoring the
+// explicit setting.
+func ResolveWorkers() (int, error) {
+	v := os.Getenv(EnvVar)
+	if v == "" {
+		return runtime.GOMAXPROCS(0), nil
 	}
-	return runtime.GOMAXPROCS(0)
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return runtime.GOMAXPROCS(0), fmt.Errorf(
+			"parallel: invalid %s=%q (want a positive integer); falling back to GOMAXPROCS=%d",
+			EnvVar, v, runtime.GOMAXPROCS(0))
+	}
+	return n, nil
+}
+
+// Workers resolves the default worker count like ResolveWorkers, but
+// warns on stderr (documented fallback) instead of returning the error
+// — the convenience form for harness entry points.
+func Workers() int {
+	n, err := ResolveWorkers()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	return n
 }
 
 // Pool runs index-addressed job grids over a fixed number of workers.

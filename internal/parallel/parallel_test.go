@@ -12,20 +12,32 @@ import (
 
 func TestWorkersEnvOverride(t *testing.T) {
 	t.Setenv(EnvVar, "3")
-	if got := Workers(); got != 3 {
-		t.Fatalf("Workers() with %s=3: got %d", EnvVar, got)
-	}
-	t.Setenv(EnvVar, "not-a-number")
-	if got := Workers(); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("Workers() with garbage env: got %d, want GOMAXPROCS", got)
-	}
-	t.Setenv(EnvVar, "-2")
-	if got := Workers(); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("Workers() with negative env: got %d, want GOMAXPROCS", got)
+	if n, err := ResolveWorkers(); n != 3 || err != nil {
+		t.Fatalf("ResolveWorkers() with %s=3: got %d, %v", EnvVar, n, err)
 	}
 	os.Unsetenv(EnvVar)
-	if got := Workers(); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("Workers() unset: got %d, want GOMAXPROCS", got)
+	if n, err := ResolveWorkers(); n != runtime.GOMAXPROCS(0) || err != nil {
+		t.Fatalf("ResolveWorkers() unset: got %d, %v; want GOMAXPROCS, nil", n, err)
+	}
+}
+
+func TestWorkersInvalidEnvSurfacesError(t *testing.T) {
+	// Regression: an explicit SASPAR_PARALLEL setting of 0, a negative,
+	// or garbage used to be silently ignored. The fallback to GOMAXPROCS
+	// stays (documented), but the operator error must now be reported.
+	for _, v := range []string{"0", "-2", "not-a-number", "1.5"} {
+		t.Setenv(EnvVar, v)
+		n, err := ResolveWorkers()
+		if err == nil {
+			t.Fatalf("%s=%q: invalid setting went unreported", EnvVar, v)
+		}
+		if n != runtime.GOMAXPROCS(0) {
+			t.Fatalf("%s=%q: fallback count %d, want GOMAXPROCS=%d", EnvVar, v, n, runtime.GOMAXPROCS(0))
+		}
+		// The convenience form keeps the documented fallback value.
+		if got := Workers(); got != runtime.GOMAXPROCS(0) {
+			t.Fatalf("Workers() with %s=%q: got %d, want GOMAXPROCS", EnvVar, v, got)
+		}
 	}
 }
 

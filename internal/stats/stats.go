@@ -56,11 +56,23 @@ func newStreamStats() *streamStats {
 	}
 }
 
+// crossLaneBits is the width of each id lane in a crossKey. Group and
+// class ids must fit the lane or distinct (class, group) pairs would
+// silently collide and corrupt the overlap matrix.
+const crossLaneBits = 16
+
+// MaxGroups is the largest group count a Collector accepts: the overlap
+// matrix packs group ids into 16-bit crossKey lanes.
+const MaxGroups = 1 << crossLaneBits
+
 // NewCollector builds a collector. scale is the number of modelled
 // tuples each sample represents (sampling interval × tuple weight).
 func NewCollector(numStreams, numGroups int, scale float64) *Collector {
 	if numStreams <= 0 || numGroups <= 0 || scale <= 0 {
 		panic(fmt.Sprintf("stats: invalid collector dimensions %d/%d/%v", numStreams, numGroups, scale))
+	}
+	if numGroups > MaxGroups {
+		panic(fmt.Sprintf("stats: %d groups exceed the %d-entry crossKey lane", numGroups, MaxGroups))
 	}
 	c := &Collector{
 		numStreams: numStreams,
@@ -78,8 +90,12 @@ func NewCollector(numStreams, numGroups int, scale float64) *Collector {
 
 func pairKey(c1, c2 int) uint64 { return uint64(c1)<<32 | uint64(uint32(c2)) }
 
+// crossKey packs two (class, group) ids into four 16-bit lanes. Each
+// lane is masked: an id wider than its lane (or a sign-extended
+// negative) must not smear into its neighbours — NewCollector bounds
+// numGroups so in-range ids round-trip exactly.
 func crossKey(c1 int, g1 keyspace.GroupID, c2 int, g2 keyspace.GroupID) uint64 {
-	return uint64(c1)<<48 | uint64(g1)<<32 | uint64(c2)<<16 | uint64(g2)
+	return uint64(uint16(c1))<<48 | uint64(uint16(g1))<<32 | uint64(uint16(c2))<<16 | uint64(uint16(g2))
 }
 
 // Sample implements engine.Sampler.

@@ -184,6 +184,46 @@ func TestClassesEnumeration(t *testing.T) {
 	}
 }
 
+func TestCrossKeyLaneIsolation(t *testing.T) {
+	// Regression: crossKey packed ids into 16-bit lanes without masking,
+	// so a group id one past the lane smeared into the neighbouring
+	// class lane and (c1=0, g1=65536) collided with (c1=1, g1=0),
+	// corrupting the ML overlap matrix.
+	overflow := crossKey(0, keyspace.GroupID(MaxGroups), 0, 0)
+	smeared := crossKey(1, 0, 0, 0)
+	if overflow == smeared {
+		t.Fatalf("group id %d smeared into the class lane: key %#x", MaxGroups, overflow)
+	}
+	// A negative id must stay confined to its own lane too, not
+	// sign-extend across all four.
+	neg := crossKey(0, -1, 0, 0)
+	if neg>>48 != 0 || uint16(neg>>16) != 0 || uint16(neg) != 0 {
+		t.Fatalf("negative group id leaked out of its lane: key %#x", neg)
+	}
+	// In-range ids round-trip exactly through the TrainingData unpacking.
+	key := crossKey(3, 41, 7, 65535)
+	c1, g1 := int(key>>48), keyspace.GroupID(key>>32&0xFFFF)
+	c2, g2 := int(key>>16&0xFFFF), keyspace.GroupID(key&0xFFFF)
+	if c1 != 3 || g1 != 41 || c2 != 7 || g2 != 65535 {
+		t.Fatalf("round-trip gave (%d,%d,%d,%d), want (3,41,7,65535)", c1, g1, c2, g2)
+	}
+	// Distinct in-range tuples must map to distinct keys.
+	if crossKey(1, 2, 3, 4) == crossKey(1, 2, 3, 5) || crossKey(1, 2, 3, 4) == crossKey(2, 1, 3, 4) {
+		t.Fatal("distinct tuples collided")
+	}
+}
+
+func TestNewCollectorRejectsOversizedGroupSpace(t *testing.T) {
+	// Regression: group counts beyond the 16-bit crossKey lane used to be
+	// accepted and collide silently; now they are refused up front.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewCollector accepted %d groups (> %d-entry lane)", MaxGroups+1, MaxGroups)
+		}
+	}()
+	NewCollector(1, MaxGroups+1, 1)
+}
+
 func TestNewCollectorValidation(t *testing.T) {
 	for _, args := range [][3]interface{}{} {
 		_ = args
