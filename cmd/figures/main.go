@@ -8,7 +8,8 @@
 // Without flags it runs the quick scale (seconds of wall time per
 // figure); -full approaches the paper's dimensions. -fig selects one
 // figure ("6", "7", "8", "9", "10", "11", "12a", "12b", "13", "ml",
-// "recovery" — the crash-recovery experiment, which is not part of the
+// "recovery", "ckpt-recovery" — the last two are the crash-recovery
+// and checkpointed-recovery experiments, which are not part of the
 // paper's figure set and therefore not included in the default run).
 // -workers bounds the run-matrix pool the harnesses fan cells over
 // (0 = SASPAR_PARALLEL env, then GOMAXPROCS; 1 = sequential); output
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run at paper scale (slow)")
-	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml,recovery)")
+	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml,recovery,ckpt-recovery)")
 	workers := flag.Int("workers", 0, "run-matrix pool size (0 = SASPAR_PARALLEL env, then GOMAXPROCS)")
 	benchJSON := flag.String("bench-json", "", "write a performance snapshot to this file and exit")
 	flag.Parse()
@@ -141,6 +142,12 @@ func run(sc bench.Scale, fig string) error {
 			return err
 		}
 		bench.PrintRecovery(w, rows)
+	case "ckpt-recovery":
+		rows, err := bench.CkptRecovery(sc, 3)
+		if err != nil {
+			return err
+		}
+		bench.PrintCkptRecovery(w, rows)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}

@@ -10,6 +10,11 @@
 //	sasparctl faults   — run seeded crash-recovery scenarios and report
 //	                     time-to-recover and the sustained-throughput
 //	                     dip while degraded
+//	sasparctl checkpoints — run a system with the aligned-barrier
+//	                     checkpoint coordinator armed (optionally with a
+//	                     scripted crash) and list the snapshot store:
+//	                     per-checkpoint id, kind, barrier-to-alignment
+//	                     time, groups, and modelled bytes
 //
 // Invoking sasparctl with bare flags (no subcommand) behaves as "run",
 // keeping older scripts working.
@@ -22,6 +27,8 @@
 //	sasparctl inspect [-workload W] [-queries N] [-duration D]
 //	          [-drift D] [-rate R] [-events N] [-seed S]
 //	sasparctl faults [-seeds N] [-workers N] [-full] [-nodes N] [-rate R]
+//	sasparctl checkpoints [-interval D] [-retention N] [-incremental]
+//	          [-duration D] [-crash] [-dir PATH] [-seed S]
 package main
 
 import (
@@ -29,11 +36,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"saspar/internal/bench"
+	"saspar/internal/checkpoint"
 	"saspar/internal/core"
 	"saspar/internal/driver"
 	"saspar/internal/engine"
+	"saspar/internal/faults"
 	"saspar/internal/obs"
 	"saspar/internal/optimizer"
 	"saspar/internal/spe"
@@ -59,8 +69,10 @@ func main() {
 		inspectCmd(args)
 	case "faults":
 		faultsCmd(args)
+	case "checkpoints":
+		checkpointsCmd(args)
 	default:
-		fail(fmt.Errorf("unknown subcommand %q (try run, inspect, faults)", cmd))
+		fail(fmt.Errorf("unknown subcommand %q (try run, inspect, faults, checkpoints)", cmd))
 	}
 }
 
@@ -105,6 +117,124 @@ func faultsCmd(args []string) {
 	n := float64(len(rows))
 	fmt.Printf("\ntime-to-recover        %.0f ms mean over %d scenarios\n", recover/n, len(rows))
 	fmt.Printf("sustained-throughput   dipped to %.0f%% of pre-fault mean while degraded\n", dip/n)
+}
+
+// checkpointsCmd runs one SASPAR system with the checkpoint
+// coordinator armed and dumps the snapshot store afterwards. With
+// -crash it also scripts a mid-run node loss so the listing shows the
+// restore the recovery loop performed.
+func checkpointsCmd(args []string) {
+	fs := flag.NewFlagSet("checkpoints", flag.ExitOnError)
+	var (
+		wlName      = fs.String("workload", "gcm", "workload: "+strings.Join(workload.Names(), ", "))
+		queries     = fs.Int("queries", 2, "query count")
+		nodes       = fs.Int("nodes", 4, "cluster nodes")
+		groups      = fs.Int("groups", 32, "key groups")
+		rate        = fs.Float64("rate", 40e6, "offered rate, tuples/s (per primary stream)")
+		duration    = fs.Duration("duration", 30*vtime.Second, "virtual run time")
+		interval    = fs.Duration("interval", 2*vtime.Second, "checkpoint interval (virtual)")
+		retention   = fs.Int("retention", 0, "checkpoints to retain (0 = default)")
+		incremental = fs.Bool("incremental", false, "store per-key-group deltas instead of full snapshots")
+		crash       = fs.Bool("crash", false, "script a node crash mid-run and show the restore")
+		dir         = fs.String("dir", "", "persist snapshots to this directory (default: in-memory)")
+		seed        = fs.Int64("seed", 1, "simulation seed")
+	)
+	fs.Parse(args)
+
+	w, err := workload.Open(*wlName, workload.Options{
+		Queries: *queries,
+		Window:  engine.WindowSpec{Range: 4 * vtime.Second, Slide: 4 * vtime.Second},
+		Rate:    *rate,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	engCfg := engine.DefaultConfig()
+	engCfg.Nodes = *nodes
+	engCfg.NumPartitions = 2 * *nodes
+	engCfg.NumGroups = *groups
+	engCfg.SourceTasks = 2
+	engCfg.ExactWindows = false
+	engCfg.TupleWeight = 1000
+	engCfg.Seed = *seed
+
+	coreCfg := core.DefaultConfig()
+	coreCfg.TriggerInterval = 8 * vtime.Second
+	coreCfg.Opt = optimizer.Options{Timeout: 200e6}
+	coreCfg.Obs = obs.New()
+	coreCfg.Checkpoint = checkpoint.Config{
+		Interval:    *interval,
+		Retention:   *retention,
+		Incremental: *incremental,
+	}
+	if *dir != "" {
+		st, err := checkpoint.NewFileStore(*dir)
+		if err != nil {
+			fail(err)
+		}
+		coreCfg.Checkpoint.Store = st
+	}
+	if *crash {
+		scenario, err := faults.Generate(faults.Config{
+			Nodes: *nodes, Seed: *seed,
+			Crashes: 1,
+			Start:   *duration / 2, Span: 2 * vtime.Second,
+		})
+		if err != nil {
+			fail(err)
+		}
+		coreCfg.FaultScenario = scenario
+	}
+
+	sys, err := core.New(engCfg, w.Streams, w.Queries, coreCfg)
+	if err != nil {
+		fail(err)
+	}
+	w.ApplyRates(sys.Engine(), 1)
+	sys.Run(*duration)
+	if *crash {
+		// Give the recovery loop room to finish the evacuation+restore.
+		deadline := sys.Engine().Clock().Add(5 * *duration)
+		for sys.Engine().Clock() < deadline {
+			if snap := sys.Snapshot(); snap.Recoveries > 0 && !snap.RecoveryPending {
+				break
+			}
+			sys.Run(2 * vtime.Second)
+		}
+	}
+
+	ck := sys.Checkpointer()
+	snap := sys.Snapshot()
+	fmt.Printf("workload     %s (%d queries), %v virtual on %d nodes\n", w.Name, len(w.Queries), *duration, *nodes)
+	fmt.Printf("checkpoints  %d completed, %.1f MB stored (interval %v, retention shown below)\n",
+		snap.Checkpoints, snap.CheckpointBytes/1e6, ck.Interval())
+	if *crash {
+		fmt.Printf("crash        lost %.1f MB gross, restored %.1f MB from checkpoint %d\n",
+			snap.LostBytes/1e6, snap.RestoredBytes/1e6, ck.LastID())
+	}
+
+	ids, err := ck.Store().List()
+	if err != nil {
+		fail(err)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nid\tkind\tbase\tbarrier\taligned in\tgroups\tMB")
+	for _, id := range ids {
+		s, err := ck.Store().Get(id)
+		if err != nil {
+			fail(err)
+		}
+		kind, base := "full", "-"
+		if !s.Full {
+			kind, base = "delta", fmt.Sprintf("%d", s.BaseID)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%v\t%v\t%d\t%.1f\n",
+			s.ID, kind, base, s.Barrier,
+			s.CompletedAt.Sub(s.Barrier).Round(vtime.Millisecond),
+			len(s.Groups), s.Bytes/1e6)
+	}
+	tw.Flush()
 }
 
 func runCmd(args []string) {

@@ -1,0 +1,297 @@
+package checkpoint
+
+import (
+	"reflect"
+	"testing"
+
+	"saspar/internal/engine"
+	"saspar/internal/keyspace"
+	"saspar/internal/vtime"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Interval: vtime.Second}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},
+		{Interval: -vtime.Second},
+		{Interval: vtime.Second, Retention: -1},
+		{Interval: vtime.Second, FullEvery: -2},
+		{Interval: vtime.Second, StoreNode: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, c)
+		}
+	}
+}
+
+func snap(id, base int64, full bool, groups ...engine.CkptGroup) *Snapshot {
+	return &Snapshot{ID: id, BaseID: base, Full: full,
+		Barrier: vtime.Time(id), CompletedAt: vtime.Time(id), Groups: groups}
+}
+
+func cg(q int, g int32, w float64) engine.CkptGroup {
+	return engine.CkptGroup{Query: q, Group: keyspace.GroupID(g), Weight: []float64{w}}
+}
+
+func storeRoundtrip(t *testing.T, st Store) {
+	t.Helper()
+	for _, s := range []*Snapshot{snap(1, 0, true, cg(0, 0, 1)), snap(2, 1, false, cg(0, 1, 2)), snap(3, 2, false)} {
+		if err := st.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []int64{1, 2, 3}) {
+		t.Fatalf("List = %v, want ascending 1..3", ids)
+	}
+	got, err := st.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 2 || got.BaseID != 1 || got.Full || len(got.Groups) != 1 {
+		t.Fatalf("Get(2) roundtrip mangled: %+v", got)
+	}
+	if err := st.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(2); err != nil {
+		t.Fatalf("double delete not idempotent: %v", err)
+	}
+	if _, err := st.Get(2); err == nil {
+		t.Fatal("Get of deleted snapshot succeeded")
+	}
+	ids, _ = st.List()
+	if !reflect.DeepEqual(ids, []int64{1, 3}) {
+		t.Fatalf("List after delete = %v", ids)
+	}
+}
+
+func TestMemStoreRoundtrip(t *testing.T) { storeRoundtrip(t, NewMemStore()) }
+
+func TestFileStoreRoundtrip(t *testing.T) {
+	st, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeRoundtrip(t, st)
+}
+
+func TestDeltaAndMaterialize(t *testing.T) {
+	st := NewMemStore()
+	base := []engine.CkptGroup{cg(0, 0, 1), cg(0, 1, 2), cg(1, 0, 3)}
+	st.Put(snap(1, 0, true, base...))
+
+	prev := map[GroupKey]engine.CkptGroup{}
+	for _, g := range base {
+		prev[GroupKey{g.Query, g.Group}] = g
+	}
+	// Next state: group (0,0) changed, (0,1) unchanged, (1,0) gone, (1,1) new.
+	cur := []engine.CkptGroup{cg(0, 0, 9), cg(0, 1, 2), cg(1, 1, 4)}
+	groups, removed := delta(prev, cur)
+	if len(groups) != 2 {
+		t.Fatalf("delta stored %d groups, want 2 (changed + new): %+v", len(groups), groups)
+	}
+	if len(removed) != 1 || removed[0] != (GroupKey{1, 0}) {
+		t.Fatalf("tombstones = %+v, want [(1,0)]", removed)
+	}
+	st.Put(&Snapshot{ID: 2, BaseID: 1, Barrier: 2, CompletedAt: 2, Groups: groups, Removed: removed})
+
+	state, err := materialize(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[GroupKey]engine.CkptGroup{}
+	for _, g := range cur {
+		want[GroupKey{g.Query, g.Group}] = g
+	}
+	if !reflect.DeepEqual(state, want) {
+		t.Fatalf("materialized state %+v != current %+v", state, want)
+	}
+	if got := sortedGroups(state); !reflect.DeepEqual(got, cur) {
+		t.Fatalf("sortedGroups = %+v, want canonical %+v", got, cur)
+	}
+}
+
+func TestMaterializeBrokenChain(t *testing.T) {
+	st := NewMemStore()
+	st.Put(&Snapshot{ID: 5, BaseID: 4, Barrier: 5, CompletedAt: 5}) // base 4 missing
+	if _, err := materialize(st, 5); err == nil {
+		t.Fatal("materialize over a missing base succeeded")
+	}
+	st.Put(&Snapshot{ID: 7, BaseID: 7, Barrier: 7, CompletedAt: 7}) // self-referential
+	if _, err := materialize(st, 7); err == nil {
+		t.Fatal("materialize over a cyclic base succeeded")
+	}
+}
+
+// countingEngine builds a small counting-mode engine with traffic.
+func countingEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.NumPartitions = 8
+	cfg.NumGroups = 32
+	cfg.SourceTasks = 2
+	cfg.ExactWindows = false
+	cfg.Tick = 100 * vtime.Millisecond
+	stream := engine.StreamDef{
+		Name: "s", NumCols: 3, BytesPerTuple: 100,
+		NewGenerator: func(task int) engine.Generator {
+			i := int64(task) * 1009
+			return engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
+				i++
+				tu.Cols[0] = i % 64
+				tu.Cols[2] = 1
+			})
+		},
+	}
+	q := engine.QuerySpec{
+		ID: "q", Kind: engine.OpAggregate,
+		Inputs: []engine.Input{{Stream: 0, Key: engine.KeySpec{0}}},
+		Window: engine.WindowSpec{Range: vtime.Second, Slide: vtime.Second},
+		AggCol: 2,
+	}
+	e, err := engine.New(cfg, []engine.StreamDef{stream}, []engine.QuerySpec{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 20000)
+	return e
+}
+
+// runCoordinator drives eng+coordinator for d and returns the
+// coordinator.
+func runCoordinator(t *testing.T, eng *engine.Engine, cfg Config, d vtime.Duration) *Coordinator {
+	t.Helper()
+	c, err := New(eng, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := eng.Clock().Add(d)
+	for eng.Clock() < end {
+		eng.Run(eng.Config().Tick)
+		c.Poll()
+	}
+	return c
+}
+
+func TestCoordinatorFullSnapshots(t *testing.T) {
+	eng := countingEngine(t)
+	c := runCoordinator(t, eng, Config{Interval: vtime.Second}, 10*vtime.Second)
+	if c.Completed() < 5 {
+		t.Fatalf("only %d checkpoints over 10s at 1s interval", c.Completed())
+	}
+	if c.BytesStored() <= 0 {
+		t.Fatal("no bytes stored")
+	}
+	ids, _ := c.Store().List()
+	if len(ids) != 4 { // default retention
+		t.Fatalf("retention kept %d snapshots, want 4", len(ids))
+	}
+	for _, id := range ids {
+		s, err := c.Store().Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Full || len(s.Groups) == 0 {
+			t.Fatalf("snapshot %d: full=%v groups=%d", id, s.Full, len(s.Groups))
+		}
+	}
+}
+
+func TestCoordinatorIncrementalChainMaterializes(t *testing.T) {
+	eng := countingEngine(t)
+	c := runCoordinator(t, eng,
+		Config{Interval: vtime.Second, Incremental: true, Retention: 2, FullEvery: 100},
+		8*vtime.Second)
+	if c.Completed() < 4 {
+		t.Fatalf("only %d checkpoints", c.Completed())
+	}
+	ids, _ := c.Store().List()
+	// Retention 2 with an unrebased incremental chain: the base chain
+	// back to the full snapshot must survive pruning.
+	full := 0
+	for _, id := range ids {
+		s, err := c.Store().Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Full {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatalf("pruning dropped the base full snapshot (kept %v)", ids)
+	}
+	state, _, ok := c.LatestBefore(eng.Clock())
+	if !ok || len(state) == 0 {
+		t.Fatal("latest incremental checkpoint failed to materialize")
+	}
+	// The materialized latest must equal what a full-snapshot run
+	// captures at the same virtual time with the same seed.
+	eng2 := countingEngine(t)
+	c2 := runCoordinator(t, eng2, Config{Interval: vtime.Second}, 8*vtime.Second)
+	state2, snap2, ok := c2.LatestBefore(eng2.Clock())
+	if !ok {
+		t.Fatal("full run has no checkpoint")
+	}
+	if c.LastID() != snap2.ID {
+		t.Fatalf("runs diverged: incremental head %d vs full head %d", c.LastID(), snap2.ID)
+	}
+	if !reflect.DeepEqual(state, state2) {
+		t.Fatal("incremental chain materializes differently from full snapshots")
+	}
+}
+
+func TestCoordinatorFullEveryRebases(t *testing.T) {
+	eng := countingEngine(t)
+	c := runCoordinator(t, eng,
+		Config{Interval: vtime.Second, Incremental: true, FullEvery: 2, Retention: 8},
+		8*vtime.Second)
+	ids, _ := c.Store().List()
+	fulls := 0
+	for _, id := range ids {
+		s, _ := c.Store().Get(id)
+		if s.Full {
+			fulls++
+		}
+	}
+	if fulls < 2 {
+		t.Fatalf("FullEvery=2 produced %d full snapshots over %d checkpoints", fulls, c.Completed())
+	}
+}
+
+func TestCoordinatorDeterministicRepeat(t *testing.T) {
+	run := func() []*Snapshot {
+		eng := countingEngine(t)
+		c := runCoordinator(t, eng, Config{Interval: vtime.Second, Incremental: true}, 6*vtime.Second)
+		ids, _ := c.Store().List()
+		var out []*Snapshot
+		for _, id := range ids {
+			s, _ := c.Store().Get(id)
+			out = append(out, s)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no snapshots")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical runs stored different snapshots")
+	}
+}
+
+func TestStoreNodeOutOfRange(t *testing.T) {
+	eng := countingEngine(t)
+	if _, err := New(eng, Config{Interval: vtime.Second, StoreNode: 99}, nil); err == nil {
+		t.Fatal("StoreNode beyond the cluster accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package checkpoint
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"saspar/internal/engine"
+	"saspar/internal/keyspace"
+	"saspar/internal/vtime"
+)
+
+// GroupKey identifies one (query, key group) state cell across
+// snapshots — the granularity incremental deltas and restores work at.
+type GroupKey struct {
+	Query int
+	Group keyspace.GroupID
+}
+
+// Snapshot is one stored checkpoint. A full snapshot carries every
+// group's state; an incremental one carries only the groups that
+// changed since its base plus tombstones for groups that vanished, and
+// materializes by walking the BaseID chain back to the nearest full
+// snapshot.
+type Snapshot struct {
+	ID          int64
+	BaseID      int64 // 0 for a full snapshot
+	Full        bool
+	Barrier     vtime.Time // virtual time the barrier was injected
+	CompletedAt vtime.Time // virtual time every live slot had aligned
+	Bytes       float64    // modelled size of the groups stored HERE (delta, not materialized)
+	Groups      []engine.CkptGroup
+	Removed     []GroupKey `json:",omitempty"` // incremental tombstones
+}
+
+// delta builds an incremental snapshot from the previous materialized
+// state: groups whose state changed (or appeared), plus tombstones for
+// groups present in prev but absent now. Group order follows cur
+// (already sorted by the engine); tombstones are sorted.
+func delta(prev map[GroupKey]engine.CkptGroup, cur []engine.CkptGroup) (groups []engine.CkptGroup, removed []GroupKey) {
+	seen := make(map[GroupKey]bool, len(cur))
+	for _, g := range cur {
+		k := GroupKey{g.Query, g.Group}
+		seen[k] = true
+		if old, ok := prev[k]; ok && reflect.DeepEqual(old, g) {
+			continue
+		}
+		groups = append(groups, g)
+	}
+	for k := range prev {
+		if !seen[k] {
+			removed = append(removed, k)
+		}
+	}
+	sort.Slice(removed, func(i, j int) bool {
+		if removed[i].Query != removed[j].Query {
+			return removed[i].Query < removed[j].Query
+		}
+		return removed[i].Group < removed[j].Group
+	})
+	return groups, removed
+}
+
+// materialize resolves snapshot id to its full group state by walking
+// the BaseID chain back to a full snapshot and replaying deltas
+// forward.
+func materialize(st Store, id int64) (map[GroupKey]engine.CkptGroup, error) {
+	var chain []*Snapshot
+	for {
+		s, err := st.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, s)
+		if s.Full {
+			break
+		}
+		if s.BaseID == 0 || s.BaseID >= s.ID {
+			return nil, fmt.Errorf("checkpoint: snapshot %d has broken base chain (base %d)", s.ID, s.BaseID)
+		}
+		id = s.BaseID
+	}
+	state := map[GroupKey]engine.CkptGroup{}
+	for i := len(chain) - 1; i >= 0; i-- {
+		s := chain[i]
+		for _, g := range s.Groups {
+			state[GroupKey{g.Query, g.Group}] = g
+		}
+		for _, k := range s.Removed {
+			delete(state, k)
+		}
+	}
+	return state, nil
+}
+
+// sortedGroups flattens a materialized state map into the engine's
+// canonical (Query, Group) order.
+func sortedGroups(state map[GroupKey]engine.CkptGroup) []engine.CkptGroup {
+	out := make([]engine.CkptGroup, 0, len(state))
+	for _, g := range state {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Query != out[j].Query {
+			return out[i].Query < out[j].Query
+		}
+		return out[i].Group < out[j].Group
+	})
+	return out
+}

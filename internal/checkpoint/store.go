@@ -1,0 +1,143 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store is a pluggable snapshot store. Implementations must return
+// snapshot ids from List in ascending order; Get of an unknown id is
+// an error (a pruned or never-written snapshot).
+type Store interface {
+	Put(s *Snapshot) error
+	Get(id int64) (*Snapshot, error)
+	List() ([]int64, error)
+	Delete(id int64) error
+}
+
+// MemStore keeps snapshots in memory — the default store, and the one
+// benchmarks use (a run's checkpoints die with the run). Safe for
+// concurrent use so run-matrix cells could share one if they wanted to.
+type MemStore struct {
+	mu    sync.Mutex
+	snaps map[int64]*Snapshot
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{snaps: map[int64]*Snapshot{}} }
+
+func (m *MemStore) Put(s *Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snaps[s.ID] = s
+	return nil
+}
+
+func (m *MemStore) Get(id int64) (*Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.snaps[id]
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: no snapshot %d", id)
+	}
+	return s, nil
+}
+
+func (m *MemStore) List() ([]int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]int64, 0, len(m.snaps))
+	for id := range m.snaps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+func (m *MemStore) Delete(id int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.snaps, id)
+	return nil
+}
+
+// FileStore persists snapshots as one JSON file per checkpoint under a
+// directory (ckpt-00000001.json, ...). It exists so recovery state can
+// outlive a process; tests point it at a temp dir.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore opens (creating if needed) a file-backed store rooted
+// at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (f *FileStore) path(id int64) string {
+	return filepath.Join(f.dir, fmt.Sprintf("ckpt-%08d.json", id))
+}
+
+func (f *FileStore) Put(s *Snapshot) error {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode snapshot %d: %w", s.ID, err)
+	}
+	// Write-then-rename so a crash mid-write never leaves a torn
+	// snapshot behind for List/Get to trip over.
+	tmp := f.path(s.ID) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, f.path(s.ID))
+}
+
+func (f *FileStore) Get(id int64) (*Snapshot, error) {
+	b, err := os.ReadFile(f.path(id))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: no snapshot %d: %w", id, err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode snapshot %d: %w", id, err)
+	}
+	return &s, nil
+}
+
+func (f *FileStore) List() ([]int64, error) {
+	ents, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".json"), 10, 64)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+func (f *FileStore) Delete(id int64) error {
+	err := os.Remove(f.path(id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

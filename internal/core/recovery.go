@@ -3,6 +3,7 @@ package core
 import (
 	"strconv"
 
+	"saspar/internal/checkpoint"
 	"saspar/internal/cluster"
 	"saspar/internal/keyspace"
 	"saspar/internal/obs"
@@ -39,7 +40,12 @@ func (s *System) pollHealth() {
 	if !s.recoveryPending {
 		s.recoveryPending = true
 		s.recoveryStart = s.eng.Clock()
+		s.evacuated = nil
 	}
+	// Record which state cells sit on the unhealthy nodes before any
+	// evacuation moves them: this is the set checkpoint restore
+	// re-seeds once recovery completes.
+	s.noteEvacuated(unhealthy)
 	// A new fault invalidates whatever evacuation was being planned:
 	// restart the attempt budget and retry immediately.
 	s.recoveryAttempts = 0
@@ -106,12 +112,15 @@ func (s *System) recoveryComplete() bool {
 	return true
 }
 
-// finishRecovery closes out a detected fault: counters, trace event,
+// finishRecovery closes out a detected fault: restore evacuated state
+// from the last pre-fault checkpoint, then counters, trace event,
 // recovery-time histogram.
 func (s *System) finishRecovery() {
 	s.recoveryPending = false
 	s.recoveries++
 	elapsed := s.eng.Clock().Sub(s.recoveryStart)
+	s.restoreFromCheckpoint()
+	s.evacuated = nil
 	lost := s.eng.LostBytes() + s.eng.Network().Stats().BytesLost
 	if s.obs != nil {
 		s.obs.recoveries.Inc()
@@ -123,6 +132,84 @@ func (s *System) finishRecovery() {
 			obs.F("lost_bytes", lost))
 	}
 	s.recoveryAttempts = 0
+}
+
+// noteEvacuated records the (query, group) cells currently assigned to
+// an unhealthy node. Only meaningful with checkpointing on — without a
+// coordinator there is nothing to restore from.
+func (s *System) noteEvacuated(unhealthy []cluster.NodeID) {
+	if s.ckpt == nil {
+		return
+	}
+	bad := map[cluster.NodeID]bool{}
+	for _, n := range unhealthy {
+		bad[n] = true
+	}
+	if s.evacuated == nil {
+		s.evacuated = map[checkpoint.GroupKey]bool{}
+	}
+	for qi := 0; qi < s.eng.NumQueries(); qi++ {
+		if !s.eng.QueryActive(qi) {
+			continue
+		}
+		a := s.eng.Assignment(qi)
+		for g := 0; g < a.NumGroups(); g++ {
+			gid := keyspace.GroupID(g)
+			if bad[s.eng.PartitionNode(int(a.Partition(gid)))] {
+				s.evacuated[checkpoint.GroupKey{Query: qi, Group: gid}] = true
+			}
+		}
+	}
+}
+
+// restoreFromCheckpoint re-seeds the evacuated key groups from the
+// newest checkpoint that completed before the fault was detected. The
+// state ships from the snapshot-store courier node to each group's new
+// owner over the simulated network; the restore time reported is the
+// slowest transfer (restores fan out in parallel). Counting-mode state
+// restores exactly once; exact-mode join buffers at-least-once (see
+// engine.RestoreGroup).
+func (s *System) restoreFromCheckpoint() {
+	if s.ckpt == nil || len(s.evacuated) == 0 {
+		return
+	}
+	groups, snap, ok := s.ckpt.LatestBefore(s.recoveryStart)
+	if !ok {
+		return
+	}
+	courier := s.ckpt.CourierNode()
+	net := s.eng.Network()
+	var bytes float64
+	var slowest vtime.Duration
+	restored := 0
+	for _, g := range groups {
+		if !s.evacuated[checkpoint.GroupKey{Query: g.Query, Group: g.Group}] {
+			continue
+		}
+		b := s.eng.RestoreGroup(g)
+		if b <= 0 {
+			continue
+		}
+		owner := int(s.eng.Assignment(g.Query).Partition(g.Group))
+		_, d := net.Send(courier, s.eng.PartitionNode(owner), b)
+		if d > slowest {
+			slowest = d
+		}
+		bytes += b
+		restored++
+	}
+	if restored == 0 {
+		return
+	}
+	if s.obs != nil {
+		s.obs.restoreTime.Observe(slowest.Seconds())
+		s.obs.restoredBytes.Set(s.eng.RestoredBytes())
+		s.obs.reg.Emit(s.eng.Clock(), obs.EvCheckpointRestore,
+			obs.I("checkpoint", snap.ID),
+			obs.I("groups", int64(restored)),
+			obs.F("restored_bytes", bytes),
+			obs.F("restore_ms", slowest.Seconds()*1e3))
+	}
 }
 
 // allowedPartitions builds the optimizer's placement mask from current

@@ -68,6 +68,12 @@ type Engine struct {
 	nodeDown  []bool
 	lostBytes float64
 
+	// ckpt is nil until the first BeginCheckpoint (same lazy discipline
+	// as nodeDown), so checkpoint-free runs keep the hot path cold.
+	// restoredBytes counts window state re-installed via RestoreGroup.
+	ckpt          *engCkpt
+	restoredBytes float64
+
 	// entryFree recycles consumed entry objects (and their payload
 	// slice capacity) back to the producers. The engine is
 	// single-threaded by contract, so a plain slice beats sync.Pool:
@@ -382,6 +388,7 @@ func (e *Engine) enqueue(rt *routerTask, en *entry) {
 		e.lostBytes += en.bytes
 		if en.kind == entryState {
 			e.outstandingState--
+			e.ckptDropPending(pendKey{en.stQuery, en.stGroup})
 		}
 		e.recycleEntry(en)
 		return
@@ -551,6 +558,7 @@ func (e *Engine) RemoveQuery(qi int) error {
 	// overall-throughput sum after the query is gone.
 	e.metrics.removeQuery(qi)
 	// Drop state everywhere.
+	e.ckptDropQuery(qi)
 	e.qcount[qi] = newQCounting(len(e.queries[qi].spec.Inputs), e.cfg.NumGroups)
 	for _, s := range e.slots {
 		delete(s.exact, qi)
@@ -638,12 +646,17 @@ func (e *Engine) SetNodeDown(n cluster.NodeID, down bool) {
 				e.lostBytes += en.bytes
 				if en.kind == entryState {
 					e.outstandingState--
+					e.ckptDropPending(pendKey{en.stQuery, en.stGroup})
 				}
 				e.recycleEntry(en)
 			}
 		}
 	}
 	e.inboxBytes[n] = 0
+	// Fail-stop applies to state too: the window state resident on the
+	// node dies with it and is tallied as lost — exactly the loss a
+	// checkpoint bounds.
+	e.lostBytes += e.destroyNodeState(n)
 }
 
 // NodeDown reports whether node n is crashed.

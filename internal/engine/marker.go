@@ -16,6 +16,15 @@ const (
 	// MarkerFinalize is the second round (step 5): iterators revert to
 	// their default forward-everything logic.
 	MarkerFinalize
+	// MarkerCheckpoint is an aligned checkpoint barrier. It reuses the
+	// alignment machinery (step 2) but moves no state: each slot's
+	// window state is snapshotted at its alignment point instead, which
+	// is exactly the pre-barrier/post-barrier cut the reconfiguration
+	// protocol already guarantees. Checkpoint barriers flow through the
+	// same FIFO edges as reconfiguration markers, so they interleave
+	// safely with an in-flight PlanDelta: per-edge FIFO ordering means
+	// every slot observes the two barriers in broadcast order.
+	MarkerCheckpoint
 )
 
 // Marker is a labelled stream tuple that travels the dataflow in-band
@@ -24,6 +33,7 @@ type Marker struct {
 	Epoch int64
 	Kind  MarkerKind
 	Delta *PlanDelta
+	Ckpt  int64 // checkpoint id (MarkerCheckpoint only)
 }
 
 // PlanDelta describes one re-optimization: for every query whose

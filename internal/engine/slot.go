@@ -50,7 +50,7 @@ type entry struct {
 	stQuery  int
 	stGroup  keyspace.GroupID
 	stWeight float64
-	stAgg    []aggPartial // exact-mode aggregation partials
+	stAgg    []AggPartial // exact-mode aggregation partials
 	stJoin   [2][]Tuple   // exact-mode join buffers per side
 }
 
@@ -384,6 +384,13 @@ func (s *slot) completeAlignment(e *Engine) {
 
 	if m.Kind == MarkerFinalize {
 		// Step 5: iterators revert to pass-through; nothing to move.
+		return
+	}
+	if m.Kind == MarkerCheckpoint {
+		// Aligned snapshot point: every pre-barrier tuple on every edge
+		// has been folded into this slot's state, no post-barrier tuple
+		// has. Capture and resume; no state moves, no JIT runs.
+		e.captureCheckpoint(s, m)
 		return
 	}
 	d := m.Delta

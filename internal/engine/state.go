@@ -55,9 +55,11 @@ type aggAcc struct {
 	weight float64
 }
 
-// aggPartial is the wire form of a partial aggregate moved between
-// slots during re-partitioning.
-type aggPartial struct {
+// AggPartial is the wire form of a partial aggregate moved between
+// slots during re-partitioning — and the unit checkpoints capture and
+// restore (see checkpoint.go), which is why it is exported and
+// JSON-serializable.
+type AggPartial struct {
 	Win    vtime.Time
 	Key    uint64
 	Sum    float64
@@ -225,7 +227,7 @@ func (e *Engine) extractAndReturn(s *slot, qi int, g keyspace.GroupID) {
 					if e.space.GroupOf(k.key) != g {
 						continue
 					}
-					en.stAgg = append(en.stAgg, aggPartial{Win: k.win, Key: k.key, Sum: acc.sum, Weight: acc.weight})
+					en.stAgg = append(en.stAgg, AggPartial{Win: k.win, Key: k.key, Sum: acc.sum, Weight: acc.weight})
 					en.stWeight += acc.weight
 					delete(st.agg, k)
 				}
@@ -321,6 +323,9 @@ func (e *Engine) mergeState(s *slot, en *entry) {
 		c.rate[0][en.stGroup] += en.stWeight / tau
 	}
 	k := pendKey{qi, en.stGroup}
+	// An in-flight checkpoint that saw this group pending at alignment
+	// completes its capture from the state that just landed.
+	e.ckptMergeHook(k, en)
 	delete(s.pendingState, k)
 	e.outstandingState--
 	// Replay tuples that arrived for this group while its state was in

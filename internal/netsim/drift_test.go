@@ -1,0 +1,80 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"saspar/internal/vtime"
+)
+
+// The byte counters (bytesNet, bytesLocal, bytesLost — and the
+// engine's LostBytes mirror) are float64 accumulated one tuple at a
+// time. These are regression tests for accumulation drift: integral
+// tuple sizes must count exactly (a float64 holds integers exactly up
+// to 2^53, and adding integers below that bound is closed), and
+// fractional modelled weights must stay within float64 rounding error
+// of exact accounting over realistic tuple counts.
+
+func TestLocalByteAccountingExactForIntegralSizes(t *testing.T) {
+	n := testNet(2, 1e9, DefaultConfig())
+	n.BeginTick(vtime.Second)
+	// Local sends (from == to) bypass queue admission, so every byte is
+	// accepted and the counter sees one add per tuple — the same
+	// pattern the engine's hot path produces.
+	const tuples = 2_000_000
+	var want int64
+	sizes := []int64{100, 128, 1500, 65536}
+	for i := 0; i < tuples; i++ {
+		sz := sizes[i%len(sizes)]
+		n.Send(0, 0, float64(sz))
+		want += sz
+	}
+	got := n.Stats().BytesLocal
+	if got != float64(want) {
+		t.Fatalf("float accumulation drifted: got %.6f, integer accounting says %d (diff %g)",
+			got, want, got-float64(want))
+	}
+	if float64(want) > 1<<53 {
+		t.Fatal("test total overflows exact float64 range; shrink it")
+	}
+}
+
+func TestWireByteAccountingExactForIntegralSizes(t *testing.T) {
+	// Big queues so nothing is refused; the wire counter must match
+	// integer accounting exactly too.
+	cfg := DefaultConfig()
+	cfg.MaxQueueBytes = 1e15
+	n := testNet(2, 1e12, cfg)
+	var want int64
+	for tick := 0; tick < 100; tick++ {
+		n.BeginTick(vtime.Second)
+		for i := 0; i < 10_000; i++ {
+			acc, _ := n.Send(0, 1, 1009)
+			if acc != 1009 {
+				t.Fatalf("send refused (%v accepted) — widen the queues", acc)
+			}
+			want += 1009
+		}
+	}
+	if got := n.Stats().BytesNet; got != float64(want) {
+		t.Fatalf("wire counter drifted: got %.6f want %d", got, want)
+	}
+}
+
+func TestFractionalWeightAccumulationBounded(t *testing.T) {
+	// Modelled tuple weights are fractional after derating; exactness
+	// is impossible, but the relative error of naive summation over a
+	// realistic run must stay far below anything a report would show.
+	n := testNet(2, 1e9, DefaultConfig())
+	n.BeginTick(vtime.Second)
+	const tuples = 1_000_000
+	const w = 100.7
+	for i := 0; i < tuples; i++ {
+		n.Send(0, 0, w)
+	}
+	got := n.Stats().BytesLocal
+	want := w * tuples
+	if rel := math.Abs(got-want) / want; rel > 1e-9 {
+		t.Fatalf("fractional accumulation error %g exceeds 1e-9 (got %v want %v)", rel, got, want)
+	}
+}

@@ -52,6 +52,19 @@ const (
 	// unhealthy partition and AQE is idle. Attrs: recovery_ms, attempts,
 	// lost_bytes.
 	EvFaultRecovered EventKind = "fault_recovered"
+	// EvCheckpointBegin: the checkpoint coordinator injected an aligned
+	// checkpoint barrier. Attrs: checkpoint (id).
+	EvCheckpointBegin EventKind = "checkpoint_begin"
+	// EvCheckpointComplete: every live slot aligned on the barrier and
+	// the snapshot was written to the store. Attrs: checkpoint, groups,
+	// bytes, duration_ms (virtual milliseconds barrier→completion),
+	// full (1 for a full snapshot, 0 for an incremental delta).
+	EvCheckpointComplete EventKind = "checkpoint_complete"
+	// EvCheckpointRestore: recovery re-installed evacuated key groups
+	// from the newest pre-fault checkpoint. Attrs: checkpoint, groups,
+	// restored_bytes, restore_ms (virtual milliseconds to re-ship the
+	// state from the store courier).
+	EvCheckpointRestore EventKind = "checkpoint_restore"
 )
 
 // KV is one ordered event attribute. Values are stringified at emit

@@ -10,9 +10,10 @@
 #                      (internal/optimizer) and the telemetry registry
 #                      written to from harness workers (internal/obs) —
 #                      under the race detector, plus the fault scheduler
-#                      (internal/faults) and the AQE controller
-#                      (internal/aqe) whose recovery paths run inside
-#                      pooled harness cells
+#                      (internal/faults), the AQE controller
+#                      (internal/aqe) and the checkpoint coordinator
+#                      (internal/checkpoint) whose recovery paths run
+#                      inside pooled harness cells
 #
 # SASPAR_PARALLEL caps the harness worker pool; keep CI deterministic
 # but let the bench tests use the machine.
@@ -37,6 +38,6 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/parallel/ ./internal/optimizer/ ./internal/obs/ ./internal/faults/ ./internal/aqe/
+go test -race ./internal/parallel/ ./internal/optimizer/ ./internal/obs/ ./internal/faults/ ./internal/aqe/ ./internal/checkpoint/
 
 echo "CI OK"
