@@ -141,6 +141,12 @@ func checkpointsCmd(args []string) {
 	)
 	fs.Parse(args)
 
+	// A zero interval means "checkpointing off" to core.Config.Validate,
+	// which would leave the coordinator nil and this command pointless.
+	if *interval <= 0 {
+		fail(fmt.Errorf("checkpoints: -interval must be positive, got %v", *interval))
+	}
+
 	w, err := workload.Open(*wlName, workload.Options{
 		Queries: *queries,
 		Window:  engine.WindowSpec{Range: 4 * vtime.Second, Slide: 4 * vtime.Second},
@@ -210,8 +216,28 @@ func checkpointsCmd(args []string) {
 	fmt.Printf("checkpoints  %d completed, %.1f MB stored (interval %v, retention shown below)\n",
 		snap.Checkpoints, snap.CheckpointBytes/1e6, ck.Interval())
 	if *crash {
-		fmt.Printf("crash        lost %.1f MB gross, restored %.1f MB from checkpoint %d\n",
-			snap.LostBytes/1e6, snap.RestoredBytes/1e6, ck.LastID())
+		// The restore source comes from the trace: LatestBefore picks
+		// the newest checkpoint completed before detection, which is
+		// usually older than LastID — checkpoints keep completing while
+		// recovery runs.
+		src := ""
+		for _, ev := range sys.Trace() {
+			if ev.Kind != obs.EvCheckpointRestore {
+				continue
+			}
+			for _, kv := range ev.Attrs {
+				if kv.K == "checkpoint" {
+					src = kv.V
+				}
+			}
+		}
+		if src == "" {
+			fmt.Printf("crash        lost %.1f MB gross, no checkpoint restore performed\n",
+				snap.LostBytes/1e6)
+		} else {
+			fmt.Printf("crash        lost %.1f MB gross, restored %.1f MB from checkpoint %s\n",
+				snap.LostBytes/1e6, snap.RestoredBytes/1e6, src)
+		}
 	}
 
 	ids, err := ck.Store().List()

@@ -182,14 +182,12 @@ func (c *Coordinator) finish(d *engine.CheckpointData) {
 		snap.Full = true
 		snap.Groups = d.Groups
 		snap.Bytes = d.Bytes
-		c.sinceFull = 0
 	} else {
 		snap.BaseID = c.lastID
 		snap.Groups, snap.Removed = delta(c.last, d.Groups)
 		for i := range snap.Groups {
 			snap.Bytes += c.eng.GroupBytes(&snap.Groups[i])
 		}
-		c.sinceFull++
 	}
 	if err := c.cfg.Store.Put(snap); err != nil {
 		// A failed Put drops this checkpoint; the previous one stays
@@ -198,6 +196,14 @@ func (c *Coordinator) finish(d *engine.CheckpointData) {
 			c.co.storeErrs.Inc()
 		}
 		return
+	}
+	// Advance the full/incremental cadence only once the snapshot is
+	// durably stored: a dropped rebase must not let the incremental
+	// chain run past the FullEvery bound on materialization walks.
+	if full {
+		c.sinceFull = 0
+	} else {
+		c.sinceFull++
 	}
 	c.last = map[GroupKey]engine.CkptGroup{}
 	for _, g := range d.Groups {

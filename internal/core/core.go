@@ -198,11 +198,12 @@ type System struct {
 	faultsDetected   int
 	recoveries       int
 
-	// Checkpointing (nil without a Checkpoint.Interval). evacuated
-	// records the (query, group) cells that sat on unhealthy nodes when
-	// degraded mode began — the set restore re-seeds after evacuation.
+	// Checkpointing (nil without a Checkpoint.Interval). destroyed
+	// records the (query, group) cells whose window state the current
+	// fault episode actually destroyed (drained from the engine) — the
+	// set restore re-seeds once recovery completes.
 	ckpt      *checkpoint.Coordinator
-	evacuated map[checkpoint.GroupKey]bool
+	destroyed map[checkpoint.GroupKey]bool
 
 	obs *sysObs // nil unless cfg.Obs is set
 }

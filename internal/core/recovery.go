@@ -40,12 +40,11 @@ func (s *System) pollHealth() {
 	if !s.recoveryPending {
 		s.recoveryPending = true
 		s.recoveryStart = s.eng.Clock()
-		s.evacuated = nil
+		s.destroyed = nil
 	}
-	// Record which state cells sit on the unhealthy nodes before any
-	// evacuation moves them: this is the set checkpoint restore
-	// re-seeds once recovery completes.
-	s.noteEvacuated(unhealthy)
+	// Record which state cells the fault actually destroyed: this is
+	// the set checkpoint restore re-seeds once recovery completes.
+	s.noteDestroyed()
 	// A new fault invalidates whatever evacuation was being planned:
 	// restart the attempt budget and retry immediately.
 	s.recoveryAttempts = 0
@@ -120,7 +119,7 @@ func (s *System) finishRecovery() {
 	s.recoveries++
 	elapsed := s.eng.Clock().Sub(s.recoveryStart)
 	s.restoreFromCheckpoint()
-	s.evacuated = nil
+	s.destroyed = nil
 	lost := s.eng.LostBytes() + s.eng.Network().Stats().BytesLost
 	if s.obs != nil {
 		s.obs.recoveries.Inc()
@@ -134,35 +133,30 @@ func (s *System) finishRecovery() {
 	s.recoveryAttempts = 0
 }
 
-// noteEvacuated records the (query, group) cells currently assigned to
-// an unhealthy node. Only meaningful with checkpointing on — without a
-// coordinator there is nothing to restore from.
-func (s *System) noteEvacuated(unhealthy []cluster.NodeID) {
+// noteDestroyed drains the engine's record of (query, group) cells
+// whose window state a crash actually destroyed and folds it into the
+// restore set. Cells on derated-but-alive nodes are evacuated live
+// (and transient faults heal in place), so they never enter the set —
+// re-installing a checkpointed copy on top of intact state would
+// double-count window contents. Only meaningful with checkpointing on;
+// without a coordinator there is nothing to restore from.
+func (s *System) noteDestroyed() {
 	if s.ckpt == nil {
 		return
 	}
-	bad := map[cluster.NodeID]bool{}
-	for _, n := range unhealthy {
-		bad[n] = true
+	cells := s.eng.DrainDestroyedState()
+	if len(cells) == 0 {
+		return
 	}
-	if s.evacuated == nil {
-		s.evacuated = map[checkpoint.GroupKey]bool{}
+	if s.destroyed == nil {
+		s.destroyed = map[checkpoint.GroupKey]bool{}
 	}
-	for qi := 0; qi < s.eng.NumQueries(); qi++ {
-		if !s.eng.QueryActive(qi) {
-			continue
-		}
-		a := s.eng.Assignment(qi)
-		for g := 0; g < a.NumGroups(); g++ {
-			gid := keyspace.GroupID(g)
-			if bad[s.eng.PartitionNode(int(a.Partition(gid)))] {
-				s.evacuated[checkpoint.GroupKey{Query: qi, Group: gid}] = true
-			}
-		}
+	for _, c := range cells {
+		s.destroyed[checkpoint.GroupKey{Query: c.Query, Group: c.Group}] = true
 	}
 }
 
-// restoreFromCheckpoint re-seeds the evacuated key groups from the
+// restoreFromCheckpoint re-seeds the destroyed key groups from the
 // newest checkpoint that completed before the fault was detected. The
 // state ships from the snapshot-store courier node to each group's new
 // owner over the simulated network; the restore time reported is the
@@ -170,7 +164,10 @@ func (s *System) noteEvacuated(unhealthy []cluster.NodeID) {
 // restores exactly once; exact-mode join buffers at-least-once (see
 // engine.RestoreGroup).
 func (s *System) restoreFromCheckpoint() {
-	if s.ckpt == nil || len(s.evacuated) == 0 {
+	// Pick up cells destroyed after detection (e.g. moved state torn
+	// up in flight while the evacuation was still running).
+	s.noteDestroyed()
+	if s.ckpt == nil || len(s.destroyed) == 0 {
 		return
 	}
 	groups, snap, ok := s.ckpt.LatestBefore(s.recoveryStart)
@@ -183,10 +180,10 @@ func (s *System) restoreFromCheckpoint() {
 	var slowest vtime.Duration
 	restored := 0
 	for _, g := range groups {
-		if !s.evacuated[checkpoint.GroupKey{Query: g.Query, Group: g.Group}] {
+		if !s.destroyed[checkpoint.GroupKey{Query: g.Query, Group: g.Group}] {
 			continue
 		}
-		b := s.eng.RestoreGroup(g)
+		b := s.eng.RestoreGroup(g, snap.Barrier)
 		if b <= 0 {
 			continue
 		}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"saspar/internal/cluster"
@@ -34,6 +35,12 @@ type CkptGroup struct {
 	Weight []float64    `json:",omitempty"` // counting mode, per input side
 	Agg    []AggPartial `json:",omitempty"` // exact mode aggregation partials
 	Join   [2][]Tuple   // exact mode join buffers per side
+}
+
+// StateKey identifies one (query, key group) window-state cell.
+type StateKey struct {
+	Query int
+	Group keyspace.GroupID
 }
 
 // CheckpointData is one completed checkpoint as assembled by the
@@ -309,17 +316,23 @@ func (e *Engine) GroupBytes(cg *CkptGroup) float64 {
 }
 
 // RestoreGroup re-installs one checkpointed key group's window state
-// at the group's current owner. Exact mode replays the snapshot
+// at the group's current owner. barrier is the virtual time the
+// snapshot's checkpoint barrier was injected — the instant the
+// captured state was current. Exact mode replays the snapshot
 // through the same mergeState path a live migration uses, so held
 // tuples that piled up while the group awaited state replay in arrival
-// order afterwards; counting-mode weights fold into the engine-global
-// EWMA exactly once. Exact-mode join buffers were flattened per window
+// order afterwards (its tuples carry their own timestamps, so normal
+// window eviction ages them; barrier is unused); counting-mode weights
+// fold into the engine-global EWMA exactly once, decayed for the
+// virtual time elapsed since barrier — the slice of the snapshot that
+// would already have slid out of the window by restore time must not
+// be re-installed. Exact-mode join buffers were flattened per window
 // instance at capture (the same quirk as live state movement), so
 // sliding-window joins restore at-least-once — duplicates are
 // possible, exact aggregates and counting state are not affected.
-// Returns the modelled bytes restored; 0 when the query is gone or the
-// owner's node is down.
-func (e *Engine) RestoreGroup(cg CkptGroup) float64 {
+// Returns the modelled bytes shipped for the restore; 0 when the query
+// is gone or the owner's node is down.
+func (e *Engine) RestoreGroup(cg CkptGroup, barrier vtime.Time) float64 {
 	if cg.Query < 0 || cg.Query >= len(e.queries) || e.queries[cg.Query].inactive {
 		return 0
 	}
@@ -328,9 +341,16 @@ func (e *Engine) RestoreGroup(cg CkptGroup) float64 {
 	if !e.cfg.ExactWindows {
 		c := e.qcount[cg.Query]
 		tau := q.spec.Window.Range.Seconds()
+		// Age the snapshot to now with the same exponential decay
+		// decayTo applies to live rates, so the restored state matches
+		// what an uninterrupted run would still hold in-window.
+		decay := 1.0
+		if dt := e.clock.Sub(barrier).Seconds(); dt > 0 {
+			decay = math.Exp(-dt / tau)
+		}
 		for side := 0; side < len(c.rate) && side < len(cg.Weight); side++ {
 			c.decayTo(side, cg.Group, e.clock, tau)
-			c.rate[side][cg.Group] += cg.Weight[side] / tau
+			c.rate[side][cg.Group] += cg.Weight[side] * decay / tau
 		}
 		e.restoredBytes += bytes
 		return bytes
@@ -361,6 +381,33 @@ func (e *Engine) RestoreGroup(cg CkptGroup) float64 {
 // re-installed through RestoreGroup.
 func (e *Engine) RestoredBytes() float64 { return e.restoredBytes }
 
+// markStateDestroyed records that a node crash destroyed cell k's
+// window state (resident on the dead node, or torn up while moving).
+func (e *Engine) markStateDestroyed(k pendKey) {
+	if e.destroyedState == nil {
+		e.destroyedState = map[pendKey]bool{}
+	}
+	e.destroyedState[k] = true
+}
+
+// DrainDestroyedState returns the (query, group) cells whose window
+// state node crashes destroyed since the last drain, and clears the
+// record. This is the exact set a checkpoint restore may re-seed:
+// cells evacuated live off a derated-but-alive node, or healed in
+// place by an expiring transient, never appear here — restoring those
+// would stack the snapshot on top of intact state.
+func (e *Engine) DrainDestroyedState() []StateKey {
+	if len(e.destroyedState) == 0 {
+		return nil
+	}
+	out := make([]StateKey, 0, len(e.destroyedState))
+	for k := range e.destroyedState {
+		out = append(out, StateKey{Query: k.query, Group: k.group})
+	}
+	e.destroyedState = nil
+	return out
+}
+
 // destroyNodeState destroys the window state resident on a crashed
 // node — exact-mode slot state plus held tuples, or the counting-mode
 // share of groups assigned to the node's slots — and returns its
@@ -376,13 +423,15 @@ func (e *Engine) destroyNodeState(n cluster.NodeID) float64 {
 		for qi, st := range s.exact {
 			bpt := e.streams[e.queries[qi].spec.Inputs[0].Stream].BytesPerTuple
 			if st.agg != nil {
-				for _, acc := range st.agg {
+				for ak, acc := range st.agg {
 					lost += acc.weight * bpt
+					e.markStateDestroyed(pendKey{qi, e.space.GroupOf(ak.key)})
 				}
 			}
 			for side := range st.join {
-				for _, buf := range st.join[side] {
+				for ak, buf := range st.join[side] {
 					lost += float64(len(buf)) * bpt
+					e.markStateDestroyed(pendKey{qi, e.space.GroupOf(ak.key)})
 				}
 			}
 		}
@@ -408,6 +457,7 @@ func (e *Engine) destroyNodeState(n cluster.NodeID) float64 {
 				if e.slots[q.assign.Partition(gid)].node != n {
 					continue
 				}
+				e.markStateDestroyed(pendKey{qi, gid})
 				for side := range c.rate {
 					c.decayTo(side, gid, e.clock, tau)
 					lost += c.rate[side][gid] * tau * bpt

@@ -278,7 +278,7 @@ func TestRestoreGroupReplaysHeldTuples(t *testing.T) {
 
 	cg := CkptGroup{Query: 0, Group: g,
 		Agg: []AggPartial{{Win: e.Clock(), Key: 0, Weight: 11, Sum: 2}}}
-	b := e.RestoreGroup(cg)
+	b := e.RestoreGroup(cg, e.Clock())
 	if b <= 0 {
 		t.Fatalf("restore reported %v bytes", b)
 	}
@@ -306,8 +306,94 @@ func TestRestoreGroupCountingFoldsRates(t *testing.T) {
 	d := driveCheckpoint(t, e, 1)
 	cg := d.Groups[0]
 	before := e.GroupBytes(&cg)
-	b := e.RestoreGroup(cg)
+	b := e.RestoreGroup(cg, d.Barrier)
 	if b <= 0 || before <= 0 {
 		t.Fatalf("counting restore moved no bytes (restore=%v size=%v)", b, before)
+	}
+}
+
+// TestRestoreGroupCountingDecaysToBarrierAge checks that a counting
+// restore ages the snapshot: weight restored long after the barrier
+// must land as a smaller rate than the same weight restored at the
+// barrier, matching what sliding-window decay would have left behind.
+func TestRestoreGroupCountingDecaysToBarrierAge(t *testing.T) {
+	cfg := faultConfig()
+	e, err := New(cfg, []StreamDef{testStream("s", 64)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 20000)
+	e.Run(2 * vtime.Second)
+	d := driveCheckpoint(t, e, 1)
+	cg := d.Groups[0]
+	e.SetStreamRate(0, 0) // freeze arrivals so only the restores move the rate
+
+	rate := func() float64 {
+		c := e.qcount[cg.Query]
+		var r float64
+		for side := range c.rate {
+			c.decayTo(side, cg.Group, e.clock, e.queries[cg.Query].spec.Window.Range.Seconds())
+			r += c.rate[side][cg.Group]
+		}
+		return r
+	}
+	base := rate()
+	if e.RestoreGroup(cg, e.Clock()) <= 0 {
+		t.Fatal("fresh restore moved no bytes")
+	}
+	fresh := rate() - base
+	e.Run(3 * vtime.Second) // age the clock well past the barrier
+	base = rate()
+	if e.RestoreGroup(cg, d.Barrier) <= 0 {
+		t.Fatal("aged restore moved no bytes")
+	}
+	aged := rate() - base
+	if fresh <= 0 || aged <= 0 {
+		t.Fatalf("restores installed no rate (fresh=%v aged=%v)", fresh, aged)
+	}
+	if aged >= fresh*0.8 {
+		t.Fatalf("stale snapshot not decayed: aged restore added %v, fresh added %v", aged, fresh)
+	}
+}
+
+// TestCrashMarksOnlyDeadNodeStateDestroyed pins the contract the core
+// recovery loop relies on: DrainDestroyedState reports exactly the
+// cells a crash destroyed — groups on live (even derated) nodes never
+// appear, so a checkpoint restore cannot double-count intact state.
+func TestCrashMarksOnlyDeadNodeStateDestroyed(t *testing.T) {
+	cfg := faultConfig()
+	e, err := New(cfg, []StreamDef{testStream("s", 64)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 20000)
+	e.Run(2 * vtime.Second)
+
+	// Derating alone destroys nothing.
+	e.SetNodeCPUFactor(2, 0.3)
+	e.SetNodeNICFactor(2, 0.3)
+	if got := e.DrainDestroyedState(); len(got) != 0 {
+		t.Fatalf("derating marked %d cells destroyed", len(got))
+	}
+
+	e.SetNodeDown(3, true)
+	destroyed := map[StateKey]bool{}
+	for _, k := range e.DrainDestroyedState() {
+		destroyed[k] = true
+	}
+	if len(destroyed) == 0 {
+		t.Fatal("crash destroyed no cells")
+	}
+	a := e.Assignment(0)
+	for g := 0; g < a.NumGroups(); g++ {
+		gid := keyspace.GroupID(g)
+		onDead := e.PartitionNode(int(a.Partition(gid))) == 3
+		if destroyed[StateKey{Query: 0, Group: gid}] != onDead {
+			t.Fatalf("group %d: destroyed=%v but on dead node=%v", g, !onDead, onDead)
+		}
+	}
+	// Drained means drained: a second drain is empty.
+	if got := e.DrainDestroyedState(); len(got) != 0 {
+		t.Fatalf("second drain returned %d cells", len(got))
 	}
 }

@@ -74,6 +74,14 @@ type Engine struct {
 	ckpt          *engCkpt
 	restoredBytes float64
 
+	// destroyedState records the (query, group) cells whose window
+	// state node crashes actually destroyed — resident state on a dead
+	// node plus moved state torn up in flight. It is nil until the
+	// first crash and drained by the recovery layer, which restores
+	// exactly this set: state on derated-but-alive nodes is evacuated
+	// live, so re-seeding it from a checkpoint would double-count.
+	destroyedState map[pendKey]bool
+
 	// entryFree recycles consumed entry objects (and their payload
 	// slice capacity) back to the producers. The engine is
 	// single-threaded by contract, so a plain slice beats sync.Pool:
@@ -389,6 +397,7 @@ func (e *Engine) enqueue(rt *routerTask, en *entry) {
 		if en.kind == entryState {
 			e.outstandingState--
 			e.ckptDropPending(pendKey{en.stQuery, en.stGroup})
+			e.markStateDestroyed(pendKey{en.stQuery, en.stGroup})
 		}
 		e.recycleEntry(en)
 		return
@@ -647,6 +656,7 @@ func (e *Engine) SetNodeDown(n cluster.NodeID, down bool) {
 				if en.kind == entryState {
 					e.outstandingState--
 					e.ckptDropPending(pendKey{en.stQuery, en.stGroup})
+					e.markStateDestroyed(pendKey{en.stQuery, en.stGroup})
 				}
 				e.recycleEntry(en)
 			}
