@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-full] [-fig N] [-workers N] [-bench-json FILE]
+//	figures [-full] [-fig N] [-workers N] [-shards N] [-bench-json FILE]
 //
 // Without flags it runs the quick scale (seconds of wall time per
 // figure); -full approaches the paper's dimensions. -fig selects one
@@ -13,7 +13,11 @@
 // paper's figure set and therefore not included in the default run).
 // -workers bounds the run-matrix pool the harnesses fan cells over
 // (0 = SASPAR_PARALLEL env, then GOMAXPROCS; 1 = sequential); output
-// is identical at any worker count. -bench-json measures a performance
+// is identical at any worker count. -shards additionally parallelizes
+// each cell's engine ticks (engine.Config.Shards); the shared token
+// budget in internal/parallel keeps workers × shards from
+// oversubscribing the host, and output is byte-identical at any shard
+// count too. -bench-json measures a performance
 // snapshot — engine tick cost and sequential-vs-parallel RunAll wall
 // clock — and writes it to FILE instead of running figures.
 package main
@@ -30,6 +34,7 @@ func main() {
 	full := flag.Bool("full", false, "run at paper scale (slow)")
 	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml,recovery,ckpt-recovery)")
 	workers := flag.Int("workers", 0, "run-matrix pool size (0 = SASPAR_PARALLEL env, then GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks; output is identical at any value)")
 	benchJSON := flag.String("bench-json", "", "write a performance snapshot to this file and exit")
 	flag.Parse()
 
@@ -38,6 +43,7 @@ func main() {
 		sc = bench.Paper()
 	}
 	sc.Workers = *workers
+	sc.Shards = *shards
 
 	if *benchJSON != "" {
 		if err := emitBenchJSON(sc, *benchJSON); err != nil {

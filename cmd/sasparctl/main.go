@@ -24,11 +24,16 @@
 //	sasparctl run -workload tpch|ajoin|gcm -sut SASPAR+Flink|Flink|...
 //	          [-queries N] [-nodes N] [-partitions N] [-groups N]
 //	          [-rate R] [-warmup D] [-measure D] [-drift D] [-seed S]
+//	          [-shards N]
 //	sasparctl inspect [-workload W] [-queries N] [-duration D]
-//	          [-drift D] [-rate R] [-events N] [-seed S]
+//	          [-drift D] [-rate R] [-events N] [-seed S] [-shards N]
 //	sasparctl faults [-seeds N] [-workers N] [-full] [-nodes N] [-rate R]
+//	          [-shards N]
 //	sasparctl checkpoints [-interval D] [-retention N] [-incremental]
-//	          [-duration D] [-crash] [-dir PATH] [-seed S]
+//	          [-duration D] [-crash] [-dir PATH] [-seed S] [-shards N]
+//
+// -shards parallelizes each run's engine ticks across that many
+// workers (intra-run sharding); output is byte-identical at any value.
 package main
 
 import (
@@ -88,6 +93,7 @@ func faultsCmd(args []string) {
 		full    = fs.Bool("full", false, "run at paper scale (slow)")
 		nodes   = fs.Int("nodes", 0, "override cluster nodes (0 = scale default)")
 		rate    = fs.Float64("rate", 0, "override offered rate, tuples/s (0 = scale default)")
+		shards  = fs.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks)")
 	)
 	fs.Parse(args)
 
@@ -96,6 +102,7 @@ func faultsCmd(args []string) {
 		sc = bench.Paper()
 	}
 	sc.Workers = *workers
+	sc.Shards = *shards
 	if *nodes > 0 {
 		sc.Nodes = *nodes
 	}
@@ -138,6 +145,7 @@ func checkpointsCmd(args []string) {
 		crash       = fs.Bool("crash", false, "script a node crash mid-run and show the restore")
 		dir         = fs.String("dir", "", "persist snapshots to this directory (default: in-memory)")
 		seed        = fs.Int64("seed", 1, "simulation seed")
+		shards      = fs.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks)")
 	)
 	fs.Parse(args)
 
@@ -164,6 +172,7 @@ func checkpointsCmd(args []string) {
 	engCfg.ExactWindows = false
 	engCfg.TupleWeight = 1000
 	engCfg.Seed = *seed
+	engCfg.Shards = *shards
 
 	coreCfg := core.DefaultConfig()
 	coreCfg.TriggerInterval = 8 * vtime.Second
@@ -198,7 +207,9 @@ func checkpointsCmd(args []string) {
 		fail(err)
 	}
 	w.ApplyRates(sys.Engine(), 1)
-	sys.Run(*duration)
+	if err := sys.Run(*duration); err != nil {
+		fail(err)
+	}
 	if *crash {
 		// Give the recovery loop room to finish the evacuation+restore.
 		deadline := sys.Engine().Clock().Add(5 * *duration)
@@ -278,6 +289,7 @@ func runCmd(args []string) {
 		drift      = fs.Duration("drift", 0, "hot-key drift period (0 = stationary)")
 		reps       = fs.Int("reps", 1, "repetitions to average")
 		seed       = fs.Int64("seed", 1, "simulation seed")
+		shards     = fs.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks)")
 	)
 	fs.Parse(args)
 
@@ -302,6 +314,7 @@ func runCmd(args []string) {
 	engCfg.SourceTasks = *nodes
 	engCfg.TupleWeight = 1000
 	engCfg.Seed = *seed
+	engCfg.Shards = *shards
 
 	coreCfg := core.DefaultConfig()
 	coreCfg.TriggerInterval = 8 * vtime.Second
@@ -345,6 +358,7 @@ func inspectCmd(args []string) {
 		drift    = fs.Duration("drift", 8*vtime.Second, "hot-key drift period (0 = stationary)")
 		events   = fs.Int("events", 40, "trace events to print (0 = all)")
 		seed     = fs.Int64("seed", 1, "simulation seed")
+		shards   = fs.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks)")
 	)
 	fs.Parse(args)
 
@@ -364,6 +378,7 @@ func inspectCmd(args []string) {
 	engCfg.NumGroups = *groups
 	engCfg.SourceTasks = *nodes
 	engCfg.Seed = *seed
+	engCfg.Shards = *shards
 
 	coreCfg := core.DefaultConfig()
 	coreCfg.TriggerInterval = 4 * vtime.Second
@@ -378,7 +393,9 @@ func inspectCmd(args []string) {
 
 	m := sys.Engine().Metrics()
 	m.StartMeasurement(0)
-	sys.Run(*duration)
+	if err := sys.Run(*duration); err != nil {
+		fail(err)
+	}
 	m.StopMeasurement(sys.Engine().Clock())
 
 	snap := sys.Snapshot()

@@ -60,6 +60,15 @@ type Scale struct {
 	// output is identical at any worker count.
 	Workers int
 
+	// Shards caps the worker goroutines each cell's engine uses per
+	// simulation tick (engine.Config.Shards): intra-run parallelism on
+	// top of the cell-level fan-out. The process-wide token budget in
+	// internal/parallel keeps matrix workers × shards from
+	// oversubscribing the machine, and engine output is byte-identical
+	// at any shard count, so this knob, like Workers, trades wall clock
+	// only. 0 and 1 both mean single-threaded ticks.
+	Shards int
+
 	// DeterministicOpt runs every in-cell optimization under
 	// optimizer.Options.DeterministicBudget: node caps instead of wall
 	// clock, so cell results are bit-reproducible regardless of machine
@@ -129,6 +138,7 @@ func (sc Scale) engineConfig() engine.Config {
 	cfg.NumGroups = sc.Groups
 	cfg.SourceTasks = sc.SourceTasks
 	cfg.TupleWeight = sc.TupleWeight
+	cfg.Shards = sc.Shards
 	return cfg
 }
 

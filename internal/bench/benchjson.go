@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
 	"testing"
@@ -36,6 +37,13 @@ type BenchReport struct {
 	// keyed "nonshared" / "shared".
 	EngineStep map[string]BenchUnit `json:"engine_step"`
 
+	// EngineRunSharded holds the same shared fixture's tick cost at
+	// shards 1, 2 and 4 ("shards1"...), measured with the process-wide
+	// parallel budget raised so shard workers are actually granted on
+	// small CI hosts. Outputs are byte-identical across entries (the
+	// determinism tests enforce it); only the time column may move.
+	EngineRunSharded map[string]BenchUnit `json:"engine_run_sharded"`
+
 	RunAllSequentialSec float64 `json:"runall_sequential_seconds"`
 	RunAllParallelSec   float64 `json:"runall_parallel_seconds"`
 	RunAllSpeedup       float64 `json:"runall_speedup"`
@@ -47,7 +55,7 @@ type BenchReport struct {
 // exported API — the same shape as the internal BenchmarkEngineStep
 // fixture: two streams with deterministic generators, a mix of keyed
 // aggregations and a join.
-func stepBenchEngine(shared bool) (*engine.Engine, vtime.Duration, error) {
+func stepBenchEngine(shared bool, shards int) (*engine.Engine, vtime.Duration, error) {
 	cfg := engine.DefaultConfig()
 	cfg.Nodes = 4
 	cfg.NumPartitions = 8
@@ -55,6 +63,7 @@ func stepBenchEngine(shared bool) (*engine.Engine, vtime.Duration, error) {
 	cfg.SourceTasks = 4
 	cfg.TupleWeight = 500
 	cfg.Shared = shared
+	cfg.Shards = shards
 	gen := func(salt int64) func(task int) engine.Generator {
 		return func(task int) engine.Generator {
 			i := int64(task)*7919 + salt
@@ -88,6 +97,22 @@ func stepBenchEngine(shared bool) (*engine.Engine, vtime.Duration, error) {
 	return e, cfg.Tick, nil
 }
 
+// benchUnitOf measures the steady-state per-tick cost of a primed
+// engine with the testing benchmark runner.
+func benchUnitOf(e *engine.Engine, tick vtime.Duration) BenchUnit {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Run(tick)
+		}
+	})
+	return BenchUnit{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
 // CollectBenchReport measures the report. The RunAll pair uses sc with
 // Workers forced to 1 and then to sc's resolved pool size, writing
 // tables to io.Discard; on a single-core machine the two times are
@@ -104,22 +129,28 @@ func CollectBenchReport(sc Scale) (*BenchReport, error) {
 		name   string
 		shared bool
 	}{{"nonshared", false}, {"shared", true}} {
-		e, tick, err := stepBenchEngine(mode.shared)
+		e, tick, err := stepBenchEngine(mode.shared, 0)
 		if err != nil {
 			return nil, err
 		}
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				e.Run(tick)
-			}
-		})
-		rep.EngineStep[mode.name] = BenchUnit{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		}
+		rep.EngineStep[mode.name] = benchUnitOf(e, tick)
 	}
+
+	// Intra-run sharding: same shared fixture, shards 1/2/4. Raise the
+	// process-wide token budget for the measurement so shard workers
+	// are granted even when the matrix pool would normally starve them,
+	// then restore the default.
+	rep.EngineRunSharded = map[string]BenchUnit{}
+	parallel.SetBudget(8)
+	for _, shards := range []int{1, 2, 4} {
+		e, tick, err := stepBenchEngine(true, shards)
+		if err != nil {
+			parallel.SetBudget(-1)
+			return nil, err
+		}
+		rep.EngineRunSharded[fmt.Sprintf("shards%d", shards)] = benchUnitOf(e, tick)
+	}
+	parallel.SetBudget(-1)
 
 	seq := sc
 	seq.Workers = 1

@@ -492,12 +492,19 @@ func (s *System) RemoveQuery(qi int) error {
 // Run advances the system by d of virtual time, firing the optimizer
 // on its trigger interval, pumping the AQE controller, and — when a
 // fault scenario is configured — replaying faults and driving the
-// detection/recovery loop.
-func (s *System) Run(d vtime.Duration) {
+// detection/recovery loop. A non-positive duration is a caller bug (a
+// miscomputed warm-up or measurement interval) that would silently
+// no-op, so it is rejected — mirroring Engine.Run.
+func (s *System) Run(d vtime.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("core: run duration must be positive, got %v", d)
+	}
 	tick := s.eng.Config().Tick
 	end := s.eng.Clock().Add(d)
 	for s.eng.Clock() < end {
-		s.eng.Run(tick)
+		if err := s.eng.Run(tick); err != nil {
+			return err
+		}
 		if s.ckpt != nil {
 			// Harvest/trigger checkpoint barriers before the fault
 			// injector strikes: a checkpoint whose barrier fully aligned
@@ -544,6 +551,7 @@ func (s *System) Run(d vtime.Duration) {
 			}
 		}
 	}
+	return nil
 }
 
 // maxDrift reports the largest per-stream distribution drift since the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"saspar/internal/engine"
@@ -114,8 +115,16 @@ func TestZeroQueryReportPathStaysFinite(t *testing.T) {
 	}
 	s.Engine().SetStreamRate(0, 5000)
 	s.Run(2 * vtime.Second)
-	if err := s.RemoveQuery(0); err != nil {
-		t.Fatal(err)
+	// A trigger may fire on the run's final tick; removal is refused
+	// while its markers are in flight, so tick until the
+	// reconfiguration drains.
+	rmErr := s.RemoveQuery(0)
+	for i := 0; i < 50 && rmErr != nil; i++ {
+		s.Run(100 * vtime.Millisecond)
+		rmErr = s.RemoveQuery(0)
+	}
+	if rmErr != nil {
+		t.Fatal(rmErr)
 	}
 	req, reps := ExportRequest(s)
 	if req != nil || len(reps) != 0 {
@@ -230,6 +239,34 @@ func TestConfigValidation(t *testing.T) {
 	bad.TriggerInterval = 0
 	if _, err := New(testEngineConfig(), []engine.StreamDef{skewedStream()}, sameKeyQueries(1), bad); err == nil {
 		t.Fatal("TriggerInterval=0 accepted for enabled system")
+	}
+	// The engine-side shard knob is validated on the same construction
+	// path: a negative count must fail core.New, not be clamped.
+	badEng := testEngineConfig()
+	badEng.Shards = -1
+	if _, err := New(badEng, []engine.StreamDef{skewedStream()}, sameKeyQueries(1), fastCfg()); err == nil {
+		t.Fatal("Shards=-1 accepted through core.New")
+	} else if !strings.Contains(err.Error(), "shard count") {
+		t.Fatalf("Shards=-1 error %q does not name the shard knob", err)
+	}
+}
+
+func TestSystemRunRejectsNonPositiveDuration(t *testing.T) {
+	s, err := New(testEngineConfig(), []engine.StreamDef{skewedStream()}, sameKeyQueries(1), fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []vtime.Duration{0, -vtime.Second} {
+		err := s.Run(d)
+		if err == nil {
+			t.Fatalf("Run(%v) accepted", d)
+		}
+		if !strings.Contains(err.Error(), "duration must be positive") {
+			t.Fatalf("Run(%v) error %q does not describe the violation", d, err)
+		}
+	}
+	if c := s.Engine().Clock(); c != 0 {
+		t.Fatalf("rejected Run still advanced the clock to %v", c)
 	}
 }
 

@@ -110,11 +110,17 @@ func Run(cfg Config) (*Result, error) {
 		}
 		cfg.Workload.ApplyRates(sys.Engine(), cfg.RateScale)
 
-		sys.Run(cfg.Warmup)
+		if cfg.Warmup > 0 {
+			if err := sys.Run(cfg.Warmup); err != nil {
+				return nil, fmt.Errorf("driver: %s rep %d warmup: %w", cfg.SUT.Name(), rep, err)
+			}
+		}
 		m := sys.Engine().Metrics()
 		m.StartMeasurement(sys.Engine().Clock())
 		netBefore := sys.Engine().Network().Stats().BytesNet
-		sys.Run(cfg.Measure)
+		if err := sys.Run(cfg.Measure); err != nil {
+			return nil, fmt.Errorf("driver: %s rep %d: %w", cfg.SUT.Name(), rep, err)
+		}
 		m.StopMeasurement(sys.Engine().Clock())
 
 		t := m.OverallThroughput()

@@ -134,7 +134,7 @@ func TestRemoveQueryDuringMeasurementDropsItsRows(t *testing.T) {
 	m := e.Metrics()
 	m.StartMeasurement(e.Clock())
 	e.Run(4 * vtime.Second) // both queries accumulate...
-	latWBoth := m.lat.w
+	latWBoth := m.foldLat().w
 	if latWBoth <= 0 {
 		t.Fatal("no latency weight accumulated before removal")
 	}
@@ -144,12 +144,14 @@ func TestRemoveQueryDuringMeasurementDropsItsRows(t *testing.T) {
 	// The two queries key the same stream identically, so each carried
 	// about half the latency weight; removal must subtract query 1's
 	// share, not leave the distribution untouched.
-	if got := m.lat.w; got > 0.55*latWBoth || got < 0.45*latWBoth {
+	if got := m.foldLat().w; got > 0.55*latWBoth || got < 0.45*latWBoth {
 		t.Fatalf("latency weight after removal = %v, want ~half of %v", got, latWBoth)
 	}
-	for _, q := range m.lat.sampleQ {
-		if q == 1 {
-			t.Fatal("removed query's samples left in the latency reservoir")
+	for i := range m.parts {
+		for _, q := range m.parts[i].lat.sampleQ {
+			if q == 1 {
+				t.Fatal("removed query's samples left in the latency reservoir")
+			}
 		}
 	}
 	e.Run(4 * vtime.Second) // ...then only the survivor may
@@ -166,8 +168,12 @@ func TestRemoveQueryDuringMeasurementDropsItsRows(t *testing.T) {
 	// The latency books must stay consistent after removal: the global
 	// moments equal the surviving query's share, and summary statistics
 	// remain finite and positive.
-	if diff := m.lat.w - m.qlat[0].w; diff > 1e-6 || diff < -1e-6 {
-		t.Fatalf("global latency weight %v != survivor's share %v", m.lat.w, m.qlat[0].w)
+	var survivorW float64
+	for i := range m.parts {
+		survivorW += m.parts[i].qlat[0].w
+	}
+	if diff := m.foldLat().w - survivorW; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("global latency weight %v != survivor's share %v", m.foldLat().w, survivorW)
 	}
 	if m.AvgLatency() <= 0 {
 		t.Fatalf("post-removal average latency %v not positive", m.AvgLatency())

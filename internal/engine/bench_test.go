@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"saspar/internal/parallel"
 	"saspar/internal/vtime"
 )
 
@@ -68,6 +69,10 @@ func benchQueries(n int) []QuerySpec {
 }
 
 func benchEngine(b *testing.B, shared bool, queries int) *Engine {
+	return benchEngineSharded(b, shared, queries, 0)
+}
+
+func benchEngineSharded(b *testing.B, shared bool, queries, shards int) *Engine {
 	b.Helper()
 	cfg := DefaultConfig()
 	cfg.Nodes = 4
@@ -76,6 +81,7 @@ func benchEngine(b *testing.B, shared bool, queries int) *Engine {
 	cfg.SourceTasks = 4
 	cfg.TupleWeight = 500
 	cfg.Shared = shared
+	cfg.Shards = shards
 	e, err := New(cfg, benchStreams(), benchQueries(queries))
 	if err != nil {
 		b.Fatal(err)
@@ -106,6 +112,32 @@ func BenchmarkEngineStep(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRun measures whole steady-state ticks through the
+// public Run API at several shard counts. The process-wide parallel
+// token budget is raised so shard workers are actually granted even on
+// small CI hosts (the default budget is GOMAXPROCS-1 extras), then
+// restored. The determinism suite asserts output is byte-identical
+// across shard counts; this benchmark shows what the knob buys in wall
+// clock — expect ≥2× at shards4 on a 4+ core machine, and no change
+// (shards clamp to one worker) on a single-core one.
+func BenchmarkEngineRun(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			parallel.SetBudget(8)
+			defer parallel.SetBudget(-1)
+			e := benchEngineSharded(b, true, 6, shards)
+			tick := e.cfg.Tick
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.Run(tick); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRouteTick isolates the router hot path: one tick of tuple
 // generation, classification and bucket assembly for a single task.
 func BenchmarkRouteTick(b *testing.B) {
@@ -126,7 +158,17 @@ func BenchmarkRouteTick(b *testing.B) {
 				e.clock = e.clock.Add(dt)
 				e.cluster.BeginTick(dt)
 				e.net.BeginTick(dt)
-				rt.routeTick(e, dt)
+				nr := e.nodes[rt.node]
+				nr.provEg = 0
+				for j := range nr.provIn {
+					nr.provIn[j] = 0
+				}
+				rt.routeTick(e, nr, dt)
+				for j := range rt.pending {
+					rt.commit(e, &rt.pending[j])
+					rt.pending[j].en = nil
+				}
+				rt.pending = rt.pending[:0]
 				if i%8 == 7 {
 					drainForBench(e)
 				}
@@ -144,7 +186,7 @@ func drainForBench(e *Engine) {
 			for !q.empty() {
 				en := q.pop()
 				e.inboxBytes[s.node] -= en.bytes
-				e.recycleEntry(en)
+				e.nodes[s.node].recycle(en)
 			}
 		}
 	}

@@ -116,12 +116,17 @@ func (e *Engine) CheckpointInFlight() (int64, bool) {
 	return e.ckpt.id, true
 }
 
-// captureCheckpoint snapshots slot s's window state at its barrier
-// alignment point (exact mode; counting-mode state is engine-global
-// and is read once at completion). Moved-in groups whose state is
-// still in flight are marked pending instead — mergeState adds their
-// state to the capture when it lands.
-func (e *Engine) captureCheckpoint(s *slot, m *Marker) {
+// stageCheckpointCapture snapshots slot s's window state at its
+// barrier alignment point (exact mode; counting-mode state is
+// engine-global and is read once at completion) into a staged event;
+// foldCkptCapture applies it to the in-flight capture at barrier A.
+// Fragments are per (query, group) and copied by value, so the live
+// state keeps mutating without aliasing the capture; their order is
+// free because assembleCheckpoint sorts every group's payload before
+// deriving bytes. Moved-in groups whose state is still in flight are
+// marked pending instead — mergeState adds their state to the capture
+// when it lands.
+func (e *Engine) stageCheckpointCapture(s *slot, m *Marker) {
 	ck := e.ckpt
 	if ck == nil || !ck.active || ck.id != m.Ckpt {
 		return // stale barrier of an abandoned checkpoint
@@ -129,14 +134,27 @@ func (e *Engine) captureCheckpoint(s *slot, m *Marker) {
 	if !e.cfg.ExactWindows {
 		return
 	}
+	ev := s.fx.stage(evtCkptCapture)
 	for k := range s.pendingState {
-		ck.pending[k] = true
+		ev.pend = append(ev.pend, k)
+	}
+	var frags []CkptGroup
+	idx := map[pendKey]int{}
+	grp := func(qi int, g keyspace.GroupID) int {
+		k := pendKey{qi, g}
+		i, ok := idx[k]
+		if !ok {
+			i = len(frags)
+			idx[k] = i
+			frags = append(frags, CkptGroup{Query: qi, Group: g})
+		}
+		return i
 	}
 	for qi, st := range s.exact {
 		if st.agg != nil {
 			for ak, acc := range st.agg {
-				cg := ck.group(qi, e.space.GroupOf(ak.key))
-				cg.Agg = append(cg.Agg, AggPartial{Win: ak.win, Key: ak.key, Sum: acc.sum, Weight: acc.weight})
+				i := grp(qi, e.space.GroupOf(ak.key))
+				frags[i].Agg = append(frags[i].Agg, AggPartial{Win: ak.win, Key: ak.key, Sum: acc.sum, Weight: acc.weight})
 			}
 		}
 		for side := range st.join {
@@ -144,17 +162,20 @@ func (e *Engine) captureCheckpoint(s *slot, m *Marker) {
 				if len(buf) == 0 {
 					continue
 				}
-				cg := ck.group(qi, e.space.GroupOf(ak.key))
-				cg.Join[side] = append(cg.Join[side], buf...)
+				i := grp(qi, e.space.GroupOf(ak.key))
+				frags[i].Join[side] = append(frags[i].Join[side], buf...)
 			}
 		}
 	}
+	ev.frags = frags
 }
 
 // ckptMergeHook folds a moved group's just-landed state into the
 // in-flight capture when the group's new owner aligned before the
-// state arrived. Called from mergeState; entry payloads are copied by
-// value, so entry recycling never aliases the capture.
+// state arrived. Called from the unstaged mergeState path (checkpoint
+// restore); live slot-phase merges stage an evtCkptMerge instead.
+// Entry payloads are copied by value, so entry recycling never aliases
+// the capture.
 func (e *Engine) ckptMergeHook(k pendKey, en *entry) {
 	ck := e.ckpt
 	if ck == nil || !ck.active || !ck.pending[k] {
@@ -359,7 +380,8 @@ func (e *Engine) RestoreGroup(cg CkptGroup, barrier vtime.Time) float64 {
 	if e.nodeIsDown(s.node) {
 		return 0
 	}
-	en := e.newEntry()
+	nr := e.nodes[s.node]
+	en := nr.newEntry()
 	en.kind = entryState
 	en.stQuery = cg.Query
 	en.stGroup = cg.Group
@@ -371,8 +393,8 @@ func (e *Engine) RestoreGroup(cg CkptGroup, barrier vtime.Time) float64 {
 	}
 	en.stWeight += float64(len(cg.Join[0]) + len(cg.Join[1]))
 	e.outstandingState++ // mergeState's decrement balances this
-	e.mergeState(s, en)
-	e.recycleEntry(en)
+	e.mergeState(s, en, false)
+	nr.recycle(en)
 	e.restoredBytes += bytes
 	return bytes
 }
@@ -415,28 +437,59 @@ func (e *Engine) DrainDestroyedState() []StateKey {
 // without one it is unrecoverable; with one, recovery re-seeds the
 // evacuated groups from the last completed snapshot.
 func (e *Engine) destroyNodeState(n cluster.NodeID) float64 {
+	// lost is a float fold over map-backed state, so every map is walked
+	// in sorted key order: the total must be a pure function of the
+	// destroyed state, not of map iteration, for traces to stay
+	// byte-identical run to run.
 	var lost float64
 	for _, s := range e.slots {
 		if s.node != n {
 			continue
 		}
-		for qi, st := range s.exact {
+		qis := make([]int, 0, len(s.exact))
+		for qi := range s.exact {
+			qis = append(qis, qi)
+		}
+		sort.Ints(qis)
+		for _, qi := range qis {
+			st := s.exact[qi]
 			bpt := e.streams[e.queries[qi].spec.Inputs[0].Stream].BytesPerTuple
 			if st.agg != nil {
-				for ak, acc := range st.agg {
-					lost += acc.weight * bpt
+				keys := make([]aggMapKey, 0, len(st.agg))
+				for ak := range st.agg {
+					keys = append(keys, ak)
+				}
+				sortAggKeys(keys)
+				for _, ak := range keys {
+					lost += st.agg[ak].weight * bpt
 					e.markStateDestroyed(pendKey{qi, e.space.GroupOf(ak.key)})
 				}
 			}
 			for side := range st.join {
-				for ak, buf := range st.join[side] {
-					lost += float64(len(buf)) * bpt
+				keys := make([]aggMapKey, 0, len(st.join[side]))
+				for ak := range st.join[side] {
+					keys = append(keys, ak)
+				}
+				sortAggKeys(keys)
+				for _, ak := range keys {
+					lost += float64(len(st.join[side][ak])) * bpt
 					e.markStateDestroyed(pendKey{qi, e.space.GroupOf(ak.key)})
 				}
 			}
 		}
 		s.exact = nil
-		for k, held := range s.held {
+		heldKeys := make([]pendKey, 0, len(s.held))
+		for k := range s.held {
+			heldKeys = append(heldKeys, k)
+		}
+		sort.Slice(heldKeys, func(i, j int) bool {
+			if heldKeys[i].query != heldKeys[j].query {
+				return heldKeys[i].query < heldKeys[j].query
+			}
+			return heldKeys[i].group < heldKeys[j].group
+		})
+		for _, k := range heldKeys {
+			held := s.held[k]
 			bpt := e.streams[e.queries[k.query].spec.Inputs[0].Stream].BytesPerTuple
 			for i := range held {
 				lost += held[i].w * bpt

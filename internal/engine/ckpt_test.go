@@ -205,7 +205,7 @@ func TestCheckpointPendingGateAndMergeHook(t *testing.T) {
 	// The migrated state lands: the hook folds it into the capture.
 	en := &entry{kind: entryState, stQuery: 0, stGroup: g,
 		stAgg: []AggPartial{{Win: e.Clock(), Key: 0, Weight: 7, Sum: 3}}}
-	e.mergeState(s, en)
+	e.mergeState(s, en, false)
 	if e.ckpt.pending[k] {
 		t.Fatal("merge hook did not release the pending group")
 	}

@@ -214,7 +214,7 @@ func TestHeldTuplesReplayAfterMerge(t *testing.T) {
 		t.Fatal("tuple not parked")
 	}
 	e.outstandingState++
-	e.mergeState(s, &entry{kind: entryState, stQuery: 0, stGroup: g})
+	e.mergeState(s, &entry{kind: entryState, stQuery: 0, stGroup: g}, false)
 	if got := len(s.held[pendKey{0, g}]); got != 0 {
 		t.Fatalf("%d tuples still parked after merge", got)
 	}

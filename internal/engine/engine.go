@@ -17,8 +17,12 @@ import (
 // when true. The SASPAR control layer (internal/core) drives the
 // engine's statistics hooks and reconfiguration entry points.
 //
-// The engine is single-threaded by design: determinism is what makes
-// the AQE correctness tests and the figure reproductions exact.
+// Externally the engine behaves single-threaded: all entry points are
+// called from one goroutine, and determinism is what makes the AQE
+// correctness tests and the figure reproductions exact. Internally each
+// tick may fan per-node work over cfg.Shards workers — see shard.go for
+// the phase pipeline and why the shard count cannot change one output
+// bit.
 type Engine struct {
 	cfg     Config
 	streams []StreamDef
@@ -32,6 +36,26 @@ type Engine struct {
 	plans []*streamPlan // per stream
 	tasks []*routerTask // all router tasks, stream-major
 	slots []*slot
+	nodes []*nodeRun // per-node execution state (slots, tasks, pools)
+
+	// shardWorkers is the configured per-tick worker cap (cfg.Shards,
+	// min 1); the effective count is resolved per tick against the node
+	// count and the process-wide parallel budget.
+	shardWorkers int
+
+	// markersInFlight counts marker entries injected but not yet
+	// consumed (or destroyed). While nonzero, counting-mode slot phases
+	// serialize: old and new owners of a moving group may touch the
+	// same engine-global counting cell (see tickTurbulent).
+	markersInFlight int
+
+	// nodeWork accumulates per-node edge deliveries consumed per tick
+	// for the shard-utilization gauges; nil unless obs is attached.
+	nodeWork []int
+
+	// entrySpill is scratch for the per-tick free-list rebalance (see
+	// rebalanceEntryPools), reused so rebalancing never allocates.
+	entrySpill []*entry
 
 	clock   vtime.Time
 	epoch   int64
@@ -43,8 +67,7 @@ type Engine struct {
 	// stays allocation-free.
 	obs *engObs
 
-	sampler       Sampler
-	sampleCounter sampleGate
+	sampler Sampler
 
 	qcount  []*qCounting
 	results [][]AggResult
@@ -81,40 +104,6 @@ type Engine struct {
 	// exactly this set: state on derated-but-alive nodes is evacuated
 	// live, so re-seeding it from a checkpoint would double-count.
 	destroyedState map[pendKey]bool
-
-	// entryFree recycles consumed entry objects (and their payload
-	// slice capacity) back to the producers. The engine is
-	// single-threaded by contract, so a plain slice beats sync.Pool:
-	// no per-P sharding, no GC-driven eviction, deterministic reuse.
-	entryFree []*entry
-}
-
-// newEntry returns a zeroed entry, reusing a recycled one (including
-// its payload slice capacity) when available.
-func (e *Engine) newEntry() *entry {
-	if n := len(e.entryFree); n > 0 {
-		en := e.entryFree[n-1]
-		e.entryFree = e.entryFree[:n-1]
-		return en
-	}
-	return &entry{}
-}
-
-// recycleEntry returns a fully consumed entry to the free list. The
-// caller must guarantee nothing aliases the entry anymore; payload
-// slices are truncated (not freed) so their capacity is reused by the
-// next tick's buckets. Entries produced by splitSend share backing
-// arrays with their remainder, but the split caps lengths so reuse
-// through the truncated slices can never touch the other half.
-func (e *Engine) recycleEntry(en *entry) {
-	*en = entry{
-		tuples:    en.tuples[:0],
-		classBits: en.classBits[:0],
-		groups:    en.groups[:0],
-		stAgg:     en.stAgg[:0],
-		stJoin:    [2][]Tuple{en.stJoin[0][:0], en.stJoin[1][:0]},
-	}
-	e.entryFree = append(e.entryFree, en)
 }
 
 // New builds an engine. Queries that should share an assignment (e.g.
@@ -165,8 +154,27 @@ func New(cfg Config, streams []StreamDef, queries []QuerySpec) (*Engine, error) 
 		e.slots = append(e.slots, newSlot(p, e.placement.PartitionNode(p), len(e.tasks)))
 	}
 
+	// Per-node execution state: slots and tasks grouped by owning node
+	// (ascending id within each node), plus the per-node entry pools.
+	e.shardWorkers = cfg.Shards
+	if e.shardWorkers < 1 {
+		e.shardWorkers = 1
+	}
+	e.nodes = make([]*nodeRun, cfg.Nodes)
+	for n := range e.nodes {
+		e.nodes[n] = &nodeRun{id: cluster.NodeID(n), provIn: make([]float64, cfg.Nodes)}
+	}
+	for _, s := range e.slots {
+		nr := e.nodes[s.node]
+		nr.slots = append(nr.slots, s)
+	}
+	for _, rt := range e.tasks {
+		nr := e.nodes[rt.node]
+		nr.tasks = append(nr.tasks, rt)
+	}
+
 	e.inboxBytes = make([]float64, cfg.Nodes)
-	e.metrics = newMetrics(len(queries))
+	e.metrics = newMetrics(len(queries), cfg.Nodes)
 	e.qcount = make([]*qCounting, len(queries))
 	for i, q := range queries {
 		e.qcount[i] = newQCounting(len(q.Inputs), cfg.NumGroups)
@@ -217,10 +225,15 @@ func (e *Engine) SetStreamRate(s StreamID, tuplesPerSec float64) {
 }
 
 // SetSampler installs the statistics sampler: every `every`-th concrete
-// tuple per router task yields a SampleVec.
+// tuple per router task yields a SampleVec. The spacing gate is
+// per-task (each task counts only its own tuples), so the sampled set
+// is independent of the shard count; samples are delivered to the
+// Sampler sequentially at the tick's merge barrier, in task order.
 func (e *Engine) SetSampler(s Sampler, every int) {
 	e.sampler = s
-	e.sampleCounter = sampleGate{every: every}
+	for _, rt := range e.tasks {
+		rt.gate = sampleGate{every: every}
+	}
 }
 
 // Clock returns the current virtual time.
@@ -314,15 +327,23 @@ func (e *Engine) ClassMembers(s StreamID) [][]int {
 	return out
 }
 
-// Run advances the simulation by d of virtual time.
-func (e *Engine) Run(d vtime.Duration) {
+// Run advances the simulation by d of virtual time. A non-positive
+// duration is a caller bug (a miscomputed warm-up or measurement
+// interval) that would silently no-op, so it is rejected.
+func (e *Engine) Run(d vtime.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("engine: run duration must be positive, got %v", d)
+	}
 	end := e.clock.Add(d)
 	for e.clock < end {
 		e.step()
 	}
+	return nil
 }
 
-// step advances one tick.
+// step advances one tick through the phase pipeline of shard.go:
+// sequential prologue, parallel slot phase, barrier-A fold, parallel
+// router phase, barrier-B merge.
 func (e *Engine) step() {
 	dt := e.cfg.Tick
 	prev := e.clock
@@ -347,40 +368,33 @@ func (e *Engine) step() {
 	// claim on node CPU, which is how backpressure (rather than
 	// producer starvation) regulates an overloaded pipeline.
 	//
-	// Fairness rationale for the rotation: slots sharing a node compete
-	// for one CPU meter, and process() drains greedily until the meter
-	// runs dry — whichever slot goes first wins the whole tick budget
-	// under overload. Rotating the start offset by one slot per tick
-	// round-robins that first claim, so over any window of len(slots)
-	// ticks every slot leads exactly once and sustained starvation of a
-	// fixed slot is impossible. The offset is derived from the clock
-	// (not an incrementing counter) so a run's schedule depends only on
-	// virtual time, keeping replays and the parallel bench runner
-	// bit-identical.
+	// Fairness rationale for the rotation offset: slots sharing a node
+	// compete for one CPU meter, and process() drains greedily until
+	// the meter runs dry — whichever slot goes first wins the whole
+	// tick budget under overload. Rotating the start offset by one slot
+	// per tick round-robins that first claim, so over any window of
+	// len(slots) ticks every slot leads exactly once and sustained
+	// starvation of a fixed slot is impossible. The offset is derived
+	// from the clock (not an incrementing counter) so a run's schedule
+	// depends only on virtual time, keeping replays and the parallel
+	// bench runner bit-identical. The same offset orders the barrier-A
+	// fold, so cross-slot effects apply in the visit order too.
+	off := 0
 	if len(e.slots) > 0 {
-		off := int(e.clock/vtime.Time(dt)) % len(e.slots)
-		for i := range e.slots {
-			s := e.slots[(i+off)%len(e.slots)]
-			if e.nodeDown != nil && e.nodeDown[s.node] {
-				continue // crashed node: its slots consume nothing
-			}
-			s.process(e)
-		}
+		off = int(e.clock/vtime.Time(dt)) % len(e.slots)
 	}
 
-	for _, rt := range e.tasks {
-		if e.nodeDown != nil && e.nodeDown[rt.node] {
-			continue // crashed node: its sources produce nothing
-		}
-		rt.routeTick(e, dt)
-		if boundary {
-			rt.flushHeld(e)
-		}
-		if e.cfg.Profile.MicroBatch {
-			rt.shipDraining(e)
-		}
-		rt.heartbeat(e)
+	workers := e.acquireWorkers()
+	slotWorkers := workers
+	if e.tickTurbulent() {
+		slotWorkers = 1 // counting-mode reconfig window: see shard.go
 	}
+	e.runPhase(slotWorkers, phaseSlots, off, dt)
+	e.foldSlotPhase(off)
+	e.runPhase(workers, phaseRouters, off, dt)
+	e.releaseWorkers(workers)
+	e.routerMerge(boundary)
+
 	if e.obs != nil {
 		e.observeTick()
 	}
@@ -388,18 +402,23 @@ func (e *Engine) step() {
 
 // enqueue places an entry on the (task, slot) edge and charges the
 // target node's ingress buffer. Entries bound for a crashed node's slot
-// are destroyed instead: their bytes count as lost, and a state entry
+// are destroyed instead: their bytes count as lost, a state entry
 // releases its outstanding-state hold so the reconfiguration that tried
-// to move it can still terminate.
+// to move it can still terminate, and a destroyed marker leaves the
+// in-flight count. Only called from the sequential phases (barriers,
+// marker broadcast), never from inside a parallel phase.
 func (e *Engine) enqueue(rt *routerTask, en *entry) {
 	if e.nodeDown != nil && e.nodeDown[e.slots[en.slot].node] {
 		e.lostBytes += en.bytes
-		if en.kind == entryState {
+		switch en.kind {
+		case entryState:
 			e.outstandingState--
 			e.ckptDropPending(pendKey{en.stQuery, en.stGroup})
 			e.markStateDestroyed(pendKey{en.stQuery, en.stGroup})
+		case entryMarker:
+			e.markersInFlight--
 		}
-		e.recycleEntry(en)
+		e.nodes[rt.node].recycle(en)
 		return
 	}
 	e.inboxBytes[e.slots[en.slot].node] += en.bytes
@@ -503,13 +522,16 @@ func (e *Engine) InjectFinalize() {
 func (e *Engine) broadcastMarker(m *Marker) {
 	for _, rt := range e.tasks {
 		for s := 0; s < e.cfg.NumPartitions; s++ {
-			en := e.newEntry()
+			en := e.nodes[rt.node].newEntry()
 			en.kind = entryMarker
 			en.slot = s
 			en.arriveAt = e.clock.Add(e.net.Config().LatNet)
 			en.watermark = e.clock.Add(-e.cfg.WatermarkLag)
 			en.epoch = m.Epoch
 			en.marker = m
+			// Count before enqueue: a marker destroyed at a dead slot is
+			// uncounted again inside enqueue.
+			e.markersInFlight++
 			e.enqueue(rt, en)
 		}
 	}
@@ -653,12 +675,15 @@ func (e *Engine) SetNodeDown(n cluster.NodeID, down bool) {
 			for !q.empty() {
 				en := q.pop()
 				e.lostBytes += en.bytes
-				if en.kind == entryState {
+				switch en.kind {
+				case entryState:
 					e.outstandingState--
 					e.ckptDropPending(pendKey{en.stQuery, en.stGroup})
 					e.markStateDestroyed(pendKey{en.stQuery, en.stGroup})
+				case entryMarker:
+					e.markersInFlight--
 				}
-				e.recycleEntry(en)
+				e.nodes[e.tasks[ei].node].recycle(en)
 			}
 		}
 	}

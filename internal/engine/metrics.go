@@ -16,21 +16,20 @@ import (
 // and the moment the post-partition operator absorbs it — network
 // serialization, queueing and processing delays, but not the inherent
 // residence of a tuple inside its window (see DESIGN.md).
+//
+// Sharded accumulation: the hot-path record* calls take the cluster
+// node whose worker produced the sample and write a per-node partial.
+// Reads fold the partials in node-ID order, so every reported number is
+// a fixed-order float sum regardless of how many shard workers executed
+// the tick — the foundation of the engine's byte-identical-at-any-
+// shard-count contract. Nodes are the partition unit (not shards)
+// precisely so the fold order cannot depend on the shard knob.
 type Metrics struct {
-	processed   []float64 // per query, weighted tuples absorbed post-partition
-	emitted     []float64 // per query, weighted window results emitted
-	lat         latDist
-	reshuffled  float64 // weighted tuples sent back to sources (Fig. 9)
-	jitCompiles int
-	jitTime     vtime.Duration
+	parts []metricsPart // one per cluster node, folded in index order
 
-	// True sharing accounting (shared partitioner only): copies the
-	// queries demanded vs physical copies shipped.
-	shDemand, shPhysical float64
-
-	// qlat keeps each query's share of the global latency moments so a
-	// retired query's absorbed samples can be subtracted back out.
-	qlat []latMoments
+	reshuffled float64 // weighted tuples sent back to sources (Fig. 9);
+	// written only from the engine's sequential merge phases, so it
+	// needs no per-node split.
 
 	// removed tombstones per-query rows of ad-hoc queries retired by
 	// RemoveQuery: their rows are zeroed and excluded from further
@@ -43,53 +42,93 @@ type Metrics struct {
 	measureTo   vtime.Time
 }
 
-// newMetrics sizes the per-query slices.
-func newMetrics(numQueries int) *Metrics {
-	return &Metrics{
-		processed: make([]float64, numQueries),
-		emitted:   make([]float64, numQueries),
-		qlat:      make([]latMoments, numQueries),
-		removed:   make([]bool, numQueries),
+// metricsPart is one node's share of the run metrics. Each part is
+// written only by the shard worker that owns the node (or the merge
+// phase, which attributes its records to a deterministic node), so the
+// tick loop records without synchronization.
+type metricsPart struct {
+	processed []float64 // per query, weighted tuples absorbed post-partition
+	emitted   []float64 // per query, weighted window results emitted
+
+	lat latDist
+
+	// qlat keeps each query's share of this part's latency moments so a
+	// retired query's absorbed samples can be subtracted back out.
+	qlat []latMoments
+
+	jitCompiles int
+	jitTime     vtime.Duration
+
+	// True sharing accounting (shared partitioner only): copies the
+	// queries demanded vs physical copies shipped.
+	shDemand, shPhysical float64
+}
+
+// newMetrics sizes the per-query slices for numQueries queries and
+// numParts per-node partials (at least one).
+func newMetrics(numQueries, numParts int) *Metrics {
+	if numParts < 1 {
+		numParts = 1
 	}
+	m := &Metrics{
+		parts:   make([]metricsPart, numParts),
+		removed: make([]bool, numQueries),
+	}
+	for i := range m.parts {
+		m.parts[i] = metricsPart{
+			processed: make([]float64, numQueries),
+			emitted:   make([]float64, numQueries),
+			qlat:      make([]latMoments, numQueries),
+		}
+	}
+	return m
 }
 
 // addQuery extends the per-query slices for an ad-hoc arrival.
 func (m *Metrics) addQuery() {
-	m.processed = append(m.processed, 0)
-	m.emitted = append(m.emitted, 0)
-	m.qlat = append(m.qlat, latMoments{})
+	for i := range m.parts {
+		p := &m.parts[i]
+		p.processed = append(p.processed, 0)
+		p.emitted = append(p.emitted, 0)
+		p.qlat = append(p.qlat, latMoments{})
+	}
 	m.removed = append(m.removed, false)
 }
 
 // removeQuery tombstones a retired query's rows. Whatever the query
 // accumulated inside the current measurement window is discarded —
 // including its share of the weighted latency distribution, which is
-// subtracted back out — and the rows stay excluded for the rest of the
-// run (query indexes are stable, so rows are never compacted away).
+// subtracted back out of every node partial — and the rows stay
+// excluded for the rest of the run (query indexes are stable, so rows
+// are never compacted away).
 func (m *Metrics) removeQuery(q int) {
-	m.processed[q] = 0
-	m.emitted[q] = 0
-	m.lat.subtract(m.qlat[q], q)
-	m.qlat[q] = latMoments{}
+	for i := range m.parts {
+		p := &m.parts[i]
+		p.processed[q] = 0
+		p.emitted[q] = 0
+		p.lat.subtract(p.qlat[q], q)
+		p.qlat[q] = latMoments{}
+	}
 	m.removed[q] = true
 }
 
 // StartMeasurement begins the measurement window at virtual time t,
 // discarding anything accumulated during warm-up.
 func (m *Metrics) StartMeasurement(t vtime.Time) {
-	for i := range m.processed {
-		m.processed[i] = 0
-		m.emitted[i] = 0
-	}
-	m.lat = latDist{}
-	for i := range m.qlat {
-		m.qlat[i] = latMoments{}
+	for i := range m.parts {
+		p := &m.parts[i]
+		for j := range p.processed {
+			p.processed[j] = 0
+			p.emitted[j] = 0
+			p.qlat[j] = latMoments{}
+		}
+		p.lat = latDist{}
+		p.jitCompiles = 0
+		p.jitTime = 0
+		p.shDemand = 0
+		p.shPhysical = 0
 	}
 	m.reshuffled = 0
-	m.jitCompiles = 0
-	m.jitTime = 0
-	m.shDemand = 0
-	m.shPhysical = 0
 	m.measuring = true
 	m.measureFrom = t
 }
@@ -100,23 +139,24 @@ func (m *Metrics) StopMeasurement(t vtime.Time) {
 	m.measureTo = t
 }
 
-func (m *Metrics) recordProcessed(query int, weight float64) {
+func (m *Metrics) recordProcessed(part, query int, weight float64) {
 	if m.measuring && !m.removed[query] {
-		m.processed[query] += weight
+		m.parts[part].processed[query] += weight
 	}
 }
 
-func (m *Metrics) recordEmitted(query int, weight float64) {
+func (m *Metrics) recordEmitted(part, query int, weight float64) {
 	if m.measuring && !m.removed[query] {
-		m.emitted[query] += weight
+		m.parts[part].emitted[query] += weight
 	}
 }
 
-func (m *Metrics) recordLatency(query int, d vtime.Duration, weight float64) {
+func (m *Metrics) recordLatency(part, query int, d vtime.Duration, weight float64) {
 	if m.measuring && !m.removed[query] {
 		x := d.Seconds()
-		m.lat.add(x, weight, query)
-		m.qlat[query].add(x, weight)
+		p := &m.parts[part]
+		p.lat.add(x, weight, query)
+		p.qlat[query].add(x, weight)
 	}
 }
 
@@ -126,17 +166,17 @@ func (m *Metrics) recordReshuffle(weight float64) {
 	}
 }
 
-func (m *Metrics) recordJIT(n int, d vtime.Duration) {
+func (m *Metrics) recordJIT(part, n int, d vtime.Duration) {
 	if m.measuring {
-		m.jitCompiles += n
-		m.jitTime += d
+		m.parts[part].jitCompiles += n
+		m.parts[part].jitTime += d
 	}
 }
 
-func (m *Metrics) recordSharing(demand, physical float64) {
+func (m *Metrics) recordSharing(part int, demand, physical float64) {
 	if m.measuring {
-		m.shDemand += demand
-		m.shPhysical += physical
+		m.parts[part].shDemand += demand
+		m.parts[part].shPhysical += physical
 	}
 }
 
@@ -146,10 +186,15 @@ func (m *Metrics) recordSharing(demand, physical float64) {
 // ground truth the alignment-only model of Eq. 4 underestimates —
 // cross-group partition coincidences count here but not there.
 func (m *Metrics) SharingRatio() float64 {
-	if m.shPhysical == 0 {
+	var demand, physical float64
+	for i := range m.parts {
+		demand += m.parts[i].shDemand
+		physical += m.parts[i].shPhysical
+	}
+	if physical == 0 {
 		return 1
 	}
-	return m.shDemand / m.shPhysical
+	return demand / physical
 }
 
 // MeasuredSeconds reports the length of the measurement window in
@@ -166,11 +211,7 @@ func (m *Metrics) OverallThroughput() float64 {
 	if s <= 0 {
 		return 0
 	}
-	var total float64
-	for _, p := range m.processed {
-		total += p
-	}
-	return total / s
+	return m.ProcessedTotal() / s
 }
 
 // QueryThroughput reports one query's processed rate.
@@ -179,15 +220,21 @@ func (m *Metrics) QueryThroughput(q int) float64 {
 	if s <= 0 {
 		return 0
 	}
-	return m.processed[q] / s
+	var p float64
+	for i := range m.parts {
+		p += m.parts[i].processed[q]
+	}
+	return p / s
 }
 
 // ProcessedTotal reports the weighted tuple count absorbed across all
 // queries during measurement.
 func (m *Metrics) ProcessedTotal() float64 {
 	var total float64
-	for _, p := range m.processed {
-		total += p
+	for i := range m.parts {
+		for _, p := range m.parts[i].processed {
+			total += p
+		}
 	}
 	return total
 }
@@ -195,27 +242,70 @@ func (m *Metrics) ProcessedTotal() float64 {
 // EmittedTotal reports the weighted window results emitted.
 func (m *Metrics) EmittedTotal() float64 {
 	var total float64
-	for _, e := range m.emitted {
-		total += e
+	for i := range m.parts {
+		for _, e := range m.parts[i].emitted {
+			total += e
+		}
 	}
 	return total
 }
 
+// foldLat folds the per-node latency moments in node order.
+func (m *Metrics) foldLat() latMoments {
+	var acc latMoments
+	for i := range m.parts {
+		lm := m.parts[i].lat.latMoments
+		acc.w += lm.w
+		acc.s1 += lm.s1
+		acc.s2 += lm.s2
+	}
+	return acc
+}
+
 // AvgLatency reports the weighted mean event-time latency.
 func (m *Metrics) AvgLatency() vtime.Duration {
-	return vtime.Duration(m.lat.mean() * float64(vtime.Second))
+	lm := m.foldLat()
+	if lm.w == 0 {
+		return 0
+	}
+	return vtime.Duration(lm.s1 / lm.w * float64(vtime.Second))
 }
 
 // LatencyStddev reports the weighted standard deviation of event-time
 // latency (the paper's error bars).
 func (m *Metrics) LatencyStddev() vtime.Duration {
-	return vtime.Duration(m.lat.stddev() * float64(vtime.Second))
+	lm := m.foldLat()
+	if lm.w == 0 {
+		return 0
+	}
+	mean := lm.s1 / lm.w
+	v := lm.s2/lm.w - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return vtime.Duration(math.Sqrt(v) * float64(vtime.Second))
 }
 
 // LatencyQuantile reports an approximate weighted latency quantile
-// (q in [0,1]) from the sampled reservoir.
+// (q in [0,1]) from the per-node sampled reservoirs, concatenated in
+// node order before sorting so the answer is shard-count independent.
 func (m *Metrics) LatencyQuantile(q float64) vtime.Duration {
-	return vtime.Duration(m.lat.quantile(q) * float64(vtime.Second))
+	var s []float64
+	for i := range m.parts {
+		s = append(s, m.parts[i].lat.samples...)
+	}
+	if len(s) == 0 {
+		return 0
+	}
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return vtime.Duration(s[i] * float64(vtime.Second))
 }
 
 // Reshuffled reports the weighted count of tuples sent back to source
@@ -223,10 +313,22 @@ func (m *Metrics) LatencyQuantile(q float64) vtime.Duration {
 func (m *Metrics) Reshuffled() float64 { return m.reshuffled }
 
 // JITCompiles reports how many operator compilations ran.
-func (m *Metrics) JITCompiles() int { return m.jitCompiles }
+func (m *Metrics) JITCompiles() int {
+	var n int
+	for i := range m.parts {
+		n += m.parts[i].jitCompiles
+	}
+	return n
+}
 
 // JITTime reports total virtual time spent in operator compilation.
-func (m *Metrics) JITTime() vtime.Duration { return m.jitTime }
+func (m *Metrics) JITTime() vtime.Duration {
+	var d vtime.Duration
+	for i := range m.parts {
+		d += m.parts[i].jitTime
+	}
+	return d
+}
 
 // latMoments holds the weighted moment sums (Σw, Σwx, Σwx²) of a
 // latency population. Plain sums rather than a Welford recurrence: sums
@@ -299,40 +401,4 @@ func (d *latDist) subtract(q latMoments, query int) {
 	}
 	d.samples, d.sampleQ = keep, keepQ
 	d.nSeen = len(keep)
-}
-
-func (d *latDist) mean() float64 {
-	if d.w == 0 {
-		return 0
-	}
-	return d.s1 / d.w
-}
-
-func (d *latDist) stddev() float64 {
-	if d.w == 0 {
-		return 0
-	}
-	m := d.s1 / d.w
-	v := d.s2/d.w - m*m
-	if v < 0 {
-		v = 0
-	}
-	return math.Sqrt(v)
-}
-
-func (d *latDist) quantile(q float64) float64 {
-	if len(d.samples) == 0 {
-		return 0
-	}
-	s := make([]float64, len(d.samples))
-	copy(s, d.samples)
-	sort.Float64s(s)
-	i := int(q * float64(len(s)-1))
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(s) {
-		i = len(s) - 1
-	}
-	return s[i]
 }

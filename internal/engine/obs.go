@@ -18,10 +18,12 @@ type engObs struct {
 	reshuffled  *obs.Counter
 	jitCompiles *obs.Counter
 
-	inboxBytes  *obs.Gauge
-	inboxMax    *obs.Gauge
-	outstanding *obs.Gauge
-	queueDepth  *obs.Histogram
+	inboxBytes    *obs.Gauge
+	inboxMax      *obs.Gauge
+	outstanding   *obs.Gauge
+	shardWorkMax  *obs.Gauge
+	shardWorkMean *obs.Gauge
+	queueDepth    *obs.Histogram
 }
 
 // SetObs attaches a telemetry registry to the engine (nil detaches).
@@ -31,8 +33,10 @@ func (e *Engine) SetObs(r *obs.Registry) {
 	e.net.SetObs(r)
 	if r == nil {
 		e.obs = nil
+		e.nodeWork = nil
 		return
 	}
+	e.nodeWork = make([]int, e.cfg.Nodes)
 	e.obs = &engObs{
 		reg: r,
 		stallTicks: r.Counter("saspar_engine_backpressure_stall_ticks_total",
@@ -47,6 +51,10 @@ func (e *Engine) SetObs(r *obs.Registry) {
 			"Largest single-node ingress buffer occupancy."),
 		outstanding: r.Gauge("saspar_engine_outstanding_state_moves",
 			"Window-state fragments moved but not yet merged at their new owner."),
+		shardWorkMax: r.Gauge("saspar_engine_shard_work_max",
+			"Largest per-node slot-entry consumption last tick (node-derived, so identical at any shard count)."),
+		shardWorkMean: r.Gauge("saspar_engine_shard_work_mean",
+			"Mean per-node slot-entry consumption last tick (node-derived, so identical at any shard count)."),
 		queueDepth: r.Histogram("saspar_engine_inbox_depth_bytes",
 			"Per-tick distribution of total ingress buffer occupancy.",
 			[]float64{1 << 16, 1 << 20, 16 << 20, 64 << 20, 256 << 20}),
@@ -67,6 +75,18 @@ func (e *Engine) observeTick() {
 	e.obs.inboxMax.Set(max)
 	e.obs.outstanding.Set(float64(e.outstandingState))
 	e.obs.queueDepth.Observe(tot)
+	var wMax, wSum int
+	for i, w := range e.nodeWork {
+		wSum += w
+		if w > wMax {
+			wMax = w
+		}
+		e.nodeWork[i] = 0
+	}
+	e.obs.shardWorkMax.Set(float64(wMax))
+	if len(e.nodeWork) > 0 {
+		e.obs.shardWorkMean.Set(float64(wSum) / float64(len(e.nodeWork)))
+	}
 }
 
 // emitJIT records a slot's post-alignment compilation burst.

@@ -132,12 +132,19 @@ func buildStreamPlan(stream StreamID, queries []*queryInst) (*streamPlan, error)
 }
 
 // pendingSend is an entry routed but not yet shipped: tuple-at-a-time
-// profiles ship every tick, micro-batch profiles hold sends until the
-// batch boundary and release them as a burst.
+// profiles stage it during the router phase and commit it at barrier
+// B, micro-batch profiles hold sends until the batch boundary and
+// release them as a burst.
 type pendingSend struct {
 	en       *entry
 	copies   float64
 	bytesPer float64 // wire bytes per concrete tuple (incl. weight)
+
+	// f is the staged send fraction: serialization CPU was burned for
+	// this share of the send during the router phase, against the
+	// shard-local link estimate. commit re-clamps it downward against
+	// authoritative link state before the bytes hit the network.
+	f float64
 }
 
 // routerTask is one physical instance of a stream's partition operator,
@@ -166,6 +173,23 @@ type routerTask struct {
 	draining   []pendingSend // micro-batch: the materialized batch being paced out
 	drainBytes float64
 
+	// pending holds this tick's staged sends awaiting commit at barrier
+	// B (tuple-at-a-time path).
+	pending []pendingSend
+
+	// gate spaces this task's tuple samples. Per task — not engine-wide
+	// — so the sampled subsequence is a function of the task's own
+	// tuple stream, invariant under sharding.
+	gate sampleGate
+
+	// Staged samples, delivered to the engine's sampler at barrier B in
+	// task order. Flat buffers: sampLen[i] classes/groups starting at
+	// the running offset belong to the i-th sampled tuple.
+	sampClass []int
+	sampGroup []keyspace.GroupID
+	sampTS    []vtime.Time
+	sampLen   []int
+
 	// Per-tick routing scratch, reused across ticks (the engine is
 	// single-threaded, so no synchronization): buckets maps a dense
 	// route key — slot in shared mode, class·NumPartitions+slot in
@@ -176,8 +200,10 @@ type routerTask struct {
 }
 
 // routeTick generates and routes this task's tuples for one tick of
-// length dt ending at e.clock.
-func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
+// length dt ending at e.clock. Runs in the parallel router phase: it
+// touches only task/node-local state plus read-only engine state, and
+// stages its sends and samples for the sequential barrier B.
+func (rt *routerTask) routeTick(e *Engine, nr *nodeRun, dt vtime.Duration) {
 	plan := e.plans[rt.stream]
 	def := e.streams[rt.stream]
 
@@ -266,7 +292,7 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 		rt.gen.Next(&t, ts)
 		t.TS = ts
 
-		sampling := e.sampler != nil && e.sampleCounter.next()
+		sampling := e.sampler != nil && rt.gate.next()
 		ns := 0 // sampled (class, group) pairs
 
 		if e.cfg.Shared {
@@ -312,11 +338,11 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 					}
 				}
 			}
-			e.metrics.recordSharing(float64(demanded)*e.cfg.TupleWeight, float64(nd)*e.cfg.TupleWeight)
+			e.metrics.recordSharing(int(rt.node), float64(demanded)*e.cfg.TupleWeight, float64(nd)*e.cfg.TupleWeight)
 			for j := 0; j < nd; j++ {
 				b := rt.buckets[slotScratch[j]]
 				if b == nil {
-					b = e.newEntry()
+					b = nr.newEntry()
 					b.kind, b.stream, b.shared = entryData, rt.stream, true
 					b.slot, b.epoch, b.plan = slotScratch[j], e.epoch, plan
 					rt.buckets[slotScratch[j]] = b
@@ -339,7 +365,7 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 				k := rc.id*e.cfg.NumPartitions + p
 				b := rt.buckets[k]
 				if b == nil {
-					b = e.newEntry()
+					b = nr.newEntry()
 					b.kind, b.stream, b.slot = entryData, rt.stream, p
 					b.class, b.epoch = rc, e.epoch
 					rt.buckets[k] = b
@@ -351,12 +377,12 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 			}
 		}
 		if sampling && ns > 0 {
-			e.sampler.Sample(SampleVec{
-				Stream:  rt.stream,
-				Time:    ts,
-				Classes: sampleClass[:ns],
-				Groups:  sampleGroup[:ns],
-			})
+			// Stage for barrier B: the sampler is engine-global, so the
+			// call itself must wait for the sequential merge.
+			rt.sampClass = append(rt.sampClass, sampleClass[:ns]...)
+			rt.sampGroup = append(rt.sampGroup, sampleGroup[:ns]...)
+			rt.sampTS = append(rt.sampTS, ts)
+			rt.sampLen = append(rt.sampLen, ns)
 		}
 	}
 	cpu.Take(routeCPUNeed)
@@ -390,7 +416,7 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 			if len(en.tuples) > 0 {
 				bytesPer += extra * e.cfg.TupleWeight / float64(len(en.tuples))
 			}
-			rt.emit(e, pendingSend{en: en, copies: 1, bytesPer: bytesPer})
+			rt.emit(e, nr, pendingSend{en: en, copies: 1, bytesPer: bytesPer})
 		}
 	} else {
 		for _, k := range rt.usedKeys {
@@ -405,27 +431,147 @@ func (rt *routerTask) routeTick(e *Engine, dt vtime.Duration) {
 			if frac := e.cfg.Profile.JoinDataShareFrac; frac > 0 && m > 1 && rc.allJoins() {
 				m = 1 + (1-frac)*(m-1)
 			}
-			rt.emit(e, pendingSend{en: en, copies: m, bytesPer: def.BytesPerTuple * e.cfg.TupleWeight * m})
+			rt.emit(e, nr, pendingSend{en: en, copies: m, bytesPer: def.BytesPerTuple * e.cfg.TupleWeight * m})
 		}
 	}
 }
 
-// emit routes one materialized send: tuple-at-a-time profiles ship it
-// immediately, micro-batch profiles hold it for the batch boundary.
-func (rt *routerTask) emit(e *Engine, ps pendingSend) {
+// emit routes one materialized send: tuple-at-a-time profiles stage it
+// for barrier B, micro-batch profiles hold it for the batch boundary.
+func (rt *routerTask) emit(e *Engine, nr *nodeRun, ps pendingSend) {
 	if e.cfg.Profile.MicroBatch {
 		rt.held = append(rt.held, ps)
 		rt.heldBytes += ps.bytesPer * float64(len(ps.en.tuples))
 		return
 	}
-	rt.ship(e, ps)
+	rt.stage(e, nr, ps)
+}
+
+// stage sizes one send during the parallel router phase: serialization
+// CPU is taken from the node-local meter against the shard-local link
+// estimate — authoritative link state minus this node's own
+// provisional claims — so no CPU is burned on bytes the network would
+// obviously refuse. The estimate ignores other nodes' staged sends;
+// commit settles true acceptance at barrier B. The staged fraction is
+// therefore deterministic: it reads link state frozen for the phase
+// plus claims accumulated in this node's fixed task order.
+func (rt *routerTask) stage(e *Engine, nr *nodeRun, ps pendingSend) {
+	en := ps.en
+	sendBytes := ps.bytesPer * float64(len(en.tuples))
+	dstNode := e.placement.PartitionNode(en.slot)
+
+	if e.nodeIsDown(dstNode) {
+		// The slot's node crashed: everything routed at it is lost until
+		// a reconfiguration moves its key groups. The bytes still count
+		// as offered-but-unaccepted, so the source throttle backs off
+		// while the system runs degraded — the sustained throughput dip
+		// the recovery experiment measures.
+		rt.tickOffered += sendBytes
+		nr.lostBytes += sendBytes
+		nr.recycle(en)
+		return
+	}
+
+	f := 1.0
+	if dstNode != rt.node {
+		// Only remote traffic feeds the throttle: shared-memory
+		// handoffs cannot be refused.
+		rt.tickOffered += sendBytes
+		avail := e.net.EstimateAvailable(rt.node, dstNode, nr.provEg, nr.provIn[dstNode])
+		if room := e.sendRoom(dstNode) - nr.provIn[dstNode]; room < avail {
+			avail = room
+		}
+		if avail < 0 {
+			avail = 0
+		}
+		if sendBytes > avail {
+			f = avail / sendBytes
+		}
+		// Serialization CPU sized to the estimated acceptable share.
+		serNeed := e.cfg.Cost.SerCPU * e.cfg.TupleWeight * float64(len(en.tuples)) * ps.copies * f
+		if serNeed > 0 {
+			if g := e.cluster.CPU(rt.node).Take(serNeed); g < serNeed {
+				f *= g / serNeed
+			}
+		}
+		nr.provEg += sendBytes * f
+		nr.provIn[dstNode] += sendBytes * f
+	}
+	ps.f = f
+	rt.pending = append(rt.pending, ps)
+}
+
+// commit settles one staged send at barrier B: the staged fraction is
+// re-clamped downward against authoritative link headroom (several
+// nodes' stages may have oversubscribed one ingress link), the bytes
+// hit the network, and the entry rides its edge. Runs in global task
+// order, so contention between shards resolves identically at every
+// shard count.
+func (rt *routerTask) commit(e *Engine, ps *pendingSend) {
+	en := ps.en
+	f := ps.f
+	sendBytes := ps.bytesPer * float64(len(en.tuples))
+	dstNode := e.placement.PartitionNode(en.slot)
+	if dstNode != rt.node && f > 0 {
+		avail := e.net.Available(rt.node, dstNode)
+		if room := e.sendRoom(dstNode); room < avail {
+			avail = room
+		}
+		if avail < 0 {
+			avail = 0
+		}
+		if sendBytes*f > avail {
+			f = avail / sendBytes
+		}
+	}
+	acc, delay := e.net.Send(rt.node, dstNode, sendBytes*f)
+	if offered := sendBytes * f; offered > 0 {
+		f *= acc / offered
+	}
+	en.scale = f
+	en.copies = ps.copies
+	en.bytes = sendBytes * f
+	en.arriveAt = e.clock.Add(delay)
+	en.watermark = e.clock.Add(-e.cfg.WatermarkLag)
+	rt.accepted += f * e.cfg.TupleWeight * float64(len(en.tuples)) * ps.copies
+	if dstNode != rt.node {
+		rt.tickAccepted += sendBytes * f
+	}
+	e.enqueue(rt, en)
+}
+
+// deliverSamples hands this task's staged tuple samples to the
+// engine's sampler, in the order they were drawn, and resets the
+// staging buffers (capacity kept).
+func (rt *routerTask) deliverSamples(e *Engine) {
+	if len(rt.sampLen) == 0 {
+		return
+	}
+	if e.sampler != nil {
+		off := 0
+		for i, ns := range rt.sampLen {
+			e.sampler.Sample(SampleVec{
+				Stream:  rt.stream,
+				Time:    rt.sampTS[i],
+				Classes: rt.sampClass[off : off+ns],
+				Groups:  rt.sampGroup[off : off+ns],
+			})
+			off += ns
+		}
+	}
+	rt.sampClass = rt.sampClass[:0]
+	rt.sampGroup = rt.sampGroup[:0]
+	rt.sampTS = rt.sampTS[:0]
+	rt.sampLen = rt.sampLen[:0]
 }
 
 // ship performs serialization CPU and network accounting for one entry
 // and enqueues it on its slot edge. Serialization is sized to what the
 // network can currently accept (no CPU is burned on bytes the queues
 // would refuse); any remaining shortfall scales the entry's weight
-// down, and the acceptance ratio feeds the source throttle.
+// down, and the acceptance ratio feeds the source throttle. Used by
+// the micro-batch drain path, which runs sequentially at barrier B
+// against authoritative link state, so no stage/commit split needed.
 func (rt *routerTask) ship(e *Engine, ps pendingSend) {
 	en := ps.en
 	cpu := e.cluster.CPU(rt.node)
@@ -440,7 +586,7 @@ func (rt *routerTask) ship(e *Engine, ps pendingSend) {
 		// the recovery experiment measures.
 		rt.tickOffered += sendBytes
 		e.lostBytes += sendBytes
-		e.recycleEntry(en)
+		e.nodes[rt.node].recycle(en)
 		return
 	}
 
@@ -554,7 +700,7 @@ func splitSend(ps *pendingSend, k int) pendingSend {
 func (rt *routerTask) heartbeat(e *Engine) {
 	wm := e.clock.Add(-e.cfg.WatermarkLag)
 	for s := 0; s < e.cfg.NumPartitions; s++ {
-		en := e.newEntry()
+		en := e.nodes[rt.node].newEntry()
 		en.kind = entryHeartbeat
 		en.slot = s
 		en.arriveAt = e.clock.Add(e.net.Config().LatMem)

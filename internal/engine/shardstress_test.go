@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"testing"
+
+	"saspar/internal/keyspace"
+	"saspar/internal/parallel"
+	"saspar/internal/vtime"
+)
+
+// TestShardedChurnStress drives the sharded step through every
+// concurrent mutation source at once: many ticks at shards=4 with real
+// worker goroutines granted (the budget is raised explicitly, so the
+// parallel phases run parallel even on a 1-core CI host), live
+// re-partitionings, a node crash and revival mid-churn, and checkpoint
+// barrier churn interleaved with the reconfiguration markers. The
+// assertions are liveness only — epochs drain, checkpoints complete,
+// results keep flowing — because byte-level correctness is enforced by
+// the determinism suite in internal/core; this test's job is giving
+// the race detector coverage of the slot/router phases (scripts/ci.sh
+// runs this package under -race).
+func TestShardedChurnStress(t *testing.T) {
+	parallel.SetBudget(8)
+	defer parallel.SetBudget(-1)
+
+	cfg := lightConfig()
+	cfg.Shards = 4
+	e, err := New(cfg, []StreamDef{testStream("s", 16)},
+		[]QuerySpec{aggQuery("a", 0), aggQuery("b", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 2000)
+
+	ckptID := int64(1)
+	completed := 0
+	for round := 0; round < 6; round++ {
+		if err := e.Run(500 * vtime.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		// Checkpoint barrier churn: start a new barrier whenever the
+		// previous one finished aligning.
+		if err := e.BeginCheckpoint(ckptID); err == nil {
+			ckptID++
+		}
+		// A crash strikes mid-churn and the node comes back two rounds
+		// later, so reconfigurations and barriers cross a down node.
+		switch round {
+		case 2:
+			e.SetNodeDown(1, true)
+		case 4:
+			e.SetNodeDown(1, false)
+		}
+		// Live re-partitioning: rotate half the groups of query 0.
+		if err := e.InjectReconfig(map[int]*keyspace.Assignment{0: moveSomeGroups(e)}); err == nil {
+			epoch := e.Epoch()
+			for i := 0; i < 400 && !e.ReconfigComplete(epoch); i++ {
+				if err := e.Run(cfg.Tick); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !e.ReconfigComplete(epoch) {
+				t.Fatalf("round %d: reconfiguration epoch %d never drained", round, epoch)
+			}
+			e.InjectFinalize()
+		}
+		if _, ok := e.CompleteCheckpoint(); ok {
+			completed++
+		}
+	}
+	if err := e.Run(2 * vtime.Second); err != nil {
+		t.Fatal(err)
+	}
+	if completed == 0 {
+		t.Fatal("no checkpoint barrier completed during the churn")
+	}
+	if len(e.Results(0)) == 0 {
+		t.Fatal("churned engine emitted no results")
+	}
+}

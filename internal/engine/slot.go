@@ -120,6 +120,11 @@ type slot struct {
 	exact map[int]*qExactSlot
 	// held parks tuples of moved-in groups until their state merges.
 	held map[pendKey][]heldTuple
+
+	// fx stages this slot's cross-node effects during the parallel slot
+	// phase; the barrier-A fold drains it in canonical slot order (see
+	// shard.go).
+	fx slotFx
 }
 
 func newSlot(id int, node cluster.NodeID, numEdges int) *slot {
@@ -139,8 +144,12 @@ func newSlot(id int, node cluster.NodeID, numEdges int) *slot {
 }
 
 // process drains processable entries within this tick's CPU budget.
-// Returns false when the slot can make no further progress this tick.
-func (s *slot) process(e *Engine) {
+// Runs inside the (possibly parallel) slot phase: it may touch only
+// state owned by this slot's node plus the slot's staging buffer, and
+// in counting mode the engine-global counting cells its routing
+// exclusively owns (serialized during reconfiguration windows — see
+// tickTurbulent).
+func (s *slot) process(e *Engine, nr *nodeRun) {
 	if e.clock < s.busyUntil {
 		return // JIT compilation in progress
 	}
@@ -170,11 +179,14 @@ func (s *slot) process(e *Engine) {
 					s.blocked[ei] = true
 					s.alignLeft--
 					// The Marker object is retained via alignM; the
-					// carrier entry is done and returns to the pool.
-					e.recycleEntry(q.pop())
+					// carrier entry is done and returns to the pool. Its
+					// in-flight count decrements at the barrier fold.
+					nr.recycle(q.pop())
+					s.fx.markers++
+					s.fx.entries++
 					progressed = true
 					if s.alignLeft == 0 {
-						s.completeAlignment(e)
+						s.completeAlignment(e, nr)
 					}
 					continue
 				}
@@ -193,7 +205,7 @@ func (s *slot) process(e *Engine) {
 					part := *en
 					part.scale = en.scale * frac
 					cpu.Take(need * frac)
-					s.consume(e, &part)
+					s.consume(e, nr, &part)
 					en.scale *= 1 - frac
 					e.inboxBytes[s.node] -= en.bytes * frac
 					en.bytes *= 1 - frac
@@ -203,11 +215,12 @@ func (s *slot) process(e *Engine) {
 				cpu.Take(need)
 				q.pop()
 				e.inboxBytes[s.node] -= en.bytes
-				s.consume(e, en)
+				s.consume(e, nr, en)
 				// consume copies everything it keeps (window state,
 				// held tuples, state partials), so the entry and its
 				// payload capacity go back to the free list.
-				e.recycleEntry(en)
+				nr.recycle(en)
+				s.fx.entries++
 				progressed = true
 			}
 		}
@@ -279,12 +292,12 @@ func (s *slot) opCPU(e *Engine, rc *routeClass, w float64) float64 {
 
 // consume applies an entry to this slot's operator state. The caller
 // has already recorded the entry's watermark against its edge.
-func (s *slot) consume(e *Engine, en *entry) {
+func (s *slot) consume(e *Engine, nr *nodeRun, en *entry) {
 	switch en.kind {
 	case entryHeartbeat:
 		return
 	case entryState:
-		e.mergeState(s, en)
+		e.mergeState(s, en, true)
 		return
 	}
 	w := e.cfg.TupleWeight * en.scale
@@ -318,16 +331,19 @@ func (s *slot) consume(e *Engine, en *entry) {
 func (s *slot) insertClass(e *Engine, rc *routeClass, t *Tuple, g keyspace.GroupID, w float64, en *entry) {
 	lat := vtime.Max(en.arriveAt, e.clock.Add(-e.cfg.Tick)).Sub(t.TS)
 	if int(rc.assign.Partition(g)) != s.id {
+		// Stray reroutes draw from the engine RNG and the shared
+		// network budget, so they stage for the barrier-A fold.
 		if !e.cfg.ExactWindows {
 			m := rc.members[0]
-			e.sendBack(s, m.q.idx, g, w*float64(len(rc.members)), t, m.side)
+			e.stageStray(s, m.q.idx, g, w*float64(len(rc.members)), t, m.side)
 			return
 		}
 		for _, m := range rc.members {
-			e.sendBack(s, m.q.idx, g, w, t, m.side)
+			e.stageStray(s, m.q.idx, g, w, t, m.side)
 		}
 		return
 	}
+	part := int(s.node)
 	if !e.cfg.ExactWindows {
 		// Counting mode: a class's members are interchangeable for
 		// state accounting (same stream, key, filter, assignment), so
@@ -337,14 +353,14 @@ func (s *slot) insertClass(e *Engine, rc *routeClass, t *Tuple, g keyspace.Group
 		m := rc.members[0]
 		wTot := w * float64(len(rc.members))
 		e.insert(s, m.q, m.side, t, g, wTot)
-		e.metrics.recordProcessed(m.q.idx, wTot)
-		e.metrics.recordLatency(m.q.idx, lat, wTot)
+		e.metrics.recordProcessed(part, m.q.idx, wTot)
+		e.metrics.recordLatency(part, m.q.idx, lat, wTot)
 		return
 	}
 	for _, m := range rc.members {
 		e.insert(s, m.q, m.side, t, g, w)
-		e.metrics.recordProcessed(m.q.idx, w)
-		e.metrics.recordLatency(m.q.idx, lat, w)
+		e.metrics.recordProcessed(part, m.q.idx, w)
+		e.metrics.recordLatency(part, m.q.idx, lat, w)
 	}
 }
 
@@ -369,8 +385,10 @@ func (s *slot) advanceWatermark(e *Engine) {
 // from every upstream edge arrived (step 2 complete):
 // JIT-compile the affected operators, extract the window state of key
 // groups that moved away, hand it to the iterator which ships it back
-// to a source operator, and unblock the edges.
-func (s *slot) completeAlignment(e *Engine) {
+// to a source operator, and unblock the edges. Cross-node effects —
+// the alignment count, checkpoint capture, extracted-state dispatch,
+// JIT telemetry — stage on s.fx for the barrier-A fold.
+func (s *slot) completeAlignment(e *Engine, nr *nodeRun) {
 	m := s.alignM
 	s.alignM = nil
 	for i := range s.blocked {
@@ -380,7 +398,7 @@ func (s *slot) completeAlignment(e *Engine) {
 		return
 	}
 	s.seenEpoch = m.Epoch
-	e.alignedSlots[m.Epoch]++
+	s.fx.stage(evtAligned).epoch = m.Epoch
 
 	if m.Kind == MarkerFinalize {
 		// Step 5: iterators revert to pass-through; nothing to move.
@@ -390,7 +408,7 @@ func (s *slot) completeAlignment(e *Engine) {
 		// Aligned snapshot point: every pre-barrier tuple on every edge
 		// has been folded into this slot's state, no post-barrier tuple
 		// has. Capture and resume; no state moves, no JIT runs.
-		e.captureCheckpoint(s, m)
+		e.stageCheckpointCapture(s, m)
 		return
 	}
 	d := m.Delta
@@ -400,10 +418,11 @@ func (s *slot) completeAlignment(e *Engine) {
 
 	// Step 3: JIT-compile the new operator bodies on this slot — one
 	// compilation per query whose group set here changed. Queries are
-	// visited in index order: each state extraction below draws from the
-	// engine RNG and the tick's shared network budget, so map-order
-	// iteration would make delays — and every latency derived from them
-	// — differ run to run.
+	// visited in index order: the extraction events staged below fold at
+	// barrier A in stage order, and each fold draws from the engine RNG
+	// and the tick's shared network budget, so map-order iteration would
+	// make delays — and every latency derived from them — differ run to
+	// run.
 	movedQueries := make([]int, 0, len(d.Moved))
 	for qi := range d.Moved {
 		movedQueries = append(movedQueries, qi)
@@ -428,7 +447,7 @@ func (s *slot) completeAlignment(e *Engine) {
 		// state back to the source operator for re-partitioning.
 		for _, g := range moved {
 			if int(d.OldAssign[qi].Partition(g)) == s.id {
-				e.extractAndReturn(s, qi, g)
+				e.extractState(s, nr, qi, g)
 			}
 			if e.cfg.ExactWindows && int(q.assign.Partition(g)) == s.id {
 				// Emission hold only matters for concrete windows;
@@ -442,9 +461,10 @@ func (s *slot) completeAlignment(e *Engine) {
 		cost := e.cfg.Cost.CompileCost.Seconds() * float64(compiles)
 		e.cluster.CPU(s.node).Take(cost)
 		s.busyUntil = vtime.Max(e.clock, s.busyUntil).Add(d)
-		e.metrics.recordJIT(compiles, d)
+		e.metrics.recordJIT(int(s.node), compiles, d)
 		if e.obs != nil {
-			e.obs.emitJIT(e.clock, compiles, d)
+			ev := s.fx.stage(evtJIT)
+			ev.compiles, ev.dur = compiles, d
 		}
 	}
 }

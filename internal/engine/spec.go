@@ -178,6 +178,13 @@ type Config struct {
 	// correctness tests at small scale.
 	ExactWindows bool
 
+	// Shards caps the worker goroutines one engine run uses per tick to
+	// parallelize per-node work (see shard.go). 0 and 1 both mean
+	// single-threaded; higher values are further clamped to the node
+	// count and to the process-wide parallel budget. Output is
+	// byte-identical at every value — the knob trades wall clock only.
+	Shards int
+
 	Seed int64
 }
 
@@ -232,6 +239,9 @@ func (c Config) Validate() error {
 	}
 	if c.FlowContentionCoeff < 0 {
 		return fmt.Errorf("engine: flow contention coefficient must be non-negative, got %v", c.FlowContentionCoeff)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("engine: shard count must be non-negative (0 means single-threaded), got %d", c.Shards)
 	}
 	if err := c.Cost.validate(); err != nil {
 		return err

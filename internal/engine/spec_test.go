@@ -3,6 +3,8 @@ package engine
 import (
 	"strings"
 	"testing"
+
+	"saspar/internal/vtime"
 )
 
 func TestConfigValidateErrors(t *testing.T) {
@@ -20,6 +22,7 @@ func TestConfigValidateErrors(t *testing.T) {
 		{"tick", func(c *Config) { c.Tick = 0 }, "tick"},
 		{"watermark-lag", func(c *Config) { c.WatermarkLag = -1 }, "watermark"},
 		{"flow-contention", func(c *Config) { c.FlowContentionCoeff = -0.1 }, "contention"},
+		{"shards", func(c *Config) { c.Shards = -1 }, "shard count"},
 	}
 	for _, c := range cases {
 		cfg := DefaultConfig()
@@ -42,5 +45,33 @@ func TestConfigValidateErrors(t *testing.T) {
 func TestConfigValidateAcceptsDefaults(t *testing.T) {
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Fatalf("default config invalid: %v", err)
+	}
+	// 0 (unset) and any positive shard count are both legal; the clamp
+	// to node count and budget happens at run time.
+	for _, n := range []int{0, 1, 4, 64} {
+		cfg := DefaultConfig()
+		cfg.Shards = n
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("shards=%d rejected: %v", n, err)
+		}
+	}
+}
+
+func TestRunRejectsNonPositiveDuration(t *testing.T) {
+	e, err := New(lightConfig(), []StreamDef{testStream("s", 8)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []vtime.Duration{0, -vtime.Second} {
+		err := e.Run(d)
+		if err == nil {
+			t.Fatalf("Run(%v) accepted", d)
+		}
+		if !strings.Contains(err.Error(), "duration must be positive") {
+			t.Fatalf("Run(%v) error %q does not describe the violation", d, err)
+		}
+	}
+	if before := e.Clock(); before != 0 {
+		t.Fatalf("rejected Run still advanced the clock to %v", before)
 	}
 }

@@ -164,31 +164,45 @@ func (e *Engine) insert(s *slot, q *queryInst, side int, t *Tuple, g keyspace.Gr
 	for _, win := range wins {
 		k := aggMapKey{win, key}
 		if ms := opp[k]; len(ms) > 0 {
-			e.metrics.recordEmitted(q.idx, w*float64(len(ms)))
+			e.metrics.recordEmitted(int(s.node), q.idx, w*float64(len(ms)))
 		}
 		st.join[side][k] = append(st.join[side][k], *t)
 	}
 }
 
 // closeExactWindows emits every window whose end passed the slot
-// watermark, unless its key group is awaiting moved-in state.
+// watermark, unless its key group is awaiting moved-in state. Queries
+// and window keys are visited in sorted order: emitted results stage
+// for the global results log and fold at barrier A, so their sequence
+// — and the order of the per-result metric adds — must be a pure
+// function of the window contents, not of map iteration.
 func (e *Engine) closeExactWindows(s *slot) {
-	for qi, st := range s.exact {
+	qis := make([]int, 0, len(s.exact))
+	for qi := range s.exact {
+		qis = append(qis, qi)
+	}
+	sort.Ints(qis)
+	for _, qi := range qis {
+		st := s.exact[qi]
 		q := e.queries[qi]
 		r := vtime.Time(q.spec.Window.Range)
 		if st.agg != nil {
-			for k, acc := range st.agg {
+			keys := make([]aggMapKey, 0, len(st.agg))
+			for k := range st.agg {
 				if k.win+r > s.wm {
 					continue
 				}
-				g := e.space.GroupOf(k.key)
-				if s.pendingState[pendKey{qi, g}] {
+				if s.pendingState[pendKey{qi, e.space.GroupOf(k.key)}] {
 					continue
 				}
-				e.results[qi] = append(e.results[qi], AggResult{
-					Query: qi, Win: k.win, Key: k.key, Sum: acc.sum, Weight: acc.weight,
-				})
-				e.metrics.recordEmitted(qi, acc.weight)
+				keys = append(keys, k)
+			}
+			sortAggKeys(keys)
+			for _, k := range keys {
+				acc := st.agg[k]
+				ev := s.fx.stage(evtResult)
+				ev.res = AggResult{Query: qi, Win: k.win, Key: k.key, Sum: acc.sum, Weight: acc.weight}
+				e.metrics.recordEmitted(int(s.node), qi, acc.weight)
 				delete(st.agg, k)
 			}
 		}
@@ -207,14 +221,27 @@ func (e *Engine) closeExactWindows(s *slot) {
 	}
 }
 
-// extractAndReturn implements the iterator's state movement (step 4):
-// the window state of query qi's key group g leaves slot s, travels
-// back to a source operator, and is re-partitioned to the new owner.
-// Both legs consume network resources; the first leg is the "tuples
-// sent back to the source operator" of Fig. 9.
-func (e *Engine) extractAndReturn(s *slot, qi int, g keyspace.GroupID) {
+// sortAggKeys orders window-instance keys by (window start, key).
+func sortAggKeys(keys []aggMapKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].win != keys[j].win {
+			return keys[i].win < keys[j].win
+		}
+		return keys[i].key < keys[j].key
+	})
+}
+
+// extractState implements the local half of the iterator's state
+// movement (step 4): the window state of query qi's key group g leaves
+// slot s into a fresh entry, which is staged for barrier A. The
+// network legs and the courier-source RNG draw happen in
+// dispatchExtract, at the barrier, in canonical slot order — see the
+// second leg ("tuples sent back to the source operator") of Fig. 9.
+// Window keys extract in sorted order so en.stWeight (a float sum) and
+// the shipped payload order are map-iteration independent.
+func (e *Engine) extractState(s *slot, nr *nodeRun, qi int, g keyspace.GroupID) {
 	q := e.queries[qi]
-	en := e.newEntry()
+	en := nr.newEntry()
 	en.kind = entryState
 	en.stQuery = qi
 	en.stGroup = g
@@ -223,20 +250,30 @@ func (e *Engine) extractAndReturn(s *slot, qi int, g keyspace.GroupID) {
 	if e.cfg.ExactWindows {
 		if st := s.exact[qi]; st != nil {
 			if st.agg != nil {
-				for k, acc := range st.agg {
-					if e.space.GroupOf(k.key) != g {
-						continue
+				keys := make([]aggMapKey, 0, len(st.agg))
+				for k := range st.agg {
+					if e.space.GroupOf(k.key) == g {
+						keys = append(keys, k)
 					}
+				}
+				sortAggKeys(keys)
+				for _, k := range keys {
+					acc := st.agg[k]
 					en.stAgg = append(en.stAgg, AggPartial{Win: k.win, Key: k.key, Sum: acc.sum, Weight: acc.weight})
 					en.stWeight += acc.weight
 					delete(st.agg, k)
 				}
 			}
 			for side := range st.join {
-				for k, buf := range st.join[side] {
-					if e.space.GroupOf(k.key) != g {
-						continue
+				keys := make([]aggMapKey, 0, len(st.join[side]))
+				for k := range st.join[side] {
+					if e.space.GroupOf(k.key) == g {
+						keys = append(keys, k)
 					}
+				}
+				sortAggKeys(keys)
+				for _, k := range keys {
+					buf := st.join[side][k]
 					en.stJoin[side] = append(en.stJoin[side], buf...)
 					en.stWeight += float64(len(buf))
 					delete(st.join[side], k)
@@ -244,6 +281,9 @@ func (e *Engine) extractAndReturn(s *slot, qi int, g keyspace.GroupID) {
 			}
 		}
 	} else {
+		// Counting cells are engine-global; safe here because extraction
+		// only happens on reconfiguration ticks, which the turbulence
+		// carve-out runs single-worker (see tickTurbulent).
 		c := e.qcount[qi]
 		tau := q.spec.Window.Range.Seconds()
 		for side := range c.rate {
@@ -258,42 +298,18 @@ func (e *Engine) extractAndReturn(s *slot, qi int, g keyspace.GroupID) {
 		// class in counting mode, whose state is carried by the
 		// representative). Exact mode always ships, even empty, so the
 		// new owner's emission hold clears.
-		e.recycleEntry(en)
+		nr.recycle(en)
 		return
 	}
-	e.metrics.recordReshuffle(en.stWeight)
-	if e.obs != nil {
-		e.obs.reshuffled.Add(en.stWeight)
-	}
-
-	// Route the state back through a source operator. Bytes flow over
-	// two legs: slot → source node, then source → new owner. The RNG is
-	// drawn unconditionally (determinism: the draw sequence must not
-	// depend on fault state); a dead courier is then replaced by the
-	// first live task so moved state is not pointlessly destroyed.
-	src := e.tasks[e.rng.Intn(len(e.tasks))]
-	if e.nodeIsDown(src.node) {
-		for _, rt := range e.tasks {
-			if !e.nodeIsDown(rt.node) {
-				src = rt
-				break
-			}
-		}
-	}
-	bytes := en.stWeight * e.streams[q.spec.Inputs[0].Stream].BytesPerTuple
-	_, d1 := e.net.Send(s.node, src.node, bytes)
-	owner := int(q.assign.Partition(g))
-	_, d2 := e.net.Send(src.node, e.placement.PartitionNode(owner), bytes)
-	en.slot = owner
-	en.arriveAt = e.clock.Add(d1 + d2)
-	en.watermark = vtime.NoWatermark
-	e.outstandingState++
-	e.enqueue(src, en)
+	s.fx.stage(evtExtract).en = en
 }
 
 // mergeState absorbs a moved key group's state at its new owner and
-// clears the emission hold.
-func (e *Engine) mergeState(s *slot, en *entry) {
+// clears the emission hold. With staged=true (the slot phase) the
+// checkpoint fold and the outstanding-state decrement are deferred to
+// barrier A; staged=false (checkpoint restore, which runs between
+// ticks) applies both directly.
+func (e *Engine) mergeState(s *slot, en *entry, staged bool) {
 	qi := en.stQuery
 	if e.cfg.ExactWindows {
 		st := e.exactState(s, qi)
@@ -325,9 +341,21 @@ func (e *Engine) mergeState(s *slot, en *entry) {
 	k := pendKey{qi, en.stGroup}
 	// An in-flight checkpoint that saw this group pending at alignment
 	// completes its capture from the state that just landed.
-	e.ckptMergeHook(k, en)
+	if staged {
+		if ck := e.ckpt; ck != nil && ck.active {
+			ev := s.fx.stage(evtCkptMerge)
+			ev.key = k
+			// Copy the payload: the entry is recycled before barrier A.
+			ev.agg = append([]AggPartial(nil), en.stAgg...)
+			ev.join[0] = append([]Tuple(nil), en.stJoin[0]...)
+			ev.join[1] = append([]Tuple(nil), en.stJoin[1]...)
+		}
+		s.fx.outstanding--
+	} else {
+		e.ckptMergeHook(k, en)
+		e.outstandingState--
+	}
 	delete(s.pendingState, k)
-	e.outstandingState--
 	// Replay tuples that arrived for this group while its state was in
 	// flight, now in arrival order against the complete state.
 	if held := s.held[k]; len(held) > 0 {
@@ -347,29 +375,13 @@ type heldTuple struct {
 	t    Tuple
 }
 
-// sendBack is the iterator guard's reroute of a stray tuple: a tuple
-// that reached a slot which no longer owns its key group under the
-// current epoch travels back to a source and on to the true owner.
-func (e *Engine) sendBack(s *slot, qi int, g keyspace.GroupID, w float64, t *Tuple, side int) {
-	e.metrics.recordReshuffle(w)
-	if e.obs != nil {
-		e.obs.reshuffled.Add(w)
-	}
-	q := e.queries[qi]
-	bytes := w * e.streams[q.spec.Inputs[side].Stream].BytesPerTuple
-	src := e.tasks[e.rng.Intn(len(e.tasks))]
-	e.net.Send(s.node, src.node, bytes)
-	owner := int(q.assign.Partition(g))
-	if e.nodeIsDown(e.slots[owner].node) {
-		// The true owner's node crashed: the stray is unrecoverable
-		// until a reconfiguration reassigns the group.
-		e.lostBytes += bytes
-		return
-	}
-	e.net.Send(src.node, e.placement.PartitionNode(owner), bytes)
-	// Deliver to the true owner; delays for strays are folded into the
-	// next tick's processing.
-	target := e.slots[owner]
-	e.insert(target, q, side, t, g, w)
-	e.metrics.recordProcessed(qi, w)
+// stageStray records the iterator guard's reroute of a stray tuple: a
+// tuple that reached a slot which no longer owns its key group under
+// the current epoch. The actual reroute (RNG courier draw, network
+// legs, insert at the true owner — which may live on another node)
+// runs at barrier A in dispatchStray.
+func (e *Engine) stageStray(s *slot, qi int, g keyspace.GroupID, w float64, t *Tuple, side int) {
+	ev := s.fx.stage(evtStray)
+	ev.qi, ev.g, ev.w, ev.side = qi, g, w, side
+	ev.t = *t
 }

@@ -1,0 +1,100 @@
+package keyspace
+
+import "testing"
+
+// FuzzSubsetRemap throws arbitrary allowed-partition masks and
+// assignment tables at the subset remap/anchor math behind the
+// optimizer's degraded-mode placement domain (SubsetIndex,
+// ProjectAssignment, LiftAssignment) and checks the invariants the
+// restricted solve relies on: the index maps are mutually consistent,
+// projection keeps exactly the groups on allowed partitions, and lift
+// is the exact inverse of projection on those groups.
+//
+// Seed corpus: testdata/fuzz/FuzzSubsetRemap. CI runs a short
+// -fuzztime smoke (scripts/ci.sh); longer local sessions just raise it.
+func FuzzSubsetRemap(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1}, []byte{0, 1, 2, 3, 200, 9})
+	f.Add([]byte{0, 0}, []byte{1, 1, 1})
+	f.Add([]byte{1}, []byte{255})
+	f.Fuzz(func(t *testing.T, mask, table []byte) {
+		if len(mask) == 0 || len(mask) > 64 || len(table) == 0 || len(table) > 512 {
+			t.Skip()
+		}
+		allowed := make([]bool, len(mask))
+		nAllowed := 0
+		for i, m := range mask {
+			if m&1 == 1 {
+				allowed[i] = true
+				nAllowed++
+			}
+		}
+
+		keep, fwd := SubsetIndex(allowed)
+		if len(fwd) != len(allowed) {
+			t.Fatalf("fwd covers %d partitions, want %d", len(fwd), len(allowed))
+		}
+		if len(keep) != nAllowed {
+			t.Fatalf("keep has %d entries, want %d", len(keep), nAllowed)
+		}
+		for p, ok := range allowed {
+			if ok {
+				ri := fwd[p]
+				if ri < 0 || ri >= len(keep) || keep[ri] != p {
+					t.Fatalf("fwd/keep disagree at partition %d: fwd=%d", p, ri)
+				}
+			} else if fwd[p] != -1 {
+				t.Fatalf("excluded partition %d has fwd=%d, want -1", p, fwd[p])
+			}
+		}
+		for i := 1; i < len(keep); i++ {
+			if keep[i] <= keep[i-1] {
+				t.Fatalf("keep not strictly ascending at %d: %v", i, keep)
+			}
+		}
+
+		// An arbitrary anchor: byte value b maps group g to partition
+		// b%(P+1)-1, so unassigned groups appear alongside every
+		// partition id.
+		a := NewAssignment(len(table))
+		for g, b := range table {
+			if p := int(b)%(len(mask)+1) - 1; p >= 0 {
+				a.Set(GroupID(g), PartitionID(p))
+			}
+		}
+		before := a.Clone()
+
+		proj := ProjectAssignment(a, fwd)
+		if proj.NumGroups() != a.NumGroups() {
+			t.Fatalf("projection resized: %d -> %d groups", a.NumGroups(), proj.NumGroups())
+		}
+		for g := 0; g < a.NumGroups(); g++ {
+			gid := GroupID(g)
+			if a.Partition(gid) != before.Partition(gid) {
+				t.Fatalf("ProjectAssignment mutated its input at group %d", g)
+			}
+			p, rp := a.Partition(gid), proj.Partition(gid)
+			if p >= 0 && allowed[p] {
+				if rp != PartitionID(fwd[p]) {
+					t.Fatalf("group %d on allowed partition %d projected to %d, want %d", g, p, rp, fwd[p])
+				}
+			} else if rp != NoPartition {
+				t.Fatalf("group %d (partition %d) survived projection as %d", g, p, rp)
+			}
+		}
+
+		// Lifting the projection restores exactly the surviving groups.
+		lifted := proj.Clone()
+		LiftAssignment(lifted, keep)
+		for g := 0; g < a.NumGroups(); g++ {
+			gid := GroupID(g)
+			p, lp := a.Partition(gid), lifted.Partition(gid)
+			if p >= 0 && allowed[p] {
+				if lp != p {
+					t.Fatalf("group %d round-tripped %d -> %d", g, p, lp)
+				}
+			} else if lp != NoPartition {
+				t.Fatalf("dropped group %d reappeared as %d after lift", g, lp)
+			}
+		}
+	})
+}

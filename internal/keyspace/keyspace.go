@@ -217,3 +217,53 @@ func (a *Assignment) GroupsOf(p PartitionID) []GroupID {
 	}
 	return out
 }
+
+// SubsetIndex builds the index maps for restricting partition ids to
+// an allowed subset (the optimizer's degraded-mode placement domain,
+// where unhealthy nodes' partitions are excluded): keep maps reduced
+// index → full id in ascending full-id order, and fwd maps full id →
+// reduced index, -1 for excluded partitions. len(fwd) == len(allowed);
+// len(keep) == the number of true entries.
+func SubsetIndex(allowed []bool) (keep, fwd []int) {
+	keep = make([]int, 0, len(allowed))
+	fwd = make([]int, len(allowed))
+	for p, ok := range allowed {
+		if ok {
+			fwd[p] = len(keep)
+			keep = append(keep, p)
+		} else {
+			fwd[p] = -1
+		}
+	}
+	return keep, fwd
+}
+
+// ProjectAssignment maps a into the reduced partition space described
+// by fwd (from SubsetIndex): a fresh assignment in which groups on
+// excluded, out-of-range or unassigned partitions are left unassigned.
+// Used to project movement anchors, so a forced evacuation pays no
+// movement penalty for state on an excluded partition — it is forfeit
+// anyway. a is not modified.
+func ProjectAssignment(a *Assignment, fwd []int) *Assignment {
+	ra := NewAssignment(a.NumGroups())
+	for g := 0; g < a.NumGroups(); g++ {
+		gid := GroupID(g)
+		if p := a.Partition(gid); p >= 0 && int(p) < len(fwd) && fwd[p] >= 0 {
+			ra.Set(gid, PartitionID(fwd[p]))
+		}
+	}
+	return ra
+}
+
+// LiftAssignment rewrites a reduced-space assignment back to full
+// partition ids in place via keep (from SubsetIndex). Unassigned
+// groups stay unassigned; a reduced id outside keep is a caller bug
+// and panics like any out-of-range index.
+func LiftAssignment(a *Assignment, keep []int) {
+	for g := 0; g < a.NumGroups(); g++ {
+		gid := GroupID(g)
+		if p := a.Partition(gid); p != NoPartition {
+			a.Set(gid, PartitionID(keep[p]))
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package mip
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedInstance is a small, valid model: 2 partitions, 3 groups,
+// 2 streams, one aggregation-shaped class and one join-shaped class.
+func fuzzSeedInstance() *Instance {
+	return &Instance{
+		NumPartitions: 2,
+		NumGroups:     3,
+		NumStreams:    2,
+		Classes: []Class{
+			{Label: "agg", Weight: 2, Streams: []ClassStream{
+				{Stream: 0, Card: []float64{5, 1, 0}, SW: []float64{1, 0.5, 0}},
+			}},
+			{Label: "join", Weight: 1, Streams: []ClassStream{
+				{Stream: 0, Card: []float64{2, 2, 2}, SW: []float64{0, 0, 0}},
+				{Stream: 1, Card: []float64{1, 4, 1}, SW: []float64{0.25, 1, 0}},
+			}},
+		},
+		LatP:    []float64{0.5, 1.5},
+		LatProc: 0.1,
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in := fuzzSeedInstance()
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed the instance:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestDecodeInstanceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "nope",
+		"unknown field":  `{"NumPartitions":1,"NumGroups":1,"NumStreams":1,"Bogus":3}`,
+		"zero dims":      `{"NumPartitions":0,"NumGroups":1,"NumStreams":1}`,
+		"missing stats":  `{"NumPartitions":1,"NumGroups":1,"NumStreams":1,"Classes":[{"Weight":1,"Streams":[{"Stream":0}]}],"LatP":[1]}`,
+		"negative card":  `{"NumPartitions":1,"NumGroups":1,"NumStreams":1,"Classes":[{"Weight":1,"Streams":[{"Stream":0,"Card":[-1],"SW":[0]}]}],"LatP":[1]}`,
+		"sw out of unit": `{"NumPartitions":1,"NumGroups":1,"NumStreams":1,"Classes":[{"Weight":1,"Streams":[{"Stream":0,"Card":[1],"SW":[2]}]}],"LatP":[1]}`,
+	}
+	for name, doc := range cases {
+		if _, err := DecodeInstance(bytes.NewReader([]byte(doc))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzDecodeInstance feeds arbitrary bytes to the model ingestion
+// path. The property: whatever DecodeInstance accepts must be safe for
+// the solver layers downstream — evaluable without panics or NaNs
+// under a trivial assignment, and a fixpoint of encode/decode (so a
+// captured repro file means what it says).
+//
+// Seed corpus: testdata/fuzz/FuzzDecodeInstance. CI runs a short
+// -fuzztime smoke (scripts/ci.sh).
+func FuzzDecodeInstance(f *testing.F) {
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, fuzzSeedInstance()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"NumPartitions":1,"NumGroups":1,"NumStreams":1,"Classes":[{"Weight":1,"Streams":[{"Stream":0,"Card":[1],"SW":[1]}]}],"LatP":[0]}`))
+	f.Add([]byte(`not an instance`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := DecodeInstance(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is the common, correct outcome
+		}
+		rows := make([][]int, len(in.Classes))
+		for i := range rows {
+			rows[i] = make([]int, in.NumGroups)
+		}
+		if v := Evaluate(in, rows); math.IsNaN(v) || v < 0 {
+			t.Fatalf("accepted instance evaluates to %v", v)
+		}
+		var buf bytes.Buffer
+		if err := EncodeInstance(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		in2, err := DecodeInstance(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of accepted instance failed: %v", err)
+		}
+		if !reflect.DeepEqual(in, in2) {
+			t.Fatal("encode/decode is not a fixpoint on an accepted instance")
+		}
+	})
+}

@@ -1,0 +1,36 @@
+package mip
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Instance interchange: the JSON form lets a solved model be captured
+// from a live run (see optimizer.ExportInstance) and replayed against
+// the solver in isolation — bug reports, solver benchmarks, fuzzing.
+// Decode validates structurally, so everything downstream (Solve,
+// Evaluate) can index the arrays without re-checking.
+
+// EncodeInstance writes in as indented JSON with a trailing newline.
+func EncodeInstance(w io.Writer, in *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// DecodeInstance reads a JSON-encoded Instance and validates it.
+// Unknown fields are rejected so a typoed stat name fails loudly
+// instead of silently zeroing a coefficient.
+func DecodeInstance(r io.Reader) (*Instance, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var in Instance
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("mip: decode instance: %w", err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}

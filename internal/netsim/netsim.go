@@ -250,6 +250,31 @@ func (n *Network) Available(from, to cluster.NodeID) float64 {
 	return a
 }
 
+// EstimateAvailable is Available with the caller's own provisional
+// claims subtracted: egReserved bytes already staged out of `from` and
+// inReserved bytes already staged into `to` this tick. Concurrent
+// sizing passes (one per cluster node) call it against link state that
+// is frozen between BeginTick/Send calls, each subtracting only its
+// own claims — it reads shared state but never writes, so any number
+// of estimators may run at once. The estimate can be optimistic when
+// several estimators target one ingress link; the committing Send
+// settles true acceptance.
+func (n *Network) EstimateAvailable(from, to cluster.NodeID, egReserved, inReserved float64) float64 {
+	if n.down[from] || n.down[to] {
+		return 0
+	}
+	if from == to {
+		return math.MaxFloat64
+	}
+	eg := n.egCap[from] + (n.cfg.MaxQueueBytes - n.egQ[from]) - egReserved
+	in := n.inCap[to] + (n.cfg.MaxQueueBytes - n.inQ[to]) - inReserved
+	a := min(eg, in)
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
 // Send offers bytes on the from→to path and returns the bytes accepted
 // together with the one-way delay experienced by data accepted in this
 // call. A local path (from == to) moves via shared memory: it is never

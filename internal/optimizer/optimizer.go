@@ -296,16 +296,7 @@ func optimizeRestricted(req *Request, opt Options) (*Result, error) {
 	if len(allowed) != req.NumPartitions {
 		return nil, fmt.Errorf("optimizer: AllowedPartitions covers %d partitions, want %d", len(allowed), req.NumPartitions)
 	}
-	keep := make([]int, 0, req.NumPartitions) // reduced index → full id
-	fwd := make([]int, req.NumPartitions)     // full id → reduced index
-	for p, ok := range allowed {
-		if ok {
-			fwd[p] = len(keep)
-			keep = append(keep, p)
-		} else {
-			fwd[p] = -1
-		}
-	}
+	keep, fwd := keyspace.SubsetIndex(allowed)
 	if len(keep) == 0 {
 		return nil, fmt.Errorf("optimizer: AllowedPartitions excludes every partition")
 	}
@@ -327,14 +318,7 @@ func optimizeRestricted(req *Request, opt Options) (*Result, error) {
 			if a == nil {
 				continue
 			}
-			ra := keyspace.NewAssignment(a.NumGroups())
-			for g := 0; g < a.NumGroups(); g++ {
-				gid := keyspace.GroupID(g)
-				if p := a.Partition(gid); p >= 0 && int(p) < len(fwd) && fwd[p] >= 0 {
-					ra.Set(gid, keyspace.PartitionID(fwd[p]))
-				}
-			}
-			sub.Anchor[i] = ra
+			sub.Anchor[i] = keyspace.ProjectAssignment(a, fwd)
 		}
 	}
 	res, err := Optimize(&rreq, sub)
@@ -345,10 +329,7 @@ func optimizeRestricted(req *Request, opt Options) (*Result, error) {
 		if a == nil {
 			continue
 		}
-		for g := 0; g < a.NumGroups(); g++ {
-			gid := keyspace.GroupID(g)
-			a.Set(gid, keyspace.PartitionID(keep[a.Partition(gid)]))
-		}
+		keyspace.LiftAssignment(a, keep)
 	}
 	return res, nil
 }

@@ -65,6 +65,86 @@ func Workers() int {
 	return n
 }
 
+// The process-wide worker-token budget. Two parallelism layers draw
+// from it — the run-matrix pools below and the engine's intra-run
+// shard phases (internal/engine, shard.go) — so matrix workers times
+// shards per run can never oversubscribe the host. Every consumer owns
+// one implicit token for its calling goroutine and acquires only the
+// extras, which makes the grant advisory: a zero grant degrades to
+// sequential execution, never deadlock. Results are unaffected by
+// construction — both layers are worker-count invariant.
+var (
+	budgetMu  sync.Mutex
+	budgetCap = -1 // extra tokens; -1 = unset, resolve lazily to Workers()-1
+	budgetUse int
+)
+
+func budgetLimit() int {
+	if budgetCap < 0 {
+		budgetCap = Workers() - 1
+		if budgetCap < 0 {
+			budgetCap = 0
+		}
+	}
+	return budgetCap
+}
+
+// SetBudget sets the process-wide extra-worker token cap; n < 0
+// resets to the default (Workers()-1). 0 is legitimate and forces
+// every consumer sequential. Intended for tests and harness entry
+// points, not for concurrent reconfiguration mid-run.
+func SetBudget(n int) {
+	budgetMu.Lock()
+	defer budgetMu.Unlock()
+	if n < 0 {
+		n = Workers() - 1
+		if n < 0 {
+			n = 0
+		}
+	}
+	budgetCap = n
+}
+
+// Budget reports the current token cap.
+func Budget() int {
+	budgetMu.Lock()
+	defer budgetMu.Unlock()
+	return budgetLimit()
+}
+
+// AcquireTokens grants up to want extra-worker tokens, non-blocking:
+// whatever is free right now, possibly zero. Pair with ReleaseTokens
+// for exactly the granted count.
+func AcquireTokens(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	budgetMu.Lock()
+	defer budgetMu.Unlock()
+	free := budgetLimit() - budgetUse
+	if free <= 0 {
+		return 0
+	}
+	if want > free {
+		want = free
+	}
+	budgetUse += want
+	return want
+}
+
+// ReleaseTokens returns n tokens granted by AcquireTokens.
+func ReleaseTokens(n int) {
+	if n <= 0 {
+		return
+	}
+	budgetMu.Lock()
+	defer budgetMu.Unlock()
+	budgetUse -= n
+	if budgetUse < 0 {
+		budgetUse = 0
+	}
+}
+
 // Pool runs index-addressed job grids over a fixed number of workers.
 // The zero value is not usable; construct with New.
 type Pool struct {
@@ -108,6 +188,21 @@ func (p *Pool) Do(n int, job func(i int) error) error {
 	w := p.workers
 	if w > n {
 		w = n
+	}
+	// Draw the extra workers (beyond this goroutine) from the shared
+	// token budget; a small grant degrades toward the sequential loop,
+	// which produces identical results.
+	extra := AcquireTokens(w - 1)
+	defer ReleaseTokens(extra)
+	w = 1 + extra
+	if w == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
 	}
 	errs := make([]error, n)
 	var next atomic.Int64

@@ -11,9 +11,16 @@
 #                      written to from harness workers (internal/obs) —
 #                      under the race detector, plus the fault scheduler
 #                      (internal/faults), the AQE controller
-#                      (internal/aqe) and the checkpoint coordinator
+#                      (internal/aqe), the checkpoint coordinator
 #                      (internal/checkpoint) whose recovery paths run
-#                      inside pooled harness cells
+#                      inside pooled harness cells, and the sharded
+#                      engine step (internal/engine, internal/core):
+#                      their suites raise the parallel budget so the
+#                      slot/router phases really run on goroutines
+#                      (TestShardedChurnStress, the determinism grid)
+#   go test -fuzz ...  short smoke over the native fuzz targets —
+#                      keyspace subset remap/anchor math and mip model
+#                      ingestion — seeded from testdata/fuzz corpora
 #
 # SASPAR_PARALLEL caps the harness worker pool; keep CI deterministic
 # but let the bench tests use the machine.
@@ -38,6 +45,10 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/parallel/ ./internal/optimizer/ ./internal/obs/ ./internal/faults/ ./internal/aqe/ ./internal/checkpoint/
+go test -race ./internal/parallel/ ./internal/optimizer/ ./internal/obs/ ./internal/faults/ ./internal/aqe/ ./internal/checkpoint/ ./internal/engine/ ./internal/core/
+
+echo "== go test -fuzz (smoke)"
+go test -run '^$' -fuzz FuzzSubsetRemap -fuzztime 10s ./internal/keyspace/
+go test -run '^$' -fuzz FuzzDecodeInstance -fuzztime 10s ./internal/mip/
 
 echo "CI OK"
