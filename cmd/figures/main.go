@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-full] [-fig N] [-workers N] [-shards N] [-bench-json FILE]
+//	figures [-full] [-fig N] [-workers N] [-shards N] [-batch N] [-bench-json FILE]
 //
 // Without flags it runs the quick scale (seconds of wall time per
 // figure); -full approaches the paper's dimensions. -fig selects one
@@ -17,9 +17,16 @@
 // each cell's engine ticks (engine.Config.Shards); the shared token
 // budget in internal/parallel keeps workers × shards from
 // oversubscribing the host, and output is byte-identical at any shard
-// count too. -bench-json measures a performance
+// count too. -batch sets the engine's generation block size
+// (engine.Config.BatchSize, default 64; 1 = tuple-at-a-time): a pure
+// execution knob of the columnar data plane, byte-identical output at
+// any value. -bench-json measures a performance
 // snapshot — engine tick cost and sequential-vs-parallel RunAll wall
 // clock — and writes it to FILE instead of running figures.
+// -bench-compare re-measures only the engine_step entries (best of
+// three) and fails if any mode regressed more than -bench-tolerance
+// percent against the committed baseline FILE; scripts/bench_compare.sh
+// is the CI entry point.
 package main
 
 import (
@@ -35,7 +42,10 @@ func main() {
 	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml,recovery,ckpt-recovery)")
 	workers := flag.Int("workers", 0, "run-matrix pool size (0 = SASPAR_PARALLEL env, then GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks; output is identical at any value)")
+	batch := flag.Int("batch", 0, "generation block size (0 = engine default of 64, 1 = tuple-at-a-time; output is identical at any value)")
 	benchJSON := flag.String("bench-json", "", "write a performance snapshot to this file and exit")
+	benchCompare := flag.String("bench-compare", "", "compare current engine_step cost against this committed BENCH_*.json and exit non-zero on regression")
+	benchTol := flag.Float64("bench-tolerance", 25, "ns/op regression tolerance for -bench-compare, percent")
 	flag.Parse()
 
 	sc := bench.Quick()
@@ -44,6 +54,15 @@ func main() {
 	}
 	sc.Workers = *workers
 	sc.Shards = *shards
+	sc.Batch = *batch
+
+	if *benchCompare != "" {
+		if err := compareBench(sc, *benchCompare, *benchTol); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		if err := emitBenchJSON(sc, *benchJSON); err != nil {
@@ -73,6 +92,24 @@ func emitBenchJSON(sc bench.Scale, path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+func compareBench(sc bench.Scale, baselinePath string, tolPct float64) error {
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	base, err := bench.ReadBenchReport(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	cur, err := bench.CollectStepReport(sc, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline %s (tolerance %.0f%%)\n", baselinePath, tolPct)
+	return bench.CompareEngineStep(os.Stdout, cur, base, tolPct)
 }
 
 func run(sc bench.Scale, fig string) error {

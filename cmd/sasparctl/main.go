@@ -24,16 +24,21 @@
 //	sasparctl run -workload tpch|ajoin|gcm -sut SASPAR+Flink|Flink|...
 //	          [-queries N] [-nodes N] [-partitions N] [-groups N]
 //	          [-rate R] [-warmup D] [-measure D] [-drift D] [-seed S]
-//	          [-shards N]
+//	          [-shards N] [-batch N]
 //	sasparctl inspect [-workload W] [-queries N] [-duration D]
 //	          [-drift D] [-rate R] [-events N] [-seed S] [-shards N]
+//	          [-batch N]
 //	sasparctl faults [-seeds N] [-workers N] [-full] [-nodes N] [-rate R]
-//	          [-shards N]
+//	          [-shards N] [-batch N]
 //	sasparctl checkpoints [-interval D] [-retention N] [-incremental]
 //	          [-duration D] [-crash] [-dir PATH] [-seed S] [-shards N]
+//	          [-batch N]
 //
 // -shards parallelizes each run's engine ticks across that many
-// workers (intra-run sharding); output is byte-identical at any value.
+// workers (intra-run sharding); -batch sets the generation block size
+// of the columnar data plane (0 = the engine default of 64, 1 =
+// tuple-at-a-time). Both are pure execution knobs: output is
+// byte-identical at any value.
 package main
 
 import (
@@ -94,6 +99,7 @@ func faultsCmd(args []string) {
 		nodes   = fs.Int("nodes", 0, "override cluster nodes (0 = scale default)")
 		rate    = fs.Float64("rate", 0, "override offered rate, tuples/s (0 = scale default)")
 		shards  = fs.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks)")
+		batch   = fs.Int("batch", 0, "generation block size (0 = engine default of 64, 1 = tuple-at-a-time)")
 	)
 	fs.Parse(args)
 
@@ -103,6 +109,7 @@ func faultsCmd(args []string) {
 	}
 	sc.Workers = *workers
 	sc.Shards = *shards
+	sc.Batch = *batch
 	if *nodes > 0 {
 		sc.Nodes = *nodes
 	}
@@ -146,6 +153,7 @@ func checkpointsCmd(args []string) {
 		dir         = fs.String("dir", "", "persist snapshots to this directory (default: in-memory)")
 		seed        = fs.Int64("seed", 1, "simulation seed")
 		shards      = fs.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks)")
+		batch       = fs.Int("batch", 0, "generation block size (0 = engine default of 64, 1 = tuple-at-a-time)")
 	)
 	fs.Parse(args)
 
@@ -173,6 +181,7 @@ func checkpointsCmd(args []string) {
 	engCfg.TupleWeight = 1000
 	engCfg.Seed = *seed
 	engCfg.Shards = *shards
+	engCfg.BatchSize = *batch
 
 	coreCfg := core.DefaultConfig()
 	coreCfg.TriggerInterval = 8 * vtime.Second
@@ -290,6 +299,7 @@ func runCmd(args []string) {
 		reps       = fs.Int("reps", 1, "repetitions to average")
 		seed       = fs.Int64("seed", 1, "simulation seed")
 		shards     = fs.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks)")
+		batch      = fs.Int("batch", 0, "generation block size (0 = engine default of 64, 1 = tuple-at-a-time)")
 	)
 	fs.Parse(args)
 
@@ -315,6 +325,7 @@ func runCmd(args []string) {
 	engCfg.TupleWeight = 1000
 	engCfg.Seed = *seed
 	engCfg.Shards = *shards
+	engCfg.BatchSize = *batch
 
 	coreCfg := core.DefaultConfig()
 	coreCfg.TriggerInterval = 8 * vtime.Second
@@ -359,6 +370,7 @@ func inspectCmd(args []string) {
 		events   = fs.Int("events", 40, "trace events to print (0 = all)")
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		shards   = fs.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks)")
+		batch    = fs.Int("batch", 0, "generation block size (0 = engine default of 64, 1 = tuple-at-a-time)")
 	)
 	fs.Parse(args)
 
@@ -379,6 +391,7 @@ func inspectCmd(args []string) {
 	engCfg.SourceTasks = *nodes
 	engCfg.Seed = *seed
 	engCfg.Shards = *shards
+	engCfg.BatchSize = *batch
 
 	coreCfg := core.DefaultConfig()
 	coreCfg.TriggerInterval = 4 * vtime.Second

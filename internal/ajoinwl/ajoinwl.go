@@ -105,13 +105,35 @@ func New(cfg Config) (*workload.Workload, error) {
 	return w, w.Validate()
 }
 
+// gen implements engine.BlockGenerator: NextBlock makes the same
+// per-row draws as Next in ascending row order (drift reads the
+// pre-filled TS lane), so batched and tuple-at-a-time execution stay
+// byte-identical.
+type gen struct {
+	cfg Config
+	rng *rand.Rand
+}
+
 func newGen(cfg Config, stream, task int) engine.Generator {
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(stream)*6151 + int64(task)*13))
-	return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
-		t.Cols[ColUser] = pick(rng, cfg.Users, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
-		t.Cols[ColItem] = pick(rng, cfg.Items, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
-		t.Cols[ColValue] = rng.Int63n(1000)
-	})
+	return &gen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + int64(stream)*6151 + int64(task)*13))}
+}
+
+func (g *gen) Next(t *engine.Tuple, ts vtime.Time) {
+	cfg, rng := &g.cfg, g.rng
+	t.Cols[ColUser] = pick(rng, cfg.Users, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+	t.Cols[ColItem] = pick(rng, cfg.Items, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+	t.Cols[ColValue] = rng.Int63n(1000)
+}
+
+func (g *gen) NextBlock(b *engine.TupleBlock, from, to int) {
+	cfg, rng := &g.cfg, g.rng
+	users, items, vals := b.Col[ColUser], b.Col[ColItem], b.Col[ColValue]
+	for r := from; r < to; r++ {
+		ts := b.TS[r]
+		users[r] = pick(rng, cfg.Users, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+		items[r] = pick(rng, cfg.Items, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+		vals[r] = rng.Int63n(1000)
+	}
 }
 
 // pick draws a key in [0, n): with probability hotFrac it comes from a

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"saspar/internal/engine"
+	"saspar/internal/vtime"
 )
 
 func TestNewDefault(t *testing.T) {
@@ -106,6 +107,37 @@ func TestGeneratorsInDomain(t *testing.T) {
 		}
 		if tu.Cols[ColItem] < 0 || tu.Cols[ColItem] >= DefaultConfig().Items {
 			t.Fatalf("item %d out of domain", tu.Cols[ColItem])
+		}
+	}
+}
+
+// TestBlockGeneratorMatchesRowPath pins the engine.BlockGenerator
+// contract: NextBlock must consume the RNG exactly like repeated Next
+// calls (drift epoch read from the pre-filled TS lane), so batched and
+// tuple-at-a-time execution produce byte-identical streams.
+func TestBlockGeneratorMatchesRowPath(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DriftPeriod = 2 * vtime.Second
+	bulk, rowwise := newGen(cfg, 1, 0), newGen(cfg, 1, 0)
+	bg, ok := bulk.(engine.BlockGenerator)
+	if !ok {
+		t.Fatal("generator does not implement engine.BlockGenerator")
+	}
+	const n = 96
+	var blk engine.TupleBlock
+	blk.Resize(n, 3)
+	for r := 0; r < n; r++ {
+		blk.TS[r] = vtime.Time(vtime.Duration(r) * 150 * vtime.Millisecond)
+	}
+	bg.NextBlock(&blk, 0, 41)
+	bg.NextBlock(&blk, 41, n)
+	var tu engine.Tuple
+	for r := 0; r < n; r++ {
+		rowwise.Next(&tu, blk.TS[r])
+		for c := 0; c < 3; c++ {
+			if blk.Col[c][r] != tu.Cols[c] {
+				t.Fatalf("row %d col %d: block %d, rowwise %d", r, c, blk.Col[c][r], tu.Cols[c])
+			}
 		}
 	}
 }

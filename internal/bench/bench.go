@@ -69,6 +69,15 @@ type Scale struct {
 	// only. 0 and 1 both mean single-threaded ticks.
 	Shards int
 
+	// Batch is the engine's generation block size
+	// (engine.Config.BatchSize): how many tuples the columnar data plane
+	// carries per block on the source → router → slot hot path. Purely an
+	// execution blocking factor — results are byte-identical at every
+	// value (the batch-axis determinism tests enforce it), so like
+	// Workers and Shards it trades wall clock only. 0 means the engine
+	// default of 64; 1 forces tuple-at-a-time execution.
+	Batch int
+
 	// DeterministicOpt runs every in-cell optimization under
 	// optimizer.Options.DeterministicBudget: node caps instead of wall
 	// clock, so cell results are bit-reproducible regardless of machine
@@ -139,6 +148,7 @@ func (sc Scale) engineConfig() engine.Config {
 	cfg.SourceTasks = sc.SourceTasks
 	cfg.TupleWeight = sc.TupleWeight
 	cfg.Shards = sc.Shards
+	cfg.BatchSize = sc.Batch
 	return cfg
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"saspar/internal/engine"
 	"saspar/internal/vtime"
 )
 
@@ -251,5 +252,30 @@ func TestPrintersProduceTables(t *testing.T) {
 	PrintML(&buf, []MLRow{{Trees: 1, Splits: 3, ErrorPct: 20}})
 	if buf.Len() == 0 {
 		t.Fatal("printers produced nothing")
+	}
+}
+
+// TestBlockGenMatchesNext pins the strength-reduced NextBlock of the
+// JSON snapshot's bench source to the scalar Next reference: identical
+// value sequence, including across uneven block splits.
+func TestBlockGenMatchesNext(t *testing.T) {
+	row := &blockGen{i: 3*7919 + 1}
+	bulk := &blockGen{i: 3*7919 + 1}
+	const n = 96
+	var blk engine.TupleBlock
+	blk.Resize(n, 3)
+	bulk.NextBlock(&blk, 0, 37)
+	bulk.NextBlock(&blk, 37, n)
+	var tu engine.Tuple
+	for r := 0; r < n; r++ {
+		row.Next(&tu, 0)
+		for c := 0; c < 3; c++ {
+			if blk.Col[c][r] != tu.Cols[c] {
+				t.Fatalf("row %d col %d: NextBlock %d, Next %d", r, c, blk.Col[c][r], tu.Cols[c])
+			}
+		}
+	}
+	if bulk.i != row.i {
+		t.Fatalf("cursor drift: NextBlock %d, Next %d", bulk.i, row.i)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -25,6 +26,12 @@ type BenchUnit struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// TuplesPerOp is the concrete tuples the sources generated per
+	// operation; MtuplesPerSec is the sustained row throughput those two
+	// numbers imply — the headline figure of the columnar hot path.
+	TuplesPerOp   float64 `json:"tuples_per_op,omitempty"`
+	MtuplesPerSec float64 `json:"mtuples_per_sec,omitempty"`
 }
 
 // BenchReport is the emitted document.
@@ -33,8 +40,14 @@ type BenchReport struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Workers    int    `json:"workers"` // resolved pool size for the parallel RunAll
 
+	// BatchSize is the generation block size the engine-step entries ran
+	// at (engine.Config.BatchSize; the "shared_batch1" entry pins 1).
+	BatchSize int `json:"batch_size"`
+
 	// EngineStep holds the steady-state cost of one simulation tick,
-	// keyed "nonshared" / "shared".
+	// keyed "nonshared" / "shared" at the default batch size, plus
+	// "shared_batch1" — the same shared fixture forced to strict
+	// tuple-at-a-time generation, so the batch-off tax stays visible.
 	EngineStep map[string]BenchUnit `json:"engine_step"`
 
 	// EngineRunSharded holds the same shared fixture's tick cost at
@@ -51,11 +64,47 @@ type BenchReport struct {
 	Note string `json:"note,omitempty"`
 }
 
+// blockGen is the deterministic bench source, columnar-native: Next and
+// NextBlock produce the identical value sequence (key skew comes from
+// the multiplicative hash, not an RNG), so the engine picks the bulk
+// lane path while the scalar path stays available as the reference.
+type blockGen struct{ i int64 }
+
+func (g *blockGen) Next(t *engine.Tuple, ts vtime.Time) {
+	g.i++
+	t.Cols[0] = (g.i * 2654435761) % 4096
+	t.Cols[1] = (g.i * 40503) % 512
+	t.Cols[2] = g.i % 97
+}
+
+func (g *blockGen) NextBlock(b *engine.TupleBlock, from, to int) {
+	c0, c1, c2 := b.Col[0], b.Col[1], b.Col[2]
+	i := g.i
+	// Strength-reduced form of Next's draws: the products advance by a
+	// constant stride per row (two's-complement addition matches the
+	// multiply exactly, overflow included), and i%97 advances by one
+	// with a wrap, so the loop carries no multiplies or divisions.
+	// TestBlockGenMatchesNext pins the equivalence.
+	p0, p1, v2 := i*2654435761, i*40503, i%97
+	for r := from; r < to; r++ {
+		p0 += 2654435761
+		p1 += 40503
+		v2++
+		if v2 >= 97 {
+			v2 -= 97
+		}
+		c0[r] = p0 % 4096
+		c1[r] = p1 % 512
+		c2[r] = v2
+	}
+	g.i = i + int64(to-from)
+}
+
 // stepBenchEngine builds a primed steady-state engine through the
 // exported API — the same shape as the internal BenchmarkEngineStep
 // fixture: two streams with deterministic generators, a mix of keyed
 // aggregations and a join.
-func stepBenchEngine(shared bool, shards int) (*engine.Engine, vtime.Duration, error) {
+func stepBenchEngine(shared bool, shards, batch int) (*engine.Engine, vtime.Duration, error) {
 	cfg := engine.DefaultConfig()
 	cfg.Nodes = 4
 	cfg.NumPartitions = 8
@@ -64,15 +113,10 @@ func stepBenchEngine(shared bool, shards int) (*engine.Engine, vtime.Duration, e
 	cfg.TupleWeight = 500
 	cfg.Shared = shared
 	cfg.Shards = shards
+	cfg.BatchSize = batch
 	gen := func(salt int64) func(task int) engine.Generator {
 		return func(task int) engine.Generator {
-			i := int64(task)*7919 + salt
-			return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
-				i++
-				t.Cols[0] = (i * 2654435761) % 4096
-				t.Cols[1] = (i * 40503) % 512
-				t.Cols[2] = i % 97
-			})
+			return &blockGen{i: int64(task)*7919 + salt}
 		}
 	}
 	streams := []engine.StreamDef{
@@ -98,19 +142,67 @@ func stepBenchEngine(shared bool, shards int) (*engine.Engine, vtime.Duration, e
 }
 
 // benchUnitOf measures the steady-state per-tick cost of a primed
-// engine with the testing benchmark runner.
+// engine with the testing benchmark runner, plus the sustained row
+// throughput from the engine's generated-tuple counter.
 func benchUnitOf(e *engine.Engine, tick vtime.Duration) BenchUnit {
+	var tuples, iters int64
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
+		t0 := e.GeneratedTuples()
 		for i := 0; i < b.N; i++ {
 			e.Run(tick)
 		}
+		tuples = e.GeneratedTuples() - t0
+		iters = int64(b.N)
 	})
-	return BenchUnit{
+	u := BenchUnit{
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
+	if iters > 0 && u.NsPerOp > 0 {
+		u.TuplesPerOp = float64(tuples) / float64(iters)
+		u.MtuplesPerSec = u.TuplesPerOp / (u.NsPerOp / 1e9) / 1e6
+	}
+	return u
+}
+
+// stepReps is the default repetition count for the engine_step
+// entries: each mode is measured on this many independently built,
+// freshly primed engines and the best run is kept. Snapshots are cut
+// on shared CI boxes where one noisy run can inflate a mode by 30%+;
+// min-of-N reports the cost the code actually achieves, and the same
+// policy on both the snapshot and the gate side keeps the comparison
+// symmetric.
+const stepReps = 3
+
+// measureEngineStep fills rep.EngineStep with min-of-reps measurements
+// of the three fixed modes: both sharing modes at the requested batch
+// size, plus shared at batch=1 (the tuple-at-a-time reference the
+// batching speedup is quoted against).
+func measureEngineStep(rep *BenchReport, batch, reps int) error {
+	if reps < 1 {
+		reps = 1
+	}
+	for _, mode := range []struct {
+		name   string
+		shared bool
+		batch  int
+	}{{"nonshared", false, batch}, {"shared", true, batch}, {"shared_batch1", true, 1}} {
+		var best BenchUnit
+		for i := 0; i < reps; i++ {
+			e, tick, err := stepBenchEngine(mode.shared, 0, mode.batch)
+			if err != nil {
+				return err
+			}
+			u := benchUnitOf(e, tick)
+			if i == 0 || u.NsPerOp < best.NsPerOp {
+				best = u
+			}
+		}
+		rep.EngineStep[mode.name] = best
+	}
+	return nil
 }
 
 // CollectBenchReport measures the report. The RunAll pair uses sc with
@@ -118,22 +210,20 @@ func benchUnitOf(e *engine.Engine, tick vtime.Duration) BenchUnit {
 // tables to io.Discard; on a single-core machine the two times are
 // expected to be close.
 func CollectBenchReport(sc Scale) (*BenchReport, error) {
+	batch := sc.Batch
+	if batch <= 0 {
+		batch = engine.DefaultConfig().BatchSize
+	}
 	rep := &BenchReport{
 		Schema:     "saspar-bench-v1",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    parallel.New(sc.Workers).NumWorkers(),
+		BatchSize:  batch,
 		EngineStep: map[string]BenchUnit{},
 	}
 
-	for _, mode := range []struct {
-		name   string
-		shared bool
-	}{{"nonshared", false}, {"shared", true}} {
-		e, tick, err := stepBenchEngine(mode.shared, 0)
-		if err != nil {
-			return nil, err
-		}
-		rep.EngineStep[mode.name] = benchUnitOf(e, tick)
+	if err := measureEngineStep(rep, batch, stepReps); err != nil {
+		return nil, err
 	}
 
 	// Intra-run sharding: same shared fixture, shards 1/2/4. Raise the
@@ -143,7 +233,7 @@ func CollectBenchReport(sc Scale) (*BenchReport, error) {
 	rep.EngineRunSharded = map[string]BenchUnit{}
 	parallel.SetBudget(8)
 	for _, shards := range []int{1, 2, 4} {
-		e, tick, err := stepBenchEngine(true, shards)
+		e, tick, err := stepBenchEngine(true, shards, batch)
 		if err != nil {
 			parallel.SetBudget(-1)
 			return nil, err
@@ -178,4 +268,78 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// CollectStepReport measures only the engine_step entries — the cheap
+// subset the regression gate needs — taking the best of reps runs per
+// mode, the same min-of-N policy the committed snapshots use.
+func CollectStepReport(sc Scale, reps int) (*BenchReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	batch := sc.Batch
+	if batch <= 0 {
+		batch = engine.DefaultConfig().BatchSize
+	}
+	rep := &BenchReport{
+		Schema:     "saspar-bench-v1",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    parallel.New(sc.Workers).NumWorkers(),
+		BatchSize:  batch,
+		EngineStep: map[string]BenchUnit{},
+	}
+	if err := measureEngineStep(rep, batch, reps); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// CompareEngineStep checks the current report's engine_step cost
+// against a committed baseline: any mode present in both whose ns/op
+// regressed by more than tolPct percent fails the gate. Modes only one
+// side has (schema growth) are reported but never fail.
+func CompareEngineStep(w io.Writer, cur, base *BenchReport, tolPct float64) error {
+	modes := make([]string, 0, len(base.EngineStep))
+	for name := range base.EngineStep {
+		modes = append(modes, name)
+	}
+	sort.Strings(modes)
+	var failed []string
+	for _, name := range modes {
+		b := base.EngineStep[name]
+		c, ok := cur.EngineStep[name]
+		if !ok {
+			fmt.Fprintf(w, "engine_step/%-14s baseline %12.0f ns/op  (not measured now; skipped)\n", name, b.NsPerOp)
+			continue
+		}
+		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		status := "ok"
+		if delta > tolPct {
+			status = "REGRESSION"
+			failed = append(failed, name)
+		}
+		fmt.Fprintf(w, "engine_step/%-14s baseline %12.0f ns/op  now %12.0f ns/op  %+7.1f%%  %s\n",
+			name, b.NsPerOp, c.NsPerOp, delta, status)
+	}
+	for name, c := range cur.EngineStep {
+		if _, ok := base.EngineStep[name]; !ok {
+			fmt.Fprintf(w, "engine_step/%-14s now      %12.0f ns/op  (new mode; no baseline)\n", name, c.NsPerOp)
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("engine_step regression over %.0f%% in: %v", tolPct, failed)
+	}
+	return nil
+}
+
+// ReadBenchReport parses a committed BENCH_*.json snapshot.
+func ReadBenchReport(r io.Reader) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	if rep.Schema != "saspar-bench-v1" {
+		return nil, fmt.Errorf("unexpected bench schema %q", rep.Schema)
+	}
+	return &rep, nil
 }

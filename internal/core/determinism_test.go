@@ -53,11 +53,12 @@ func detWorkload() ([]engine.StreamDef, []engine.QuerySpec) {
 	return streams, qs
 }
 
-// runFingerprint runs one scenario at the given shard count and
-// parallel budget and returns its byte fingerprint. Every wall-clock
-// cutoff is replaced by deterministic node budgets so the optimizer's
-// decisions cannot depend on machine speed or concurrent load.
-func runFingerprint(t *testing.T, kind spe.Kind, shards, budget int, withFaults bool) ([]byte, Report) {
+// runFingerprint runs one scenario at the given shard count, parallel
+// budget and generation batch size (0 = engine default) and returns its
+// byte fingerprint. Every wall-clock cutoff is replaced by
+// deterministic node budgets so the optimizer's decisions cannot depend
+// on machine speed or concurrent load.
+func runFingerprint(t *testing.T, kind spe.Kind, shards, budget, batch int, withFaults bool) ([]byte, Report) {
 	t.Helper()
 	parallel.SetBudget(budget)
 	defer parallel.SetBudget(-1)
@@ -65,6 +66,7 @@ func runFingerprint(t *testing.T, kind spe.Kind, shards, budget int, withFaults 
 	engCfg := testEngineConfig()
 	engCfg.Profile = spe.Profile(kind)
 	engCfg.Shards = shards
+	engCfg.BatchSize = batch
 	engCfg.Seed = 42
 
 	cfg := fastCfg()
@@ -134,7 +136,7 @@ func TestGoldenTraceDeterminismAcrossShards(t *testing.T) {
 	for _, kind := range spe.Kinds() {
 		kind := kind
 		t.Run(spe.SUT{Kind: kind, Saspar: true}.Name(), func(t *testing.T) {
-			base, rep := runFingerprint(t, kind, 1, 0, false)
+			base, rep := runFingerprint(t, kind, 1, 0, 0, false)
 			if len(base) == 0 {
 				t.Fatal("empty fingerprint")
 			}
@@ -142,7 +144,7 @@ func TestGoldenTraceDeterminismAcrossShards(t *testing.T) {
 				t.Fatal("scenario processed nothing; the determinism test is vacuous")
 			}
 			for _, g := range detGrid[1:] {
-				got, _ := runFingerprint(t, kind, g.shards, g.budget, false)
+				got, _ := runFingerprint(t, kind, g.shards, g.budget, 0, false)
 				if !bytes.Equal(base, got) {
 					t.Fatalf("shards=%d budget=%d diverged from shards=1 budget=0 at %s",
 						g.shards, g.budget, diffLine(base, got))
@@ -157,7 +159,7 @@ func TestGoldenTraceDeterminismUnderFaults(t *testing.T) {
 	// while aligned-barrier checkpoints run, so the fingerprint also
 	// covers marker alignment, checkpoint capture, evacuation and
 	// restore under sharded execution.
-	base, rep := runFingerprint(t, spe.Flink, 1, 0, true)
+	base, rep := runFingerprint(t, spe.Flink, 1, 0, 0, true)
 	if rep.FaultsInjected == 0 {
 		t.Fatal("fault scenario never struck; the composition test is vacuous")
 	}
@@ -165,10 +167,60 @@ func TestGoldenTraceDeterminismUnderFaults(t *testing.T) {
 		t.Fatal("no checkpoint completed; the composition test is vacuous")
 	}
 	for _, g := range detGrid[1:] {
-		got, _ := runFingerprint(t, spe.Flink, g.shards, g.budget, true)
+		got, _ := runFingerprint(t, spe.Flink, g.shards, g.budget, 0, true)
 		if !bytes.Equal(base, got) {
 			t.Fatalf("shards=%d budget=%d diverged from shards=1 budget=0 at %s",
 				g.shards, g.budget, diffLine(base, got))
+		}
+	}
+}
+
+// batchGrid is the batch × shard matrix the columnar data plane is
+// replayed over, against a batch=1 (strictly tuple-at-a-time) baseline.
+// Shards 4 runs with a real worker budget so batching composes with
+// parallel execution, not just with the inline path.
+var batchGrid = []struct{ batch, shards, budget int }{
+	{7, 1, 0}, {64, 1, 0},
+	{7, 4, 4}, {64, 4, 4},
+	{1, 4, 4}, // batching off, sharding on: isolates the axes
+}
+
+func TestGoldenTraceDeterminismAcrossBatchSizes(t *testing.T) {
+	// The generation batch size is an execution blocking factor of the
+	// columnar data plane, never an observable: a block boundary may not
+	// change one byte of the report, trace or metrics dump at any batch
+	// size, under any sharding.
+	for _, kind := range spe.Kinds() {
+		kind := kind
+		t.Run(spe.SUT{Kind: kind, Saspar: true}.Name(), func(t *testing.T) {
+			base, rep := runFingerprint(t, kind, 1, 0, 1, false)
+			if rep.Throughput == 0 {
+				t.Fatal("scenario processed nothing; the batch-axis test is vacuous")
+			}
+			for _, g := range batchGrid {
+				got, _ := runFingerprint(t, kind, g.shards, g.budget, g.batch, false)
+				if !bytes.Equal(base, got) {
+					t.Fatalf("batch=%d shards=%d budget=%d diverged from batch=1 shards=1 at %s",
+						g.batch, g.shards, g.budget, diffLine(base, got))
+				}
+			}
+		})
+	}
+}
+
+func TestGoldenTraceDeterminismAcrossBatchSizesUnderFaults(t *testing.T) {
+	// Batching composed with the crash + checkpoint scenario: block
+	// boundaries may not shift marker alignment or crash-destruction
+	// accounting.
+	base, rep := runFingerprint(t, spe.Flink, 1, 0, 1, true)
+	if rep.FaultsInjected == 0 || rep.Checkpoints == 0 {
+		t.Fatal("composition scenario vacuous")
+	}
+	for _, g := range batchGrid {
+		got, _ := runFingerprint(t, spe.Flink, g.shards, g.budget, g.batch, true)
+		if !bytes.Equal(base, got) {
+			t.Fatalf("batch=%d shards=%d budget=%d diverged from batch=1 shards=1 at %s",
+				g.batch, g.shards, g.budget, diffLine(base, got))
 		}
 	}
 }

@@ -14,19 +14,38 @@ import (
 // tables) is measurable without the figure harnesses on top.
 // BENCH_pr1.json records their allocs/op trajectory.
 
-// benchStreams returns a two-stream definition with cheap deterministic
-// generators (key skew comes from the multiplicative hash, not an RNG,
-// so benchmark iterations are identical work).
+// benchGen is the deterministic bench source (key skew comes from the
+// multiplicative hash, not an RNG, so benchmark iterations are identical
+// work). It implements both the scalar Generator and the columnar
+// BlockGenerator with the identical value sequence, so the benchmark
+// measures the native lane path — the per-row shim is covered by the
+// equivalence test in tuple_test.go.
+type benchGen struct{ i int64 }
+
+func (g *benchGen) Next(t *Tuple, ts vtime.Time) {
+	g.i++
+	t.Cols[0] = (g.i * 2654435761) % 4096
+	t.Cols[1] = (g.i * 40503) % 512
+	t.Cols[2] = g.i % 97
+}
+
+func (g *benchGen) NextBlock(b *TupleBlock, from, to int) {
+	c0, c1, c2 := b.Col[0], b.Col[1], b.Col[2]
+	i := g.i
+	for r := from; r < to; r++ {
+		i++
+		c0[r] = (i * 2654435761) % 4096
+		c1[r] = (i * 40503) % 512
+		c2[r] = i % 97
+	}
+	g.i = i
+}
+
+// benchStreams returns a two-stream definition over the bench source.
 func benchStreams() []StreamDef {
 	gen := func(salt int64) func(task int) Generator {
 		return func(task int) Generator {
-			i := int64(task)*7919 + salt
-			return GeneratorFunc(func(t *Tuple, ts vtime.Time) {
-				i++
-				t.Cols[0] = (i * 2654435761) % 4096
-				t.Cols[1] = (i * 40503) % 512
-				t.Cols[2] = i % 97
-			})
+			return &benchGen{i: int64(task)*7919 + salt}
 		}
 	}
 	return []StreamDef{

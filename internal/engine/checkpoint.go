@@ -489,11 +489,8 @@ func (e *Engine) destroyNodeState(n cluster.NodeID) float64 {
 			return heldKeys[i].group < heldKeys[j].group
 		})
 		for _, k := range heldKeys {
-			held := s.held[k]
 			bpt := e.streams[e.queries[k.query].spec.Inputs[0].Stream].BytesPerTuple
-			for i := range held {
-				lost += held[i].w * bpt
-			}
+			lost += s.held[k].weight() * bpt
 		}
 		s.held = nil
 	}

@@ -154,8 +154,8 @@ func TestCheckpointInterleavedWithReconfigAndCrash(t *testing.T) {
 			continue
 		}
 		for k, held := range s.held {
-			if len(held) != 0 {
-				t.Fatalf("slot %d still holds %d tuples for %v after merge", i, len(held), k)
+			if held.rows() != 0 {
+				t.Fatalf("slot %d still holds %d tuples for %v after merge", i, held.rows(), k)
 			}
 		}
 	}
@@ -272,7 +272,7 @@ func TestRestoreGroupReplaysHeldTuples(t *testing.T) {
 	tu.TS = e.Clock()
 	tu.Cols[2] = 1
 	e.insert(s, e.queries[0], 0, &tu, g, 5)
-	if len(s.held[k]) != 1 {
+	if s.held[k].rows() != 1 {
 		t.Fatal("tuple not parked while state pending")
 	}
 
@@ -285,7 +285,7 @@ func TestRestoreGroupReplaysHeldTuples(t *testing.T) {
 	if e.RestoredBytes() != b {
 		t.Fatalf("RestoredBytes %v != restore result %v", e.RestoredBytes(), b)
 	}
-	if len(s.held[k]) != 0 {
+	if s.held[k].rows() != 0 {
 		t.Fatal("held tuples not replayed by restore")
 	}
 	if s.pendingState[k] {

@@ -210,12 +210,12 @@ func TestHeldTuplesReplayAfterMerge(t *testing.T) {
 	if st := s.exact[0]; st != nil && len(st.agg) != 0 {
 		t.Fatal("tuple folded despite pending state")
 	}
-	if len(s.held[pendKey{0, g}]) != 1 {
+	if s.held[pendKey{0, g}].rows() != 1 {
 		t.Fatal("tuple not parked")
 	}
 	e.outstandingState++
 	e.mergeState(s, &entry{kind: entryState, stQuery: 0, stGroup: g}, false)
-	if got := len(s.held[pendKey{0, g}]); got != 0 {
+	if got := s.held[pendKey{0, g}].rows(); got != 0 {
 		t.Fatalf("%d tuples still parked after merge", got)
 	}
 	if st := e.exactState(s, 0); len(st.agg) == 0 {

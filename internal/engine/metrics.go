@@ -160,6 +160,30 @@ func (m *Metrics) recordLatency(part, query int, d vtime.Duration, weight float6
 	}
 }
 
+// recordLatencyRun folds one classRun's latency population in a single
+// update: k rows of per-row weight weightPer whose latency sum is
+// sumLatNs nanoseconds and squared-latency sum sumLat2Ns2 ns². The
+// moment sums land exactly (they are linear in the inputs); the
+// reservoir receives one sample — the run's mean latency — per run
+// rather than one per row, a deliberate coarsening of the quantile
+// estimate that stays deterministic and batch-size independent.
+func (m *Metrics) recordLatencyRun(part, query int, sumLatNs, sumLat2Ns2, weightPer float64, k int64) {
+	if !m.measuring || m.removed[query] || weightPer <= 0 || k <= 0 {
+		return
+	}
+	const sec = float64(vtime.Second)
+	w := weightPer * float64(k)
+	s1 := weightPer * sumLatNs / sec
+	s2 := weightPer * sumLat2Ns2 / (sec * sec)
+	mean := sumLatNs / float64(k) / sec
+	p := &m.parts[part]
+	p.lat.addMoments(w, s1, s2, mean, query)
+	ql := &p.qlat[query]
+	ql.w += w
+	ql.s1 += s1
+	ql.s2 += s2
+}
+
 func (m *Metrics) recordReshuffle(weight float64) {
 	if m.measuring {
 		m.reshuffled += weight
@@ -364,7 +388,19 @@ func (d *latDist) add(x, w float64, query int) {
 		return
 	}
 	d.latMoments.add(x, w)
+	d.sample(x, query)
+}
 
+// addMoments folds pre-summed moments (Σw, Σwx, Σwx²) plus one
+// reservoir sample — the folded-run counterpart of add.
+func (d *latDist) addMoments(w, s1, s2, sampleX float64, query int) {
+	d.w += w
+	d.s1 += s1
+	d.s2 += s2
+	d.sample(sampleX, query)
+}
+
+func (d *latDist) sample(x float64, query int) {
 	if d.samples == nil {
 		d.samples = make([]float64, 0, latReservoir)
 		d.sampleQ = make([]int32, 0, latReservoir)

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
+	"unsafe"
 
 	"saspar/internal/cluster"
 	"saspar/internal/keyspace"
@@ -131,6 +133,11 @@ func buildStreamPlan(stream StreamID, queries []*queryInst) (*streamPlan, error)
 	return plan, nil
 }
 
+// runCell is one per-(class, group) accumulator of the folded routing
+// pass: row count and the first two moments of the rows' global tick
+// indexes, fused in one struct so the hot loop touches a single cell.
+type runCell struct{ k, si, si2 int64 }
+
 // pendingSend is an entry routed but not yet shipped: tuple-at-a-time
 // profiles stage it during the router phase and commit it at barrier
 // B, micro-batch profiles hold sends until the batch boundary and
@@ -156,7 +163,14 @@ type routerTask struct {
 	task   int
 	node   cluster.NodeID
 	gen    Generator
-	rng    *rand.Rand
+	// genBlock is non-nil when gen implements the bulk BlockGenerator
+	// path; otherwise routeTick falls back to a per-row Next shim.
+	genBlock BlockGenerator
+	rng      *rand.Rand
+
+	// rows counts the concrete tuples this task has generated — the raw
+	// row throughput behind the sustained Mtuples/sec benchmark figure.
+	rows int64
 
 	rate     float64 // offered modelled tuples/sec for this task
 	throttle float64 // backpressure pull-rate factor in (0,1]
@@ -197,6 +211,45 @@ type routerTask struct {
 	// the keys touched this tick so only they are scanned and reset.
 	buckets  []*entry
 	usedKeys []int
+
+	// Columnar block scratch. blk is the generation block the source
+	// fills; the classification passes write per-(class, row) results
+	// into flat scatter scratch (class-major, batch-strided):
+	//
+	//	keyScr  — partition keys of the current class pass
+	//	slotScr — target slot per (class, row); -1 = class rejected row
+	//	grpScr  — key group per (class, row)
+	//	accScr  — per row: bitmask of accepting classes (prepass)
+	//	sampScr — row indexes of the block sampled this tick
+	//
+	// runAcc accumulates the folded run moments per (class, group)
+	// across the whole tick — the class passes only bump one cell's
+	// three counters per row; runs materialize at flush by scanning the
+	// group space in (class, group) order. Accumulating per tick (never
+	// per block) is what makes the run structure a pure function of the
+	// tick's rows — one run per (class, slot, group) per tick, however
+	// generation was blocked — so everything that folds per run (stray
+	// reroute events, reservoir samples) is batch-invariant too.
+	// slotN/slotXQ tally the shared merge pass the same flat way:
+	// physical rows and extra served queries per target slot.
+	blk     TupleBlock
+	keyScr  []uint64
+	slotScr []int32
+	grpScr  []int32
+	accScr  []uint64
+	sampScr []int32
+	runAcc  []runCell
+	slotN   []int32
+	slotXQ  []int32
+	memCnt  []int32 // per class: member count, cached per tick
+	accCnt  []int64 // per class: rows accepted this tick
+	dupOf   []int32 // per class: earlier identical-key class, or -1
+
+	// shim is the Tuple staging cell of the per-row generator fallback
+	// and the filter prepass. A field, not a local: its address crosses
+	// the Generator interface, and a local would escape to the heap once
+	// per block.
+	shim Tuple
 }
 
 // routeTick generates and routes this task's tuples for one tick of
@@ -280,112 +333,664 @@ func (rt *routerTask) routeTick(e *Engine, nr *nodeRun, dt vtime.Duration) {
 
 	begin := e.clock.Add(-dt)
 	step := vtime.Duration(int64(dt) / int64(n))
-	var t Tuple
-	var slotScratch [maxClassesPerStream]int
-	var bitScratch [maxClassesPerStream]uint64
-	var sampleClass [maxClassesPerStream]int
-	var sampleGroup [maxClassesPerStream]keyspace.GroupID
 
-	routeCPUNeed := 0.0
-	for i := 0; i < n; i++ {
-		ts := begin.Add(vtime.Duration(i) * step)
-		rt.gen.Next(&t, ts)
-		t.TS = ts
+	// Lane-layout policy: exact windows and micro-batch profiles need
+	// per-row lanes (concrete state / row-granular drain splitting);
+	// everything else rides the folded classRun layout, where slots
+	// meter and fold whole runs instead of rows.
+	nc := len(plan.classes)
+	rowLanes := e.cfg.ExactWindows || e.cfg.Profile.MicroBatch
+	numCols := def.NumCols
+	laneCols := 0
+	if e.cfg.ExactWindows {
+		laneCols = numCols
+	}
+	shared := e.cfg.Shared
+	sampling := e.sampler != nil
 
-		sampling := e.sampler != nil && rt.gate.next()
-		ns := 0 // sampled (class, group) pairs
-
-		if e.cfg.Shared {
-			// Collect the distinct target slots across classes; one
-			// physical copy per distinct slot (the green tuples of
-			// Fig. 1c).
-			nd := 0
-			for _, rc := range plan.classes {
-				if !rt.classPass(rc, &t) {
-					continue
-				}
-				g := e.space.GroupOf(rc.key.KeyOf(&t))
-				if sampling {
-					sampleClass[ns], sampleGroup[ns] = rc.id, g
-					ns++
-				}
-				p := int(rc.route[g])
-				found := -1
-				for j := 0; j < nd; j++ {
-					if slotScratch[j] == p {
-						found = j
-						break
-					}
-				}
-				if found < 0 {
-					slotScratch[nd] = p
-					bitScratch[nd] = 1 << uint(rc.id)
-					nd++
-				} else {
-					bitScratch[found] |= 1 << uint(rc.id)
-				}
-				routeCPUNeed += e.cfg.Cost.RouteCPU * e.cfg.TupleWeight
-			}
-			// Ground-truth sharing accounting: how many copies the
-			// queries demanded vs how many physically ship (Fig. 1d vs
-			// 1e — the 16-vs-10 tuples of the paper's example).
-			demanded := 0
-			for j := 0; j < nd; j++ {
-				bits := bitScratch[j]
-				for _, rc := range plan.classes {
-					if bits&(1<<uint(rc.id)) != 0 {
-						demanded += len(rc.members)
-					}
-				}
-			}
-			e.metrics.recordSharing(int(rt.node), float64(demanded)*e.cfg.TupleWeight, float64(nd)*e.cfg.TupleWeight)
-			for j := 0; j < nd; j++ {
-				b := rt.buckets[slotScratch[j]]
-				if b == nil {
-					b = nr.newEntry()
-					b.kind, b.stream, b.shared = entryData, rt.stream, true
-					b.slot, b.epoch, b.plan = slotScratch[j], e.epoch, plan
-					rt.buckets[slotScratch[j]] = b
-					rt.usedKeys = append(rt.usedKeys, slotScratch[j])
-				}
-				b.tuples = append(b.tuples, t)
-				b.classBits = append(b.classBits, bitScratch[j])
-			}
+	// Block size: scratch is strided by bs, blocks carry at most bs rows.
+	bs := e.cfg.BatchSize
+	if bs <= 0 {
+		bs = 64
+	}
+	if bs > n {
+		bs = n
+	}
+	if cap(rt.keyScr) < bs {
+		rt.keyScr = make([]uint64, bs)
+	}
+	rt.keyScr = rt.keyScr[:bs]
+	if need := nc * bs; cap(rt.slotScr) < need {
+		rt.slotScr = make([]int32, need)
+		rt.grpScr = make([]int32, need)
+	}
+	rt.slotScr = rt.slotScr[:nc*bs]
+	rt.grpScr = rt.grpScr[:nc*bs]
+	if cap(rt.accScr) < bs {
+		rt.accScr = make([]uint64, bs)
+	}
+	rt.accScr = rt.accScr[:bs]
+	ng := e.cfg.NumGroups
+	np := e.cfg.NumPartitions
+	if !rowLanes {
+		if ncg := nc * ng; len(rt.runAcc) < ncg {
+			rt.runAcc = make([]runCell, ncg)
 		} else {
-			for _, rc := range plan.classes {
-				if !rt.classPass(rc, &t) {
+			cells := rt.runAcc[:ncg]
+			for i := range cells {
+				cells[i] = runCell{}
+			}
+		}
+	}
+	if shared {
+		if len(rt.slotN) < np {
+			rt.slotN = make([]int32, np)
+			rt.slotXQ = make([]int32, np)
+		} else {
+			for i := 0; i < np; i++ {
+				rt.slotN[i] = 0
+				rt.slotXQ[i] = 0
+			}
+		}
+	}
+	if cap(rt.memCnt) < nc {
+		rt.memCnt = make([]int32, nc)
+		rt.accCnt = make([]int64, nc)
+	}
+	rt.memCnt = rt.memCnt[:nc]
+	rt.accCnt = rt.accCnt[:nc]
+	hasFilter, checkAcc := false, false
+	for ci, rc := range plan.classes {
+		rt.memCnt[ci] = int32(len(rc.members))
+		rt.accCnt[ci] = 0
+		if rc.filter != nil {
+			hasFilter, checkAcc = true, true
+		} else if rc.sel < 1 {
+			checkAcc = true
+		}
+	}
+
+	// Identical-key class dedup (folded layouts): two classes that key
+	// on the same columns, accept every row, and route groups to the
+	// same slots accumulate byte-identical per-(class, group) run cells
+	// — a common shape when several queries aggregate and join on one
+	// partitioning column. Classify once per twin set; the flat cells
+	// (and, in shared mode, the per-block slot lane) are copied instead
+	// of re-hashed. Disabled while sampling: the sampler stages the
+	// per-class group lane, which a skipped pass would leave stale.
+	if cap(rt.dupOf) < nc {
+		rt.dupOf = make([]int32, nc)
+	}
+	rt.dupOf = rt.dupOf[:nc]
+	for ci := range rt.dupOf {
+		rt.dupOf[ci] = -1
+	}
+	if !rowLanes && !sampling && nc > 1 {
+		slotLane := shared // merge pass reads the slot lane per class
+		for ci, rc := range plan.classes {
+			if rc.filter != nil || rc.sel < 1 {
+				continue
+			}
+		candidates:
+			for cj := 0; cj < ci; cj++ {
+				pc := plan.classes[cj]
+				if pc.filter != nil || pc.sel < 1 || rt.dupOf[cj] >= 0 {
 					continue
 				}
-				g := e.space.GroupOf(rc.key.KeyOf(&t))
-				if sampling {
-					sampleClass[ns], sampleGroup[ns] = rc.id, g
-					ns++
+				if len(rc.key) != len(pc.key) {
+					continue
 				}
-				p := int(rc.route[g])
-				k := rc.id*e.cfg.NumPartitions + p
-				b := rt.buckets[k]
+				for i := range rc.key {
+					if rc.key[i] != pc.key[i] {
+						continue candidates
+					}
+				}
+				if slotLane {
+					if len(rc.route) != len(pc.route) {
+						continue
+					}
+					for g := range rc.route {
+						if rc.route[g] != pc.route[g] {
+							continue candidates
+						}
+					}
+				}
+				rt.dupOf[ci] = int32(cj)
+				break
+			}
+		}
+	}
+
+	// Two-class fusion: the dominant folded shape — two single-column
+	// route classes over one stream (an aggregate plus a join side, or
+	// two aggregates on different columns), power-of-two groups, every
+	// row accepted. One pass per block advances both accumulator chains
+	// together: the chains are independent, so the superscalar core
+	// overlaps them, and the row-index moments are computed once for
+	// both.
+	fuse2 := !rowLanes && !sampling && !checkAcc && nc == 2 &&
+		e.space.Mask() != 0 &&
+		len(plan.classes[0].key) == 1 && len(plan.classes[1].key) == 1 &&
+		rt.dupOf[1] < 0
+
+	rt.rows += int64(n)
+	for lo := 0; lo < n; lo += bs {
+		m := n - lo
+		if m > bs {
+			m = bs
+		}
+		blk := &rt.blk
+		blk.Resize(m, numCols)
+		ts := blk.TS
+		t := begin.Add(vtime.Duration(lo) * step)
+		for r := 0; r < m; r++ {
+			ts[r] = t
+			t = t.Add(step)
+		}
+		if rt.genBlock != nil {
+			rt.genBlock.NextBlock(blk, 0, m)
+		} else {
+			tt := &rt.shim
+			for r := 0; r < m; r++ {
+				rt.gen.Next(tt, ts[r])
+				for c := 0; c < numCols; c++ {
+					blk.Col[c][r] = tt.Cols[c]
+				}
+			}
+		}
+
+		// Acceptance and sampling prepass — row-major, classes ascending
+		// within a row: exactly the RNG draw order of tuple-at-a-time
+		// execution, so outputs are byte-identical at every batch size.
+		// Skipped entirely when every class accepts everything and no
+		// sampler is attached.
+		rt.sampScr = rt.sampScr[:0]
+		if checkAcc || sampling {
+			tt := &rt.shim
+			for r := 0; r < m; r++ {
+				bits := ^uint64(0)
+				if checkAcc {
+					bits = 0
+					if hasFilter {
+						blk.RowTuple(tt, r, numCols)
+					}
+					for ci, rc := range plan.classes {
+						ok := true
+						if rc.filter != nil {
+							ok = rc.filter(tt)
+						} else if rc.sel < 1 {
+							ok = rt.rng.Float64() < rc.sel
+						}
+						if ok {
+							bits |= 1 << uint(ci)
+						}
+					}
+				}
+				rt.accScr[r] = bits
+				if sampling && rt.gate.next() {
+					rt.sampScr = append(rt.sampScr, int32(r))
+				}
+			}
+		}
+
+		// Classification: one pass per route class over the whole block —
+		// one KeyOfBlock sweep, then a scatter. Folded layouts only bump
+		// the flat per-(class, group) run accumulators; row-lane layouts
+		// record slots for the shared merge pass below or scatter rows
+		// straight into non-shared buckets.
+		if fuse2 {
+			rc0, rc1 := plan.classes[0], plan.classes[1]
+			col0 := blk.Col[rc0.key[0]][:m]
+			col1 := blk.Col[rc1.key[0]][:m]
+			cells0 := rt.runAcc[:ng]
+			cells1 := rt.runAcc[ng : ng+ng]
+			gi := int64(lo)
+			if shared {
+				// The merge pass reads both slot lanes.
+				sl0 := rt.slotScr[:m]
+				sl1 := rt.slotScr[bs : bs+m]
+				route0, route1 := rc0.route, rc1.route
+				for r := 0; r < m; r++ {
+					g0 := int(keyspace.Mix64(uint64(col0[r]))) & (len(cells0) - 1)
+					g1 := int(keyspace.Mix64(uint64(col1[r]))) & (len(cells1) - 1)
+					sl0[r] = int32(route0[g0])
+					sl1[r] = int32(route1[g1])
+					q := gi * gi
+					c0, c1 := &cells0[g0], &cells1[g1]
+					c0.k++
+					c0.si += gi
+					c0.si2 += q
+					c1.k++
+					c1.si += gi
+					c1.si2 += q
+					gi++
+				}
+			} else {
+				for r := 0; r < m; r++ {
+					g0 := int(keyspace.Mix64(uint64(col0[r]))) & (len(cells0) - 1)
+					g1 := int(keyspace.Mix64(uint64(col1[r]))) & (len(cells1) - 1)
+					q := gi * gi
+					c0, c1 := &cells0[g0], &cells1[g1]
+					c0.k++
+					c0.si += gi
+					c0.si2 += q
+					c1.k++
+					c1.si += gi
+					c1.si2 += q
+					gi++
+				}
+			}
+			rt.accCnt[0] += int64(m)
+			rt.accCnt[1] += int64(m)
+		} else {
+			for ci, rc := range plan.classes {
+				bit := uint64(1) << uint(ci)
+				sl := rt.slotScr[ci*bs : ci*bs+m]
+				if dj := int(rt.dupOf[ci]); dj >= 0 {
+					// Twin of an earlier class this tick: reuse its slot
+					// lane; the run cells are copied once at tick end.
+					if shared && nc > 1 {
+						copy(sl, rt.slotScr[dj*bs:dj*bs+m])
+					}
+					continue
+				}
+				gr := rt.grpScr[ci*bs : ci*bs+m]
+				route := rc.route
+				acc := int64(0)
+				switch {
+				case !rowLanes:
+					// The merge pass only needs per-row slots when distinct
+					// classes could target distinct slots of one row.
+					needSlot := shared && nc > 1
+					base := ci * ng
+					lo64 := int64(lo)
+					runAcc := rt.runAcc
+					if mask := e.space.Mask(); mask != 0 && !sampling {
+						// Power-of-two group count: fold the hash into the
+						// accumulate loop — no group lane round trip. Not
+						// while sampling: the sampler stages the per-class
+						// group lane, which this path does not fill.
+						// cells is exactly the group space of this class, so
+						// len(cells)-1 == mask and masking with it both picks
+						// the group and proves the index in range (no bounds
+						// check in the hot loop).
+						var keys []uint64
+						if len(rc.key) == 1 {
+							// A single-column key IS the raw lane —
+							// uint64(x) of an int64 is a bit
+							// reinterpretation — so fold the column in
+							// place instead of copying it through the key
+							// scratch.
+							col := blk.Col[rc.key[0]]
+							keys = unsafe.Slice((*uint64)(unsafe.Pointer(&col[0])), m)
+						} else {
+							rc.key.KeyOfBlock(blk, 0, m, rt.keyScr)
+							keys = rt.keyScr[:m]
+						}
+						cells := runAcc[base : base+ng]
+						switch {
+						case !checkAcc && !needSlot:
+							// Every row accepted, slot lane unused (single
+							// class or non-shared): the tightest loop.
+							acc = int64(m)
+							gi := lo64
+							for _, k := range keys {
+								c := &cells[int(keyspace.Mix64(k))&(len(cells)-1)]
+								c.k++
+								c.si += gi
+								c.si2 += gi * gi
+								gi++
+							}
+						case !checkAcc:
+							acc = int64(m)
+							for r, k := range keys {
+								g := int(keyspace.Mix64(k)) & (len(cells) - 1)
+								sl[r] = int32(route[g])
+								gi := lo64 + int64(r)
+								c := &cells[g]
+								c.k++
+								c.si += gi
+								c.si2 += gi * gi
+							}
+						default:
+							for r, k := range keys {
+								if rt.accScr[r]&bit == 0 {
+									if needSlot {
+										sl[r] = -1
+									}
+									continue
+								}
+								g := int(keyspace.Mix64(k)) & (len(cells) - 1)
+								if needSlot {
+									sl[r] = int32(route[g])
+								}
+								acc++
+								gi := lo64 + int64(r)
+								c := &cells[g]
+								c.k++
+								c.si += gi
+								c.si2 += gi * gi
+							}
+						}
+						rt.accCnt[ci] += acc
+						continue
+					}
+					rc.key.KeyOfBlock(blk, 0, m, rt.keyScr)
+					e.space.GroupsOfKeys(rt.keyScr[:m], gr)
+					if !checkAcc {
+						// Every row accepted: branch-free accumulate.
+						acc = int64(m)
+						for r := 0; r < m; r++ {
+							g := int(gr[r])
+							if needSlot {
+								sl[r] = int32(route[g])
+							}
+							gi := lo64 + int64(r)
+							c := &runAcc[base+g]
+							c.k++
+							c.si += gi
+							c.si2 += gi * gi
+						}
+					} else {
+						for r := 0; r < m; r++ {
+							if rt.accScr[r]&bit == 0 {
+								if needSlot {
+									sl[r] = -1
+								}
+								continue
+							}
+							g := int(gr[r])
+							if needSlot {
+								sl[r] = int32(route[g])
+							}
+							acc++
+							gi := lo64 + int64(r)
+							c := &runAcc[base+g]
+							c.k++
+							c.si += gi
+							c.si2 += gi * gi
+						}
+					}
+				case shared:
+					// Row lanes, shared: record routes only; the merge pass
+					// dedups physical copies and fills the lanes.
+					rc.key.KeyOfBlock(blk, 0, m, rt.keyScr)
+					e.space.GroupsOfKeys(rt.keyScr[:m], gr)
+					for r := 0; r < m; r++ {
+						if checkAcc && rt.accScr[r]&bit == 0 {
+							sl[r] = -1
+							continue
+						}
+						sl[r] = int32(route[gr[r]])
+						acc++
+					}
+				default:
+					// Row lanes, non-shared: scatter rows straight into the
+					// per-(class, slot) buckets.
+					rc.key.KeyOfBlock(blk, 0, m, rt.keyScr)
+					e.space.GroupsOfKeys(rt.keyScr[:m], gr)
+					for r := 0; r < m; r++ {
+						if checkAcc && rt.accScr[r]&bit == 0 {
+							sl[r] = -1
+							continue
+						}
+						g := keyspace.GroupID(gr[r])
+						p := int(route[g])
+						sl[r] = int32(p)
+						acc++
+						bk := ci*np + p
+						b := rt.buckets[bk]
+						if b == nil {
+							b = nr.newEntry()
+							b.kind, b.stream, b.slot = entryData, rt.stream, p
+							b.class, b.epoch, b.plan = rc, e.epoch, plan
+							rt.buckets[bk] = b
+							rt.usedKeys = append(rt.usedKeys, bk)
+						}
+						b.blk.TS = append(b.blk.TS, ts[r])
+						for c := 0; c < laneCols; c++ {
+							b.blk.Col[c] = append(b.blk.Col[c], blk.Col[c][r])
+						}
+						b.groups = append(b.groups, keyspace.GroupID(g))
+						b.n++
+					}
+				}
+				rt.accCnt[ci] += acc
+			}
+		}
+
+		// Shared merge pass: collect the distinct target slots across
+		// classes per row; one physical copy per distinct slot (the green
+		// tuples of Fig. 1c). Folded layouts only tally physical rows and
+		// wire overhead into the flat per-slot counters (a single-class
+		// stream needs no pass at all — flush derives both from the runs);
+		// row-lane buckets also take the row, its class bitmask and its
+		// per-class group lane.
+		switch {
+		case shared && !rowLanes && nc == 2 && !checkAcc:
+			// Two classes, everything accepted — the common sharing pair.
+			m0, m1 := rt.memCnt[0], rt.memCnt[1]
+			sl0 := rt.slotScr[:m]
+			sl1 := rt.slotScr[bs : bs+m]
+			slotN, slotXQ := rt.slotN, rt.slotXQ
+			for r := 0; r < m; r++ {
+				p0, p1 := sl0[r], sl1[r]
+				if p0 == p1 {
+					slotN[p0]++
+					slotXQ[p0] += m0 + m1 - 1
+					continue
+				}
+				slotN[p0]++
+				slotN[p1]++
+				if m0 > 1 {
+					slotXQ[p0] += m0 - 1
+				}
+				if m1 > 1 {
+					slotXQ[p1] += m1 - 1
+				}
+			}
+		case shared && !rowLanes && nc > 1:
+			var slotTmp [maxClassesPerStream]int32
+			var memTmp [maxClassesPerStream]int32
+			for r := 0; r < m; r++ {
+				nd := 0
+				for ci := 0; ci < nc; ci++ {
+					p := rt.slotScr[ci*bs+r]
+					if p < 0 {
+						continue
+					}
+					found := -1
+					for j := 0; j < nd; j++ {
+						if slotTmp[j] == p {
+							found = j
+							break
+						}
+					}
+					if found < 0 {
+						slotTmp[nd] = p
+						memTmp[nd] = rt.memCnt[ci]
+						nd++
+					} else {
+						memTmp[found] += rt.memCnt[ci]
+					}
+				}
+				for j := 0; j < nd; j++ {
+					p := slotTmp[j]
+					rt.slotN[p]++
+					if q := int(memTmp[j]); q > 1 {
+						// The query-set encoding adds a few bytes per
+						// extra query served by this copy.
+						rt.slotXQ[p] += int32(q - 1)
+					}
+				}
+			}
+		case shared && rowLanes:
+			var slotTmp [maxClassesPerStream]int32
+			var bitTmp [maxClassesPerStream]uint64
+			var memTmp [maxClassesPerStream]int32
+			for r := 0; r < m; r++ {
+				nd := 0
+				for ci := 0; ci < nc; ci++ {
+					p := rt.slotScr[ci*bs+r]
+					if p < 0 {
+						continue
+					}
+					found := -1
+					for j := 0; j < nd; j++ {
+						if slotTmp[j] == p {
+							found = j
+							break
+						}
+					}
+					if found < 0 {
+						slotTmp[nd] = p
+						bitTmp[nd] = 1 << uint(ci)
+						memTmp[nd] = rt.memCnt[ci]
+						nd++
+					} else {
+						bitTmp[found] |= 1 << uint(ci)
+						memTmp[found] += rt.memCnt[ci]
+					}
+					bk := int(p)
+					b := rt.buckets[bk]
+					if b == nil {
+						b = nr.newEntry()
+						b.kind, b.stream, b.shared = entryData, rt.stream, true
+						b.slot, b.epoch, b.plan = bk, e.epoch, plan
+						rt.buckets[bk] = b
+						rt.usedKeys = append(rt.usedKeys, bk)
+					}
+					b.groups = append(b.groups, keyspace.GroupID(rt.grpScr[ci*bs+r]))
+				}
+				for j := 0; j < nd; j++ {
+					b := rt.buckets[slotTmp[j]]
+					b.n++
+					if q := int(memTmp[j]); q > 1 {
+						b.extraQ += q - 1
+					}
+					b.blk.TS = append(b.blk.TS, ts[r])
+					for c := 0; c < laneCols; c++ {
+						b.blk.Col[c] = append(b.blk.Col[c], blk.Col[c][r])
+					}
+					b.classBits = append(b.classBits, bitTmp[j])
+				}
+			}
+		}
+
+		// Stage this block's samples for barrier B: the sampler is
+		// engine-global, so the call itself must wait for the sequential
+		// merge. Row-major, classes ascending — batch-invariant.
+		for _, sr := range rt.sampScr {
+			r := int(sr)
+			bits := rt.accScr[r]
+			ns := 0
+			for ci := 0; ci < nc; ci++ {
+				if bits&(1<<uint(ci)) == 0 {
+					continue
+				}
+				rt.sampClass = append(rt.sampClass, ci)
+				rt.sampGroup = append(rt.sampGroup, keyspace.GroupID(rt.grpScr[ci*bs+r]))
+				ns++
+			}
+			if ns > 0 {
+				rt.sampTS = append(rt.sampTS, ts[r])
+				rt.sampLen = append(rt.sampLen, ns)
+			}
+		}
+	}
+
+	// Materialize the folded buckets: scan the run accumulators in
+	// (class, group) order — the canonical order consumers fold in — so
+	// every entry's run list is born sorted, independent of how the tick
+	// was blocked, with no per-entry sort pass.
+	if !rowLanes {
+		// Settle the twin classes skipped by the dedup: their flat run
+		// cells are the root class's, copied once per tick. Ascending
+		// order guarantees the root (always a lower index) is final.
+		for ci := range plan.classes {
+			if dj := int(rt.dupOf[ci]); dj >= 0 {
+				copy(rt.runAcc[ci*ng:ci*ng+ng], rt.runAcc[dj*ng:dj*ng+ng])
+				rt.accCnt[ci] = rt.accCnt[dj]
+			}
+		}
+		for ci, rc := range plan.classes {
+			base := ci * ng
+			route := rc.route
+			for g := 0; g < ng; g++ {
+				cell := rt.runAcc[base+g]
+				if cell.k == 0 {
+					continue
+				}
+				p := int(route[g])
+				bk := p
+				if !shared {
+					bk = ci*np + p
+				}
+				b := rt.buckets[bk]
 				if b == nil {
 					b = nr.newEntry()
 					b.kind, b.stream, b.slot = entryData, rt.stream, p
-					b.class, b.epoch = rc, e.epoch
-					rt.buckets[k] = b
-					rt.usedKeys = append(rt.usedKeys, k)
+					b.epoch, b.plan = e.epoch, plan
+					if shared {
+						b.shared = true
+					} else {
+						b.class = rc
+					}
+					rt.buckets[bk] = b
+					rt.usedKeys = append(rt.usedKeys, bk)
 				}
-				b.tuples = append(b.tuples, t)
-				b.groups = append(b.groups, g)
-				routeCPUNeed += e.cfg.Cost.RouteCPU * e.cfg.TupleWeight
+				b.runs = append(b.runs, classRun{
+					class: int32(ci), group: keyspace.GroupID(g),
+					k: cell.k, si: cell.si, si2: cell.si2,
+				})
+				if !shared {
+					b.n += int(cell.k)
+				}
 			}
 		}
-		if sampling && ns > 0 {
-			// Stage for barrier B: the sampler is engine-global, so the
-			// call itself must wait for the sequential merge.
-			rt.sampClass = append(rt.sampClass, sampleClass[:ns]...)
-			rt.sampGroup = append(rt.sampGroup, sampleGroup[:ns]...)
-			rt.sampTS = append(rt.sampTS, ts)
-			rt.sampLen = append(rt.sampLen, ns)
+		if shared {
+			if nc == 1 {
+				// Single class: every run row is its own physical copy,
+				// and every copy serves the same member set.
+				mem0 := int(rt.memCnt[0])
+				for _, bk := range rt.usedKeys {
+					b := rt.buckets[bk]
+					n := 0
+					for i := range b.runs {
+						n += int(b.runs[i].k)
+					}
+					b.n = n
+					if mem0 > 1 {
+						b.extraQ = (mem0 - 1) * n
+					}
+				}
+			} else {
+				for _, bk := range rt.usedKeys {
+					b := rt.buckets[bk]
+					b.n = int(rt.slotN[bk])
+					b.extraQ = int(rt.slotXQ[bk])
+				}
+			}
 		}
 	}
-	cpu.Take(routeCPUNeed)
+
+	// Routing CPU and ground-truth sharing accounting, folded once per
+	// tick from the integer per-class acceptance counts: how many copies
+	// the queries demanded vs how many physically ship (Fig. 1d vs 1e —
+	// the 16-vs-10 tuples of the paper's example).
+	routeAcc, demand := int64(0), int64(0)
+	for ci := range plan.classes {
+		routeAcc += rt.accCnt[ci]
+		demand += rt.accCnt[ci] * int64(rt.memCnt[ci])
+	}
+	cpu.Take(e.cfg.Cost.RouteCPU * e.cfg.TupleWeight * float64(routeAcc))
+	if shared {
+		phys := 0
+		for _, k := range rt.usedKeys {
+			phys += rt.buckets[k].n
+		}
+		e.metrics.recordSharing(int(rt.node), float64(demand)*e.cfg.TupleWeight, float64(phys)*e.cfg.TupleWeight)
+	}
 
 	// Materialize pending sends; tuple-at-a-time ships immediately,
 	// micro-batch holds them for the boundary. Deterministic ship
@@ -394,27 +999,16 @@ func (rt *routerTask) routeTick(e *Engine, nr *nodeRun, dt vtime.Duration) {
 	// mode, class-major in non-shared mode — the same order the map
 	// version produced).
 	sort.Ints(rt.usedKeys)
-	if e.cfg.Shared {
+	if shared {
 		for _, k := range rt.usedKeys {
 			en := rt.buckets[k]
 			rt.buckets[k] = nil
-			// One physical copy; the query-set encoding adds a few
-			// bytes per extra served query.
-			extra := 0.0
-			for _, bits := range en.classBits {
-				nq := 0
-				for _, rc := range plan.classes {
-					if bits&(1<<uint(rc.id)) != 0 {
-						nq += len(rc.members)
-					}
-				}
-				if nq > 1 {
-					extra += float64(nq-1) * e.cfg.Cost.SharedOverheadBytes
-				}
-			}
+			en.tsBegin, en.tsStep = begin, step
+			// One physical copy; extraQ carries the accumulated
+			// query-set encoding overhead.
 			bytesPer := def.BytesPerTuple * e.cfg.TupleWeight
-			if len(en.tuples) > 0 {
-				bytesPer += extra * e.cfg.TupleWeight / float64(len(en.tuples))
+			if en.extraQ > 0 && en.n > 0 {
+				bytesPer += float64(en.extraQ) * e.cfg.Cost.SharedOverheadBytes * e.cfg.TupleWeight / float64(en.n)
 			}
 			rt.emit(e, nr, pendingSend{en: en, copies: 1, bytesPer: bytesPer})
 		}
@@ -422,6 +1016,7 @@ func (rt *routerTask) routeTick(e *Engine, nr *nodeRun, dt vtime.Duration) {
 		for _, k := range rt.usedKeys {
 			en := rt.buckets[k]
 			rt.buckets[k] = nil
+			en.tsBegin, en.tsStep = begin, step
 			rc := en.class
 			// Every member query ships its own copy (Fig. 1a/1b) —
 			// except under AJoin's join-group batching, which
@@ -441,7 +1036,7 @@ func (rt *routerTask) routeTick(e *Engine, nr *nodeRun, dt vtime.Duration) {
 func (rt *routerTask) emit(e *Engine, nr *nodeRun, ps pendingSend) {
 	if e.cfg.Profile.MicroBatch {
 		rt.held = append(rt.held, ps)
-		rt.heldBytes += ps.bytesPer * float64(len(ps.en.tuples))
+		rt.heldBytes += ps.bytesPer * float64(ps.en.n)
 		return
 	}
 	rt.stage(e, nr, ps)
@@ -457,7 +1052,7 @@ func (rt *routerTask) emit(e *Engine, nr *nodeRun, ps pendingSend) {
 // plus claims accumulated in this node's fixed task order.
 func (rt *routerTask) stage(e *Engine, nr *nodeRun, ps pendingSend) {
 	en := ps.en
-	sendBytes := ps.bytesPer * float64(len(en.tuples))
+	sendBytes := ps.bytesPer * float64(en.n)
 	dstNode := e.placement.PartitionNode(en.slot)
 
 	if e.nodeIsDown(dstNode) {
@@ -488,7 +1083,7 @@ func (rt *routerTask) stage(e *Engine, nr *nodeRun, ps pendingSend) {
 			f = avail / sendBytes
 		}
 		// Serialization CPU sized to the estimated acceptable share.
-		serNeed := e.cfg.Cost.SerCPU * e.cfg.TupleWeight * float64(len(en.tuples)) * ps.copies * f
+		serNeed := e.cfg.Cost.SerCPU * e.cfg.TupleWeight * float64(en.n) * ps.copies * f
 		if serNeed > 0 {
 			if g := e.cluster.CPU(rt.node).Take(serNeed); g < serNeed {
 				f *= g / serNeed
@@ -510,7 +1105,7 @@ func (rt *routerTask) stage(e *Engine, nr *nodeRun, ps pendingSend) {
 func (rt *routerTask) commit(e *Engine, ps *pendingSend) {
 	en := ps.en
 	f := ps.f
-	sendBytes := ps.bytesPer * float64(len(en.tuples))
+	sendBytes := ps.bytesPer * float64(en.n)
 	dstNode := e.placement.PartitionNode(en.slot)
 	if dstNode != rt.node && f > 0 {
 		avail := e.net.Available(rt.node, dstNode)
@@ -533,7 +1128,7 @@ func (rt *routerTask) commit(e *Engine, ps *pendingSend) {
 	en.bytes = sendBytes * f
 	en.arriveAt = e.clock.Add(delay)
 	en.watermark = e.clock.Add(-e.cfg.WatermarkLag)
-	rt.accepted += f * e.cfg.TupleWeight * float64(len(en.tuples)) * ps.copies
+	rt.accepted += f * e.cfg.TupleWeight * float64(en.n) * ps.copies
 	if dstNode != rt.node {
 		rt.tickAccepted += sendBytes * f
 	}
@@ -575,7 +1170,7 @@ func (rt *routerTask) deliverSamples(e *Engine) {
 func (rt *routerTask) ship(e *Engine, ps pendingSend) {
 	en := ps.en
 	cpu := e.cluster.CPU(rt.node)
-	sendBytes := ps.bytesPer * float64(len(en.tuples))
+	sendBytes := ps.bytesPer * float64(en.n)
 	dstNode := e.placement.PartitionNode(en.slot)
 
 	if e.nodeIsDown(dstNode) {
@@ -605,7 +1200,7 @@ func (rt *routerTask) ship(e *Engine, ps pendingSend) {
 			f = avail / sendBytes
 		}
 		// …then to the serialization CPU actually available.
-		serNeed := e.cfg.Cost.SerCPU * e.cfg.TupleWeight * float64(len(en.tuples)) * ps.copies * f
+		serNeed := e.cfg.Cost.SerCPU * e.cfg.TupleWeight * float64(en.n) * ps.copies * f
 		if serNeed > 0 {
 			if g := cpu.Take(serNeed); g < serNeed {
 				f *= g / serNeed
@@ -621,7 +1216,7 @@ func (rt *routerTask) ship(e *Engine, ps pendingSend) {
 	en.bytes = sendBytes * f
 	en.arriveAt = e.clock.Add(delay)
 	en.watermark = e.clock.Add(-e.cfg.WatermarkLag)
-	rt.accepted += f * e.cfg.TupleWeight * float64(len(en.tuples)) * ps.copies
+	rt.accepted += f * e.cfg.TupleWeight * float64(en.n) * ps.copies
 	if dstNode != rt.node {
 		rt.tickAccepted += sendBytes * f
 	}
@@ -645,7 +1240,7 @@ func (rt *routerTask) shipDraining(e *Engine) {
 	i := 0
 	for ; i < len(rt.draining); i++ {
 		ps := rt.draining[i]
-		bytes := ps.bytesPer * float64(len(ps.en.tuples))
+		bytes := ps.bytesPer * float64(ps.en.n)
 		dst := e.placement.PartitionNode(ps.en.slot)
 		// A dead destination must not wedge the drain behind its zero
 		// headroom: ship() destroys the send and the drain moves on.
@@ -660,7 +1255,7 @@ func (rt *routerTask) shipDraining(e *Engine) {
 				if k > 0 {
 					head := splitSend(&rt.draining[i], k)
 					rt.ship(e, head)
-					rt.drainBytes -= head.bytesPer * float64(len(head.en.tuples))
+					rt.drainBytes -= head.bytesPer * float64(head.en.n)
 				}
 				break
 			}
@@ -676,21 +1271,38 @@ func (rt *routerTask) shipDraining(e *Engine) {
 	}
 }
 
-// splitSend carves the first k tuples of a pending send into a new
-// send, leaving the remainder in place. The entry's per-tuple metadata
-// (groups, class bits) splits alongside.
+// splitSend carves the first k rows of a pending send into a new send,
+// leaving the remainder in place. Only micro-batch drains split, so the
+// entry is always in row-lane layout: the block lanes and the per-row
+// metadata (class bits, groups) split alongside. In shared mode the
+// groups lane holds one element per (row, class), so its split point is
+// the popcount sum of the head's class bitmasks.
 func splitSend(ps *pendingSend, k int) pendingSend {
 	src := ps.en
 	head := *src
-	head.tuples = src.tuples[:k:k]
-	src.tuples = src.tuples[k:]
-	if src.groups != nil {
-		head.groups = src.groups[:k:k]
-		src.groups = src.groups[k:]
+	head.blk.TS = src.blk.TS[:k:k]
+	src.blk.TS = src.blk.TS[k:]
+	for c := range src.blk.Col {
+		if len(src.blk.Col[c]) > 0 {
+			head.blk.Col[c] = src.blk.Col[c][:k:k]
+			src.blk.Col[c] = src.blk.Col[c][k:]
+		}
+	}
+	head.n, src.n = k, src.n-k
+	gk := k
+	if src.shared && src.classBits != nil {
+		gk = 0
+		for i := 0; i < k; i++ {
+			gk += bits.OnesCount64(src.classBits[i])
+		}
 	}
 	if src.classBits != nil {
 		head.classBits = src.classBits[:k:k]
 		src.classBits = src.classBits[k:]
+	}
+	if src.groups != nil {
+		head.groups = src.groups[:gk:gk]
+		src.groups = src.groups[gk:]
 	}
 	return pendingSend{en: &head, copies: ps.copies, bytesPer: ps.bytesPer}
 }
@@ -718,17 +1330,6 @@ func (rc *routeClass) allJoins() bool {
 		}
 	}
 	return true
-}
-
-// classPass applies the class's pre-partition filter to a tuple.
-func (rt *routerTask) classPass(rc *routeClass, t *Tuple) bool {
-	if rc.filter != nil {
-		return rc.filter(t)
-	}
-	if rc.sel >= 1 {
-		return true
-	}
-	return rt.rng.Float64() < rc.sel
 }
 
 // SampleVec is one sampled tuple's key-group vector: for every route

@@ -94,13 +94,34 @@ func (nr *nodeRun) newEntry() *entry {
 // remainder, but the split caps lengths so reuse through the truncated
 // slices can never touch the other half.
 func (nr *nodeRun) recycle(en *entry) {
-	*en = entry{
-		tuples:    en.tuples[:0],
-		classBits: en.classBits[:0],
-		groups:    en.groups[:0],
-		stAgg:     en.stAgg[:0],
-		stJoin:    [2][]Tuple{en.stJoin[0][:0], en.stJoin[1][:0]},
+	// Field-by-field reset: entry embeds the TupleBlock's 14 slice
+	// headers, so a whole-struct literal assignment would copy ~half a
+	// kilobyte through duffcopy on every recycled entry — a measurable
+	// slice of the tick on the hot path. TestRecycleResetsEveryField
+	// walks the struct by reflection, so a field added to entry without
+	// a reset here fails the suite instead of leaking stale state.
+	en.kind, en.stream, en.slot = 0, 0, 0
+	en.arriveAt, en.watermark, en.epoch = 0, 0, 0
+	en.bytes = 0
+	en.plan, en.class, en.shared, en.n = nil, nil, false, 0
+	blk := &en.blk
+	blk.TS = blk.TS[:0]
+	for c := range blk.Col {
+		if blk.Col[c] != nil {
+			blk.Col[c] = blk.Col[c][:0]
+		}
 	}
+	blk.W = blk.W[:0]
+	en.classBits = en.classBits[:0]
+	en.groups = en.groups[:0]
+	en.runs = en.runs[:0]
+	en.tsBegin, en.tsStep = 0, 0
+	en.extraQ, en.copies, en.scale = 0, 0, 0
+	en.marker = nil
+	en.stQuery, en.stGroup, en.stWeight = 0, 0, 0
+	en.stAgg = en.stAgg[:0]
+	en.stJoin[0] = en.stJoin[0][:0]
+	en.stJoin[1] = en.stJoin[1][:0]
 	nr.entryFree = append(nr.entryFree, en)
 }
 

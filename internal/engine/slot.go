@@ -18,9 +18,35 @@ const (
 	entryState                      // re-partitioned window state of a moved key group
 )
 
+// classRun is the folded form of one (route class, key group) run of a
+// data entry: k rows of the tick landed in group g for class class. The
+// integer row-index sums si = Σi and si2 = Σi² (over tick-global row
+// indexes, whose event times are tsBegin + i·tsStep) let the consumer
+// reconstruct the run's exact latency moments without per-row state —
+// and, being integer, they are independent of how generation was
+// blocked into batches.
+type classRun struct {
+	class int32
+	group keyspace.GroupID
+	k     int64
+	si    int64
+	si2   int64
+}
+
 // entry is one delivery on a (routerTask → slot) edge. Edges are FIFO:
 // arrival times are monotonic per edge, which is what lets the marker
 // protocol separate pre- and post-reconfiguration tuples.
+//
+// Data entries carry their payload in one of two layouts:
+//
+//   - Folded (counting windows, tuple-at-a-time profiles): no per-row
+//     lanes at all. n counts the concrete rows, runs holds one classRun
+//     per (class, group), and row event times are tsBegin + i·tsStep.
+//     Slots meter and fold whole runs — the batched hot path.
+//   - Row lanes (exact windows, or micro-batch profiles whose drain
+//     splits entries by rows): blk carries the timestamp lane (plus
+//     column lanes in exact mode), with groups / classBits parallel to
+//     its rows as before.
 type entry struct {
 	kind      entryKind
 	stream    StreamID
@@ -37,9 +63,14 @@ type entry struct {
 	plan      *streamPlan        // routing-time plan snapshot (shared mode)
 	class     *routeClass        // non-shared: the single class
 	shared    bool               // shared: classBits identify classes per tuple
-	classBits []uint64           // per tuple (shared mode)
-	tuples    []Tuple            // concrete tuples
-	groups    []keyspace.GroupID // per tuple key group (non-shared mode)
+	n         int                // concrete rows carried
+	blk       TupleBlock         // row lanes (row-lane layout only)
+	classBits []uint64           // per row (shared mode, row-lane layout)
+	groups    []keyspace.GroupID // per (row, class) key group (row-lane layout)
+	runs      []classRun         // folded layout: per-(class, group) runs, sorted
+	tsBegin   vtime.Time         // folded layout: event time of tick row 0
+	tsStep    vtime.Duration     // folded layout: event-time spacing of tick rows
+	extraQ    int                // shared: Σ per-copy extra served queries (wire overhead)
 	copies    float64            // physical copies represented (non-shared: members)
 	scale     float64            // network/CPU acceptance factor applied to weights
 
@@ -118,8 +149,14 @@ type slot struct {
 
 	// exact holds per-query concrete window state (exact mode only).
 	exact map[int]*qExactSlot
-	// held parks tuples of moved-in groups until their state merges.
-	held map[pendKey][]heldTuple
+	// held parks tuples of moved-in groups until their state merges:
+	// one columnar block per pending (query, group), the weight lane
+	// carrying each row's modelled weight, sides parallel to the rows.
+	held map[pendKey]*heldBlock
+
+	// decayMemo caches the last counting-decay factor folded on this
+	// slot (see expMemo); slot-owned so shard workers never share it.
+	decayMemo expMemo
 
 	// fx stages this slot's cross-node effects during the parallel slot
 	// phase; the barrier-A fold drains it in canonical slot order (see
@@ -241,12 +278,29 @@ func (s *slot) entryCPU(e *Engine, en *entry) float64 {
 	}
 	c := &e.cfg.Cost
 	w := e.cfg.TupleWeight * en.scale
-	n := float64(len(en.tuples))
+	n := float64(en.n)
 	var need float64
 	if en.shared {
 		need += c.DeserCPU * w * n // one physical copy
+		if en.runs != nil {
+			// Folded layout: one opCPU evaluation per class run instead
+			// of one per (row, class). Runs are sorted by class, so the
+			// per-class cost is computed once per contiguous group.
+			plan := en.plan
+			li := int32(-1)
+			var op float64
+			for i := range en.runs {
+				r := &en.runs[i]
+				if r.class != li {
+					li = r.class
+					op = s.opCPU(e, plan.classes[li], w)
+				}
+				need += op * float64(r.k)
+			}
+			return need
+		}
 		plan := en.plan
-		for i := range en.tuples {
+		for i := 0; i < en.n; i++ {
 			bits := en.classBits[i]
 			for _, rc := range plan.classes {
 				if bits&(1<<uint(rc.id)) == 0 {
@@ -301,23 +355,81 @@ func (s *slot) consume(e *Engine, nr *nodeRun, en *entry) {
 		return
 	}
 	w := e.cfg.TupleWeight * en.scale
+	if en.runs != nil {
+		s.consumeRuns(e, en, w)
+		return
+	}
+	cols := 0
+	if e.cfg.ExactWindows {
+		cols = e.streams[en.stream].NumCols
+	}
+	var t Tuple
 	if en.shared {
 		plan := en.plan
-		for i := range en.tuples {
-			t := &en.tuples[i]
+		off := 0
+		for i := 0; i < en.n; i++ {
+			en.blk.RowTuple(&t, i, cols)
 			bits := en.classBits[i]
 			for _, rc := range plan.classes {
 				if bits&(1<<uint(rc.id)) == 0 {
 					continue
 				}
-				g := e.space.GroupOf(rc.key.KeyOf(t))
-				s.insertClass(e, rc, t, g, w, en)
+				g := en.groups[off]
+				off++
+				s.insertClass(e, rc, &t, g, w, en)
 			}
 		}
 	} else {
-		for i := range en.tuples {
-			s.insertClass(e, en.class, &en.tuples[i], en.groups[i], w, en)
+		for i := 0; i < en.n; i++ {
+			en.blk.RowTuple(&t, i, cols)
+			s.insertClass(e, en.class, &t, en.groups[i], w, en)
 		}
+	}
+}
+
+// consumeRuns applies a folded data entry: one state update, one
+// processed record and one latency-moment fold per (class, group) run —
+// the per-block rather than per-tuple cost structure of the batched hot
+// path. The run's latency moments are exact: row i of the tick has
+// event time tsBegin + i·tsStep and every row of the entry is absorbed
+// at the same instant, so Σlat and Σlat² follow from the integer row
+// sums Σi and Σi² carried by the run.
+func (s *slot) consumeRuns(e *Engine, en *entry, w float64) {
+	base := vtime.Max(en.arriveAt, e.clock.Add(-e.cfg.Tick))
+	l0 := float64(base.Sub(en.tsBegin)) // latency of tick row 0, in ns
+	st := float64(en.tsStep)
+	part := int(s.node)
+	for i := range en.runs {
+		r := &en.runs[i]
+		rc := en.class
+		if en.shared {
+			rc = en.plan.classes[r.class]
+		}
+		g := r.group
+		m := rc.members[0]
+		mult := float64(len(rc.members))
+		if int(rc.route[g]) != s.id {
+			// Iterator guard: the whole run is stray under this routing
+			// epoch. Stray reroutes draw from the engine RNG and the
+			// shared network budget, so they stage for the barrier-A
+			// fold — one folded event per run. Folded entries only exist
+			// in counting mode, where the reroute is weight-only.
+			e.stageStray(s, m.q.idx, g, w*mult*float64(r.k), nil, m.side)
+			continue
+		}
+		k := float64(r.k)
+		wTot := w * mult
+		e.insertRun(s, m.q, m.side, g, wTot*k)
+		e.metrics.recordProcessed(part, m.q.idx, wTot*k)
+		sl := k*l0 - st*float64(r.si)
+		sl2 := k*l0*l0 - 2*l0*st*float64(r.si) + st*st*float64(r.si2)
+		if sl < 0 {
+			sl = 0 // float residue; true per-row latencies are >= 0
+		}
+		if sl2 < 0 {
+			sl2 = 0
+		}
+		e.metrics.recordLatencyRun(part, m.q.idx, sl, sl2, wTot, r.k)
 	}
 }
 

@@ -165,6 +165,14 @@ type Config struct {
 	// Tick is the virtual-time step of the simulation loop.
 	Tick vtime.Duration
 
+	// BatchSize is the row capacity of the columnar generation blocks
+	// the data plane moves (see TupleBlock): sources fill, and routers
+	// classify, up to this many concrete tuples at a time. It is purely
+	// an execution blocking factor — reports, traces and metrics are
+	// byte-identical at every value (the determinism suite proves
+	// {1, 7, 64}). 0 means the default of 64.
+	BatchSize int
+
 	// WatermarkLag is how far watermarks trail the source clock.
 	WatermarkLag vtime.Duration
 
@@ -203,6 +211,7 @@ func DefaultConfig() Config {
 		SourceTasks:         8,
 		TupleWeight:         1,
 		Tick:                100 * vtime.Millisecond,
+		BatchSize:           64,
 		WatermarkLag:        200 * vtime.Millisecond,
 		FlowContentionCoeff: 0.03,
 		Seed:                1,
@@ -242,6 +251,9 @@ func (c Config) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("engine: shard count must be non-negative (0 means single-threaded), got %d", c.Shards)
+	}
+	if c.BatchSize < 0 || c.BatchSize > 1<<16 {
+		return fmt.Errorf("engine: batch size must be in [0, %d] (0 means the default of 64), got %d", 1<<16, c.BatchSize)
 	}
 	if err := c.Cost.validate(); err != nil {
 		return err

@@ -43,6 +43,33 @@ func (c *qCounting) decayTo(side int, g keyspace.GroupID, now vtime.Time, tau fl
 	}
 }
 
+// expMemo is a single-entry cache of the last decay factor. In steady
+// state every live (side, group) cell of a slot decays by exactly one
+// tick with the query's fixed tau, so the same (dt, tau) pair recurs on
+// every call; the memo returns the identical math.Exp result without
+// re-evaluating it. Each slot owns one, so parallel shard workers never
+// share a cell.
+type expMemo struct{ dt, tau, v float64 }
+
+func (mz *expMemo) exp(dt, tau float64) float64 {
+	if mz.dt == dt && mz.tau == tau && mz.v != 0 {
+		return mz.v
+	}
+	v := math.Exp(-dt / tau)
+	*mz = expMemo{dt: dt, tau: tau, v: v}
+	return v
+}
+
+// decayToMemo is decayTo with the slot's decay-factor memo on the hot
+// path; bit-identical results, since the memo caches exact values.
+func (c *qCounting) decayToMemo(side int, g keyspace.GroupID, now vtime.Time, tau float64, mz *expMemo) {
+	dt := now.Sub(c.last[side][g]).Seconds()
+	if dt > 0 {
+		c.rate[side][g] *= mz.exp(dt, tau)
+		c.last[side][g] = now
+	}
+}
+
 // aggMapKey addresses one window instance of one grouping key.
 type aggMapKey struct {
 	win vtime.Time
@@ -119,12 +146,23 @@ func (e *Engine) exactState(s *slot, qi int) *qExactSlot {
 	return st
 }
 
+// insertRun folds a whole run's weight into a query's counting-mode
+// window state in one update: one decay plus one rate bump per (query,
+// group) run, however many rows the run carried. wk is the run's total
+// modelled weight (per-row weight × rows).
+func (e *Engine) insertRun(s *slot, q *queryInst, side int, g keyspace.GroupID, wk float64) {
+	c := e.qcount[q.idx]
+	tau := q.spec.Window.Range.Seconds()
+	c.decayToMemo(side, g, e.clock, tau, &s.decayMemo)
+	c.rate[side][g] += wk / tau
+}
+
 // insert feeds one tuple into a query's window state on slot s.
 func (e *Engine) insert(s *slot, q *queryInst, side int, t *Tuple, g keyspace.GroupID, w float64) {
 	if !e.cfg.ExactWindows {
 		c := e.qcount[q.idx]
 		tau := q.spec.Window.Range.Seconds()
-		c.decayTo(side, g, e.clock, tau)
+		c.decayToMemo(side, g, e.clock, tau, &s.decayMemo)
 		c.rate[side][g] += w / tau
 		return
 	}
@@ -135,10 +173,16 @@ func (e *Engine) insert(s *slot, q *queryInst, side int, t *Tuple, g keyspace.Gr
 	// tuple; mergeState replays it.
 	if s.pendingState[pendKey{q.idx, g}] {
 		if s.held == nil {
-			s.held = map[pendKey][]heldTuple{}
+			s.held = map[pendKey]*heldBlock{}
 		}
 		k := pendKey{q.idx, g}
-		s.held[k] = append(s.held[k], heldTuple{side: side, w: w, t: *t})
+		hb := s.held[k]
+		if hb == nil {
+			hb = &heldBlock{}
+			s.held[k] = hb
+		}
+		hb.blk.AppendRow(t, e.streams[q.spec.Inputs[side].Stream].NumCols, w)
+		hb.sides = append(hb.sides, uint8(side))
 		return
 	}
 
@@ -358,30 +402,56 @@ func (e *Engine) mergeState(s *slot, en *entry, staged bool) {
 	delete(s.pendingState, k)
 	// Replay tuples that arrived for this group while its state was in
 	// flight, now in arrival order against the complete state.
-	if held := s.held[k]; len(held) > 0 {
+	if hb := s.held[k]; hb != nil && hb.blk.Len() > 0 {
 		delete(s.held, k)
-		for i := range held {
-			h := &held[i]
-			e.insert(s, e.queries[qi], h.side, &h.t, en.stGroup, h.w)
+		q := e.queries[qi]
+		var t Tuple
+		for i := 0; i < hb.blk.Len(); i++ {
+			side := int(hb.sides[i])
+			hb.blk.RowTuple(&t, i, e.streams[q.spec.Inputs[side].Stream].NumCols)
+			e.insert(s, q, side, &t, en.stGroup, hb.blk.W[i])
 		}
 	}
 }
 
-// heldTuple is a tuple parked while its key group's moved state is in
-// flight.
-type heldTuple struct {
-	side int
-	w    float64
-	t    Tuple
+// heldBlock parks the tuples of one (query, group) whose moved window
+// state is in flight: a columnar block whose weight lane carries each
+// row's modelled weight, with the input side per row alongside.
+type heldBlock struct {
+	blk   TupleBlock
+	sides []uint8
 }
 
-// stageStray records the iterator guard's reroute of a stray tuple: a
-// tuple that reached a slot which no longer owns its key group under
-// the current epoch. The actual reroute (RNG courier draw, network
-// legs, insert at the true owner — which may live on another node)
-// runs at barrier A in dispatchStray.
+// rows reports the parked row count; nil-safe so callers can probe a
+// map entry that may already have been replayed and deleted.
+func (hb *heldBlock) rows() int {
+	if hb == nil {
+		return 0
+	}
+	return hb.blk.Len()
+}
+
+// weight sums the parked rows' modelled weights.
+func (hb *heldBlock) weight() float64 {
+	var w float64
+	for _, x := range hb.blk.W {
+		w += x
+	}
+	return w
+}
+
+// stageStray records the iterator guard's reroute of a stray tuple (or,
+// with t == nil, a folded run of identical-fate rows whose combined
+// weight is w): data that reached a slot which no longer owns its key
+// group under the current epoch. The actual reroute (RNG courier draw,
+// network legs, insert at the true owner — which may live on another
+// node) runs at barrier A in dispatchStray. A nil t stages a zero
+// tuple, which is sufficient in counting mode — the reroute is
+// weight-only there; exact mode always stages concrete tuples.
 func (e *Engine) stageStray(s *slot, qi int, g keyspace.GroupID, w float64, t *Tuple, side int) {
 	ev := s.fx.stage(evtStray)
 	ev.qi, ev.g, ev.w, ev.side = qi, g, w, side
-	ev.t = *t
+	if t != nil {
+		ev.t = *t
+	}
 }

@@ -48,11 +48,42 @@ func (ks KeySpec) KeyOf(t *Tuple) uint64 {
 	case 2:
 		return keyspace.CombineKeys(uint64(t.Cols[ks[0]]), uint64(t.Cols[ks[1]]))
 	default:
-		cols := make([]uint64, len(ks))
-		for i, c := range ks {
-			cols[i] = uint64(t.Cols[c])
+		// Stack buffer: specs are bounded by the schema width, so the
+		// variadic fold needs no heap allocation on the hot path.
+		var buf [MaxCols]uint64
+		cols := buf[:0]
+		for _, c := range ks {
+			cols = append(cols, uint64(t.Cols[c]))
 		}
 		return keyspace.CombineKeys(cols...)
+	}
+}
+
+// KeyOfBlock folds the spec's columns for rows [from, to) of a block
+// into dst (indexed from 0, len >= to-from). One pass per column lane
+// rather than one Tuple gather per row — the columnar counterpart of
+// KeyOf used by the router's per-class classification pass.
+func (ks KeySpec) KeyOfBlock(b *TupleBlock, from, to int, dst []uint64) {
+	switch len(ks) {
+	case 1:
+		col := b.Col[ks[0]]
+		for i := from; i < to; i++ {
+			dst[i-from] = uint64(col[i])
+		}
+	case 2:
+		c0, c1 := b.Col[ks[0]], b.Col[ks[1]]
+		for i := from; i < to; i++ {
+			dst[i-from] = keyspace.CombineKeys(uint64(c0[i]), uint64(c1[i]))
+		}
+	default:
+		var buf [MaxCols]uint64
+		for i := from; i < to; i++ {
+			cols := buf[:0]
+			for _, c := range ks {
+				cols = append(cols, uint64(b.Col[c][i]))
+			}
+			dst[i-from] = keyspace.CombineKeys(cols...)
+		}
 	}
 }
 
@@ -102,3 +133,82 @@ type GeneratorFunc func(t *Tuple, ts vtime.Time)
 
 // Next implements Generator.
 func (f GeneratorFunc) Next(t *Tuple, ts vtime.Time) { f(t, ts) }
+
+// TupleBlock is a struct-of-arrays batch of tuples: one timestamp lane,
+// one int64 lane per column, and an optional per-row weight lane. It is
+// the unit the batched data plane moves — sources fill blocks, the
+// router classifies whole blocks per route class, and slots drain them
+// with per-block cost metering. Lanes index the same rows; unused
+// column lanes stay nil.
+//
+// The weight lane W is nil for uniformly weighted rows (the common
+// case — the block inherits the engine's TupleWeight); it is populated
+// where rows carry individual weights, e.g. tuples parked while their
+// key group's window state is in flight.
+type TupleBlock struct {
+	TS  []vtime.Time
+	Col [MaxCols][]int64
+	W   []float64
+}
+
+// Len reports the number of rows in the block.
+func (b *TupleBlock) Len() int { return len(b.TS) }
+
+// Resize sets the block to n rows over the first cols column lanes,
+// reusing lane capacity. Lane contents are left stale — callers
+// overwrite every row. The weight lane is truncated to empty.
+func (b *TupleBlock) Resize(n, cols int) {
+	if cap(b.TS) < n {
+		b.TS = make([]vtime.Time, n)
+		for c := 0; c < cols; c++ {
+			b.Col[c] = make([]int64, n)
+		}
+	} else {
+		b.TS = b.TS[:n]
+		for c := 0; c < cols; c++ {
+			if cap(b.Col[c]) < n {
+				b.Col[c] = make([]int64, n)
+			} else {
+				b.Col[c] = b.Col[c][:n]
+			}
+		}
+	}
+	for c := cols; c < MaxCols; c++ {
+		if b.Col[c] != nil {
+			b.Col[c] = b.Col[c][:0]
+		}
+	}
+	b.W = b.W[:0]
+}
+
+// AppendRow appends one tuple with weight w over the first cols lanes.
+func (b *TupleBlock) AppendRow(t *Tuple, cols int, w float64) {
+	b.TS = append(b.TS, t.TS)
+	for c := 0; c < cols; c++ {
+		b.Col[c] = append(b.Col[c], t.Cols[c])
+	}
+	b.W = append(b.W, w)
+}
+
+// RowTuple gathers row i over the first cols lanes into t; remaining
+// columns are zeroed.
+func (b *TupleBlock) RowTuple(t *Tuple, i, cols int) {
+	*t = Tuple{TS: b.TS[i]}
+	for c := 0; c < cols; c++ {
+		t.Cols[c] = b.Col[c][i]
+	}
+}
+
+// BlockGenerator is the bulk generation path: a source that can fill
+// whole blocks, one column lane at a time per row, without staging each
+// tuple through a Tuple value. Rows [from, to) must be filled in
+// ascending row order with the generator's per-row draw order identical
+// to repeated Next calls, so batched and tuple-at-a-time execution stay
+// byte-identical. The TS lane is pre-filled by the caller.
+//
+// Generators that do not implement BlockGenerator keep working: the
+// router falls back to a per-row Next shim.
+type BlockGenerator interface {
+	Generator
+	NextBlock(b *TupleBlock, from, to int)
+}

@@ -95,16 +95,40 @@ func New(cfg Config) (*workload.Workload, error) {
 	return w, w.Validate()
 }
 
+// gen implements engine.BlockGenerator: NextBlock makes the same
+// per-row draws as Next in ascending row order, writing lanes directly,
+// so batched and tuple-at-a-time execution stay byte-identical.
+type gen struct {
+	cfg Config
+	rng *rand.Rand
+}
+
 func newGen(cfg Config, task int) engine.Generator {
-	rng := rand.New(rand.NewSource(int64(task)*2654435761 + 3))
-	return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
-		t.Cols[ColJobID] = skewPick(rng, cfg.Jobs, cfg.Skew)
-		t.Cols[ColMachineID] = skewPick(rng, cfg.Machines, cfg.Skew)
-		t.Cols[ColEventType] = rng.Int63n(6)
-		t.Cols[ColPriority] = rng.Int63n(12)
-		t.Cols[ColCPU] = 10 + rng.Int63n(4000)
-		t.Cols[ColMem] = 16 + rng.Int63n(16384)
-	})
+	return &gen{cfg: cfg, rng: rand.New(rand.NewSource(int64(task)*2654435761 + 3))}
+}
+
+func (g *gen) Next(t *engine.Tuple, ts vtime.Time) {
+	cfg, rng := &g.cfg, g.rng
+	t.Cols[ColJobID] = skewPick(rng, cfg.Jobs, cfg.Skew)
+	t.Cols[ColMachineID] = skewPick(rng, cfg.Machines, cfg.Skew)
+	t.Cols[ColEventType] = rng.Int63n(6)
+	t.Cols[ColPriority] = rng.Int63n(12)
+	t.Cols[ColCPU] = 10 + rng.Int63n(4000)
+	t.Cols[ColMem] = 16 + rng.Int63n(16384)
+}
+
+func (g *gen) NextBlock(b *engine.TupleBlock, from, to int) {
+	cfg, rng := &g.cfg, g.rng
+	jobs, machines := b.Col[ColJobID], b.Col[ColMachineID]
+	events, prio, cpu, mem := b.Col[ColEventType], b.Col[ColPriority], b.Col[ColCPU], b.Col[ColMem]
+	for r := from; r < to; r++ {
+		jobs[r] = skewPick(rng, cfg.Jobs, cfg.Skew)
+		machines[r] = skewPick(rng, cfg.Machines, cfg.Skew)
+		events[r] = rng.Int63n(6)
+		prio[r] = rng.Int63n(12)
+		cpu[r] = 10 + rng.Int63n(4000)
+		mem[r] = 16 + rng.Int63n(16384)
+	}
 }
 
 func skewPick(rng *rand.Rand, n int64, skew float64) int64 {

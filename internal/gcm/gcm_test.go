@@ -69,3 +69,30 @@ func TestGeneratorsInDomain(t *testing.T) {
 		}
 	}
 }
+
+// TestBlockGeneratorMatchesRowPath pins the engine.BlockGenerator
+// contract: NextBlock must consume the RNG exactly like repeated Next
+// calls, so batched and tuple-at-a-time execution produce
+// byte-identical streams.
+func TestBlockGeneratorMatchesRowPath(t *testing.T) {
+	cfg := DefaultConfig()
+	bulk, rowwise := newGen(cfg, 2), newGen(cfg, 2)
+	bg, ok := bulk.(engine.BlockGenerator)
+	if !ok {
+		t.Fatal("generator does not implement engine.BlockGenerator")
+	}
+	const n = 96
+	var blk engine.TupleBlock
+	blk.Resize(n, 6)
+	bg.NextBlock(&blk, 0, 29)
+	bg.NextBlock(&blk, 29, n)
+	var tu engine.Tuple
+	for r := 0; r < n; r++ {
+		rowwise.Next(&tu, blk.TS[r])
+		for c := 0; c < 6; c++ {
+			if blk.Col[c][r] != tu.Cols[c] {
+				t.Fatalf("row %d col %d: block %d, rowwise %d", r, c, blk.Col[c][r], tu.Cols[c])
+			}
+		}
+	}
+}

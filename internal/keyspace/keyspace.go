@@ -30,6 +30,7 @@ const NoPartition PartitionID = -1
 // one of NumGroups groups; a Space is immutable after creation.
 type Space struct {
 	numGroups int
+	mask      uint64 // numGroups-1 when a power of two >1, else 0
 }
 
 // NewSpace returns a Space with n key groups. n must be positive.
@@ -37,7 +38,11 @@ func NewSpace(n int) Space {
 	if n <= 0 {
 		panic(fmt.Sprintf("keyspace: non-positive group count %d", n))
 	}
-	return Space{numGroups: n}
+	s := Space{numGroups: n}
+	if n > 1 && n&(n-1) == 0 {
+		s.mask = uint64(n - 1)
+	}
+	return s
 }
 
 // NumGroups reports the number of key groups in the space.
@@ -46,9 +51,40 @@ func (s Space) NumGroups() int { return s.numGroups }
 // GroupOf maps a key to its key group. The key is first mixed with a
 // finalizer so that low-entropy keys (sequential IDs, small enums)
 // spread across groups, then folded modulo the group count — the same
-// construction Flink uses for its key-group index.
+// construction Flink uses for its key-group index. Power-of-two group
+// counts (the default) take a mask instead of the hardware divide; the
+// result is bit-identical since the modulus is unsigned.
 func (s Space) GroupOf(key uint64) GroupID {
-	return GroupID(Mix64(key) % uint64(s.numGroups))
+	h := Mix64(key)
+	if s.mask != 0 {
+		return GroupID(h & s.mask)
+	}
+	return GroupID(h % uint64(s.numGroups))
+}
+
+// Mask exposes the power-of-two fast-path mask: numGroups-1 when the
+// group count is a power of two >1, else 0. A caller whose per-row loop
+// already touches every key can fold `Mix64(key) & Mask()` inline
+// (bit-identical to GroupOf) instead of materializing a group lane via
+// GroupsOfKeys; on Mask() == 0 it must fall back to the block form.
+func (s Space) Mask() uint64 { return s.mask }
+
+// GroupsOfKeys folds a slice of keys into group indexes — the block
+// form of GroupOf for columnar routing passes. Keeping the hash in its
+// own tight loop lets iterations pipeline instead of serializing behind
+// the mixer's latency chain inside a larger loop body.
+func (s Space) GroupsOfKeys(keys []uint64, out []int32) {
+	if s.mask != 0 {
+		m := s.mask
+		for i, k := range keys {
+			out[i] = int32(Mix64(k) & m)
+		}
+		return
+	}
+	n := uint64(s.numGroups)
+	for i, k := range keys {
+		out[i] = int32(Mix64(k) % n)
+	}
 }
 
 // Mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit mixing

@@ -225,43 +225,115 @@ func zipfPick(rng *rand.Rand, n int64, skew, hotFrac float64, hotKeys int64, ts 
 	return k
 }
 
+// The generators implement engine.BlockGenerator: NextBlock runs the
+// same per-row draws as Next in ascending row order, writing column
+// lanes directly, so batched and tuple-at-a-time execution consume the
+// RNG identically and produce byte-identical streams. Drift reads the
+// pre-filled TS lane.
+
+type lineitemGen struct {
+	cfg Config
+	d   domains
+	rng *rand.Rand
+}
+
 func newLineitemGen(cfg Config, d domains, task int) engine.Generator {
-	rng := rand.New(rand.NewSource(int64(task)*104729 + 7))
-	return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
-		t.Cols[LOrderKey] = zipfPick(rng, d.orders, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
-		t.Cols[LPartKey] = zipfPick(rng, d.parts, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
-		t.Cols[LSuppKey] = zipfPick(rng, d.supps, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
-		t.Cols[LQuantity] = 1 + rng.Int63n(50)
-		t.Cols[LExtPrice] = 100 + rng.Int63n(9999900)
-		t.Cols[LDiscount] = rng.Int63n(11)
-		t.Cols[LTax] = rng.Int63n(9)
-		t.Cols[LReturnFlag] = rng.Int63n(3)
-		t.Cols[LLineStatus] = rng.Int63n(2)
-		t.Cols[LShipMode] = rng.Int63n(7)
-		t.Cols[LBrand] = rng.Int63n(25)
-	})
+	return &lineitemGen{cfg: cfg, d: d, rng: rand.New(rand.NewSource(int64(task)*104729 + 7))}
+}
+
+func (g *lineitemGen) Next(t *engine.Tuple, ts vtime.Time) {
+	cfg, d, rng := &g.cfg, g.d, g.rng
+	t.Cols[LOrderKey] = zipfPick(rng, d.orders, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+	t.Cols[LPartKey] = zipfPick(rng, d.parts, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+	t.Cols[LSuppKey] = zipfPick(rng, d.supps, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+	t.Cols[LQuantity] = 1 + rng.Int63n(50)
+	t.Cols[LExtPrice] = 100 + rng.Int63n(9999900)
+	t.Cols[LDiscount] = rng.Int63n(11)
+	t.Cols[LTax] = rng.Int63n(9)
+	t.Cols[LReturnFlag] = rng.Int63n(3)
+	t.Cols[LLineStatus] = rng.Int63n(2)
+	t.Cols[LShipMode] = rng.Int63n(7)
+	t.Cols[LBrand] = rng.Int63n(25)
+}
+
+func (g *lineitemGen) NextBlock(b *engine.TupleBlock, from, to int) {
+	cfg, d, rng := &g.cfg, g.d, g.rng
+	for r := from; r < to; r++ {
+		ts := b.TS[r]
+		b.Col[LOrderKey][r] = zipfPick(rng, d.orders, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+		b.Col[LPartKey][r] = zipfPick(rng, d.parts, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+		b.Col[LSuppKey][r] = zipfPick(rng, d.supps, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+		b.Col[LQuantity][r] = 1 + rng.Int63n(50)
+		b.Col[LExtPrice][r] = 100 + rng.Int63n(9999900)
+		b.Col[LDiscount][r] = rng.Int63n(11)
+		b.Col[LTax][r] = rng.Int63n(9)
+		b.Col[LReturnFlag][r] = rng.Int63n(3)
+		b.Col[LLineStatus][r] = rng.Int63n(2)
+		b.Col[LShipMode][r] = rng.Int63n(7)
+		b.Col[LBrand][r] = rng.Int63n(25)
+	}
+}
+
+type ordersGen struct {
+	cfg Config
+	d   domains
+	rng *rand.Rand
 }
 
 func newOrdersGen(cfg Config, d domains, task int) engine.Generator {
-	rng := rand.New(rand.NewSource(int64(task)*104729 + 11))
-	return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
-		t.Cols[OOrderKey] = zipfPick(rng, d.orders, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
-		t.Cols[OCustKey] = zipfPick(rng, d.custs, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
-		t.Cols[OOrderStatus] = rng.Int63n(3)
-		t.Cols[OTotalPrice] = 1000 + rng.Int63n(50000000)
-		t.Cols[OOrderPriority] = rng.Int63n(5)
-		t.Cols[OShipPriority] = rng.Int63n(2)
-	})
+	return &ordersGen{cfg: cfg, d: d, rng: rand.New(rand.NewSource(int64(task)*104729 + 11))}
+}
+
+func (g *ordersGen) Next(t *engine.Tuple, ts vtime.Time) {
+	cfg, d, rng := &g.cfg, g.d, g.rng
+	t.Cols[OOrderKey] = zipfPick(rng, d.orders, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+	t.Cols[OCustKey] = zipfPick(rng, d.custs, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+	t.Cols[OOrderStatus] = rng.Int63n(3)
+	t.Cols[OTotalPrice] = 1000 + rng.Int63n(50000000)
+	t.Cols[OOrderPriority] = rng.Int63n(5)
+	t.Cols[OShipPriority] = rng.Int63n(2)
+}
+
+func (g *ordersGen) NextBlock(b *engine.TupleBlock, from, to int) {
+	cfg, d, rng := &g.cfg, g.d, g.rng
+	for r := from; r < to; r++ {
+		ts := b.TS[r]
+		b.Col[OOrderKey][r] = zipfPick(rng, d.orders, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+		b.Col[OCustKey][r] = zipfPick(rng, d.custs, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+		b.Col[OOrderStatus][r] = rng.Int63n(3)
+		b.Col[OTotalPrice][r] = 1000 + rng.Int63n(50000000)
+		b.Col[OOrderPriority][r] = rng.Int63n(5)
+		b.Col[OShipPriority][r] = rng.Int63n(2)
+	}
+}
+
+type customerGen struct {
+	cfg Config
+	d   domains
+	rng *rand.Rand
 }
 
 func newCustomerGen(cfg Config, d domains, task int) engine.Generator {
-	rng := rand.New(rand.NewSource(int64(task)*104729 + 13))
-	return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
-		t.Cols[CCustKey] = zipfPick(rng, d.custs, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
-		t.Cols[CNationKey] = rng.Int63n(25)
-		t.Cols[CMktSegment] = rng.Int63n(5)
-		t.Cols[CAcctBal] = rng.Int63n(1000000)
-	})
+	return &customerGen{cfg: cfg, d: d, rng: rand.New(rand.NewSource(int64(task)*104729 + 13))}
+}
+
+func (g *customerGen) Next(t *engine.Tuple, ts vtime.Time) {
+	cfg, d, rng := &g.cfg, g.d, g.rng
+	t.Cols[CCustKey] = zipfPick(rng, d.custs, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+	t.Cols[CNationKey] = rng.Int63n(25)
+	t.Cols[CMktSegment] = rng.Int63n(5)
+	t.Cols[CAcctBal] = rng.Int63n(1000000)
+}
+
+func (g *customerGen) NextBlock(b *engine.TupleBlock, from, to int) {
+	cfg, d, rng := &g.cfg, g.d, g.rng
+	for r := from; r < to; r++ {
+		ts := b.TS[r]
+		b.Col[CCustKey][r] = zipfPick(rng, d.custs, cfg.Skew, cfg.HotFraction, cfg.HotKeys, ts, cfg.DriftPeriod)
+		b.Col[CNationKey][r] = rng.Int63n(25)
+		b.Col[CMktSegment][r] = rng.Int63n(5)
+		b.Col[CAcctBal][r] = rng.Int63n(1000000)
+	}
 }
 
 // Query returns the streaming form of TPC-H query qn over the given

@@ -221,3 +221,44 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatal("unknown query accepted")
 	}
 }
+
+// blockEquivalence drives a generator's bulk path and a twin's per-row
+// path over the same timestamps and asserts identical lanes — the
+// contract engine.BlockGenerator demands (same RNG draw order, drift
+// read from the TS lane).
+func blockEquivalence(t *testing.T, mk func() engine.Generator, cols int, step vtime.Duration) {
+	t.Helper()
+	bulk, rowwise := mk(), mk()
+	bg, ok := bulk.(engine.BlockGenerator)
+	if !ok {
+		t.Fatal("generator does not implement engine.BlockGenerator")
+	}
+	const n = 96
+	var blk engine.TupleBlock
+	blk.Resize(n, cols)
+	for r := 0; r < n; r++ {
+		blk.TS[r] = vtime.Time(vtime.Duration(r) * step)
+	}
+	// Fill in two uneven spans to exercise the [from, to) bounds.
+	bg.NextBlock(&blk, 0, 37)
+	bg.NextBlock(&blk, 37, n)
+	var tu engine.Tuple
+	for r := 0; r < n; r++ {
+		rowwise.Next(&tu, blk.TS[r])
+		for c := 0; c < cols; c++ {
+			if blk.Col[c][r] != tu.Cols[c] {
+				t.Fatalf("row %d col %d: block %d, rowwise %d", r, c, blk.Col[c][r], tu.Cols[c])
+			}
+		}
+	}
+}
+
+func TestBlockGeneratorsMatchRowPath(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DriftPeriod = 3 * vtime.Second // make NextBlock read the TS lane
+	d := newDomains(cfg.Scale)
+	step := 100 * vtime.Millisecond
+	blockEquivalence(t, func() engine.Generator { return newLineitemGen(cfg, d, 1) }, 11, step)
+	blockEquivalence(t, func() engine.Generator { return newOrdersGen(cfg, d, 2) }, 6, step)
+	blockEquivalence(t, func() engine.Generator { return newCustomerGen(cfg, d, 3) }, 4, step)
+}

@@ -51,4 +51,7 @@ echo "== go test -fuzz (smoke)"
 go test -run '^$' -fuzz FuzzSubsetRemap -fuzztime 10s ./internal/keyspace/
 go test -run '^$' -fuzz FuzzDecodeInstance -fuzztime 10s ./internal/mip/
 
+echo "== bench compare (engine_step regression gate)"
+scripts/bench_compare.sh
+
 echo "CI OK"
