@@ -35,26 +35,31 @@ import (
 	"os"
 
 	"saspar/internal/bench"
+	"saspar/internal/cliflags"
 )
 
 func main() {
+	var cf cliflags.Common
 	full := flag.Bool("full", false, "run at paper scale (slow)")
 	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml,recovery,ckpt-recovery)")
-	workers := flag.Int("workers", 0, "run-matrix pool size (0 = SASPAR_PARALLEL env, then GOMAXPROCS)")
-	shards := flag.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks; output is identical at any value)")
-	batch := flag.Int("batch", 0, "generation block size (0 = engine default of 64, 1 = tuple-at-a-time; output is identical at any value)")
 	benchJSON := flag.String("bench-json", "", "write a performance snapshot to this file and exit")
 	benchCompare := flag.String("bench-compare", "", "compare current engine_step cost against this committed BENCH_*.json and exit non-zero on regression")
 	benchTol := flag.Float64("bench-tolerance", 25, "ns/op regression tolerance for -bench-compare, percent")
+	cf.Register(flag.CommandLine)
+	cf.RegisterWorkers(flag.CommandLine)
 	flag.Parse()
+	if err := cf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
 
 	sc := bench.Quick()
 	if *full {
 		sc = bench.Paper()
 	}
-	sc.Workers = *workers
-	sc.Shards = *shards
-	sc.Batch = *batch
+	sc.Workers = cf.Workers
+	sc.Shards = cf.Shards
+	sc.Batch = cf.Batch
 
 	if *benchCompare != "" {
 		if err := compareBench(sc, *benchCompare, *benchTol); err != nil {

@@ -1,5 +1,5 @@
 // Command sasparctl drives the simulated cluster interactively. It has
-// two subcommands:
+// six subcommands:
 //
 //	sasparctl run      — benchmark one workload against one SUT and
 //	                     print the paper's metrics (the single-cell
@@ -15,6 +15,13 @@
 //	                     scripted crash) and list the snapshot store:
 //	                     per-checkpoint id, kind, barrier-to-alignment
 //	                     time, groups, and modelled bytes
+//	sasparctl serve    — wall-clock serving mode: listen for real
+//	                     tuples (binary framing on -addr, JSON on
+//	                     -http) and drive the engine with them; -http
+//	                     also serves /report and Prometheus /metrics
+//	sasparctl blast    — loopback load generator: stream
+//	                     workload-generated blocks at a serve instance
+//	                     as fast as it accepts and report Mtuples/sec
 //
 // Invoking sasparctl with bare flags (no subcommand) behaves as "run",
 // keeping older scripts working.
@@ -33,6 +40,12 @@
 //	sasparctl checkpoints [-interval D] [-retention N] [-incremental]
 //	          [-duration D] [-crash] [-dir PATH] [-seed S] [-shards N]
 //	          [-batch N]
+//	sasparctl serve [-addr HOST:PORT] [-http HOST:PORT] [-workload W]
+//	          [-queries N] [-nodes N] [-groups N] [-tasks N] [-for D]
+//	          [-ring N] [-blockrows N] [-seed S] [-shards N] [-batch N]
+//	sasparctl blast -addr HOST:PORT [-workload W] [-queries N]
+//	          [-tasks N] [-rows N] [-for D] [-blockrows N]
+//	          [-report URL]
 //
 // -shards parallelizes each run's engine ticks across that many
 // workers (intra-run sharding); -batch sets the generation block size
@@ -44,18 +57,24 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"saspar/internal/bench"
 	"saspar/internal/checkpoint"
+	"saspar/internal/cliflags"
 	"saspar/internal/core"
 	"saspar/internal/driver"
 	"saspar/internal/engine"
 	"saspar/internal/faults"
 	"saspar/internal/obs"
 	"saspar/internal/optimizer"
+	"saspar/internal/runtime"
 	"saspar/internal/spe"
 	"saspar/internal/vtime"
 	"saspar/internal/workload"
@@ -81,8 +100,157 @@ func main() {
 		faultsCmd(args)
 	case "checkpoints":
 		checkpointsCmd(args)
+	case "serve":
+		serveCmd(args)
+	case "blast":
+		blastCmd(args)
 	default:
-		fail(fmt.Errorf("unknown subcommand %q (try run, inspect, faults, checkpoints)", cmd))
+		fail(fmt.Errorf("unknown subcommand %q (try run, inspect, faults, checkpoints, serve, blast)", cmd))
+	}
+}
+
+// serveCmd runs the wall-clock serving loop: the same engine + SASPAR
+// stack as run/inspect, but fed by network ingest instead of
+// synthesized tuples. TupleWeight is 1 — every served tuple is a real
+// one.
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var cf cliflags.Common
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7420", "TCP listen address for binary-framing ingest (empty = disabled)")
+		httpAddr  = fs.String("http", "127.0.0.1:7421", "HTTP listen address for /ingest, /report, /metrics (empty = disabled)")
+		wlName    = fs.String("workload", "gcm", "workload schema and queries: "+strings.Join(workload.Names(), ", "))
+		queries   = fs.Int("queries", 2, "query count")
+		nodes     = fs.Int("nodes", 4, "cluster nodes")
+		groups    = fs.Int("groups", 32, "key groups")
+		tasks     = fs.Int("tasks", 1, "source tasks per stream (= ingest rings per stream)")
+		runFor    = fs.Duration("for", 0, "wall-clock serving duration (0 = until interrupt)")
+		ring      = fs.Int("ring", 64, "ingest ring capacity, blocks per (stream, task)")
+		blockrows = fs.Int("blockrows", 4096, "rows per ingest block")
+	)
+	cf.Register(fs)
+	cf.RegisterSeed(fs)
+	fs.Parse(args)
+	if err := cf.Validate(); err != nil {
+		fail(err)
+	}
+
+	w, err := workload.Open(*wlName, workload.Options{
+		Queries: *queries,
+		Window:  engine.WindowSpec{Range: 4 * vtime.Second, Slide: 4 * vtime.Second},
+		Rate:    1e6, // placeholder past validation; serving ignores rates
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	engCfg := engine.DefaultConfig()
+	engCfg.Nodes = *nodes
+	engCfg.NumPartitions = 2 * *nodes
+	engCfg.NumGroups = *groups
+	engCfg.SourceTasks = *tasks
+	engCfg.TupleWeight = 1
+	// Serving answers queries with concrete window state — metered
+	// approximations are for the virtual-time experiments only.
+	engCfg.ExactWindows = true
+	cf.Apply(&engCfg)
+
+	coreCfg := core.DefaultConfig()
+	coreCfg.TriggerInterval = 8 * vtime.Second
+	coreCfg.Opt = optimizer.Options{Timeout: 200e6}
+	coreCfg.Obs = obs.New()
+
+	srv, err := runtime.NewServer(runtime.Config{
+		Workload:   w,
+		Engine:     engCfg,
+		Core:       coreCfg,
+		Addr:       *addr,
+		HTTPAddr:   *httpAddr,
+		RingBlocks: *ring,
+		BlockRows:  *blockrows,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if err := srv.Start(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("serving %s (%d queries) — tcp %s  http %s\n", w.Name, len(w.Queries), srv.Addr(), srv.HTTPAddr())
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	if *runFor > 0 {
+		select {
+		case <-time.After(*runFor):
+		case <-interrupt:
+		}
+	} else {
+		<-interrupt
+	}
+	srv.Stop()
+
+	rep := srv.Report()
+	fmt.Printf("served       %d rows in %.1fs wall (%.2f Mtuples/s), virtual clock %s\n",
+		rep.IngestedRows, rep.UptimeSec, rep.RowsPerSec/1e6, rep.VirtualTime)
+	fmt.Printf("ingest       %0.f blocks, %.0f bounced off full rings, %.0f recycled\n",
+		rep.IngestBlocks, rep.RingFull, rep.Recycled)
+	fmt.Printf("optimizer    %d triggers, %d plans applied\n", rep.Triggers, rep.Applied)
+	for _, q := range rep.Queries {
+		fmt.Printf("query        %-20s %d results\n", q.ID, q.Results)
+	}
+}
+
+// blastCmd floods a serve instance over loopback with
+// workload-generated blocks and reports the sustained ingest rate.
+func blastCmd(args []string) {
+	fs := flag.NewFlagSet("blast", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7420", "serve instance's TCP ingest address")
+		wlName    = fs.String("workload", "gcm", "workload supplying the generators (must match the served schema)")
+		queries   = fs.Int("queries", 2, "query count (schema selection only)")
+		tasks     = fs.Int("tasks", 1, "connections per stream (<= the server's -tasks)")
+		rows      = fs.Int64("rows", 0, "stop after this many rows in total (0 = run for -for)")
+		runFor    = fs.Duration("for", 2*time.Second, "wall-clock duration when -rows is 0")
+		blockrows = fs.Int("blockrows", 4096, "rows per frame")
+		report    = fs.String("report", "", "after blasting, fetch this serve /report URL and print it")
+	)
+	fs.Parse(args)
+
+	w, err := workload.Open(*wlName, workload.Options{
+		Queries: *queries,
+		Window:  engine.WindowSpec{Range: 4 * vtime.Second, Slide: 4 * vtime.Second},
+		Rate:    1e6,
+	})
+	if err != nil {
+		fail(err)
+	}
+	res, err := runtime.Blast(runtime.BlastConfig{
+		Addr:      *addr,
+		Workload:  w,
+		Tasks:     *tasks,
+		Rows:      *rows,
+		Duration:  *runFor,
+		BlockRows: *blockrows,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("blast        %d rows in %v (%.2f Mtuples/s accepted)\n",
+		res.Rows, res.Elapsed.Round(time.Millisecond), res.MtuplesPerSec)
+
+	if *report != "" {
+		// Give the serve loop a moment to drain what TCP already buffered.
+		time.Sleep(300 * time.Millisecond)
+		resp, err := http.Get(*report)
+		if err != nil {
+			fail(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("report       %s\n", strings.TrimSpace(string(body)))
 	}
 }
 
@@ -92,24 +260,27 @@ func main() {
 // dip while degraded.
 func faultsCmd(args []string) {
 	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	var cf cliflags.Common
 	var (
-		seeds   = fs.Int("seeds", 3, "independent crash scenarios to run")
-		workers = fs.Int("workers", 0, "run-matrix pool size (0 = SASPAR_PARALLEL env, then GOMAXPROCS)")
-		full    = fs.Bool("full", false, "run at paper scale (slow)")
-		nodes   = fs.Int("nodes", 0, "override cluster nodes (0 = scale default)")
-		rate    = fs.Float64("rate", 0, "override offered rate, tuples/s (0 = scale default)")
-		shards  = fs.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks)")
-		batch   = fs.Int("batch", 0, "generation block size (0 = engine default of 64, 1 = tuple-at-a-time)")
+		seeds = fs.Int("seeds", 3, "independent crash scenarios to run")
+		full  = fs.Bool("full", false, "run at paper scale (slow)")
+		nodes = fs.Int("nodes", 0, "override cluster nodes (0 = scale default)")
+		rate  = fs.Float64("rate", 0, "override offered rate, tuples/s (0 = scale default)")
 	)
+	cf.Register(fs)
+	cf.RegisterWorkers(fs)
 	fs.Parse(args)
+	if err := cf.Validate(); err != nil {
+		fail(err)
+	}
 
 	sc := bench.Quick()
 	if *full {
 		sc = bench.Paper()
 	}
-	sc.Workers = *workers
-	sc.Shards = *shards
-	sc.Batch = *batch
+	sc.Workers = cf.Workers
+	sc.Shards = cf.Shards
+	sc.Batch = cf.Batch
 	if *nodes > 0 {
 		sc.Nodes = *nodes
 	}
@@ -139,6 +310,7 @@ func faultsCmd(args []string) {
 // restore the recovery loop performed.
 func checkpointsCmd(args []string) {
 	fs := flag.NewFlagSet("checkpoints", flag.ExitOnError)
+	var cf cliflags.Common
 	var (
 		wlName      = fs.String("workload", "gcm", "workload: "+strings.Join(workload.Names(), ", "))
 		queries     = fs.Int("queries", 2, "query count")
@@ -151,11 +323,13 @@ func checkpointsCmd(args []string) {
 		incremental = fs.Bool("incremental", false, "store per-key-group deltas instead of full snapshots")
 		crash       = fs.Bool("crash", false, "script a node crash mid-run and show the restore")
 		dir         = fs.String("dir", "", "persist snapshots to this directory (default: in-memory)")
-		seed        = fs.Int64("seed", 1, "simulation seed")
-		shards      = fs.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks)")
-		batch       = fs.Int("batch", 0, "generation block size (0 = engine default of 64, 1 = tuple-at-a-time)")
 	)
+	cf.Register(fs)
+	cf.RegisterSeed(fs)
 	fs.Parse(args)
+	if err := cf.Validate(); err != nil {
+		fail(err)
+	}
 
 	// A zero interval means "checkpointing off" to core.Config.Validate,
 	// which would leave the coordinator nil and this command pointless.
@@ -179,9 +353,7 @@ func checkpointsCmd(args []string) {
 	engCfg.SourceTasks = 2
 	engCfg.ExactWindows = false
 	engCfg.TupleWeight = 1000
-	engCfg.Seed = *seed
-	engCfg.Shards = *shards
-	engCfg.BatchSize = *batch
+	cf.Apply(&engCfg)
 
 	coreCfg := core.DefaultConfig()
 	coreCfg.TriggerInterval = 8 * vtime.Second
@@ -201,7 +373,7 @@ func checkpointsCmd(args []string) {
 	}
 	if *crash {
 		scenario, err := faults.Generate(faults.Config{
-			Nodes: *nodes, Seed: *seed,
+			Nodes: *nodes, Seed: cf.Seed,
 			Crashes: 1,
 			Start:   *duration / 2, Span: 2 * vtime.Second,
 		})
@@ -285,6 +457,7 @@ func checkpointsCmd(args []string) {
 
 func runCmd(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var cf cliflags.Common
 	var (
 		wlName     = fs.String("workload", "tpch", "workload: "+strings.Join(workload.Names(), ", "))
 		sutName    = fs.String("sut", "SASPAR+Flink", "system under test, e.g. Flink, SASPAR+AJoin")
@@ -297,11 +470,13 @@ func runCmd(args []string) {
 		measure    = fs.Duration("measure", 20*vtime.Second, "virtual measurement window")
 		drift      = fs.Duration("drift", 0, "hot-key drift period (0 = stationary)")
 		reps       = fs.Int("reps", 1, "repetitions to average")
-		seed       = fs.Int64("seed", 1, "simulation seed")
-		shards     = fs.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks)")
-		batch      = fs.Int("batch", 0, "generation block size (0 = engine default of 64, 1 = tuple-at-a-time)")
 	)
+	cf.Register(fs)
+	cf.RegisterSeed(fs)
 	fs.Parse(args)
+	if err := cf.Validate(); err != nil {
+		fail(err)
+	}
 
 	sut, err := parseSUT(*sutName)
 	if err != nil {
@@ -323,9 +498,7 @@ func runCmd(args []string) {
 	engCfg.NumGroups = *groups
 	engCfg.SourceTasks = *nodes
 	engCfg.TupleWeight = 1000
-	engCfg.Seed = *seed
-	engCfg.Shards = *shards
-	engCfg.BatchSize = *batch
+	cf.Apply(&engCfg)
 
 	coreCfg := core.DefaultConfig()
 	coreCfg.TriggerInterval = 8 * vtime.Second
@@ -359,6 +532,7 @@ func runCmd(args []string) {
 // the structured event trace, and the Prometheus-format metric dump.
 func inspectCmd(args []string) {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	var cf cliflags.Common
 	var (
 		wlName   = fs.String("workload", "ajoin", "workload: "+strings.Join(workload.Names(), ", "))
 		queries  = fs.Int("queries", 8, "query count")
@@ -368,11 +542,13 @@ func inspectCmd(args []string) {
 		duration = fs.Duration("duration", 20*vtime.Second, "virtual run time")
 		drift    = fs.Duration("drift", 8*vtime.Second, "hot-key drift period (0 = stationary)")
 		events   = fs.Int("events", 40, "trace events to print (0 = all)")
-		seed     = fs.Int64("seed", 1, "simulation seed")
-		shards   = fs.Int("shards", 0, "per-run engine shard workers (0/1 = single-threaded ticks)")
-		batch    = fs.Int("batch", 0, "generation block size (0 = engine default of 64, 1 = tuple-at-a-time)")
 	)
+	cf.Register(fs)
+	cf.RegisterSeed(fs)
 	fs.Parse(args)
+	if err := cf.Validate(); err != nil {
+		fail(err)
+	}
 
 	w, err := workload.Open(*wlName, workload.Options{
 		Queries: *queries,
@@ -389,9 +565,7 @@ func inspectCmd(args []string) {
 	engCfg.NumPartitions = 2 * *nodes
 	engCfg.NumGroups = *groups
 	engCfg.SourceTasks = *nodes
-	engCfg.Seed = *seed
-	engCfg.Shards = *shards
-	engCfg.BatchSize = *batch
+	cf.Apply(&engCfg)
 
 	coreCfg := core.DefaultConfig()
 	coreCfg.TriggerInterval = 4 * vtime.Second

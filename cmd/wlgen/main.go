@@ -45,21 +45,24 @@ func main() {
 			os.Exit(1)
 		}
 		def := w.Streams[*stream]
-		gen := def.NewGenerator(0)
-		var t engine.Tuple
+		src := def.NewSource(0)
+		var blk engine.TupleBlock
+		blk.Resize(*sample, def.NumCols)
+		for i := range blk.TS {
+			blk.TS[i] = vtime.Time(i) * vtime.Time(vtime.Millisecond)
+		}
+		src.NextBlock(&blk, 0, *sample)
 		cols := make([]string, def.NumCols)
 		for i := range cols {
 			cols[i] = fmt.Sprintf("c%d", i)
 		}
 		fmt.Printf("ts,%s\n", strings.Join(cols, ","))
 		for i := 0; i < *sample; i++ {
-			ts := vtime.Time(i) * vtime.Time(vtime.Millisecond)
-			gen.Next(&t, ts)
 			vals := make([]string, def.NumCols)
 			for c := 0; c < def.NumCols; c++ {
-				vals[c] = fmt.Sprintf("%d", t.Cols[c])
+				vals[c] = fmt.Sprintf("%d", blk.Col[c][i])
 			}
-			fmt.Printf("%d,%s\n", int64(ts), strings.Join(vals, ","))
+			fmt.Printf("%d,%s\n", int64(blk.TS[i]), strings.Join(vals, ","))
 		}
 		return
 	}

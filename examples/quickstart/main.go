@@ -21,6 +21,7 @@ import (
 	"saspar/internal/engine"
 	"saspar/internal/optimizer"
 	"saspar/internal/vtime"
+	"saspar/internal/workload"
 )
 
 // PURCHASES(userID, gemPackID, price, ts) / ADS(userID, gemPackID, ts)
@@ -33,13 +34,13 @@ const (
 func purchases() engine.StreamDef {
 	return engine.StreamDef{
 		Name: "purchases", NumCols: 3, BytesPerTuple: 96,
-		NewGenerator: func(task int) engine.Generator {
+		NewSource: func(task int) engine.Source {
 			rng := rand.New(rand.NewSource(int64(task) + 100))
-			return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
+			return workload.RowAdapter(engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
 				t.Cols[colUserID] = rng.Int63n(50000)
 				t.Cols[colGemPack] = rng.Int63n(200)
 				t.Cols[colPrice] = 99 + rng.Int63n(9900)
-			})
+			}))
 		},
 	}
 }
@@ -47,12 +48,12 @@ func purchases() engine.StreamDef {
 func ads() engine.StreamDef {
 	return engine.StreamDef{
 		Name: "ads", NumCols: 2, BytesPerTuple: 72,
-		NewGenerator: func(task int) engine.Generator {
+		NewSource: func(task int) engine.Source {
 			rng := rand.New(rand.NewSource(int64(task) + 200))
-			return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
+			return workload.RowAdapter(engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
 				t.Cols[colUserID] = rng.Int63n(50000)
 				t.Cols[colGemPack] = rng.Int63n(200)
-			})
+			}))
 		},
 	}
 }

@@ -78,7 +78,7 @@ func New(cfg Config) (*workload.Workload, error) {
 		s := s
 		w.Streams = append(w.Streams, engine.StreamDef{
 			Name: fmt.Sprintf("events-%d", s), NumCols: 3, BytesPerTuple: 88,
-			NewGenerator: func(task int) engine.Generator { return newGen(cfg, s, task) },
+			NewSource: func(task int) engine.Source { return newGen(cfg, s, task) },
 		})
 		w.Rates = append(w.Rates, cfg.RatePerStream)
 	}
@@ -105,7 +105,8 @@ func New(cfg Config) (*workload.Workload, error) {
 	return w, w.Validate()
 }
 
-// gen implements engine.BlockGenerator: NextBlock makes the same
+// gen implements engine.Source natively (plus the row-level
+// engine.Generator for tests and CSV sampling): NextBlock makes the same
 // per-row draws as Next in ascending row order (drift reads the
 // pre-filled TS lane), so batched and tuple-at-a-time execution stay
 // byte-identical.
@@ -114,7 +115,7 @@ type gen struct {
 	rng *rand.Rand
 }
 
-func newGen(cfg Config, stream, task int) engine.Generator {
+func newGen(cfg Config, stream, task int) *gen {
 	return &gen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + int64(stream)*6151 + int64(task)*13))}
 }
 

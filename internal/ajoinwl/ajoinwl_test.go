@@ -98,7 +98,7 @@ func TestGeneratorsInDomain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := w.Streams[0].NewGenerator(0)
+	g := w.Streams[0].NewSource(0).(engine.Generator)
 	var tu engine.Tuple
 	for i := 0; i < 1000; i++ {
 		g.Next(&tu, 0)
@@ -111,26 +111,22 @@ func TestGeneratorsInDomain(t *testing.T) {
 	}
 }
 
-// TestBlockGeneratorMatchesRowPath pins the engine.BlockGenerator
-// contract: NextBlock must consume the RNG exactly like repeated Next
-// calls (drift epoch read from the pre-filled TS lane), so batched and
+// TestBlockGeneratorMatchesRowPath pins the engine.Source contract:
+// NextBlock must consume the RNG exactly like repeated Next calls
+// (drift epoch read from the pre-filled TS lane), so batched and
 // tuple-at-a-time execution produce byte-identical streams.
 func TestBlockGeneratorMatchesRowPath(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.DriftPeriod = 2 * vtime.Second
 	bulk, rowwise := newGen(cfg, 1, 0), newGen(cfg, 1, 0)
-	bg, ok := bulk.(engine.BlockGenerator)
-	if !ok {
-		t.Fatal("generator does not implement engine.BlockGenerator")
-	}
 	const n = 96
 	var blk engine.TupleBlock
 	blk.Resize(n, 3)
 	for r := 0; r < n; r++ {
 		blk.TS[r] = vtime.Time(vtime.Duration(r) * 150 * vtime.Millisecond)
 	}
-	bg.NextBlock(&blk, 0, 41)
-	bg.NextBlock(&blk, 41, n)
+	bulk.NextBlock(&blk, 0, 41)
+	bulk.NextBlock(&blk, 41, n)
 	var tu engine.Tuple
 	for r := 0; r < n; r++ {
 		rowwise.Next(&tu, blk.TS[r])

@@ -6,6 +6,7 @@ import (
 	"saspar/internal/engine"
 	"saspar/internal/keyspace"
 	"saspar/internal/vtime"
+	"saspar/internal/workload"
 )
 
 func testEngine(t *testing.T, microBatch bool) *engine.Engine {
@@ -20,13 +21,13 @@ func testEngine(t *testing.T, microBatch bool) *engine.Engine {
 	}
 	streams := []engine.StreamDef{{
 		Name: "s", NumCols: 2, BytesPerTuple: 64,
-		NewGenerator: func(task int) engine.Generator {
+		NewSource: func(task int) engine.Source {
 			i := int64(task * 100)
-			return engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
+			return workload.RowAdapter(engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
 				i++
 				tu.Cols[0] = i % 32
 				tu.Cols[1] = 1
-			})
+			}))
 		},
 	}}
 	queries := []engine.QuerySpec{{

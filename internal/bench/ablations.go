@@ -13,6 +13,7 @@ import (
 	"saspar/internal/parallel"
 	"saspar/internal/stats"
 	"saspar/internal/vtime"
+	"saspar/internal/workload"
 )
 
 // This file holds the design-choice ablations called out in DESIGN.md
@@ -75,13 +76,13 @@ type DedupResult struct {
 func AblationDedup(sc Scale) (*DedupResult, error) {
 	streams := []engine.StreamDef{{
 		Name: "s", NumCols: 2, BytesPerTuple: 100,
-		NewGenerator: func(task int) engine.Generator {
+		NewSource: func(task int) engine.Source {
 			i := int64(task) * 977
-			return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
+			return workload.RowAdapter(engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
 				i++
 				t.Cols[0] = i % 512
 				t.Cols[1] = 1
-			})
+			}))
 		},
 	}}
 	var queries []engine.QuerySpec

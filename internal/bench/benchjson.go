@@ -61,6 +61,13 @@ type BenchReport struct {
 	RunAllParallelSec   float64 `json:"runall_parallel_seconds"`
 	RunAllSpeedup       float64 `json:"runall_speedup"`
 
+	// ServeMtuplesPerSec is the wall-clock serving path end to end:
+	// loopback TCP blast into `sasparctl serve`'s runtime, timed until
+	// the engine claimed every row (internal/bench/serve.go). Absent
+	// from snapshots that predate the serving runtime; the compare gate
+	// ignores it.
+	ServeMtuplesPerSec float64 `json:"serve_mtuples_per_sec,omitempty"`
+
 	Note string `json:"note,omitempty"`
 }
 
@@ -114,14 +121,14 @@ func stepBenchEngine(shared bool, shards, batch int) (*engine.Engine, vtime.Dura
 	cfg.Shared = shared
 	cfg.Shards = shards
 	cfg.BatchSize = batch
-	gen := func(salt int64) func(task int) engine.Generator {
-		return func(task int) engine.Generator {
+	gen := func(salt int64) func(task int) engine.Source {
+		return func(task int) engine.Source {
 			return &blockGen{i: int64(task)*7919 + salt}
 		}
 	}
 	streams := []engine.StreamDef{
-		{Name: "a", NumCols: 3, BytesPerTuple: 120, NewGenerator: gen(1)},
-		{Name: "b", NumCols: 3, BytesPerTuple: 96, NewGenerator: gen(2)},
+		{Name: "a", NumCols: 3, BytesPerTuple: 120, NewSource: gen(1)},
+		{Name: "b", NumCols: 3, BytesPerTuple: 96, NewSource: gen(2)},
 	}
 	win := engine.WindowSpec{Range: 2 * vtime.Second, Slide: 2 * vtime.Second}
 	queries := []engine.QuerySpec{
@@ -223,6 +230,10 @@ func CollectBenchReport(sc Scale) (*BenchReport, error) {
 	}
 
 	if err := measureEngineStep(rep, batch, stepReps); err != nil {
+		return nil, err
+	}
+
+	if err := measureServe(rep, stepReps); err != nil {
 		return nil, err
 	}
 

@@ -7,6 +7,7 @@ import (
 	"saspar/internal/engine"
 	"saspar/internal/keyspace"
 	"saspar/internal/vtime"
+	"saspar/internal/workload"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -143,13 +144,13 @@ func countingEngine(t *testing.T) *engine.Engine {
 	cfg.Tick = 100 * vtime.Millisecond
 	stream := engine.StreamDef{
 		Name: "s", NumCols: 3, BytesPerTuple: 100,
-		NewGenerator: func(task int) engine.Generator {
+		NewSource: func(task int) engine.Source {
 			i := int64(task) * 1009
-			return engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
+			return workload.RowAdapter(engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
 				i++
 				tu.Cols[0] = i % 64
 				tu.Cols[2] = 1
-			})
+			}))
 		},
 	}
 	q := engine.QuerySpec{

@@ -15,18 +15,19 @@ import (
 	"saspar/internal/faults"
 	"saspar/internal/obs"
 	"saspar/internal/vtime"
+	"saspar/internal/workload"
 )
 
 func composeStream() engine.StreamDef {
 	return engine.StreamDef{
 		Name: "s", NumCols: 3, BytesPerTuple: 100,
-		NewGenerator: func(task int) engine.Generator {
+		NewSource: func(task int) engine.Source {
 			i := int64(task) * 1009
-			return engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
+			return workload.RowAdapter(engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
 				i++
 				tu.Cols[0] = i % 64
 				tu.Cols[2] = 1
-			})
+			}))
 		},
 	}
 }

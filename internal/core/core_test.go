@@ -8,6 +8,7 @@ import (
 	"saspar/internal/engine"
 	"saspar/internal/optimizer"
 	"saspar/internal/vtime"
+	"saspar/internal/workload"
 )
 
 // skewedStream produces Zipf-ish keys: a handful of hot entities carry
@@ -16,9 +17,9 @@ import (
 func skewedStream() engine.StreamDef {
 	return engine.StreamDef{
 		Name: "purchases", NumCols: 3, BytesPerTuple: 100,
-		NewGenerator: func(task int) engine.Generator {
+		NewSource: func(task int) engine.Source {
 			i := int64(task) * 7919
-			return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
+			return workload.RowAdapter(engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
 				i++
 				// ~70% of tuples hit 4 hot keys; the rest spread wide.
 				if i%10 < 7 {
@@ -28,7 +29,7 @@ func skewedStream() engine.StreamDef {
 				}
 				t.Cols[1] = t.Cols[0] // correlated second key column
 				t.Cols[2] = 1
-			})
+			}))
 		},
 	}
 }
@@ -297,9 +298,9 @@ func TestDriftTriggerFiresEarly(t *testing.T) {
 	// intervals.
 	drifting := engine.StreamDef{
 		Name: "d", NumCols: 3, BytesPerTuple: 100,
-		NewGenerator: func(task int) engine.Generator {
+		NewSource: func(task int) engine.Source {
 			i := int64(task) * 31
-			return engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
+			return workload.RowAdapter(engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
 				i++
 				epoch := int64(ts) / int64(2*vtime.Second)
 				if i%10 < 7 {
@@ -309,7 +310,7 @@ func TestDriftTriggerFiresEarly(t *testing.T) {
 				}
 				tu.Cols[1] = tu.Cols[0]
 				tu.Cols[2] = 1
-			})
+			}))
 		},
 	}
 	cfg := fastCfg()

@@ -7,6 +7,7 @@ import (
 	"saspar/internal/engine"
 	"saspar/internal/obs"
 	"saspar/internal/vtime"
+	"saspar/internal/workload"
 )
 
 func TestClassifySkip(t *testing.T) {
@@ -125,9 +126,9 @@ func TestSkipClassificationNeverChangesDecisions(t *testing.T) {
 func TestDriftTriggerCooldown(t *testing.T) {
 	drifting := engine.StreamDef{
 		Name: "d", NumCols: 3, BytesPerTuple: 100,
-		NewGenerator: func(task int) engine.Generator {
+		NewSource: func(task int) engine.Source {
 			i := int64(task) * 31
-			return engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
+			return workload.RowAdapter(engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
 				i++
 				epoch := int64(ts) / int64(vtime.Second) // hot set rotates every second
 				if i%10 < 7 {
@@ -137,7 +138,7 @@ func TestDriftTriggerCooldown(t *testing.T) {
 				}
 				tu.Cols[1] = tu.Cols[0]
 				tu.Cols[2] = 1
-			})
+			}))
 		},
 	}
 	cfg := fastCfg()

@@ -16,10 +16,10 @@ import (
 
 // benchGen is the deterministic bench source (key skew comes from the
 // multiplicative hash, not an RNG, so benchmark iterations are identical
-// work). It implements both the scalar Generator and the columnar
-// BlockGenerator with the identical value sequence, so the benchmark
-// measures the native lane path — the per-row shim is covered by the
-// equivalence test in tuple_test.go.
+// work). It implements both the scalar Generator and the block-native
+// Source with the identical value sequence, so the benchmark measures
+// the native lane path — workload.RowAdapter's equivalence is pinned in
+// the workload package.
 type benchGen struct{ i int64 }
 
 func (g *benchGen) Next(t *Tuple, ts vtime.Time) {
@@ -43,14 +43,14 @@ func (g *benchGen) NextBlock(b *TupleBlock, from, to int) {
 
 // benchStreams returns a two-stream definition over the bench source.
 func benchStreams() []StreamDef {
-	gen := func(salt int64) func(task int) Generator {
-		return func(task int) Generator {
+	gen := func(salt int64) func(task int) Source {
+		return func(task int) Source {
 			return &benchGen{i: int64(task)*7919 + salt}
 		}
 	}
 	return []StreamDef{
-		{Name: "a", NumCols: 3, BytesPerTuple: 120, NewGenerator: gen(1)},
-		{Name: "b", NumCols: 3, BytesPerTuple: 96, NewGenerator: gen(2)},
+		{Name: "a", NumCols: 3, BytesPerTuple: 120, NewSource: gen(1)},
+		{Name: "b", NumCols: 3, BytesPerTuple: 96, NewSource: gen(2)},
 	}
 }
 

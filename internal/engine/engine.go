@@ -146,14 +146,9 @@ func New(cfg Config, streams []StreamDef, queries []QuerySpec) (*Engine, error) 
 				stream:   StreamID(si),
 				task:     t,
 				node:     e.placement.SourceNode(ti),
-				gen:      streams[si].NewGenerator(t),
+				src:      streams[si].NewSource(t),
 				rng:      rand.New(rand.NewSource(cfg.Seed + int64(ti)*7919 + 1)),
 				throttle: 1,
-			}
-			// Bulk generation path: generators that can fill whole
-			// columnar blocks skip the per-row Tuple staging.
-			if bg, ok := rt.gen.(BlockGenerator); ok {
-				rt.genBlock = bg
 			}
 			e.tasks = append(e.tasks, rt)
 			ti++
@@ -231,6 +226,22 @@ func (e *Engine) SetStreamRate(s StreamID, tuplesPerSec float64) {
 			rt.rate = per
 		}
 	}
+}
+
+// SetBlockFeed attaches a wall-clock ingest feed to one (stream, task)
+// source: from the next tick on, that router task stops synthesizing
+// rows from its configured rate and instead drains blocks queued on the
+// feed, stamping them with event times spread evenly across each tick.
+// Pass nil to detach and return to rate-driven generation. Must be
+// called from the engine's driving goroutine, like every entry point.
+func (e *Engine) SetBlockFeed(s StreamID, task int, f BlockFeed) error {
+	for _, rt := range e.tasks {
+		if rt.stream == s && rt.task == task {
+			rt.feed = f
+			return nil
+		}
+	}
+	return fmt.Errorf("engine: no source task %d for stream %d", task, s)
 }
 
 // SetSampler installs the statistics sampler: every `every`-th concrete

@@ -9,6 +9,25 @@ import (
 	"saspar/internal/vtime"
 )
 
+// rowSource lifts a per-row Generator to Source for engine-internal
+// tests. The public adapter is workload.RowAdapter — importing it here
+// would cycle (workload imports engine), so the tests carry this twin.
+type rowSource struct {
+	g    Generator
+	cols int
+	shim Tuple
+}
+
+func (s *rowSource) NextBlock(b *TupleBlock, from, to int) {
+	t := &s.shim
+	for r := from; r < to; r++ {
+		s.g.Next(t, b.TS[r])
+		for c := 0; c < s.cols; c++ {
+			b.Col[c][r] = t.Cols[c]
+		}
+	}
+}
+
 // testStream builds a deterministic stream: col0 cycles over `keys`
 // entity IDs, col1 is a correlated second key, col2 is the value 1
 // (so SUM == COUNT and results are easy to predict).
@@ -17,14 +36,14 @@ func testStream(name string, keys int64) StreamDef {
 		Name:          name,
 		NumCols:       3,
 		BytesPerTuple: 100,
-		NewGenerator: func(task int) Generator {
+		NewSource: func(task int) Source {
 			i := int64(task) * 1009
-			return GeneratorFunc(func(t *Tuple, ts vtime.Time) {
+			return &rowSource{cols: 3, g: GeneratorFunc(func(t *Tuple, ts vtime.Time) {
 				i++
 				t.Cols[0] = i % keys
 				t.Cols[1] = (i * 7) % keys
 				t.Cols[2] = 1
-			})
+			})}
 		},
 	}
 }

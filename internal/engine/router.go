@@ -162,11 +162,15 @@ type routerTask struct {
 	stream StreamID
 	task   int
 	node   cluster.NodeID
-	gen    Generator
-	// genBlock is non-nil when gen implements the bulk BlockGenerator
-	// path; otherwise routeTick falls back to a per-row Next shim.
-	genBlock BlockGenerator
-	rng      *rand.Rand
+	src    Source
+	// feed, when non-nil, switches this task from rate-driven synthesis
+	// to wall-clock ingest: routeTick drains blocks queued on the feed
+	// instead of asking src for rows (see SetBlockFeed).
+	feed BlockFeed
+	// fc cursors the external blocks claimed from feed this tick,
+	// re-blocking arbitrary incoming block sizes to the engine's batch.
+	fc  feedCursor
+	rng *rand.Rand
 
 	// rows counts the concrete tuples this task has generated — the raw
 	// row throughput behind the sustained Mtuples/sec benchmark figure.
@@ -245,11 +249,80 @@ type routerTask struct {
 	accCnt  []int64 // per class: rows accepted this tick
 	dupOf   []int32 // per class: earlier identical-key class, or -1
 
-	// shim is the Tuple staging cell of the per-row generator fallback
-	// and the filter prepass. A field, not a local: its address crosses
-	// the Generator interface, and a local would escape to the heap once
-	// per block.
+	// shim is the Tuple staging cell of the filter prepass. A field, not
+	// a local: its address crosses the filter's function-value boundary,
+	// and a local would escape to the heap once per block.
 	shim Tuple
+}
+
+// maxFeedRowsPerTick bounds the rows a wall-clock feed task claims per
+// tick (soft: the last claimed block may overshoot). It matches the
+// maximum engine batch size, so one tick's claim is at most a handful
+// of engine blocks at any configured BatchSize.
+const maxFeedRowsPerTick = 1 << 16
+
+// feedCursor adapts the blocks claimed from a BlockFeed this tick to
+// the Source interface: NextBlock copies the next rows in arrival order
+// into the engine's generation block, so the router's batched loop is
+// identical for synthesized and served rows. The TS lane of incoming
+// blocks is ignored — the router's even-spread tick stamping is the
+// wall-clock → virtual-time translation.
+type feedCursor struct {
+	blocks []*TupleBlock
+	bi, ri int // consume position: block index, row within block
+	cols   int
+}
+
+func (fc *feedCursor) NextBlock(b *TupleBlock, from, to int) {
+	for r := from; r < to; {
+		src := fc.blocks[fc.bi]
+		avail := src.Len() - fc.ri
+		if need := to - r; avail > need {
+			avail = need
+		}
+		for c := 0; c < fc.cols; c++ {
+			copy(b.Col[c][r:r+avail], src.Col[c][fc.ri:fc.ri+avail])
+		}
+		r += avail
+		fc.ri += avail
+		if fc.ri == src.Len() {
+			fc.bi++
+			fc.ri = 0
+		}
+	}
+}
+
+// claimFeed drains queued external blocks (bounded per tick) and stages
+// them on the cursor; returns the total claimed row count.
+func (rt *routerTask) claimFeed(numCols int) int {
+	fc := &rt.fc
+	fc.blocks = fc.blocks[:0]
+	fc.bi, fc.ri = 0, 0
+	fc.cols = numCols
+	n := 0
+	for n < maxFeedRowsPerTick {
+		b := rt.feed.Poll()
+		if b == nil {
+			break
+		}
+		if b.Len() == 0 {
+			rt.feed.Release(b)
+			continue
+		}
+		fc.blocks = append(fc.blocks, b)
+		n += b.Len()
+	}
+	return n
+}
+
+// releaseFeed returns the tick's fully consumed blocks to the feed's
+// producer for recycling.
+func (rt *routerTask) releaseFeed() {
+	for i, b := range rt.fc.blocks {
+		rt.feed.Release(b)
+		rt.fc.blocks[i] = nil
+	}
+	rt.fc.blocks = rt.fc.blocks[:0]
 }
 
 // routeTick generates and routes this task's tuples for one tick of
@@ -260,58 +333,76 @@ func (rt *routerTask) routeTick(e *Engine, nr *nodeRun, dt vtime.Duration) {
 	plan := e.plans[rt.stream]
 	def := e.streams[rt.stream]
 
-	// Credit-based flow control: the pull rate tracks the fraction of
-	// offered bytes the network actually accepted last tick, smoothed,
-	// with a small additive probe so the rate recovers when capacity
-	// frees up.
-	ratio := 1.0
-	if rt.tickOffered > 0 {
-		ratio = rt.tickAccepted / rt.tickOffered
-	}
-	if e.obs != nil && ratio < 1 {
-		e.obs.stallTicks.Inc()
-	}
-	rt.tickOffered, rt.tickAccepted = 0, 0
-	rt.throttle = 0.7*rt.throttle + 0.3*ratio + 0.02
-	if rt.throttle > 1 {
-		rt.throttle = 1
-	}
-	if rt.throttle < 0.02 {
-		rt.throttle = 0.02
-	}
-
-	// Micro-batch: while the materialized backlog (current batch plus
-	// the previous batch still shuffling) exceeds what the NIC can move
-	// in two batch intervals, stop pulling — the stage cannot keep up
-	// (Prompt's synchronous materialization backpressure).
-	if e.cfg.Profile.MicroBatch {
-		allowance := 2 * e.net.Bandwidth() * e.cfg.Profile.BatchInterval.Seconds()
-		if rt.drainBytes+rt.heldBytes > allowance {
-			rt.offered += rt.rate * dt.Seconds()
-			return
-		}
-	}
-
-	eff := rt.rate * rt.throttle
-	want := eff*dt.Seconds()/e.cfg.TupleWeight + rt.carry
-	n := int(want)
-	rt.carry = want - float64(n)
-	rt.offered += eff * dt.Seconds()
-	if n == 0 {
-		return
-	}
-
-	// Source CPU: generation cost. If the node is CPU-starved the grant
-	// shrinks and we generate fewer concrete tuples.
 	cpu := e.cluster.CPU(rt.node)
-	genNeed := e.cfg.Cost.GenCPU * e.cfg.TupleWeight * float64(n)
-	if e.cfg.Profile.MicroBatch {
-		genNeed += e.cfg.Cost.BatchCPU * e.cfg.TupleWeight * float64(n)
-	}
-	if g := cpu.Take(genNeed); g < genNeed {
-		n = int(float64(n) * g / genNeed)
+	var n int
+	if rt.feed != nil {
+		// Wall-clock ingest: the rows for this tick are whatever the
+		// feed has queued (bounded), not a function of a configured
+		// rate. Claimed rows are never dropped — backpressure is applied
+		// upstream, at the ingest ring — so generation CPU is charged
+		// against the node meter but does not clamp n, and the credit
+		// throttle stays idle (its byte counters still reset so a later
+		// detach resumes from a clean slate).
+		n = rt.claimFeed(def.NumCols)
 		if n == 0 {
 			return
+		}
+		rt.tickOffered, rt.tickAccepted = 0, 0
+		rt.offered += float64(n) * e.cfg.TupleWeight
+		cpu.Take(e.cfg.Cost.GenCPU * e.cfg.TupleWeight * float64(n))
+	} else {
+		// Credit-based flow control: the pull rate tracks the fraction of
+		// offered bytes the network actually accepted last tick, smoothed,
+		// with a small additive probe so the rate recovers when capacity
+		// frees up.
+		ratio := 1.0
+		if rt.tickOffered > 0 {
+			ratio = rt.tickAccepted / rt.tickOffered
+		}
+		if e.obs != nil && ratio < 1 {
+			e.obs.stallTicks.Inc()
+		}
+		rt.tickOffered, rt.tickAccepted = 0, 0
+		rt.throttle = 0.7*rt.throttle + 0.3*ratio + 0.02
+		if rt.throttle > 1 {
+			rt.throttle = 1
+		}
+		if rt.throttle < 0.02 {
+			rt.throttle = 0.02
+		}
+
+		// Micro-batch: while the materialized backlog (current batch plus
+		// the previous batch still shuffling) exceeds what the NIC can move
+		// in two batch intervals, stop pulling — the stage cannot keep up
+		// (Prompt's synchronous materialization backpressure).
+		if e.cfg.Profile.MicroBatch {
+			allowance := 2 * e.net.Bandwidth() * e.cfg.Profile.BatchInterval.Seconds()
+			if rt.drainBytes+rt.heldBytes > allowance {
+				rt.offered += rt.rate * dt.Seconds()
+				return
+			}
+		}
+
+		eff := rt.rate * rt.throttle
+		want := eff*dt.Seconds()/e.cfg.TupleWeight + rt.carry
+		n = int(want)
+		rt.carry = want - float64(n)
+		rt.offered += eff * dt.Seconds()
+		if n == 0 {
+			return
+		}
+
+		// Source CPU: generation cost. If the node is CPU-starved the grant
+		// shrinks and we generate fewer concrete tuples.
+		genNeed := e.cfg.Cost.GenCPU * e.cfg.TupleWeight * float64(n)
+		if e.cfg.Profile.MicroBatch {
+			genNeed += e.cfg.Cost.BatchCPU * e.cfg.TupleWeight * float64(n)
+		}
+		if g := cpu.Take(genNeed); g < genNeed {
+			n = int(float64(n) * g / genNeed)
+			if n == 0 {
+				return
+			}
 		}
 	}
 
@@ -473,6 +564,10 @@ func (rt *routerTask) routeTick(e *Engine, nr *nodeRun, dt vtime.Duration) {
 		len(plan.classes[0].key) == 1 && len(plan.classes[1].key) == 1 &&
 		rt.dupOf[1] < 0
 
+	src := rt.src
+	if rt.feed != nil {
+		src = &rt.fc
+	}
 	rt.rows += int64(n)
 	for lo := 0; lo < n; lo += bs {
 		m := n - lo
@@ -487,17 +582,7 @@ func (rt *routerTask) routeTick(e *Engine, nr *nodeRun, dt vtime.Duration) {
 			ts[r] = t
 			t = t.Add(step)
 		}
-		if rt.genBlock != nil {
-			rt.genBlock.NextBlock(blk, 0, m)
-		} else {
-			tt := &rt.shim
-			for r := 0; r < m; r++ {
-				rt.gen.Next(tt, ts[r])
-				for c := 0; c < numCols; c++ {
-					blk.Col[c][r] = tt.Cols[c]
-				}
-			}
-		}
+		src.NextBlock(blk, 0, m)
 
 		// Acceptance and sampling prepass — row-major, classes ascending
 		// within a row: exactly the RNG draw order of tuple-at-a-time
@@ -897,6 +982,9 @@ func (rt *routerTask) routeTick(e *Engine, nr *nodeRun, dt vtime.Duration) {
 				rt.sampLen = append(rt.sampLen, ns)
 			}
 		}
+	}
+	if rt.feed != nil {
+		rt.releaseFeed()
 	}
 
 	// Materialize the folded buckets: scan the run accumulators in

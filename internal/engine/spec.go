@@ -275,8 +275,8 @@ func (c Config) validate(streams []StreamDef, queries []QuerySpec) error {
 		if s.BytesPerTuple <= 0 {
 			return fmt.Errorf("engine: stream %d (%s) needs positive tuple size", i, s.Name)
 		}
-		if s.NewGenerator == nil {
-			return fmt.Errorf("engine: stream %d (%s) has no generator", i, s.Name)
+		if s.NewSource == nil {
+			return fmt.Errorf("engine: stream %d (%s) has no source", i, s.Name)
 		}
 	}
 	if len(queries) == 0 {

@@ -107,22 +107,31 @@ func (ks KeySpec) Equal(other KeySpec) bool {
 type StreamID int32
 
 // StreamDef describes a logical stream: its schema width, the wire size
-// of one tuple, and the generator driving each physical source task.
+// of one tuple, and the source driving each physical source task.
 type StreamDef struct {
 	Name string
 	// NumCols is the schema width (must be <= MaxCols).
 	NumCols int
 	// BytesPerTuple is the serialized size of one tuple on the wire.
 	BytesPerTuple float64
-	// NewGenerator builds the per-source-task tuple generator; task is
-	// the physical source index, so parallel tasks can generate
-	// disjoint or identically distributed substreams.
-	NewGenerator func(task int) Generator
+	// NewSource builds the per-source-task block source; task is the
+	// physical source index, so parallel tasks can generate disjoint or
+	// identically distributed substreams.
+	NewSource func(task int) Source
 }
 
-// Generator produces the tuples of one physical source task.
-// Implementations live in the workload packages (internal/tpch,
-// internal/ajoinwl, internal/gcm).
+// Source is the block-native generation interface every workload
+// source implements: fill rows [from, to) of a columnar block, one
+// column lane at a time, in ascending row order. The TS lane is
+// pre-filled by the caller. Row-oriented generators are lifted to this
+// interface by workload.RowAdapter rather than an engine-internal shim.
+type Source interface {
+	NextBlock(b *TupleBlock, from, to int)
+}
+
+// Generator produces the tuples of one physical source task, one row at
+// a time. It is the row-level convenience interface: the engine only
+// consumes Source, and workload.RowAdapter turns a Generator into one.
 type Generator interface {
 	// Next fills t's columns for a tuple with event time ts.
 	Next(t *Tuple, ts vtime.Time)
@@ -199,16 +208,19 @@ func (b *TupleBlock) RowTuple(t *Tuple, i, cols int) {
 	}
 }
 
-// BlockGenerator is the bulk generation path: a source that can fill
-// whole blocks, one column lane at a time per row, without staging each
-// tuple through a Tuple value. Rows [from, to) must be filled in
-// ascending row order with the generator's per-row draw order identical
-// to repeated Next calls, so batched and tuple-at-a-time execution stay
-// byte-identical. The TS lane is pre-filled by the caller.
+// BlockFeed is the wall-clock ingest handoff: a per-(stream, task)
+// queue of externally produced blocks the router task drains instead of
+// synthesizing rows from a rate. Poll returns the next queued block (or
+// nil when the queue is empty); Release returns a fully consumed block
+// to the producer for recycling. The engine calls both only from the
+// single goroutine executing that task's router phase, so a
+// single-producer/single-consumer queue satisfies the contract.
 //
-// Generators that do not implement BlockGenerator keep working: the
-// router falls back to a per-row Next shim.
-type BlockGenerator interface {
-	Generator
-	NextBlock(b *TupleBlock, from, to int)
+// Incoming blocks need no TS lane: the router stamps claimed rows with
+// event times spread evenly across the current tick — the wall-clock →
+// virtual-time translation that lets markers, AQE and checkpointing run
+// unmodified over served traffic.
+type BlockFeed interface {
+	Poll() *TupleBlock
+	Release(b *TupleBlock)
 }

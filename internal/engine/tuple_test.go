@@ -9,12 +9,11 @@ import (
 	"saspar/internal/vtime"
 )
 
-// This file pins the columnar data plane's two contracts: KeyOfBlock
-// must equal a per-row KeyOf gather for every spec arity, and the
-// router's block-scatter path must produce the same engine outputs
-// whether a source implements BlockGenerator natively or goes through
-// the per-row Next shim — with the hot path staying allocation-free
-// either way.
+// This file pins the columnar data plane's contracts: KeyOfBlock must
+// equal a per-row KeyOf gather for every spec arity, and the batched
+// hot path must stay allocation-free. The row-adapter equivalence test
+// (a source lifted from per-row Next vs a native NextBlock twin) lives
+// in the workload package next to workload.RowAdapter.
 
 // fillTestBlock populates n rows over cols lanes with deterministic
 // mixed-magnitude values.
@@ -69,62 +68,6 @@ func TestKeyOfNoAllocs(t *testing.T) {
 		if a := testing.AllocsPerRun(100, func() { ks.KeyOfBlock(&blk, 0, 64, dst) }); a != 0 {
 			t.Errorf("KeyOfBlock arity %d: %.1f allocs/op, want 0", len(ks), a)
 		}
-	}
-}
-
-// rowOnlyGen strips benchGen down to the scalar Generator interface so
-// the router must take the per-row Next shim instead of the native
-// NextBlock lane fill.
-type rowOnlyGen struct{ g benchGen }
-
-func (w *rowOnlyGen) Next(t *Tuple, ts vtime.Time) { w.g.Next(t, ts) }
-
-// TestBlockShimMatchesNative runs the same engine twice — once with the
-// BlockGenerator source, once with a Next-only twin — and asserts
-// byte-identical outcomes: the shim is a pure adapter, not a different
-// execution mode.
-func TestBlockShimMatchesNative(t *testing.T) {
-	build := func(shim bool) *Engine {
-		cfg := DefaultConfig()
-		cfg.Nodes = 4
-		cfg.NumPartitions = 8
-		cfg.NumGroups = 32
-		cfg.SourceTasks = 4
-		cfg.Shared = true
-		streams := benchStreams()
-		if shim {
-			for si := range streams {
-				inner := streams[si].NewGenerator
-				streams[si].NewGenerator = func(task int) Generator {
-					return &rowOnlyGen{g: *inner(task).(*benchGen)}
-				}
-			}
-		}
-		e, err := New(cfg, streams, benchQueries(6))
-		if err != nil {
-			t.Fatal(err)
-		}
-		e.SetStreamRate(0, 20e6)
-		e.SetStreamRate(1, 5e6)
-		if err := e.Run(4 * vtime.Second); err != nil {
-			t.Fatal(err)
-		}
-		return e
-	}
-	native, shim := build(false), build(true)
-	if ng, sg := native.GeneratedTuples(), shim.GeneratedTuples(); ng != sg {
-		t.Fatalf("generated tuples: native %d, shim %d", ng, sg)
-	}
-	for qi := 0; qi < native.NumQueries(); qi++ {
-		nr, sr := native.Results(qi), shim.Results(qi)
-		SortAggResults(nr)
-		SortAggResults(sr)
-		if !reflect.DeepEqual(nr, sr) {
-			t.Fatalf("query %d: %d native vs %d shim results differ", qi, len(nr), len(sr))
-		}
-	}
-	if nf, sf := native.HealthFingerprint(), shim.HealthFingerprint(); nf != sf {
-		t.Fatalf("health fingerprint: native %x, shim %x", nf, sf)
 	}
 }
 

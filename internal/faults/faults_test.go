@@ -8,6 +8,7 @@ import (
 	"saspar/internal/engine"
 	"saspar/internal/obs"
 	"saspar/internal/vtime"
+	"saspar/internal/workload"
 )
 
 func testEngine(t *testing.T) *engine.Engine {
@@ -21,13 +22,13 @@ func testEngine(t *testing.T) *engine.Engine {
 	cfg.ExactWindows = false
 	stream := engine.StreamDef{
 		Name: "s", NumCols: 2, BytesPerTuple: 100,
-		NewGenerator: func(task int) engine.Generator {
+		NewSource: func(task int) engine.Source {
 			i := int64(task) * 131
-			return engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
+			return workload.RowAdapter(engine.GeneratorFunc(func(tu *engine.Tuple, ts vtime.Time) {
 				i++
 				tu.Cols[0] = i % 64
 				tu.Cols[1] = 1
-			})
+			}))
 		},
 	}
 	q := engine.QuerySpec{

@@ -66,7 +66,7 @@ func New(cfg Config) (*workload.Workload, error) {
 		Name: "gcm",
 		Streams: []engine.StreamDef{{
 			Name: "task_events", NumCols: 6, BytesPerTuple: 112,
-			NewGenerator: func(task int) engine.Generator { return newGen(cfg, task) },
+			NewSource: func(task int) engine.Source { return newGen(cfg, task) },
 		}},
 		Rates: []float64{cfg.Rate},
 	}
@@ -95,7 +95,8 @@ func New(cfg Config) (*workload.Workload, error) {
 	return w, w.Validate()
 }
 
-// gen implements engine.BlockGenerator: NextBlock makes the same
+// gen implements engine.Source natively (plus the row-level
+// engine.Generator for tests and CSV sampling): NextBlock makes the same
 // per-row draws as Next in ascending row order, writing lanes directly,
 // so batched and tuple-at-a-time execution stay byte-identical.
 type gen struct {
@@ -103,7 +104,7 @@ type gen struct {
 	rng *rand.Rand
 }
 
-func newGen(cfg Config, task int) engine.Generator {
+func newGen(cfg Config, task int) *gen {
 	return &gen{cfg: cfg, rng: rand.New(rand.NewSource(int64(task)*2654435761 + 3))}
 }
 

@@ -57,7 +57,7 @@ func TestGeneratorsInDomain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := w.Streams[0].NewGenerator(0)
+	g := w.Streams[0].NewSource(0).(engine.Generator)
 	var tu engine.Tuple
 	for i := 0; i < 1000; i++ {
 		g.Next(&tu, 0)
@@ -70,22 +70,17 @@ func TestGeneratorsInDomain(t *testing.T) {
 	}
 }
 
-// TestBlockGeneratorMatchesRowPath pins the engine.BlockGenerator
-// contract: NextBlock must consume the RNG exactly like repeated Next
-// calls, so batched and tuple-at-a-time execution produce
-// byte-identical streams.
+// TestBlockGeneratorMatchesRowPath pins the engine.Source contract:
+// NextBlock must consume the RNG exactly like repeated Next calls, so
+// batched and tuple-at-a-time execution produce byte-identical streams.
 func TestBlockGeneratorMatchesRowPath(t *testing.T) {
 	cfg := DefaultConfig()
 	bulk, rowwise := newGen(cfg, 2), newGen(cfg, 2)
-	bg, ok := bulk.(engine.BlockGenerator)
-	if !ok {
-		t.Fatal("generator does not implement engine.BlockGenerator")
-	}
 	const n = 96
 	var blk engine.TupleBlock
 	blk.Resize(n, 6)
-	bg.NextBlock(&blk, 0, 29)
-	bg.NextBlock(&blk, 29, n)
+	bulk.NextBlock(&blk, 0, 29)
+	bulk.NextBlock(&blk, 29, n)
 	var tu engine.Tuple
 	for r := 0; r < n; r++ {
 		rowwise.Next(&tu, blk.TS[r])

@@ -1,0 +1,145 @@
+package runtime
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"saspar/internal/engine"
+	"saspar/internal/vtime"
+	"saspar/internal/workload"
+)
+
+// BlastConfig shapes a loopback load generation run: one binary-
+// protocol connection per (stream, task), each filling blocks with the
+// workload's own block-native sources and streaming them as fast as
+// the server accepts — TCP flow control plus the ring backpressure
+// find the sustainable ingest rate, the serving twin of the
+// virtual-time driver's offered-beyond-capacity convention.
+type BlastConfig struct {
+	// Addr is the server's TCP ingest address.
+	Addr string
+
+	// Workload supplies the per-task block-native sources; it must
+	// match the served workload's schema.
+	Workload *workload.Workload
+
+	// Tasks is the number of connections per stream, capped at the
+	// server's SourceTasks (excess connections would be refused at the
+	// producer claim). Default 1.
+	Tasks int
+
+	// Rows stops after sending at least this many rows in total
+	// (0 = run for Duration).
+	Rows int64
+
+	// Duration stops wall-clock-timed runs (default 2s when Rows is 0).
+	Duration time.Duration
+
+	// BlockRows is the frame size in rows (default 4096, capped at the
+	// wire maximum).
+	BlockRows int
+}
+
+// BlastResult reports what a blast run achieved.
+type BlastResult struct {
+	Rows          int64
+	Elapsed       time.Duration
+	MtuplesPerSec float64
+}
+
+// Blast runs the load generator against a serving instance and blocks
+// until the send budget is spent; the server keeps draining whatever
+// is still queued afterwards.
+func Blast(cfg BlastConfig) (*BlastResult, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("runtime: blast needs a workload")
+	}
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 1
+	}
+	if cfg.BlockRows <= 0 {
+		cfg.BlockRows = 4096
+	}
+	if cfg.BlockRows > MaxFrameRows {
+		cfg.BlockRows = MaxFrameRows
+	}
+	if cfg.Rows == 0 && cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+
+	var (
+		sent     atomic.Int64
+		stopAt   = time.Time{}
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	if cfg.Duration > 0 {
+		stopAt = time.Now().Add(cfg.Duration)
+	}
+	start := time.Now()
+	for si, def := range cfg.Workload.Streams {
+		for task := 0; task < cfg.Tasks; task++ {
+			wg.Add(1)
+			go func(si, task int, def engine.StreamDef) {
+				defer wg.Done()
+				if err := blastConn(cfg, si, task, def, &sent, stopAt); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}(si, task, def)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res := &BlastResult{Rows: sent.Load(), Elapsed: elapsed}
+	if elapsed > 0 {
+		res.MtuplesPerSec = float64(res.Rows) / elapsed.Seconds() / 1e6
+	}
+	return res, nil
+}
+
+func blastConn(cfg BlastConfig, si, task int, def engine.StreamDef, sent *atomic.Int64, stopAt time.Time) error {
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w := bufio.NewWriterSize(conn, 1<<20)
+	if err := WriteHeader(w, Header{Stream: engine.StreamID(si), Task: task, Cols: def.NumCols}); err != nil {
+		return err
+	}
+
+	src := def.NewSource(task)
+	var blk engine.TupleBlock
+	blk.Resize(cfg.BlockRows, def.NumCols)
+	// The TS lane only matters to drift-aware sources; give them a
+	// monotone stand-in clock (the wire carries no timestamps — the
+	// server stamps arrival ticks).
+	var ts vtime.Time
+	var scratch []byte
+	for {
+		if !stopAt.IsZero() && time.Now().After(stopAt) {
+			break
+		}
+		if cfg.Rows > 0 && sent.Load() >= cfg.Rows {
+			break
+		}
+		for r := 0; r < cfg.BlockRows; r++ {
+			ts += vtime.Time(vtime.Millisecond)
+			blk.TS[r] = ts
+		}
+		src.NextBlock(&blk, 0, cfg.BlockRows)
+		if err := WriteFrame(w, &blk, def.NumCols, &scratch); err != nil {
+			return err
+		}
+		sent.Add(int64(cfg.BlockRows))
+	}
+	return w.Flush()
+}

@@ -1,0 +1,228 @@
+// Package runtime is the wall-clock serving layer: it drives the
+// virtual-time engine with real tuples arriving over the network
+// instead of synthesized ones. The seam is engine.BlockFeed — each
+// source task of a served stream reads columnar TupleBlocks from a
+// lock-free single-producer single-consumer ring written by an ingest
+// front-end (TCP binary framing or HTTP/JSON), and the router stamps
+// the claimed rows with event times spread across the current tick.
+// Everything above the feed — markers, windows, AQE reconfiguration,
+// checkpointing — runs unmodified, because from the engine's point of
+// view a fed tick is indistinguishable from a generated one.
+//
+// DESIGN.md §"Wall clock vs virtual time" records why the determinism
+// suite covers only the virtual path: serving throughput depends on
+// arrival interleaving, which is real-world nondeterminism by nature.
+package runtime
+
+import (
+	"sync/atomic"
+
+	"saspar/internal/engine"
+	"saspar/internal/obs"
+)
+
+// Ring is a lock-free single-producer single-consumer queue of
+// TupleBlock pointers. One goroutine may call the producer methods
+// (Push, PushN) and one goroutine the consumer methods (Pop);
+// both sides may call Len and Cap. The cursors live on separate cache
+// lines so the producer and consumer never false-share, and each side
+// caches the other's cursor to skip the cross-core atomic load while
+// the cached value proves room (the classic SPSC fast path: one
+// release store per publish, one acquire load per wrap).
+type Ring struct {
+	mask uint64
+	buf  []*engine.TupleBlock
+
+	_         [64]byte      // keep tail off the buf header's line
+	tail      atomic.Uint64 // next slot written; owned by the producer
+	headCache uint64        // producer's last view of head
+	_         [64]byte
+	head      atomic.Uint64 // next slot read; owned by the consumer
+	tailCache uint64        // consumer's last view of tail
+	_         [64]byte
+}
+
+// NewRing returns a ring holding up to capacity blocks, rounded up to
+// a power of two (minimum 2).
+func NewRing(capacity int) *Ring {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &Ring{mask: n - 1, buf: make([]*engine.TupleBlock, n)}
+}
+
+// Cap returns the slot count.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued blocks. It is exact for the calling
+// side's own view and approximate for an outside observer.
+func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Push enqueues one block; it returns false when the ring is full.
+// Producer side only.
+func (r *Ring) Push(b *engine.TupleBlock) bool {
+	t := r.tail.Load()
+	if t-r.headCache == uint64(len(r.buf)) {
+		r.headCache = r.head.Load()
+		if t-r.headCache == uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[t&r.mask] = b
+	r.tail.Store(t + 1)
+	return true
+}
+
+// PushN enqueues as many of bs as fit and returns how many. The blocks
+// become visible to the consumer with a single release store, so a
+// decoded batch is published at one atomic's cost. Producer side only.
+func (r *Ring) PushN(bs []*engine.TupleBlock) int {
+	t := r.tail.Load()
+	room := uint64(len(r.buf)) - (t - r.headCache)
+	if room < uint64(len(bs)) {
+		r.headCache = r.head.Load()
+		room = uint64(len(r.buf)) - (t - r.headCache)
+	}
+	n := len(bs)
+	if uint64(n) > room {
+		n = int(room)
+	}
+	for i := 0; i < n; i++ {
+		r.buf[(t+uint64(i))&r.mask] = bs[i]
+	}
+	if n > 0 {
+		r.tail.Store(t + uint64(n))
+	}
+	return n
+}
+
+// Pop dequeues the oldest block, or returns nil when the ring is
+// empty. Consumer side only.
+func (r *Ring) Pop() *engine.TupleBlock {
+	h := r.head.Load()
+	if h == r.tailCache {
+		r.tailCache = r.tail.Load()
+		if h == r.tailCache {
+			return nil
+		}
+	}
+	b := r.buf[h&r.mask]
+	r.buf[h&r.mask] = nil
+	r.head.Store(h + 1)
+	return b
+}
+
+// BlockQueue is the per-(stream, task) ingest channel: a data ring
+// carrying filled blocks from the network front-end to the engine, and
+// a reverse free ring recycling consumed blocks back, so steady-state
+// serving allocates nothing. It implements engine.BlockFeed on the
+// consumer side (Poll/Release run on the engine's serve-loop
+// goroutine) while exactly one producer at a time — guarded by the
+// claim flag — calls Get/Offer.
+type BlockQueue struct {
+	data *Ring
+	free *Ring
+
+	cols int
+	rows int // rows per block handed out by Get
+
+	claimed atomic.Bool
+
+	// Backpressure and traffic counters; nil without a registry.
+	cBlocks   *obs.Counter // blocks accepted into the data ring
+	cRows     *obs.Counter // rows accepted into the data ring
+	cFull     *obs.Counter // Offer calls bounced off a full ring
+	cRecycled *obs.Counter // blocks reused from the free ring
+}
+
+// NewBlockQueue builds a queue of capacity blocks of rows×cols lanes.
+// With a non-nil registry it registers ingest counters labelled by
+// stream and task.
+func NewBlockQueue(capacity, rows, cols int, r *obs.Registry, stream engine.StreamID, task int) *BlockQueue {
+	q := &BlockQueue{
+		data: NewRing(capacity),
+		free: NewRing(capacity),
+		cols: cols,
+		rows: rows,
+	}
+	if r != nil {
+		lbl := func(name string) string {
+			return name + `{stream="` + itoa(int(stream)) + `",task="` + itoa(task) + `"}`
+		}
+		q.cBlocks = r.Counter(lbl("serve_ingest_blocks_total"), "blocks accepted into the ingest ring")
+		q.cRows = r.Counter(lbl("serve_ingest_rows_total"), "rows accepted into the ingest ring")
+		q.cFull = r.Counter(lbl("serve_ring_full_total"), "publishes bounced off a full ingest ring (backpressure)")
+		q.cRecycled = r.Counter(lbl("serve_blocks_recycled_total"), "ingest blocks reused from the free ring")
+	}
+	return q
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var d [20]byte
+	i := len(d)
+	for v > 0 {
+		i--
+		d[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(d[i:])
+}
+
+// TryAcquire claims the producer side; it returns false if another
+// producer holds the claim. TCP connections hold the claim for their
+// lifetime, HTTP ingests per request.
+func (q *BlockQueue) TryAcquire() bool { return q.claimed.CompareAndSwap(false, true) }
+
+// ReleaseProducer drops the producer claim.
+func (q *BlockQueue) ReleaseProducer() { q.claimed.Store(false) }
+
+// Get returns an empty block sized rows×cols, recycling a consumed one
+// when the free ring has any. Producer side only.
+func (q *BlockQueue) Get() *engine.TupleBlock {
+	b := q.free.Pop()
+	if b == nil {
+		b = &engine.TupleBlock{}
+	} else if q.cRecycled != nil {
+		q.cRecycled.Inc()
+	}
+	b.Resize(q.rows, q.cols)
+	return b
+}
+
+// Offer publishes a filled block (short fills truncated with Resize);
+// it returns
+// false — counting the bounce — when the data ring is full, and the
+// caller keeps ownership: hold the block and retry, which is exactly
+// the backpressure that pushes the sustainable-rate search back into
+// the client. Producer side only.
+func (q *BlockQueue) Offer(b *engine.TupleBlock) bool {
+	if !q.data.Push(b) {
+		if q.cFull != nil {
+			q.cFull.Inc()
+		}
+		return false
+	}
+	if q.cBlocks != nil {
+		q.cBlocks.Inc()
+		q.cRows.Add(float64(b.Len()))
+	}
+	return true
+}
+
+// Pending reports the number of published, unconsumed blocks.
+func (q *BlockQueue) Pending() int { return q.data.Len() }
+
+// Poll implements engine.BlockFeed: the engine's router claims the
+// oldest published block, or nil when none is pending.
+func (q *BlockQueue) Poll() *engine.TupleBlock { return q.data.Pop() }
+
+// Release implements engine.BlockFeed: a consumed block returns to the
+// free ring for the producer to refill; when the free ring is full the
+// block is dropped to the garbage collector.
+func (q *BlockQueue) Release(b *engine.TupleBlock) {
+	q.free.Push(b)
+}

@@ -1,0 +1,291 @@
+package runtime
+
+import (
+	goruntime "runtime"
+	"testing"
+
+	"saspar/internal/engine"
+	"saspar/internal/obs"
+)
+
+// mark builds a block whose first row of lane 0 carries seq, so FIFO
+// order and identity are checkable after a trip through a ring.
+func mark(seq int64) *engine.TupleBlock {
+	b := &engine.TupleBlock{}
+	b.Resize(1, 1)
+	b.Col[0][0] = seq
+	return b
+}
+
+func seqOf(b *engine.TupleBlock) int64 { return b.Col[0][0] }
+
+func TestRingCapacityRoundsUp(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{{0, 2}, {1, 2}, {2, 2}, {3, 4}, {64, 64}, {65, 128}} {
+		if got := NewRing(c.ask).Cap(); got != c.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+func TestRingFIFOAndBoundaries(t *testing.T) {
+	r := NewRing(4)
+	if r.Pop() != nil {
+		t.Fatal("pop from empty ring returned a block")
+	}
+	for i := int64(0); i < 4; i++ {
+		if !r.Push(mark(i)) {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+	}
+	if r.Push(mark(99)) {
+		t.Fatal("push into a full ring accepted")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	for i := int64(0); i < 4; i++ {
+		b := r.Pop()
+		if b == nil || seqOf(b) != i {
+			t.Fatalf("pop %d: got %v", i, b)
+		}
+	}
+	if r.Pop() != nil || r.Len() != 0 {
+		t.Fatal("drained ring not empty")
+	}
+}
+
+// TestRingWrapAround pushes many times the capacity through a tiny
+// ring so the cursors wrap the index mask repeatedly.
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing(2)
+	var next, want int64
+	for round := 0; round < 1000; round++ {
+		for r.Push(mark(next)) {
+			next++
+		}
+		for b := r.Pop(); b != nil; b = r.Pop() {
+			if seqOf(b) != want {
+				t.Fatalf("round %d: popped %d, want %d", round, seqOf(b), want)
+			}
+			want++
+		}
+	}
+	if want != next {
+		t.Fatalf("lost blocks: pushed %d, popped %d", next, want)
+	}
+}
+
+func TestRingPushN(t *testing.T) {
+	r := NewRing(8)
+	batch := make([]*engine.TupleBlock, 6)
+	for i := range batch {
+		batch[i] = mark(int64(i))
+	}
+	if n := r.PushN(batch); n != 6 {
+		t.Fatalf("PushN = %d, want 6", n)
+	}
+	// Only 2 slots remain; a second batch must partially land.
+	if n := r.PushN(batch); n != 2 {
+		t.Fatalf("PushN into 2 free slots = %d, want 2", n)
+	}
+	want := []int64{0, 1, 2, 3, 4, 5, 0, 1}
+	for i, w := range want {
+		if got := seqOf(r.Pop()); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestRingSPSCConcurrent is the race-detector witness for the
+// single-producer single-consumer contract: one goroutine pushes a
+// strictly increasing sequence, the other pops and asserts it reads
+// exactly 0..n-1 in order — no loss, no duplication, no reorder. The
+// Gosched on the empty/full paths keeps the test fast on single-core
+// hosts (real producers block on the socket instead of spinning).
+func TestRingSPSCConcurrent(t *testing.T) {
+	const n = 50000
+	r := NewRing(16)
+	done := make(chan int64)
+	go func() {
+		var want int64
+		for want < n {
+			b := r.Pop()
+			if b == nil {
+				goruntime.Gosched()
+				continue
+			}
+			if seqOf(b) != want {
+				done <- seqOf(b)
+				return
+			}
+			want++
+		}
+		done <- want
+	}()
+	blocks := make([]*engine.TupleBlock, n)
+	for i := range blocks {
+		blocks[i] = mark(int64(i))
+	}
+	for i := 0; i < n; {
+		if r.Push(blocks[i]) {
+			i++
+		} else {
+			goruntime.Gosched()
+		}
+	}
+	if got := <-done; got != n {
+		t.Fatalf("consumer broke at sequence %d", got)
+	}
+}
+
+// TestRingSPSCConcurrentBatched is the same witness through the
+// batched-publish path (one release store per batch).
+func TestRingSPSCConcurrentBatched(t *testing.T) {
+	const n = 50000
+	r := NewRing(32)
+	done := make(chan int64)
+	go func() {
+		var want int64
+		for want < n {
+			b := r.Pop()
+			if b == nil {
+				goruntime.Gosched()
+				continue
+			}
+			if seqOf(b) != want {
+				done <- seqOf(b)
+				return
+			}
+			want++
+		}
+		done <- want
+	}()
+	var batch []*engine.TupleBlock
+	for i := int64(0); i < n; {
+		batch = batch[:0]
+		for k := 0; k < 7 && i+int64(k) < n; k++ {
+			batch = append(batch, mark(i+int64(k)))
+		}
+		for len(batch) > 0 {
+			pushed := r.PushN(batch)
+			if pushed == 0 {
+				goruntime.Gosched()
+				continue
+			}
+			i += int64(pushed)
+			batch = batch[pushed:]
+		}
+	}
+	if got := <-done; got != n {
+		t.Fatalf("consumer broke at sequence %d", got)
+	}
+}
+
+// TestBlockQueueRecyclesBlocks checks the reverse free ring: after a
+// full produce→consume→release cycle, Get hands back the same block
+// instead of allocating, and the counters record it.
+func TestBlockQueueRecyclesBlocks(t *testing.T) {
+	reg := obs.New()
+	q := NewBlockQueue(4, 64, 3, reg, 0, 0)
+	b := q.Get()
+	b.Resize(10, 3)
+	if !q.Offer(b) {
+		t.Fatal("offer refused on an empty queue")
+	}
+	got := q.Poll()
+	if got != b {
+		t.Fatal("poll returned a different block")
+	}
+	q.Release(got)
+	if again := q.Get(); again != b {
+		t.Fatal("released block was not recycled")
+	}
+	if q.cRecycled.Value() != 1 {
+		t.Fatalf("recycled counter = %v, want 1", q.cRecycled.Value())
+	}
+	if q.cRows.Value() != 10 {
+		t.Fatalf("rows counter = %v, want 10", q.cRows.Value())
+	}
+}
+
+func TestBlockQueueBackpressureCounts(t *testing.T) {
+	q := NewBlockQueue(2, 8, 1, obs.New(), 0, 0)
+	for i := 0; i < 2; i++ {
+		b := q.Get()
+		b.Resize(1, 1)
+		if !q.Offer(b) {
+			t.Fatalf("offer %d refused below capacity", i)
+		}
+	}
+	b := q.Get()
+	b.Resize(1, 1)
+	if q.Offer(b) {
+		t.Fatal("offer accepted into a full data ring")
+	}
+	if q.cFull.Value() != 1 {
+		t.Fatalf("full counter = %v, want 1", q.cFull.Value())
+	}
+	if q.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", q.Pending())
+	}
+}
+
+func TestBlockQueueProducerClaim(t *testing.T) {
+	q := NewBlockQueue(2, 8, 1, nil, 0, 0)
+	if !q.TryAcquire() {
+		t.Fatal("first claim refused")
+	}
+	if q.TryAcquire() {
+		t.Fatal("second producer claimed a held queue")
+	}
+	q.ReleaseProducer()
+	if !q.TryAcquire() {
+		t.Fatal("claim refused after release")
+	}
+}
+
+// FuzzRingModel drives a ring with an arbitrary interleaving of
+// producer and consumer operations and checks it against a plain slice
+// queue: same pop sequence, same accept/refuse decisions, same length.
+func FuzzRingModel(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 1, 1}, uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}, uint8(3))
+	f.Add([]byte{1, 0, 1, 0, 1}, uint8(1))
+	f.Fuzz(func(t *testing.T, ops []byte, capLog uint8) {
+		capacity := 1 << (capLog % 6) // 1..32, NewRing rounds to >=2
+		r := NewRing(capacity)
+		var model []*engine.TupleBlock
+		var seq int64
+		for _, op := range ops {
+			switch op % 2 {
+			case 0: // push
+				b := mark(seq)
+				ok := r.Push(b)
+				wantOK := len(model) < r.Cap()
+				if ok != wantOK {
+					t.Fatalf("push %d: ring said %v, model %v (len %d, cap %d)", seq, ok, wantOK, len(model), r.Cap())
+				}
+				if ok {
+					model = append(model, b)
+					seq++
+				}
+			case 1: // pop
+				got := r.Pop()
+				if len(model) == 0 {
+					if got != nil {
+						t.Fatalf("pop from empty ring returned %d", seqOf(got))
+					}
+					continue
+				}
+				want := model[0]
+				model = model[1:]
+				if got != want {
+					t.Fatalf("pop: got %v, want seq %d", got, seqOf(want))
+				}
+			}
+			if r.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", r.Len(), len(model))
+			}
+		}
+	})
+}

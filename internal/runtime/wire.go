@@ -1,0 +1,184 @@
+// The serving wire protocol: length-prefixed columnar frames. A
+// connection opens with an 11-byte header —
+//
+//	magic "SASB" | version u8 | stream u16 | task u16 | cols u16
+//
+// (integers little-endian) — binding it to one (stream, task) ingest
+// ring, then carries frames:
+//
+//	rows u32 | cols × (rows × int64 little-endian)
+//
+// i.e. whole column lanes back to back, the same SoA layout
+// TupleBlock holds in memory, so on little-endian hosts encode and
+// decode are single bulk copies per lane (no per-value byte swizzle;
+// big-endian hosts take a per-value fallback). Frames carry no
+// timestamps: arrival time is assigned by the server's clock
+// translation — rows are stamped with event times spread evenly across
+// the engine tick that claims them.
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"unsafe"
+
+	"saspar/internal/engine"
+)
+
+// Wire protocol constants.
+const (
+	wireMagic   = "SASB"
+	wireVersion = 1
+
+	// MaxFrameRows caps a single frame (and therefore one decoded
+	// block); larger frames are a protocol error, which bounds decoder
+	// memory against malformed length prefixes.
+	MaxFrameRows = 1 << 16
+
+	headerSize = 11
+)
+
+// Header opens a serving connection.
+type Header struct {
+	Stream engine.StreamID
+	Task   int
+	Cols   int
+}
+
+// WriteHeader writes the connection header.
+func WriteHeader(w io.Writer, h Header) error {
+	var buf [headerSize]byte
+	copy(buf[:4], wireMagic)
+	buf[4] = wireVersion
+	binary.LittleEndian.PutUint16(buf[5:7], uint16(h.Stream))
+	binary.LittleEndian.PutUint16(buf[7:9], uint16(h.Task))
+	binary.LittleEndian.PutUint16(buf[9:11], uint16(h.Cols))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadHeader reads and validates the connection header.
+func ReadHeader(r io.Reader) (Header, error) {
+	var buf [headerSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Header{}, err
+	}
+	if string(buf[:4]) != wireMagic {
+		return Header{}, fmt.Errorf("runtime: bad magic %q", buf[:4])
+	}
+	if buf[4] != wireVersion {
+		return Header{}, fmt.Errorf("runtime: unsupported wire version %d", buf[4])
+	}
+	h := Header{
+		Stream: engine.StreamID(binary.LittleEndian.Uint16(buf[5:7])),
+		Task:   int(binary.LittleEndian.Uint16(buf[7:9])),
+		Cols:   int(binary.LittleEndian.Uint16(buf[9:11])),
+	}
+	if h.Cols < 1 || h.Cols > engine.MaxCols {
+		return Header{}, fmt.Errorf("runtime: cols %d out of [1, %d]", h.Cols, engine.MaxCols)
+	}
+	return h, nil
+}
+
+// nativeLittle reports whether this host stores int64 little-endian,
+// deciding once whether lane copies can bypass per-value encoding.
+var nativeLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// laneBytes reinterprets an int64 lane as its in-memory bytes. Only
+// valid for bulk copies on little-endian hosts (the wire is defined
+// little-endian), and only while v is live — the caller never keeps
+// the byte view.
+func laneBytes(v []int64) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+// WriteFrame writes b's first cols lanes as one frame.
+func WriteFrame(w io.Writer, b *engine.TupleBlock, cols int, scratch *[]byte) error {
+	rows := b.Len()
+	if rows > MaxFrameRows {
+		return fmt.Errorf("runtime: frame of %d rows exceeds the %d cap", rows, MaxFrameRows)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(rows))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if rows == 0 {
+		return nil
+	}
+	for c := 0; c < cols; c++ {
+		lane := b.Col[c][:rows]
+		if nativeLittle {
+			if _, err := w.Write(laneBytes(lane)); err != nil {
+				return err
+			}
+			continue
+		}
+		buf := grow(scratch, rows*8)
+		for i, v := range lane {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame into b, resizing it to the frame's row
+// count over cols lanes. It returns the row count, io.EOF on a clean
+// end of stream, and a protocol error on an oversized frame.
+func ReadFrame(r io.Reader, b *engine.TupleBlock, cols int, scratch *[]byte) (int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return 0, err
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[:]))
+	if rows > MaxFrameRows {
+		return 0, fmt.Errorf("runtime: frame of %d rows exceeds the %d cap", rows, MaxFrameRows)
+	}
+	b.Resize(rows, cols)
+	if rows == 0 {
+		return 0, nil
+	}
+	for c := 0; c < cols; c++ {
+		lane := b.Col[c][:rows]
+		if nativeLittle {
+			if _, err := io.ReadFull(r, laneBytes(lane)); err != nil {
+				return 0, frameErr(err)
+			}
+			continue
+		}
+		buf := grow(scratch, rows*8)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return 0, frameErr(err)
+		}
+		for i := range lane {
+			lane[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	}
+	return rows, nil
+}
+
+// frameErr upgrades a short read mid-frame to ErrUnexpectedEOF so a
+// truncated connection is distinguishable from a clean close.
+func frameErr(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func grow(scratch *[]byte, n int) []byte {
+	if cap(*scratch) < n {
+		*scratch = make([]byte, n)
+	}
+	return (*scratch)[:n]
+}

@@ -1,0 +1,120 @@
+package runtime
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"saspar/internal/engine"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Header{Stream: 3, Task: 7, Cols: 11}
+	if err := WriteHeader(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestHeaderRejectsGarbage(t *testing.T) {
+	if _, err := ReadHeader(bytes.NewReader([]byte("SASPAR-nope"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	WriteHeader(&buf, Header{Stream: 0, Task: 0, Cols: 3})
+	b := buf.Bytes()
+	b[4] = 99 // version
+	if _, err := ReadHeader(bytes.NewReader(b)); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	buf.Reset()
+	WriteHeader(&buf, Header{Stream: 0, Task: 0, Cols: 0})
+	if _, err := ReadHeader(&buf); err == nil {
+		t.Fatal("zero columns accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	const rows, cols = 129, 5
+	var src engine.TupleBlock
+	src.Resize(rows, cols)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			src.Col[c][r] = int64(c*1000003 + r*31 - 7)
+		}
+	}
+	var buf bytes.Buffer
+	var scratch []byte
+	if err := WriteFrame(&buf, &src, cols, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := 4 + cols*rows*8
+	if buf.Len() != wantBytes {
+		t.Fatalf("frame is %d bytes, want %d", buf.Len(), wantBytes)
+	}
+	var dst engine.TupleBlock
+	n, err := ReadFrame(&buf, &dst, cols, &scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != rows || dst.Len() != rows {
+		t.Fatalf("read %d rows, want %d", n, rows)
+	}
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			if dst.Col[c][r] != src.Col[c][r] {
+				t.Fatalf("col %d row %d: %d != %d", c, r, dst.Col[c][r], src.Col[c][r])
+			}
+		}
+	}
+}
+
+func TestFrameZeroRowsIsHeartbeat(t *testing.T) {
+	var buf bytes.Buffer
+	var empty engine.TupleBlock
+	var scratch []byte
+	if err := WriteFrame(&buf, &empty, 3, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	var dst engine.TupleBlock
+	n, err := ReadFrame(&buf, &dst, 3, &scratch)
+	if err != nil || n != 0 {
+		t.Fatalf("heartbeat: n=%d err=%v", n, err)
+	}
+}
+
+func TestFrameOversizedRejected(t *testing.T) {
+	buf := bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})
+	var dst engine.TupleBlock
+	var scratch []byte
+	if _, err := ReadFrame(buf, &dst, 1, &scratch); err == nil {
+		t.Fatal("4-billion-row frame accepted")
+	}
+}
+
+func TestFrameTruncationDetected(t *testing.T) {
+	var src engine.TupleBlock
+	src.Resize(16, 2)
+	var buf bytes.Buffer
+	var scratch []byte
+	if err := WriteFrame(&buf, &src, 2, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	// A clean close at a frame boundary is io.EOF…
+	var dst engine.TupleBlock
+	if _, err := ReadFrame(bytes.NewReader(nil), &dst, 2, &scratch); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+	// …but mid-frame truncation is an unexpected EOF.
+	cut := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadFrame(bytes.NewReader(cut), &dst, 2, &scratch); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated frame: %v, want io.ErrUnexpectedEOF", err)
+	}
+}

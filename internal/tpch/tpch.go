@@ -146,15 +146,15 @@ func New(cfg Config) (*workload.Workload, error) {
 		Streams: []engine.StreamDef{
 			{
 				Name: "lineitem", NumCols: 11, BytesPerTuple: 144,
-				NewGenerator: func(task int) engine.Generator { return newLineitemGen(cfg, dom, task) },
+				NewSource: func(task int) engine.Source { return newLineitemGen(cfg, dom, task) },
 			},
 			{
 				Name: "orders", NumCols: 6, BytesPerTuple: 96,
-				NewGenerator: func(task int) engine.Generator { return newOrdersGen(cfg, dom, task) },
+				NewSource: func(task int) engine.Source { return newOrdersGen(cfg, dom, task) },
 			},
 			{
 				Name: "customer", NumCols: 4, BytesPerTuple: 72,
-				NewGenerator: func(task int) engine.Generator { return newCustomerGen(cfg, dom, task) },
+				NewSource: func(task int) engine.Source { return newCustomerGen(cfg, dom, task) },
 			},
 		},
 		Rates: []float64{cfg.LineitemRate, cfg.LineitemRate / 4, cfg.LineitemRate / 16},
@@ -225,7 +225,8 @@ func zipfPick(rng *rand.Rand, n int64, skew, hotFrac float64, hotKeys int64, ts 
 	return k
 }
 
-// The generators implement engine.BlockGenerator: NextBlock runs the
+// The generators implement engine.Source natively (plus the row-level
+// engine.Generator for tests and CSV sampling): NextBlock runs the
 // same per-row draws as Next in ascending row order, writing column
 // lanes directly, so batched and tuple-at-a-time execution consume the
 // RNG identically and produce byte-identical streams. Drift reads the
@@ -237,7 +238,7 @@ type lineitemGen struct {
 	rng *rand.Rand
 }
 
-func newLineitemGen(cfg Config, d domains, task int) engine.Generator {
+func newLineitemGen(cfg Config, d domains, task int) *lineitemGen {
 	return &lineitemGen{cfg: cfg, d: d, rng: rand.New(rand.NewSource(int64(task)*104729 + 7))}
 }
 
@@ -280,7 +281,7 @@ type ordersGen struct {
 	rng *rand.Rand
 }
 
-func newOrdersGen(cfg Config, d domains, task int) engine.Generator {
+func newOrdersGen(cfg Config, d domains, task int) *ordersGen {
 	return &ordersGen{cfg: cfg, d: d, rng: rand.New(rand.NewSource(int64(task)*104729 + 11))}
 }
 
@@ -313,7 +314,7 @@ type customerGen struct {
 	rng *rand.Rand
 }
 
-func newCustomerGen(cfg Config, d domains, task int) engine.Generator {
+func newCustomerGen(cfg Config, d domains, task int) *customerGen {
 	return &customerGen{cfg: cfg, d: d, rng: rand.New(rand.NewSource(int64(task)*104729 + 13))}
 }
 

@@ -103,7 +103,7 @@ func TestGeneratorsProduceValidColumns(t *testing.T) {
 		t.Fatal(err)
 	}
 	var tu engine.Tuple
-	g := w.Streams[Lineitem].NewGenerator(0)
+	g := w.Streams[Lineitem].NewSource(0).(engine.Generator)
 	for i := 0; i < 1000; i++ {
 		g.Next(&tu, vtime.Time(i)*vtime.Time(vtime.Millisecond))
 		if tu.Cols[LQuantity] < 1 || tu.Cols[LQuantity] > 50 {
@@ -127,7 +127,7 @@ func TestSkewConcentratesKeys(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		g := w.Streams[Lineitem].NewGenerator(0)
+		g := w.Streams[Lineitem].NewSource(0).(engine.Generator)
 		var tu engine.Tuple
 		counts := map[int64]int{}
 		for i := 0; i < 5000; i++ {
@@ -157,7 +157,7 @@ func TestHotSetConcentratesMass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := w.Streams[Lineitem].NewGenerator(0)
+	g := w.Streams[Lineitem].NewSource(0).(engine.Generator)
 	var tu engine.Tuple
 	hot := 0
 	const n = 5000
@@ -180,7 +180,7 @@ func TestDriftRotatesHotKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := w.Streams[Lineitem].NewGenerator(0)
+	g := w.Streams[Lineitem].NewSource(0).(engine.Generator)
 	hot := func(ts vtime.Time) int64 {
 		var tu engine.Tuple
 		counts := map[int64]int{}
@@ -222,17 +222,20 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+// rowBlockGen is what the native sources implement: both the block
+// path the engine consumes and the row path tests compare against.
+type rowBlockGen interface {
+	engine.Source
+	engine.Generator
+}
+
 // blockEquivalence drives a generator's bulk path and a twin's per-row
 // path over the same timestamps and asserts identical lanes — the
-// contract engine.BlockGenerator demands (same RNG draw order, drift
-// read from the TS lane).
-func blockEquivalence(t *testing.T, mk func() engine.Generator, cols int, step vtime.Duration) {
+// contract engine.Source demands of a native block generator (same RNG
+// draw order, drift read from the TS lane).
+func blockEquivalence(t *testing.T, mk func() rowBlockGen, cols int, step vtime.Duration) {
 	t.Helper()
 	bulk, rowwise := mk(), mk()
-	bg, ok := bulk.(engine.BlockGenerator)
-	if !ok {
-		t.Fatal("generator does not implement engine.BlockGenerator")
-	}
 	const n = 96
 	var blk engine.TupleBlock
 	blk.Resize(n, cols)
@@ -240,8 +243,8 @@ func blockEquivalence(t *testing.T, mk func() engine.Generator, cols int, step v
 		blk.TS[r] = vtime.Time(vtime.Duration(r) * step)
 	}
 	// Fill in two uneven spans to exercise the [from, to) bounds.
-	bg.NextBlock(&blk, 0, 37)
-	bg.NextBlock(&blk, 37, n)
+	bulk.NextBlock(&blk, 0, 37)
+	bulk.NextBlock(&blk, 37, n)
 	var tu engine.Tuple
 	for r := 0; r < n; r++ {
 		rowwise.Next(&tu, blk.TS[r])
@@ -258,7 +261,7 @@ func TestBlockGeneratorsMatchRowPath(t *testing.T) {
 	cfg.DriftPeriod = 3 * vtime.Second // make NextBlock read the TS lane
 	d := newDomains(cfg.Scale)
 	step := 100 * vtime.Millisecond
-	blockEquivalence(t, func() engine.Generator { return newLineitemGen(cfg, d, 1) }, 11, step)
-	blockEquivalence(t, func() engine.Generator { return newOrdersGen(cfg, d, 2) }, 6, step)
-	blockEquivalence(t, func() engine.Generator { return newCustomerGen(cfg, d, 3) }, 4, step)
+	blockEquivalence(t, func() rowBlockGen { return newLineitemGen(cfg, d, 1) }, 11, step)
+	blockEquivalence(t, func() rowBlockGen { return newOrdersGen(cfg, d, 2) }, 6, step)
+	blockEquivalence(t, func() rowBlockGen { return newCustomerGen(cfg, d, 3) }, 4, step)
 }

@@ -63,3 +63,38 @@ func (w *Workload) TotalRate() float64 {
 	}
 	return s
 }
+
+// RowAdapter lifts a per-row Generator to the block-native
+// engine.Source interface the engine consumes. The adapter draws one
+// row at a time in block row order, so a wrapped generator produces
+// exactly the sequence repeated Next calls would — batched and
+// tuple-at-a-time execution stay byte-identical (pinned by
+// TestRowAdapterMatchesNative). Workload packages should implement
+// NextBlock natively for the hot path; the adapter is for quick
+// prototype generators and tests.
+func RowAdapter(g engine.Generator) engine.Source {
+	return &rowAdapter{g: g}
+}
+
+type rowAdapter struct {
+	g engine.Generator
+	// shim is the Tuple staging cell; a field so its address crossing
+	// the Generator interface does not force a per-block allocation.
+	shim engine.Tuple
+}
+
+func (a *rowAdapter) NextBlock(b *engine.TupleBlock, from, to int) {
+	// The caller sized the lanes: every populated column lane spans the
+	// block, so the lane count is discoverable from the block itself.
+	cols := 0
+	for cols < engine.MaxCols && len(b.Col[cols]) > 0 {
+		cols++
+	}
+	t := &a.shim
+	for r := from; r < to; r++ {
+		a.g.Next(t, b.TS[r])
+		for c := 0; c < cols; c++ {
+			b.Col[c][r] = t.Cols[c]
+		}
+	}
+}

@@ -12,8 +12,8 @@ func tiny() *Workload {
 		Name: "tiny",
 		Streams: []engine.StreamDef{{
 			Name: "s", NumCols: 2, BytesPerTuple: 64,
-			NewGenerator: func(int) engine.Generator {
-				return engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) { t.Cols[0] = 1 })
+			NewSource: func(int) engine.Source {
+				return RowAdapter(engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) { t.Cols[0] = 1 }))
 			},
 		}},
 		Queries: []engine.QuerySpec{{

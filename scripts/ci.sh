@@ -13,14 +13,21 @@
 #                      (internal/faults), the AQE controller
 #                      (internal/aqe), the checkpoint coordinator
 #                      (internal/checkpoint) whose recovery paths run
-#                      inside pooled harness cells, and the sharded
+#                      inside pooled harness cells, the sharded
 #                      engine step (internal/engine, internal/core):
 #                      their suites raise the parallel budget so the
 #                      slot/router phases really run on goroutines
-#                      (TestShardedChurnStress, the determinism grid)
+#                      (TestShardedChurnStress, the determinism grid),
+#                      and the serving runtime (internal/runtime) whose
+#                      SPSC ingest rings are exactly the kind of
+#                      lock-free code the race detector exists for
 #   go test -fuzz ...  short smoke over the native fuzz targets —
-#                      keyspace subset remap/anchor math and mip model
-#                      ingestion — seeded from testdata/fuzz corpora
+#                      keyspace subset remap/anchor math, mip model
+#                      ingestion, and the SPSC ring against a model
+#                      queue — seeded from testdata/fuzz corpora
+#   serve smoke        boots sasparctl serve on loopback, blasts a
+#                      fixed row budget through the binary ingest
+#                      protocol, and asserts the /report saw every row
 #
 # SASPAR_PARALLEL caps the harness worker pool; keep CI deterministic
 # but let the bench tests use the machine.
@@ -45,11 +52,35 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/parallel/ ./internal/optimizer/ ./internal/obs/ ./internal/faults/ ./internal/aqe/ ./internal/checkpoint/ ./internal/engine/ ./internal/core/
+go test -race ./internal/parallel/ ./internal/optimizer/ ./internal/obs/ ./internal/faults/ ./internal/aqe/ ./internal/checkpoint/ ./internal/engine/ ./internal/core/ ./internal/runtime/
 
 echo "== go test -fuzz (smoke)"
 go test -run '^$' -fuzz FuzzSubsetRemap -fuzztime 10s ./internal/keyspace/
 go test -run '^$' -fuzz FuzzDecodeInstance -fuzztime 10s ./internal/mip/
+go test -run '^$' -fuzz FuzzRingModel -fuzztime 10s ./internal/runtime/
+
+echo "== serve smoke (loopback ingest)"
+ctl=$(mktemp -t sasparctl.XXXXXX)
+go build -o "$ctl" ./cmd/sasparctl
+"$ctl" serve -addr 127.0.0.1:17420 -http 127.0.0.1:17421 &
+serve_pid=$!
+blast_out=""
+for attempt in 1 2 3 4 5 6 7 8 9 10; do
+    if blast_out=$("$ctl" blast -addr 127.0.0.1:17420 -rows 65536 \
+        -report http://127.0.0.1:17421/report 2>/dev/null); then
+        break
+    fi
+    blast_out=""
+    sleep 1
+done
+kill -INT "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" || true
+rm -f "$ctl"
+echo "$blast_out"
+if ! echo "$blast_out" | grep -q '"ingested_rows":65536'; then
+    echo "serve smoke: report did not show 65536 ingested rows" >&2
+    exit 1
+fi
 
 echo "== bench compare (engine_step regression gate)"
 scripts/bench_compare.sh
