@@ -41,7 +41,7 @@ import (
 func main() {
 	var cf cliflags.Common
 	full := flag.Bool("full", false, "run at paper scale (slow)")
-	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml,recovery,ckpt-recovery)")
+	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml,recovery,ckpt-recovery,greedy)")
 	benchJSON := flag.String("bench-json", "", "write a performance snapshot to this file and exit")
 	benchCompare := flag.String("bench-compare", "", "compare current engine_step cost against this committed BENCH_*.json and exit non-zero on regression")
 	benchTol := flag.Float64("bench-tolerance", 25, "ns/op regression tolerance for -bench-compare, percent")
@@ -178,6 +178,12 @@ func run(sc bench.Scale, fig string) error {
 			return err
 		}
 		bench.PrintFig13(w, rows)
+	case "greedy":
+		rows, err := bench.Greedy(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintGreedy(w, rows)
 	case "ml":
 		rows, err := bench.MLAccuracy(sc)
 		if err != nil {

@@ -127,6 +127,8 @@ func serveCmd(args []string) {
 		runFor    = fs.Duration("for", 0, "wall-clock serving duration (0 = until interrupt)")
 		ring      = fs.Int("ring", 64, "ingest ring capacity, blocks per (stream, task)")
 		blockrows = fs.Int("blockrows", 4096, "rows per ingest block")
+		greedyAt  = fs.Int("greedy-threshold", 0, "groups×partitions size at which the optimizer switches to the one-pass greedy tier (0 = default, negative = never)")
+		refineAt  = fs.Float64("refine-drift", 0, "per-group drift above which a drift-fired round re-places only the moved groups (0 = always full re-solve)")
 	)
 	cf.Register(fs)
 	cf.RegisterSeed(fs)
@@ -157,7 +159,8 @@ func serveCmd(args []string) {
 
 	coreCfg := core.DefaultConfig()
 	coreCfg.TriggerInterval = 8 * vtime.Second
-	coreCfg.Opt = optimizer.Options{Timeout: 200e6}
+	coreCfg.Opt = optimizer.Options{Timeout: 200e6, GreedyThreshold: *greedyAt}
+	coreCfg.RefineDrift = *refineAt
 	coreCfg.Obs = obs.New()
 
 	srv, err := runtime.NewServer(runtime.Config{
@@ -470,6 +473,7 @@ func runCmd(args []string) {
 		measure    = fs.Duration("measure", 20*vtime.Second, "virtual measurement window")
 		drift      = fs.Duration("drift", 0, "hot-key drift period (0 = stationary)")
 		reps       = fs.Int("reps", 1, "repetitions to average")
+		greedyAt   = fs.Int("greedy-threshold", 0, "groups×partitions size at which the optimizer switches to the one-pass greedy tier (0 = default, negative = never)")
 	)
 	cf.Register(fs)
 	cf.RegisterSeed(fs)
@@ -502,7 +506,7 @@ func runCmd(args []string) {
 
 	coreCfg := core.DefaultConfig()
 	coreCfg.TriggerInterval = 8 * vtime.Second
-	coreCfg.Opt = optimizer.Options{Timeout: 500e6}
+	coreCfg.Opt = optimizer.Options{Timeout: 500e6, GreedyThreshold: *greedyAt}
 
 	res, err := driver.Run(driver.Config{
 		SUT:         sut,

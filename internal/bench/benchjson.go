@@ -61,6 +61,13 @@ type BenchReport struct {
 	RunAllParallelSec   float64 `json:"runall_parallel_seconds"`
 	RunAllSpeedup       float64 `json:"runall_speedup"`
 
+	// GreedySolveSeconds is one greedy-tier optimizer solve at
+	// acceptance scale (8 queries × 64 partitions × 100k key groups,
+	// internal/bench/greedy.go) — the number that must stay inside an
+	// optimizer trigger interval for drift response at serving scale.
+	// Absent from snapshots that predate the greedy tier.
+	GreedySolveSeconds float64 `json:"greedy_solve_seconds,omitempty"`
+
 	// ServeMtuplesPerSec is the wall-clock serving path end to end:
 	// loopback TCP blast into `sasparctl serve`'s runtime, timed until
 	// the engine claimed every row (internal/bench/serve.go). Absent
@@ -234,6 +241,10 @@ func CollectBenchReport(sc Scale) (*BenchReport, error) {
 	}
 
 	if err := measureServe(rep, stepReps); err != nil {
+		return nil, err
+	}
+
+	if err := measureGreedySolve(rep, stepReps); err != nil {
 		return nil, err
 	}
 

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"saspar/internal/optimizer"
+	"saspar/internal/parallel"
+)
+
+// This file measures the greedy optimizer tier (internal/optimizer's
+// one-pass streaming assigner) against the B&B cascade across a size
+// ladder reaching the scales the cascade cannot touch — 64 partitions
+// × 100k key groups — and records the headline greedy_solve_seconds
+// number in the committed BENCH_*.json snapshots: the wall clock of
+// one greedy solve at serving scale, which must fit inside an
+// optimizer trigger interval.
+
+// GreedySizes is the greedy-vs-B&B size ladder. The quick rungs keep
+// the budget-capped B&B reference affordable; -full extends to the
+// 64-node × 100k-group acceptance point, where only the greedy tier
+// answers in time and the B&B column reports its capped incumbent.
+func GreedySizes(full bool) []OptSize {
+	sizes := []OptSize{
+		{8, 16, 1024}, {8, 16, 4096}, {8, 32, 4096}, {8, 32, 16384},
+	}
+	if full {
+		sizes = append(sizes,
+			OptSize{8, 64, 16384}, OptSize{8, 64, 65536}, OptSize{8, 64, 100000})
+	}
+	return sizes
+}
+
+// GreedyRow is one measurement: greedy and budget-capped B&B solve
+// times on the same instance, and the greedy objective relative to the
+// B&B incumbent (≤ 1 means greedy matched or beat the capped cascade).
+type GreedyRow struct {
+	Size OptSize
+
+	GreedyMillis float64
+	BBMillis     float64
+	BBCapped     bool // B&B hit its budget; its objective is an incumbent, not an optimum
+
+	// Ratio is bbObjective / greedyObjective in (0, 1+]: 1 means the
+	// greedy plan matched the cascade's answer, above 1 means greedy
+	// found the better plan within the B&B's budget.
+	Ratio float64
+}
+
+// Greedy runs the ladder. Like Fig8 it measures real wall clock per
+// solver call, so cells go through the serial pool and own the machine.
+func Greedy(sc Scale) ([]GreedyRow, error) {
+	sizes := GreedySizes(sc.Full)
+	rows, err := parallel.Map(serialPool(), len(sizes), func(i int) (GreedyRow, error) {
+		size := sizes[i]
+		req := synthRequest(size, 42)
+
+		gStart := time.Now()
+		gRes, err := optimizer.Optimize(req, optimizer.Options{GreedyThreshold: 1})
+		if err != nil {
+			return GreedyRow{}, err
+		}
+		gMs := float64(time.Since(gStart).Microseconds()) / 1000
+
+		bbStart := time.Now()
+		bbRes, err := optimizer.Optimize(req, optimizer.Options{MIPOnly: true, Timeout: sc.MIPCap})
+		if err != nil {
+			return GreedyRow{}, err
+		}
+		bbMs := float64(time.Since(bbStart).Microseconds()) / 1000
+
+		return GreedyRow{
+			Size:         size,
+			GreedyMillis: gMs,
+			BBMillis:     bbMs,
+			BBCapped:     !bbRes.Exact,
+			Ratio:        bbRes.Objective / gRes.Objective,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// PrintGreedy renders the ladder.
+func PrintGreedy(w io.Writer, rows []GreedyRow) {
+	var out []string
+	for _, r := range rows {
+		capped := ""
+		if r.BBCapped {
+			capped = " (budget)"
+		}
+		out = append(out, fmt.Sprintf("%s\t%.1f\t%.1f%s\t%.3f", r.Size, r.GreedyMillis, r.BBMillis, capped, r.Ratio))
+	}
+	table(w, "size\tgreedy (ms)\tB&B (ms)\tB&B obj / greedy obj", out)
+}
+
+// greedySolveSize is the acceptance-scale instance behind
+// greedy_solve_seconds: 8 queries over 64 partitions × 100k key
+// groups, the shape ROADMAP's serving target quotes.
+var greedySolveSize = OptSize{Queries: 8, Partitions: 64, Groups: 100000}
+
+// MeasureGreedySolve times one greedy solve at acceptance scale and
+// returns the wall-clock seconds. It errors if the optimizer did not
+// actually take the greedy tier — the measurement would silently time
+// the cascade otherwise.
+func MeasureGreedySolve() (float64, error) {
+	req := synthRequest(greedySolveSize, 42)
+	start := time.Now()
+	res, err := optimizer.Optimize(req, optimizer.Options{})
+	if err != nil {
+		return 0, err
+	}
+	sec := time.Since(start).Seconds()
+	if res.SucceededVia != optimizer.HeurGreedy {
+		return 0, fmt.Errorf("greedy solve: %d groups × %d partitions went via %q, want greedy",
+			greedySolveSize.Groups, greedySolveSize.Partitions, res.SucceededVia)
+	}
+	return sec, nil
+}
+
+// measureGreedySolve fills rep.GreedySolveSeconds, best of reps runs
+// (min-of-N, same policy as the other snapshot entries).
+func measureGreedySolve(rep *BenchReport, reps int) error {
+	if reps < 1 {
+		reps = 1
+	}
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		sec, err := MeasureGreedySolve()
+		if err != nil {
+			return err
+		}
+		if i == 0 || sec < best {
+			best = sec
+		}
+	}
+	rep.GreedySolveSeconds = best
+	return nil
+}

@@ -156,6 +156,15 @@ type Options struct {
 	// reported Objective then includes movement, so callers can compare
 	// it directly against the incumbent plan's score.
 	MoveCost []float64
+
+	// Incumbent, when non-nil, seeds the search with a known-feasible
+	// assignment (Incumbent[class][group] = partition): its objective
+	// becomes the initial upper bound, tightening pruning from node 0.
+	// A shape mismatch is an error, but an incumbent with any partition
+	// outside [0, NumPartitions) is silently ignored — a stale seed
+	// (e.g. one computed before the partition domain shrank) must never
+	// anchor the search to an infeasible plan.
+	Incumbent [][]int
 }
 
 // Result is a solve outcome. Assign[c][g] is the partition of class c's
@@ -198,6 +207,16 @@ func Solve(in *Instance, opt Options) (*Result, error) {
 	}
 	if opt.MoveCost != nil && len(opt.MoveCost) != len(in.Classes) {
 		return nil, fmt.Errorf("mip: MoveCost covers %d classes, want %d", len(opt.MoveCost), len(in.Classes))
+	}
+	if opt.Incumbent != nil {
+		if len(opt.Incumbent) != len(in.Classes) {
+			return nil, fmt.Errorf("mip: Incumbent covers %d classes, want %d", len(opt.Incumbent), len(in.Classes))
+		}
+		for ci, row := range opt.Incumbent {
+			if len(row) != in.NumGroups {
+				return nil, fmt.Errorf("mip: Incumbent class %d covers %d groups, want %d", ci, len(row), in.NumGroups)
+			}
+		}
 	}
 	s := newSolver(in, opt)
 	return s.run(), nil
@@ -427,6 +446,16 @@ func (s *solver) run() *Result {
 			s.best = obj
 			for ci := range a {
 				copy(s.bestAssign[ci], a[ci])
+			}
+		}
+	}
+	// A caller-provided incumbent (greedy-tier seed) tightens the bound
+	// further — but only when it is feasible in this instance's domain.
+	if inc := s.feasibleIncumbent(); inc != nil {
+		if obj := Evaluate(s.in, inc) + MovementPenalty(s.in, s.opt, inc); obj < s.best {
+			s.best = obj
+			for ci := range inc {
+				copy(s.bestAssign[ci], inc[ci])
 			}
 		}
 	}
@@ -683,6 +712,25 @@ func (s *solver) anchorAssign() [][]int {
 		}
 	}
 	return out
+}
+
+// feasibleIncumbent returns opt.Incumbent iff every entry lies inside
+// the instance's partition domain, nil otherwise. A stale seed — say,
+// one solved before a crash shrank the domain — is dropped here rather
+// than anchoring the search to a plan the cluster can no longer run.
+func (s *solver) feasibleIncumbent() [][]int {
+	inc := s.opt.Incumbent
+	if inc == nil {
+		return nil
+	}
+	for _, row := range inc {
+		for _, p := range row {
+			if p < 0 || p >= s.in.NumPartitions {
+				return nil
+			}
+		}
+	}
+	return inc
 }
 
 // greedy builds the initial incumbent: group-major, each decision takes

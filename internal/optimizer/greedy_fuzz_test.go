@@ -1,0 +1,101 @@
+package optimizer
+
+import (
+	"testing"
+)
+
+// greedyGapBound is the contract the fuzzer enforces: on small random
+// instances the streaming greedy plan stays within this factor of the
+// proven B&B optimum. The one-pass greedy has no backtracking, so a
+// loose-but-bounded factor is the honest guarantee; in practice the
+// gap is far smaller (the seed corpus lands within a few percent).
+const greedyGapBound = 2.0
+
+// fuzzRequest decodes a small instance from fuzz bytes: 1–3 query
+// classes over one stream, 2–6 key groups, 2–4 partitions, with
+// cardinalities and sharing coefficients drawn from the input.
+func fuzzRequest(data []byte) *Request {
+	if len(data) < 4 {
+		return nil
+	}
+	queries := 1 + int(data[0])%3
+	groups := 2 + int(data[1])%5
+	partitions := 2 + int(data[2])%3
+	next := 3
+	byteAt := func() float64 {
+		if next >= len(data) {
+			next = 3
+		}
+		b := data[next]
+		next++
+		return float64(b)
+	}
+	req := &Request{
+		NumPartitions: partitions,
+		NumGroups:     groups,
+		NumStreams:    1,
+		LocalFrac:     make([]float64, partitions),
+		LatNet:        1.0,
+		LatMem:        0.01,
+		LatProc:       0.3,
+	}
+	for p := range req.LocalFrac {
+		req.LocalFrac[p] = byteAt() / 255 * 0.5
+	}
+	for q := 0; q < queries; q++ {
+		in := InputStats{Stream: 0, Card: make([]float64, groups), SW: make([]float64, groups)}
+		for g := 0; g < groups; g++ {
+			in.Card[g] = 1 + byteAt()
+			in.SW[g] = byteAt() / 255
+		}
+		req.Queries = append(req.Queries, QueryStats{ID: "q", Weight: 1, Inputs: []InputStats{in}})
+	}
+	return req
+}
+
+// FuzzGreedyVsBB checks, instance by instance, that the greedy tier is
+// always feasible and — whenever B&B proves optimality — within
+// greedyGapBound of the optimum.
+func FuzzGreedyVsBB(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 10, 20, 30, 40, 50, 60, 70, 80})
+	f.Add([]byte{2, 4, 2, 255, 0, 255, 0, 128, 128, 64, 192, 17, 99, 200, 3})
+	f.Add([]byte{1, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{2, 2, 0, 250, 250, 5, 5, 250, 5, 250, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req := fuzzRequest(data)
+		if req == nil {
+			return
+		}
+		greedy, err := Optimize(req, Options{GreedyThreshold: forceGreedy})
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		if greedy.SucceededVia != HeurGreedy {
+			t.Fatalf("via = %q, want greedy", greedy.SucceededVia)
+		}
+		for qi, a := range greedy.Assign {
+			if a == nil || !a.Complete() {
+				t.Fatalf("query %d assignment missing or incomplete", qi)
+			}
+		}
+		scored, err := Score(req, greedy.Assign)
+		if err != nil {
+			t.Fatalf("greedy plan rejected by Score: %v", err)
+		}
+		if diff := scored - greedy.Objective; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("greedy objective %v != Score %v", greedy.Objective, scored)
+		}
+
+		exact, err := Optimize(req, Options{MIPOnly: true, DeterministicBudget: true, MaxNodes: 50000})
+		if err != nil {
+			t.Fatalf("bb: %v", err)
+		}
+		if !exact.Exact {
+			return // node budget hit; no proven optimum to compare against
+		}
+		if greedy.Objective > exact.Objective*greedyGapBound+1e-6 {
+			t.Fatalf("greedy %v vs B&B optimum %v: gap %.3fx exceeds bound %.1fx",
+				greedy.Objective, exact.Objective, greedy.Objective/exact.Objective, greedyGapBound)
+		}
+	})
+}

@@ -46,6 +46,12 @@ type componentResult struct {
 // original, unreduced instance — is returned, so the optimizer always
 // produces a usable plan (the CPLEX "best result up to that point").
 func solveComponent(req *Request, c *component, opt Options) *componentResult {
+	// Above the size threshold the streaming greedy tier replaces the
+	// whole cascade (including the descent polish, whose full-instance
+	// rescoring is quadratic in groups and would dwarf the solve).
+	if opt.greedyStandalone(req) {
+		return greedyComponent(req, c, opt)
+	}
 	orig := buildInstance(req, c)
 	anchorOpts := buildAnchor(req, c, opt)
 	cr := solveComponentInner(req, c, opt, orig, anchorOpts)
@@ -117,12 +123,34 @@ func solveComponentInner(req *Request, c *component, opt Options, orig *mip.Inst
 		best(anchorRows)
 	}
 
+	// Below the standalone threshold the streaming greedy plan still
+	// earns its keep twice: as a candidate plan in its own right, and
+	// as B&B's initial incumbent so pruning starts from a tight upper
+	// bound. The same anchorFeasible guard that protects anchor seeding
+	// applies — a plan outside the (possibly crash-shrunk) partition
+	// domain must never seed the search. MIPOnly stays a pure single
+	// solve, the Fig. 8a "MIP" series.
+	var seed [][]int
+	if !opt.MIPOnly && !opt.disabled(HeurGreedy) {
+		seed = greedyAssign(orig, anchorOpts, nil)
+		if anchorFeasible(seed, orig.NumPartitions) {
+			seedCopy := make([][]int, len(seed))
+			for i, row := range seed {
+				seedCopy[i] = append([]int(nil), row...)
+			}
+			best(seedCopy)
+		} else {
+			seed = nil
+		}
+	}
+
 	exec := func(in *mip.Instance, gap float64, budget time.Duration) (*mip.Result, bool) {
 		cr.stats.solves++
 		o := mip.Options{RelGap: gap, TimeBudget: budget, MaxNodes: opt.MaxNodes}
 		if in == orig {
 			o.Prefer = prefer
 			o.MoveCost = moveCost
+			o.Incumbent = seed
 		}
 		res, err := mip.Solve(in, o)
 		if err != nil {

@@ -102,7 +102,15 @@ const (
 	HeurTreeOpt    = "tree_opt"
 	HeurHybridExec = "hybrid_exec"
 	HeurParallel   = "parallel_streams"
+	HeurGreedy     = "greedy"
 )
+
+// DefaultGreedyThreshold is the groups × partitions product at which
+// the streaming greedy tier takes over from the B&B cascade. Below it
+// B&B finishes (or degrades gracefully) inside one optimizer interval;
+// above it even the cascade's reductions thrash, while one greedy pass
+// stays O(groups × partitions).
+const DefaultGreedyThreshold = 1 << 17
 
 // Options control Algorithm 1.
 type Options struct {
@@ -149,6 +157,20 @@ type Options struct {
 	// request query (requires Anchor). The Result.Objective then
 	// includes movement, directly comparable to Score of the incumbent.
 	MoveCost []float64
+	// GreedyThreshold dispatches instances with groups × partitions at
+	// or above it to the streaming greedy tier instead of the B&B
+	// cascade (0 = DefaultGreedyThreshold, negative = never standalone).
+	// Below the threshold the greedy plan still seeds B&B as its
+	// initial incumbent unless Disable[HeurGreedy] is set.
+	GreedyThreshold int
+	// RefineGroups, when non-nil alongside Anchor, marks the key groups
+	// eligible for re-placement this round (true = stats moved, re-place;
+	// false = keep the anchored partition). Only the greedy standalone
+	// tier honors the mask — its instances are the ones where a full
+	// re-solve is expensive; the B&B cascade ignores it. Groups whose
+	// anchor is missing or out of domain are always re-placed. Must
+	// cover NumGroups entries when set.
+	RefineGroups []bool
 	// AllowedPartitions, when non-nil, restricts the placement domain:
 	// partitions with a false entry (crashed or derated nodes) receive
 	// no key groups. The solver runs on the reduced partition set and
@@ -191,6 +213,23 @@ func (o Options) withDefaults() Options {
 
 func (o Options) disabled(h string) bool { return o.Disable != nil && o.Disable[h] }
 
+// greedyStandalone reports whether the streaming greedy tier replaces
+// the B&B cascade for this request size. MIPOnly keeps its "one exact
+// solve" contract regardless of size.
+func (o Options) greedyStandalone(req *Request) bool {
+	if o.MIPOnly || o.disabled(HeurGreedy) {
+		return false
+	}
+	t := o.GreedyThreshold
+	if t == 0 {
+		t = DefaultGreedyThreshold
+	}
+	if t < 0 {
+		return false
+	}
+	return req.NumGroups*req.NumPartitions >= t
+}
+
 // Result is one optimization round's outcome.
 type Result struct {
 	// Assign holds one assignment per request query (canonical class);
@@ -225,6 +264,9 @@ type Result struct {
 func Optimize(req *Request, opt Options) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
+	}
+	if opt.RefineGroups != nil && len(opt.RefineGroups) != req.NumGroups {
+		return nil, fmt.Errorf("optimizer: RefineGroups covers %d groups, want %d", len(opt.RefineGroups), req.NumGroups)
 	}
 	if opt.AllowedPartitions != nil {
 		return optimizeRestricted(req, opt)

@@ -1,0 +1,8 @@
+//go:build race
+
+package optimizer
+
+// raceEnabled reports the race detector is instrumenting this build;
+// wall-clock assertions calibrated for plain builds skip under the
+// detector's ~10× slowdown.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -85,10 +86,24 @@ type Server struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 
-	start time.Time
-	stop  chan struct{}
-	done  chan struct{}
-	wg    sync.WaitGroup
+	// connMu guards conns, the set of live ingest connections. Stop
+	// closes them after halting the serve loop: a producer that keeps
+	// writing would otherwise hold its serveConn goroutine — and
+	// Stop's wg.Wait — forever, since closing the listener only stops
+	// NEW connections.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// cRefused counts HTTP ingest requests bounced with 503 because
+	// the target ring stayed full: refused rows are the producer's to
+	// retry, never silently dropped.
+	cRefused *obs.Counter
+
+	start    time.Time
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
 }
 
 // NewServer builds the system and its ingest rings. Call Start to
@@ -109,12 +124,15 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:  cfg,
-		sys:  sys,
-		reg:  cfg.Core.Obs,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		cfg:   cfg,
+		sys:   sys,
+		reg:   cfg.Core.Obs,
+		conns: make(map[net.Conn]struct{}),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}
+	s.cRefused = s.reg.Counter("serve_ingest_refused_total",
+		"HTTP ingest requests refused with 503 because the target ring stayed full.")
 	tasks := sys.Engine().Config().SourceTasks
 	for si, def := range cfg.Workload.Streams {
 		qs := make([]*BlockQueue, tasks)
@@ -163,6 +181,9 @@ func (s *Server) HTTPAddr() string {
 
 // Start binds the configured listeners and launches the serve loop.
 func (s *Server) Start() error {
+	// Stamp before any listener goroutine exists: a /report landing the
+	// instant Serve starts must not race this write.
+	s.start = time.Now()
 	if s.cfg.Addr != "" {
 		ln, err := net.Listen("tcp", s.cfg.Addr)
 		if err != nil {
@@ -192,23 +213,40 @@ func (s *Server) Start() error {
 			s.httpSrv.Serve(ln)
 		}()
 	}
-	s.start = time.Now()
 	go s.loop()
 	return nil
 }
 
-// Stop shuts the listeners, waits for connection handlers, and halts
-// the serve loop. The system stays inspectable afterwards.
+// Stop halts the serve loop, shuts the listeners, force-closes live
+// ingest connections and waits for every handler to finish. Idempotent
+// and safe to call concurrently. The system stays inspectable
+// afterwards.
 func (s *Server) Stop() {
-	close(s.stop)
-	<-s.done
-	if s.tcpLn != nil {
-		s.tcpLn.Close()
-	}
-	if s.httpSrv != nil {
-		s.httpSrv.Close()
-	}
-	s.wg.Wait()
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		<-s.done
+		if s.tcpLn != nil {
+			s.tcpLn.Close()
+		}
+		// Closing the listener only stops NEW connections; a producer
+		// that keeps streaming frames would hold its serveConn
+		// goroutine — and wg.Wait below — forever. Close live conns so
+		// their blocking reads fail and the handlers drain.
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		if s.httpSrv != nil {
+			// Shutdown (unlike Close) waits for in-flight handlers, so
+			// an /ingest racing Stop either finishes its Offer or gets
+			// its 503 — never a half-written response.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			s.httpSrv.Shutdown(ctx)
+			cancel()
+		}
+		s.wg.Wait()
+	})
 }
 
 // loop is the serve loop: one engine tick per iteration, run
@@ -255,10 +293,18 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+				conn.Close()
+			}()
 			s.serveConn(conn)
 		}()
 	}
@@ -295,6 +341,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// the backpressure to the producer.
 			select {
 			case <-s.stop:
+				q.Release(b) // back to the free ring, not leaked
 				return
 			default:
 				time.Sleep(100 * time.Microsecond)
@@ -356,6 +403,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for i := 0; !q.Offer(b); i++ {
 		if i >= 50 {
 			q.Release(b)
+			s.cRefused.Inc()
 			http.Error(w, "ingest ring full", http.StatusServiceUnavailable)
 			return
 		}
@@ -391,6 +439,7 @@ type Report struct {
 	RowsPerSec   float64       `json:"rows_per_sec"`
 	IngestBlocks float64       `json:"ingest_blocks"`
 	RingFull     float64       `json:"ring_full_total"`
+	Refused      float64       `json:"ingest_refused_total"`
 	Recycled     float64       `json:"blocks_recycled"`
 	Triggers     int           `json:"optimizer_triggers"`
 	Applied      int           `json:"plans_applied"`
@@ -421,6 +470,7 @@ func (s *Server) Report() Report {
 			rep.Recycled += q.cRecycled.Value()
 		}
 	}
+	rep.Refused = s.cRefused.Value()
 	snap := s.sys.Snapshot()
 	rep.Triggers = snap.Triggers
 	rep.Applied = snap.Applied

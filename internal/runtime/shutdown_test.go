@@ -1,0 +1,227 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"saspar/internal/engine"
+)
+
+// TestStopUnblocksActiveConn is the shutdown-hang regression: Stop used
+// to close only the listener, so a connected producer parked in
+// ReadFrame kept its serveConn goroutine — and Stop's wg.Wait — alive
+// forever. Stop must force-close live connections and return promptly,
+// and calling it again must be a no-op.
+func TestStopUnblocksActiveConn(t *testing.T) {
+	srv := testServer(t, 1)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteHeader(conn, Header{Stream: 0, Task: 0, Cols: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// One real frame proves the connection is bound and live…
+	var b engine.TupleBlock
+	b.Resize(16, 3)
+	var scratch []byte
+	if err := WriteFrame(conn, &b, 3, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	waitIngested(t, srv, 16)
+	// …then it goes idle mid-stream: serveConn is blocked in ReadFrame.
+	done := make(chan struct{})
+	go func() {
+		srv.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("Stop hung on an idle ingest connection")
+	}
+	srv.Stop() // idempotent
+}
+
+// TestServeConnRejectsColsMismatch: a connection whose header claims a
+// column count other than the stream's must be dropped at handshake,
+// never bound to a ring.
+func TestServeConnRejectsColsMismatch(t *testing.T) {
+	srv := testServer(t, 1)
+	defer srv.Stop()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteHeader(conn, Header{Stream: 0, Task: 0, Cols: 2}); err != nil { // stream has 3
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("mismatched-cols conn not closed: %v", err)
+	}
+	// The ring must still be claimable by a well-formed producer.
+	if !srv.Queue(0, 0).TryAcquire() {
+		t.Fatal("rejected handshake left the ring claimed")
+	}
+	srv.Queue(0, 0).ReleaseProducer()
+}
+
+// TestServeStressStopRace hammers every front-end at once — TCP blast,
+// HTTP ingest, HTTP /report, in-process Report — then Stops mid-flight.
+// Run under -race (ci.sh does) this pins the shutdown paths: handler
+// drain via Shutdown, conn force-close, and the serve-loop handoff.
+func TestServeStressStopRace(t *testing.T) {
+	srv := testServer(t, 2)
+	base := "http://" + srv.HTTPAddr()
+
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // TCP blast on the task-0 ring; errors after Stop are expected
+		defer wg.Done()
+		Blast(BlastConfig{
+			Addr:      srv.Addr(),
+			Workload:  serveWorkload(),
+			Tasks:     1,
+			Rows:      1 << 22,
+			BlockRows: 512,
+		})
+	}()
+	wg.Add(1)
+	go func() { // HTTP ingest on the task-1 ring
+		defer wg.Done()
+		body, _ := json.Marshal(ingestRequest{Stream: 0, Task: 1, Rows: [][]int64{{1, 2, 3}}})
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+			resp, err := http.Post(base+"/ingest", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return // listener closed by Stop
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	wg.Add(1)
+	go func() { // report pollers, remote and in-process
+		defer wg.Done()
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+			resp, err := http.Get(base + "/report")
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			srv.Report()
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		srv.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Stop hung under concurrent ingest and report load")
+	}
+	close(quit)
+	wg.Wait()
+	// The system stays inspectable after Stop.
+	if rep := srv.Report(); rep.IngestedRows < 0 {
+		t.Fatalf("bad post-stop report: %+v", rep)
+	}
+}
+
+// TestHTTPIngestBackpressure is the silent-drop regression for
+// satellite 3: with the serve loop never draining, a full ring must
+// answer 503 and count the refusal — every posted row is either
+// retained in the ring or refused back to the producer, never lost.
+func TestHTTPIngestBackpressure(t *testing.T) {
+	engCfg := engine.DefaultConfig()
+	engCfg.Nodes = 2
+	engCfg.NumPartitions = 4
+	engCfg.NumGroups = 8
+	engCfg.SourceTasks = 1
+	engCfg.TupleWeight = 1
+	srv, err := NewServer(Config{
+		Workload:   serveWorkload(),
+		Engine:     engCfg,
+		RingBlocks: 2, // data ring holds exactly 2 blocks
+		BlockRows:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately NOT Started: nothing consumes, so the 503 path is
+	// deterministic once the ring fills.
+
+	post := func(rows int) (code int) {
+		rr := make([][]int64, rows)
+		for i := range rr {
+			rr[i] = []int64{int64(i), 1, 2}
+		}
+		body, _ := json.Marshal(ingestRequest{Stream: 0, Task: 0, Rows: rr})
+		w := httptest.NewRecorder()
+		srv.handleIngest(w, httptest.NewRequest("POST", "/ingest", bytes.NewReader(body)))
+		return w.Code
+	}
+
+	var accepted, refused, acceptedRows, refusedRows int
+	for i := 1; i <= 5; i++ {
+		rows := 10 * i
+		switch code := post(rows); code {
+		case http.StatusAccepted:
+			accepted++
+			acceptedRows += rows
+		case http.StatusServiceUnavailable:
+			refused++
+			refusedRows += rows
+		default:
+			t.Fatalf("post %d: unexpected status %d", i, code)
+		}
+	}
+	if accepted != 2 || refused != 3 {
+		t.Fatalf("accepted %d refused %d, want 2/3 on a 2-block ring", accepted, refused)
+	}
+	if acceptedRows+refusedRows != 10+20+30+40+50 {
+		t.Fatalf("rows unaccounted for: %d accepted + %d refused", acceptedRows, refusedRows)
+	}
+
+	q := srv.Queue(0, 0)
+	if got := q.cRows.Value(); got != float64(acceptedRows) {
+		t.Fatalf("ring counted %v rows, want %d (refused rows must not be counted as ingested)", got, acceptedRows)
+	}
+	rep := srv.Report()
+	if rep.Refused != float64(refused) {
+		t.Fatalf("report refused = %v, want %d", rep.Refused, refused)
+	}
+	// Row conservation: the ring holds exactly the accepted rows.
+	var pending int
+	for q.Pending() > 0 {
+		pending += q.Poll().Len()
+	}
+	if pending != acceptedRows {
+		t.Fatalf("ring holds %d rows, want %d", pending, acceptedRows)
+	}
+}

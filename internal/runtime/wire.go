@@ -140,10 +140,14 @@ func ReadFrame(r io.Reader, b *engine.TupleBlock, cols int, scratch *[]byte) (in
 		}
 		return 0, err
 	}
-	rows := int(binary.LittleEndian.Uint32(hdr[:]))
-	if rows > MaxFrameRows {
-		return 0, fmt.Errorf("runtime: frame of %d rows exceeds the %d cap", rows, MaxFrameRows)
+	// Bound-check in unsigned space BEFORE converting: on 32-bit hosts
+	// int(u32) of a hostile length prefix (> MaxInt32) goes negative
+	// and would slip past a signed comparison into Resize.
+	u := binary.LittleEndian.Uint32(hdr[:])
+	if u > MaxFrameRows {
+		return 0, fmt.Errorf("runtime: frame of %d rows exceeds the %d cap", u, MaxFrameRows)
 	}
+	rows := int(u)
 	b.Resize(rows, cols)
 	if rows == 0 {
 		return 0, nil

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"testing"
 
@@ -97,6 +98,87 @@ func TestFrameOversizedRejected(t *testing.T) {
 	if _, err := ReadFrame(buf, &dst, 1, &scratch); err == nil {
 		t.Fatal("4-billion-row frame accepted")
 	}
+}
+
+// TestFrameHostileRowCounts pins the decode bound check against
+// adversarial length prefixes. The int32-overflow case is the
+// regression: the old decoder converted the u32 to int BEFORE the
+// bound check, so on 32-bit hosts a prefix above MaxInt32 went
+// negative, slipped past the signed comparison, and reached Resize.
+func TestFrameHostileRowCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		rows uint32
+	}{
+		{"cap-plus-one", MaxFrameRows + 1},
+		{"int32-overflow", 1<<31 + 1},
+		{"all-ones", 0xFFFFFFFF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], tc.rows)
+			var dst engine.TupleBlock
+			var scratch []byte
+			n, err := ReadFrame(bytes.NewReader(hdr[:]), &dst, 2, &scratch)
+			if err == nil {
+				t.Fatalf("frame claiming %d rows accepted (n=%d)", tc.rows, n)
+			}
+			if dst.Len() != 0 {
+				t.Fatalf("block grew to %d rows before rejection", dst.Len())
+			}
+		})
+	}
+	// Exactly the cap is legal and must round-trip.
+	var src engine.TupleBlock
+	src.Resize(MaxFrameRows, 1)
+	var buf bytes.Buffer
+	var scratch []byte
+	if err := WriteFrame(&buf, &src, 1, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	var dst engine.TupleBlock
+	n, err := ReadFrame(&buf, &dst, 1, &scratch)
+	if err != nil || n != MaxFrameRows {
+		t.Fatalf("cap-sized frame: n=%d err=%v", n, err)
+	}
+}
+
+// FuzzWire replays arbitrary bytes through the full connection decode
+// path — header then a frame loop — asserting the decoder neither
+// panics nor materializes more rows than the frame cap allows.
+func FuzzWire(f *testing.F) {
+	var hb bytes.Buffer
+	WriteHeader(&hb, Header{Stream: 0, Task: 0, Cols: 2})
+	var blk engine.TupleBlock
+	blk.Resize(3, 2)
+	var fb bytes.Buffer
+	var scratch []byte
+	WriteFrame(&fb, &blk, 2, &scratch)
+	f.Add(append(append([]byte(nil), hb.Bytes()...), fb.Bytes()...))
+	f.Add(hb.Bytes())
+	f.Add(append(append([]byte(nil), hb.Bytes()...), 0, 0, 0, 0))             // heartbeat
+	f.Add(append(append([]byte(nil), hb.Bytes()...), 0xff, 0xff, 0xff, 0xff)) // hostile prefix
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		h, err := ReadHeader(r)
+		if err != nil {
+			return
+		}
+		var b engine.TupleBlock
+		var sc []byte
+		// Each iteration consumes at least the 4-byte prefix, so the
+		// loop terminates on any finite input.
+		for {
+			rows, err := ReadFrame(r, &b, h.Cols, &sc)
+			if err != nil {
+				return
+			}
+			if rows < 0 || rows > MaxFrameRows || b.Len() > MaxFrameRows {
+				t.Fatalf("decoded %d rows (block %d) past the cap", rows, b.Len())
+			}
+		}
+	})
 }
 
 func TestFrameTruncationDetected(t *testing.T) {

@@ -23,8 +23,10 @@
 #                      lock-free code the race detector exists for
 #   go test -fuzz ...  short smoke over the native fuzz targets —
 #                      keyspace subset remap/anchor math, mip model
-#                      ingestion, and the SPSC ring against a model
-#                      queue — seeded from testdata/fuzz corpora
+#                      ingestion, the SPSC ring against a model queue,
+#                      the wire decoder against hostile frames, and the
+#                      greedy optimizer tier against the B&B optimum —
+#                      seeded from testdata/fuzz corpora
 #   serve smoke        boots sasparctl serve on loopback, blasts a
 #                      fixed row budget through the binary ingest
 #                      protocol, and asserts the /report saw every row
@@ -58,6 +60,8 @@ echo "== go test -fuzz (smoke)"
 go test -run '^$' -fuzz FuzzSubsetRemap -fuzztime 10s ./internal/keyspace/
 go test -run '^$' -fuzz FuzzDecodeInstance -fuzztime 10s ./internal/mip/
 go test -run '^$' -fuzz FuzzRingModel -fuzztime 10s ./internal/runtime/
+go test -run '^$' -fuzz FuzzWire -fuzztime 10s ./internal/runtime/
+go test -run '^$' -fuzz FuzzGreedyVsBB -fuzztime 10s ./internal/optimizer/
 
 echo "== serve smoke (loopback ingest)"
 ctl=$(mktemp -t sasparctl.XXXXXX)
