@@ -8,9 +8,10 @@
 // Without flags it runs the quick scale (seconds of wall time per
 // figure); -full approaches the paper's dimensions. -fig selects one
 // figure ("6", "7", "8", "9", "10", "11", "12a", "12b", "13", "ml",
-// "recovery", "ckpt-recovery" — the last two are the crash-recovery
-// and checkpointed-recovery experiments, which are not part of the
-// paper's figure set and therefore not included in the default run).
+// "recovery", "ckpt-recovery", "elastic" — the last three are the
+// crash-recovery, checkpointed-recovery, and elastic flash-crowd
+// experiments, which are not part of the paper's figure set and
+// therefore not included in the default run).
 // -workers bounds the run-matrix pool the harnesses fan cells over
 // (0 = SASPAR_PARALLEL env, then GOMAXPROCS; 1 = sequential); output
 // is identical at any worker count. -shards additionally parallelizes
@@ -41,7 +42,7 @@ import (
 func main() {
 	var cf cliflags.Common
 	full := flag.Bool("full", false, "run at paper scale (slow)")
-	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml,recovery,ckpt-recovery,greedy)")
+	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml,recovery,ckpt-recovery,greedy,elastic)")
 	benchJSON := flag.String("bench-json", "", "write a performance snapshot to this file and exit")
 	benchCompare := flag.String("bench-compare", "", "compare current engine_step cost against this committed BENCH_*.json and exit non-zero on regression")
 	benchTol := flag.Float64("bench-tolerance", 25, "ns/op regression tolerance for -bench-compare, percent")
@@ -202,6 +203,12 @@ func run(sc bench.Scale, fig string) error {
 			return err
 		}
 		bench.PrintCkptRecovery(w, rows)
+	case "elastic":
+		rows, err := bench.Elastic(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintElastic(w, rows)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}

@@ -1,5 +1,5 @@
 // Command sasparctl drives the simulated cluster interactively. It has
-// six subcommands:
+// seven subcommands:
 //
 //	sasparctl run      — benchmark one workload against one SUT and
 //	                     print the paper's metrics (the single-cell
@@ -22,6 +22,10 @@
 //	sasparctl blast    — loopback load generator: stream
 //	                     workload-generated blocks at a serve instance
 //	                     as fast as it accepts and report Mtuples/sec
+//	sasparctl elastic  — run the flash-crowd workload against the
+//	                     elastic autoscaler and dump the scale-out/in
+//	                     episode: join/drain decisions, nodes vs time,
+//	                     and the SLO-violation account
 //
 // Invoking sasparctl with bare flags (no subcommand) behaves as "run",
 // keeping older scripts working.
@@ -46,6 +50,11 @@
 //	sasparctl blast -addr HOST:PORT [-workload W] [-queries N]
 //	          [-tasks N] [-rows N] [-for D] [-blockrows N]
 //	          [-report URL]
+//	sasparctl elastic [-workload flash] [-queries N] [-nodes N]
+//	          [-groups N] [-rate R] [-duration D] [-nic B]
+//	          [-autoscale] [-autoscale-max N] [-autoscale-high W]
+//	          [-autoscale-low W] [-autoscale-step N] [-autoscale-poll D]
+//	          [-events N] [-seed S] [-shards N] [-batch N]
 //
 // -shards parallelizes each run's engine ticks across that many
 // workers (intra-run sharding); -batch sets the generation block size
@@ -70,6 +79,7 @@ import (
 	"saspar/internal/cliflags"
 	"saspar/internal/core"
 	"saspar/internal/driver"
+	"saspar/internal/elastic"
 	"saspar/internal/engine"
 	"saspar/internal/faults"
 	"saspar/internal/obs"
@@ -81,6 +91,7 @@ import (
 
 	// Blank imports run the workload registrations.
 	_ "saspar/internal/ajoinwl"
+	_ "saspar/internal/flashwl"
 	_ "saspar/internal/gcm"
 	_ "saspar/internal/tpch"
 )
@@ -104,8 +115,10 @@ func main() {
 		serveCmd(args)
 	case "blast":
 		blastCmd(args)
+	case "elastic":
+		elasticCmd(args)
 	default:
-		fail(fmt.Errorf("unknown subcommand %q (try run, inspect, faults, checkpoints, serve, blast)", cmd))
+		fail(fmt.Errorf("unknown subcommand %q (try run, inspect, faults, checkpoints, serve, blast, elastic)", cmd))
 	}
 }
 
@@ -255,6 +268,148 @@ func blastCmd(args []string) {
 		}
 		fmt.Printf("report       %s\n", strings.TrimSpace(string(body)))
 	}
+}
+
+// elasticCmd runs the flash-crowd workload against the elastic
+// autoscaler and narrates the episode: every join/drain decision from
+// the trace, the nodes-versus-time strip, and the SLO-violation
+// account. -autoscale=false runs the same crowd against the frozen
+// seed cluster so the two invocations bracket what elasticity buys.
+func elasticCmd(args []string) {
+	fs := flag.NewFlagSet("elastic", flag.ExitOnError)
+	var cf cliflags.Common
+	var (
+		wlName    = fs.String("workload", "flash", "workload: "+strings.Join(workload.Names(), ", "))
+		queries   = fs.Int("queries", 4, "query count")
+		nodes     = fs.Int("nodes", 4, "seed cluster nodes")
+		groups    = fs.Int("groups", 32, "key groups")
+		rate      = fs.Float64("rate", 10000, "calm-phase offered rate, tuples/s (the workload's schedule scales it)")
+		duration  = fs.Duration("duration", 60*vtime.Second, "virtual run time")
+		nic       = fs.Float64("nic", 1<<20, "per-node NIC bandwidth, bytes/s (sized so the flash saturates the seed cluster)")
+		autoscale = fs.Bool("autoscale", true, "run the elastic control loop (false = frozen seed cluster baseline)")
+		asMax     = fs.Int("autoscale-max", 0, "node ceiling the autoscaler may grow to (0 = nodes+4)")
+		asHigh    = fs.Float64("autoscale-high", 0.05, "high-water backpressure fraction that votes scale-out")
+		asLow     = fs.Float64("autoscale-low", 0.01, "low-water backpressure fraction that votes scale-in")
+		asStep    = fs.Int("autoscale-step", 2, "max nodes joined or drained per decision")
+		asPoll    = fs.Duration("autoscale-poll", 200*vtime.Millisecond, "virtual interval between autoscaler polls")
+		events    = fs.Int("events", 0, "elastic trace events to print (0 = all)")
+	)
+	cf.Register(fs)
+	cf.RegisterSeed(fs)
+	fs.Parse(args)
+	if err := cf.Validate(); err != nil {
+		fail(err)
+	}
+
+	w, err := workload.Open(*wlName, workload.Options{
+		Queries: *queries,
+		Rate:    *rate,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	engCfg := engine.DefaultConfig()
+	engCfg.Nodes = *nodes
+	engCfg.NumPartitions = 2 * *nodes
+	engCfg.NumGroups = *groups
+	engCfg.SourceTasks = 2 // keep high-ID nodes drainable
+	engCfg.ExactWindows = false
+	engCfg.NodeConfig.NICBytesPerSec = *nic
+	cf.Apply(&engCfg)
+
+	coreCfg := core.DefaultConfig()
+	coreCfg.TriggerInterval = 8 * vtime.Second
+	coreCfg.Opt = optimizer.Options{Timeout: 200e6}
+	coreCfg.Obs = obs.New()
+	pol := elastic.Config{
+		MinNodes:      *nodes,
+		MaxNodes:      *asMax,
+		HighWater:     *asHigh,
+		LowWater:      *asLow,
+		UpPolls:       2,
+		DownPolls:     3,
+		CooldownPolls: 3,
+		MaxStep:       *asStep,
+	}
+	if pol.MaxNodes <= 0 {
+		pol.MaxNodes = *nodes + 4
+	}
+	if *autoscale {
+		coreCfg.Elastic = &core.ElasticConfig{Policy: pol, PollInterval: *asPoll}
+	}
+
+	sys, err := core.New(engCfg, w.Streams, w.Queries, coreCfg)
+	if err != nil {
+		fail(err)
+	}
+	eng := sys.Engine()
+	w.ApplyRatesAt(eng, eng.Clock(), 1)
+
+	// Drive in half-second steps, re-applying the workload's rate
+	// schedule and accounting virtual seconds spent above the policy's
+	// high-water mark (the SLO-forfeit operating region).
+	const sample = vtime.Second / 2
+	horizon := eng.Clock().Add(vtime.Duration(*duration))
+	var nodesSeries []int
+	var violationSec float64
+	peak := eng.LiveNodes()
+	maxQ := eng.Network().Config().MaxQueueBytes
+	for eng.Clock() < horizon {
+		w.ApplyRatesAt(eng, eng.Clock(), 1)
+		if err := sys.Run(sample); err != nil {
+			fail(err)
+		}
+		live := eng.LiveNodes()
+		if live > peak {
+			peak = live
+		}
+		if len(nodesSeries) == 0 || eng.Clock().Sub(vtime.Time(0))%vtime.Second < sample {
+			nodesSeries = append(nodesSeries, live)
+		}
+		pressure := eng.Network().QueuePressure()
+		if maxQ > 0 && live > 0 {
+			if q := eng.InboxBytes() / (float64(live) * maxQ); q > pressure {
+				pressure = q
+			}
+		}
+		if pressure > pol.HighWater {
+			violationSec += sample.Seconds()
+		}
+	}
+
+	snap := sys.Snapshot()
+	mode := "autoscaled"
+	if !*autoscale {
+		mode = "frozen (no autoscaler)"
+	}
+	fmt.Printf("workload     %s (%d queries), %v virtual, %s\n", w.Name, len(w.Queries), *duration, mode)
+	fmt.Printf("cluster      %d seed nodes, peak %d, final %d (%d joins, %d drains)\n",
+		*nodes, peak, snap.LiveNodes, snap.ElasticJoins, snap.ElasticDrains)
+	fmt.Printf("SLO          %.1f virtual seconds above the %.2f high-water mark\n", violationSec, pol.HighWater)
+	fmt.Printf("integrity    %.1f MB lost (must be 0.0 across drains)\n", snap.LostBytes/1e6)
+
+	var trace []obs.Event
+	for _, ev := range sys.Trace() {
+		switch ev.Kind {
+		case obs.EvElasticDecision, obs.EvElasticJoin, obs.EvElasticDrainStart, obs.EvElasticDrainDone:
+			trace = append(trace, ev)
+		}
+	}
+	fmt.Printf("\n--- elastic trace (%d events) ---\n", len(trace))
+	if *events > 0 && len(trace) > *events {
+		fmt.Printf("... %d earlier events elided (-events 0 for all) ...\n", len(trace)-*events)
+		trace = trace[len(trace)-*events:]
+	}
+	for _, ev := range trace {
+		fmt.Println(ev)
+	}
+
+	fmt.Printf("\nnodes vs time (one digit per virtual second):\n  ")
+	for _, n := range nodesSeries {
+		fmt.Printf("%d", n%10)
+	}
+	fmt.Println()
 }
 
 // faultsCmd runs the crash-recovery experiment: seeded scripted node

@@ -75,6 +75,13 @@ type BenchReport struct {
 	// ignores it.
 	ServeMtuplesPerSec float64 `json:"serve_mtuples_per_sec,omitempty"`
 
+	// ElasticRecoverSec is the shared arm's flash-onset → SLO-restored
+	// time in virtual seconds under the elastic flash-crowd scenario
+	// (internal/bench/elastic.go). Deterministic, so it tracks policy
+	// and scenario changes rather than host noise. Absent from snapshots
+	// that predate the elastic subsystem; the compare gate ignores it.
+	ElasticRecoverSec float64 `json:"elastic_recover_seconds,omitempty"`
+
 	Note string `json:"note,omitempty"`
 }
 
@@ -247,6 +254,12 @@ func CollectBenchReport(sc Scale) (*BenchReport, error) {
 	if err := measureGreedySolve(rep, stepReps); err != nil {
 		return nil, err
 	}
+
+	recover, err := ElasticRecoverSeconds(sc)
+	if err != nil {
+		return nil, err
+	}
+	rep.ElasticRecoverSec = recover
 
 	// Intra-run sharding: same shared fixture, shards 1/2/4. Raise the
 	// process-wide token budget for the measurement so shard workers

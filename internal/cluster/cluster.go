@@ -37,11 +37,16 @@ func DefaultConfig() Config {
 	}
 }
 
-// Cluster is a set of identically configured nodes.
+// Cluster is a set of identically configured nodes. The node set can
+// grow at runtime (AddNode) and individual nodes can be retired
+// (RemoveNode); node IDs are stable for the lifetime of the cluster —
+// a retired node's ID is never reused, so every array indexed by
+// NodeID stays valid across membership changes.
 type Cluster struct {
-	cfg   Config
-	nodes int
-	cpu   []*Meter // per node CPU meter, in cpu-seconds
+	cfg     Config
+	nodes   int
+	cpu     []*Meter // per node CPU meter, in cpu-seconds
+	retired []bool   // per node planned-departure marker; ID stays valid
 }
 
 // New builds a cluster of n nodes with the given per-node config.
@@ -52,15 +57,61 @@ func New(n int, cfg Config) *Cluster {
 	if cfg.Cores <= 0 || cfg.CPUPerCore <= 0 || cfg.NICBytesPerSec <= 0 {
 		panic("cluster: config fields must be positive")
 	}
-	c := &Cluster{cfg: cfg, nodes: n, cpu: make([]*Meter, n)}
+	c := &Cluster{cfg: cfg, nodes: n, cpu: make([]*Meter, n), retired: make([]bool, n)}
 	for i := range c.cpu {
 		c.cpu[i] = NewMeter(float64(cfg.Cores) * cfg.CPUPerCore)
 	}
 	return c
 }
 
-// NumNodes reports the cluster size.
+// NumNodes reports the cluster size, retired nodes included: it is the
+// length of every per-node array, not the live population (see
+// LiveNodes for that).
 func (c *Cluster) NumNodes() int { return c.nodes }
+
+// LiveNodes reports how many nodes have not been retired.
+func (c *Cluster) LiveNodes() int {
+	live := 0
+	for _, r := range c.retired {
+		if !r {
+			live++
+		}
+	}
+	return live
+}
+
+// AddNode grows the cluster by one node with the shared per-node
+// config and returns its ID. IDs are dense and stable: the new node's
+// ID equals the previous NumNodes, and no existing ID changes.
+func (c *Cluster) AddNode() NodeID {
+	id := NodeID(len(c.cpu))
+	c.cpu = append(c.cpu, NewMeter(float64(c.cfg.Cores)*c.cfg.CPUPerCore))
+	c.retired = append(c.retired, false)
+	c.nodes = len(c.cpu)
+	return id
+}
+
+// RemoveNode retires a node. The slot is not deleted — NumNodes and
+// every NodeID-indexed array keep their size, the ID is never reused —
+// but the node's CPU meter stops refilling, so from the next BeginTick
+// it has no capacity. Errors on an out-of-range ID, a node already
+// retired, or an attempt to retire the last live node.
+func (c *Cluster) RemoveNode(id NodeID) error {
+	if int(id) < 0 || int(id) >= len(c.cpu) {
+		return fmt.Errorf("cluster: remove of unknown node %d (have %d)", id, len(c.cpu))
+	}
+	if c.retired[id] {
+		return fmt.Errorf("cluster: node %d already retired", id)
+	}
+	if c.LiveNodes() <= 1 {
+		return fmt.Errorf("cluster: cannot retire last live node %d", id)
+	}
+	c.retired[id] = true
+	return nil
+}
+
+// Retired reports whether a node has been removed from service.
+func (c *Cluster) Retired(id NodeID) bool { return c.retired[id] }
 
 // Config returns the per-node configuration.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -77,8 +128,14 @@ func (c *Cluster) SetCPUFactor(n NodeID, f float64) { c.cpu[n].SetFactor(f) }
 func (c *Cluster) CPUFactor(n NodeID) float64 { return c.cpu[n].Factor() }
 
 // BeginTick refreshes every node's CPU budget for a tick of length dt.
+// Retired nodes get a zero budget: their meters stay addressable (ID
+// stability) but grant nothing.
 func (c *Cluster) BeginTick(dt vtime.Duration) {
-	for _, m := range c.cpu {
+	for i, m := range c.cpu {
+		if c.retired[i] {
+			m.BeginTick(0)
+			continue
+		}
 		m.BeginTick(dt)
 	}
 }
@@ -184,6 +241,18 @@ func (c *Cluster) PlaceRoundRobin(numPartitions, numSources int) Placement {
 		p.sourceNode[i] = NodeID(i % c.nodes)
 	}
 	return p
+}
+
+// AppendPartition places one new partition slot on the given node,
+// growing the placement in ID order: the new slot's index equals the
+// previous NumPartitions. Existing slot→node bindings never change.
+func (p *Placement) AppendPartition(n NodeID) int {
+	i := len(p.partitionNode)
+	p.partitionNode = append(p.partitionNode, n)
+	if int(n) >= p.numNodes {
+		p.numNodes = int(n) + 1
+	}
+	return i
 }
 
 // PartitionNode returns the node hosting partition slot i.

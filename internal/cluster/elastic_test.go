@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+
+	"saspar/internal/vtime"
+)
+
+// AddNode must hand out dense, stable IDs: each join's ID equals the
+// node count before the join, and no earlier node's meter identity or
+// capacity changes.
+func TestAddNodeStableIDs(t *testing.T) {
+	c := New(2, Config{Cores: 2, CPUPerCore: 1, NICBytesPerSec: 1e9})
+	m0, m1 := c.CPU(0), c.CPU(1)
+	if id := c.AddNode(); id != 2 {
+		t.Fatalf("first join got ID %d, want 2", id)
+	}
+	if id := c.AddNode(); id != 3 {
+		t.Fatalf("second join got ID %d, want 3", id)
+	}
+	if c.NumNodes() != 4 || c.LiveNodes() != 4 {
+		t.Fatalf("NumNodes=%d LiveNodes=%d, want 4/4", c.NumNodes(), c.LiveNodes())
+	}
+	if c.CPU(0) != m0 || c.CPU(1) != m1 {
+		t.Fatal("join changed an existing node's meter identity")
+	}
+	c.BeginTick(vtime.Second)
+	for i := 0; i < 4; i++ {
+		if got := c.CPU(NodeID(i)).Remaining(); got != 2 {
+			t.Fatalf("node %d budget = %v, want 2 (2 cores × 1s)", i, got)
+		}
+	}
+}
+
+// RemoveNode retires in place: the ID stays addressable, NumNodes does
+// not shrink, and the retired node's budget drops to zero on the next
+// tick while live nodes refill normally.
+func TestRemoveNodeRetiresInPlace(t *testing.T) {
+	c := New(3, Config{Cores: 1, CPUPerCore: 1, NICBytesPerSec: 1e9})
+	if err := c.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Retired(1) || c.Retired(0) || c.Retired(2) {
+		t.Fatal("retire marker on wrong node")
+	}
+	if c.NumNodes() != 3 {
+		t.Fatalf("NumNodes shrank to %d after retire", c.NumNodes())
+	}
+	if c.LiveNodes() != 2 {
+		t.Fatalf("LiveNodes = %d, want 2", c.LiveNodes())
+	}
+	c.BeginTick(vtime.Second)
+	if got := c.CPU(1).Remaining(); got != 0 {
+		t.Fatalf("retired node still has budget %v", got)
+	}
+	for _, n := range []NodeID{0, 2} {
+		if got := c.CPU(n).Remaining(); got != 1 {
+			t.Fatalf("live node %d budget = %v, want 1", n, got)
+		}
+	}
+}
+
+// A retired ID is never reused: joins after a retire keep extending the
+// ID space past it.
+func TestAddAfterRemoveDoesNotReuseID(t *testing.T) {
+	c := New(2, DefaultConfig())
+	if err := c.RemoveNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if id := c.AddNode(); id != 2 {
+		t.Fatalf("join after retire got ID %d, want 2 (IDs never reused)", id)
+	}
+	if c.Retired(0) != true || c.Retired(2) != false {
+		t.Fatal("retire state leaked into new node")
+	}
+	if c.LiveNodes() != 2 {
+		t.Fatalf("LiveNodes = %d, want 2", c.LiveNodes())
+	}
+}
+
+func TestRemoveNodeValidation(t *testing.T) {
+	c := New(2, DefaultConfig())
+	if err := c.RemoveNode(-1); err == nil {
+		t.Fatal("negative ID accepted")
+	}
+	if err := c.RemoveNode(2); err == nil {
+		t.Fatal("out-of-range ID accepted")
+	}
+	if err := c.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveNode(1); err == nil {
+		t.Fatal("double retire accepted")
+	}
+	if err := c.RemoveNode(0); err == nil {
+		t.Fatal("retiring the last live node accepted")
+	}
+}
+
+// AppendPartition grows a placement without disturbing existing slots.
+func TestAppendPartition(t *testing.T) {
+	c := New(2, DefaultConfig())
+	p := c.PlaceRoundRobin(4, 2)
+	before := make([]NodeID, p.NumPartitions())
+	for i := range before {
+		before[i] = p.PartitionNode(i)
+	}
+	joined := c.AddNode()
+	if got := p.AppendPartition(joined); got != 4 {
+		t.Fatalf("new slot index %d, want 4", got)
+	}
+	if p.NumPartitions() != 5 {
+		t.Fatalf("NumPartitions = %d, want 5", p.NumPartitions())
+	}
+	if p.PartitionNode(4) != joined {
+		t.Fatalf("new slot on node %d, want %d", p.PartitionNode(4), joined)
+	}
+	for i, want := range before {
+		if p.PartitionNode(i) != want {
+			t.Fatalf("existing slot %d moved %d → %d", i, want, p.PartitionNode(i))
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"saspar/internal/aqe"
 	"saspar/internal/checkpoint"
+	"saspar/internal/elastic"
 	"saspar/internal/engine"
 	"saspar/internal/faults"
 	"saspar/internal/keyspace"
@@ -124,6 +125,13 @@ type Config struct {
 	// evacuation completes, so node death loses at most roughly one
 	// checkpoint interval of window state instead of all of it.
 	Checkpoint checkpoint.Config
+
+	// Elastic, when non-nil, arms the autoscaling control loop: load
+	// signals are polled on a fixed cadence and the policy's verdicts
+	// admit nodes at runtime (engine.AddNode + a mandatory rebalance)
+	// or drain them (AQE evacuation + engine.RetireNode). Works for
+	// both the shared layer and the vanilla baseline; see elastic.go.
+	Elastic *ElasticConfig
 }
 
 // Validate checks the control-loop knobs and returns a descriptive
@@ -136,6 +144,13 @@ func (c Config) Validate() error {
 	// the coordinator polls from Run either way.
 	if c.Checkpoint.Interval != 0 {
 		if err := c.Checkpoint.Validate(); err != nil {
+			return err
+		}
+	}
+	// The autoscaler, like checkpointing, also drives the vanilla
+	// baseline, so it is validated before the Enabled gate.
+	if c.Elastic != nil {
+		if err := c.Elastic.validate(); err != nil {
 			return err
 		}
 	}
@@ -220,6 +235,9 @@ type System struct {
 	ckpt      *checkpoint.Coordinator
 	destroyed map[checkpoint.GroupKey]bool
 
+	// Elasticity (nil without an Elastic config).
+	el *elasticRun
+
 	obs *sysObs // nil unless cfg.Obs is set
 }
 
@@ -241,6 +259,11 @@ type sysObs struct {
 	restoreTime                *obs.Histogram
 	lostBytes                  *obs.Gauge
 	restoredBytes              *obs.Gauge
+
+	elJoins, elDrains     *obs.Counter
+	elDecJoin, elDecDrain *obs.Counter
+	elLiveNodes           *obs.Gauge
+	elDrainTime           *obs.Histogram
 }
 
 func newSysObs(r *obs.Registry) *sysObs {
@@ -251,6 +274,10 @@ func newSysObs(r *obs.Registry) *sysObs {
 	dec := func(decision string) *obs.Counter {
 		return r.Counter(fmt.Sprintf("saspar_plan_decisions_total{decision=%q}", decision),
 			"Solved-plan decisions by outcome.")
+	}
+	eldec := func(action string) *obs.Counter {
+		return r.Counter(fmt.Sprintf("saspar_elastic_decisions_total{action=%q}", action),
+			"Autoscaler policy verdicts by action.")
 	}
 	return &sysObs{
 		reg:          r,
@@ -287,6 +314,17 @@ func newSysObs(r *obs.Registry) *sysObs {
 			"Cumulative bytes destroyed by node crashes (engine + network)."),
 		restoredBytes: r.Gauge("saspar_fault_restored_bytes",
 			"Cumulative bytes of window state re-installed from checkpoints."),
+		elJoins: r.Counter("saspar_elastic_joins_total",
+			"Nodes admitted into the cluster at runtime by the autoscaler."),
+		elDrains: r.Counter("saspar_elastic_drains_total",
+			"Nodes drained and retired at runtime by the autoscaler."),
+		elDecJoin:  eldec("join"),
+		elDecDrain: eldec("drain"),
+		elLiveNodes: r.Gauge("saspar_elastic_live_nodes",
+			"Nodes currently neither crashed nor retired."),
+		elDrainTime: r.Histogram("saspar_elastic_drain_seconds",
+			"Virtual time from drain decision to node retirement. Unit: virtual seconds.",
+			[]float64{0.25, 0.5, 1, 2, 4, 8, 16, 32}),
 	}
 }
 
@@ -323,6 +361,17 @@ func New(engCfg engine.Config, streams []engine.StreamDef, queries []engine.Quer
 			return nil, err
 		}
 		s.lastHealth = eng.HealthFingerprint()
+	}
+	if cfg.Elastic != nil {
+		pol, err := elastic.NewPolicy(cfg.Elastic.Policy)
+		if err != nil {
+			return nil, err
+		}
+		poll := cfg.Elastic.PollInterval
+		if poll <= 0 {
+			poll = vtime.Second
+		}
+		s.el = &elasticRun{cfg: *cfg.Elastic, pol: pol, poll: poll}
 	}
 	for _, sd := range streams {
 		s.streamBytes = append(s.streamBytes, sd.BytesPerTuple)
@@ -406,6 +455,13 @@ type Report struct {
 	Checkpoints     int     // aligned-barrier checkpoints completed and stored
 	CheckpointBytes float64 // cumulative snapshot bytes written to the store
 	RestoredBytes   float64 // window state re-installed from checkpoints after evacuations
+
+	// Elasticity. LiveNodes is always populated; the rest are zero
+	// without an Elastic config.
+	LiveNodes       int  // nodes neither crashed nor retired
+	ElasticJoins    int  // nodes admitted at runtime
+	ElasticDrains   int  // nodes drained and retired at runtime
+	ElasticDraining bool // a drain is evacuating right now
 }
 
 // Snapshot assembles the current Report. Safe to call at any point of
@@ -422,7 +478,12 @@ func (s *System) Snapshot() Report {
 		ckpts = s.ckpt.Completed()
 		ckptBytes = s.ckpt.BytesStored()
 	}
+	joins, drains, draining := s.ElasticState()
 	return Report{
+		LiveNodes:       s.eng.LiveNodes(),
+		ElasticJoins:    joins,
+		ElasticDrains:   drains,
+		ElasticDraining: draining,
 		Checkpoints:     ckpts,
 		CheckpointBytes: ckptBytes,
 		RestoredBytes:   s.eng.RestoredBytes(),
@@ -541,12 +602,24 @@ func (s *System) Run(d vtime.Duration) error {
 			// mid-reconfiguration must restart the recovery clock.
 			s.pollHealth()
 		}
-		if !s.cfg.Enabled || s.ctl.Busy() {
+		if s.ctl.Busy() {
 			continue
 		}
-		if s.recoveryPending {
+		if s.cfg.Enabled && s.recoveryPending {
 			// Degraded mode: evacuation preempts the periodic loop.
 			s.stepRecovery()
+			continue
+		}
+		if s.el != nil {
+			// The autoscaler also drives the vanilla baseline; it runs
+			// after recovery (a fault preempts elasticity) and its
+			// rebalance/evacuation rounds occupy AQE like any plan.
+			s.stepElastic()
+			if s.ctl.Busy() {
+				continue
+			}
+		}
+		if !s.cfg.Enabled {
 			continue
 		}
 		since := s.eng.Clock().Sub(s.lastTrigger)
@@ -677,12 +750,10 @@ func (s *System) trigger(reason string) {
 			}
 		}
 	}
-	if s.injector != nil {
-		// While degraded, even routine triggers must keep new placements
-		// off unhealthy nodes.
-		if allowed, ok := s.allowedPartitions(); ok {
-			o.AllowedPartitions = allowed
-		}
+	// Keep new placements off unhealthy, retired, and draining nodes —
+	// the mask is nil (unrestricted) whenever nothing needs excluding.
+	if allowed, ok := s.allowedPartitions(); ok {
+		o.AllowedPartitions = allowed
 	}
 	if h := s.cfg.PlanHorizon; h > 0 {
 		// Moving a key group re-ships its in-window state through the

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"saspar/internal/checkpoint"
+	"saspar/internal/engine"
+	"saspar/internal/faults"
+	"saspar/internal/obs"
+	"saspar/internal/optimizer"
+	"saspar/internal/parallel"
+	"saspar/internal/vtime"
+)
+
+// Elastic scale-out/in joins the golden-trace determinism contract:
+// a run whose cluster grows and shrinks mid-flight — join decisions,
+// post-join rebalances, AQE-mediated drains, retirements — must still
+// produce a byte-identical fingerprint at any shard count and worker
+// budget. Elasticity touches every layer a shard race could corrupt
+// (node admission order, lease movement, drain quiescence detection,
+// checkpoint-residual restores), so it gets its own scenario rather
+// than riding the static-cluster ones.
+
+// elasticDetGrid is the {1,4} shards × {0,4} budget matrix; the base
+// fingerprint is cut at shards=1 budget=0.
+var elasticDetGrid = []struct{ shards, budget int }{
+	{1, 0}, {4, 0}, {1, 4}, {4, 4},
+}
+
+// runElasticFingerprint replays the elastic schedule: a 6× flash crowd
+// for 12 virtual seconds (forcing joins and a rebalance onto the new
+// capacity), then the crowd leaves and the loop drains back to the
+// floor. withCrash additionally strikes a node late in the flash —
+// after the autoscaler has admitted capacity — with aligned-barrier
+// checkpoints armed, composing join, recovery and restore in one run.
+func runElasticFingerprint(t *testing.T, shards, budget int, withCrash bool) ([]byte, Report) {
+	t.Helper()
+	parallel.SetBudget(budget)
+	defer parallel.SetBudget(-1)
+
+	engCfg := elasticEngineConfig()
+	engCfg.Shards = shards
+	engCfg.Seed = 42
+
+	cfg := elasticCoreConfig()
+	cfg.Opt = optimizer.Options{DeterministicBudget: true, MaxNodes: 20000}
+	cfg.Obs = obs.New()
+	if withCrash {
+		// Interval 4s: alignment under the saturated flash outlives a 2s
+		// cadence, which would keep a barrier permanently in flight and
+		// starve the (correctly conservative) elastic quiescence gate.
+		cfg.Checkpoint = checkpoint.Config{Interval: 4 * vtime.Second}
+		sc, err := faults.Generate(faults.Config{
+			Nodes: engCfg.Nodes, Seed: 7,
+			Crashes: 1,
+			Start:   4 * vtime.Second, Span: 2 * vtime.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.FaultScenario = sc
+	}
+
+	s, err := New(engCfg, []engine.StreamDef{skewedStream()}, sameKeyQueries(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := s.Engine()
+	eng.SetStreamRate(0, 60000) // 6 MB/s offered against 1 MiB/s NICs
+	if err := s.Run(12 * vtime.Second); err != nil {
+		t.Fatal(err)
+	}
+	eng.SetStreamRate(0, 200) // crowd gone: scale-in territory
+	if err := s.Run(40 * vtime.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := s.Snapshot()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range s.Trace() {
+		fmt.Fprintln(&buf, ev)
+	}
+	if err := cfg.Obs.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rep
+}
+
+func TestGoldenTraceDeterminismUnderElasticity(t *testing.T) {
+	base, rep := runElasticFingerprint(t, 1, 0, false)
+	// The schedule must actually exercise both directions, or the
+	// determinism claim is vacuous.
+	if rep.ElasticJoins == 0 {
+		t.Fatal("elastic scenario never joined; the determinism test is vacuous")
+	}
+	if rep.ElasticDrains == 0 {
+		t.Fatal("elastic scenario never drained; the determinism test is vacuous")
+	}
+	for _, g := range elasticDetGrid[1:] {
+		got, _ := runElasticFingerprint(t, g.shards, g.budget, false)
+		if !bytes.Equal(base, got) {
+			t.Fatalf("shards=%d budget=%d diverged from shards=1 budget=0 at %s",
+				g.shards, g.budget, diffLine(base, got))
+		}
+	}
+}
+
+func TestGoldenTraceDeterminismUnderElasticityWithCrash(t *testing.T) {
+	// The composition scenario: a node crash strikes during the flash
+	// crowd while the autoscaler is admitting capacity and checkpoints
+	// run, so the fingerprint covers recovery preempting elasticity and
+	// the checkpoint-residual restore path under sharded execution.
+	base, rep := runElasticFingerprint(t, 1, 0, true)
+	if rep.FaultsInjected == 0 {
+		t.Fatal("crash never struck; the composition test is vacuous")
+	}
+	if rep.ElasticJoins == 0 {
+		t.Fatal("no join composed with the crash; the composition test is vacuous")
+	}
+	for _, g := range elasticDetGrid[1:] {
+		got, _ := runElasticFingerprint(t, g.shards, g.budget, true)
+		if !bytes.Equal(base, got) {
+			t.Fatalf("shards=%d budget=%d diverged from shards=1 budget=0 at %s",
+				g.shards, g.budget, diffLine(base, got))
+		}
+	}
+}

@@ -118,7 +118,7 @@ func (s *System) finishRecovery() {
 	s.recoveryPending = false
 	s.recoveries++
 	elapsed := s.eng.Clock().Sub(s.recoveryStart)
-	s.restoreFromCheckpoint()
+	s.restoreFromCheckpoint(s.recoveryStart)
 	s.destroyed = nil
 	lost := s.eng.LostBytes() + s.eng.Network().Stats().BytesLost
 	if s.obs != nil {
@@ -157,20 +157,20 @@ func (s *System) noteDestroyed() {
 }
 
 // restoreFromCheckpoint re-seeds the destroyed key groups from the
-// newest checkpoint that completed before the fault was detected. The
-// state ships from the snapshot-store courier node to each group's new
-// owner over the simulated network; the restore time reported is the
-// slowest transfer (restores fan out in parallel). Counting-mode state
-// restores exactly once; exact-mode join buffers at-least-once (see
-// engine.RestoreGroup).
-func (s *System) restoreFromCheckpoint() {
+// newest checkpoint that completed before the given episode start (the
+// fault's detection time, or a drain's start). The state ships from the
+// snapshot-store courier node to each group's new owner over the
+// simulated network; the restore time reported is the slowest transfer
+// (restores fan out in parallel). Counting-mode state restores exactly
+// once; exact-mode join buffers at-least-once (see engine.RestoreGroup).
+func (s *System) restoreFromCheckpoint(before vtime.Time) {
 	// Pick up cells destroyed after detection (e.g. moved state torn
 	// up in flight while the evacuation was still running).
 	s.noteDestroyed()
 	if s.ckpt == nil || len(s.destroyed) == 0 {
 		return
 	}
-	groups, snap, ok := s.ckpt.LatestBefore(s.recoveryStart)
+	groups, snap, ok := s.ckpt.LatestBefore(before)
 	if !ok {
 		return
 	}
@@ -210,26 +210,31 @@ func (s *System) restoreFromCheckpoint() {
 }
 
 // allowedPartitions builds the optimizer's placement mask from current
-// node health: false for every partition hosted on a down or derated
-// node. The second result is false when the cluster is healthy (no mask
-// needed) or when no partition would remain (nowhere to evacuate to —
-// masking would only make the solve fail).
+// membership and health: false for every partition hosted on a down or
+// derated node, on a retired (drained-out) node, or on the node an
+// in-flight drain is evacuating. The second result is false when
+// nothing needs masking, or when no partition would remain (nowhere to
+// evacuate to — masking would only make the solve fail).
 func (s *System) allowedPartitions() ([]bool, bool) {
-	unhealthy := s.eng.UnhealthyNodes(s.cfg.DerateThreshold)
-	if len(unhealthy) == 0 {
-		return nil, false
-	}
 	bad := map[cluster.NodeID]bool{}
-	for _, n := range unhealthy {
+	for _, n := range s.eng.UnhealthyNodes(s.cfg.DerateThreshold) {
 		bad[n] = true
 	}
-	allowed := make([]bool, s.eng.Config().NumPartitions)
-	any := false
-	for p := range allowed {
-		allowed[p] = !bad[s.eng.PartitionNode(p)]
-		any = any || allowed[p]
+	if s.el != nil && s.el.drainingOn {
+		bad[s.el.draining] = true
 	}
-	if !any {
+	allowed := make([]bool, s.eng.Config().NumPartitions)
+	any, masked := false, false
+	for p := range allowed {
+		n := s.eng.PartitionNode(p)
+		allowed[p] = !bad[n] && !s.eng.NodeRetired(n)
+		if allowed[p] {
+			any = true
+		} else {
+			masked = true
+		}
+	}
+	if !masked || !any {
 		return nil, false
 	}
 	return allowed, true

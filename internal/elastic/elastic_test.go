@@ -1,0 +1,165 @@
+package elastic
+
+import "testing"
+
+func testConfig() Config {
+	return Config{
+		MinNodes:      2,
+		MaxNodes:      6,
+		HighWater:     0.5,
+		LowWater:      0.1,
+		UpPolls:       3,
+		DownPolls:     5,
+		CooldownPolls: 4,
+		MaxStep:       2,
+	}
+}
+
+func mustPolicy(t *testing.T, cfg Config) *Policy {
+	t.Helper()
+	p, err := NewPolicy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.MinNodes = 0 },
+		func(c *Config) { c.MaxNodes = 1 },
+		func(c *Config) { c.HighWater = 0.05 }, // below LowWater
+		func(c *Config) { c.LowWater = -1 },
+		func(c *Config) { c.UpPolls = 0 },
+		func(c *Config) { c.DownPolls = 0 },
+		func(c *Config) { c.CooldownPolls = -1 },
+		func(c *Config) { c.MaxStep = 0 },
+	}
+	for i, mut := range bad {
+		c := testConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultConfig(2, 8).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPressureIsWorstSignal(t *testing.T) {
+	s := Signals{QueueFrac: 0.2, StallFrac: 0.7, NICUtil: 0.4}
+	if got := s.Pressure(); got != 0.7 {
+		t.Fatalf("Pressure = %v, want 0.7", got)
+	}
+}
+
+// Sustained overload joins only after UpPolls consecutive hot polls,
+// and the step scales with severity.
+func TestJoinNeedsConsecutiveOverload(t *testing.T) {
+	p := mustPolicy(t, testConfig())
+	hot := Signals{QueueFrac: 0.6}
+	for i := 0; i < 2; i++ {
+		if d := p.Step(2, hot); d.Action != Hold {
+			t.Fatalf("poll %d: %v before UpPolls satisfied", i, d.Action)
+		}
+	}
+	// An intervening calm poll resets the streak.
+	if d := p.Step(2, Signals{QueueFrac: 0.3}); d.Action != Hold {
+		t.Fatalf("dead-band poll decided %v", d.Action)
+	}
+	for i := 0; i < 2; i++ {
+		if d := p.Step(2, hot); d.Action != Hold {
+			t.Fatalf("restarted streak decided %v at poll %d", d.Action, i)
+		}
+	}
+	d := p.Step(2, hot)
+	if d.Action != Join || d.Nodes != 1 {
+		t.Fatalf("third hot poll: %v/%d, want Join/1", d.Action, d.Nodes)
+	}
+
+	// 10× overload: pressure 5.0 over a 0.5 high water asks for 10
+	// nodes, capped at MaxStep.
+	p2 := mustPolicy(t, testConfig())
+	flash := Signals{QueueFrac: 5.0}
+	p2.Step(2, flash)
+	p2.Step(2, flash)
+	if d := p2.Step(2, flash); d.Action != Join || d.Nodes != 2 {
+		t.Fatalf("flash crowd: %v/%d, want Join/MaxStep=2", d.Action, d.Nodes)
+	}
+}
+
+func TestDrainNeedsSustainedIdle(t *testing.T) {
+	p := mustPolicy(t, testConfig())
+	idle := Signals{}
+	for i := 0; i < 4; i++ {
+		if d := p.Step(4, idle); d.Action != Hold {
+			t.Fatalf("poll %d: %v before DownPolls satisfied", i, d.Action)
+		}
+	}
+	if d := p.Step(4, idle); d.Action != Drain || d.Nodes != 1 {
+		t.Fatalf("fifth idle poll: %v/%d, want Drain/1", d.Action, d.Nodes)
+	}
+}
+
+// Node bounds: no Join at MaxNodes, no Drain at MinNodes, and a Join's
+// step never overshoots the headroom.
+func TestBoundsRespected(t *testing.T) {
+	p := mustPolicy(t, testConfig())
+	hot := Signals{QueueFrac: 9}
+	for i := 0; i < 20; i++ {
+		if d := p.Step(6, hot); d.Action != Hold {
+			t.Fatalf("joined past MaxNodes at poll %d", i)
+		}
+	}
+	// One node of headroom: severity would ask for MaxStep=2, headroom
+	// clamps to 1.
+	p2 := mustPolicy(t, testConfig())
+	p2.Step(5, hot)
+	p2.Step(5, hot)
+	if d := p2.Step(5, hot); d.Action != Join || d.Nodes != 1 {
+		t.Fatalf("headroom clamp: %v/%d, want Join/1", d.Action, d.Nodes)
+	}
+
+	p3 := mustPolicy(t, testConfig())
+	for i := 0; i < 20; i++ {
+		if d := p3.Step(2, Signals{}); d.Action != Hold {
+			t.Fatalf("drained below MinNodes at poll %d", i)
+		}
+	}
+}
+
+// After any decision, the next CooldownPolls polls hold regardless of
+// pressure.
+func TestCooldownSeparatesDecisions(t *testing.T) {
+	p := mustPolicy(t, testConfig())
+	hot := Signals{QueueFrac: 0.8}
+	live := 2
+	var sinceDecision int
+	decisions := 0
+	for i := 0; i < 60; i++ {
+		d := p.Step(live, hot)
+		sinceDecision++
+		if d.Action == Hold {
+			continue
+		}
+		decisions++
+		if decisions > 1 && sinceDecision <= p.Config().CooldownPolls {
+			t.Fatalf("decision %d only %d polls after the previous (cooldown %d)",
+				decisions, sinceDecision, p.Config().CooldownPolls)
+		}
+		sinceDecision = 0
+		if d.Action == Join {
+			live += d.Nodes
+		}
+		if live > p.Config().MaxNodes {
+			t.Fatalf("live %d exceeds MaxNodes", live)
+		}
+	}
+	if decisions < 2 {
+		t.Fatalf("expected repeated scale-out under sustained overload, got %d decisions", decisions)
+	}
+}

@@ -1,0 +1,104 @@
+package elastic
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzPolicyStep drives the policy with an arbitrary signal series and
+// an arbitrary (but valid) configuration, asserting the two safety
+// properties the control loop depends on:
+//
+//  1. rate limit — two non-Hold decisions are never fewer than
+//     CooldownPolls polls apart, so the cluster cannot thrash;
+//  2. bounds — the simulated live node count (applying every decision
+//     as the control loop would) never leaves [MinNodes, MaxNodes],
+//     and no single Join exceeds MaxStep.
+//
+// The data stream encodes the config in its first bytes, then one
+// pressure observation per remaining 2-byte chunk, so the fuzzer
+// explores threshold/series interactions, not just series.
+func FuzzPolicyStep(f *testing.F) {
+	// Seed corpus: calm, flash crowd, oscillating load, NaN/Inf
+	// pressure, and threshold edge cases.
+	f.Add([]byte{2, 8, 50, 10, 3, 10, 15, 2, 0, 0, 0, 0})
+	f.Add([]byte{1, 4, 50, 10, 1, 1, 0, 1, 255, 255, 255, 255, 0, 0, 0, 0})
+	f.Add([]byte{2, 6, 60, 5, 2, 4, 3, 3, 200, 0, 0, 200, 200, 0, 0, 200, 200, 0})
+	f.Add([]byte{3, 3, 90, 80, 1, 1, 1, 1, 100, 100, 100, 100})
+	f.Add([]byte{2, 16, 10, 5, 1, 2, 2, 8, 255, 0, 255, 0, 255, 0, 255, 0, 255, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			return
+		}
+		cfg := Config{
+			MinNodes:      1 + int(data[0]%8),
+			MaxNodes:      1 + int(data[1]%32),
+			HighWater:     float64(1+data[2]%200) / 100,
+			LowWater:      float64(data[3]%100) / 100,
+			UpPolls:       1 + int(data[4]%8),
+			DownPolls:     1 + int(data[5]%16),
+			CooldownPolls: int(data[6] % 32),
+			MaxStep:       1 + int(data[7]%8),
+		}
+		if cfg.MaxNodes < cfg.MinNodes {
+			cfg.MaxNodes = cfg.MinNodes
+		}
+		if cfg.HighWater <= cfg.LowWater {
+			cfg.HighWater = cfg.LowWater + 0.01
+		}
+		p, err := NewPolicy(cfg)
+		if err != nil {
+			t.Fatalf("fuzz-built config failed validation: %v", err)
+		}
+
+		live := cfg.MinNodes
+		sincePrev := math.MaxInt32 // polls since the previous decision
+		for i := 8; i+1 < len(data); i += 2 {
+			raw := binary.LittleEndian.Uint16(data[i : i+2])
+			// Map the chunk to pressures including pathological values:
+			// the top of the range becomes +Inf and NaN.
+			var sig Signals
+			switch raw {
+			case math.MaxUint16:
+				sig.QueueFrac = math.Inf(1)
+			case math.MaxUint16 - 1:
+				sig.QueueFrac = math.NaN()
+			default:
+				// 0..~12.8: well past any sane HighWater.
+				sig.QueueFrac = float64(raw) / 5120
+				sig.StallFrac = float64(raw%997) / 997
+				sig.NICUtil = float64(raw%251) / 251
+			}
+
+			d := p.Step(live, sig)
+			sincePrev++
+			if d.Action == Hold {
+				continue
+			}
+			if sincePrev <= cfg.CooldownPolls {
+				t.Fatalf("poll %d: decision %v only %d polls after the previous (cooldown %d)",
+					i/2, d.Action, sincePrev, cfg.CooldownPolls)
+			}
+			sincePrev = 0
+			switch d.Action {
+			case Join:
+				if d.Nodes < 1 || d.Nodes > cfg.MaxStep {
+					t.Fatalf("join step %d outside [1, MaxStep=%d]", d.Nodes, cfg.MaxStep)
+				}
+				live += d.Nodes
+				if live > cfg.MaxNodes {
+					t.Fatalf("live %d exceeds MaxNodes %d after join", live, cfg.MaxNodes)
+				}
+			case Drain:
+				if d.Nodes != 1 {
+					t.Fatalf("drain step %d, want 1", d.Nodes)
+				}
+				live--
+				if live < cfg.MinNodes {
+					t.Fatalf("live %d below MinNodes %d after drain", live, cfg.MinNodes)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"testing"
+
+	"saspar/internal/cluster"
+	"saspar/internal/keyspace"
+	"saspar/internal/vtime"
+)
+
+// runUntilReconfigComplete polls the engine forward until the given
+// epoch's AQE round fully terminates.
+func runUntilReconfigComplete(t *testing.T, e *Engine, epoch int64) {
+	t.Helper()
+	for i := 0; i < 400; i++ {
+		if e.ReconfigComplete(epoch) {
+			return
+		}
+		if err := e.Run(e.Config().Tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Fatalf("reconfiguration epoch %d never completed", epoch)
+}
+
+// A join grows every layer — cluster, netsim, slots, config — with
+// stable IDs, and the new slots accept key groups through a normal AQE
+// round after which the new node carries real work.
+func TestAddNodeJoinsAndTakesLoad(t *testing.T) {
+	cfg := lightConfig()
+	e, err := New(cfg, []StreamDef{testStream("s", 16)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 2000)
+	if err := e.Run(vtime.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	id, parts, err := e.AddNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 4 {
+		t.Fatalf("joined node ID %d, want 4", id)
+	}
+	if len(parts) != 2 || parts[0] != 4 || parts[1] != 5 {
+		t.Fatalf("new partition slots %v, want [4 5]", parts)
+	}
+	if got := e.Config(); got.Nodes != 5 || got.NumPartitions != 6 {
+		t.Fatalf("config after join: %d nodes / %d partitions, want 5/6", got.Nodes, got.NumPartitions)
+	}
+	if e.LiveNodes() != 5 {
+		t.Fatalf("LiveNodes = %d, want 5", e.LiveNodes())
+	}
+
+	// Lease two key groups to the new node via the ordinary AQE path.
+	a := e.Assignment(0).Clone()
+	a.Set(0, keyspace.PartitionID(parts[0]))
+	a.Set(1, keyspace.PartitionID(parts[1]))
+	if err := e.InjectReconfig(map[int]*keyspace.Assignment{0: a}); err != nil {
+		t.Fatal(err)
+	}
+	runUntilReconfigComplete(t, e, e.Epoch())
+	if g := e.GroupsOnNode(id); g != 2 {
+		t.Fatalf("GroupsOnNode(%d) = %d, want 2", id, g)
+	}
+
+	// The joined node must now absorb tuples: its metrics partial is the
+	// only writer for work on its slots, so total processed keeps
+	// growing with groups 0 and 1 routed there.
+	m := e.Metrics()
+	m.StartMeasurement(e.Clock())
+	if err := e.Run(2 * vtime.Second); err != nil {
+		t.Fatal(err)
+	}
+	m.StopMeasurement(e.Clock())
+	if m.ProcessedTotal() <= 0 {
+		t.Fatal("no tuples processed after the join")
+	}
+}
+
+// AddNode validation: the partition domain can never outgrow the key
+// groups, and membership cannot change mid-reconfiguration.
+func TestAddNodeValidation(t *testing.T) {
+	cfg := lightConfig() // 8 groups, 4 partitions
+	e, err := New(cfg, []StreamDef{testStream("s", 16)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.AddNode(5); err == nil {
+		t.Fatal("join with 5 slots accepted: 4+5 > 8 key groups")
+	}
+	a := e.Assignment(0).Clone()
+	a.Set(0, 3)
+	a.Set(1, 3)
+	if err := e.InjectReconfig(map[int]*keyspace.Assignment{0: a}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.AddNode(1); err == nil {
+		t.Fatal("join accepted while a reconfiguration is in flight")
+	}
+	runUntilReconfigComplete(t, e, e.Epoch())
+	if _, _, err := e.AddNode(1); err != nil {
+		t.Fatalf("join after the round completed: %v", err)
+	}
+}
+
+// A clean drain loses zero counted tuples: evacuate a joined node's
+// key groups through AQE, retire it, and verify nothing was destroyed
+// and processing continues.
+func TestRetireNodeCleanDrainLosesNothing(t *testing.T) {
+	cfg := lightConfig()
+	e, err := New(cfg, []StreamDef{testStream("s", 16)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetStreamRate(0, 2000)
+	if err := e.Run(vtime.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	id, parts, err := e.AddNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := e.Assignment(0).Clone()
+	in.Set(0, keyspace.PartitionID(parts[0]))
+	in.Set(1, keyspace.PartitionID(parts[1]))
+	if err := e.InjectReconfig(map[int]*keyspace.Assignment{0: in}); err != nil {
+		t.Fatal(err)
+	}
+	runUntilReconfigComplete(t, e, e.Epoch())
+	if err := e.Run(vtime.Second); err != nil { // accumulate state on the joiner
+		t.Fatal(err)
+	}
+
+	// Draining with groups still leased must be refused.
+	if err := e.RetireNode(id); err == nil {
+		t.Fatal("retire accepted while the node still owns key groups")
+	}
+
+	// Evacuate: move the groups back onto the original nodes.
+	out := e.Assignment(0).Clone()
+	out.Set(0, 0)
+	out.Set(1, 1)
+	if err := e.InjectReconfig(map[int]*keyspace.Assignment{0: out}); err != nil {
+		t.Fatal(err)
+	}
+	runUntilReconfigComplete(t, e, e.Epoch())
+
+	lostBefore := e.LostBytes()
+	netLostBefore := e.Network().Stats().BytesLost
+	if err := e.RetireNode(id); err != nil {
+		t.Fatal(err)
+	}
+	if !e.NodeRetired(id) {
+		t.Fatal("node not marked retired")
+	}
+	if e.LiveNodes() != 4 {
+		t.Fatalf("LiveNodes = %d, want 4", e.LiveNodes())
+	}
+	if lost := e.LostBytes() - lostBefore; lost != 0 {
+		t.Fatalf("clean drain destroyed %v bytes at the engine layer", lost)
+	}
+	if cells := e.DrainDestroyedState(); len(cells) != 0 {
+		t.Fatalf("clean drain destroyed %d state cells, want 0", len(cells))
+	}
+
+	// The cluster keeps running: a later reconfiguration round and more
+	// processing work, with the retired slots out of the protocol.
+	m := e.Metrics()
+	m.StartMeasurement(e.Clock())
+	if err := e.Run(2 * vtime.Second); err != nil {
+		t.Fatal(err)
+	}
+	a2 := e.Assignment(0).Clone()
+	a2.Set(2, 3)
+	if err := e.InjectReconfig(map[int]*keyspace.Assignment{0: a2}); err != nil {
+		t.Fatal(err)
+	}
+	runUntilReconfigComplete(t, e, e.Epoch())
+	if err := e.Run(vtime.Second); err != nil {
+		t.Fatal(err)
+	}
+	m.StopMeasurement(e.Clock())
+	if m.ProcessedTotal() <= 0 {
+		t.Fatal("no tuples processed after the drain")
+	}
+	if lost := e.Network().Stats().BytesLost - netLostBefore; lost != 0 {
+		t.Fatalf("post-drain traffic lost %v bytes on the wire", lost)
+	}
+
+	// Routing back onto the retired node's partitions must be refused.
+	bad := e.Assignment(0).Clone()
+	bad.Set(3, keyspace.PartitionID(parts[0]))
+	if err := e.InjectReconfig(map[int]*keyspace.Assignment{0: bad}); err == nil {
+		t.Fatal("reconfig onto a retired node's partition accepted")
+	}
+}
+
+// Drain validation: source-hosting nodes, crashed nodes, and double
+// retires are all refused.
+func TestRetireNodeValidation(t *testing.T) {
+	cfg := lightConfig()
+	e, err := New(cfg, []StreamDef{testStream("s", 16)}, []QuerySpec{aggQuery("q", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 hosts a source task (PlaceRoundRobin with 2 source tasks).
+	if err := e.RetireNode(0); err == nil {
+		t.Fatal("retire of a source-hosting node accepted")
+	}
+	if err := e.RetireNode(cluster.NodeID(cfg.Nodes)); err == nil {
+		t.Fatal("retire of an unknown node accepted")
+	}
+	id, _, err := e.AddNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetNodeDown(id, true)
+	if err := e.RetireNode(id); err == nil {
+		t.Fatal("retire of a crashed node accepted")
+	}
+	e.SetNodeDown(id, false)
+	if err := e.RetireNode(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RetireNode(id); err == nil {
+		t.Fatal("double retire accepted")
+	}
+	// A retired node is never unhealthy and cannot trip fault detection.
+	if nodes := e.UnhealthyNodes(0.9); len(nodes) != 0 {
+		t.Fatalf("retired node reported unhealthy: %v", nodes)
+	}
+}

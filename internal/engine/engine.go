@@ -91,6 +91,12 @@ type Engine struct {
 	nodeDown  []bool
 	lostBytes float64
 
+	// anyRetired is false until the first RetireNode (same hot-path
+	// discipline as nodeDown): runs that never drain a node pay one
+	// predictable branch per retired-node check. The per-node retired
+	// state itself lives in the cluster.
+	anyRetired bool
+
 	// ckpt is nil until the first BeginCheckpoint (same lazy discipline
 	// as nodeDown), so checkpoint-free runs keep the hot path cold.
 	// restoredBytes counts window state re-installed via RestoreGroup.
@@ -433,14 +439,16 @@ func (e *Engine) step() {
 }
 
 // enqueue places an entry on the (task, slot) edge and charges the
-// target node's ingress buffer. Entries bound for a crashed node's slot
-// are destroyed instead: their bytes count as lost, a state entry
-// releases its outstanding-state hold so the reconfiguration that tried
-// to move it can still terminate, and a destroyed marker leaves the
-// in-flight count. Only called from the sequential phases (barriers,
-// marker broadcast), never from inside a parallel phase.
+// target node's ingress buffer. Entries bound for a crashed or retired
+// node's slot are destroyed instead: their bytes count as lost, a state
+// entry releases its outstanding-state hold so the reconfiguration that
+// tried to move it can still terminate, and a destroyed marker leaves
+// the in-flight count. (Retired slots own no key groups, so what lands
+// here is heartbeats — zero bytes — and defensive cleanup.) Only called
+// from the sequential phases (barriers, marker broadcast), never from
+// inside a parallel phase.
 func (e *Engine) enqueue(rt *routerTask, en *entry) {
-	if e.nodeDown != nil && e.nodeDown[e.slots[en.slot].node] {
+	if dst := e.slots[en.slot].node; (e.nodeDown != nil && e.nodeDown[dst]) || e.nodeRetired(dst) {
 		e.lostBytes += en.bytes
 		switch en.kind {
 		case entryState:
@@ -491,8 +499,12 @@ func (e *Engine) InjectReconfig(newAssign map[int]*keyspace.Assignment) error {
 			return fmt.Errorf("engine: reconfig assignment for query %d is incomplete", qi)
 		}
 		for g := 0; g < a.NumGroups(); g++ {
-			if p := a.Partition(keyspace.GroupID(g)); int(p) >= e.cfg.NumPartitions {
+			p := a.Partition(keyspace.GroupID(g))
+			if int(p) >= e.cfg.NumPartitions {
 				return fmt.Errorf("engine: reconfig assignment for query %d maps group %d to partition %d, have %d slots", qi, g, p, e.cfg.NumPartitions)
+			}
+			if e.nodeRetired(e.placement.PartitionNode(int(p))) {
+				return fmt.Errorf("engine: reconfig assignment for query %d maps group %d to partition %d on retired node %d", qi, g, p, e.placement.PartitionNode(int(p)))
 			}
 		}
 	}
@@ -550,10 +562,15 @@ func (e *Engine) InjectFinalize() {
 // coordinator-injected control messages, so edges of sources on crashed
 // nodes still carry them — otherwise live slots could never align after
 // a source node died. Markers aimed at dead slots are destroyed at
-// enqueue; ReconfigComplete only counts live slots.
+// enqueue; ReconfigComplete only counts live slots. Retired slots are
+// skipped outright — they left the protocol when their node drained,
+// and liveSlotCount excludes them symmetrically.
 func (e *Engine) broadcastMarker(m *Marker) {
 	for _, rt := range e.tasks {
 		for s := 0; s < e.cfg.NumPartitions; s++ {
+			if e.nodeRetired(e.slots[s].node) {
+				continue
+			}
 			en := e.nodes[rt.node].newEntry()
 			en.kind = entryMarker
 			en.slot = s
@@ -662,16 +679,18 @@ func (e *Engine) nodeIsDown(n cluster.NodeID) bool {
 	return e.nodeDown != nil && e.nodeDown[n]
 }
 
-// liveSlotCount counts partition slots on nodes that are still up.
+// liveSlotCount counts partition slots on nodes that are still up and
+// not drained out.
 func (e *Engine) liveSlotCount() int {
-	if e.nodeDown == nil {
+	if e.nodeDown == nil && !e.anyRetired {
 		return len(e.slots)
 	}
 	n := 0
 	for _, s := range e.slots {
-		if !e.nodeDown[s.node] {
-			n++
+		if (e.nodeDown != nil && e.nodeDown[s.node]) || e.nodeRetired(s.node) {
+			continue
 		}
+		n++
 	}
 	return n
 }
@@ -698,28 +717,7 @@ func (e *Engine) SetNodeDown(n cluster.NodeID, down bool) {
 	if !down {
 		return
 	}
-	for _, s := range e.slots {
-		if s.node != n {
-			continue
-		}
-		for ei := range s.edges {
-			q := &s.edges[ei]
-			for !q.empty() {
-				en := q.pop()
-				e.lostBytes += en.bytes
-				switch en.kind {
-				case entryState:
-					e.outstandingState--
-					e.ckptDropPending(pendKey{en.stQuery, en.stGroup})
-					e.markStateDestroyed(pendKey{en.stQuery, en.stGroup})
-				case entryMarker:
-					e.markersInFlight--
-				}
-				e.nodes[e.tasks[ei].node].recycle(en)
-			}
-		}
-	}
-	e.inboxBytes[n] = 0
+	e.lostBytes += e.purgeNodeQueues(n)
 	// Fail-stop applies to state too: the window state resident on the
 	// node dies with it and is tallied as lost — exactly the loss a
 	// checkpoint bounds.
@@ -748,11 +746,17 @@ func (e *Engine) LostBytes() float64 { return e.lostBytes }
 
 // HealthFingerprint folds every node's liveness, CPU derating, and NIC
 // derating into one value: the SASPAR control loop detects faults (and
-// recoveries) by watching it change between polls.
+// recoveries) by watching it change between polls. Retired nodes fold a
+// fixed departed tag — whatever happens to a machine that drained out
+// (a later derate of its idle meters, say) is not a fault.
 func (e *Engine) HealthFingerprint() uint64 {
 	h := uint64(1469598103934665603)
 	for n := 0; n < e.cfg.Nodes; n++ {
 		id := cluster.NodeID(n)
+		if e.nodeRetired(id) {
+			h = (h ^ 0x7e71ed ^ uint64(n)) * 1099511628211
+			continue
+		}
 		bits := math.Float64bits(e.cluster.CPUFactor(id)) ^ keyspace.Mix64(math.Float64bits(e.net.NodeFactor(id)))
 		if e.nodeIsDown(id) {
 			bits ^= 0xdeadc0de
@@ -764,10 +768,15 @@ func (e *Engine) HealthFingerprint() uint64 {
 
 // UnhealthyNodes returns the nodes currently crashed or derated below
 // the given factor threshold — the set the optimizer must route around.
+// Retired nodes are never unhealthy: they left on purpose, own nothing,
+// and must not trip the recovery loop.
 func (e *Engine) UnhealthyNodes(threshold float64) []cluster.NodeID {
 	var out []cluster.NodeID
 	for n := 0; n < e.cfg.Nodes; n++ {
 		id := cluster.NodeID(n)
+		if e.nodeRetired(id) {
+			continue
+		}
 		if e.nodeIsDown(id) || e.cluster.CPUFactor(id) < threshold || e.net.NodeFactor(id) < threshold {
 			out = append(out, id)
 		}

@@ -84,6 +84,19 @@ func newMetrics(numQueries, numParts int) *Metrics {
 	return m
 }
 
+// addNode appends one per-node partial for a node that joined at
+// runtime, sized to the current query population. Existing partials
+// are untouched, so the fixed fold order over parts stays a prefix of
+// the old one and pre-join sums are unchanged.
+func (m *Metrics) addNode() {
+	nq := len(m.removed)
+	m.parts = append(m.parts, metricsPart{
+		processed: make([]float64, nq),
+		emitted:   make([]float64, nq),
+		qlat:      make([]latMoments, nq),
+	})
+}
+
 // addQuery extends the per-query slices for an ad-hoc arrival.
 func (m *Metrics) addQuery() {
 	for i := range m.parts {

@@ -178,6 +178,7 @@ type routerTask struct {
 
 	rate     float64 // offered modelled tuples/sec for this task
 	throttle float64 // backpressure pull-rate factor in (0,1]
+	stalls   int64   // ticks whose prior-tick sends were partially refused
 	carry    float64 // fractional concrete tuple accumulator
 	offered  float64 // cumulative modelled tuples offered
 	accepted float64 // cumulative modelled tuples actually shipped
@@ -359,8 +360,11 @@ func (rt *routerTask) routeTick(e *Engine, nr *nodeRun, dt vtime.Duration) {
 		if rt.tickOffered > 0 {
 			ratio = rt.tickAccepted / rt.tickOffered
 		}
-		if e.obs != nil && ratio < 1 {
-			e.obs.stallTicks.Inc()
+		if ratio < 1 {
+			rt.stalls++
+			if e.obs != nil {
+				e.obs.stallTicks.Inc()
+			}
 		}
 		rt.tickOffered, rt.tickAccepted = 0, 0
 		rt.throttle = 0.7*rt.throttle + 0.3*ratio + 0.02

@@ -265,6 +265,9 @@ func (e *Engine) phaseNode(kind int, nr *nodeRun, off int, dt vtime.Duration) {
 	if e.nodeDown != nil && e.nodeDown[nr.id] {
 		return // crashed node: consumes nothing, produces nothing
 	}
+	if e.nodeRetired(nr.id) {
+		return // drained node: emptied before it left, nothing to do
+	}
 	if kind == phaseSlots {
 		e.slotPhase(nr, off)
 	} else {

@@ -1,0 +1,32 @@
+package flashwl
+
+import (
+	"fmt"
+
+	"saspar/internal/workload"
+)
+
+func init() {
+	workload.Register("flash", func(cfg any) (*workload.Workload, error) {
+		c := DefaultConfig()
+		switch v := cfg.(type) {
+		case nil:
+		case Config:
+			c = v
+		case workload.Options:
+			if v.Queries > 0 {
+				c.NumQueries = v.Queries
+			}
+			if v.Window.Range > 0 {
+				c.Window = v.Window
+			}
+			if v.Rate > 0 {
+				c.BaseRate = v.Rate
+			}
+			// v.Drift: the crowd swings rate, not the hot set; ignored.
+		default:
+			return nil, fmt.Errorf("flashwl: unsupported config type %T", cfg)
+		}
+		return New(c)
+	})
+}

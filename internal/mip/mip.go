@@ -157,6 +157,15 @@ type Options struct {
 	// it directly against the incumbent plan's score.
 	MoveCost []float64
 
+	// Freeze, when set alongside Prefer, pins (class, group) decisions
+	// with a true entry to their preferred partition: the search
+	// explores no other candidate for them, so a refine round's cost is
+	// proportional to the drifted groups rather than the whole keyspace.
+	// Entries whose Prefer is missing or out of domain are ignored — a
+	// group whose anchor a shrunk domain invalidated is re-placed
+	// regardless of the mask. Must match Prefer's shape when set.
+	Freeze [][]bool
+
 	// Incumbent, when non-nil, seeds the search with a known-feasible
 	// assignment (Incumbent[class][group] = partition): its objective
 	// becomes the initial upper bound, tightening pruning from node 0.
@@ -207,6 +216,19 @@ func Solve(in *Instance, opt Options) (*Result, error) {
 	}
 	if opt.MoveCost != nil && len(opt.MoveCost) != len(in.Classes) {
 		return nil, fmt.Errorf("mip: MoveCost covers %d classes, want %d", len(opt.MoveCost), len(in.Classes))
+	}
+	if opt.Freeze != nil {
+		if opt.Prefer == nil {
+			return nil, fmt.Errorf("mip: Freeze requires Prefer")
+		}
+		if len(opt.Freeze) != len(in.Classes) {
+			return nil, fmt.Errorf("mip: Freeze covers %d classes, want %d", len(opt.Freeze), len(in.Classes))
+		}
+		for ci, row := range opt.Freeze {
+			if len(row) != in.NumGroups {
+				return nil, fmt.Errorf("mip: Freeze class %d covers %d groups, want %d", ci, len(row), in.NumGroups)
+			}
+		}
 	}
 	if opt.Incumbent != nil {
 		if len(opt.Incumbent) != len(in.Classes) {
@@ -550,6 +572,7 @@ func (s *solver) dfs(gi, ci int) {
 	if s.opt.Prefer != nil {
 		pref = s.opt.Prefer[ci][g]
 	}
+	frozen := s.frozenAt(ci, g, pref)
 	type cand struct {
 		p     int
 		delta float64
@@ -561,8 +584,11 @@ func (s *solver) dfs(gi, ci int) {
 			moveCost += s.opt.MoveCost[ci] * c.Weight * cs.Card[g]
 		}
 	}
-	cands := make([]cand, s.in.NumPartitions)
+	cands := make([]cand, 0, s.in.NumPartitions)
 	for p := 0; p < s.in.NumPartitions; p++ {
+		if frozen && p != pref {
+			continue
+		}
 		var d, mk float64
 		for _, cs := range c.Streams {
 			k := cs.Stream*s.in.NumPartitions + p
@@ -585,7 +611,7 @@ func (s *solver) dfs(gi, ci int) {
 		if p == pref {
 			key *= 0.999
 		}
-		cands[p] = cand{p: p, delta: d, key: key}
+		cands = append(cands, cand{p: p, delta: d, key: key})
 	}
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].key != cands[b].key {
@@ -695,6 +721,13 @@ func (s *solver) makespanCost() float64 {
 	return c
 }
 
+// frozenAt reports whether decision (class ci, group g) is pinned to
+// its preferred partition pref: the Freeze mask says so and the anchor
+// is inside the domain.
+func (s *solver) frozenAt(ci, g, pref int) bool {
+	return s.opt.Freeze != nil && s.opt.Freeze[ci][g] && pref >= 0 && pref < s.in.NumPartitions
+}
+
 // anchorAssign returns the Prefer table as a complete assignment, or
 // nil when no complete anchor is set.
 func (s *solver) anchorAssign() [][]int {
@@ -768,8 +801,12 @@ func (s *solver) greedy() [][]int {
 					moveCost += s.opt.MoveCost[ci] * c.Weight * cs.Card[g]
 				}
 			}
+			frozen := s.frozenAt(ci, g, pref)
 			bestP, bestCost := 0, math.Inf(1)
 			for p := 0; p < in.NumPartitions; p++ {
+				if frozen && p != pref {
+					continue
+				}
 				var d float64
 				for _, cs := range c.Streams {
 					k := cs.Stream*in.NumPartitions + p

@@ -136,6 +136,24 @@ func New(c *cluster.Cluster, cfg Config) *Network {
 	return net
 }
 
+// AddNode registers one more NIC with the interconnect and returns the
+// new node's ID (dense, stable: the previous node count). The node
+// starts healthy with empty queues; its first tick of budget arrives at
+// the next BeginTick. Utilization reported by Stats averages over the
+// current node count, so a join slightly dilutes the lifetime figure —
+// exactly what a per-cluster average should do.
+func (n *Network) AddNode() cluster.NodeID {
+	id := cluster.NodeID(n.nodes)
+	n.egQ = append(n.egQ, 0)
+	n.inQ = append(n.inQ, 0)
+	n.egCap = append(n.egCap, 0)
+	n.inCap = append(n.inCap, 0)
+	n.factor = append(n.factor, 1)
+	n.down = append(n.down, false)
+	n.nodes++
+	return id
+}
+
 // SetNodeFactor derates node's NIC to f of its nominal bandwidth
 // (clamped to [0,1]) — the brownout fault model. 1 restores full
 // capacity. Applies from the next BeginTick.
@@ -327,6 +345,26 @@ func (n *Network) Send(from, to cluster.NodeID, bytes float64) (accepted float64
 	n.inQ[to] += rest
 	n.bytesNet += accepted
 	return accepted, delay
+}
+
+// QueuePressure reports the worst standing NIC queue on any live node
+// as a fraction of the per-direction bound — an instantaneous
+// congestion signal (Stats().Utilization is a lifetime average and
+// cannot drive a control loop).
+func (n *Network) QueuePressure() float64 {
+	var worst float64
+	for i := 0; i < n.nodes; i++ {
+		if n.down[i] {
+			continue
+		}
+		if f := n.egQ[i] / n.cfg.MaxQueueBytes; f > worst {
+			worst = f
+		}
+		if f := n.inQ[i] / n.cfg.MaxQueueBytes; f > worst {
+			worst = f
+		}
+	}
+	return worst
 }
 
 // QueuedBytes reports the standing egress queue of a node, the signal

@@ -65,6 +65,21 @@ const (
 	// restored_bytes, restore_ms (virtual milliseconds to re-ship the
 	// state from the store courier).
 	EvCheckpointRestore EventKind = "checkpoint_restore"
+	// EvElasticDecision: the autoscaler's policy emitted a non-hold
+	// verdict. Attrs: action (join|drain), live_nodes, target,
+	// queue_depth, stall_ticks, nic_util.
+	EvElasticDecision EventKind = "elastic_decision"
+	// EvElasticJoin: a node was admitted into the cluster and its
+	// partition slots entered the routing domain. Attrs: node, slots,
+	// live_nodes.
+	EvElasticJoin EventKind = "elastic_join"
+	// EvElasticDrainStart: the control loop began evacuating a node's
+	// key groups ahead of a drain. Attrs: node, groups.
+	EvElasticDrainStart EventKind = "elastic_drain_start"
+	// EvElasticDrainDone: the node retired — evacuation finished and the
+	// node left the live set with zero counted-tuple loss. Attrs: node,
+	// drain_ms (virtual milliseconds from drain start), live_nodes.
+	EvElasticDrainDone EventKind = "elastic_drain_done"
 )
 
 // KV is one ordered event attribute. Values are stringified at emit

@@ -68,7 +68,11 @@ func solveComponent(req *Request, c *component, opt Options) *componentResult {
 	return cr
 }
 
-// buildAnchor maps the request-level anchor onto a component's classes.
+// buildAnchor maps the request-level anchor onto a component's classes,
+// including the (class, group) freeze table a refine mask induces: a
+// group is frozen when the mask says it did not drift and its anchor is
+// inside the partition domain (anchors a shrunk domain invalidated are
+// re-placed regardless of the mask).
 func buildAnchor(req *Request, c *component, opt Options) mip.Options {
 	var prefer [][]int
 	var moveCost []float64
@@ -93,7 +97,25 @@ func buildAnchor(req *Request, c *component, opt Options) mip.Options {
 			}
 		}
 	}
-	return mip.Options{Prefer: prefer, MoveCost: moveCost}
+	var freeze [][]bool
+	if opt.RefineGroups != nil && prefer != nil {
+		any := false
+		freeze = make([][]bool, len(prefer))
+		for ci, row := range prefer {
+			fr := make([]bool, len(row))
+			for g, p := range row {
+				if !opt.RefineGroups[g] && p >= 0 && p < req.NumPartitions {
+					fr[g] = true
+					any = true
+				}
+			}
+			freeze[ci] = fr
+		}
+		if !any {
+			freeze = nil
+		}
+	}
+	return mip.Options{Prefer: prefer, MoveCost: moveCost, Freeze: freeze}
 }
 
 func solveComponentInner(req *Request, c *component, opt Options, orig *mip.Instance, anchorOpts mip.Options) *componentResult {
@@ -103,6 +125,18 @@ func solveComponentInner(req *Request, c *component, opt Options, orig *mip.Inst
 	best := func(assign [][]int) {
 		if assign == nil {
 			return
+		}
+		// The refine mask is a hard promise: whatever cascade path
+		// produced the plan (reduced models search unfrozen), frozen
+		// groups are clamped back to their anchor before scoring.
+		if anchorOpts.Freeze != nil {
+			for ci, row := range anchorOpts.Freeze {
+				for g, fr := range row {
+					if fr {
+						assign[ci][g] = prefer[ci][g]
+					}
+				}
+			}
 		}
 		obj := mip.Evaluate(orig, assign) + mip.MovementPenalty(orig, anchorOpts, assign)
 		if cr.assign == nil || obj < cr.objective {
@@ -132,7 +166,11 @@ func solveComponentInner(req *Request, c *component, opt Options, orig *mip.Inst
 	// solve, the Fig. 8a "MIP" series.
 	var seed [][]int
 	if !opt.MIPOnly && !opt.disabled(HeurGreedy) {
-		seed = greedyAssign(orig, anchorOpts, nil)
+		refine := opt.RefineGroups
+		if prefer == nil {
+			refine = nil
+		}
+		seed = greedyAssign(orig, anchorOpts, refine)
 		if anchorFeasible(seed, orig.NumPartitions) {
 			seedCopy := make([][]int, len(seed))
 			for i, row := range seed {
@@ -150,6 +188,7 @@ func solveComponentInner(req *Request, c *component, opt Options, orig *mip.Inst
 		if in == orig {
 			o.Prefer = prefer
 			o.MoveCost = moveCost
+			o.Freeze = anchorOpts.Freeze
 			o.Incumbent = seed
 		}
 		res, err := mip.Solve(in, o)
@@ -308,11 +347,25 @@ func coordinatedDescent(in *mip.Instance, anchorOpts mip.Options, assign [][]int
 	if budget > 0 {
 		deadline = time.Now().Add(budget)
 	}
+	// A group any class froze cannot take part in a coordinated move —
+	// the move shape re-assigns the group for every class at once.
+	frozenGroup := func(g int) bool {
+		for _, row := range anchorOpts.Freeze {
+			if row[g] {
+				return true
+			}
+		}
+		return false
+	}
+
 	for pass := 0; pass < 4; pass++ {
 		improved := false
 		for _, g := range order {
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				return cur, best
+			}
+			if anchorOpts.Freeze != nil && frozenGroup(g) {
+				continue
 			}
 			orig := make([]int, len(cur))
 			for ci := range cur {

@@ -165,9 +165,11 @@ type Options struct {
 	GreedyThreshold int
 	// RefineGroups, when non-nil alongside Anchor, marks the key groups
 	// eligible for re-placement this round (true = stats moved, re-place;
-	// false = keep the anchored partition). Only the greedy standalone
-	// tier honors the mask — its instances are the ones where a full
-	// re-solve is expensive; the B&B cascade ignores it. Groups whose
+	// false = keep the anchored partition). Both tiers honor the mask:
+	// the greedy standalone pass pins frozen groups before placing the
+	// rest, and the B&B cascade restricts each frozen (class, group)
+	// decision to its anchored partition (mip.Options.Freeze), so
+	// incremental rounds shrink below GreedyThreshold too. Groups whose
 	// anchor is missing or out of domain are always re-placed. Must
 	// cover NumGroups entries when set.
 	RefineGroups []bool

@@ -1,0 +1,83 @@
+package optimizer
+
+import (
+	"testing"
+
+	"saspar/internal/keyspace"
+)
+
+// The B&B cascade honors RefineGroups exactly as the greedy tier does
+// (mirrors TestGreedyRefineFreezesUnmovedGroups): frozen groups stay on
+// their anchored partition through every cascade path — the exact
+// solve, reduced-model detours, and the coordinated descent polish.
+func TestCascadeRefineFreezesUnmovedGroups(t *testing.T) {
+	req := testRequest(92, 3, 24, 6)
+	anchor := ringAnchor(req)
+	refine := make([]bool, req.NumGroups)
+	for g := 0; g < req.NumGroups; g += 4 {
+		refine[g] = true // every fourth group "drifted"
+	}
+	res, err := Optimize(req, Options{
+		GreedyThreshold: -1, // never standalone: force the cascade
+		Anchor:          anchor,
+		MoveCost:        []float64{0.1, 0.1, 0.1},
+		RefineGroups:    refine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, a := range res.Assign {
+		for g := 0; g < req.NumGroups; g++ {
+			if refine[g] {
+				continue
+			}
+			got := a.Partition(keyspace.GroupID(g))
+			want := anchor[qi].Partition(keyspace.GroupID(g))
+			if got != want {
+				t.Fatalf("query %d frozen group %d moved %d → %d", qi, g, want, got)
+			}
+		}
+	}
+	stay, err := Score(req, anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > stay+1e-9 {
+		t.Fatalf("refine plan %v worse than staying put %v", res.Objective, stay)
+	}
+}
+
+// Refine under a shrunk domain, cascade tier (mirrors
+// TestGreedyRefineEvacuatesExcludedAnchors): groups frozen by the mask
+// but anchored on a now-excluded partition must be evacuated anyway.
+func TestCascadeRefineEvacuatesExcludedAnchors(t *testing.T) {
+	req := testRequest(93, 2, 16, 4)
+	anchor := ringAnchor(req)
+	refine := make([]bool, req.NumGroups) // freeze everything
+	allowed := []bool{true, true, true, false}
+	res, err := Optimize(req, Options{
+		GreedyThreshold:   -1,
+		Anchor:            anchor,
+		MoveCost:          []float64{0.5, 0.5},
+		RefineGroups:      refine,
+		AllowedPartitions: allowed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, a := range res.Assign {
+		if !a.Complete() {
+			t.Fatalf("query %d incomplete", qi)
+		}
+		for g := 0; g < req.NumGroups; g++ {
+			p := int(a.Partition(keyspace.GroupID(g)))
+			if p == 3 {
+				t.Fatalf("query %d group %d still on excluded partition 3", qi, g)
+			}
+			// Groups with an in-domain anchor were frozen there.
+			if want := int(anchor[qi].Partition(keyspace.GroupID(g))); want != 3 && p != want {
+				t.Fatalf("query %d frozen group %d moved %d → %d", qi, g, want, p)
+			}
+		}
+	}
+}

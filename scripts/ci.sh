@@ -18,15 +18,20 @@
 #                      their suites raise the parallel budget so the
 #                      slot/router phases really run on goroutines
 #                      (TestShardedChurnStress, the determinism grid),
-#                      and the serving runtime (internal/runtime) whose
+#                      the serving runtime (internal/runtime) whose
 #                      SPSC ingest rings are exactly the kind of
-#                      lock-free code the race detector exists for
+#                      lock-free code the race detector exists for,
+#                      and the elastic autoscaling policy
+#                      (internal/elastic) whose decisions the pooled
+#                      determinism grid replays under sharded execution
 #   go test -fuzz ...  short smoke over the native fuzz targets —
 #                      keyspace subset remap/anchor math, mip model
 #                      ingestion, the SPSC ring against a model queue,
-#                      the wire decoder against hostile frames, and the
-#                      greedy optimizer tier against the B&B optimum —
-#                      seeded from testdata/fuzz corpora
+#                      the wire decoder against hostile frames, the
+#                      greedy optimizer tier against the B&B optimum,
+#                      and the autoscaler policy's rate-limit/bounds
+#                      safety properties — seeded from testdata/fuzz
+#                      corpora
 #   serve smoke        boots sasparctl serve on loopback, blasts a
 #                      fixed row budget through the binary ingest
 #                      protocol, and asserts the /report saw every row
@@ -54,7 +59,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/parallel/ ./internal/optimizer/ ./internal/obs/ ./internal/faults/ ./internal/aqe/ ./internal/checkpoint/ ./internal/engine/ ./internal/core/ ./internal/runtime/
+go test -race ./internal/parallel/ ./internal/optimizer/ ./internal/obs/ ./internal/faults/ ./internal/aqe/ ./internal/checkpoint/ ./internal/engine/ ./internal/core/ ./internal/runtime/ ./internal/elastic/
 
 echo "== go test -fuzz (smoke)"
 go test -run '^$' -fuzz FuzzSubsetRemap -fuzztime 10s ./internal/keyspace/
@@ -62,6 +67,7 @@ go test -run '^$' -fuzz FuzzDecodeInstance -fuzztime 10s ./internal/mip/
 go test -run '^$' -fuzz FuzzRingModel -fuzztime 10s ./internal/runtime/
 go test -run '^$' -fuzz FuzzWire -fuzztime 10s ./internal/runtime/
 go test -run '^$' -fuzz FuzzGreedyVsBB -fuzztime 10s ./internal/optimizer/
+go test -run '^$' -fuzz FuzzPolicyStep -fuzztime 10s ./internal/elastic/
 
 echo "== serve smoke (loopback ingest)"
 ctl=$(mktemp -t sasparctl.XXXXXX)
