@@ -8,10 +8,11 @@
 // Without flags it runs the quick scale (seconds of wall time per
 // figure); -full approaches the paper's dimensions. -fig selects one
 // figure ("6", "7", "8", "9", "10", "11", "12a", "12b", "13", "ml",
-// "recovery", "ckpt-recovery", "elastic" — the last three are the
-// crash-recovery, checkpointed-recovery, and elastic flash-crowd
-// experiments, which are not part of the paper's figure set and
-// therefore not included in the default run).
+// "recovery", "ckpt-recovery", "elastic", "migration" — the last four
+// are the crash-recovery, checkpointed-recovery, elastic flash-crowd,
+// and staged-versus-pause migration experiments, which are not part of
+// the paper's figure set and therefore not included in the default
+// run).
 // -workers bounds the run-matrix pool the harnesses fan cells over
 // (0 = SASPAR_PARALLEL env, then GOMAXPROCS; 1 = sequential); output
 // is identical at any worker count. -shards additionally parallelizes
@@ -42,7 +43,7 @@ import (
 func main() {
 	var cf cliflags.Common
 	full := flag.Bool("full", false, "run at paper scale (slow)")
-	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml,recovery,ckpt-recovery,greedy,elastic)")
+	fig := flag.String("fig", "", "run a single figure (6,7,8,9,10,11,12a,12b,13,ml,recovery,ckpt-recovery,greedy,elastic,migration)")
 	benchJSON := flag.String("bench-json", "", "write a performance snapshot to this file and exit")
 	benchCompare := flag.String("bench-compare", "", "compare current engine_step cost against this committed BENCH_*.json and exit non-zero on regression")
 	benchTol := flag.Float64("bench-tolerance", 25, "ns/op regression tolerance for -bench-compare, percent")
@@ -209,6 +210,12 @@ func run(sc bench.Scale, fig string) error {
 			return err
 		}
 		bench.PrintElastic(w, rows)
+	case "migration":
+		rows, err := bench.Migration(sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintMigration(w, rows)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}

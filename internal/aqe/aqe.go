@@ -22,6 +22,11 @@ type Phase int
 const (
 	// Idle: no reconfiguration in flight.
 	Idle Phase = iota
+	// Staging: checkpoint state is pre-shipping to the migration
+	// destinations; markers are injected once the staged transfers land
+	// (BeginStaged's readyAt). Processing continues undisturbed — no
+	// marker is in flight yet, so nothing aligns or pauses.
+	Staging
 	// Reconfiguring: markers and moved state are in flight (steps 1-4).
 	Reconfiguring
 	// Finalizing: the second marker round is draining (step 5).
@@ -32,6 +37,8 @@ func (p Phase) String() string {
 	switch p {
 	case Idle:
 		return "idle"
+	case Staging:
+		return "staging"
 	case Reconfiguring:
 		return "reconfiguring"
 	case Finalizing:
@@ -53,13 +60,27 @@ type Controller struct {
 
 	applied int // completed reconfigurations
 
+	// Staged-migration state: the assignment set waiting for its
+	// pre-staged checkpoint transfers to land, and the virtual instant
+	// the slowest transfer arrives (markers inject then).
+	stagedAssign map[int]*keyspace.Assignment
+	stageReady   vtime.Time
+
+	// beganAt timestamps protocol start (Begin/BeginStaged), injectedAt
+	// the marker injection (== beganAt for unstaged runs), alignedAt the
+	// alignment completion; lastAlign is the most recently completed
+	// reconfiguration's injection→alignment span — the processing pause
+	// the migration figure measures. All maintained unconditionally so
+	// the control layer can read them without telemetry attached.
+	beganAt    vtime.Time
+	injectedAt vtime.Time
+	alignedAt  vtime.Time
+	lastAlign  vtime.Duration
+
 	// obs receives one event per protocol phase transition; nil (the
-	// default) disables telemetry. beganAt/alignedAt timestamp the
-	// in-flight reconfiguration for duration attributes.
+	// default) disables telemetry.
 	obs       *obs.Registry
 	reconfigs *obs.Counter
-	beganAt   vtime.Time
-	alignedAt vtime.Time
 }
 
 // New builds a controller for the engine.
@@ -113,8 +134,9 @@ func (c *Controller) Begin(newAssign map[int]*keyspace.Assignment) (bool, error)
 	c.epochBefore = epochBefore
 	c.phase = Reconfiguring
 	c.reconfigEpoch = 0 // resolved on first Poll (micro-batch defers the epoch bump)
+	c.beganAt = c.eng.Clock()
+	c.injectedAt = c.beganAt
 	if c.obs != nil {
-		c.beganAt = c.eng.Clock()
 		c.obs.Emit(c.beganAt, obs.EvAlignStart,
 			obs.I("queries", int64(len(changed))),
 			obs.I("moved_groups", int64(movedGroups)))
@@ -122,11 +144,81 @@ func (c *Controller) Begin(newAssign map[int]*keyspace.Assignment) (bool, error)
 	return true, nil
 }
 
+// BeginStaged starts a checkpoint-staged reconfiguration: the caller
+// has already pre-shipped snapshot state to the migration destinations
+// (landing at readyAt, the slowest transfer), and the controller holds
+// the markers back until then so alignment meets a warm destination
+// and ships only the residual. Processing is untouched during Staging —
+// no marker exists yet, so no edge blocks. Like Begin, assignments
+// equal to the current ones are dropped; returns false when nothing
+// would change.
+func (c *Controller) BeginStaged(newAssign map[int]*keyspace.Assignment, readyAt vtime.Time) (bool, error) {
+	if c.phase != Idle {
+		return false, fmt.Errorf("aqe: controller busy (%v)", c.phase)
+	}
+	changed := map[int]*keyspace.Assignment{}
+	for qi, a := range newAssign {
+		if d := c.eng.Assignment(qi).Diff(a); len(d) > 0 {
+			changed[qi] = a
+		}
+	}
+	if len(changed) == 0 {
+		return false, nil
+	}
+	c.stagedAssign = changed
+	c.stageReady = readyAt
+	c.phase = Staging
+	c.beganAt = c.eng.Clock()
+	return true, nil
+}
+
+// AbortStage cancels a staged reconfiguration before its markers went
+// out (a crash mid-stage voids the stage; the caller falls back to
+// pause-and-transfer). A no-op in any other phase: once markers are in
+// flight the protocol must run to completion.
+func (c *Controller) AbortStage() {
+	if c.phase != Staging {
+		return
+	}
+	c.stagedAssign = nil
+	c.phase = Idle
+}
+
+// LastAlignDuration reports the injection→alignment span of the most
+// recently completed reconfiguration — the processing pause the
+// staged-migration figure compares across transfer modes.
+func (c *Controller) LastAlignDuration() vtime.Duration { return c.lastAlign }
+
 // Poll advances the controller; call it once per simulation tick.
 func (c *Controller) Poll() {
 	switch c.phase {
 	case Idle:
 		return
+	case Staging:
+		if c.eng.Clock() < c.stageReady {
+			return // staged transfers still on the wire
+		}
+		// Pre-staged state has landed: inject the markers. Epoch handling
+		// mirrors Begin — record the pre-injection epoch only on success.
+		epochBefore := c.eng.Epoch()
+		changed := c.stagedAssign
+		c.stagedAssign = nil
+		if err := c.eng.InjectReconfig(changed); err != nil {
+			// The plan went stale while staging (e.g. a partition count
+			// change); revert to Idle. The control layer detects the abort
+			// (controller idle, Applied unchanged) and voids the stage.
+			c.phase = Idle
+			return
+		}
+		c.epochBefore = epochBefore
+		c.phase = Reconfiguring
+		c.reconfigEpoch = 0 // resolved on next Poll, as in Begin
+		c.injectedAt = c.eng.Clock()
+		if c.obs != nil {
+			c.obs.Emit(c.injectedAt, obs.EvAlignStart,
+				obs.I("queries", int64(len(changed))),
+				obs.F("stage_ms", msSince(c.beganAt, c.injectedAt)))
+		}
 	case Reconfiguring:
 		if c.reconfigEpoch == 0 {
 			if e := c.eng.Epoch(); e > c.epochBefore {
@@ -142,8 +234,8 @@ func (c *Controller) Poll() {
 		c.eng.InjectFinalize()
 		c.finalizeEpoch = c.eng.Epoch()
 		c.phase = Finalizing
+		c.alignedAt = c.eng.Clock()
 		if c.obs != nil {
-			c.alignedAt = c.eng.Clock()
 			c.obs.Emit(c.alignedAt, obs.EvAlignComplete,
 				obs.F("align_ms", msSince(c.beganAt, c.alignedAt)))
 		}
@@ -153,6 +245,7 @@ func (c *Controller) Poll() {
 		}
 		c.phase = Idle
 		c.applied++
+		c.lastAlign = c.alignedAt.Sub(c.injectedAt)
 		if c.obs != nil {
 			now := c.eng.Clock()
 			c.reconfigs.Inc()

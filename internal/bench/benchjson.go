@@ -82,6 +82,14 @@ type BenchReport struct {
 	// that predate the elastic subsystem; the compare gate ignores it.
 	ElasticRecoverSec float64 `json:"elastic_recover_seconds,omitempty"`
 
+	// MigrationPauseSec is the staged arm's mean marker-injection →
+	// alignment pause under the drifting migration scenario, in virtual
+	// seconds (internal/bench/migration.go). Deterministic, so it tracks
+	// the stage→residual→flip protocol rather than host noise. Absent
+	// from snapshots that predate staged migration; the compare gate
+	// ignores it.
+	MigrationPauseSec float64 `json:"migration_pause_seconds,omitempty"`
+
 	Note string `json:"note,omitempty"`
 }
 
@@ -260,6 +268,12 @@ func CollectBenchReport(sc Scale) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.ElasticRecoverSec = recover
+
+	pause, err := MigrationPauseSeconds(sc)
+	if err != nil {
+		return nil, err
+	}
+	rep.MigrationPauseSec = pause
 
 	// Intra-run sharding: same shared fixture, shards 1/2/4. Raise the
 	// process-wide token budget for the measurement so shard workers

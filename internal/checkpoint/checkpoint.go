@@ -94,6 +94,11 @@ type Coordinator struct {
 	completed   int
 	bytesStored float64
 
+	// pinned refcounts snapshot ids an in-flight staged migration
+	// materializes from; prune preserves their base chains until every
+	// pin is released.
+	pinned map[int64]int
+
 	co *coordObs // nil without a telemetry registry
 }
 
@@ -233,14 +238,15 @@ func (c *Coordinator) finish(d *engine.CheckpointData) {
 
 // prune deletes snapshots beyond Retention, always preserving the
 // transitive base chains the retained incrementals materialize
-// through.
+// through — and the chains of any snapshot a staged migration has
+// pinned, so an in-flight stage can always re-materialize.
 func (c *Coordinator) prune() {
 	ids, err := c.cfg.Store.List()
 	if err != nil || len(ids) <= c.cfg.Retention {
 		return
 	}
 	keep := map[int64]bool{}
-	for _, id := range ids[len(ids)-c.cfg.Retention:] {
+	chain := func(id int64) {
 		for id != 0 && !keep[id] {
 			keep[id] = true
 			s, err := c.cfg.Store.Get(id)
@@ -250,10 +256,39 @@ func (c *Coordinator) prune() {
 			id = s.BaseID
 		}
 	}
+	for _, id := range ids[len(ids)-c.cfg.Retention:] {
+		chain(id)
+	}
+	for id, refs := range c.pinned {
+		if refs > 0 {
+			chain(id)
+		}
+	}
 	for _, id := range ids {
 		if !keep[id] {
 			c.cfg.Store.Delete(id)
 		}
+	}
+}
+
+// Pin marks snapshot id (and, transitively, its base chain) as exempt
+// from pruning until the matching Unpin — the hold an in-flight staged
+// migration takes on the chain it materialized from.
+func (c *Coordinator) Pin(id int64) {
+	if c.pinned == nil {
+		c.pinned = map[int64]int{}
+	}
+	c.pinned[id]++
+}
+
+// Unpin releases one Pin hold on snapshot id. The chain becomes
+// collectible on the next prune once no holds remain.
+func (c *Coordinator) Unpin(id int64) {
+	if c.pinned == nil {
+		return
+	}
+	if c.pinned[id]--; c.pinned[id] <= 0 {
+		delete(c.pinned, id)
 	}
 }
 
@@ -295,6 +330,35 @@ func (c *Coordinator) LatestBefore(t vtime.Time) ([]engine.CkptGroup, *Snapshot,
 	}
 	return nil, nil, false
 }
+
+// LatestFor returns, from the newest checkpoint completed at or before
+// t, the materialized state of exactly the requested (query, group)
+// cells — the per-group-set chain materialization a staged migration
+// stages its destinations from. The snapshot is returned so the caller
+// can Pin its chain against pruning for the stage's lifetime. ok is
+// false when no completed checkpoint qualifies; a qualifying chain
+// that simply holds none of the requested cells returns ok with an
+// empty slice (the caller treats that as an unusable stage and falls
+// back to pause-and-transfer).
+func (c *Coordinator) LatestFor(t vtime.Time, cells map[GroupKey]bool) ([]engine.CkptGroup, *Snapshot, bool) {
+	groups, snap, ok := c.LatestBefore(t)
+	if !ok {
+		return nil, nil, false
+	}
+	var out []engine.CkptGroup
+	for _, g := range groups {
+		if cells[GroupKey{Query: g.Query, Group: g.Group}] {
+			out = append(out, g)
+		}
+	}
+	return out, snap, true
+}
+
+// StoreNodeID reports the cluster node configured to host the snapshot
+// store. Unlike CourierNode it never falls back: staged migration
+// checks it against engine health and takes the pause-and-transfer
+// path when the store host is dead.
+func (c *Coordinator) StoreNodeID() cluster.NodeID { return cluster.NodeID(c.cfg.StoreNode) }
 
 // CourierNode returns the node modelled as shipping restored state —
 // the snapshot-store host, or the first live node when it crashed

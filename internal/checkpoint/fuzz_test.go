@@ -1,0 +1,99 @@
+package checkpoint
+
+import (
+	"reflect"
+	"testing"
+
+	"saspar/internal/engine"
+	"saspar/internal/keyspace"
+	"saspar/internal/vtime"
+)
+
+// FuzzDeltaChain drives the delta/materialize pair with an arbitrary
+// interleaving of group mutations, deletions, and full/incremental
+// snapshots, and checks the two invariants staged migration (and
+// recovery) stand on:
+//
+//  1. materialize(chain) == the directly-maintained state at the last
+//     snapshot, whatever the chain shape;
+//  2. delta is a fixpoint over a materialized state: re-deltaing the
+//     materialized state against itself stores nothing and tombstones
+//     nothing.
+//
+// Each input byte is one operation: the low bits pick the op, the high
+// bits pick the (query, group) cell and weight, so any byte string is
+// a valid schedule and the fuzzer can explore chain shapes freely.
+func FuzzDeltaChain(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x13, 0x47, 0x03, 0x22, 0x83, 0x07})
+	f.Add([]byte{0x10, 0x50, 0x90, 0xd0, 0x03, 0x11, 0x51, 0x91, 0x07, 0x02, 0x03})
+	f.Add([]byte{0x00, 0x03, 0x02, 0x03, 0x02, 0x03, 0x00, 0x07})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st := NewMemStore()
+		cur := map[GroupKey]engine.CkptGroup{}  // directly-maintained state
+		prev := map[GroupKey]engine.CkptGroup{} // state at the last snapshot
+		var lastID int64
+		nextID := int64(1)
+
+		snapshot := func(full bool) {
+			s := &Snapshot{
+				ID:          nextID,
+				Barrier:     vtime.Time(nextID),
+				CompletedAt: vtime.Time(nextID),
+			}
+			if full || lastID == 0 {
+				s.Full = true
+				s.Groups = sortedGroups(cur)
+			} else {
+				s.BaseID = lastID
+				s.Groups, s.Removed = delta(prev, sortedGroups(cur))
+			}
+			if err := st.Put(s); err != nil {
+				t.Fatal(err)
+			}
+			lastID = s.ID
+			nextID++
+			prev = map[GroupKey]engine.CkptGroup{}
+			for k, g := range cur {
+				prev[k] = g
+			}
+		}
+
+		for _, b := range data {
+			q := int(b>>6) & 1
+			g := keyspace.GroupID((b >> 3) & 7)
+			k := GroupKey{Query: q, Group: g}
+			switch b & 7 {
+			case 2: // delete the cell
+				delete(cur, k)
+			case 3: // incremental snapshot
+				snapshot(false)
+			case 7: // full snapshot
+				snapshot(true)
+			default: // upsert the cell; weight derived from the byte
+				cur[k] = engine.CkptGroup{
+					Query: q, Group: g,
+					Weight: []float64{float64(b%13) + 1},
+				}
+			}
+		}
+		snapshot(false) // seal the chain so the final state is on disk
+
+		state, err := materialize(st, lastID)
+		if err != nil {
+			t.Fatalf("materialize(%d): %v", lastID, err)
+		}
+		if len(state) == 0 && len(cur) == 0 {
+			// reflect.DeepEqual distinguishes nil from empty maps; both
+			// mean "no state".
+		} else if !reflect.DeepEqual(state, cur) {
+			t.Fatalf("materialized chain diverged from direct state:\n  chain  %+v\n  direct %+v", state, cur)
+		}
+		// Fixpoint: the materialized state deltas to nothing against
+		// itself.
+		groups, removed := delta(state, sortedGroups(state))
+		if len(groups) != 0 || len(removed) != 0 {
+			t.Fatalf("delta over materialized state not a fixpoint: %d groups, %d tombstones", len(groups), len(removed))
+		}
+	})
+}

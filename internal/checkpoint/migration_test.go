@@ -1,0 +1,148 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"saspar/internal/vtime"
+)
+
+// Tests for the coordinator surface staged migration leans on: pinning
+// a chain against pruning for the life of an in-flight migration, and
+// materializing the newest chain restricted to the moving cells.
+
+func TestPinProtectsChainFromPruning(t *testing.T) {
+	eng := countingEngine(t)
+	c, err := New(eng, Config{Interval: vtime.Second, Retention: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(d vtime.Duration) {
+		end := eng.Clock().Add(d)
+		for eng.Clock() < end {
+			eng.Run(eng.Config().Tick)
+			c.Poll()
+		}
+	}
+	run(3 * vtime.Second)
+	ids, _ := c.Store().List()
+	if len(ids) == 0 {
+		t.Fatal("no checkpoints to pin")
+	}
+	pinned := ids[0]
+	c.Pin(pinned)
+	run(6 * vtime.Second)
+	if _, err := c.Store().Get(pinned); err != nil {
+		t.Fatalf("pinned snapshot %d pruned: %v", pinned, err)
+	}
+	// Retention 2 still applies to everything unpinned: the store must
+	// not grow without bound just because one chain is held.
+	ids, _ = c.Store().List()
+	if len(ids) > 3 {
+		t.Fatalf("pin leaked retention: %d snapshots live (%v), want <= pinned + 2", len(ids), ids)
+	}
+	c.Unpin(pinned)
+	run(3 * vtime.Second)
+	if _, err := c.Store().Get(pinned); err == nil {
+		t.Fatalf("snapshot %d survived pruning after unpin", pinned)
+	}
+	// Unpin of an unknown id must be a no-op, not a panic or underflow
+	// that would shield id 0 chains forever.
+	c.Unpin(12345)
+	c.Pin(pinned) // pinning a pruned id: harmless, prune just skips it
+	run(2 * vtime.Second)
+}
+
+func TestLatestForRestrictsToCells(t *testing.T) {
+	eng := countingEngine(t)
+	c := runCoordinator(t, eng, Config{Interval: vtime.Second}, 4*vtime.Second)
+	all, snap, ok := c.LatestBefore(eng.Clock())
+	if !ok || len(all) == 0 {
+		t.Fatal("no checkpoint to query")
+	}
+	want := map[GroupKey]bool{
+		{Query: all[0].Query, Group: all[0].Group}: true,
+		{Query: 7, Group: 999}:                     true, // never checkpointed: silently absent
+	}
+	got, gotSnap, ok := c.LatestFor(eng.Clock(), want)
+	if !ok {
+		t.Fatal("LatestFor found no snapshot where LatestBefore did")
+	}
+	if gotSnap.ID != snap.ID {
+		t.Fatalf("LatestFor picked snapshot %d, LatestBefore picked %d", gotSnap.ID, snap.ID)
+	}
+	if len(got) != 1 || got[0].Query != all[0].Query || got[0].Group != all[0].Group {
+		t.Fatalf("LatestFor = %+v, want exactly the requested live cell", got)
+	}
+	if _, _, ok := c.LatestFor(0, want); ok {
+		t.Fatal("LatestFor before any barrier returned a snapshot")
+	}
+}
+
+func TestStoreNodeID(t *testing.T) {
+	eng := countingEngine(t)
+	c, err := New(eng, Config{Interval: vtime.Second, StoreNode: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StoreNodeID(); int(got) != 3 {
+		t.Fatalf("StoreNodeID = %d, want 3", got)
+	}
+}
+
+// Satellite regression for the atomic FileStore Put: a torn temp file
+// from a crashed writer and a corrupted snapshot body must never
+// confuse List or take down a Get of a healthy neighbor.
+func TestFileStoreSurvivesTornAndCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(snap(1, 0, true, cg(0, 0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(snap(2, 1, false, cg(0, 1, 2))); err != nil {
+		t.Fatal(err)
+	}
+	// A writer died mid-Put: its temp file is still lying around.
+	torn := filepath.Join(dir, "ckpt-00000003.json.tmp")
+	if err := os.WriteFile(torn, []byte(`{"ID":3,"Gr`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot body rotted on disk (partial sector, bit flip, ...).
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-00000004.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id == 3 {
+			t.Fatalf("List surfaced the torn temp file: %v", ids)
+		}
+	}
+	if _, err := st.Get(1); err != nil {
+		t.Fatalf("healthy snapshot unreadable next to corruption: %v", err)
+	}
+	if _, err := st.Get(4); err == nil {
+		t.Fatal("Get of a corrupted snapshot returned no error")
+	}
+	// Re-Put over the corrupted id must atomically heal it and leave no
+	// temp file behind.
+	if err := st.Put(snap(4, 2, false, cg(1, 0, 3))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(4)
+	if err != nil || got.ID != 4 {
+		t.Fatalf("healed snapshot unreadable: %+v err=%v", got, err)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".tmp" && e.Name() != filepath.Base(torn) {
+			t.Fatalf("Put left a temp file behind: %s", e.Name())
+		}
+	}
+}

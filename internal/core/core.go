@@ -126,6 +126,19 @@ type Config struct {
 	// checkpoint interval of window state instead of all of it.
 	Checkpoint checkpoint.Config
 
+	// MigrationMode selects the state-transfer path for every
+	// reconfiguration — optimizer plans, fault evacuations, elastic
+	// rebalances and drains all funnel through the same gate.
+	// MigrationPause is classic pause-and-transfer: all moved window
+	// state ships at the AQE alignment point. MigrationStaged pre-stages
+	// the moving cells from the newest covering checkpoint chain while
+	// processing continues and ships only the since-barrier residual at
+	// alignment (falling back to pause-and-transfer per plan when no
+	// usable chain exists, the store node is dead, or a fault voids the
+	// stage). Empty selects staged whenever Checkpoint is armed and
+	// pause otherwise.
+	MigrationMode string
+
 	// Elastic, when non-nil, arms the autoscaling control loop: load
 	// signals are polled on a fixed cadence and the policy's verdicts
 	// admit nodes at runtime (engine.AddNode + a mandatory rebalance)
@@ -146,6 +159,14 @@ func (c Config) Validate() error {
 		if err := c.Checkpoint.Validate(); err != nil {
 			return err
 		}
+	}
+	// Migration mode gates every reconfiguration producer, including the
+	// vanilla baseline's elastic rounds, so it too precedes the gate.
+	switch c.MigrationMode {
+	case "", MigrationStaged, MigrationPause:
+	default:
+		return fmt.Errorf("core: MigrationMode must be %q, %q or empty, got %q",
+			MigrationStaged, MigrationPause, c.MigrationMode)
 	}
 	// The autoscaler, like checkpointing, also drives the vanilla
 	// baseline, so it is validated before the Enabled gate.
@@ -235,6 +256,15 @@ type System struct {
 	ckpt      *checkpoint.Coordinator
 	destroyed map[checkpoint.GroupKey]bool
 
+	// Staged-migration bookkeeping (see migration.go). lastApplied
+	// tracks the controller's completion count so every finished
+	// reconfiguration's pause is recorded exactly once, in either mode.
+	mig                migStage
+	lastApplied        int
+	migrationsStaged   int
+	migrationFallbacks int
+	migPauseSec        float64 // cumulative injection→alignment pause, virtual seconds
+
 	// Elasticity (nil without an Elastic config).
 	el *elasticRun
 
@@ -264,6 +294,10 @@ type sysObs struct {
 	elDecJoin, elDecDrain *obs.Counter
 	elLiveNodes           *obs.Gauge
 	elDrainTime           *obs.Histogram
+
+	migStagedTotal                   *obs.Counter
+	migPause                         *obs.Histogram
+	migStagedBytes, migResidualBytes *obs.Gauge
 }
 
 func newSysObs(r *obs.Registry) *sysObs {
@@ -325,6 +359,15 @@ func newSysObs(r *obs.Registry) *sysObs {
 		elDrainTime: r.Histogram("saspar_elastic_drain_seconds",
 			"Virtual time from drain decision to node retirement. Unit: virtual seconds.",
 			[]float64{0.25, 0.5, 1, 2, 4, 8, 16, 32}),
+		migStagedTotal: r.Counter("saspar_migrations_staged_total",
+			"Reconfigurations whose moving cells were pre-staged from a checkpoint chain."),
+		migPause: r.Histogram("saspar_migration_pause_seconds",
+			"Virtual time from marker injection to alignment completion, per reconfiguration. Unit: virtual seconds.",
+			[]float64{0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8}),
+		migStagedBytes: r.Gauge("saspar_migration_staged_bytes",
+			"Cumulative modelled bytes of window state pre-staged to migration destinations."),
+		migResidualBytes: r.Gauge("saspar_migration_residual_bytes",
+			"Cumulative at-alignment bytes shipped for pre-staged cells (the since-barrier residual)."),
 	}
 }
 
@@ -456,6 +499,16 @@ type Report struct {
 	CheckpointBytes float64 // cumulative snapshot bytes written to the store
 	RestoredBytes   float64 // window state re-installed from checkpoints after evacuations
 
+	// Checkpoint-staged migration. MigrationPauseSec and AlignmentBytes
+	// are populated in both transfer modes (they are the figure's axes);
+	// the rest are zero outside staged mode.
+	MigrationsStaged   int     // reconfigurations that ran checkpoint-staged end-to-end
+	MigrationFallbacks int     // reconfigurations forced back to pause-and-transfer
+	StagedBytes        float64 // window state pre-shipped store→destination
+	ResidualBytes      float64 // at-alignment bytes for pre-staged cells (since-barrier residual)
+	AlignmentBytes     float64 // all moved-state payload bytes shipped at alignment points
+	MigrationPauseSec  float64 // cumulative injection→alignment pause, virtual seconds
+
 	// Elasticity. LiveNodes is always populated; the rest are zero
 	// without an Elastic config.
 	LiveNodes       int  // nodes neither crashed nor retired
@@ -480,43 +533,49 @@ func (s *System) Snapshot() Report {
 	}
 	joins, drains, draining := s.ElasticState()
 	return Report{
-		LiveNodes:       s.eng.LiveNodes(),
-		ElasticJoins:    joins,
-		ElasticDrains:   drains,
-		ElasticDraining: draining,
-		Checkpoints:     ckpts,
-		CheckpointBytes: ckptBytes,
-		RestoredBytes:   s.eng.RestoredBytes(),
-		FaultsInjected:  injected,
-		FaultsDetected:  s.faultsDetected,
-		Recoveries:      s.recoveries,
-		RecoveryPending: s.recoveryPending,
-		LostBytes:       s.eng.LostBytes() + net.BytesLost,
-		Clock:           s.eng.Clock(),
-		Enabled:         s.cfg.Enabled,
-		Triggers:        s.triggers,
-		DriftTriggers:   s.driftTriggers,
-		RefineSolves:    s.refines,
-		SkippedPlans:    s.skipped,
-		SkippedByGain:   s.skippedByGain,
-		SkippedByMove:   s.skippedByMove,
-		Optimizations:   len(s.results),
-		Solves:          s.totalSolves(),
-		NodesExplored:   s.totalNodes(),
-		LastCurObj:      s.lastCurObj,
-		LastNewObj:      s.lastNewObj,
-		LastMoveCost:    s.lastMoveCost,
-		LastMoved:       s.lastMoved,
-		Applied:         s.ctl.Applied(),
-		AQEPhase:        s.ctl.Phase().String(),
-		Throughput:      m.OverallThroughput(),
-		AvgLatency:      m.AvgLatency(),
-		LatencyStddev:   m.LatencyStddev(),
-		Reshuffled:      m.Reshuffled(),
-		JITCompiles:     m.JITCompiles(),
-		JITTime:         m.JITTime(),
-		SharingRatio:    m.SharingRatio(),
-		Net:             net,
+		LiveNodes:          s.eng.LiveNodes(),
+		ElasticJoins:       joins,
+		ElasticDrains:      drains,
+		ElasticDraining:    draining,
+		Checkpoints:        ckpts,
+		CheckpointBytes:    ckptBytes,
+		RestoredBytes:      s.eng.RestoredBytes(),
+		MigrationsStaged:   s.migrationsStaged,
+		MigrationFallbacks: s.migrationFallbacks,
+		StagedBytes:        s.eng.StagedBytes(),
+		ResidualBytes:      s.eng.ResidualBytes(),
+		AlignmentBytes:     s.eng.AlignmentBytes(),
+		MigrationPauseSec:  s.migPauseSec,
+		FaultsInjected:     injected,
+		FaultsDetected:     s.faultsDetected,
+		Recoveries:         s.recoveries,
+		RecoveryPending:    s.recoveryPending,
+		LostBytes:          s.eng.LostBytes() + net.BytesLost,
+		Clock:              s.eng.Clock(),
+		Enabled:            s.cfg.Enabled,
+		Triggers:           s.triggers,
+		DriftTriggers:      s.driftTriggers,
+		RefineSolves:       s.refines,
+		SkippedPlans:       s.skipped,
+		SkippedByGain:      s.skippedByGain,
+		SkippedByMove:      s.skippedByMove,
+		Optimizations:      len(s.results),
+		Solves:             s.totalSolves(),
+		NodesExplored:      s.totalNodes(),
+		LastCurObj:         s.lastCurObj,
+		LastNewObj:         s.lastNewObj,
+		LastMoveCost:       s.lastMoveCost,
+		LastMoved:          s.lastMoved,
+		Applied:            s.ctl.Applied(),
+		AQEPhase:           s.ctl.Phase().String(),
+		Throughput:         m.OverallThroughput(),
+		AvgLatency:         m.AvgLatency(),
+		LatencyStddev:      m.LatencyStddev(),
+		Reshuffled:         m.Reshuffled(),
+		JITCompiles:        m.JITCompiles(),
+		JITTime:            m.JITTime(),
+		SharingRatio:       m.SharingRatio(),
+		Net:                net,
 	}
 }
 
@@ -597,6 +656,9 @@ func (s *System) Run(d vtime.Duration) error {
 			s.injector.Advance(s.eng.Clock())
 		}
 		s.ctl.Poll()
+		// Resolve completed/aborted reconfigurations (pause accounting,
+		// staged-migration cleanup) before any new plan can start.
+		s.pollMigration()
 		if s.injector != nil && s.cfg.Enabled {
 			// Detection runs even while AQE is busy: a fault striking
 			// mid-reconfiguration must restart the recovery clock.
@@ -829,7 +891,7 @@ func (s *System) trigger(reason string) {
 	for qi, a := range newAssign {
 		moved += len(s.eng.Assignment(qi).Diff(a))
 	}
-	if _, err := s.ctl.Begin(newAssign); err == nil {
+	if _, err := s.beginReconfig(newAssign); err == nil {
 		s.lastMoved = moved
 		if s.obs != nil {
 			s.obs.accepted.Inc()

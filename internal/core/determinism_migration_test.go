@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"saspar/internal/checkpoint"
+	"saspar/internal/engine"
+	"saspar/internal/obs"
+	"saspar/internal/optimizer"
+	"saspar/internal/parallel"
+	"saspar/internal/spe"
+	"saspar/internal/vtime"
+	"saspar/internal/workload"
+)
+
+// The migration-mode axis of the golden-trace determinism contract:
+// checkpoint-staged migration and classic pause-and-transfer are two
+// transfer schedules for the SAME logical reconfigurations, so each
+// mode must be byte-identical to itself at any shard count and worker
+// budget, and — because the staged snapshot is a wire/CPU discount
+// that never enters live window state — both modes must produce
+// identical final window results under the same seed and drift
+// schedule. Full fingerprints cannot match across modes (the transfer
+// timing itself differs); exact-mode window results can and must.
+
+// migDetGrid is the {1,4} shards × {0,4} budget matrix each mode is
+// replayed over; the per-mode base is cut at shards=1 budget=0.
+var migDetGrid = []struct{ shards, budget int }{
+	{1, 0}, {4, 0}, {1, 4}, {4, 4},
+}
+
+// driftingStream rotates the hot-key set every 5 virtual seconds, so
+// successive optimizer rounds see genuinely different skew and keep
+// accepting plans — each one a live migration in the mode under test.
+// The generator is a pure function of (task, index, timestamp): the
+// drift schedule is identical across modes, shard counts and budgets.
+func driftingStream() engine.StreamDef {
+	return engine.StreamDef{
+		Name: "purchases", NumCols: 3, BytesPerTuple: 100,
+		NewSource: func(task int) engine.Source {
+			i := int64(task) * 7919
+			return workload.RowAdapter(engine.GeneratorFunc(func(t *engine.Tuple, ts vtime.Time) {
+				i++
+				phase := int64(ts / vtime.Time(5*vtime.Second))
+				if i%10 < 7 {
+					t.Cols[0] = (phase*4 + i%4) % 64
+				} else {
+					t.Cols[0] = 4 + i%60
+				}
+				t.Cols[1] = t.Cols[0]
+				t.Cols[2] = 1
+			}))
+		},
+	}
+}
+
+// runMigrationFingerprint replays the drifting-skew schedule in the
+// given migration mode and returns the byte fingerprint, the final
+// report, and the sorted exact-mode window results.
+func runMigrationFingerprint(t *testing.T, mode string, shards, budget int) ([]byte, Report, []engine.AggResult) {
+	t.Helper()
+	parallel.SetBudget(budget)
+	defer parallel.SetBudget(-1)
+
+	engCfg := testEngineConfig()
+	engCfg.ExactWindows = true
+	engCfg.Shards = shards
+	engCfg.Seed = 42
+
+	cfg := fastCfg()
+	cfg.MinImprovement = 0.001
+	cfg.PlanHorizon = 100
+	cfg.Opt = optimizer.Options{DeterministicBudget: true, MaxNodes: 20000}
+	cfg.Obs = obs.New()
+	cfg.Checkpoint = checkpoint.Config{Interval: 2 * vtime.Second}
+	cfg.MigrationMode = mode
+
+	s, err := New(engCfg, []engine.StreamDef{driftingStream()}, sameKeyQueries(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Engine().SetStreamRate(0, 20000)
+	s.Engine().Metrics().StartMeasurement(0)
+	if err := s.Run(16 * vtime.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Engine().Metrics().StopMeasurement(s.Engine().Clock())
+
+	rep := s.Snapshot()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range s.Trace() {
+		fmt.Fprintln(&buf, ev)
+	}
+	if err := cfg.Obs.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var results []engine.AggResult
+	for qi := 0; qi < s.Engine().NumQueries(); qi++ {
+		results = append(results, s.Engine().Results(qi)...)
+	}
+	engine.SortAggResults(results)
+	return buf.Bytes(), rep, results
+}
+
+func TestGoldenTraceDeterminismAcrossMigrationModes(t *testing.T) {
+	type modeRun struct {
+		rep     Report
+		results []engine.AggResult
+	}
+	runs := map[string]modeRun{}
+	for _, mode := range []string{MigrationStaged, MigrationPause} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			base, rep, results := runMigrationFingerprint(t, mode, 1, 0)
+			runs[mode] = modeRun{rep, results}
+			if rep.Applied == 0 {
+				t.Fatalf("mode %s applied no reconfiguration; the axis is vacuous", mode)
+			}
+			if len(results) == 0 {
+				t.Fatalf("mode %s emitted no window results; the axis is vacuous", mode)
+			}
+			switch mode {
+			case MigrationStaged:
+				if rep.MigrationsStaged == 0 {
+					t.Fatalf("staged mode never staged a migration (fallbacks=%d applied=%d)",
+						rep.MigrationFallbacks, rep.Applied)
+				}
+				if rep.StagedBytes <= 0 {
+					t.Fatal("staged mode shipped no pre-staged bytes")
+				}
+			case MigrationPause:
+				if rep.MigrationsStaged != 0 || rep.StagedBytes != 0 {
+					t.Fatalf("pause mode staged state anyway: staged=%d bytes=%g",
+						rep.MigrationsStaged, rep.StagedBytes)
+				}
+			}
+			if rep.MigrationPauseSec <= 0 {
+				t.Fatalf("mode %s recorded no migration pause despite %d applied", mode, rep.Applied)
+			}
+			for _, g := range migDetGrid[1:] {
+				got, _, _ := runMigrationFingerprint(t, mode, g.shards, g.budget)
+				if !bytes.Equal(base, got) {
+					t.Fatalf("mode=%s shards=%d budget=%d diverged from shards=1 budget=0 at %s",
+						mode, g.shards, g.budget, diffLine(base, got))
+				}
+			}
+		})
+	}
+	staged, okS := runs[MigrationStaged]
+	pause, okP := runs[MigrationPause]
+	if !okS || !okP {
+		t.Fatal("a mode subtest failed before the cross-mode comparison")
+	}
+	// The equivalence claim: same seed, same drift schedule, two transfer
+	// modes — identical final window results. The staged copy is a
+	// transfer-bill discount, never state, so any divergence here is a
+	// correctness bug in the stage→residual→flip protocol.
+	if !reflect.DeepEqual(staged.results, pause.results) {
+		n := len(staged.results)
+		if m := len(pause.results); m != n {
+			t.Fatalf("window result counts differ across modes: staged=%d pause=%d", n, m)
+		}
+		for i := range staged.results {
+			if staged.results[i] != pause.results[i] {
+				t.Fatalf("window result %d differs across modes:\n  staged %+v\n  pause  %+v",
+					i, staged.results[i], pause.results[i])
+			}
+		}
+	}
+}
+
+func TestMigrationStagedDeterminismWithCrash(t *testing.T) {
+	// Staged migration composed with the crash + checkpoint scenario of
+	// the faults determinism test: the evacuation after the crash rides
+	// the staged path (the chain predates the fault), and the fingerprint
+	// must stay byte-identical across the shard/budget grid. Cross-mode
+	// result equality is NOT claimed here — the crash destroys state, and
+	// what exactly dies depends on placement at strike time, which the
+	// transfer schedule legitimately shifts.
+	base, rep := runFingerprint(t, spe.Flink, 1, 0, 0, true)
+	if rep.FaultsInjected == 0 || rep.Checkpoints == 0 {
+		t.Fatal("composition scenario vacuous")
+	}
+	if rep.MigrationsStaged == 0 && rep.MigrationFallbacks == 0 {
+		t.Fatal("no reconfiguration even attempted the staged gate; the composition is vacuous")
+	}
+	for _, g := range migDetGrid[1:] {
+		got, _ := runFingerprint(t, spe.Flink, g.shards, g.budget, 0, true)
+		if !bytes.Equal(base, got) {
+			t.Fatalf("shards=%d budget=%d diverged from shards=1 budget=0 at %s",
+				g.shards, g.budget, diffLine(base, got))
+		}
+	}
+}

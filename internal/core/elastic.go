@@ -189,7 +189,7 @@ func (s *System) elasticRebalance() {
 	if newAssign == nil {
 		return
 	}
-	if _, err := s.ctl.Begin(newAssign); err == nil && s.col != nil {
+	if _, err := s.beginReconfig(newAssign); err == nil && s.col != nil {
 		s.col.Reset(s.eng.Clock())
 	}
 }
@@ -314,7 +314,7 @@ func (s *System) stepDrain() {
 	if newAssign == nil {
 		return
 	}
-	if _, err := s.ctl.Begin(newAssign); err == nil && s.col != nil {
+	if _, err := s.beginReconfig(newAssign); err == nil && s.col != nil {
 		s.col.Reset(s.eng.Clock())
 	}
 }

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"saspar/internal/checkpoint"
+	"saspar/internal/cluster"
+	"saspar/internal/keyspace"
+	"saspar/internal/obs"
+	"saspar/internal/vtime"
+)
+
+// Checkpoint-staged live migration: the control-loop side of the
+// stage→residual→flip protocol (see DESIGN.md). Every reconfiguration —
+// optimizer plans, fault evacuations, elastic rebalances and drains —
+// funnels through beginReconfig. In staged mode it pre-ships the moving
+// cells' newest checkpointed state store→destination over the simulated
+// network while processing continues, holds the AQE markers back until
+// the slowest transfer lands, and lets the alignment point ship only
+// the since-barrier residual. Anything that makes the stage unusable —
+// no covering chain, a dead snapshot store, a fault striking mid-stage —
+// falls back to classic pause-and-transfer, counted by reason.
+
+// MigrationMode values for Config.MigrationMode.
+const (
+	// MigrationStaged pre-stages moving cells from the newest checkpoint
+	// chain and ships only the residual at alignment. Requires an armed
+	// Checkpoint config; without one every reconfiguration falls back.
+	MigrationStaged = "staged"
+	// MigrationPause is classic pause-and-transfer: all moved window
+	// state ships at the alignment point.
+	MigrationPause = "pause"
+)
+
+// stagedMode reports whether reconfigurations should attempt the
+// checkpoint-staged path: an armed coordinator and a mode that allows
+// it (empty mode means staged whenever checkpointing is on).
+func (s *System) stagedMode() bool {
+	return s.ckpt != nil && s.cfg.MigrationMode != MigrationPause
+}
+
+// migStage tracks one in-flight staged reconfiguration: the snapshot
+// pinned against pruning for its duration and the controller's applied
+// count when the stage opened (the completion signal is that count
+// advancing).
+type migStage struct {
+	active        bool
+	ckptID        int64
+	appliedBefore int
+}
+
+// beginReconfig starts a reconfiguration for the new assignment set,
+// staging it from a checkpoint when the mode and chain allow and
+// falling back to plain pause-and-transfer otherwise. All four
+// reconfiguration producers (trigger, evacuation, rebalance, drain)
+// call this instead of the AQE controller directly.
+func (s *System) beginReconfig(newAssign map[int]*keyspace.Assignment) (bool, error) {
+	if s.stagedMode() {
+		if started, handled := s.tryStagedBegin(newAssign); handled {
+			return started, nil
+		}
+	}
+	return s.ctl.Begin(newAssign)
+}
+
+// tryStagedBegin attempts the staged path. handled=false means the
+// caller should run plain pause-and-transfer instead (the fallback
+// reasons are counted here); handled=true means the staged protocol
+// owns the plan (started reports whether anything actually moves).
+func (s *System) tryStagedBegin(newAssign map[int]*keyspace.Assignment) (started, handled bool) {
+	if s.ctl.Busy() {
+		return false, false // Begin will return the busy error verbatim
+	}
+	now := s.eng.Clock()
+	// The moving cells — every (query, group) whose partition changes —
+	// and where each is headed under the new plan.
+	cells := map[checkpoint.GroupKey]bool{}
+	dest := map[checkpoint.GroupKey]cluster.NodeID{}
+	for qi, a := range newAssign {
+		if !s.eng.QueryActive(qi) {
+			continue
+		}
+		for _, g := range s.eng.Assignment(qi).Diff(a) {
+			k := checkpoint.GroupKey{Query: qi, Group: g}
+			cells[k] = true
+			dest[k] = s.eng.PartitionNode(int(a.Partition(g)))
+		}
+	}
+	if len(cells) == 0 {
+		return false, false // nothing moves; Begin no-ops identically
+	}
+	if s.eng.NodeDown(s.ckpt.StoreNodeID()) {
+		// The snapshot store host is dead: nothing can ship the staged
+		// state. (Restores tolerate this via a courier; staging exists to
+		// cut live-migration cost, so it just steps aside.)
+		s.migrationFallback("store_down")
+		return false, false
+	}
+	groups, snap, ok := s.ckpt.LatestFor(now, cells)
+	if !ok || len(groups) == 0 {
+		s.migrationFallback("no_chain")
+		return false, false
+	}
+	// Pre-ship each covered cell store→destination. Cells the chain does
+	// not cover (or whose destination is down) simply ship in full at
+	// alignment — staging is per-cell, not all-or-nothing.
+	store := s.ckpt.StoreNodeID()
+	net := s.eng.Network()
+	var slowest vtime.Duration
+	var stagedBytes float64
+	staged := 0
+	for _, cg := range groups {
+		d := dest[checkpoint.GroupKey{Query: cg.Query, Group: cg.Group}]
+		if s.eng.NodeDown(d) || s.eng.NodeRetired(d) {
+			continue
+		}
+		b := s.eng.StageGroup(cg, snap.Barrier)
+		if b <= 0 {
+			continue
+		}
+		_, dur := net.Send(store, d, b)
+		if dur > slowest {
+			slowest = dur
+		}
+		stagedBytes += b
+		staged++
+	}
+	if staged == 0 {
+		s.eng.VoidStagedState()
+		s.migrationFallback("no_chain")
+		return false, false
+	}
+	ok, err := s.ctl.BeginStaged(newAssign, now.Add(slowest))
+	if !ok || err != nil {
+		s.eng.VoidStagedState()
+		return false, false
+	}
+	// Pin the snapshot's chain against pruning until the migration
+	// resolves: a re-stage after an abort must still find it.
+	s.ckpt.Pin(snap.ID)
+	s.mig = migStage{active: true, ckptID: snap.ID, appliedBefore: s.ctl.Applied()}
+	if s.obs != nil {
+		s.obs.reg.Emit(now, obs.EvMigrationStage,
+			obs.I("checkpoint", snap.ID),
+			obs.I("cells", int64(staged)),
+			obs.F("staged_bytes", stagedBytes),
+			obs.F("ready_ms", slowest.Seconds()*1e3))
+	}
+	return true, true
+}
+
+// pollMigration runs once per tick right after the AQE controller:
+// it records the processing pause of every completed reconfiguration
+// (both transfer modes — the figure compares them on this number) and
+// resolves an in-flight stage when its reconfiguration lands or dies.
+func (s *System) pollMigration() {
+	applied := s.ctl.Applied()
+	if applied > s.lastApplied {
+		// The controller completes at most one reconfiguration per tick,
+		// so LastAlignDuration belongs to exactly this completion.
+		pause := s.ctl.LastAlignDuration().Seconds()
+		s.migPauseSec += pause
+		if s.obs != nil {
+			s.obs.migPause.Observe(pause)
+		}
+		if s.mig.active {
+			// The staged reconfiguration flipped its routes: the residual
+			// shipped, the staged registry is spent.
+			s.finishStage()
+		}
+	}
+	s.lastApplied = applied
+	if s.mig.active && !s.ctl.Busy() {
+		// The stage died before its markers went out (the plan went stale
+		// during Staging and injection failed). Void and fall back — the
+		// producing loop re-plans on its own cadence.
+		s.abortStage("stale")
+	}
+	if s.obs != nil {
+		s.obs.migStagedBytes.Set(s.eng.StagedBytes())
+		s.obs.migResidualBytes.Set(s.eng.ResidualBytes())
+	}
+}
+
+// finishStage closes out a completed staged migration.
+func (s *System) finishStage() {
+	s.ckpt.Unpin(s.mig.ckptID)
+	s.eng.VoidStagedState()
+	s.migrationsStaged++
+	s.mig = migStage{}
+	if s.obs != nil {
+		s.obs.migStagedTotal.Inc()
+	}
+}
+
+// abortStage voids an in-flight stage (fault mid-stage, stale plan):
+// the staged registry is cleared so no later extraction discounts
+// against a snapshot that no longer matches a real transfer, the
+// pinned chain is released, and the episode counts as a fallback.
+func (s *System) abortStage(reason string) {
+	s.ckpt.Unpin(s.mig.ckptID)
+	s.eng.VoidStagedState()
+	s.mig = migStage{}
+	s.migrationFallback(reason)
+}
+
+// migrationFallback counts one reconfiguration that could not (or can
+// no longer) use the staged path, labeled by reason.
+func (s *System) migrationFallback(reason string) {
+	s.migrationFallbacks++
+	if s.obs != nil {
+		s.obs.reg.Counter(
+			"saspar_migration_fallbacks_total{reason=\""+reason+"\"}",
+			"Reconfigurations that ran as pause-and-transfer, by reason.").Inc()
+		s.obs.reg.Emit(s.eng.Clock(), obs.EvMigrationFallback, obs.S("reason", reason))
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"strconv"
 
+	"saspar/internal/aqe"
 	"saspar/internal/checkpoint"
 	"saspar/internal/cluster"
 	"saspar/internal/keyspace"
@@ -49,6 +50,15 @@ func (s *System) pollHealth() {
 	// restart the attempt budget and retry immediately.
 	s.recoveryAttempts = 0
 	s.nextRecoveryTry = s.eng.Clock()
+	// A fault also voids any stage still waiting on its pre-shipped
+	// transfers: the snapshot may describe state on a node that just
+	// died, and the plan itself may now place groups on one. The markers
+	// never went out, so nothing is in flight to drain — drop the plan
+	// and let recovery re-plan against the new health mask.
+	if s.mig.active && s.ctl.Phase() == aqe.Staging {
+		s.ctl.AbortStage()
+		s.abortStage("fault")
+	}
 	if s.obs != nil {
 		s.obs.faultsDetected.Inc()
 		attrs := []obs.KV{obs.S("fingerprint", strconv.FormatUint(fp, 16))}
@@ -257,7 +267,7 @@ func (s *System) tryEvacuation() {
 	if newAssign == nil {
 		return
 	}
-	if _, err := s.ctl.Begin(newAssign); err == nil {
+	if _, err := s.beginReconfig(newAssign); err == nil {
 		s.col.Reset(s.eng.Clock())
 	}
 }

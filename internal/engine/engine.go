@@ -110,6 +110,17 @@ type Engine struct {
 	// exactly this set: state on derated-but-alive nodes is evacuated
 	// live, so re-seeding it from a checkpoint would double-count.
 	destroyedState map[pendKey]bool
+
+	// staged is the checkpoint-staged migration registry: (query, group)
+	// cells whose destination holds a pre-staged snapshot copy, so their
+	// at-alignment transfer ships only the since-barrier residual. Nil
+	// outside a staged migration; written only between ticks (StageGroup
+	// / VoidStagedState), read-only during the slot phase — see
+	// migrate.go. The three accumulators feed the migration metrics.
+	staged           map[pendKey]stagedCell
+	migStagedBytes   float64
+	migResidualBytes float64
+	migAlignBytes    float64
 }
 
 // New builds an engine. Queries that should share an assignment (e.g.

@@ -118,7 +118,7 @@ func (nr *nodeRun) recycle(en *entry) {
 	en.tsBegin, en.tsStep = 0, 0
 	en.extraQ, en.copies, en.scale = 0, 0, 0
 	en.marker = nil
-	en.stQuery, en.stGroup, en.stWeight = 0, 0, 0
+	en.stQuery, en.stGroup, en.stWeight, en.stStagedW = 0, 0, 0, 0
 	en.stAgg = en.stAgg[:0]
 	en.stJoin[0] = en.stJoin[0][:0]
 	en.stJoin[1] = en.stJoin[1][:0]
@@ -382,7 +382,13 @@ func (e *Engine) dispatchExtract(origin *slot, en *entry) {
 			}
 		}
 	}
-	bytes := en.stWeight * e.streams[q.spec.Inputs[0].Stream].BytesPerTuple
+	// A staged cell ships only its since-barrier residual: the snapshot
+	// slice pre-shipped courier→destination when the stage was set up.
+	bytes := (en.stWeight - en.stStagedW) * e.streams[q.spec.Inputs[0].Stream].BytesPerTuple
+	e.migAlignBytes += bytes
+	if en.stStagedW > 0 {
+		e.migResidualBytes += bytes
+	}
 	_, d1 := e.net.Send(origin.node, src.node, bytes)
 	owner := int(q.assign.Partition(en.stGroup))
 	_, d2 := e.net.Send(src.node, e.placement.PartitionNode(owner), bytes)

@@ -81,8 +81,14 @@ type entry struct {
 	stQuery  int
 	stGroup  keyspace.GroupID
 	stWeight float64
-	stAgg    []AggPartial // exact-mode aggregation partials
-	stJoin   [2][]Tuple   // exact-mode join buffers per side
+	// stStagedW is the slice of stWeight already resident at the
+	// destination via checkpoint pre-staging; dispatchExtract ships and
+	// the destination deserializes only stWeight - stStagedW. Zero
+	// outside a staged migration. The merge still folds the full
+	// stWeight — the staged copy is a wire/CPU discount, never state.
+	stStagedW float64
+	stAgg     []AggPartial // exact-mode aggregation partials
+	stJoin    [2][]Tuple   // exact-mode join buffers per side
 }
 
 // edgeQueue is a FIFO of entries with O(1) amortized pop.
@@ -274,7 +280,9 @@ func (s *slot) entryCPU(e *Engine, en *entry) float64 {
 	case entryHeartbeat:
 		return 0
 	case entryState:
-		return e.cfg.Cost.DeserCPU * en.stWeight
+		// The staged slice was deserialized when it pre-shipped, off the
+		// alignment critical path; only the residual costs CPU here.
+		return e.cfg.Cost.DeserCPU * (en.stWeight - en.stStagedW)
 	}
 	c := &e.cfg.Cost
 	w := e.cfg.TupleWeight * en.scale

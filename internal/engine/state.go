@@ -345,6 +345,15 @@ func (e *Engine) extractState(s *slot, nr *nodeRun, qi int, g keyspace.GroupID) 
 		nr.recycle(en)
 		return
 	}
+	if e.staged != nil {
+		// Checkpoint-staged migration: the destination already holds the
+		// snapshot copy of this cell, so only the since-barrier residual
+		// travels. The discount ages the staged weight with the same
+		// decay rule RestoreGroup uses (see stagedDiscount); the merge
+		// still folds the full stWeight, so state values are identical to
+		// pause-and-transfer.
+		en.stStagedW = e.stagedDiscount(qi, g, en.stWeight, q.spec.Window.Range.Seconds())
+	}
 	s.fx.stage(evtExtract).en = en
 }
 

@@ -80,6 +80,16 @@ const (
 	// node left the live set with zero counted-tuple loss. Attrs: node,
 	// drain_ms (virtual milliseconds from drain start), live_nodes.
 	EvElasticDrainDone EventKind = "elastic_drain_done"
+	// EvMigrationStage: an accepted plan's moving cells were pre-staged
+	// from a checkpoint chain; markers wait for the staged transfers.
+	// Attrs: checkpoint, cells, staged_bytes, ready_ms (virtual
+	// milliseconds until the slowest transfer lands).
+	EvMigrationStage EventKind = "migration_stage"
+	// EvMigrationFallback: a reconfiguration ran (or re-ran) as plain
+	// pause-and-transfer because no usable checkpoint chain covered the
+	// moving cells, the store node was down, or a fault voided an
+	// in-flight stage. Attrs: reason (no_chain|store_down|fault|stale).
+	EvMigrationFallback EventKind = "migration_fallback"
 )
 
 // KV is one ordered event attribute. Values are stringified at emit

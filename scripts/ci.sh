@@ -13,11 +13,14 @@
 #                      (internal/faults), the AQE controller
 #                      (internal/aqe), the checkpoint coordinator
 #                      (internal/checkpoint) whose recovery paths run
-#                      inside pooled harness cells, the sharded
+#                      inside pooled harness cells and whose delta
+#                      chains staged migration pre-ships, the sharded
 #                      engine step (internal/engine, internal/core):
 #                      their suites raise the parallel budget so the
 #                      slot/router phases really run on goroutines
-#                      (TestShardedChurnStress, the determinism grid),
+#                      (TestShardedChurnStress, the determinism grid —
+#                      including the migration-mode axis and the
+#                      mid-stage crash matrix),
 #                      the serving runtime (internal/runtime) whose
 #                      SPSC ingest rings are exactly the kind of
 #                      lock-free code the race detector exists for,
@@ -29,9 +32,10 @@
 #                      ingestion, the SPSC ring against a model queue,
 #                      the wire decoder against hostile frames, the
 #                      greedy optimizer tier against the B&B optimum,
-#                      and the autoscaler policy's rate-limit/bounds
-#                      safety properties — seeded from testdata/fuzz
-#                      corpora
+#                      the autoscaler policy's rate-limit/bounds
+#                      safety properties, and the checkpoint delta
+#                      chain's materialize/fixpoint invariants — seeded
+#                      from testdata/fuzz corpora
 #   serve smoke        boots sasparctl serve on loopback, blasts a
 #                      fixed row budget through the binary ingest
 #                      protocol, and asserts the /report saw every row
@@ -68,6 +72,7 @@ go test -run '^$' -fuzz FuzzRingModel -fuzztime 10s ./internal/runtime/
 go test -run '^$' -fuzz FuzzWire -fuzztime 10s ./internal/runtime/
 go test -run '^$' -fuzz FuzzGreedyVsBB -fuzztime 10s ./internal/optimizer/
 go test -run '^$' -fuzz FuzzPolicyStep -fuzztime 10s ./internal/elastic/
+go test -run '^$' -fuzz FuzzDeltaChain -fuzztime 10s ./internal/checkpoint/
 
 echo "== serve smoke (loopback ingest)"
 ctl=$(mktemp -t sasparctl.XXXXXX)
